@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the two GEPC solvers (the
+//! machine-readable counterpart of Table VI / Fig. 2; run
+//! `cargo run -p epplan-bench --release --bin paper` for the full
+//! paper-scale tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epplan_core::solver::{GapBasedSolver, GepcSolver, GreedySolver, LnsSolver};
+use epplan_datagen::{generate, GeneratorConfig};
+
+fn cfg(n_users: usize, n_events: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        n_users,
+        n_events,
+        mean_lower: 4,
+        mean_upper: 16,
+        ..Default::default()
+    }
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gepc/greedy");
+    for (nu, ne) in [(100, 10), (300, 20), (600, 40)] {
+        let inst = generate(&cfg(nu, ne));
+        let solver = GreedySolver::seeded(7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nu}x{ne}")),
+            &inst,
+            |b, inst| b.iter(|| solver.solve(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gepc/gap");
+    group.sample_size(10);
+    for (nu, ne) in [(60, 8), (120, 12)] {
+        let inst = generate(&cfg(nu, ne));
+        let solver = GapBasedSolver::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nu}x{ne}")),
+            &inst,
+            |b, inst| b.iter(|| solver.solve(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_two_step_ablation(c: &mut Criterion) {
+    // How much time does step 2 (the capacity filler) add?
+    let mut group = c.benchmark_group("gepc/greedy-steps");
+    let inst = generate(&cfg(300, 20));
+    group.bench_function("xi-only", |b| {
+        let solver = GreedySolver::xi_only(7);
+        b.iter(|| solver.solve(&inst))
+    });
+    group.bench_function("two-step", |b| {
+        let solver = GreedySolver::seeded(7);
+        b.iter(|| solver.solve(&inst))
+    });
+    group.finish();
+}
+
+fn bench_lns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gepc/lns");
+    group.sample_size(10);
+    let inst = generate(&cfg(300, 20));
+    group.bench_function("300x20", |b| {
+        let solver = LnsSolver::seeded(7);
+        b.iter(|| solver.solve(&inst))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_gap, bench_two_step_ablation, bench_lns);
+criterion_main!(benches);

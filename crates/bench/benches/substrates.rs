@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for the substrate crates: simplex LP,
+//! min-cost matching, the GAP pipeline stages, the data generator and
+//! the spatial index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epplan_gap::packing::{mw_fractional, PackingConfig};
+use epplan_gap::{lp_relaxation, round_shmoys_tardos, GapInstance};
+use rand::prelude::*;
+
+fn random_gap(m: usize, n: usize, seed: u64) -> GapInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs: Vec<Vec<f64>> = (0..m)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let times: Vec<Vec<f64>> = (0..m)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.5..2.0)).collect())
+        .collect();
+    let caps: Vec<f64> = (0..m).map(|_| rng.gen_range(2.0..6.0)).collect();
+    GapInstance::from_matrices(costs, times, caps)
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/lp-relaxation");
+    group.sample_size(10);
+    for (m, n) in [(5, 20), (10, 40), (20, 80)] {
+        let inst = random_gap(m, n, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &inst,
+            |b, inst| b.iter(|| lp_relaxation(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/mw-packing");
+    for (m, n) in [(20, 80), (50, 200), (100, 400)] {
+        let inst = random_gap(m, n, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &inst,
+            |b, inst| b.iter(|| mw_fractional(inst, &PackingConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/st-rounding");
+    for (m, n) in [(10, 40), (20, 80)] {
+        let inst = random_gap(m, n, 3);
+        let frac = lp_relaxation(&inst).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(inst, frac),
+            |b, (inst, frac)| b.iter(|| round_shmoys_tardos(inst, frac)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/min-cost-matching");
+    for n in [20usize, 60, 120] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let edges: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|l| {
+                let mut rs: Vec<usize> = (0..n).collect();
+                rs.shuffle(&mut rng);
+                rs.truncate(6);
+                rs.into_iter()
+                    .map(move |r| (l, r, 0.0))
+                    .collect::<Vec<_>>()
+            })
+            .enumerate()
+            .map(|(k, (l, r, _))| (l, r, (k % 17) as f64 / 17.0))
+            .collect();
+        let caps = vec![2usize; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| epplan_flow::min_cost_assignment(n, n, edges, &caps))
+        });
+    }
+    group.finish();
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/datagen");
+    group.sample_size(10);
+    for (nu, ne) in [(500, 50), (2000, 200)] {
+        let cfg = epplan_datagen::GeneratorConfig {
+            n_users: nu,
+            n_events: ne,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nu}x{ne}")),
+            &cfg,
+            |b, cfg| b.iter(|| epplan_datagen::generate(cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_mw,
+    bench_rounding,
+    bench_matching,
+    bench_datagen
+);
+criterion_main!(benches);

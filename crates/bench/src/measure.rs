@@ -1,0 +1,54 @@
+//! Wall-clock + peak-memory measurement of a closure.
+
+use epplan_memtrack::MemoryProbe;
+use std::time::Instant;
+
+/// A measured computation result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured<T> {
+    /// The closure's return value.
+    pub value: T,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+    /// Extra peak heap during the region, in MiB. Zero unless the
+    /// binary installs [`epplan_memtrack::Tracking`] as its global
+    /// allocator (the `paper` binary does).
+    pub mem_mib: f64,
+}
+
+/// Runs `f`, measuring wall-clock time and peak memory delta.
+pub fn measure<T>(f: impl FnOnce() -> T) -> Measured<T> {
+    let probe = MemoryProbe::start();
+    let start = Instant::now();
+    let value = f();
+    let seconds = start.elapsed().as_secs_f64();
+    let report = probe.finish();
+    Measured {
+        value,
+        seconds,
+        mem_mib: report.peak_delta_mib(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_time() {
+        let m = measure(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            7
+        });
+        assert_eq!(m.value, 7);
+        assert!(m.seconds >= 0.009);
+    }
+
+    #[test]
+    fn memory_zero_without_tracker() {
+        // The test binary does not install the tracking allocator.
+        let m = measure(|| vec![0u8; 1 << 20]);
+        assert_eq!(m.value.len(), 1 << 20);
+        assert!(m.mem_mib >= 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Random atomic-operation generators for the IEP experiments.
+//!
+//! Section V-C: "For each algorithm, we randomly select 1 event, and
+//! decrease its `η`, increase its `ξ`, and change its `t^s` and `t^t`,
+//! respectively. We conduct the experiment 50 times and calculate the
+//! average."
+
+use epplan_core::incremental::AtomicOp;
+use epplan_core::model::{EventId, Instance, TimeInterval};
+use epplan_core::plan::Plan;
+use rand::prelude::*;
+
+fn random_event(instance: &Instance, rng: &mut impl Rng) -> EventId {
+    EventId(rng.gen_range(0..instance.n_events()) as u32)
+}
+
+/// Picks a random event and decreases its `η` below the current
+/// attendance (so the repair actually has work to do when possible).
+pub fn random_eta_decrease(instance: &Instance, plan: &Plan, rng: &mut impl Rng) -> AtomicOp {
+    let event = random_event(instance, rng);
+    let n = plan.attendance(event);
+    let new_upper = if n > 1 { rng.gen_range(1..n) } else { n.max(1) };
+    AtomicOp::EtaDecrease { event, new_upper }
+}
+
+/// Picks a random event and raises its `ξ` above the current
+/// attendance (clamped to `η`).
+pub fn random_xi_increase(instance: &Instance, plan: &Plan, rng: &mut impl Rng) -> AtomicOp {
+    let event = random_event(instance, rng);
+    let n = plan.attendance(event);
+    let upper = instance.event(event).upper;
+    let new_lower = (n + rng.gen_range(1..=3)).min(upper);
+    AtomicOp::XiIncrease { event, new_lower }
+}
+
+/// Picks a random event and moves it onto another random event's time
+/// slot (jittered), which is how time changes create conflicts.
+pub fn random_time_change(instance: &Instance, _plan: &Plan, rng: &mut impl Rng) -> AtomicOp {
+    let event = random_event(instance, rng);
+    let other = random_event(instance, rng);
+    let base = instance.event(other).time;
+    let dur = instance.event(event).time.duration();
+    let jitter = rng.gen_range(0..30u32);
+    let start = base.start.saturating_add(jitter);
+    AtomicOp::TimeChange {
+        event,
+        new_time: TimeInterval::new(start, start + dur),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epplan_core::solver::{GepcSolver, GreedySolver};
+    use epplan_datagen::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+
+    fn setup() -> (Instance, Plan) {
+        let inst = generate(&GeneratorConfig {
+            n_users: 40,
+            n_events: 10,
+            mean_lower: 2,
+            mean_upper: 8,
+            ..Default::default()
+        });
+        let plan = GreedySolver::seeded(5).solve(&inst).plan;
+        (inst, plan)
+    }
+
+    #[test]
+    fn eta_decrease_targets_below_attendance() {
+        let (inst, plan) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let AtomicOp::EtaDecrease { event, new_upper } =
+                random_eta_decrease(&inst, &plan, &mut rng)
+            else {
+                panic!("wrong op kind")
+            };
+            let n = plan.attendance(event);
+            if n > 1 {
+                assert!(new_upper < n);
+            }
+            assert!(new_upper >= 1);
+        }
+    }
+
+    #[test]
+    fn xi_increase_stays_within_eta() {
+        let (inst, plan) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let AtomicOp::XiIncrease { event, new_lower } =
+                random_xi_increase(&inst, &plan, &mut rng)
+            else {
+                panic!("wrong op kind")
+            };
+            assert!(new_lower <= inst.event(event).upper);
+        }
+    }
+
+    #[test]
+    fn time_change_produces_valid_interval() {
+        let (inst, plan) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let AtomicOp::TimeChange { new_time, .. } =
+                random_time_change(&inst, &plan, &mut rng)
+            else {
+                panic!("wrong op kind")
+            };
+            assert!(new_time.start < new_time.end);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Approximation-ratio quantities from the paper's analysis.
+//!
+//! Both approximation bounds hinge on `Uc_i` — "the number of events
+//! that fall within a distance `B_i/2` of `l_{u_i}`" (Section III-A.1),
+//! an upper bound on how many events user `i` could ever attend, since
+//! a round trip to any event costs at least twice the one-way distance.
+//!
+//! * GAP-based algorithm: ratio `1/(Uc_max − 1)` (after the LP's
+//!   `1 − O(ε)`);
+//! * Greedy-based algorithm: ratio `1/(2·Uc_max)`;
+//! * IEP `η`-decrease: `1/((n_j − η'_j)(Uc_max − 1))`; `ξ`-increase:
+//!   `1/((n_j − η'_j)(Uc_max − 2))`; time-change:
+//!   `1/((uc_j + ξ_j − n'_j)(Uc_max − 1))`.
+//!
+//! [`InstanceAnalysis`] computes these quantities with the spatial grid
+//! index so tests and the ablation harness can report measured ratios
+//! next to the theoretical bounds.
+
+use crate::model::{Instance, UserId};
+use epplan_geo::GridIndex;
+
+/// Static analysis of an instance: reachability counts and the derived
+/// approximation bounds.
+#[derive(Debug, Clone)]
+pub struct InstanceAnalysis {
+    /// `Uc_i` per user.
+    pub uc: Vec<usize>,
+    /// `Uc_max = max_i Uc_i`.
+    pub uc_max: usize,
+}
+
+impl InstanceAnalysis {
+    /// Computes `Uc_i` for every user via a grid index over event
+    /// venues.
+    pub fn of(instance: &Instance) -> Self {
+        let venues: Vec<epplan_geo::Point> =
+            instance.events().iter().map(|e| e.location).collect();
+        let index = GridIndex::build(&venues);
+        let uc: Vec<usize> = instance
+            .users()
+            .iter()
+            .map(|u| index.count_within(&u.location, u.budget / 2.0))
+            .collect();
+        let uc_max = uc.iter().copied().max().unwrap_or(0);
+        InstanceAnalysis { uc, uc_max }
+    }
+
+    /// `Uc_i` for one user.
+    pub fn uc_of(&self, u: UserId) -> usize {
+        self.uc[u.index()]
+    }
+
+    /// The paper's greedy-algorithm bound `1/(2·Uc_max)`; `None` when
+    /// no user can reach any event (the bound is vacuous).
+    pub fn greedy_bound(&self) -> Option<f64> {
+        (self.uc_max > 0).then(|| 1.0 / (2.0 * self.uc_max as f64))
+    }
+
+    /// The paper's GAP-algorithm bound `1/(Uc_max − 1)`; `None` when
+    /// `Uc_max ≤ 1` (bound vacuous or division by zero).
+    pub fn gap_bound(&self) -> Option<f64> {
+        (self.uc_max > 1).then(|| 1.0 / (self.uc_max as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, TimeInterval, User, UtilityMatrix};
+    use epplan_geo::Point;
+
+    fn inst(budgets: &[f64]) -> Instance {
+        let users: Vec<User> = budgets
+            .iter()
+            .map(|&b| User::new(Point::new(0.0, 0.0), b))
+            .collect();
+        let events = vec![
+            Event::new(Point::new(1.0, 0.0), 0, 1, TimeInterval::new(0, 10)),
+            Event::new(Point::new(3.0, 0.0), 0, 1, TimeInterval::new(20, 30)),
+            Event::new(Point::new(10.0, 0.0), 0, 1, TimeInterval::new(40, 50)),
+        ];
+        let n = users.len();
+        Instance::new(users, events, UtilityMatrix::zeros(n, 3))
+    }
+
+    #[test]
+    fn uc_counts_events_within_half_budget() {
+        // Budget 4 → radius 2 → only the event at distance 1.
+        // Budget 8 → radius 4 → events at 1 and 3.
+        let instance = inst(&[4.0, 8.0]);
+        let a = InstanceAnalysis::of(&instance);
+        assert_eq!(a.uc, vec![1, 2]);
+        assert_eq!(a.uc_max, 2);
+    }
+
+    #[test]
+    fn bounds() {
+        let instance = inst(&[4.0, 8.0, 30.0]);
+        let a = InstanceAnalysis::of(&instance);
+        assert_eq!(a.uc_max, 3);
+        assert!((a.greedy_bound().unwrap() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((a.gap_bound().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_bounds() {
+        let instance = inst(&[0.5]); // radius 0.25: reaches nothing
+        let a = InstanceAnalysis::of(&instance);
+        assert_eq!(a.uc_max, 0);
+        assert!(a.greedy_bound().is_none());
+        assert!(a.gap_bound().is_none());
+    }
+
+    #[test]
+    fn boundary_event_is_counted() {
+        // Budget 2 → radius 1 → the event at exactly distance 1 counts.
+        let instance = inst(&[2.0]);
+        let a = InstanceAnalysis::of(&instance);
+        assert_eq!(a.uc, vec![1]);
+    }
+}

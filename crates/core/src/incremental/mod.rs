@@ -1,0 +1,669 @@
+//! The Incremental Event Planning (IEP) problem — Section IV.
+//!
+//! The paper identifies the atomic operations an EBSN faces (utility
+//! and budget changes from users; new events, bound changes, time and
+//! location changes from organizers) and shows that three repair
+//! algorithms suffice:
+//!
+//! * [`AtomicOp::EtaDecrease`] → Algorithm 3 ([`eta_decrease`]);
+//! * [`AtomicOp::XiIncrease`] → Algorithm 4 ([`xi_increase`]);
+//! * [`AtomicOp::TimeChange`] → Algorithm 5 ([`time_change`]);
+//!
+//! with every other operation reducible to them (Section IV's opening
+//! discussion: "solving for all other atomic operations can be reduced
+//! to one of these"). [`IncrementalPlanner::apply`] performs the
+//! dispatch, mutating a **clone** of the instance and the plan, and
+//! reports the negative impact `dif(P, P′)` together with the new
+//! global utility.
+
+mod eta_decrease;
+mod exact_iep;
+pub(crate) mod repair;
+mod time_change;
+mod xi_increase;
+
+pub use eta_decrease::eta_decrease;
+pub use exact_iep::{exact_iep, ExactIepResult};
+pub use time_change::{time_change, TimeChangeOutcome};
+pub use xi_increase::{xi_increase, XiIncreaseOutcome};
+
+use crate::model::{Event, EventId, Instance, TimeInterval, UserId};
+use crate::plan::{dif, Plan};
+use crate::solver::filler;
+use epplan_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A single atomic change to the EBSN (Section IV's taxonomy).
+///
+/// Serializes as internally-tagged JSON (`{"op": "eta_decrease", ...}`)
+/// so operation streams can be stored and replayed (see the `epplan`
+/// CLI's `apply` subcommand).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum AtomicOp {
+    /// Event `η_j` decreased (core Algorithm 3).
+    EtaDecrease {
+        /// Affected event.
+        event: EventId,
+        /// New upper bound `η'_j`.
+        new_upper: u32,
+    },
+    /// Event `η_j` increased (reduction: pure capacity fill).
+    EtaIncrease {
+        /// Affected event.
+        event: EventId,
+        /// New upper bound.
+        new_upper: u32,
+    },
+    /// Event `ξ_j` increased (core Algorithm 4).
+    XiIncrease {
+        /// Affected event.
+        event: EventId,
+        /// New lower bound `ξ'_j`.
+        new_lower: u32,
+    },
+    /// Event `ξ_j` decreased (reduction: no plan change needed).
+    XiDecrease {
+        /// Affected event.
+        event: EventId,
+        /// New lower bound.
+        new_lower: u32,
+    },
+    /// Event start/end time changed (core Algorithm 5).
+    TimeChange {
+        /// Affected event.
+        event: EventId,
+        /// New holding window.
+        new_time: TimeInterval,
+    },
+    /// Event venue moved (reduction onto Algorithm 5's repair: the
+    /// removal criterion is budget instead of conflict).
+    LocationChange {
+        /// Affected event.
+        event: EventId,
+        /// New venue.
+        new_location: Point,
+    },
+    /// A new event posted (reduction: "increasing `e_j`'s participation
+    /// lower bound from 0", i.e. Algorithm 4, then capacity fill).
+    NewEvent {
+        /// The event to add.
+        event: Event,
+        /// Per-user utilities for it (one entry per existing user).
+        utilities: Vec<f64>,
+    },
+    /// A user's utility for an event changed (e.g. availability shifts
+    /// make `μ` drop to 0 — the paper's Jessica example).
+    UtilityChange {
+        /// Affected user.
+        user: UserId,
+        /// Affected event.
+        event: EventId,
+        /// New score in `[0, 1]`.
+        new_utility: f64,
+    },
+    /// A user's travel budget changed (the bad-weather example).
+    BudgetChange {
+        /// Affected user.
+        user: UserId,
+        /// New budget `B'_i ≥ 0`.
+        new_budget: f64,
+    },
+    /// An event's admission fee changed (the Section VII cost
+    /// extension). A fee hike can push attendees over budget, so the
+    /// repair mirrors a location change: shed attendees who can no
+    /// longer afford the event, then refill toward the bounds.
+    FeeChange {
+        /// Affected event.
+        event: EventId,
+        /// New fee `≥ 0`.
+        new_fee: f64,
+    },
+}
+
+/// Result of applying an atomic operation.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// The updated instance (the operation applied).
+    pub instance: Instance,
+    /// The repaired plan `P′`.
+    pub plan: Plan,
+    /// Negative impact `dif(P, P′)`.
+    pub dif: usize,
+    /// Global utility of `P′` under the updated instance.
+    pub utility: f64,
+    /// Events whose lower bound could not be restored.
+    pub shortfall: Vec<EventId>,
+}
+
+/// Result of applying a whole batch of atomic operations.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The instance after every operation.
+    pub instance: Instance,
+    /// The final repaired plan.
+    pub plan: Plan,
+    /// `dif` of the final plan against the **original** plan — the net
+    /// negative impact users perceive once the dust settles.
+    pub net_dif: usize,
+    /// Per-operation `dif` values, as the paper's repeated-run
+    /// treatment would report them (their sum can exceed `net_dif`
+    /// when later operations restore earlier losses).
+    pub step_difs: Vec<usize>,
+    /// Final global utility.
+    pub utility: f64,
+    /// Events below their lower bound after the batch.
+    pub shortfall: Vec<EventId>,
+}
+
+/// Stateless IEP dispatcher.
+///
+/// ```
+/// use epplan_core::incremental::{AtomicOp, IncrementalPlanner};
+/// use epplan_core::model::{EventId, InstanceBuilder, TimeInterval};
+/// use epplan_core::plan::Plan;
+/// use epplan_core::solver::{GepcSolver, GreedySolver};
+/// use epplan_geo::Point;
+///
+/// let mut b = InstanceBuilder::new();
+/// let u0 = b.user(Point::new(0.0, 0.0), 10.0);
+/// let u1 = b.user(Point::new(0.0, 1.0), 10.0);
+/// let e = b.event(Point::new(1.0, 0.0), 0, 2, TimeInterval::new(540, 600));
+/// b.utility(u0, e, 0.9);
+/// b.utility(u1, e, 0.4);
+/// let instance = b.build();
+/// let plan = GreedySolver::seeded(1).solve(&instance).plan;
+/// assert_eq!(plan.attendance(e), 2);
+///
+/// // The venue shrinks to a single seat: the lower-utility attendee
+/// // is dropped, with the minimal negative impact of 1.
+/// let out = IncrementalPlanner.apply(
+///     &instance,
+///     &plan,
+///     &AtomicOp::EtaDecrease { event: e, new_upper: 1 },
+/// );
+/// assert_eq!(out.dif, 1);
+/// assert!(out.plan.contains(u0, e));
+/// assert!(!out.plan.contains(u1, e));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncrementalPlanner;
+
+impl IncrementalPlanner {
+    /// Applies `op` to `(instance, plan)` and repairs the plan with the
+    /// appropriate algorithm. Neither input is modified; the updated
+    /// copies are returned in the outcome.
+    pub fn apply(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        op: &AtomicOp,
+    ) -> IncrementalOutcome {
+        let mut inst = instance.clone();
+        let mut new_plan = plan.clone();
+
+        match op {
+            AtomicOp::EtaDecrease { event, new_upper } => {
+                let lower = inst.event(*event).lower.min(*new_upper);
+                inst.set_event_bounds(*event, lower, *new_upper);
+                eta_decrease(&inst, &mut new_plan, *event);
+            }
+            AtomicOp::EtaIncrease { event, new_upper } => {
+                let lower = inst.event(*event).lower.min(*new_upper);
+                inst.set_event_bounds(*event, lower, *new_upper);
+                // Pure addition: fill the new capacity, no negative
+                // impact possible.
+                repair::fill_event_to_upper(&inst, &mut new_plan, *event);
+            }
+            AtomicOp::XiIncrease { event, new_lower } => {
+                let upper = inst.event(*event).upper.max(*new_lower);
+                inst.set_event_bounds(*event, *new_lower, upper);
+                xi_increase(&inst, &mut new_plan, *event);
+            }
+            AtomicOp::XiDecrease { event, new_lower } => {
+                // The old plan remains feasible: nothing to repair.
+                let upper = inst.event(*event).upper;
+                inst.set_event_bounds(*event, *new_lower, upper);
+            }
+            AtomicOp::TimeChange { event, new_time } => {
+                inst.set_event_time(*event, *new_time);
+                time_change(&inst, &mut new_plan, *event);
+            }
+            AtomicOp::LocationChange {
+                event,
+                new_location,
+            } => {
+                inst.set_event_location(*event, *new_location);
+                // Same repair loop: the removal pass inside
+                // `time_change` re-checks both conflicts and budgets,
+                // and only budgets can newly fail here.
+                time_change(&inst, &mut new_plan, *event);
+            }
+            AtomicOp::NewEvent { event, utilities } => {
+                let id = inst.add_event(*event, utilities);
+                new_plan.resize_events(inst.n_events());
+                // Reduction per the paper: raise the lower bound from 0
+                // (Algorithm 4), then fill spare capacity to η.
+                if inst.event(id).lower > 0 {
+                    xi_increase(&inst, &mut new_plan, id);
+                }
+                repair::fill_event_to_upper(&inst, &mut new_plan, id);
+            }
+            AtomicOp::UtilityChange {
+                user,
+                event,
+                new_utility,
+            } => {
+                inst.set_utility(*user, *event, *new_utility);
+                if *new_utility <= 0.0 && new_plan.contains(*user, *event) {
+                    // The user can no longer attend (the paper's
+                    // availability example): remove, restore the lower
+                    // bound if broken, and let the user refill.
+                    new_plan.remove(*user, *event);
+                    if new_plan.attendance(*event) < inst.event(*event).lower {
+                        xi_increase(&inst, &mut new_plan, *event);
+                    }
+                    filler::fill_to_upper(&inst, &mut new_plan, Some(&[*user]));
+                } else if *new_utility > 0.0 && !new_plan.contains(*user, *event) {
+                    // Higher interest: take the event if it simply fits.
+                    if new_plan.attendance(*event) < inst.event(*event).upper
+                        && inst.can_attend_with(*user, new_plan.user_plan(*user), *event)
+                    {
+                        new_plan.add(*user, *event);
+                    }
+                }
+            }
+            AtomicOp::FeeChange { event, new_fee } => {
+                let old_fee = inst.event(*event).fee;
+                inst.set_event_fee(*event, *new_fee);
+                if *new_fee > old_fee {
+                    // Same repair loop as a venue move: the removal pass
+                    // re-checks budgets (now including the higher fee)
+                    // and refills toward ξ/η.
+                    time_change(&inst, &mut new_plan, *event);
+                } else if *new_fee < old_fee {
+                    // Cheaper event: purely additive refill.
+                    repair::fill_event_to_upper(&inst, &mut new_plan, *event);
+                }
+            }
+            AtomicOp::BudgetChange { user, new_budget } => {
+                let old_budget = inst.user(*user).budget;
+                inst.set_budget(*user, *new_budget);
+                if *new_budget < old_budget {
+                    let dropped = repair::shed_to_budget(&inst, &mut new_plan, *user);
+                    for e in dropped {
+                        if new_plan.attendance(e) < inst.event(e).lower {
+                            xi_increase(&inst, &mut new_plan, e);
+                        }
+                    }
+                    // A cheaper event might still fit the shrunken
+                    // budget.
+                    filler::fill_to_upper(&inst, &mut new_plan, Some(&[*user]));
+                } else if *new_budget > old_budget {
+                    filler::fill_to_upper(&inst, &mut new_plan, Some(&[*user]));
+                }
+            }
+        }
+
+        let utility = new_plan.total_utility(&inst);
+        let shortfall = inst
+            .event_ids()
+            .filter(|&e| new_plan.attendance(e) < inst.event(e).lower)
+            .collect();
+        IncrementalOutcome {
+            dif: dif(plan, &new_plan),
+            utility,
+            shortfall,
+            instance: inst,
+            plan: new_plan,
+        }
+    }
+
+    /// Applies a sequence of atomic operations one at a time — the
+    /// paper's treatment for multiple changes ("the case where multiple
+    /// atomic operations take place is treated here as running the
+    /// incremental version multiple times", Section II-B).
+    ///
+    /// [`BatchOutcome::step_difs`] holds each run's individual `dif`;
+    /// [`BatchOutcome::net_dif`] compares the final plan against the
+    /// *original* one, which is what users ultimately experience.
+    pub fn apply_batch(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        ops: &[AtomicOp],
+    ) -> BatchOutcome {
+        let mut inst = instance.clone();
+        let mut cur = plan.clone();
+        let mut step_difs = Vec::with_capacity(ops.len());
+        for op in ops {
+            let out = self.apply(&inst, &cur, op);
+            step_difs.push(out.dif);
+            inst = out.instance;
+            cur = out.plan;
+        }
+        let utility = cur.total_utility(&inst);
+        let shortfall = inst
+            .event_ids()
+            .filter(|&e| cur.attendance(e) < inst.event(e).lower)
+            .collect();
+        // The original plan may cover fewer events than the final one
+        // (NewEvent ops); `dif` handles that asymmetry.
+        let net_dif = dif(plan, &cur);
+        BatchOutcome {
+            instance: inst,
+            plan: cur,
+            net_dif,
+            step_difs,
+            utility,
+            shortfall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{User, UtilityMatrix};
+    use crate::solver::{GepcSolver, GreedySolver};
+
+    /// A 4-user, 3-event instance with room to maneuver.
+    fn setup() -> (Instance, Plan) {
+        let users = vec![
+            User::new(Point::new(0.0, 0.0), 100.0),
+            User::new(Point::new(0.0, 1.0), 100.0),
+            User::new(Point::new(0.0, 2.0), 100.0),
+            User::new(Point::new(0.0, 3.0), 100.0),
+        ];
+        let events = vec![
+            Event::new(Point::new(1.0, 0.0), 1, 3, TimeInterval::new(0, 59)),
+            Event::new(Point::new(1.0, 1.0), 1, 4, TimeInterval::new(60, 119)),
+            Event::new(Point::new(1.0, 2.0), 0, 2, TimeInterval::new(120, 179)),
+        ];
+        let utilities = UtilityMatrix::from_rows(vec![
+            vec![0.9, 0.6, 0.3],
+            vec![0.7, 0.8, 0.5],
+            vec![0.5, 0.4, 0.9],
+            vec![0.3, 0.7, 0.6],
+        ]);
+        let instance = Instance::new(users, events, utilities);
+        let plan = GreedySolver::seeded(11).solve(&instance).plan;
+        (instance, plan)
+    }
+
+    #[test]
+    fn all_ops_preserve_hard_feasibility() {
+        let (instance, plan) = setup();
+        let planner = IncrementalPlanner;
+        let ops = vec![
+            AtomicOp::EtaDecrease {
+                event: EventId(0),
+                new_upper: 1,
+            },
+            AtomicOp::EtaIncrease {
+                event: EventId(2),
+                new_upper: 4,
+            },
+            AtomicOp::XiIncrease {
+                event: EventId(2),
+                new_lower: 2,
+            },
+            AtomicOp::XiDecrease {
+                event: EventId(0),
+                new_lower: 0,
+            },
+            AtomicOp::TimeChange {
+                event: EventId(0),
+                new_time: TimeInterval::new(60, 119),
+            },
+            AtomicOp::LocationChange {
+                event: EventId(1),
+                new_location: Point::new(5.0, 5.0),
+            },
+            AtomicOp::NewEvent {
+                event: Event::new(Point::new(2.0, 2.0), 1, 3, TimeInterval::new(200, 260)),
+                utilities: vec![0.5, 0.6, 0.7, 0.8],
+            },
+            AtomicOp::UtilityChange {
+                user: UserId(0),
+                event: EventId(0),
+                new_utility: 0.0,
+            },
+            AtomicOp::BudgetChange {
+                user: UserId(1),
+                new_budget: 2.5,
+            },
+        ];
+        for op in ops {
+            let out = planner.apply(&instance, &plan, &op);
+            let v = out.plan.validate(&out.instance);
+            assert!(v.hard_ok(), "op {op:?} broke the plan: {:?}", v.violations);
+        }
+    }
+
+    #[test]
+    fn eta_decrease_dif_is_minimal() {
+        let (instance, plan) = setup();
+        let n0 = plan.attendance(EventId(0));
+        assert!(n0 >= 2, "test premise: e0 has ≥ 2 attendees");
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::EtaDecrease {
+                event: EventId(0),
+                new_upper: 1,
+            },
+        );
+        assert_eq!(out.dif, (n0 - 1) as usize);
+    }
+
+    #[test]
+    fn xi_decrease_never_changes_plan() {
+        let (instance, plan) = setup();
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::XiDecrease {
+                event: EventId(1),
+                new_lower: 0,
+            },
+        );
+        assert_eq!(out.dif, 0);
+        assert_eq!(out.plan, plan);
+    }
+
+    #[test]
+    fn eta_increase_only_adds() {
+        let (instance, plan) = setup();
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::EtaIncrease {
+                event: EventId(2),
+                new_upper: 4,
+            },
+        );
+        assert_eq!(out.dif, 0);
+        assert!(out.utility >= plan.total_utility(&instance) - 1e-9);
+    }
+
+    #[test]
+    fn new_event_gets_filled() {
+        let (instance, plan) = setup();
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::NewEvent {
+                event: Event::new(Point::new(0.5, 1.5), 2, 4, TimeInterval::new(300, 360)),
+                utilities: vec![0.9, 0.9, 0.9, 0.9],
+            },
+        );
+        let new_id = EventId(3);
+        assert!(out.plan.attendance(new_id) >= 2, "lower bound met");
+        assert!(out.shortfall.is_empty());
+        // Nothing needed to be taken away: the event is conflict-free.
+        assert_eq!(out.dif, 0);
+    }
+
+    #[test]
+    fn utility_drop_to_zero_removes_assignment() {
+        let (instance, plan) = setup();
+        // Find a user attending e1.
+        let victim = plan.attendees(EventId(1))[0];
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::UtilityChange {
+                user: victim,
+                event: EventId(1),
+                new_utility: 0.0,
+            },
+        );
+        assert!(!out.plan.contains(victim, EventId(1)));
+        assert!(out.dif >= 1);
+        assert!(out.plan.validate(&out.instance).hard_ok());
+    }
+
+    #[test]
+    fn budget_increase_only_adds() {
+        let (mut instance, _) = setup();
+        instance.set_budget(UserId(0), 2.0); // tight
+        let plan = GreedySolver::seeded(11).solve(&instance).plan;
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::BudgetChange {
+                user: UserId(0),
+                new_budget: 100.0,
+            },
+        );
+        assert_eq!(out.dif, 0);
+        assert!(out.utility >= plan.total_utility(&instance) - 1e-9);
+    }
+
+    #[test]
+    fn budget_decrease_sheds_and_repairs() {
+        let (instance, plan) = setup();
+        let u = UserId(1);
+        assert!(!plan.user_plan(u).is_empty());
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::BudgetChange {
+                user: u,
+                new_budget: 0.0,
+            },
+        );
+        assert!(out.plan.user_plan(u).is_empty());
+        assert!(out.plan.validate(&out.instance).hard_ok());
+        assert_eq!(out.dif, plan.user_plan(u).len());
+    }
+
+    #[test]
+    fn batch_application_equals_sequential() {
+        let (instance, plan) = setup();
+        let ops = vec![
+            AtomicOp::EtaDecrease {
+                event: EventId(0),
+                new_upper: 1,
+            },
+            AtomicOp::XiIncrease {
+                event: EventId(2),
+                new_lower: 2,
+            },
+            AtomicOp::BudgetChange {
+                user: UserId(1),
+                new_budget: 3.0,
+            },
+        ];
+        let planner = IncrementalPlanner;
+        let batch = planner.apply_batch(&instance, &plan, &ops);
+        // Manual sequential application must agree.
+        let mut inst = instance.clone();
+        let mut cur = plan.clone();
+        for op in &ops {
+            let out = planner.apply(&inst, &cur, op);
+            inst = out.instance;
+            cur = out.plan;
+        }
+        assert_eq!(batch.plan, cur);
+        assert_eq!(batch.instance, inst);
+        assert_eq!(batch.step_difs.len(), 3);
+        assert!(batch.plan.validate(&batch.instance).hard_ok());
+        // Net dif never exceeds the sum of step difs.
+        assert!(batch.net_dif <= batch.step_difs.iter().sum());
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let (instance, plan) = setup();
+        let batch = IncrementalPlanner.apply_batch(&instance, &plan, &[]);
+        assert_eq!(batch.plan, plan);
+        assert_eq!(batch.net_dif, 0);
+        assert!(batch.step_difs.is_empty());
+    }
+
+    #[test]
+    fn fee_hike_sheds_unaffordable_attendees() {
+        let (mut instance, _) = setup();
+        // Make budgets tight enough that a fee hike matters.
+        for u in instance.user_ids() {
+            instance.set_budget(u, 6.0);
+        }
+        let plan = GreedySolver::seeded(11).solve(&instance).plan;
+        let e = EventId(0);
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::FeeChange {
+                event: e,
+                new_fee: 5.0,
+            },
+        );
+        let v = out.plan.validate(&out.instance);
+        assert!(v.hard_ok(), "{:?}", v.violations);
+        // Every remaining attendee can still afford route + fee.
+        for u in out.plan.attendees(e) {
+            assert!(
+                out.plan.travel_cost(&out.instance, u)
+                    <= out.instance.user(u).budget + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn fee_drop_only_adds() {
+        let (mut instance, _) = setup();
+        instance.set_event_fee(EventId(2), 150.0); // above every budget
+        let plan = GreedySolver::seeded(11).solve(&instance).plan;
+        assert_eq!(plan.attendance(EventId(2)), 0);
+        let out = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::FeeChange {
+                event: EventId(2),
+                new_fee: 0.0,
+            },
+        );
+        assert_eq!(out.dif, 0);
+        assert!(out.plan.attendance(EventId(2)) > 0, "refilled once affordable");
+        assert!(out.plan.validate(&out.instance).hard_ok());
+    }
+
+    #[test]
+    fn inputs_are_not_mutated() {
+        let (instance, plan) = setup();
+        let inst_before = instance.clone();
+        let plan_before = plan.clone();
+        let _ = IncrementalPlanner.apply(
+            &instance,
+            &plan,
+            &AtomicOp::EtaDecrease {
+                event: EventId(0),
+                new_upper: 0,
+            },
+        );
+        assert_eq!(instance, inst_before);
+        assert_eq!(plan, plan_before);
+    }
+}

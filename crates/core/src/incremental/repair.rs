@@ -1,0 +1,285 @@
+//! Shared repair primitives used by the IEP algorithms.
+
+use crate::model::{EventId, Instance, UserId};
+use crate::plan::Plan;
+
+/// Result of [`transfer_users_to`].
+#[derive(Debug, Clone, Default)]
+pub struct TransferResult {
+    /// Users moved to the target event (each lost one source event).
+    pub moved: Vec<UserId>,
+    /// Whether the target reached its requested attendance.
+    pub reached: bool,
+}
+
+/// The heart of Algorithm 4: raise `event`'s attendance to `target`
+/// by transferring users away from events that have spare participants
+/// (`n_{j'} > ξ_{j'}`), choosing transfers by largest utility delta
+/// `Δ = μ(u, event) − μ(u, source)`.
+///
+/// The paper stores the Δ's in a heap and eagerly deletes entries
+/// invalidated by each transfer (Algorithm 4, lines 12–16); we use the
+/// equivalent lazy strategy — every popped entry is re-validated
+/// against the current plan, which keeps the code free of bookkeeping
+/// index maps while performing the same transfers in the same order.
+pub fn transfer_users_to(
+    instance: &Instance,
+    plan: &mut Plan,
+    event: EventId,
+    target: u32,
+) -> TransferResult {
+    let mut result = TransferResult::default();
+    if plan.attendance(event) >= target {
+        result.reached = true;
+        return result;
+    }
+
+    // Build the Δ heap over (source event, attendee) pairs.
+    #[derive(PartialEq)]
+    struct Entry {
+        delta: f64,
+        user: UserId,
+        source: EventId,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.delta
+                .total_cmp(&other.delta)
+                .then_with(|| std::cmp::Reverse(self.user).cmp(&std::cmp::Reverse(other.user)))
+                .then_with(|| {
+                    std::cmp::Reverse(self.source).cmp(&std::cmp::Reverse(other.source))
+                })
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::new();
+    for source in instance.event_ids() {
+        if source == event {
+            continue;
+        }
+        if plan.attendance(source) <= instance.event(source).lower {
+            continue; // no spare users
+        }
+        for user in plan.attendees(source) {
+            if plan.contains(user, event) || instance.utility(user, event) <= 0.0 {
+                continue;
+            }
+            heap.push(Entry {
+                delta: instance.utility(user, event) - instance.utility(user, source),
+                user,
+                source,
+            });
+        }
+    }
+
+    while plan.attendance(event) < target {
+        let Some(Entry { user, source, .. }) = heap.pop() else {
+            break;
+        };
+        // Lazy re-validation.
+        if !plan.contains(user, source)
+            || plan.contains(user, event)
+            || plan.attendance(source) <= instance.event(source).lower
+            || plan.attendance(event) >= instance.event(event).upper
+        {
+            continue;
+        }
+        // Check the swap: replace `source` by `event` in the user's plan.
+        let rest: Vec<EventId> = plan
+            .user_plan(user)
+            .iter()
+            .copied()
+            .filter(|&e| e != source)
+            .collect();
+        if !instance.can_attend_with(user, &rest, event) {
+            continue;
+        }
+        plan.remove(user, source);
+        plan.add(user, event);
+        result.moved.push(user);
+    }
+    result.reached = plan.attendance(event) >= target;
+    result
+}
+
+/// Adds users to `event` in descending utility order until its upper
+/// bound `η` is hit or no further user qualifies (no conflicts, within
+/// budget, positive utility). Returns the users added. This is the
+/// "order the other users' utility scores decreasingly" refill loop of
+/// Algorithm 5 (lines 8–13) and the repair step of the `η`-increase /
+/// `NewEvent` reductions.
+pub fn fill_event_to_upper(instance: &Instance, plan: &mut Plan, event: EventId) -> Vec<UserId> {
+    let upper = instance.event(event).upper;
+    let mut candidates: Vec<UserId> = instance
+        .user_ids()
+        .filter(|&u| !plan.contains(u, event) && instance.utility(u, event) > 0.0)
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        instance
+            .utility(b, event)
+            .total_cmp(&instance.utility(a, event))
+            .then(a.cmp(&b))
+    });
+    let mut added = Vec::new();
+    for u in candidates {
+        if plan.attendance(event) >= upper {
+            break;
+        }
+        if instance.can_attend_with(u, plan.user_plan(u), event) {
+            plan.add(u, event);
+            added.push(u);
+        }
+    }
+    added
+}
+
+/// Removes the lowest-utility events from `user`'s plan until their
+/// travel cost fits the (possibly reduced) budget. Returns the removed
+/// events (each a negative-impact unit).
+pub fn shed_to_budget(instance: &Instance, plan: &mut Plan, user: UserId) -> Vec<EventId> {
+    let mut removed = Vec::new();
+    while plan.travel_cost(instance, user) > instance.user(user).budget + 1e-9 {
+        let Some(&victim) = plan.user_plan(user).iter().min_by(|&&a, &&b| {
+            instance
+                .utility(user, a)
+                .total_cmp(&instance.utility(user, b))
+                .then(a.cmp(&b))
+        }) else {
+            break;
+        };
+        plan.remove(user, victim);
+        removed.push(victim);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, TimeInterval, User, UtilityMatrix};
+    use epplan_geo::Point;
+
+    /// 3 users, 3 events. All events pairwise non-conflicting, close by.
+    fn inst() -> Instance {
+        let users = vec![
+            User::new(Point::new(0.0, 0.0), 100.0),
+            User::new(Point::new(0.0, 1.0), 100.0),
+            User::new(Point::new(0.0, 2.0), 100.0),
+        ];
+        let events = vec![
+            Event::new(Point::new(1.0, 0.0), 0, 3, TimeInterval::new(0, 59)),
+            Event::new(Point::new(1.0, 1.0), 0, 3, TimeInterval::new(60, 119)),
+            Event::new(Point::new(1.0, 2.0), 0, 3, TimeInterval::new(120, 179)),
+        ];
+        let utilities = UtilityMatrix::from_rows(vec![
+            vec![0.9, 0.5, 0.3],
+            vec![0.4, 0.8, 0.6],
+            vec![0.2, 0.3, 0.7],
+        ]);
+        Instance::new(users, events, utilities)
+    }
+
+    #[test]
+    fn transfer_picks_largest_delta() {
+        let instance = inst();
+        let mut plan = Plan::for_instance(&instance);
+        // e1 has 2 attendees, lower bound 0 → both spare.
+        plan.add(UserId(0), EventId(1)); // Δ to e0: 0.9−0.5 = 0.4
+        plan.add(UserId(1), EventId(1)); // Δ to e0: 0.4−0.8 = −0.4
+        let r = transfer_users_to(&instance, &mut plan, EventId(0), 1);
+        assert!(r.reached);
+        assert_eq!(r.moved, vec![UserId(0)]);
+        assert!(plan.contains(UserId(0), EventId(0)));
+        assert!(!plan.contains(UserId(0), EventId(1)));
+        assert!(plan.contains(UserId(1), EventId(1)));
+    }
+
+    #[test]
+    fn transfer_respects_source_lower_bound() {
+        let mut instance = inst();
+        instance.set_event_bounds(EventId(1), 2, 3); // ξ=2
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(1));
+        plan.add(UserId(1), EventId(1)); // n=ξ=2: no spare users
+        let r = transfer_users_to(&instance, &mut plan, EventId(0), 1);
+        assert!(!r.reached);
+        assert!(r.moved.is_empty());
+    }
+
+    #[test]
+    fn transfer_stops_when_target_reached() {
+        let instance = inst();
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(1));
+        plan.add(UserId(1), EventId(1));
+        plan.add(UserId(2), EventId(1));
+        let r = transfer_users_to(&instance, &mut plan, EventId(0), 2);
+        assert!(r.reached);
+        assert_eq!(r.moved.len(), 2);
+        assert_eq!(plan.attendance(EventId(0)), 2);
+        assert_eq!(plan.attendance(EventId(1)), 1);
+    }
+
+    #[test]
+    fn transfer_skips_zero_utility_users() {
+        let mut instance = inst();
+        instance.set_utility(UserId(0), EventId(0), 0.0);
+        instance.set_utility(UserId(1), EventId(0), 0.0);
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(1));
+        plan.add(UserId(1), EventId(1));
+        let r = transfer_users_to(&instance, &mut plan, EventId(0), 1);
+        assert!(!r.reached);
+    }
+
+    #[test]
+    fn fill_event_orders_by_utility() {
+        let mut instance = inst();
+        instance.set_event_bounds(EventId(0), 0, 2);
+        let mut plan = Plan::for_instance(&instance);
+        let added = fill_event_to_upper(&instance, &mut plan, EventId(0));
+        // μ to e0: u0 0.9, u1 0.4, u2 0.2 → capacity 2 takes u0, u1.
+        assert_eq!(added, vec![UserId(0), UserId(1)]);
+        assert_eq!(plan.attendance(EventId(0)), 2);
+    }
+
+    #[test]
+    fn fill_event_respects_conflicts() {
+        let mut instance = inst();
+        instance.set_event_time(EventId(1), TimeInterval::new(0, 59)); // conflicts e0
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(1));
+        let added = fill_event_to_upper(&instance, &mut plan, EventId(0));
+        assert!(!added.contains(&UserId(0)));
+        assert!(added.contains(&UserId(1)));
+    }
+
+    #[test]
+    fn shed_to_budget_removes_lowest_utility() {
+        let mut instance = inst();
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(0));
+        plan.add(UserId(0), EventId(1));
+        plan.add(UserId(0), EventId(2));
+        instance.set_budget(UserId(0), 5.0);
+        // Route 0→e0→e1→e2→0 = 1 + 1 + 1 + sqrt(1+4)=2.24 → 5.24 > 5.
+        let removed = shed_to_budget(&instance, &mut plan, UserId(0));
+        assert!(!removed.is_empty());
+        assert_eq!(removed[0], EventId(2), "lowest utility (0.3) goes first");
+        assert!(plan.travel_cost(&instance, UserId(0)) <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn shed_noop_when_within_budget() {
+        let instance = inst();
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(0));
+        assert!(shed_to_budget(&instance, &mut plan, UserId(0)).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Core library for complex event-participant planning.
+//!
+//! Implements the two problems of *"Complex Event-Participant Planning
+//! and Its Incremental Variant"* (Cheng, Yuan, Chen, Giraud-Carrier,
+//! Wang — ICDE 2017):
+//!
+//! * **GEPC** (Global Event Planning with Constraints, Definition 1):
+//!   find a global plan assigning users to events that maximizes total
+//!   utility subject to per-user time-conflict freedom, per-user travel
+//!   budgets, and per-event participation upper (`η`) **and lower
+//!   (`ξ`)** bounds. See [`solver`] for the paper's two approximation
+//!   algorithms (GAP-based, Section III-A; greedy, Section III-B) and
+//!   an exact reference solver.
+//! * **IEP** (Incremental Event Planning, Definition 2): after an
+//!   atomic change to a user or event, find a new plan of maximum
+//!   utility among those minimizing the *negative impact*
+//!   `dif(P, P′) = Σ_i |P_i \ P′_i|`. See [`incremental`] for the three
+//!   core repair algorithms (Algorithms 3–5) and the reductions of all
+//!   other atomic operations onto them.
+//!
+//! The [`model`] module holds the EBSN data model (users, events,
+//! utility matrix, instance); [`plan`] holds plans, constraint
+//! validation and metrics; [`analysis`] computes the `Uc` quantities of
+//! the paper's approximation-ratio bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod incremental;
+pub mod model;
+pub mod plan;
+pub mod solver;

@@ -1,0 +1,155 @@
+use crate::model::{Event, EventId, Instance, TimeInterval, User, UserId, UtilityMatrix};
+use epplan_geo::Point;
+
+/// Fluent constructor for [`Instance`]s.
+///
+/// The positional `Instance::new(users, events, matrix)` constructor is
+/// error-prone for hand-built scenarios (tests, examples, seed data):
+/// utilities must be entered in exactly the right shape and order. The
+/// builder lets callers add users and events incrementally and set
+/// utilities by id, with everything else defaulting to zero.
+///
+/// ```
+/// use epplan_core::model::{InstanceBuilder, TimeInterval};
+/// use epplan_geo::Point;
+///
+/// let mut b = InstanceBuilder::new();
+/// let alice = b.user(Point::new(0.0, 0.0), 20.0);
+/// let bob = b.user(Point::new(5.0, 0.0), 15.0);
+/// let yoga = b.event(Point::new(1.0, 1.0), 1, 10, TimeInterval::new(420, 480));
+/// b.utility(alice, yoga, 0.8);
+/// b.utility(bob, yoga, 0.4);
+/// let instance = b.build();
+/// assert_eq!(instance.n_users(), 2);
+/// assert_eq!(instance.utility(alice, yoga), 0.8);
+/// assert_eq!(instance.utility(bob, yoga), 0.4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    users: Vec<User>,
+    events: Vec<Event>,
+    utilities: Vec<(UserId, EventId, f64)>,
+}
+
+impl InstanceBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a user, returning their id.
+    pub fn user(&mut self, location: Point, budget: f64) -> UserId {
+        self.users.push(User::new(location, budget));
+        UserId(self.users.len() as u32 - 1)
+    }
+
+    /// Adds a fee-free event, returning its id.
+    pub fn event(
+        &mut self,
+        location: Point,
+        lower: u32,
+        upper: u32,
+        time: TimeInterval,
+    ) -> EventId {
+        self.events.push(Event::new(location, lower, upper, time));
+        EventId(self.events.len() as u32 - 1)
+    }
+
+    /// Adds a pre-constructed event (e.g. one with a fee).
+    pub fn event_raw(&mut self, event: Event) -> EventId {
+        self.events.push(event);
+        EventId(self.events.len() as u32 - 1)
+    }
+
+    /// Records `μ(user, event) = value`. Later writes win. Panics at
+    /// [`build`](Self::build) time if an id is out of range.
+    pub fn utility(&mut self, user: UserId, event: EventId, value: f64) -> &mut Self {
+        self.utilities.push((user, event, value));
+        self
+    }
+
+    /// Number of users added so far.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of events added so far.
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Finalizes the instance. Unset utilities default to 0 ("cannot
+    /// participate").
+    pub fn build(self) -> Instance {
+        let mut matrix = UtilityMatrix::zeros(self.users.len(), self.events.len());
+        for (u, e, v) in self.utilities {
+            assert!(
+                u.index() < self.users.len(),
+                "utility references unknown user {u}"
+            );
+            assert!(
+                e.index() < self.events.len(),
+                "utility references unknown event {e}"
+            );
+            matrix.set(u, e, v);
+        }
+        Instance::new(self.users, self.events, matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_incrementally() {
+        let mut b = InstanceBuilder::new();
+        let u0 = b.user(Point::new(0.0, 0.0), 10.0);
+        let u1 = b.user(Point::new(1.0, 0.0), 12.0);
+        let e0 = b.event(Point::new(0.0, 1.0), 0, 5, TimeInterval::new(0, 60));
+        assert_eq!(u0, UserId(0));
+        assert_eq!(u1, UserId(1));
+        assert_eq!(e0, EventId(0));
+        b.utility(u0, e0, 0.5);
+        let inst = b.build();
+        assert_eq!(inst.utility(UserId(0), EventId(0)), 0.5);
+        assert_eq!(inst.utility(UserId(1), EventId(0)), 0.0);
+    }
+
+    #[test]
+    fn later_utility_writes_win() {
+        let mut b = InstanceBuilder::new();
+        let u = b.user(Point::new(0.0, 0.0), 1.0);
+        let e = b.event(Point::new(0.0, 0.0), 0, 1, TimeInterval::new(0, 1));
+        b.utility(u, e, 0.2);
+        b.utility(u, e, 0.9);
+        assert_eq!(b.build().utility(u, e), 0.9);
+    }
+
+    #[test]
+    fn event_with_fee() {
+        let mut b = InstanceBuilder::new();
+        b.user(Point::new(0.0, 0.0), 10.0);
+        let e = b.event_raw(
+            Event::new(Point::new(0.0, 0.0), 0, 3, TimeInterval::new(0, 30)).with_fee(2.5),
+        );
+        let inst = b.build();
+        assert_eq!(inst.event(e).fee, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown event")]
+    fn out_of_range_utility_panics() {
+        let mut b = InstanceBuilder::new();
+        let u = b.user(Point::new(0.0, 0.0), 1.0);
+        b.utility(u, EventId(3), 0.5);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_instance() {
+        let inst = InstanceBuilder::new().build();
+        assert_eq!(inst.n_users(), 0);
+        assert_eq!(inst.n_events(), 0);
+    }
+}

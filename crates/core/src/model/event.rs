@@ -1,0 +1,120 @@
+use crate::model::TimeInterval;
+use epplan_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Index of an event within an [`crate::model::Instance`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The index as `usize` for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An event: the paper's 5-tuple `e_j = (l_{e_j}, ξ_j, η_j, t^s_j,
+/// t^t_j)` (Section II), optionally extended with an admission fee.
+///
+/// The fee implements the paper's closing suggestion (Section VII):
+/// "such costs could take into account not only travel, but also
+/// potential costs associated with attending events (e.g., admission
+/// fees) … naturally rolled into travel costs and thus treated
+/// uniformly". A user's cost `D_i` is their route length **plus** the
+/// fees of the events in their plan, all charged against the same
+/// budget `B_i`; every algorithm inherits the extension for free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Venue location.
+    pub location: Point,
+    /// Participation lower bound `ξ_j`: the event cannot be held with
+    /// fewer assigned participants (Definition 1, constraint 4).
+    pub lower: u32,
+    /// Participation upper bound `η_j` (Definition 1, constraint 3).
+    pub upper: u32,
+    /// Holding time window.
+    pub time: TimeInterval,
+    /// Admission fee, charged against the attendee's budget alongside
+    /// the travel cost. Zero in the paper's base model.
+    #[serde(default)]
+    pub fee: f64,
+}
+
+impl Event {
+    /// Creates a fee-free event; panics unless `lower ≤ upper`.
+    pub fn new(location: Point, lower: u32, upper: u32, time: TimeInterval) -> Self {
+        assert!(
+            lower <= upper,
+            "participation lower bound {lower} exceeds upper bound {upper}"
+        );
+        Event {
+            location,
+            lower,
+            upper,
+            time,
+            fee: 0.0,
+        }
+    }
+
+    /// Sets an admission fee (builder style); panics on negative fees.
+    pub fn with_fee(mut self, fee: f64) -> Self {
+        assert!(fee >= 0.0, "negative admission fee");
+        self.fee = fee;
+        self
+    }
+
+    /// The paper's conflict relation applied to two events.
+    pub fn conflicts_with(&self, other: &Event) -> bool {
+        self.time.conflicts_with(&other.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_index() {
+        let id = EventId(3);
+        assert_eq!(id.to_string(), "e3");
+        assert_eq!(id.index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        Event::new(Point::new(0.0, 0.0), 5, 3, TimeInterval::new(0, 60));
+    }
+
+    #[test]
+    fn fee_defaults_to_zero_and_builds() {
+        let e = Event::new(Point::new(0.0, 0.0), 0, 5, TimeInterval::new(0, 60));
+        assert_eq!(e.fee, 0.0);
+        let paid = e.with_fee(12.5);
+        assert_eq!(paid.fee, 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative admission fee")]
+    fn negative_fee_panics() {
+        Event::new(Point::new(0.0, 0.0), 0, 5, TimeInterval::new(0, 60)).with_fee(-1.0);
+    }
+
+    #[test]
+    fn conflicts_delegate_to_time() {
+        let a = Event::new(Point::new(0.0, 0.0), 0, 5, TimeInterval::new(0, 60));
+        let b = Event::new(Point::new(1.0, 1.0), 0, 5, TimeInterval::new(30, 90));
+        let c = Event::new(Point::new(2.0, 2.0), 0, 5, TimeInterval::new(61, 90));
+        assert!(a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&c));
+    }
+}

@@ -1,0 +1,299 @@
+use crate::model::{Event, EventId, TimeInterval, User, UserId, UtilityMatrix};
+use epplan_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A complete EBSN problem instance: the users `U`, the events `E`,
+/// and the utility matrix `μ` (Section II of the paper).
+///
+/// The instance is the single source of truth for distances, time
+/// conflicts and travel costs; plans and solvers hold only indices
+/// ([`UserId`], [`EventId`]) into it. Incremental (IEP) atomic
+/// operations mutate a cloned instance through the `set_*`/`add_event`
+/// methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    users: Vec<User>,
+    events: Vec<Event>,
+    utilities: UtilityMatrix,
+}
+
+impl Instance {
+    /// Assembles an instance; panics when the utility matrix shape
+    /// disagrees with the user/event counts.
+    pub fn new(users: Vec<User>, events: Vec<Event>, utilities: UtilityMatrix) -> Self {
+        assert_eq!(utilities.n_users(), users.len(), "utility rows ≠ users");
+        assert_eq!(utilities.n_events(), events.len(), "utility cols ≠ events");
+        Instance {
+            users,
+            events,
+            utilities,
+        }
+    }
+
+    /// Number of users `n`.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of events `m`.
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// All user ids `u_0 … u_{n−1}`.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> {
+        (0..self.users.len() as u32).map(UserId)
+    }
+
+    /// All event ids `e_0 … e_{m−1}`.
+    pub fn event_ids(&self) -> impl Iterator<Item = EventId> {
+        (0..self.events.len() as u32).map(EventId)
+    }
+
+    /// The user with id `u`.
+    #[inline]
+    pub fn user(&self, u: UserId) -> &User {
+        &self.users[u.index()]
+    }
+
+    /// The event with id `e`.
+    #[inline]
+    pub fn event(&self, e: EventId) -> &Event {
+        &self.events[e.index()]
+    }
+
+    /// All users as a slice.
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// All events as a slice.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// `μ(u, e)`.
+    #[inline]
+    pub fn utility(&self, u: UserId, e: EventId) -> f64 {
+        self.utilities.get(u, e)
+    }
+
+    /// The full utility matrix.
+    pub fn utilities(&self) -> &UtilityMatrix {
+        &self.utilities
+    }
+
+    /// Euclidean distance from a user's origin to an event venue.
+    #[inline]
+    pub fn distance(&self, u: UserId, e: EventId) -> f64 {
+        self.user(u).location.distance(&self.event(e).location)
+    }
+
+    /// Euclidean distance between two event venues.
+    #[inline]
+    pub fn event_distance(&self, a: EventId, b: EventId) -> f64 {
+        self.event(a).location.distance(&self.event(b).location)
+    }
+
+    /// The paper's time-conflict relation on two events.
+    #[inline]
+    pub fn conflicts(&self, a: EventId, b: EventId) -> bool {
+        self.event(a).conflicts_with(self.event(b))
+    }
+
+    /// Travel cost `D` of attending `events` (any order): the route
+    /// origin → events in start-time order → origin (Section II,
+    /// matching the worked example `D_1 = d(u_1,e_1) + d(e_1,e_2) +
+    /// d(e_2,u_1)`), plus any admission fees (the Section VII
+    /// extension; zero in the base model).
+    pub fn travel_cost(&self, u: UserId, events: &[EventId]) -> f64 {
+        let fees: f64 = events.iter().map(|&e| self.event(e).fee).sum();
+        fees + match events.len() {
+            0 => 0.0,
+            1 => 2.0 * self.distance(u, events[0]),
+            _ => {
+                let mut order: Vec<EventId> = events.to_vec();
+                order.sort_by_key(|e| self.event(*e).time);
+                let mut cost = self.distance(u, order[0]);
+                for w in order.windows(2) {
+                    cost += self.event_distance(w[0], w[1]);
+                }
+                cost + self.distance(u, *order.last().expect("non-empty"))
+            }
+        }
+    }
+
+    /// Travel cost if `extra` were added to `events`.
+    pub fn travel_cost_with(&self, u: UserId, events: &[EventId], extra: EventId) -> f64 {
+        let mut all = Vec::with_capacity(events.len() + 1);
+        all.extend_from_slice(events);
+        all.push(extra);
+        self.travel_cost(u, &all)
+    }
+
+    /// Whether `extra` can be added to `events` without any time
+    /// conflict and within `u`'s budget, with positive utility
+    /// (`μ > 0`, since a zero score means "cannot participate").
+    pub fn can_attend_with(&self, u: UserId, events: &[EventId], extra: EventId) -> bool {
+        self.utility(u, extra) > 0.0
+            && !events.iter().any(|&e| self.conflicts(e, extra))
+            && self.travel_cost_with(u, events, extra) <= self.user(u).budget + 1e-9
+    }
+
+    // ---- mutation API for IEP atomic operations ----
+
+    /// Sets `μ(u, e)`.
+    pub fn set_utility(&mut self, u: UserId, e: EventId, value: f64) {
+        self.utilities.set(u, e, value);
+    }
+
+    /// Sets a user's travel budget.
+    pub fn set_budget(&mut self, u: UserId, budget: f64) {
+        assert!(budget >= 0.0, "negative travel budget");
+        self.users[u.index()].budget = budget;
+    }
+
+    /// Sets an event's time window.
+    pub fn set_event_time(&mut self, e: EventId, time: TimeInterval) {
+        self.events[e.index()].time = time;
+    }
+
+    /// Sets an event's venue location.
+    pub fn set_event_location(&mut self, e: EventId, location: Point) {
+        self.events[e.index()].location = location;
+    }
+
+    /// Sets an event's admission fee (the Section VII extension).
+    pub fn set_event_fee(&mut self, e: EventId, fee: f64) {
+        assert!(fee >= 0.0, "negative admission fee");
+        self.events[e.index()].fee = fee;
+    }
+
+    /// Sets an event's participation bounds; panics if inverted.
+    pub fn set_event_bounds(&mut self, e: EventId, lower: u32, upper: u32) {
+        assert!(lower <= upper, "lower bound {lower} exceeds upper {upper}");
+        let ev = &mut self.events[e.index()];
+        ev.lower = lower;
+        ev.upper = upper;
+    }
+
+    /// Appends a new event with the given per-user utilities, returning
+    /// its id (the `e_j added` atomic operation).
+    pub fn add_event(&mut self, event: Event, utilities: &[f64]) -> EventId {
+        assert_eq!(utilities.len(), self.users.len(), "one utility per user");
+        self.events.push(event);
+        let id = self.utilities.push_event_column();
+        debug_assert_eq!(id.index(), self.events.len() - 1);
+        for (u, &v) in utilities.iter().enumerate() {
+            self.utilities.set(UserId(u as u32), id, v);
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_two() -> Instance {
+        let users = vec![
+            User::new(Point::new(0.0, 0.0), 10.0),
+            User::new(Point::new(10.0, 0.0), 5.0),
+        ];
+        let events = vec![
+            Event::new(Point::new(0.0, 3.0), 1, 2, TimeInterval::new(60, 120)),
+            Event::new(Point::new(4.0, 0.0), 0, 2, TimeInterval::new(180, 240)),
+        ];
+        let utilities = UtilityMatrix::from_rows(vec![vec![0.9, 0.5], vec![0.2, 0.0]]);
+        Instance::new(users, events, utilities)
+    }
+
+    #[test]
+    fn distances() {
+        let inst = two_by_two();
+        assert_eq!(inst.distance(UserId(0), EventId(0)), 3.0);
+        assert_eq!(inst.distance(UserId(0), EventId(1)), 4.0);
+        assert_eq!(inst.event_distance(EventId(0), EventId(1)), 5.0);
+    }
+
+    #[test]
+    fn travel_cost_single_event_is_round_trip() {
+        let inst = two_by_two();
+        assert_eq!(inst.travel_cost(UserId(0), &[EventId(0)]), 6.0);
+    }
+
+    #[test]
+    fn travel_cost_route_in_time_order() {
+        let inst = two_by_two();
+        // e0 (60–120) then e1 (180–240): 3 + 5 + 4 = 12 regardless of
+        // the order the ids are passed in.
+        let c1 = inst.travel_cost(UserId(0), &[EventId(0), EventId(1)]);
+        let c2 = inst.travel_cost(UserId(0), &[EventId(1), EventId(0)]);
+        assert_eq!(c1, 12.0);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn travel_cost_empty_is_zero() {
+        let inst = two_by_two();
+        assert_eq!(inst.travel_cost(UserId(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn can_attend_with_checks_everything() {
+        let inst = two_by_two();
+        // u0 alone can afford e0 (cost 6 ≤ 10).
+        assert!(inst.can_attend_with(UserId(0), &[], EventId(0)));
+        // u0 with e0 can't also afford e1 (cost 12 > 10).
+        assert!(!inst.can_attend_with(UserId(0), &[EventId(0)], EventId(1)));
+        // u1 has zero utility for e1 → cannot attend.
+        assert!(!inst.can_attend_with(UserId(1), &[], EventId(1)));
+    }
+
+    #[test]
+    fn mutation_roundtrip() {
+        let mut inst = two_by_two();
+        inst.set_budget(UserId(0), 20.0);
+        assert_eq!(inst.user(UserId(0)).budget, 20.0);
+        inst.set_utility(UserId(1), EventId(1), 0.7);
+        assert_eq!(inst.utility(UserId(1), EventId(1)), 0.7);
+        inst.set_event_bounds(EventId(0), 0, 5);
+        assert_eq!(inst.event(EventId(0)).upper, 5);
+        inst.set_event_time(EventId(1), TimeInterval::new(0, 30));
+        assert!(!inst.conflicts(EventId(0), EventId(1)));
+        inst.set_event_location(EventId(1), Point::new(0.0, 0.0));
+        assert_eq!(inst.distance(UserId(0), EventId(1)), 0.0);
+    }
+
+    #[test]
+    fn fees_are_charged_against_the_budget() {
+        let mut inst = two_by_two();
+        // u0 round trip to e0 costs 6 of budget 10; a fee of 5 breaks it.
+        assert!(inst.can_attend_with(UserId(0), &[], EventId(0)));
+        inst.set_event_fee(EventId(0), 5.0);
+        assert_eq!(inst.travel_cost(UserId(0), &[EventId(0)]), 11.0);
+        assert!(!inst.can_attend_with(UserId(0), &[], EventId(0)));
+        inst.set_event_fee(EventId(0), 4.0);
+        assert!(inst.can_attend_with(UserId(0), &[], EventId(0)));
+    }
+
+    #[test]
+    fn add_event_extends_matrix() {
+        let mut inst = two_by_two();
+        let e = inst.add_event(
+            Event::new(Point::new(1.0, 1.0), 1, 3, TimeInterval::new(300, 360)),
+            &[0.4, 0.6],
+        );
+        assert_eq!(e, EventId(2));
+        assert_eq!(inst.n_events(), 3);
+        assert_eq!(inst.utility(UserId(1), e), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "utility rows")]
+    fn shape_mismatch_panics() {
+        let users = vec![User::new(Point::new(0.0, 0.0), 1.0)];
+        let events = vec![];
+        Instance::new(users, events, UtilityMatrix::zeros(2, 0));
+    }
+}

@@ -1,0 +1,20 @@
+//! The EBSN data model: users, events, utilities, and instances.
+//!
+//! Mirrors Section II of the paper: a user is a `(location, budget)`
+//! pair; an event is a `(location, ξ, η, t^s, t^t)` 5-tuple; a utility
+//! matrix `μ(u_i, e_j) ∈ [0, 1]` links them, with `μ = 0` meaning "will
+//! not or cannot participate".
+
+mod builder;
+mod event;
+mod instance;
+mod time;
+mod user;
+mod utility;
+
+pub use builder::InstanceBuilder;
+pub use event::{Event, EventId};
+pub use instance::Instance;
+pub use time::TimeInterval;
+pub use user::{User, UserId};
+pub use utility::UtilityMatrix;

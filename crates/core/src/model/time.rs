@@ -1,0 +1,131 @@
+use serde::{Deserialize, Serialize};
+
+/// A half-open-in-spirit event time window within the planning horizon,
+/// in minutes (e.g. minutes since midnight for the paper's 1-day
+/// horizon `H`).
+///
+/// The paper's conflict rule (Definition 1, constraint 1) is strict:
+/// if `e_k` starts before `e_h`, then `e_k` must also **end strictly
+/// before `e_h` starts** — back-to-back events conflict, because
+/// "`e_4` starts when `e_2` ends leaving no time to go from `e_2` to
+/// `e_4`" (Section II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TimeInterval {
+    /// Start time `t^s`, in minutes.
+    pub start: u32,
+    /// End time `t^t`, in minutes; always `> start`.
+    pub end: u32,
+}
+
+impl TimeInterval {
+    /// Creates an interval; panics unless `start < end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start < end, "empty or inverted interval [{start}, {end})");
+        TimeInterval { start, end }
+    }
+
+    /// Duration in minutes.
+    pub fn duration(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// The paper's time-conflict relation: two events conflict unless
+    /// one ends strictly before the other starts.
+    ///
+    /// ```
+    /// use epplan_core::model::TimeInterval;
+    /// // The paper's Example 1: e1 = 1:00–3:00pm, e3 = 1:30–3:00pm
+    /// let e1 = TimeInterval::new(13 * 60, 15 * 60);
+    /// let e3 = TimeInterval::new(13 * 60 + 30, 15 * 60);
+    /// assert!(e1.conflicts_with(&e3));
+    /// // e2 = 4:00–6:00pm, e4 = 6:00–8:00pm: back-to-back conflicts.
+    /// let e2 = TimeInterval::new(16 * 60, 18 * 60);
+    /// let e4 = TimeInterval::new(18 * 60, 20 * 60);
+    /// assert!(e2.conflicts_with(&e4));
+    /// assert!(!e1.conflicts_with(&e2));
+    /// ```
+    pub fn conflicts_with(&self, other: &TimeInterval) -> bool {
+        !(self.end < other.start || other.end < self.start)
+    }
+
+    /// Whether this interval ends strictly before `other` starts
+    /// (i.e. both can appear in one plan, in this order).
+    pub fn strictly_before(&self, other: &TimeInterval) -> bool {
+        self.end < other.start
+    }
+}
+
+impl std::fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:02}:{:02}-{:02}:{:02}",
+            self.start / 60,
+            self.start % 60,
+            self.end / 60,
+            self.end % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_conflicts() {
+        let a = TimeInterval::new(60, 120);
+        let b = TimeInterval::new(90, 150);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn containment_conflicts() {
+        let a = TimeInterval::new(60, 240);
+        let b = TimeInterval::new(90, 120);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn back_to_back_conflicts() {
+        // Paper: e2 (4–6pm) conflicts with e4 (6–8pm).
+        let a = TimeInterval::new(16 * 60, 18 * 60);
+        let b = TimeInterval::new(18 * 60, 20 * 60);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn gap_does_not_conflict() {
+        let a = TimeInterval::new(60, 120);
+        let b = TimeInterval::new(121, 180);
+        assert!(!a.conflicts_with(&b));
+        assert!(a.strictly_before(&b));
+        assert!(!b.strictly_before(&a));
+    }
+
+    #[test]
+    fn self_conflicts() {
+        let a = TimeInterval::new(0, 10);
+        assert!(a.conflicts_with(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted")]
+    fn inverted_interval_panics() {
+        TimeInterval::new(10, 10);
+    }
+
+    #[test]
+    fn display_formats_as_clock_time() {
+        let a = TimeInterval::new(13 * 60, 15 * 60);
+        assert_eq!(a.to_string(), "13:00-15:00");
+    }
+
+    #[test]
+    fn duration() {
+        assert_eq!(TimeInterval::new(30, 90).duration(), 60);
+    }
+}

@@ -1,0 +1,59 @@
+use epplan_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Index of a user within an [`crate::model::Instance`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// The index as `usize` for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A user: a place of origin and a travel budget (Section II,
+/// `u_i = (l_{u_i}, B_i)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Home location; trips start and end here.
+    pub location: Point,
+    /// Travel budget `B_i`: the user's travel cost `D_i` must satisfy
+    /// `D_i ≤ B_i`.
+    pub budget: f64,
+}
+
+impl User {
+    /// Creates a user; panics on a negative budget.
+    pub fn new(location: Point, budget: f64) -> Self {
+        assert!(budget >= 0.0, "negative travel budget");
+        User { location, budget }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_index() {
+        let id = UserId(7);
+        assert_eq!(id.to_string(), "u7");
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative travel budget")]
+    fn negative_budget_panics() {
+        User::new(Point::new(0.0, 0.0), -1.0);
+    }
+}

@@ -1,0 +1,127 @@
+use crate::model::{EventId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// The dense user × event utility matrix `μ(u_i, e_j) ∈ [0, 1]`.
+///
+/// A score of 0 means the user "will not or cannot participate in the
+/// corresponding event" (Section II) — solvers never make `μ = 0`
+/// assignments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilityMatrix {
+    n_users: usize,
+    n_events: usize,
+    /// User-major dense storage.
+    values: Vec<f64>,
+}
+
+impl UtilityMatrix {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(n_users: usize, n_events: usize) -> Self {
+        UtilityMatrix {
+            n_users,
+            n_events,
+            values: vec![0.0; n_users * n_events],
+        }
+    }
+
+    /// Builds from user-major rows; panics on ragged input or values
+    /// outside `[0, 1]`.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n_users = rows.len();
+        let n_events = rows.first().map_or(0, Vec::len);
+        let mut m = UtilityMatrix::zeros(n_users, n_events);
+        for (u, row) in rows.into_iter().enumerate() {
+            assert_eq!(row.len(), n_events, "ragged utility matrix");
+            for (e, v) in row.into_iter().enumerate() {
+                m.set(UserId(u as u32), EventId(e as u32), v);
+            }
+        }
+        m
+    }
+
+    /// Number of user rows.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of event columns.
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// `μ(user, event)`.
+    #[inline]
+    pub fn get(&self, user: UserId, event: EventId) -> f64 {
+        self.values[user.index() * self.n_events + event.index()]
+    }
+
+    /// Sets `μ(user, event)`; panics outside `[0, 1]`.
+    #[inline]
+    pub fn set(&mut self, user: UserId, event: EventId, value: f64) {
+        assert!(
+            (0.0..=1.0).contains(&value),
+            "utility {value} outside [0, 1]"
+        );
+        self.values[user.index() * self.n_events + event.index()] = value;
+    }
+
+    /// The utility row of one user across all events.
+    pub fn user_row(&self, user: UserId) -> &[f64] {
+        let s = user.index() * self.n_events;
+        &self.values[s..s + self.n_events]
+    }
+
+    /// Appends an all-zero column for a newly created event and returns
+    /// its id (used by the `NewEvent` atomic operation).
+    pub fn push_event_column(&mut self) -> EventId {
+        let ne = self.n_events;
+        let mut values = Vec::with_capacity(self.n_users * (ne + 1));
+        for u in 0..self.n_users {
+            values.extend_from_slice(&self.values[u * ne..(u + 1) * ne]);
+            values.push(0.0);
+        }
+        self.values = values;
+        self.n_events += 1;
+        EventId(ne as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_get() {
+        let m = UtilityMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        assert_eq!(m.n_users(), 2);
+        assert_eq!(m.n_events(), 2);
+        assert_eq!(m.get(UserId(0), EventId(1)), 0.2);
+        assert_eq!(m.get(UserId(1), EventId(0)), 0.3);
+        assert_eq!(m.user_row(UserId(1)), &[0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_utility_panics() {
+        let mut m = UtilityMatrix::zeros(1, 1);
+        m.set(UserId(0), EventId(0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        UtilityMatrix::from_rows(vec![vec![0.1], vec![0.2, 0.3]]);
+    }
+
+    #[test]
+    fn push_event_column_preserves_rows() {
+        let mut m = UtilityMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let e = m.push_event_column();
+        assert_eq!(e, EventId(2));
+        assert_eq!(m.n_events(), 3);
+        assert_eq!(m.get(UserId(0), EventId(0)), 0.1);
+        assert_eq!(m.get(UserId(1), EventId(1)), 0.4);
+        assert_eq!(m.get(UserId(0), EventId(2)), 0.0);
+        assert_eq!(m.get(UserId(1), EventId(2)), 0.0);
+    }
+}

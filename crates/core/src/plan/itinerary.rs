@@ -1,0 +1,221 @@
+//! Per-user itineraries: the "Plan for Today" an EBSN actually shows
+//! its users (Section II: "every day users are provided with their
+//! individualized 'Plan for Today'").
+//!
+//! A [`Plan`] stores *which* events a user attends; an [`Itinerary`]
+//! lays them out as the day's route — home → first event → … → home —
+//! with per-leg distances, fees, and slack between consecutive events.
+
+use crate::model::{EventId, Instance, TimeInterval, UserId};
+use crate::plan::Plan;
+
+/// One attended event within an itinerary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stop {
+    /// The event attended.
+    pub event: EventId,
+    /// Its holding window.
+    pub time: TimeInterval,
+    /// Distance traveled to reach this stop from the previous location
+    /// (home for the first stop).
+    pub leg_distance: f64,
+    /// Admission fee paid at this stop.
+    pub fee: f64,
+    /// Free minutes between the previous stop's end and this one's
+    /// start (`None` for the first stop).
+    pub slack_minutes: Option<u32>,
+}
+
+/// A user's day: ordered stops plus the trip home.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Itinerary {
+    /// The user this itinerary belongs to.
+    pub user: UserId,
+    /// Stops in chronological order.
+    pub stops: Vec<Stop>,
+    /// Distance of the final leg back home (0 for an empty day).
+    pub return_distance: f64,
+    /// Total cost `D_i` (all legs + all fees) — identical to
+    /// [`Instance::travel_cost`] over the same events.
+    pub total_cost: f64,
+    /// The user's budget, for convenience.
+    pub budget: f64,
+}
+
+impl Itinerary {
+    /// Builds the itinerary of `user` under `plan`.
+    pub fn of(instance: &Instance, plan: &Plan, user: UserId) -> Self {
+        let mut events: Vec<EventId> = plan.user_plan(user).to_vec();
+        events.sort_by_key(|&e| instance.event(e).time);
+        let budget = instance.user(user).budget;
+
+        let mut stops = Vec::with_capacity(events.len());
+        let mut prev_location = instance.user(user).location;
+        let mut prev_end: Option<u32> = None;
+        let mut total_cost = 0.0;
+        for &e in &events {
+            let ev = instance.event(e);
+            let leg = prev_location.distance(&ev.location);
+            total_cost += leg + ev.fee;
+            stops.push(Stop {
+                event: e,
+                time: ev.time,
+                leg_distance: leg,
+                fee: ev.fee,
+                slack_minutes: prev_end.map(|end| ev.time.start.saturating_sub(end)),
+            });
+            prev_location = ev.location;
+            prev_end = Some(ev.time.end);
+        }
+        let return_distance = if events.is_empty() {
+            0.0
+        } else {
+            prev_location.distance(&instance.user(user).location)
+        };
+        total_cost += return_distance;
+        Itinerary {
+            user,
+            stops,
+            return_distance,
+            total_cost,
+            budget,
+        }
+    }
+
+    /// Whether the day fits the user's budget.
+    pub fn within_budget(&self) -> bool {
+        self.total_cost <= self.budget + 1e-9
+    }
+
+    /// Whether consecutive stops are conflict-free (they always are for
+    /// validated plans; exposed for diagnostics).
+    pub fn is_consistent(&self) -> bool {
+        self.stops
+            .windows(2)
+            .all(|w| w[0].time.strictly_before(&w[1].time))
+    }
+}
+
+impl std::fmt::Display for Itinerary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Plan for {} (budget {:.1}):", self.user, self.budget)?;
+        if self.stops.is_empty() {
+            return write!(f, "  (free day)");
+        }
+        for s in &self.stops {
+            write!(f, "  {}  {}", s.time, s.event)?;
+            write!(f, "  (travel {:.1}", s.leg_distance)?;
+            if s.fee > 0.0 {
+                write!(f, ", fee {:.1}", s.fee)?;
+            }
+            if let Some(slack) = s.slack_minutes {
+                write!(f, ", {slack} min spare")?;
+            }
+            writeln!(f, ")")?;
+        }
+        write!(
+            f,
+            "  home by +{:.1} — day total {:.1} / {:.1}",
+            self.return_distance, self.total_cost, self.budget
+        )
+    }
+}
+
+/// Builds itineraries for every user with a non-empty plan.
+pub fn all_itineraries(instance: &Instance, plan: &Plan) -> Vec<Itinerary> {
+    instance
+        .user_ids()
+        .filter(|&u| !plan.user_plan(u).is_empty())
+        .map(|u| Itinerary::of(instance, plan, u))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, InstanceBuilder};
+    use epplan_geo::Point;
+
+    fn setup() -> (Instance, Plan, UserId) {
+        let mut b = InstanceBuilder::new();
+        let u = b.user(Point::new(0.0, 0.0), 30.0);
+        let e0 = b.event(Point::new(3.0, 4.0), 0, 5, TimeInterval::new(600, 660));
+        let e1 = b.event_raw(
+            Event::new(Point::new(3.0, 0.0), 0, 5, TimeInterval::new(720, 780)).with_fee(2.0),
+        );
+        b.utility(u, e0, 0.5);
+        b.utility(u, e1, 0.5);
+        let inst = b.build();
+        let mut plan = Plan::for_instance(&inst);
+        // Insert out of order; the itinerary must sort by time.
+        plan.add(u, EventId(1));
+        plan.add(u, EventId(0));
+        (inst, plan, u)
+    }
+
+    #[test]
+    fn stops_in_chronological_order() {
+        let (inst, plan, u) = setup();
+        let it = Itinerary::of(&inst, &plan, u);
+        assert_eq!(it.stops.len(), 2);
+        assert_eq!(it.stops[0].event, EventId(0));
+        assert_eq!(it.stops[1].event, EventId(1));
+        assert!(it.is_consistent());
+    }
+
+    #[test]
+    fn leg_distances_and_total_match_travel_cost() {
+        let (inst, plan, u) = setup();
+        let it = Itinerary::of(&inst, &plan, u);
+        // home (0,0) → e0 (3,4): 5; e0 → e1 (3,0): 4; e1 → home: 3.
+        assert!((it.stops[0].leg_distance - 5.0).abs() < 1e-12);
+        assert!((it.stops[1].leg_distance - 4.0).abs() < 1e-12);
+        assert!((it.return_distance - 3.0).abs() < 1e-12);
+        // + fee 2 → 14 total, identical to Instance::travel_cost.
+        assert!((it.total_cost - 14.0).abs() < 1e-12);
+        assert!((it.total_cost - plan.travel_cost(&inst, u)).abs() < 1e-12);
+        assert!(it.within_budget());
+    }
+
+    #[test]
+    fn slack_between_stops() {
+        let (inst, plan, u) = setup();
+        let it = Itinerary::of(&inst, &plan, u);
+        assert_eq!(it.stops[0].slack_minutes, None);
+        assert_eq!(it.stops[1].slack_minutes, Some(60)); // 660 → 720
+    }
+
+    #[test]
+    fn fees_recorded_per_stop() {
+        let (inst, plan, u) = setup();
+        let it = Itinerary::of(&inst, &plan, u);
+        assert_eq!(it.stops[0].fee, 0.0);
+        assert_eq!(it.stops[1].fee, 2.0);
+    }
+
+    #[test]
+    fn empty_day() {
+        let (inst, _, u) = setup();
+        let empty = Plan::for_instance(&inst);
+        let it = Itinerary::of(&inst, &empty, u);
+        assert!(it.stops.is_empty());
+        assert_eq!(it.total_cost, 0.0);
+        assert!(it.to_string().contains("free day"));
+    }
+
+    #[test]
+    fn display_renders_stops() {
+        let (inst, plan, u) = setup();
+        let s = Itinerary::of(&inst, &plan, u).to_string();
+        assert!(s.contains("10:00-11:00"));
+        assert!(s.contains("fee 2.0"));
+        assert!(s.contains("60 min spare"));
+    }
+
+    #[test]
+    fn all_itineraries_skips_idle_users() {
+        let (inst, plan, _) = setup();
+        let its = all_itineraries(&inst, &plan);
+        assert_eq!(its.len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Plan metrics: the IEP negative-impact measure.
+
+use crate::plan::Plan;
+
+/// The paper's negative impact of replacing plan `old` with `new`
+/// (Section II-B):
+///
+/// `dif(P, P′) = Σ_{i=1}^{n} |P_i \ P′_i|`
+///
+/// i.e. the total number of events users *lose*. Newly added events do
+/// not count — only cancellations hurt.
+///
+/// # Panics
+/// Panics when the two plans cover different numbers of users. The new
+/// plan may cover **more events** (a `NewEvent` operation grows the
+/// event dimension); extra events cannot appear in `old`, so they never
+/// contribute.
+pub fn dif(old: &Plan, new: &Plan) -> usize {
+    assert_eq!(old.n_users(), new.n_users(), "plans cover different users");
+    let mut total = 0;
+    for u in 0..old.n_users() {
+        let u = crate::model::UserId(u as u32);
+        let new_events = new.user_plan(u);
+        total += old
+            .user_plan(u)
+            .iter()
+            .filter(|e| !new_events.contains(e))
+            .count();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EventId, UserId};
+
+    #[test]
+    fn identical_plans_have_zero_dif() {
+        let mut p = Plan::empty(2, 3);
+        p.add(UserId(0), EventId(0));
+        p.add(UserId(1), EventId(2));
+        assert_eq!(dif(&p, &p.clone()), 0);
+    }
+
+    #[test]
+    fn additions_are_free() {
+        let mut old = Plan::empty(1, 3);
+        old.add(UserId(0), EventId(0));
+        let mut new = old.clone();
+        new.add(UserId(0), EventId(1));
+        new.add(UserId(0), EventId(2));
+        assert_eq!(dif(&old, &new), 0);
+    }
+
+    #[test]
+    fn removals_count() {
+        let mut old = Plan::empty(2, 3);
+        old.add(UserId(0), EventId(0));
+        old.add(UserId(0), EventId(1));
+        old.add(UserId(1), EventId(2));
+        let mut new = old.clone();
+        new.remove(UserId(0), EventId(1));
+        new.remove(UserId(1), EventId(2));
+        assert_eq!(dif(&old, &new), 2);
+    }
+
+    #[test]
+    fn swap_counts_once() {
+        // Paper Example 3: u4 loses e4 but gains e2 → dif = 1.
+        let mut old = Plan::empty(1, 4);
+        old.add(UserId(0), EventId(2));
+        old.add(UserId(0), EventId(3));
+        let mut new = Plan::empty(1, 4);
+        new.add(UserId(0), EventId(1));
+        new.add(UserId(0), EventId(2));
+        assert_eq!(dif(&old, &new), 1);
+    }
+
+    #[test]
+    fn new_plan_may_have_more_events() {
+        let mut old = Plan::empty(1, 2);
+        old.add(UserId(0), EventId(1));
+        let mut new = Plan::empty(1, 3);
+        new.add(UserId(0), EventId(1));
+        new.add(UserId(0), EventId(2));
+        assert_eq!(dif(&old, &new), 0);
+    }
+}

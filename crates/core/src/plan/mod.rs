@@ -1,0 +1,200 @@
+//! Global plans and their validation/metrics.
+//!
+//! A global plan `P = {P_i : P_i ⊆ E}` assigns each user a set of
+//! events (Section II). [`Plan`] maintains the per-user sets and the
+//! per-event attendance counts `n_j`; [`Validation`] classifies every
+//! constraint violation of Definition 1; metrics (global utility,
+//! travel costs, the IEP negative impact [`dif`]) live alongside.
+
+mod itinerary;
+mod metrics;
+mod stats;
+mod validate;
+
+pub use itinerary::{all_itineraries, Itinerary, Stop};
+pub use metrics::dif;
+pub use stats::{user_utilities, PlanStatistics};
+pub use validate::{Validation, Violation};
+
+use crate::model::{EventId, Instance, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A global plan: one event set per user plus attendance counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plan {
+    /// `assignments[u]` = events of user `u`, in insertion order,
+    /// duplicate-free.
+    assignments: Vec<Vec<EventId>>,
+    /// `attendance[e]` = `n_e`, the number of users assigned to `e`.
+    attendance: Vec<u32>,
+}
+
+impl Plan {
+    /// An empty plan for `n_users` users and `n_events` events.
+    pub fn empty(n_users: usize, n_events: usize) -> Self {
+        Plan {
+            assignments: vec![Vec::new(); n_users],
+            attendance: vec![0; n_events],
+        }
+    }
+
+    /// An empty plan shaped for `instance`.
+    pub fn for_instance(instance: &Instance) -> Self {
+        Plan::empty(instance.n_users(), instance.n_events())
+    }
+
+    /// Number of users the plan covers.
+    pub fn n_users(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of events the plan covers.
+    pub fn n_events(&self) -> usize {
+        self.attendance.len()
+    }
+
+    /// Grows the event dimension (used after a `NewEvent` operation).
+    pub fn resize_events(&mut self, n_events: usize) {
+        assert!(n_events >= self.attendance.len(), "cannot shrink events");
+        self.attendance.resize(n_events, 0);
+    }
+
+    /// The events of user `u` (insertion order).
+    #[inline]
+    pub fn user_plan(&self, u: UserId) -> &[EventId] {
+        &self.assignments[u.index()]
+    }
+
+    /// Whether `u` attends `e`.
+    pub fn contains(&self, u: UserId, e: EventId) -> bool {
+        self.assignments[u.index()].contains(&e)
+    }
+
+    /// Attendance count `n_e`.
+    #[inline]
+    pub fn attendance(&self, e: EventId) -> u32 {
+        self.attendance[e.index()]
+    }
+
+    /// The users assigned to `e`.
+    pub fn attendees(&self, e: EventId) -> Vec<UserId> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, evs)| evs.contains(&e))
+            .map(|(u, _)| UserId(u as u32))
+            .collect()
+    }
+
+    /// Adds `e` to `u`'s plan. Returns `false` (and does nothing) when
+    /// already present.
+    pub fn add(&mut self, u: UserId, e: EventId) -> bool {
+        let evs = &mut self.assignments[u.index()];
+        if evs.contains(&e) {
+            return false;
+        }
+        evs.push(e);
+        self.attendance[e.index()] += 1;
+        true
+    }
+
+    /// Removes `e` from `u`'s plan. Returns `false` when absent.
+    pub fn remove(&mut self, u: UserId, e: EventId) -> bool {
+        let evs = &mut self.assignments[u.index()];
+        match evs.iter().position(|&x| x == e) {
+            Some(pos) => {
+                evs.remove(pos);
+                self.attendance[e.index()] -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total number of (user, event) assignments.
+    pub fn total_assignments(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+
+    /// Global utility `U_P = Σ_i Σ_{e ∈ P_i} μ(u_i, e)`.
+    pub fn total_utility(&self, instance: &Instance) -> f64 {
+        self.assignments
+            .iter()
+            .enumerate()
+            .map(|(u, evs)| {
+                evs.iter()
+                    .map(|&e| instance.utility(UserId(u as u32), e))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// One user's utility `μ_i`.
+    pub fn user_utility(&self, instance: &Instance, u: UserId) -> f64 {
+        self.user_plan(u)
+            .iter()
+            .map(|&e| instance.utility(u, e))
+            .sum()
+    }
+
+    /// One user's travel cost `D_i` under `instance`.
+    pub fn travel_cost(&self, instance: &Instance, u: UserId) -> f64 {
+        instance.travel_cost(u, self.user_plan(u))
+    }
+
+    /// Validates the plan against every GEPC constraint; see
+    /// [`Validation`].
+    pub fn validate(&self, instance: &Instance) -> Validation {
+        validate::validate(self, instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut p = Plan::empty(2, 3);
+        assert!(p.add(UserId(0), EventId(1)));
+        assert!(!p.add(UserId(0), EventId(1)), "duplicate add rejected");
+        assert_eq!(p.attendance(EventId(1)), 1);
+        assert!(p.contains(UserId(0), EventId(1)));
+        assert!(p.remove(UserId(0), EventId(1)));
+        assert!(!p.remove(UserId(0), EventId(1)));
+        assert_eq!(p.attendance(EventId(1)), 0);
+    }
+
+    #[test]
+    fn attendees_lists_users() {
+        let mut p = Plan::empty(3, 1);
+        p.add(UserId(0), EventId(0));
+        p.add(UserId(2), EventId(0));
+        assert_eq!(p.attendees(EventId(0)), vec![UserId(0), UserId(2)]);
+        assert_eq!(p.attendance(EventId(0)), 2);
+    }
+
+    #[test]
+    fn resize_events_grows() {
+        let mut p = Plan::empty(1, 1);
+        p.resize_events(3);
+        assert_eq!(p.n_events(), 3);
+        assert_eq!(p.attendance(EventId(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn resize_events_shrink_panics() {
+        let mut p = Plan::empty(1, 3);
+        p.resize_events(1);
+    }
+
+    #[test]
+    fn total_assignments_counts_pairs() {
+        let mut p = Plan::empty(2, 2);
+        p.add(UserId(0), EventId(0));
+        p.add(UserId(0), EventId(1));
+        p.add(UserId(1), EventId(0));
+        assert_eq!(p.total_assignments(), 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Descriptive statistics over a plan, for dashboards, the CLI and the
+//! benchmark harness.
+
+use crate::model::{Instance, UserId};
+use crate::plan::Plan;
+
+/// Summary statistics of a plan against its instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStatistics {
+    /// Global utility `U_P`.
+    pub total_utility: f64,
+    /// Total (user, event) assignments.
+    pub assignments: usize,
+    /// Users with at least one event.
+    pub active_users: usize,
+    /// Events meeting their lower bound.
+    pub viable_events: usize,
+    /// Events with at least one attendee.
+    pub nonempty_events: usize,
+    /// Mean events per *active* user (0 when nobody attends anything).
+    pub mean_plan_len: f64,
+    /// Largest individual plan.
+    pub max_plan_len: usize,
+    /// Mean seat-fill ratio `n_j / η_j` over events with `η_j > 0`.
+    pub mean_fill_ratio: f64,
+    /// Mean fraction of budget consumed over active users.
+    pub mean_budget_used: f64,
+    /// Worst (largest) budget fraction over all users.
+    pub max_budget_used: f64,
+}
+
+impl PlanStatistics {
+    /// Computes all statistics in one pass over the plan.
+    pub fn of(instance: &Instance, plan: &Plan) -> Self {
+        assert_eq!(plan.n_users(), instance.n_users(), "plan/instance users");
+        assert_eq!(plan.n_events(), instance.n_events(), "plan/instance events");
+        let total_utility = plan.total_utility(instance);
+        let assignments = plan.total_assignments();
+
+        let mut active_users = 0usize;
+        let mut max_plan_len = 0usize;
+        let mut budget_sum = 0.0;
+        let mut budget_max = 0.0f64;
+        for u in instance.user_ids() {
+            let len = plan.user_plan(u).len();
+            if len > 0 {
+                active_users += 1;
+                max_plan_len = max_plan_len.max(len);
+            }
+            let budget = instance.user(u).budget;
+            if budget > 0.0 {
+                let frac = plan.travel_cost(instance, u) / budget;
+                budget_max = budget_max.max(frac);
+                if len > 0 {
+                    budget_sum += frac;
+                }
+            }
+        }
+
+        let mut viable_events = 0usize;
+        let mut nonempty_events = 0usize;
+        let mut fill_sum = 0.0;
+        let mut fill_count = 0usize;
+        for e in instance.event_ids() {
+            let n = plan.attendance(e);
+            let ev = instance.event(e);
+            if n >= ev.lower {
+                viable_events += 1;
+            }
+            if n > 0 {
+                nonempty_events += 1;
+            }
+            if ev.upper > 0 {
+                fill_sum += n as f64 / ev.upper as f64;
+                fill_count += 1;
+            }
+        }
+
+        PlanStatistics {
+            total_utility,
+            assignments,
+            active_users,
+            viable_events,
+            nonempty_events,
+            mean_plan_len: if active_users > 0 {
+                assignments as f64 / active_users as f64
+            } else {
+                0.0
+            },
+            max_plan_len,
+            mean_fill_ratio: if fill_count > 0 {
+                fill_sum / fill_count as f64
+            } else {
+                0.0
+            },
+            mean_budget_used: if active_users > 0 {
+                budget_sum / active_users as f64
+            } else {
+                0.0
+            },
+            max_budget_used: budget_max,
+        }
+    }
+
+    /// Histogram of plan lengths: `histogram[k]` = users attending
+    /// exactly `k` events (index 0 = idle users).
+    pub fn plan_length_histogram(instance: &Instance, plan: &Plan) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for u in instance.user_ids() {
+            let len = plan.user_plan(u).len();
+            if hist.len() <= len {
+                hist.resize(len + 1, 0);
+            }
+            hist[len] += 1;
+        }
+        hist
+    }
+}
+
+impl std::fmt::Display for PlanStatistics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "utility          : {:.3}", self.total_utility)?;
+        writeln!(f, "assignments      : {}", self.assignments)?;
+        writeln!(f, "active users     : {}", self.active_users)?;
+        writeln!(
+            f,
+            "viable events    : {} (non-empty {})",
+            self.viable_events, self.nonempty_events
+        )?;
+        writeln!(
+            f,
+            "plan length      : mean {:.2}, max {}",
+            self.mean_plan_len, self.max_plan_len
+        )?;
+        writeln!(f, "mean seat fill   : {:.1}%", 100.0 * self.mean_fill_ratio)?;
+        write!(
+            f,
+            "budget use       : mean {:.1}%, max {:.1}%",
+            100.0 * self.mean_budget_used,
+            100.0 * self.max_budget_used
+        )
+    }
+}
+
+/// Convenience: the per-user utilities of a plan, for fairness
+/// analyses (e.g. plotting who benefits from a replanning).
+pub fn user_utilities(instance: &Instance, plan: &Plan) -> Vec<(UserId, f64)> {
+    instance
+        .user_ids()
+        .map(|u| (u, plan.user_utility(instance, u)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InstanceBuilder, TimeInterval};
+    use epplan_geo::Point;
+
+    fn setup() -> (Instance, Plan) {
+        let mut b = InstanceBuilder::new();
+        let u0 = b.user(Point::new(0.0, 0.0), 10.0);
+        let u1 = b.user(Point::new(0.0, 1.0), 10.0);
+        let _idle = b.user(Point::new(0.0, 2.0), 10.0);
+        let e0 = b.event(Point::new(1.0, 0.0), 1, 2, TimeInterval::new(0, 30));
+        let e1 = b.event(Point::new(1.0, 1.0), 2, 4, TimeInterval::new(60, 90));
+        b.utility(u0, e0, 0.5);
+        b.utility(u0, e1, 0.25);
+        b.utility(u1, e0, 0.75);
+        let inst = b.build();
+        let mut plan = Plan::for_instance(&inst);
+        plan.add(u0, e0);
+        plan.add(u0, e1);
+        plan.add(u1, e0);
+        (inst, plan)
+    }
+
+    #[test]
+    fn computes_counts() {
+        let (inst, plan) = setup();
+        let s = PlanStatistics::of(&inst, &plan);
+        assert_eq!(s.assignments, 3);
+        assert_eq!(s.active_users, 2);
+        assert_eq!(s.max_plan_len, 2);
+        assert!((s.mean_plan_len - 1.5).abs() < 1e-12);
+        // e0: 2 ≥ 1 viable; e1: 1 < 2 short.
+        assert_eq!(s.viable_events, 1);
+        assert_eq!(s.nonempty_events, 2);
+        assert!((s.total_utility - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_ratio() {
+        let (inst, plan) = setup();
+        let s = PlanStatistics::of(&inst, &plan);
+        // e0: 2/2, e1: 1/4 → mean 0.625.
+        assert!((s.mean_fill_ratio - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_idle_users() {
+        let (inst, plan) = setup();
+        let hist = PlanStatistics::plan_length_histogram(&inst, &plan);
+        assert_eq!(hist, vec![1, 1, 1]); // one idle, one single, one double
+    }
+
+    #[test]
+    fn empty_plan_statistics() {
+        let (inst, _) = setup();
+        let plan = Plan::for_instance(&inst);
+        let s = PlanStatistics::of(&inst, &plan);
+        assert_eq!(s.active_users, 0);
+        assert_eq!(s.mean_plan_len, 0.0);
+        assert_eq!(s.max_budget_used, 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let (inst, plan) = setup();
+        let s = PlanStatistics::of(&inst, &plan).to_string();
+        assert!(s.contains("utility"));
+        assert!(s.contains("budget use"));
+    }
+
+    #[test]
+    fn user_utilities_per_user() {
+        let (inst, plan) = setup();
+        let us = user_utilities(&inst, &plan);
+        assert_eq!(us.len(), 3);
+        assert!((us[0].1 - 0.75).abs() < 1e-12);
+        assert_eq!(us[2].1, 0.0);
+    }
+}

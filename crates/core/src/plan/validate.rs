@@ -1,0 +1,250 @@
+use crate::model::{EventId, Instance, UserId};
+use crate::plan::Plan;
+
+/// A single constraint violation found by [`Plan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two events in one user's plan overlap in time (Definition 1,
+    /// constraint 1).
+    TimeConflict {
+        /// The user whose plan conflicts.
+        user: UserId,
+        /// First conflicting event.
+        a: EventId,
+        /// Second conflicting event.
+        b: EventId,
+    },
+    /// A user's travel cost exceeds their budget (constraint 2).
+    BudgetExceeded {
+        /// The over-budget user.
+        user: UserId,
+        /// Their travel cost `D_i`.
+        cost: f64,
+        /// Their budget `B_i`.
+        budget: f64,
+    },
+    /// An event has more participants than `η` allows (constraint 3).
+    UpperBoundExceeded {
+        /// The overfull event.
+        event: EventId,
+        /// Assigned participants.
+        attendance: u32,
+        /// The bound `η`.
+        upper: u32,
+    },
+    /// An event has fewer participants than `ξ` requires
+    /// (constraint 4). Unlike the other violations this can be an
+    /// *instance* property — there may simply not exist enough
+    /// reachable interested users — so it is classified separately as
+    /// a "soft" shortfall; see [`Validation::hard_ok`].
+    LowerBoundShortfall {
+        /// The underfull event.
+        event: EventId,
+        /// Assigned participants.
+        attendance: u32,
+        /// The bound `ξ`.
+        lower: u32,
+    },
+    /// A user is assigned an event they scored 0 — the paper defines a
+    /// zero score as "will not or cannot participate" (Section II).
+    ZeroUtilityAssignment {
+        /// The user.
+        user: UserId,
+        /// The zero-scored event.
+        event: EventId,
+    },
+}
+
+/// The outcome of validating a plan against an instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Validation {
+    /// Every violation found, in deterministic order.
+    pub violations: Vec<Violation>,
+}
+
+impl Validation {
+    /// No violations of any kind: the plan is fully feasible for the
+    /// GEPC problem.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// No *hard* violations — time conflicts, budget overruns, upper
+    /// bounds, zero-utility assignments. Lower-bound shortfalls are
+    /// tolerated: solvers report them as unfillable events rather than
+    /// producing no plan at all.
+    pub fn hard_ok(&self) -> bool {
+        !self.violations.iter().any(|v| {
+            !matches!(v, Violation::LowerBoundShortfall { .. })
+        })
+    }
+
+    /// Events whose participation lower bound is not met.
+    pub fn shortfall_events(&self) -> Vec<EventId> {
+        self.violations
+            .iter()
+            .filter_map(|v| match v {
+                Violation::LowerBoundShortfall { event, .. } => Some(*event),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+pub(crate) fn validate(plan: &Plan, instance: &Instance) -> Validation {
+    let mut violations = Vec::new();
+    assert_eq!(plan.n_users(), instance.n_users(), "plan/instance users");
+    assert_eq!(plan.n_events(), instance.n_events(), "plan/instance events");
+
+    for u in instance.user_ids() {
+        let evs = plan.user_plan(u);
+        // Constraint 1: pairwise time conflicts.
+        for (i, &a) in evs.iter().enumerate() {
+            for &b in &evs[i + 1..] {
+                if instance.conflicts(a, b) {
+                    violations.push(Violation::TimeConflict { user: u, a, b });
+                }
+            }
+        }
+        // Constraint 2: travel budget.
+        let cost = instance.travel_cost(u, evs);
+        let budget = instance.user(u).budget;
+        if cost > budget + 1e-9 {
+            violations.push(Violation::BudgetExceeded {
+                user: u,
+                cost,
+                budget,
+            });
+        }
+        // Zero-utility assignments.
+        for &e in evs {
+            if instance.utility(u, e) <= 0.0 {
+                violations.push(Violation::ZeroUtilityAssignment { user: u, event: e });
+            }
+        }
+    }
+
+    // Constraints 3 and 4: participation bounds.
+    for e in instance.event_ids() {
+        let n = plan.attendance(e);
+        let ev = instance.event(e);
+        if n > ev.upper {
+            violations.push(Violation::UpperBoundExceeded {
+                event: e,
+                attendance: n,
+                upper: ev.upper,
+            });
+        }
+        if n < ev.lower {
+            violations.push(Violation::LowerBoundShortfall {
+                event: e,
+                attendance: n,
+                lower: ev.lower,
+            });
+        }
+    }
+
+    Validation { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, TimeInterval, User, UtilityMatrix};
+    use epplan_geo::Point;
+
+    fn instance() -> Instance {
+        let users = vec![
+            User::new(Point::new(0.0, 0.0), 10.0),
+            User::new(Point::new(1.0, 0.0), 1.0),
+        ];
+        let events = vec![
+            // e0 and e1 conflict (overlap); e2 is later and far away.
+            Event::new(Point::new(0.0, 1.0), 1, 1, TimeInterval::new(60, 120)),
+            Event::new(Point::new(0.0, 2.0), 0, 2, TimeInterval::new(90, 150)),
+            Event::new(Point::new(50.0, 0.0), 2, 3, TimeInterval::new(200, 260)),
+        ];
+        let utilities = UtilityMatrix::from_rows(vec![
+            vec![0.5, 0.5, 0.5],
+            vec![0.5, 0.0, 0.5],
+        ]);
+        Instance::new(users, events, utilities)
+    }
+
+    #[test]
+    fn empty_plan_reports_only_shortfalls() {
+        let inst = instance();
+        let plan = Plan::for_instance(&inst);
+        let v = plan.validate(&inst);
+        assert!(v.hard_ok());
+        assert!(!v.is_feasible());
+        assert_eq!(
+            v.shortfall_events(),
+            vec![EventId(0), EventId(2)],
+            "events with ξ > 0 are short"
+        );
+    }
+
+    #[test]
+    fn detects_time_conflict() {
+        let inst = instance();
+        let mut plan = Plan::for_instance(&inst);
+        plan.add(UserId(0), EventId(0));
+        plan.add(UserId(0), EventId(1));
+        let v = plan.validate(&inst);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::TimeConflict { user, .. } if *user == UserId(0))));
+        assert!(!v.hard_ok());
+    }
+
+    #[test]
+    fn detects_budget_overrun() {
+        let inst = instance();
+        let mut plan = Plan::for_instance(&inst);
+        plan.add(UserId(1), EventId(2)); // round trip ~98 ≫ budget 1
+        let v = plan.validate(&inst);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::BudgetExceeded { user, .. } if *user == UserId(1))));
+    }
+
+    #[test]
+    fn detects_upper_bound() {
+        let inst = instance();
+        let mut plan = Plan::for_instance(&inst);
+        plan.add(UserId(0), EventId(0));
+        plan.add(UserId(1), EventId(0)); // η = 1
+        let v = plan.validate(&inst);
+        assert!(v.violations.iter().any(|x| matches!(
+            x,
+            Violation::UpperBoundExceeded { event, attendance: 2, upper: 1 } if *event == EventId(0)
+        )));
+    }
+
+    #[test]
+    fn detects_zero_utility_assignment() {
+        let inst = instance();
+        let mut plan = Plan::for_instance(&inst);
+        plan.add(UserId(1), EventId(1)); // μ = 0
+        let v = plan.validate(&inst);
+        assert!(v.violations.iter().any(|x| matches!(
+            x,
+            Violation::ZeroUtilityAssignment { user, event }
+                if *user == UserId(1) && *event == EventId(1)
+        )));
+    }
+
+    #[test]
+    fn feasible_plan_passes() {
+        let inst = instance();
+        let mut plan = Plan::for_instance(&inst);
+        plan.add(UserId(0), EventId(0)); // fills ξ_0 = 1, cost 2 ≤ 10
+        // e2 (ξ=2) stays short; hard constraints all fine.
+        let v = plan.validate(&inst);
+        assert!(v.hard_ok());
+        assert_eq!(v.shortfall_events(), vec![EventId(2)]);
+    }
+}

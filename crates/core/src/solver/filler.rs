@@ -1,0 +1,216 @@
+//! Step 2 of the two-step framework: the utility-aware capacity filler.
+//!
+//! After ξ-GEPC assigns exactly `ξ_j` users to each event, "we then
+//! check whether users can possibly participate in more events than
+//! those assigned … solving for event participation upper bounds set to
+//! `η_j − ξ_j`", which "can be solved using existing methods with
+//! provable approximation ratio (e.g., see \[4\])" (Section III). The
+//! method of \[4\] (She, Tong, Chen — SIGMOD 2015, *Utility-aware social
+//! event-participant planning*) is a utility-descending greedy over
+//! user–event pairs; this module implements it.
+//!
+//! The same routine backs the IEP algorithms' final step ("use methods
+//! in \[4\] to check if the … users can attend other events", Algorithms
+//! 3–5), via the `users` restriction parameter.
+
+use crate::model::{EventId, Instance, UserId};
+use crate::plan::Plan;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A max-heap key ordering candidate assignments by utility.
+#[derive(PartialEq)]
+struct Candidate {
+    utility: f64,
+    user: UserId,
+    event: EventId,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Primary: utility; ties broken on (user, event) for
+        // deterministic output.
+        self.utility
+            .total_cmp(&other.utility)
+            .then_with(|| Reverse(self.user).cmp(&Reverse(other.user)))
+            .then_with(|| Reverse(self.event).cmp(&Reverse(other.event)))
+    }
+}
+
+/// Greedily adds assignments in descending-utility order while all
+/// hard constraints and the upper bounds `η` hold. Restricted to
+/// `users` when given (IEP repair mode); considers every user
+/// otherwise. Returns the number of assignments added.
+///
+/// Candidates are validated lazily at pop time: adding assignments
+/// only ever tightens the constraints (more conflicts, less residual
+/// budget, less capacity), so a candidate that fails once can be
+/// discarded permanently.
+pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserId]>) -> usize {
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let user_iter: Vec<UserId> = match users {
+        Some(us) => us.to_vec(),
+        None => instance.user_ids().collect(),
+    };
+    for &u in &user_iter {
+        let budget = instance.user(u).budget;
+        for e in instance.event_ids() {
+            let mu = instance.utility(u, e);
+            if mu <= 0.0 || plan.contains(u, e) {
+                continue;
+            }
+            if plan.attendance(e) >= instance.event(e).upper {
+                continue;
+            }
+            // Cheap reachability prefilter: a round trip to the single
+            // event (plus its fee) already exceeds the budget.
+            if 2.0 * instance.distance(u, e) + instance.event(e).fee > budget + 1e-9 {
+                continue;
+            }
+            heap.push(Candidate {
+                utility: mu,
+                user: u,
+                event: e,
+            });
+        }
+    }
+
+    let mut added = 0;
+    while let Some(c) = heap.pop() {
+        if plan.attendance(c.event) >= instance.event(c.event).upper {
+            continue;
+        }
+        if plan.contains(c.user, c.event) {
+            continue;
+        }
+        if !instance.can_attend_with(c.user, plan.user_plan(c.user), c.event) {
+            continue;
+        }
+        plan.add(c.user, c.event);
+        added += 1;
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, TimeInterval, User, UtilityMatrix};
+    use epplan_geo::Point;
+
+    /// 2 users at the origin with generous budgets; 3 non-conflicting
+    /// nearby events with spare capacity.
+    fn open_instance() -> Instance {
+        let users = vec![
+            User::new(Point::new(0.0, 0.0), 100.0),
+            User::new(Point::new(0.0, 1.0), 100.0),
+        ];
+        let events = vec![
+            Event::new(Point::new(1.0, 0.0), 0, 2, TimeInterval::new(0, 59)),
+            Event::new(Point::new(2.0, 0.0), 0, 2, TimeInterval::new(60, 119)),
+            Event::new(Point::new(3.0, 0.0), 0, 1, TimeInterval::new(120, 179)),
+        ];
+        let utilities = UtilityMatrix::from_rows(vec![
+            vec![0.9, 0.8, 0.7],
+            vec![0.6, 0.5, 0.95],
+        ]);
+        Instance::new(users, events, utilities)
+    }
+
+    #[test]
+    fn fills_everything_when_unconstrained() {
+        let inst = open_instance();
+        let mut plan = Plan::for_instance(&inst);
+        let added = fill_to_upper(&inst, &mut plan, None);
+        // e2 has capacity 1 and u1 wants it more (0.95 > 0.7);
+        // everything else fits everyone.
+        assert_eq!(added, 5);
+        assert!(plan.contains(UserId(1), EventId(2)));
+        assert!(!plan.contains(UserId(0), EventId(2)));
+        assert!(plan.validate(&inst).hard_ok());
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        let inst = open_instance();
+        let mut plan = Plan::for_instance(&inst);
+        fill_to_upper(&inst, &mut plan, None);
+        for e in inst.event_ids() {
+            assert!(plan.attendance(e) <= inst.event(e).upper);
+        }
+    }
+
+    #[test]
+    fn respects_existing_assignments() {
+        let inst = open_instance();
+        let mut plan = Plan::for_instance(&inst);
+        plan.add(UserId(0), EventId(2)); // capacity 1 now full
+        let added = fill_to_upper(&inst, &mut plan, None);
+        assert_eq!(added, 4);
+        assert!(!plan.contains(UserId(1), EventId(2)));
+    }
+
+    #[test]
+    fn user_restriction() {
+        let inst = open_instance();
+        let mut plan = Plan::for_instance(&inst);
+        let added = fill_to_upper(&inst, &mut plan, Some(&[UserId(1)]));
+        assert_eq!(added, 3);
+        assert!(plan.user_plan(UserId(0)).is_empty());
+    }
+
+    #[test]
+    fn budget_limits_fill() {
+        let mut inst = open_instance();
+        inst.set_budget(UserId(0), 4.0); // only e1 round trip (4) fits… and e0 (2)
+        let mut plan = Plan::for_instance(&inst);
+        fill_to_upper(&inst, &mut plan, Some(&[UserId(0)]));
+        // Greedy adds e0 (μ=.9, cost 2 ≤ 4); then e1 alone would cost 4
+        // but combined route 1+1+2 = 4 ≤ 4 → allowed; e2 pushes beyond.
+        let v = plan.validate(&inst);
+        assert!(v.hard_ok());
+        assert!(plan.travel_cost(&inst, UserId(0)) <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_utility_pairs_never_added() {
+        let mut inst = open_instance();
+        inst.set_utility(UserId(0), EventId(0), 0.0);
+        let mut plan = Plan::for_instance(&inst);
+        fill_to_upper(&inst, &mut plan, None);
+        assert!(!plan.contains(UserId(0), EventId(0)));
+    }
+
+    #[test]
+    fn conflicting_events_not_combined() {
+        let mut inst = open_instance();
+        inst.set_event_time(EventId(1), TimeInterval::new(0, 59)); // now conflicts e0
+        let mut plan = Plan::for_instance(&inst);
+        fill_to_upper(&inst, &mut plan, Some(&[UserId(0)]));
+        let p = plan.user_plan(UserId(0));
+        assert!(
+            !(p.contains(&EventId(0)) && p.contains(&EventId(1))),
+            "conflicting pair assigned together"
+        );
+        // Higher-utility e0 wins.
+        assert!(p.contains(&EventId(0)));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let inst = open_instance();
+        let mut p1 = Plan::for_instance(&inst);
+        let mut p2 = Plan::for_instance(&inst);
+        fill_to_upper(&inst, &mut p1, None);
+        fill_to_upper(&inst, &mut p2, None);
+        assert_eq!(p1, p2);
+    }
+}

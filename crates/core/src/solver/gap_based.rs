@@ -1,0 +1,238 @@
+//! The GAP-based ξ-GEPC algorithm (Section III-A).
+//!
+//! Pipeline, exactly as the paper prescribes:
+//!
+//! 1. **Copy transformation** — each event `e_j` becomes `ξ_j`
+//!    identical copies (`m⁺ = Σ_j ξ_j` jobs), mutually conflicting.
+//! 2. **GAP reduction** (Theorem 2 constants) — machines are users with
+//!    `T_i = (2+ε)·B_i`; job `e_j`-copy on machine `u_i` takes
+//!    `p_{i,j} = 2·d(u_i, e_j)` and costs `c_{i,j} = 1 − μ(u_i, e_j)`;
+//!    pairs with `μ = 0` are forbidden.
+//! 3. **Fractional relaxation + Shmoys–Tardos rounding** via
+//!    `epplan-gap` (exact simplex LP at small scale, the
+//!    Plotkin–Shmoys–Tardos multiplicative-weights relaxation above it,
+//!    per the paper's citation of \[5\]).
+//! 4. **Conflict Adjusting** (Algorithm 1) to remove the time conflicts
+//!    the GAP reduction ignored, followed by a budget-repair pass
+//!    enforcing the real `B_i` (the ST rounding only bounds load by
+//!    `T_i + max p`).
+//! 5. **Step 2** — fill remaining capacity `η_j − ξ_j` with the
+//!    utility-aware greedy of \[4\].
+
+use crate::model::{EventId, Instance};
+use crate::solver::conflict_adjust::{budget_repair, conflict_adjust};
+use crate::solver::{filler, GepcSolver, Solution};
+use epplan_gap::{GapConfig, GapInstance, GapSolver as GapPipeline};
+
+/// The GAP-based solver. `epsilon` is the `ε` of the reduction's
+/// budget scaling `T_i = (2+ε)·B_i`; `gap` configures the fractional
+/// method (exact LP vs multiplicative weights).
+///
+/// ```
+/// use epplan_core::model::{InstanceBuilder, TimeInterval};
+/// use epplan_core::solver::{GapBasedSolver, GepcSolver};
+/// use epplan_geo::Point;
+///
+/// let mut b = InstanceBuilder::new();
+/// let u0 = b.user(Point::new(0.0, 0.0), 10.0);
+/// let u1 = b.user(Point::new(0.0, 1.0), 10.0);
+/// let e = b.event(Point::new(1.0, 0.0), 2, 3, TimeInterval::new(540, 600));
+/// b.utility(u0, e, 0.9);
+/// b.utility(u1, e, 0.6);
+/// let instance = b.build();
+///
+/// let solution = GapBasedSolver::default().solve(&instance);
+/// assert_eq!(solution.plan.attendance(e), 2); // ξ = 2 met exactly
+/// assert!(solution.fully_feasible());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GapBasedSolver {
+    /// Budget-scaling epsilon of Theorem 2.
+    pub epsilon: f64,
+    /// Underlying GAP pipeline configuration.
+    pub gap: GapConfig,
+    /// Run step 2 (capacity filler) after ξ-GEPC.
+    pub two_step: bool,
+}
+
+impl Default for GapBasedSolver {
+    fn default() -> Self {
+        GapBasedSolver {
+            epsilon: 0.2,
+            gap: GapConfig::default(),
+            two_step: true,
+        }
+    }
+}
+
+impl GapBasedSolver {
+    /// Default solver with a custom GAP configuration.
+    pub fn with_gap_config(gap: GapConfig) -> Self {
+        GapBasedSolver {
+            gap,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the GAP instance of the Theorem-2 reduction, returning it
+    /// together with the job → event mapping (`ξ_j` copies per event).
+    /// Exposed for the LP-vs-MW ablation experiment and for tests that
+    /// verify the reduction constants.
+    pub fn build_gap(&self, instance: &Instance) -> (GapInstance, Vec<EventId>) {
+        // Job list: ξ_j copies of each event.
+        let mut jobs: Vec<EventId> = Vec::new();
+        for e in instance.event_ids() {
+            for _ in 0..instance.event(e).lower {
+                jobs.push(e);
+            }
+        }
+        let n = instance.n_users();
+        let caps: Vec<f64> = instance
+            .users()
+            .iter()
+            .map(|u| (2.0 + self.epsilon) * u.budget)
+            .collect();
+        let mut gap = GapInstance::new(n, jobs.len(), caps);
+        for (jk, &e) in jobs.iter().enumerate() {
+            for u in instance.user_ids() {
+                let mu = instance.utility(u, e);
+                if mu <= 0.0 {
+                    gap.forbid(u.index(), jk);
+                } else {
+                    gap.set(u.index(), jk, 1.0 - mu, 2.0 * instance.distance(u, e));
+                }
+            }
+        }
+        (gap, jobs)
+    }
+}
+
+impl GepcSolver for GapBasedSolver {
+    fn solve(&self, instance: &Instance) -> Solution {
+        let (gap, jobs) = self.build_gap(instance);
+        let gap_solution = GapPipeline::new(self.gap.clone()).solve(&gap);
+
+        // Raw multiset assignment: user → copies received.
+        let mut raw: Vec<Vec<EventId>> = vec![Vec::new(); instance.n_users()];
+        for (jk, &machine) in gap_solution.assignment.iter().enumerate() {
+            if let Some(i) = machine {
+                raw[i].push(jobs[jk]);
+            }
+        }
+
+        // Algorithm 1 + budget enforcement.
+        let mut plan = conflict_adjust(instance, raw);
+        budget_repair(instance, &mut plan);
+
+        if self.two_step {
+            filler::fill_to_upper(instance, &mut plan, None);
+        }
+        Solution::from_plan(instance, plan)
+    }
+
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, TimeInterval, User, UserId, UtilityMatrix};
+    use epplan_geo::Point;
+
+    fn small() -> Instance {
+        let users = vec![
+            User::new(Point::new(0.0, 0.0), 50.0),
+            User::new(Point::new(1.0, 0.0), 50.0),
+            User::new(Point::new(2.0, 0.0), 50.0),
+        ];
+        let events = vec![
+            Event::new(Point::new(0.0, 1.0), 2, 3, TimeInterval::new(0, 59)),
+            Event::new(Point::new(0.0, 2.0), 1, 2, TimeInterval::new(60, 119)),
+        ];
+        let utilities = UtilityMatrix::from_rows(vec![
+            vec![0.9, 0.4],
+            vec![0.7, 0.8],
+            vec![0.5, 0.6],
+        ]);
+        Instance::new(users, events, utilities)
+    }
+
+    #[test]
+    fn produces_hard_feasible_plan() {
+        let inst = small();
+        let sol = GapBasedSolver::default().solve(&inst);
+        assert!(sol.plan.validate(&inst).hard_ok());
+    }
+
+    #[test]
+    fn meets_lower_bounds_when_easy() {
+        let inst = small();
+        let sol = GapBasedSolver::default().solve(&inst);
+        assert!(sol.fully_feasible(), "shortfall {:?}", sol.shortfall);
+        for e in inst.event_ids() {
+            assert!(sol.plan.attendance(e) >= inst.event(e).lower);
+        }
+    }
+
+    #[test]
+    fn build_gap_constants_match_theorem_2() {
+        let inst = small();
+        let solver = GapBasedSolver::default();
+        let (gap, jobs) = solver.build_gap(&inst);
+        // m⁺ = 2 + 1 copies.
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs, vec![EventId(0), EventId(0), EventId(1)]);
+        assert_eq!(gap.n_machines(), 3);
+        // c = 1 − μ for (u0, e0-copy): 1 − 0.9.
+        assert!((gap.cost(0, 0) - 0.1).abs() < 1e-12);
+        // p = 2·d(u0, e0) = 2·1.
+        assert!((gap.time(0, 0) - 2.0).abs() < 1e-12);
+        // T = (2+ε)·B.
+        assert!((gap.capacity(0) - 2.2 * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_utility_pairs_forbidden_in_gap() {
+        let mut inst = small();
+        inst.set_utility(UserId(0), EventId(0), 0.0);
+        let solver = GapBasedSolver::default();
+        let (gap, _) = solver.build_gap(&inst);
+        assert!(!gap.allowed(0, 0));
+        assert!(!gap.allowed(0, 1)); // second copy of e0
+        assert!(gap.allowed(0, 2)); // e1 still fine
+    }
+
+    #[test]
+    fn two_step_adds_capacity_fill() {
+        let inst = small();
+        let xi_only = GapBasedSolver {
+            two_step: false,
+            ..Default::default()
+        }
+        .solve(&inst);
+        let full = GapBasedSolver::default().solve(&inst);
+        assert!(full.utility >= xi_only.utility - 1e-9);
+        assert!(full.plan.total_assignments() >= xi_only.plan.total_assignments());
+    }
+
+    #[test]
+    fn infeasible_lower_bounds_reported() {
+        let mut inst = small();
+        // Demand 3 users for e0 but forbid two of them.
+        inst.set_event_bounds(EventId(0), 3, 3);
+        inst.set_utility(UserId(1), EventId(0), 0.0);
+        inst.set_utility(UserId(2), EventId(0), 0.0);
+        let sol = GapBasedSolver::default().solve(&inst);
+        assert!(sol.plan.validate(&inst).hard_ok());
+        assert!(sol.shortfall.contains(&EventId(0)));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], vec![], UtilityMatrix::zeros(0, 0));
+        let sol = GapBasedSolver::default().solve(&inst);
+        assert_eq!(sol.utility, 0.0);
+    }
+}

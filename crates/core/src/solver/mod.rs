@@ -1,0 +1,78 @@
+//! GEPC solvers (Section III of the paper).
+//!
+//! The paper's two-step framework:
+//!
+//! 1. solve **ξ-GEPC** — the restricted problem with every event's
+//!    upper bound temporarily set to its lower bound, so each event
+//!    receives exactly `ξ_j` users — with either the
+//!    [`GapBasedSolver`] (Section III-A: GAP reduction via event
+//!    copies, LP relaxation, Shmoys–Tardos rounding, then the Conflict
+//!    Adjusting algorithm) or the [`GreedySolver`] (Section III-B:
+//!    Algorithm 2);
+//! 2. fill the remaining per-event capacity `η_j − ξ_j` with the
+//!    utility-aware greedy of reference \[4\] ([`filler::fill_to_upper`]).
+//!
+//! [`ExactSolver`] provides a brute-force optimum for small instances,
+//! used by tests and the approximation-ratio ablation.
+
+pub mod conflict_adjust;
+pub mod exact;
+pub mod filler;
+mod gap_based;
+mod greedy;
+mod lns;
+mod local_search;
+
+pub use exact::ExactSolver;
+pub use gap_based::GapBasedSolver;
+pub use greedy::GreedySolver;
+pub use lns::LnsSolver;
+pub use local_search::LocalSearch;
+
+use crate::model::{EventId, Instance};
+use crate::plan::Plan;
+
+/// A solution to a GEPC instance.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The produced global plan. Always free of hard violations
+    /// (conflicts, budgets, upper bounds, zero-utility assignments).
+    pub plan: Plan,
+    /// Global utility `U_P` of the plan.
+    pub utility: f64,
+    /// Events whose participation lower bound `ξ` could not be met —
+    /// empty when the plan is fully feasible.
+    pub shortfall: Vec<EventId>,
+}
+
+impl Solution {
+    /// Wraps a plan, computing utility and lower-bound shortfalls.
+    pub fn from_plan(instance: &Instance, plan: Plan) -> Self {
+        let utility = plan.total_utility(instance);
+        let shortfall = instance
+            .event_ids()
+            .filter(|&e| plan.attendance(e) < instance.event(e).lower)
+            .collect();
+        Solution {
+            plan,
+            utility,
+            shortfall,
+        }
+    }
+
+    /// Whether every event met its lower bound.
+    pub fn fully_feasible(&self) -> bool {
+        self.shortfall.is_empty()
+    }
+}
+
+/// A GEPC solving strategy.
+pub trait GepcSolver {
+    /// Produces a plan for `instance`. Implementations must return
+    /// plans without hard violations; lower-bound shortfalls are
+    /// reported in [`Solution::shortfall`].
+    fn solve(&self, instance: &Instance) -> Solution;
+
+    /// Short name for logs and benchmark tables.
+    fn name(&self) -> &'static str;
+}

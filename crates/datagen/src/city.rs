@@ -1,0 +1,107 @@
+//! City presets matching Table IV of the paper.
+
+use crate::GeneratorConfig;
+use epplan_core::model::Instance;
+
+/// The four Meetup cities of the paper's evaluation (Table IV), with
+/// their exact user and event counts. The remaining aggregates (mean
+/// `ξ = 10`, mean `η = 50`, conflict ratio `0.25`) are the generator
+/// defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum City {
+    /// 113 users, 16 events.
+    Beijing,
+    /// 2012 users, 225 events — the paper's largest city.
+    Vancouver,
+    /// 569 users, 37 events.
+    Auckland,
+    /// 1500 users, 87 events.
+    Singapore,
+}
+
+impl City {
+    /// All four presets, in the paper's table order.
+    pub const ALL: [City; 4] = [
+        City::Beijing,
+        City::Vancouver,
+        City::Auckland,
+        City::Singapore,
+    ];
+
+    /// `(|U|, |E|)` from Table IV.
+    pub fn sizes(self) -> (usize, usize) {
+        match self {
+            City::Beijing => (113, 16),
+            City::Vancouver => (2012, 225),
+            City::Auckland => (569, 37),
+            City::Singapore => (1500, 87),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            City::Beijing => "Beijing",
+            City::Vancouver => "Vancouver",
+            City::Auckland => "Auckland",
+            City::Singapore => "Singapore",
+        }
+    }
+
+    /// Generator configuration for this city (seeded deterministically
+    /// per city so every run of the harness sees the same instance).
+    pub fn config(self) -> GeneratorConfig {
+        let (n_users, n_events) = self.sizes();
+        GeneratorConfig {
+            n_users,
+            n_events,
+            seed: 0x5EED_0000 + self as u64,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the synthetic stand-in instance for this city.
+    pub fn instance(self) -> Instance {
+        crate::generate(&self.config())
+    }
+}
+
+impl std::fmt::Display for City {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_table_iv() {
+        assert_eq!(City::Beijing.sizes(), (113, 16));
+        assert_eq!(City::Vancouver.sizes(), (2012, 225));
+        assert_eq!(City::Auckland.sizes(), (569, 37));
+        assert_eq!(City::Singapore.sizes(), (1500, 87));
+    }
+
+    #[test]
+    fn beijing_instance_has_table_shape() {
+        let inst = City::Beijing.instance();
+        assert_eq!(inst.n_users(), 113);
+        assert_eq!(inst.n_events(), 16);
+    }
+
+    #[test]
+    fn cities_have_distinct_seeds() {
+        let seeds: Vec<u64> = City::ALL.iter().map(|c| c.config().seed).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(City::Auckland.to_string(), "Auckland");
+    }
+}

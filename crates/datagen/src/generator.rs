@@ -1,0 +1,442 @@
+//! The instance generator.
+
+use crate::{GeneratorConfig, TagModel};
+use epplan_core::model::{Event, Instance, TimeInterval, User, UserId, UtilityMatrix};
+use epplan_geo::Point;
+use rand::prelude::*;
+
+/// Generates a synthetic EBSN instance from `cfg`. Deterministic for a
+/// fixed seed.
+///
+/// Timeline construction: the configured `conflict_ratio` fraction of
+/// events is grouped into overlapping clusters of 2–3 (each member
+/// conflicts with its cluster-mates); all remaining events — and the
+/// clusters themselves — are laid out in disjoint time slots separated
+/// by at least one minute, so no *unintended* conflicts arise. The
+/// horizon stretches as far as needed; the paper's `H = 1 day` is a
+/// planning convention, not a generator constraint (its Meetup events
+/// likewise span many days).
+pub fn generate(cfg: &GeneratorConfig) -> Instance {
+    assert!(cfg.n_users > 0, "need at least one user");
+    assert!(cfg.extent > 0.0, "non-positive extent");
+    assert!(
+        (0.0..=1.0).contains(&cfg.conflict_ratio),
+        "conflict ratio outside [0, 1]"
+    );
+    assert!(
+        cfg.duration_range.0 > 0 && cfg.duration_range.0 <= cfg.duration_range.1,
+        "bad duration range"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = cfg.n_events;
+    let n = cfg.n_users;
+
+    // --- locations -------------------------------------------------
+    // Neighborhood centers for the clustered spatial model (empty for
+    // the uniform model).
+    let centers: Vec<Point> = match cfg.spatial {
+        crate::SpatialModel::Uniform => Vec::new(),
+        crate::SpatialModel::Clustered { clusters, spread } => {
+            assert!(clusters >= 1, "need at least one cluster");
+            assert!(spread > 0.0, "non-positive cluster spread");
+            (0..clusters)
+                .map(|_| {
+                    Point::new(
+                        rng.gen_range(0.0..cfg.extent),
+                        rng.gen_range(0.0..cfg.extent),
+                    )
+                })
+                .collect()
+        }
+    };
+    let random_point = |rng: &mut StdRng| -> Point {
+        match cfg.spatial {
+            crate::SpatialModel::Uniform => Point::new(
+                rng.gen_range(0.0..cfg.extent),
+                rng.gen_range(0.0..cfg.extent),
+            ),
+            crate::SpatialModel::Clustered { spread, .. } => {
+                let c = centers[rng.gen_range(0..centers.len())];
+                // Box–Muller Gaussian around the center, clamped to the
+                // city square.
+                let sigma = spread * cfg.extent;
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let r = (-2.0 * u1.ln()).sqrt() * sigma;
+                Point::new(
+                    (c.x + r * u2.cos()).clamp(0.0, cfg.extent),
+                    (c.y + r * u2.sin()).clamp(0.0, cfg.extent),
+                )
+            }
+        }
+    };
+    let user_locs: Vec<Point> = (0..n).map(|_| random_point(&mut rng)).collect();
+    let event_locs: Vec<Point> = (0..m).map(|_| random_point(&mut rng)).collect();
+
+    // --- budgets -----------------------------------------------------
+    let users: Vec<User> = user_locs
+        .into_iter()
+        .map(|loc| {
+            let frac = rng.gen_range(cfg.budget_frac.0..=cfg.budget_frac.1);
+            User::new(loc, frac * cfg.extent)
+        })
+        .collect();
+
+    // --- timeline with controlled conflict ratio --------------------
+    let n_conflicting = ((cfg.conflict_ratio * m as f64).round() as usize).min(m);
+    // A single "conflicting" event is impossible; round down to 0.
+    let n_conflicting = if n_conflicting < 2 { 0 } else { n_conflicting };
+    let mut ids: Vec<usize> = (0..m).collect();
+    ids.shuffle(&mut rng);
+    let (conflicting, solo) = ids.split_at(n_conflicting);
+
+    // Build clusters of 2–3 conflicting events.
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut it = conflicting.iter().copied().peekable();
+    while let Some(a) = it.next() {
+        let mut cluster = vec![a];
+        // Prefer pairs; occasionally triples. Never leave a singleton:
+        // merge a trailing lone event into the previous cluster.
+        if let Some(b) = it.next() {
+            cluster.push(b);
+            if rng.gen_bool(0.3) {
+                if let Some(c) = it.next() {
+                    cluster.push(c);
+                }
+            }
+        } else if let Some(prev) = clusters.last_mut() {
+            prev.push(a);
+            continue;
+        } else {
+            // Single conflicting event with no partner: drop the
+            // requirement (conflict ratio rounds to zero here).
+            clusters.push(cluster);
+            continue;
+        }
+        clusters.push(cluster);
+    }
+    if it.peek().is_some() {
+        unreachable!("iterator fully consumed above");
+    }
+
+    let slot_width = cfg.duration_range.1 + 2;
+    let mut times: Vec<Option<TimeInterval>> = vec![None; m];
+    let mut slot_start: u32 = 8 * 60; // start the timeline at 08:00
+    let place = |slot_start: u32, rng: &mut StdRng| -> TimeInterval {
+        let dur = rng.gen_range(cfg.duration_range.0..=cfg.duration_range.1);
+        let latest = slot_start + (slot_width - 2 - dur).min(20);
+        let s = rng.gen_range(slot_start..=latest);
+        TimeInterval::new(s, s + dur)
+    };
+    // Clusters: all members overlap. Anchor the first member at the
+    // slot start with maximal duration; others start inside it.
+    for cluster in &clusters {
+        let anchor_dur = cfg.duration_range.1;
+        let anchor = TimeInterval::new(slot_start, slot_start + anchor_dur);
+        times[cluster[0]] = Some(anchor);
+        for &e in &cluster[1..] {
+            let dur = rng.gen_range(cfg.duration_range.0..=cfg.duration_range.1);
+            // Start strictly inside the anchor so they always overlap.
+            let s = rng.gen_range(slot_start..slot_start + anchor_dur.min(30));
+            times[e] = Some(TimeInterval::new(s, s + dur));
+        }
+        // Clusters may outrun the anchor end by up to a duration; leave
+        // a full extra slot of space.
+        slot_start += 2 * slot_width;
+    }
+    for &e in solo {
+        times[e] = Some(place(slot_start, &mut rng));
+        slot_start += slot_width;
+    }
+
+    // --- participation bounds ---------------------------------------
+    let events: Vec<Event> = (0..m)
+        .map(|j| {
+            let upper_lo = (cfg.mean_upper as f64 * 0.6).round() as u32;
+            let upper_hi = (cfg.mean_upper as f64 * 1.4).round() as u32;
+            let upper = rng.gen_range(upper_lo.max(1)..=upper_hi.max(1));
+            let lower = rng.gen_range(0..=(2 * cfg.mean_lower)).min(upper);
+            Event::new(
+                event_locs[j],
+                lower,
+                upper,
+                times[j].expect("every event placed"),
+            )
+        })
+        .collect();
+
+    // --- utilities ---------------------------------------------------
+    let tag_model = TagModel::sample(
+        &mut rng,
+        cfg.n_tags,
+        n,
+        cfg.effective_groups(),
+        m,
+        cfg.tags_per_user,
+        cfg.tags_per_group,
+    );
+    let mut utilities = UtilityMatrix::zeros(n, m);
+    for u in 0..n {
+        for e in 0..m {
+            let mu = tag_model.utility(u, e);
+            if mu > 0.0 {
+                utilities.set(
+                    UserId(u as u32),
+                    epplan_core::model::EventId(e as u32),
+                    mu,
+                );
+            }
+        }
+    }
+
+    Instance::new(users, events, utilities)
+}
+
+/// Measures the realized conflict ratio of an instance: the fraction
+/// of events that conflict with at least one other event.
+pub fn conflict_ratio(instance: &Instance) -> f64 {
+    let m = instance.n_events();
+    if m == 0 {
+        return 0.0;
+    }
+    let conflicted = instance
+        .event_ids()
+        .filter(|&a| {
+            instance
+                .event_ids()
+                .any(|b| a != b && instance.conflicts(a, b))
+        })
+        .count();
+    conflicted as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = GeneratorConfig {
+            n_users: 30,
+            n_events: 12,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GeneratorConfig {
+            n_users: 30,
+            n_events: 12,
+            ..Default::default()
+        };
+        assert_ne!(generate(&cfg), generate(&cfg.with_seed(43)));
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = GeneratorConfig {
+            n_users: 25,
+            n_events: 8,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        assert_eq!(inst.n_users(), 25);
+        assert_eq!(inst.n_events(), 8);
+    }
+
+    #[test]
+    fn conflict_ratio_close_to_target() {
+        let cfg = GeneratorConfig {
+            n_users: 10,
+            n_events: 100,
+            conflict_ratio: 0.25,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        let r = conflict_ratio(&inst);
+        assert!(
+            (r - 0.25).abs() <= 0.05,
+            "realized conflict ratio {r} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn zero_conflict_ratio_gives_conflict_free_timeline() {
+        let cfg = GeneratorConfig {
+            n_users: 5,
+            n_events: 40,
+            conflict_ratio: 0.0,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        assert_eq!(conflict_ratio(&inst), 0.0);
+    }
+
+    #[test]
+    fn bounds_have_requested_means() {
+        let cfg = GeneratorConfig {
+            n_users: 5,
+            n_events: 400,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        let mean_lower: f64 = inst.events().iter().map(|e| e.lower as f64).sum::<f64>()
+            / inst.n_events() as f64;
+        let mean_upper: f64 = inst.events().iter().map(|e| e.upper as f64).sum::<f64>()
+            / inst.n_events() as f64;
+        assert!(
+            (mean_lower - 10.0).abs() < 2.0,
+            "mean ξ = {mean_lower}, want ≈ 10"
+        );
+        assert!(
+            (mean_upper - 50.0).abs() < 4.0,
+            "mean η = {mean_upper}, want ≈ 50"
+        );
+        for e in inst.events() {
+            assert!(e.lower <= e.upper);
+        }
+    }
+
+    #[test]
+    fn budgets_within_configured_fractions() {
+        let cfg = GeneratorConfig {
+            n_users: 200,
+            n_events: 10,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        for u in inst.users() {
+            assert!(u.budget >= cfg.budget_frac.0 * cfg.extent - 1e-9);
+            assert!(u.budget <= cfg.budget_frac.1 * cfg.extent + 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilities_sparse_but_present() {
+        let cfg = GeneratorConfig {
+            n_users: 50,
+            n_events: 20,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        let mut nonzero = 0usize;
+        for u in inst.user_ids() {
+            for e in inst.event_ids() {
+                let mu = inst.utility(u, e);
+                assert!((0.0..=1.0).contains(&mu));
+                if mu > 0.0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        let density = nonzero as f64 / (50.0 * 20.0);
+        assert!(density > 0.05, "utility matrix unusably sparse: {density}");
+        assert!(density < 0.95, "utility matrix implausibly dense: {density}");
+    }
+
+    #[test]
+    fn city_scale_instance_generates_quickly() {
+        // Vancouver-scale sanity check (2012 users × 225 events).
+        let cfg = GeneratorConfig {
+            n_users: 2012,
+            n_events: 225,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        assert_eq!(inst.n_users(), 2012);
+        let r = conflict_ratio(&inst);
+        assert!((r - 0.25).abs() <= 0.05, "conflict ratio {r}");
+    }
+}
+
+#[cfg(test)]
+mod spatial_tests {
+    use super::*;
+    use crate::SpatialModel;
+
+    #[test]
+    fn clustered_locations_concentrate() {
+        let clustered = generate(&GeneratorConfig {
+            n_users: 400,
+            n_events: 10,
+            spatial: SpatialModel::Clustered {
+                clusters: 3,
+                spread: 0.04,
+            },
+            ..Default::default()
+        });
+        let uniform = generate(&GeneratorConfig {
+            n_users: 400,
+            n_events: 10,
+            ..Default::default()
+        });
+        // Mean pairwise distance among a sample of users should be
+        // clearly smaller for tight clusters than for uniform placement.
+        let mean_pairwise = |inst: &epplan_core::model::Instance| -> f64 {
+            let pts: Vec<_> = inst.users().iter().map(|u| u.location).collect();
+            let mut sum = 0.0;
+            let mut k = 0usize;
+            for i in (0..pts.len()).step_by(7) {
+                for j in (i + 1..pts.len()).step_by(7) {
+                    sum += pts[i].distance(&pts[j]);
+                    k += 1;
+                }
+            }
+            sum / k as f64
+        };
+        let dc = mean_pairwise(&clustered);
+        let du = mean_pairwise(&uniform);
+        assert!(dc < 0.8 * du, "clustered {dc} not denser than uniform {du}");
+    }
+
+    #[test]
+    fn clustered_points_stay_in_city() {
+        let inst = generate(&GeneratorConfig {
+            n_users: 200,
+            n_events: 20,
+            extent: 50.0,
+            spatial: SpatialModel::Clustered {
+                clusters: 2,
+                spread: 0.5, // wide spread exercises the clamp
+            },
+            ..Default::default()
+        });
+        for u in inst.users() {
+            assert!((0.0..=50.0).contains(&u.location.x));
+            assert!((0.0..=50.0).contains(&u.location.y));
+        }
+        for e in inst.events() {
+            assert!((0.0..=50.0).contains(&e.location.x));
+        }
+    }
+
+    #[test]
+    fn clustered_is_deterministic() {
+        let cfg = GeneratorConfig {
+            n_users: 50,
+            n_events: 8,
+            spatial: SpatialModel::Clustered {
+                clusters: 4,
+                spread: 0.1,
+            },
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = generate(&GeneratorConfig {
+            n_users: 5,
+            n_events: 2,
+            spatial: SpatialModel::Clustered {
+                clusters: 0,
+                spread: 0.1,
+            },
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,58 @@
+//! Instance persistence: JSON snapshots for reproducible benchmarks.
+
+use epplan_core::model::Instance;
+use std::io;
+use std::path::Path;
+
+/// Serializes `instance` to pretty-printed JSON at `path`.
+pub fn save_instance(instance: &Instance, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(instance)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Loads an instance previously written by [`save_instance`].
+pub fn load_instance(path: &Path) -> io::Result<Instance> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    #[test]
+    fn roundtrip() {
+        let cfg = GeneratorConfig {
+            n_users: 12,
+            n_events: 5,
+            ..Default::default()
+        };
+        let inst = generate(&cfg);
+        let dir = std::env::temp_dir().join("epplan-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("instance.json");
+        save_instance(&inst, &path).unwrap();
+        let back = load_instance(&path).unwrap();
+        assert_eq!(inst, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_instance(Path::new("/nonexistent/epplan.json")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let dir = std::env::temp_dir().join("epplan-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = load_instance(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+}

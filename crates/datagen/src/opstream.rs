@@ -1,0 +1,371 @@
+//! Random atomic-operation workloads for IEP simulations.
+//!
+//! Section V-C evaluates single operations in isolation; real EBSN
+//! platforms face *streams* of them. [`OpStreamSampler`] draws
+//! operations from a weighted mix, always relative to the **current**
+//! instance and plan (so, e.g., an `η` decrease targets an event that
+//! actually has attendees, and a `NewEvent` op is consistent with the
+//! current user count). Drive it in a loop with
+//! `IncrementalPlanner::apply`, or feed a batch to `apply_batch`.
+
+use epplan_core::incremental::AtomicOp;
+use epplan_core::model::{Event, EventId, Instance, TimeInterval, UserId};
+use epplan_core::plan::Plan;
+use epplan_geo::{BoundingBox, Point};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Relative frequencies of the operation kinds. Zero disables a kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpWeights {
+    /// `η` decreased (venue shrinks).
+    pub eta_decrease: f64,
+    /// `η` increased (bigger venue).
+    pub eta_increase: f64,
+    /// `ξ` increased (organizer raises break-even).
+    pub xi_increase: f64,
+    /// `ξ` decreased.
+    pub xi_decrease: f64,
+    /// Start/end time moved.
+    pub time_change: f64,
+    /// Venue moved.
+    pub location_change: f64,
+    /// New event posted.
+    pub new_event: f64,
+    /// A user's interest changes (including dropping to 0).
+    pub utility_change: f64,
+    /// A user's budget changes.
+    pub budget_change: f64,
+    /// Admission fee changes (the Section VII extension).
+    pub fee_change: f64,
+}
+
+impl Default for OpWeights {
+    fn default() -> Self {
+        // Roughly: user-driven changes dominate, organizer changes are
+        // rarer, brand-new events rarer still.
+        OpWeights {
+            eta_decrease: 1.0,
+            eta_increase: 0.5,
+            xi_increase: 1.0,
+            xi_decrease: 0.5,
+            time_change: 1.0,
+            location_change: 0.5,
+            new_event: 0.3,
+            utility_change: 2.0,
+            budget_change: 2.0,
+            fee_change: 0.3,
+        }
+    }
+}
+
+impl OpWeights {
+    fn total(&self) -> f64 {
+        self.eta_decrease
+            + self.eta_increase
+            + self.xi_increase
+            + self.xi_decrease
+            + self.time_change
+            + self.location_change
+            + self.new_event
+            + self.utility_change
+            + self.budget_change
+            + self.fee_change
+    }
+}
+
+/// Stateful sampler of atomic operations.
+#[derive(Debug)]
+pub struct OpStreamSampler {
+    rng: StdRng,
+    weights: OpWeights,
+}
+
+impl OpStreamSampler {
+    /// Sampler with the default operation mix.
+    pub fn new(seed: u64) -> Self {
+        OpStreamSampler {
+            rng: StdRng::seed_from_u64(seed),
+            weights: OpWeights::default(),
+        }
+    }
+
+    /// Sampler with a custom mix; panics if every weight is zero.
+    pub fn with_weights(seed: u64, weights: OpWeights) -> Self {
+        assert!(weights.total() > 0.0, "all operation weights are zero");
+        OpStreamSampler {
+            rng: StdRng::seed_from_u64(seed),
+            weights,
+        }
+    }
+
+    fn random_event(&mut self, instance: &Instance) -> EventId {
+        EventId(self.rng.gen_range(0..instance.n_events()) as u32)
+    }
+
+    fn random_user(&mut self, instance: &Instance) -> UserId {
+        UserId(self.rng.gen_range(0..instance.n_users()) as u32)
+    }
+
+    /// Draws the next operation, consistent with the current state.
+    /// Panics on instances without users or events.
+    pub fn next_op(&mut self, instance: &Instance, plan: &Plan) -> AtomicOp {
+        assert!(instance.n_users() > 0, "no users to operate on");
+        assert!(instance.n_events() > 0, "no events to operate on");
+        let w = self.weights.clone();
+        let mut x = self.rng.gen_range(0.0..w.total());
+        let mut pick = |weight: f64| -> bool {
+            if x < weight {
+                true
+            } else {
+                x -= weight;
+                false
+            }
+        };
+
+        if pick(w.eta_decrease) {
+            let event = self.random_event(instance);
+            let n = plan.attendance(event);
+            let new_upper = if n > 1 {
+                self.rng.gen_range(1..n)
+            } else {
+                n.max(1)
+            };
+            return AtomicOp::EtaDecrease { event, new_upper };
+        }
+        if pick(w.eta_increase) {
+            let event = self.random_event(instance);
+            let bump = self.rng.gen_range(1..=10);
+            return AtomicOp::EtaIncrease {
+                event,
+                new_upper: instance.event(event).upper + bump,
+            };
+        }
+        if pick(w.xi_increase) {
+            let event = self.random_event(instance);
+            let n = plan.attendance(event);
+            let new_lower = (n + self.rng.gen_range(1..=3)).min(instance.event(event).upper);
+            return AtomicOp::XiIncrease { event, new_lower };
+        }
+        if pick(w.xi_decrease) {
+            let event = self.random_event(instance);
+            return AtomicOp::XiDecrease {
+                event,
+                new_lower: instance.event(event).lower / 2,
+            };
+        }
+        if pick(w.time_change) {
+            let event = self.random_event(instance);
+            let anchor = self.random_event(instance);
+            let base = instance.event(anchor).time;
+            let dur = instance.event(event).time.duration();
+            let start = base.start.saturating_add(self.rng.gen_range(0..45));
+            return AtomicOp::TimeChange {
+                event,
+                new_time: TimeInterval::new(start, start + dur),
+            };
+        }
+        if pick(w.location_change) {
+            let event = self.random_event(instance);
+            let bb = BoundingBox::of(instance.events().iter().map(|e| &e.location))
+                .expect("events exist");
+            return AtomicOp::LocationChange {
+                event,
+                new_location: Point::new(
+                    self.rng.gen_range(bb.min.x..=bb.max.x.max(bb.min.x + 1e-9)),
+                    self.rng.gen_range(bb.min.y..=bb.max.y.max(bb.min.y + 1e-9)),
+                ),
+            };
+        }
+        if pick(w.new_event) {
+            let bb = BoundingBox::of(instance.events().iter().map(|e| &e.location))
+                .expect("events exist");
+            let center = bb.center();
+            // Place the new event after everything else on the timeline.
+            let latest = instance
+                .events()
+                .iter()
+                .map(|e| e.time.end)
+                .max()
+                .expect("events exist");
+            let start = latest + self.rng.gen_range(10..120);
+            let dur = self.rng.gen_range(60..180);
+            let upper = self.rng.gen_range(10..40);
+            let lower = self.rng.gen_range(0..=upper / 3);
+            let utilities: Vec<f64> = (0..instance.n_users())
+                .map(|_| {
+                    if self.rng.gen_bool(0.3) {
+                        self.rng.gen_range(0.1..1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            return AtomicOp::NewEvent {
+                event: Event::new(center, lower, upper, TimeInterval::new(start, start + dur)),
+                utilities,
+            };
+        }
+        if pick(w.utility_change) {
+            let user = self.random_user(instance);
+            let event = self.random_event(instance);
+            let new_utility = if self.rng.gen_bool(0.4) {
+                0.0 // the "can no longer attend" case
+            } else {
+                self.rng.gen_range(0.05..1.0)
+            };
+            return AtomicOp::UtilityChange {
+                user,
+                event,
+                new_utility,
+            };
+        }
+        if pick(w.budget_change) {
+            let user = self.random_user(instance);
+            let old = instance.user(user).budget;
+            let factor = self.rng.gen_range(0.3..1.7);
+            return AtomicOp::BudgetChange {
+                user,
+                new_budget: old * factor,
+            };
+        }
+        // Remaining mass: fee change.
+        let event = self.random_event(instance);
+        AtomicOp::FeeChange {
+            event,
+            new_fee: self.rng.gen_range(0.0..instance.user(UserId(0)).budget / 2.0),
+        }
+    }
+
+    /// Draws `n` operations, applying each to an evolving copy of the
+    /// state so later operations stay consistent (e.g. they may target
+    /// events created by earlier `NewEvent` ops). Returns the ops.
+    pub fn stream(
+        &mut self,
+        instance: &Instance,
+        plan: &Plan,
+        n: usize,
+    ) -> Vec<AtomicOp> {
+        use epplan_core::incremental::IncrementalPlanner;
+        let planner = IncrementalPlanner;
+        let mut inst = instance.clone();
+        let mut cur = plan.clone();
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let op = self.next_op(&inst, &cur);
+            let out = planner.apply(&inst, &cur, &op);
+            inst = out.instance;
+            cur = out.plan;
+            ops.push(op);
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+    use epplan_core::incremental::IncrementalPlanner;
+    use epplan_core::solver::{GepcSolver, GreedySolver};
+
+    fn setup() -> (Instance, Plan) {
+        let inst = generate(&GeneratorConfig {
+            n_users: 40,
+            n_events: 10,
+            mean_lower: 2,
+            mean_upper: 8,
+            ..Default::default()
+        });
+        let plan = GreedySolver::seeded(1).solve(&inst).plan;
+        (inst, plan)
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (inst, plan) = setup();
+        let a = OpStreamSampler::new(5).stream(&inst, &plan, 10);
+        let b = OpStreamSampler::new(5).stream(&inst, &plan, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_is_replayable_via_batch() {
+        let (inst, plan) = setup();
+        let ops = OpStreamSampler::new(9).stream(&inst, &plan, 15);
+        let out = IncrementalPlanner.apply_batch(&inst, &plan, &ops);
+        assert!(out.plan.validate(&out.instance).hard_ok());
+        assert_eq!(out.step_difs.len(), 15);
+    }
+
+    #[test]
+    fn disabled_kinds_never_sampled() {
+        let (inst, plan) = setup();
+        let weights = OpWeights {
+            eta_decrease: 0.0,
+            eta_increase: 0.0,
+            xi_increase: 0.0,
+            xi_decrease: 0.0,
+            time_change: 0.0,
+            location_change: 0.0,
+            new_event: 0.0,
+            utility_change: 0.0,
+            budget_change: 1.0,
+            fee_change: 0.0,
+        };
+        let mut sampler = OpStreamSampler::with_weights(3, weights);
+        for _ in 0..20 {
+            let op = sampler.next_op(&inst, &plan);
+            assert!(matches!(op, AtomicOp::BudgetChange { .. }), "{op:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all operation weights are zero")]
+    fn zero_weights_panic() {
+        let weights = OpWeights {
+            eta_decrease: 0.0,
+            eta_increase: 0.0,
+            xi_increase: 0.0,
+            xi_decrease: 0.0,
+            time_change: 0.0,
+            location_change: 0.0,
+            new_event: 0.0,
+            utility_change: 0.0,
+            budget_change: 0.0,
+            fee_change: 0.0,
+        };
+        let _ = OpStreamSampler::with_weights(1, weights);
+    }
+
+    #[test]
+    fn new_events_extend_later_ops_range() {
+        let (inst, plan) = setup();
+        let weights = OpWeights {
+            new_event: 5.0,
+            ..Default::default()
+        };
+        let mut sampler = OpStreamSampler::with_weights(11, weights);
+        let ops = sampler.stream(&inst, &plan, 30);
+        let n_new = ops
+            .iter()
+            .filter(|o| matches!(o, AtomicOp::NewEvent { .. }))
+            .count();
+        assert!(n_new >= 2, "expected several NewEvent ops, got {n_new}");
+        // Replay must succeed even with the growing event set.
+        let out = IncrementalPlanner.apply_batch(&inst, &plan, &ops);
+        assert_eq!(out.instance.n_events(), inst.n_events() + n_new);
+    }
+
+    #[test]
+    fn all_default_kinds_eventually_appear() {
+        let (inst, plan) = setup();
+        let mut sampler = OpStreamSampler::new(17);
+        let ops = sampler.stream(&inst, &plan, 250);
+        let mut kinds = std::collections::HashSet::new();
+        for op in &ops {
+            kinds.insert(std::mem::discriminant(op));
+        }
+        assert!(kinds.len() >= 9, "only {} distinct kinds", kinds.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! The interest-tag utility model.
+//!
+//! Meetup users select interest tags at registration; events are
+//! created by groups, and groups carry tag documents. The paper derives
+//! `μ(u_i, e_j)` from "the tag document of users, the tag document of
+//! events, and the group document of events" (\[1\], \[2\]). This module
+//! reproduces that pipeline synthetically:
+//!
+//! * a vocabulary of `K` tags with Zipf-like popularity (a few tags are
+//!   very popular — "music", "sports" — and a long tail is niche);
+//! * each user samples a small popularity-weighted tag set;
+//! * each *group* samples a tag set; every event belongs to one group
+//!   and inherits its tags;
+//! * `μ(u, e) = |T_u ∩ T_{g(e)}| / |T_u ∪ T_{g(e)}|` (Jaccard), the
+//!   standard similarity used for tag documents.
+
+use rand::prelude::*;
+
+/// A sampled tag universe with user and group tag sets.
+#[derive(Debug, Clone)]
+pub struct TagModel {
+    /// Tag sets per user (sorted).
+    pub user_tags: Vec<Vec<u32>>,
+    /// Tag sets per group (sorted).
+    pub group_tags: Vec<Vec<u32>>,
+    /// Group of each event.
+    pub event_group: Vec<u32>,
+}
+
+impl TagModel {
+    /// Samples the whole model.
+    pub fn sample(
+        rng: &mut impl Rng,
+        n_tags: usize,
+        n_users: usize,
+        n_groups: usize,
+        n_events: usize,
+        tags_per_user: (usize, usize),
+        tags_per_group: (usize, usize),
+    ) -> Self {
+        assert!(n_tags > 0, "empty tag vocabulary");
+        assert!(n_groups > 0, "need at least one group");
+        // Zipf weights: w_k = 1 / (k+1).
+        let weights: Vec<f64> = (0..n_tags).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+        let draw_set = |rng: &mut dyn RngCore, range: (usize, usize)| -> Vec<u32> {
+            let lo = range.0.max(1);
+            let hi = range.1.max(lo).min(n_tags);
+            let k = if lo == hi {
+                lo
+            } else {
+                // Inclusive range sample.
+                lo + (rng.next_u64() as usize) % (hi - lo + 1)
+            };
+            // Weighted sampling without replacement.
+            let mut chosen = Vec::with_capacity(k);
+            let mut avail: Vec<(u32, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(t, &w)| (t as u32, w))
+                .collect();
+            for _ in 0..k {
+                let total: f64 = avail.iter().map(|&(_, w)| w).sum();
+                let mut x = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+                let mut pick = avail.len() - 1;
+                for (idx, &(_, w)) in avail.iter().enumerate() {
+                    if x < w {
+                        pick = idx;
+                        break;
+                    }
+                    x -= w;
+                }
+                chosen.push(avail.swap_remove(pick).0);
+            }
+            chosen.sort_unstable();
+            chosen
+        };
+
+        let user_tags: Vec<Vec<u32>> =
+            (0..n_users).map(|_| draw_set(rng, tags_per_user)).collect();
+        let group_tags: Vec<Vec<u32>> = (0..n_groups)
+            .map(|_| draw_set(rng, tags_per_group))
+            .collect();
+        let event_group: Vec<u32> = (0..n_events)
+            .map(|_| rng.gen_range(0..n_groups) as u32)
+            .collect();
+        TagModel {
+            user_tags,
+            group_tags,
+            event_group,
+        }
+    }
+
+    /// Jaccard similarity of two sorted tag sets.
+    pub fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        let mut i = 0;
+        let mut j = 0;
+        let mut inter = 0usize;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// `μ(user, event)` under the model.
+    pub fn utility(&self, user: usize, event: usize) -> f64 {
+        let g = self.event_group[event] as usize;
+        Self::jaccard(&self.user_tags[user], &self.group_tags[g])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(TagModel::jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(TagModel::jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(TagModel::jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(TagModel::jaccard(&[], &[]), 0.0);
+        assert_eq!(TagModel::jaccard(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn sample_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = TagModel::sample(&mut rng, 30, 10, 4, 20, (2, 5), (2, 4));
+        assert_eq!(m.user_tags.len(), 10);
+        assert_eq!(m.group_tags.len(), 4);
+        assert_eq!(m.event_group.len(), 20);
+        for tags in m.user_tags.iter().chain(&m.group_tags) {
+            assert!(!tags.is_empty() && tags.len() <= 5);
+            assert!(tags.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            assert!(tags.iter().all(|&t| t < 30));
+        }
+        for &g in &m.event_group {
+            assert!((g as usize) < 4);
+        }
+    }
+
+    #[test]
+    fn utilities_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = TagModel::sample(&mut rng, 20, 15, 5, 25, (1, 4), (1, 4));
+        for u in 0..15 {
+            for e in 0..25 {
+                let mu = m.utility(u, e);
+                assert!((0.0..=1.0).contains(&mu));
+            }
+        }
+    }
+
+    #[test]
+    fn popular_tags_appear_more_often() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = TagModel::sample(&mut rng, 50, 400, 4, 4, (3, 3), (2, 2));
+        let count = |t: u32| m.user_tags.iter().filter(|ts| ts.contains(&t)).count();
+        // Tag 0 (weight 1) should be far more common than tag 40
+        // (weight ~1/41).
+        assert!(count(0) > count(40) * 2, "{} vs {}", count(0), count(40));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = TagModel::sample(&mut StdRng::seed_from_u64(9), 30, 8, 3, 12, (2, 4), (2, 4));
+        let b = TagModel::sample(&mut StdRng::seed_from_u64(9), 30, 8, 3, 12, (2, 4), (2, 4));
+        assert_eq!(a.user_tags, b.user_tags);
+        assert_eq!(a.group_tags, b.group_tags);
+        assert_eq!(a.event_group, b.event_group);
+    }
+}

@@ -1,0 +1,25 @@
+//! Minimum-cost flow and bipartite assignment.
+//!
+//! The Shmoys–Tardos rounding step of the paper's GAP-based algorithm
+//! (Section III-A, \[6\]) converts a fractional GAP solution into an
+//! integral assignment by computing a **minimum-cost matching that
+//! saturates every job** in a bipartite "slot graph". This crate
+//! provides the two pieces needed for that:
+//!
+//! * [`MinCostFlow`] — successive-shortest-path min-cost max-flow with
+//!   SPFA path search (handles the negative-cost arcs that appear when
+//!   utilities are converted to costs `1 − μ`);
+//! * [`min_cost_assignment`] — a job→slot assignment layer on top,
+//!   with per-slot capacities, requiring every left vertex be matched.
+//!
+//! Capacities are `f64` but all callers use integral capacities, for
+//! which successive shortest paths provably returns integral flows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matching;
+mod mcmf;
+
+pub use matching::{min_cost_assignment, Assignment};
+pub use mcmf::{EdgeId, FlowResult, MinCostFlow};

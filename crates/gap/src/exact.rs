@@ -1,0 +1,183 @@
+//! Exact GAP optimum by depth-first branch-and-bound.
+//!
+//! Exponential in the number of jobs; intended for the small instances
+//! used in tests and in the approximation-ratio ablation experiment
+//! (DESIGN.md, experiment A1). Jobs are explored in order of fewest
+//! allowed machines first (fail-first), and branches are pruned with an
+//! admissible lower bound: current cost plus each remaining job's
+//! cheapest allowed cost (capacity ignored).
+
+use crate::{GapInstance, GapSolution};
+
+/// Upper limit on jobs before we refuse to run (avoids accidental
+/// exponential blow-ups in benchmarks).
+pub const MAX_EXACT_JOBS: usize = 24;
+
+/// Finds a minimum-cost complete assignment, or `None` when no complete
+/// assignment satisfies the capacities.
+///
+/// # Panics
+/// Panics when the instance has more than [`MAX_EXACT_JOBS`] jobs.
+pub fn branch_and_bound(inst: &GapInstance) -> Option<GapSolution> {
+    assert!(
+        inst.n_jobs() <= MAX_EXACT_JOBS,
+        "exact solver limited to {MAX_EXACT_JOBS} jobs, got {}",
+        inst.n_jobs()
+    );
+    let n = inst.n_jobs();
+    let m = inst.n_machines();
+    if n == 0 {
+        return Some(GapSolution::from_assignment(inst, Vec::new()));
+    }
+
+    // Cheapest allowed cost per job (lower-bound contribution), and the
+    // job order: fewest options first.
+    let mut min_cost = vec![f64::INFINITY; n];
+    let mut options = vec![0usize; n];
+    for j in 0..n {
+        for i in 0..m {
+            if inst.allowed(i, j) {
+                options[j] += 1;
+                if inst.cost(i, j) < min_cost[j] {
+                    min_cost[j] = inst.cost(i, j);
+                }
+            }
+        }
+        if options[j] == 0 {
+            return None; // some job is unassignable
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&j| options[j]);
+    // Suffix lower bounds over the chosen order.
+    let mut suffix_lb = vec![0.0; n + 1];
+    for k in (0..n).rev() {
+        suffix_lb[k] = suffix_lb[k + 1] + min_cost[order[k]];
+    }
+
+    struct Ctx<'a> {
+        inst: &'a GapInstance,
+        order: &'a [usize],
+        suffix_lb: &'a [f64],
+        loads: Vec<f64>,
+        assign: Vec<Option<usize>>,
+        best_cost: f64,
+        best: Option<Vec<Option<usize>>>,
+    }
+
+    fn dfs(ctx: &mut Ctx<'_>, depth: usize, cost: f64) {
+        if cost + ctx.suffix_lb[depth] >= ctx.best_cost - 1e-12 {
+            return;
+        }
+        if depth == ctx.order.len() {
+            ctx.best_cost = cost;
+            ctx.best = Some(ctx.assign.clone());
+            return;
+        }
+        let j = ctx.order[depth];
+        // Try machines in increasing cost for better pruning.
+        let mut ms: Vec<usize> = ctx.inst.allowed_machines(j).collect();
+        ms.sort_by(|&a, &b| ctx.inst.cost(a, j).total_cmp(&ctx.inst.cost(b, j)));
+        for i in ms {
+            let t = ctx.inst.time(i, j);
+            if ctx.loads[i] + t <= ctx.inst.capacity(i) + 1e-12 {
+                ctx.loads[i] += t;
+                ctx.assign[j] = Some(i);
+                dfs(ctx, depth + 1, cost + ctx.inst.cost(i, j));
+                ctx.assign[j] = None;
+                ctx.loads[i] -= t;
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        inst,
+        order: &order,
+        suffix_lb: &suffix_lb,
+        loads: vec![0.0; m],
+        assign: vec![None; n],
+        best_cost: f64::INFINITY,
+        best: None,
+    };
+    dfs(&mut ctx, 0, 0.0);
+    ctx.best
+        .map(|assignment| GapSolution::from_assignment(inst, assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_single_pair() {
+        let g = GapInstance::from_matrices(vec![vec![2.0]], vec![vec![1.0]], vec![1.0]);
+        let s = branch_and_bound(&g).unwrap();
+        assert_eq!(s.assignment, vec![Some(0)]);
+        assert_eq!(s.cost, 2.0);
+    }
+
+    #[test]
+    fn picks_global_optimum_over_greedy() {
+        // Both jobs prefer machine 0, which fits only one. Greedy on
+        // job order would take (m0, j0) cost 0 and be forced to pay 10
+        // for j1; optimum is 2 + 0.5 = 2.5.
+        let g = GapInstance::from_matrices(
+            vec![vec![0.0, 0.5], vec![2.0, 10.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![1.0, 1.0],
+        );
+        let s = branch_and_bound(&g).unwrap();
+        assert_eq!(s.cost, 2.5);
+        assert_eq!(s.assignment, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        // Both jobs prefer machine 0 but it fits only one.
+        let g = GapInstance::from_matrices(
+            vec![vec![1.0, 1.0], vec![5.0, 5.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![1.0, 2.0],
+        );
+        let s = branch_and_bound(&g).unwrap();
+        assert_eq!(s.cost, 6.0);
+        assert!(s.within_capacity(&g, 1.0));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let g = GapInstance::from_matrices(
+            vec![vec![1.0, 1.0]],
+            vec![vec![1.0, 1.0]],
+            vec![1.5], // two unit jobs, capacity 1.5
+        );
+        assert!(branch_and_bound(&g).is_none());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = GapInstance::new(2, 0, vec![1.0, 1.0]);
+        let s = branch_and_bound(&g).unwrap();
+        assert!(s.assignment.is_empty());
+        assert_eq!(s.cost, 0.0);
+    }
+
+    #[test]
+    fn forbidden_pairs_block_assignment() {
+        let mut g = GapInstance::from_matrices(
+            vec![vec![1.0], vec![0.5]],
+            vec![vec![1.0], vec![1.0]],
+            vec![2.0, 2.0],
+        );
+        g.forbid(1, 0);
+        let s = branch_and_bound(&g).unwrap();
+        assert_eq!(s.assignment, vec![Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact solver limited")]
+    fn too_many_jobs_panics() {
+        let g = GapInstance::new(1, MAX_EXACT_JOBS + 1, vec![1.0]);
+        let _ = branch_and_bound(&g);
+    }
+}

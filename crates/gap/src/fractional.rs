@@ -1,0 +1,234 @@
+//! Fractional (relaxed) GAP solutions shared by the exact LP and the
+//! multiplicative-weights solvers.
+
+use crate::GapInstance;
+
+/// A fractional assignment: `x(i, j) ∈ [0, 1]` with `Σ_i x(i, j) = 1`
+/// for every job `j` that is fractionally assignable.
+#[derive(Debug, Clone)]
+pub struct FractionalSolution {
+    n_machines: usize,
+    n_jobs: usize,
+    /// Machine-major dense matrix.
+    x: Vec<f64>,
+    /// Jobs that could not be (fractionally) assigned at all.
+    pub unassigned: Vec<usize>,
+}
+
+impl FractionalSolution {
+    /// Creates an all-zero solution.
+    pub fn zero(n_machines: usize, n_jobs: usize) -> Self {
+        FractionalSolution {
+            n_machines,
+            n_jobs,
+            x: vec![0.0; n_machines * n_jobs],
+            unassigned: Vec::new(),
+        }
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+
+    /// Fraction of job `j` on machine `i`.
+    #[inline]
+    pub fn get(&self, machine: usize, job: usize) -> f64 {
+        self.x[machine * self.n_jobs + job]
+    }
+
+    /// Sets the fraction of job `j` on machine `i`.
+    #[inline]
+    pub fn set(&mut self, machine: usize, job: usize, v: f64) {
+        self.x[machine * self.n_jobs + job] = v;
+    }
+
+    /// Adds to the fraction of job `j` on machine `i`.
+    #[inline]
+    pub fn add(&mut self, machine: usize, job: usize, v: f64) {
+        self.x[machine * self.n_jobs + job] += v;
+    }
+
+    /// Scales the whole matrix by `f` (used to average MW iterates).
+    pub fn scale(&mut self, f: f64) {
+        self.x.iter_mut().for_each(|v| *v *= f);
+    }
+
+    /// Fractional cost `Σ c(i,j) · x(i,j)` over non-forbidden pairs.
+    pub fn cost(&self, inst: &GapInstance) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.n_machines {
+            for j in 0..self.n_jobs {
+                let v = self.get(i, j);
+                if v > 0.0 {
+                    total += v * inst.cost(i, j);
+                }
+            }
+        }
+        total
+    }
+
+    /// Per-machine fractional loads `Σ p(i,j) · x(i,j)`.
+    pub fn loads(&self, inst: &GapInstance) -> Vec<f64> {
+        (0..self.n_machines)
+            .map(|i| {
+                (0..self.n_jobs)
+                    .map(|j| self.get(i, j) * inst.time(i, j))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Total assigned fraction of job `j` (should be 1 for assigned
+    /// jobs, 0 for unassigned ones).
+    pub fn job_mass(&self, job: usize) -> f64 {
+        (0..self.n_machines).map(|i| self.get(i, job)).sum()
+    }
+
+    /// Keeps only each job's `k` largest machine fractions,
+    /// renormalizing so job masses stay at 1.
+    ///
+    /// The multiplicative-weights solver can spread a job's mass over
+    /// many machines; the Shmoys–Tardos rounding then builds a slot
+    /// graph whose edge count (and min-cost-flow time) grows with that
+    /// support. Pruning to the dominant machines changes the fractional
+    /// cost only marginally (the dropped tail carries little mass) and
+    /// keeps the rounding near-linear. Exact LP solutions are basic and
+    /// already sparse, so pruning is a no-op for them in practice.
+    pub fn prune_top_k(&mut self, k: usize) {
+        assert!(k > 0, "cannot prune to zero machines");
+        for j in 0..self.n_jobs {
+            if self.unassigned.contains(&j) {
+                continue;
+            }
+            let mut fracs: Vec<(usize, f64)> = (0..self.n_machines)
+                .filter_map(|i| {
+                    let v = self.get(i, j);
+                    (v > 0.0).then_some((i, v))
+                })
+                .collect();
+            if fracs.len() <= k {
+                continue;
+            }
+            fracs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            let keep: f64 = fracs[..k].iter().map(|&(_, v)| v).sum();
+            if keep <= 0.0 {
+                continue;
+            }
+            let scale = self.job_mass(j) / keep;
+            for &(i, _) in &fracs[k..] {
+                self.set(i, j, 0.0);
+            }
+            for &(i, v) in &fracs[..k] {
+                self.set(i, j, v * scale);
+            }
+        }
+    }
+
+    /// Validates the structural invariants within `tol`:
+    /// non-negativity, job masses ≈ 1 (or 0 for unassigned), and zero
+    /// mass on forbidden pairs.
+    pub fn check(&self, inst: &GapInstance, tol: f64) -> Result<(), String> {
+        if self.x.iter().any(|&v| v < -tol) {
+            return Err("negative fraction".into());
+        }
+        for j in 0..self.n_jobs {
+            let mass = self.job_mass(j);
+            let expect = if self.unassigned.contains(&j) { 0.0 } else { 1.0 };
+            if (mass - expect).abs() > tol {
+                return Err(format!("job {j} mass {mass}, expected {expect}"));
+            }
+        }
+        for i in 0..self.n_machines {
+            for j in 0..self.n_jobs {
+                if self.get(i, j) > tol && !inst.allowed(i, j) {
+                    return Err(format!("mass on forbidden pair ({i}, {j})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> GapInstance {
+        GapInstance::from_matrices(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+            vec![10.0, 10.0],
+        )
+    }
+
+    #[test]
+    fn cost_and_loads() {
+        let g = inst();
+        let mut x = FractionalSolution::zero(2, 2);
+        x.set(0, 0, 0.5);
+        x.set(1, 0, 0.5);
+        x.set(0, 1, 1.0);
+        assert!((x.cost(&g) - (0.5 + 1.5 + 2.0)).abs() < 1e-12);
+        assert_eq!(x.loads(&g), vec![0.5 + 2.0, 1.0]);
+        assert!(x.check(&g, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_bad_mass() {
+        let g = inst();
+        let mut x = FractionalSolution::zero(2, 2);
+        x.set(0, 0, 0.7); // job 0 mass 0.7, job 1 mass 0
+        assert!(x.check(&g, 1e-9).is_err());
+    }
+
+    #[test]
+    fn check_rejects_forbidden_mass() {
+        let mut g = inst();
+        g.forbid(0, 0);
+        let mut x = FractionalSolution::zero(2, 2);
+        x.set(0, 0, 1.0);
+        x.set(0, 1, 1.0);
+        assert!(x.check(&g, 1e-9).is_err());
+    }
+
+    #[test]
+    fn prune_keeps_mass_and_top_fractions() {
+        let g = inst();
+        let mut x = FractionalSolution::zero(2, 2);
+        x.set(0, 0, 0.7);
+        x.set(1, 0, 0.3);
+        x.set(0, 1, 1.0);
+        x.prune_top_k(1);
+        assert!((x.job_mass(0) - 1.0).abs() < 1e-12);
+        assert_eq!(x.get(1, 0), 0.0);
+        assert!((x.get(0, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(x.get(0, 1), 1.0);
+        assert!(x.check(&g, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn prune_noop_when_support_small() {
+        let mut x = FractionalSolution::zero(3, 1);
+        x.set(0, 0, 0.5);
+        x.set(1, 0, 0.5);
+        let before = x.clone();
+        x.prune_top_k(2);
+        assert_eq!(x.get(0, 0), before.get(0, 0));
+        assert_eq!(x.get(1, 0), before.get(1, 0));
+    }
+
+    #[test]
+    fn unassigned_jobs_expect_zero_mass() {
+        let g = inst();
+        let mut x = FractionalSolution::zero(2, 2);
+        x.set(0, 0, 1.0);
+        x.unassigned = vec![1];
+        assert!(x.check(&g, 1e-9).is_ok());
+    }
+}

@@ -1,0 +1,267 @@
+/// A Generalized Assignment Problem instance.
+///
+/// `n_machines` machines (users, in the GEPC reduction) and `n_jobs`
+/// jobs (event copies). Assigning job `j` to machine `i` incurs cost
+/// `cost(i, j)` and consumes `time(i, j)` of machine `i`'s capacity
+/// `capacity(i)`. The objective is to assign **every** job to exactly
+/// one machine, minimizing total cost, with every machine's consumed
+/// time within its capacity.
+///
+/// A pair may be *forbidden* (the user cannot attend the event at all,
+/// e.g. zero utility or unaffordable travel): forbidden pairs have
+/// infinite cost and are excluded from every solver's search space.
+#[derive(Debug, Clone)]
+pub struct GapInstance {
+    n_machines: usize,
+    n_jobs: usize,
+    /// Machine-major `n_machines × n_jobs`; `f64::INFINITY` = forbidden.
+    costs: Vec<f64>,
+    times: Vec<f64>,
+    capacity: Vec<f64>,
+}
+
+impl GapInstance {
+    /// Creates an instance with all costs/times zero and the given
+    /// capacities.
+    pub fn new(n_machines: usize, n_jobs: usize, capacity: Vec<f64>) -> Self {
+        assert_eq!(capacity.len(), n_machines, "one capacity per machine");
+        assert!(capacity.iter().all(|&c| c >= 0.0), "negative capacity");
+        GapInstance {
+            n_machines,
+            n_jobs,
+            costs: vec![0.0; n_machines * n_jobs],
+            times: vec![0.0; n_machines * n_jobs],
+            capacity,
+        }
+    }
+
+    /// Builds an instance from dense matrices (machine-major rows).
+    pub fn from_matrices(costs: Vec<Vec<f64>>, times: Vec<Vec<f64>>, capacity: Vec<f64>) -> Self {
+        let n_machines = costs.len();
+        assert_eq!(times.len(), n_machines);
+        assert_eq!(capacity.len(), n_machines);
+        let n_jobs = costs.first().map_or(0, Vec::len);
+        let mut inst = GapInstance::new(n_machines, n_jobs, capacity);
+        for i in 0..n_machines {
+            assert_eq!(costs[i].len(), n_jobs, "ragged cost matrix");
+            assert_eq!(times[i].len(), n_jobs, "ragged time matrix");
+            for j in 0..n_jobs {
+                inst.set(i, j, costs[i][j], times[i][j]);
+            }
+        }
+        inst
+    }
+
+    #[inline]
+    fn idx(&self, machine: usize, job: usize) -> usize {
+        debug_assert!(machine < self.n_machines && job < self.n_jobs);
+        machine * self.n_jobs + job
+    }
+
+    /// Sets the cost and time of a machine–job pair.
+    pub fn set(&mut self, machine: usize, job: usize, cost: f64, time: f64) {
+        assert!(time >= 0.0, "negative processing time");
+        let k = self.idx(machine, job);
+        self.costs[k] = cost;
+        self.times[k] = time;
+    }
+
+    /// Marks a pair as forbidden (never assignable).
+    pub fn forbid(&mut self, machine: usize, job: usize) {
+        let k = self.idx(machine, job);
+        self.costs[k] = f64::INFINITY;
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+
+    /// Cost of assigning `job` to `machine` (infinite if forbidden).
+    #[inline]
+    pub fn cost(&self, machine: usize, job: usize) -> f64 {
+        self.costs[self.idx(machine, job)]
+    }
+
+    /// Processing time of `job` on `machine`.
+    #[inline]
+    pub fn time(&self, machine: usize, job: usize) -> f64 {
+        self.times[self.idx(machine, job)]
+    }
+
+    /// Capacity of `machine`.
+    #[inline]
+    pub fn capacity(&self, machine: usize) -> f64 {
+        self.capacity[machine]
+    }
+
+    /// Whether the pair may be used: finite cost and the job fits the
+    /// machine's capacity on its own (`p_{i,j} ≤ T_i`, the standard GAP
+    /// preprocessing step that the Shmoys–Tardos analysis requires).
+    #[inline]
+    pub fn allowed(&self, machine: usize, job: usize) -> bool {
+        let k = self.idx(machine, job);
+        self.costs[k].is_finite() && self.times[k] <= self.capacity[machine] + 1e-12
+    }
+
+    /// Machines allowed for `job`.
+    pub fn allowed_machines(&self, job: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n_machines).filter(move |&i| self.allowed(i, job))
+    }
+
+    /// Jobs with no allowed machine (unassignable under any policy).
+    pub fn unassignable_jobs(&self) -> Vec<usize> {
+        (0..self.n_jobs)
+            .filter(|&j| self.allowed_machines(j).next().is_none())
+            .collect()
+    }
+
+    /// Total cost of an assignment (ignoring `None` entries).
+    pub fn assignment_cost(&self, assignment: &[Option<usize>]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &m)| m.map(|i| self.cost(i, j)))
+            .sum()
+    }
+
+    /// Per-machine loads of an assignment.
+    pub fn loads(&self, assignment: &[Option<usize>]) -> Vec<f64> {
+        let mut loads = vec![0.0; self.n_machines];
+        for (j, &m) in assignment.iter().enumerate() {
+            if let Some(i) = m {
+                loads[i] += self.time(i, j);
+            }
+        }
+        loads
+    }
+}
+
+/// An (integral) GAP solution.
+#[derive(Debug, Clone)]
+pub struct GapSolution {
+    /// `assignment[j]` is the machine of job `j`, or `None` if the
+    /// solver could not place the job (infeasible instance).
+    pub assignment: Vec<Option<usize>>,
+    /// Total cost over assigned jobs.
+    pub cost: f64,
+    /// Per-machine consumed time.
+    pub loads: Vec<f64>,
+    /// Objective of the fractional relaxation, when one was solved —
+    /// a lower bound on the optimal integral cost (complete solutions).
+    pub fractional_cost: Option<f64>,
+}
+
+impl GapSolution {
+    pub(crate) fn from_assignment(inst: &GapInstance, assignment: Vec<Option<usize>>) -> Self {
+        let cost = inst.assignment_cost(&assignment);
+        let loads = inst.loads(&assignment);
+        GapSolution {
+            assignment,
+            cost,
+            loads,
+            fractional_cost: None,
+        }
+    }
+
+    /// `true` when every job was assigned.
+    pub fn is_complete(&self) -> bool {
+        self.assignment.iter().all(Option::is_some)
+    }
+
+    /// Jobs the solver failed to place.
+    pub fn unassigned_jobs(&self) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_none())
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Whether every machine's load is within `factor ×` its capacity.
+    pub fn within_capacity(&self, inst: &GapInstance, factor: f64) -> bool {
+        self.loads
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| l <= factor * inst.capacity(i) + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GapInstance {
+        GapInstance::from_matrices(
+            vec![vec![1.0, 2.0], vec![3.0, 0.5]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![2.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let g = tiny();
+        assert_eq!(g.n_machines(), 2);
+        assert_eq!(g.n_jobs(), 2);
+        assert_eq!(g.cost(0, 1), 2.0);
+        assert_eq!(g.time(1, 0), 1.0);
+        assert_eq!(g.capacity(1), 1.0);
+    }
+
+    #[test]
+    fn forbid_excludes_pair() {
+        let mut g = tiny();
+        assert!(g.allowed(0, 0));
+        g.forbid(0, 0);
+        assert!(!g.allowed(0, 0));
+        assert_eq!(g.allowed_machines(0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn oversized_job_not_allowed() {
+        let mut g = tiny();
+        g.set(1, 0, 1.0, 5.0); // exceeds capacity 1.0
+        assert!(!g.allowed(1, 0));
+    }
+
+    #[test]
+    fn unassignable_detection() {
+        let mut g = tiny();
+        g.forbid(0, 1);
+        g.forbid(1, 1);
+        assert_eq!(g.unassignable_jobs(), vec![1]);
+    }
+
+    #[test]
+    fn cost_and_loads() {
+        let g = tiny();
+        let a = vec![Some(0), Some(1)];
+        assert_eq!(g.assignment_cost(&a), 1.5);
+        assert_eq!(g.loads(&a), vec![1.0, 1.0]);
+        let s = GapSolution::from_assignment(&g, a);
+        assert!(s.is_complete());
+        assert!(s.within_capacity(&g, 1.0));
+    }
+
+    #[test]
+    fn partial_assignment() {
+        let g = tiny();
+        let s = GapSolution::from_assignment(&g, vec![Some(0), None]);
+        assert!(!s.is_complete());
+        assert_eq!(s.unassigned_jobs(), vec![1]);
+        assert_eq!(s.cost, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per machine")]
+    fn wrong_capacity_count() {
+        GapInstance::new(2, 2, vec![1.0]);
+    }
+}

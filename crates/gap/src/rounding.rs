@@ -1,0 +1,233 @@
+//! Shmoys–Tardos rounding of a fractional GAP solution.
+//!
+//! The classical scheme from *An approximation algorithm for the
+//! generalized assignment problem* (Shmoys & Tardos, Math. Prog. 1993),
+//! cited as \[6\] by the paper:
+//!
+//! 1. for each machine `i`, create `k_i = ⌈Σ_j x_{i,j}⌉` unit-capacity
+//!    **slots**;
+//! 2. order the jobs fractionally assigned to `i` by non-increasing
+//!    processing time `p_{i,j}` and pour their fractions into the slots
+//!    in that order, splitting a job across two consecutive slots when
+//!    it straddles a unit boundary;
+//! 3. every (job, slot) contact becomes an edge of a bipartite graph
+//!    with cost `c_{i,j}`; the fractional solution is, by construction,
+//!    a fractional matching saturating all jobs, so an **integral**
+//!    min-cost matching saturating all jobs exists and is found with
+//!    `epplan-flow`;
+//! 4. assigning each job to its matched slot's machine yields cost at
+//!    most the fractional cost and machine load at most
+//!    `T_i + max_j p_{i,j}` (< 2·T_i after the `p ≤ T` preprocessing).
+
+use crate::{FractionalSolution, GapInstance, GapSolution};
+use epplan_flow::min_cost_assignment;
+
+const EPS: f64 = 1e-9;
+
+/// Rounds `frac` to an integral assignment. Jobs in
+/// `frac.unassigned` stay unassigned; every other job is matched.
+///
+/// Returns the integral solution with `fractional_cost` set to the
+/// cost of `frac` (the lower bound used in the paper's approximation
+/// analysis).
+pub fn round_shmoys_tardos(inst: &GapInstance, frac: &FractionalSolution) -> GapSolution {
+    let m = inst.n_machines();
+    let n = inst.n_jobs();
+
+    // Jobs that carry fractional mass.
+    let active: Vec<usize> = (0..n).filter(|&j| frac.job_mass(j) > 0.5).collect();
+    let job_slot_index: std::collections::HashMap<usize, usize> = active
+        .iter()
+        .enumerate()
+        .map(|(k, &j)| (j, k))
+        .collect();
+
+    // Build slots machine by machine.
+    let mut slot_machine: Vec<usize> = Vec::new(); // slot id → machine
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new(); // (job idx, slot id, cost)
+    for i in 0..m {
+        let mut jobs: Vec<(usize, f64)> = (0..n)
+            .filter_map(|j| {
+                let v = frac.get(i, j);
+                (v > EPS).then_some((j, v))
+            })
+            .collect();
+        if jobs.is_empty() {
+            continue;
+        }
+        // Non-increasing processing time (ties by job id for determinism).
+        jobs.sort_by(|a, b| {
+            inst.time(i, b.0)
+                .total_cmp(&inst.time(i, a.0))
+                .then(a.0.cmp(&b.0))
+        });
+        let total: f64 = jobs.iter().map(|&(_, v)| v).sum();
+        let k_i = (total - EPS).ceil().max(1.0) as usize;
+        let base = slot_machine.len();
+        slot_machine.extend(std::iter::repeat_n(i, k_i));
+
+        let mut slot = 0usize;
+        let mut fill = 0.0f64;
+        for (j, mut v) in jobs {
+            let jk = job_slot_index[&j];
+            while v > EPS {
+                debug_assert!(slot < k_i, "slot overflow on machine {i}");
+                let take = v.min(1.0 - fill);
+                edges.push((jk, base + slot, inst.cost(i, j)));
+                v -= take;
+                fill += take;
+                if fill >= 1.0 - EPS && slot + 1 < k_i {
+                    slot += 1;
+                    fill = 0.0;
+                } else if fill >= 1.0 - EPS {
+                    // Last slot exactly full; any residual v is float
+                    // noise.
+                    debug_assert!(v <= 1e-6, "residual mass {v}");
+                    break;
+                }
+            }
+        }
+    }
+
+    let caps = vec![1usize; slot_machine.len()];
+    let matching = min_cost_assignment(active.len(), slot_machine.len(), &edges, &caps);
+
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    match matching {
+        Some(a) => {
+            for (k, &slot) in a.left_to_right.iter().enumerate() {
+                assignment[active[k]] = Some(slot_machine[slot]);
+            }
+        }
+        None => {
+            // Should not happen (the fractional solution certifies a
+            // saturating fractional matching), but stay total: fall
+            // back to each active job's highest-fraction machine.
+            for &j in &active {
+                let best = (0..m)
+                    .max_by(|&a, &b| frac.get(a, j).total_cmp(&frac.get(b, j)))
+                    .expect("at least one machine");
+                assignment[j] = Some(best);
+            }
+        }
+    }
+
+    let mut sol = GapSolution::from_assignment(inst, assignment);
+    sol.fractional_cost = Some(frac.cost(inst));
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_relaxation;
+    use crate::packing::{mw_fractional, PackingConfig};
+
+    /// Load bound from the ST theorem: `T_i + max_{j assigned} p_{i,j}`.
+    fn st_load_ok(inst: &GapInstance, sol: &GapSolution) -> bool {
+        let mut max_p = vec![0.0f64; inst.n_machines()];
+        for (j, &mi) in sol.assignment.iter().enumerate() {
+            if let Some(i) = mi {
+                max_p[i] = max_p[i].max(inst.time(i, j));
+            }
+        }
+        sol.loads
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| l <= inst.capacity(i) + max_p[i] + 1e-6)
+    }
+
+    #[test]
+    fn integral_fractional_round_trips() {
+        // Already-integral fractional solution must round to itself.
+        let g = GapInstance::from_matrices(
+            vec![vec![1.0, 5.0], vec![5.0, 1.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![2.0, 2.0],
+        );
+        let x = lp_relaxation(&g).unwrap();
+        let s = round_shmoys_tardos(&g, &x);
+        assert!(s.is_complete());
+        assert_eq!(s.assignment, vec![Some(0), Some(1)]);
+        assert!((s.cost - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cost_at_most_fractional_plus_eps() {
+        let g = GapInstance::from_matrices(
+            vec![
+                vec![0.2, 0.8, 0.4, 0.6],
+                vec![0.7, 0.1, 0.9, 0.3],
+                vec![0.5, 0.5, 0.2, 0.8],
+            ],
+            vec![
+                vec![1.0, 2.0, 1.0, 2.0],
+                vec![2.0, 1.0, 2.0, 1.0],
+                vec![1.5, 1.5, 1.5, 1.5],
+            ],
+            vec![3.0, 3.0, 3.0],
+        );
+        let x = lp_relaxation(&g).unwrap();
+        let s = round_shmoys_tardos(&g, &x);
+        assert!(s.is_complete());
+        // The ST theorem: integral cost ≤ fractional cost.
+        assert!(
+            s.cost <= x.cost(&g) + 1e-6,
+            "integral {} > fractional {}",
+            s.cost,
+            x.cost(&g)
+        );
+        assert!(st_load_ok(&g, &s));
+    }
+
+    #[test]
+    fn load_bound_holds_under_pressure() {
+        // Tight capacities force genuinely fractional LP solutions.
+        let g = GapInstance::from_matrices(
+            vec![vec![0.0, 0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0, 1.0]],
+            vec![vec![1.0, 1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0, 1.0]],
+            vec![2.0, 2.0],
+        );
+        let x = lp_relaxation(&g).unwrap();
+        let s = round_shmoys_tardos(&g, &x);
+        assert!(s.is_complete());
+        assert!(st_load_ok(&g, &s));
+    }
+
+    #[test]
+    fn works_on_mw_fractional_input() {
+        let g = GapInstance::from_matrices(
+            vec![vec![0.3, 0.6, 0.1], vec![0.4, 0.2, 0.9], vec![0.8, 0.5, 0.3]],
+            vec![vec![1.0; 3], vec![1.0; 3], vec![1.0; 3]],
+            vec![1.5, 1.5, 1.5],
+        );
+        let x = mw_fractional(&g, &PackingConfig::default());
+        let s = round_shmoys_tardos(&g, &x);
+        assert!(s.is_complete());
+        assert!(st_load_ok(&g, &s));
+    }
+
+    #[test]
+    fn unassigned_jobs_stay_unassigned() {
+        let mut g = GapInstance::from_matrices(
+            vec![vec![1.0, 1.0]],
+            vec![vec![1.0, 1.0]],
+            vec![5.0],
+        );
+        g.forbid(0, 0);
+        let x = lp_relaxation(&g).unwrap();
+        assert_eq!(x.unassigned, vec![0]);
+        let s = round_shmoys_tardos(&g, &x);
+        assert_eq!(s.assignment[0], None);
+        assert_eq!(s.assignment[1], Some(0));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = GapInstance::new(1, 0, vec![1.0]);
+        let x = lp_relaxation(&g).unwrap();
+        let s = round_shmoys_tardos(&g, &x);
+        assert!(s.assignment.is_empty());
+        assert_eq!(s.cost, 0.0);
+    }
+}

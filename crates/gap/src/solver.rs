@@ -1,0 +1,297 @@
+//! The composed GAP pipeline: fractional solve → ST rounding →
+//! greedy completion fallback.
+
+use crate::packing::{mw_fractional, PackingConfig};
+use crate::{greedy, lp_relaxation, round_shmoys_tardos, GapInstance, GapSolution};
+
+/// How to obtain the fractional relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FractionalMethod {
+    /// Pick [`FractionalMethod::Simplex`] when the number of allowed
+    /// pairs is at most [`GapConfig::auto_simplex_limit`], otherwise
+    /// [`FractionalMethod::MultiplicativeWeights`]. This mirrors the
+    /// paper's setup: an exact LP where affordable, the
+    /// Plotkin–Shmoys–Tardos relaxation at scale.
+    #[default]
+    Auto,
+    /// Exact LP relaxation via the dense two-phase simplex.
+    Simplex,
+    /// Multiplicative-weights approximate fractional solver.
+    MultiplicativeWeights,
+}
+
+/// Configuration of [`GapSolver`].
+#[derive(Debug, Clone)]
+pub struct GapConfig {
+    /// Fractional-solver selection policy.
+    pub method: FractionalMethod,
+    /// `Auto` switches from simplex to MW above this many LP variables
+    /// (allowed machine–job pairs).
+    pub auto_simplex_limit: usize,
+    /// Multiplicative-weights tuning.
+    pub packing: PackingConfig,
+    /// Before rounding, prune each job's fractional support to its top
+    /// `rounding_top_k` machines (renormalized). Keeps the slot-graph
+    /// matching near-linear on large MW solutions; see
+    /// [`crate::FractionalSolution::prune_top_k`].
+    pub rounding_top_k: usize,
+}
+
+impl Default for GapConfig {
+    fn default() -> Self {
+        GapConfig {
+            method: FractionalMethod::Auto,
+            auto_simplex_limit: 12_000,
+            packing: PackingConfig::default(),
+            rounding_top_k: 8,
+        }
+    }
+}
+
+/// End-to-end GAP solver: fractional relaxation, Shmoys–Tardos
+/// rounding, and a greedy completion pass for any job the rounding
+/// could not place (only possible when the relaxation itself was
+/// infeasible or approximate).
+#[derive(Debug, Clone, Default)]
+pub struct GapSolver {
+    /// Solver configuration.
+    pub config: GapConfig,
+}
+
+impl GapSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: GapConfig) -> Self {
+        GapSolver { config }
+    }
+
+    /// Solves `inst`, always returning a (possibly partial) solution.
+    /// `fractional_cost` is populated whenever a relaxation was solved,
+    /// giving the lower bound used in approximation-ratio reporting.
+    pub fn solve(&self, inst: &GapInstance) -> GapSolution {
+        let n_pairs = (0..inst.n_jobs())
+            .map(|j| inst.allowed_machines(j).count())
+            .sum::<usize>();
+        let method = match self.config.method {
+            FractionalMethod::Auto => {
+                if n_pairs <= self.config.auto_simplex_limit {
+                    FractionalMethod::Simplex
+                } else {
+                    FractionalMethod::MultiplicativeWeights
+                }
+            }
+            m => m,
+        };
+
+        let frac = match method {
+            FractionalMethod::Simplex => match lp_relaxation(inst) {
+                Ok(f) => Some(f),
+                // Fractionally infeasible (or pathological): fall back
+                // to the MW solver, which always produces a job-mass-1
+                // solution (possibly overloading machines) that the
+                // rounding and completion passes can still work with.
+                Err(_) => Some(mw_fractional(inst, &self.config.packing)),
+            },
+            FractionalMethod::MultiplicativeWeights => {
+                Some(mw_fractional(inst, &self.config.packing))
+            }
+            FractionalMethod::Auto => unreachable!("resolved above"),
+        };
+
+        let mut sol = match frac {
+            Some(mut f) => {
+                if self.config.rounding_top_k > 0 {
+                    f.prune_top_k(self.config.rounding_top_k);
+                }
+                round_shmoys_tardos(inst, &f)
+            }
+            None => greedy::greedy_assign(inst),
+        };
+        enforce_st_load_bound(inst, &mut sol);
+
+        // Greedy completion for any leftover job, within the ST load
+        // slack (capacity + the job's own time), preferring cheap pairs.
+        let leftovers = sol.unassigned_jobs();
+        if !leftovers.is_empty() {
+            for j in leftovers {
+                let mut best: Option<(usize, f64)> = None;
+                for i in inst.allowed_machines(j) {
+                    let c = inst.cost(i, j);
+                    if sol.loads[i] + inst.time(i, j) <= inst.capacity(i) + 1e-9
+                        && best.is_none_or(|(_, bc)| c < bc)
+                    {
+                        best = Some((i, c));
+                    }
+                }
+                if let Some((i, c)) = best {
+                    sol.assignment[j] = Some(i);
+                    sol.loads[i] += inst.time(i, j);
+                    sol.cost += c;
+                }
+            }
+        }
+        sol
+    }
+}
+
+/// Enforces the Shmoys–Tardos load guarantee `load_i ≤ T_i + max_j
+/// p_{i,j}` on the rounded solution.
+///
+/// For a *feasible* fractional input the rounding satisfies this by
+/// construction and the pass is a no-op. When the fractional stage had
+/// to run on an infeasible instance (MW fallback), machines can end up
+/// arbitrarily overloaded; we evict the most expensive (lowest-utility,
+/// in the GEPC reduction) jobs until the bound holds, leaving them for
+/// the greedy completion pass (which respects strict capacity).
+fn enforce_st_load_bound(inst: &GapInstance, sol: &mut GapSolution) {
+    for i in 0..inst.n_machines() {
+        loop {
+            let mut on_i: Vec<usize> = sol
+                .assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &mi)| mi == Some(i))
+                .map(|(j, _)| j)
+                .collect();
+            if on_i.is_empty() {
+                break;
+            }
+            let max_p = on_i
+                .iter()
+                .map(|&j| inst.time(i, j))
+                .fold(0.0f64, f64::max);
+            if sol.loads[i] <= inst.capacity(i) + max_p + 1e-9 {
+                break;
+            }
+            // Evict the most expensive job on this machine.
+            on_i.sort_by(|&a, &b| inst.cost(i, a).total_cmp(&inst.cost(i, b)));
+            let j = *on_i.last().expect("non-empty");
+            sol.assignment[j] = None;
+            sol.loads[i] -= inst.time(i, j);
+            sol.cost -= inst.cost(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_instance(m: usize, n: usize, seed: u64, cap_scale: f64) -> GapInstance {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let costs: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let times: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.5..2.0)).collect())
+            .collect();
+        let caps: Vec<f64> = (0..m)
+            .map(|_| rng.gen_range(1.0..3.0) * cap_scale)
+            .collect();
+        GapInstance::from_matrices(costs, times, caps)
+    }
+
+    #[test]
+    fn simplex_pipeline_beats_or_matches_greedy() {
+        for seed in 0..5 {
+            let g = random_instance(4, 8, seed, 3.0);
+            let lp_sol = GapSolver::new(GapConfig {
+                method: FractionalMethod::Simplex,
+                ..Default::default()
+            })
+            .solve(&g);
+            let greedy_sol = greedy::greedy_assign(&g);
+            if lp_sol.is_complete() && greedy_sol.is_complete() {
+                // LP + ST rounding is cost-optimal up to the fractional
+                // bound; greedy has no guarantee. Allow small numeric slack.
+                assert!(
+                    lp_sol.cost <= greedy_sol.cost + 0.75,
+                    "seed {seed}: lp {} vs greedy {}",
+                    lp_sol.cost,
+                    greedy_sol.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_cost_within_fractional_bound() {
+        for seed in 10..16 {
+            let g = random_instance(3, 9, seed, 4.0);
+            let sol = GapSolver::new(GapConfig {
+                method: FractionalMethod::Simplex,
+                ..Default::default()
+            })
+            .solve(&g);
+            if let Some(fc) = sol.fractional_cost {
+                if sol.is_complete() {
+                    assert!(sol.cost <= fc + 1e-6, "seed {seed}: {} > {fc}", sol.cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_pipeline_on_tiny_instances() {
+        for seed in 20..30 {
+            let g = random_instance(3, 6, seed, 5.0);
+            let exact = crate::exact::branch_and_bound(&g);
+            let sol = GapSolver::default().solve(&g);
+            if let Some(e) = exact {
+                assert!(sol.is_complete());
+                // ST rounding cost ≤ fractional ≤ exact optimum.
+                assert!(
+                    sol.cost <= e.cost + 1e-6,
+                    "seed {seed}: pipeline {} vs exact {}",
+                    sol.cost,
+                    e.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_switches_to_mw_for_large_instances() {
+        let g = random_instance(20, 30, 99, 10.0);
+        let solver = GapSolver::new(GapConfig {
+            auto_simplex_limit: 10, // force MW
+            ..Default::default()
+        });
+        let sol = solver.solve(&g);
+        assert!(sol.is_complete());
+        assert!(sol.fractional_cost.is_some());
+    }
+
+    #[test]
+    fn mw_pipeline_solution_quality() {
+        let g = random_instance(6, 18, 7, 4.0);
+        let mw = GapSolver::new(GapConfig {
+            method: FractionalMethod::MultiplicativeWeights,
+            ..Default::default()
+        })
+        .solve(&g);
+        let lp = GapSolver::new(GapConfig {
+            method: FractionalMethod::Simplex,
+            ..Default::default()
+        })
+        .solve(&g);
+        assert!(mw.is_complete());
+        assert!(lp.is_complete());
+        // MW is approximate; require it within a generous constant of LP.
+        assert!(mw.cost <= lp.cost + 0.25 * g.n_jobs() as f64);
+    }
+
+    #[test]
+    fn infeasible_instance_best_effort() {
+        // Far more work than capacity: some jobs must stay unassigned,
+        // but assigned jobs never break the ST load bound.
+        let g = GapInstance::from_matrices(
+            vec![vec![0.5; 6]],
+            vec![vec![1.0; 6]],
+            vec![2.0],
+        );
+        let sol = GapSolver::default().solve(&g);
+        assert!(!sol.is_complete());
+        assert!(sol.loads[0] <= 2.0 + 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the end-to-end GAP pipeline against the exact
+//! branch-and-bound optimum on small random instances.
+//!
+//! Shmoys–Tardos guarantees: whenever the instance has *any* complete
+//! feasible assignment, (a) the pipeline also produces a complete
+//! assignment, (b) its cost is at most the optimum (cost ≤ fractional
+//! optimum ≤ integral optimum), and (c) every machine's load is at most
+//! `T_i + max_j p_{i,j}`.
+
+use epplan_gap::{exact, FractionalMethod, GapConfig, GapInstance, GapSolver};
+use proptest::prelude::*;
+
+fn st_load_ok(inst: &GapInstance, sol: &epplan_gap::GapSolution) -> bool {
+    let mut max_p = vec![0.0f64; inst.n_machines()];
+    for (j, &mi) in sol.assignment.iter().enumerate() {
+        if let Some(i) = mi {
+            max_p[i] = max_p[i].max(inst.time(i, j));
+        }
+    }
+    sol.loads
+        .iter()
+        .enumerate()
+        .all(|(i, &l)| l <= inst.capacity(i) + max_p[i] + 1e-6)
+}
+
+fn arb_instance() -> impl Strategy<Value = GapInstance> {
+    (2usize..4, 2usize..7, 0u64..1_000_000).prop_map(|(m, n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let costs: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let times: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.2..2.0)).collect())
+            .collect();
+        let caps: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..4.0)).collect();
+        let mut inst = GapInstance::from_matrices(costs, times, caps);
+        // Sprinkle forbidden pairs.
+        for i in 0..m {
+            for j in 0..n {
+                if rng.gen_bool(0.15) {
+                    inst.forbid(i, j);
+                }
+            }
+        }
+        inst
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn st_guarantees_hold(inst in arb_instance()) {
+        let solver = GapSolver::new(GapConfig {
+            method: FractionalMethod::Simplex,
+            ..Default::default()
+        });
+        let sol = solver.solve(&inst);
+        let opt = exact::branch_and_bound(&inst);
+
+        prop_assert!(st_load_ok(&inst, &sol));
+
+        if let Some(opt) = opt {
+            // (a) completeness whenever a complete assignment exists.
+            prop_assert!(sol.is_complete(),
+                "pipeline incomplete on a feasible instance");
+            // (b) cost never exceeds the exact optimum (the LP bound).
+            prop_assert!(sol.cost <= opt.cost + 1e-6,
+                "pipeline {} > optimum {}", sol.cost, opt.cost);
+            // Fractional bound is a valid lower bound.
+            if let Some(fc) = sol.fractional_cost {
+                prop_assert!(fc <= opt.cost + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_capacity_respecting(inst in arb_instance()) {
+        let sol = epplan_gap::greedy::greedy_assign(&inst);
+        prop_assert!(sol.within_capacity(&inst, 1.0));
+        // Greedy never assigns forbidden pairs.
+        for (j, &mi) in sol.assignment.iter().enumerate() {
+            if let Some(i) = mi {
+                prop_assert!(inst.allowed(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn mw_pipeline_is_total_and_bounded(inst in arb_instance()) {
+        let solver = GapSolver::new(GapConfig {
+            method: FractionalMethod::MultiplicativeWeights,
+            ..Default::default()
+        });
+        let sol = solver.solve(&inst);
+        prop_assert!(st_load_ok(&inst, &sol));
+        for (j, &mi) in sol.assignment.iter().enumerate() {
+            if let Some(i) = mi {
+                prop_assert!(inst.allowed(i, j), "forbidden pair used ({i},{j})");
+            }
+        }
+    }
+}

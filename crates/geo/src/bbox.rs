@@ -1,0 +1,134 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// Axis-aligned bounding box of a set of points.
+///
+/// The data generator uses the box of a synthetic "city" to calibrate
+/// travel budgets: a budget is meaningful only relative to how far apart
+/// users and events can be.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// An "empty" box that expands to fit the first point added.
+    pub fn empty() -> Self {
+        BoundingBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Box spanning exactly the given corners.
+    pub fn new(min: Point, max: Point) -> Self {
+        BoundingBox { min, max }
+    }
+
+    /// Smallest box containing every point of `points`; `None` when the
+    /// iterator is empty.
+    pub fn of<'a, I: IntoIterator<Item = &'a Point>>(points: I) -> Option<Self> {
+        let mut bb = BoundingBox::empty();
+        let mut any = false;
+        for p in points {
+            bb.expand(p);
+            any = true;
+        }
+        any.then_some(bb)
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: &Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Width along the x axis (zero for an empty/degenerate box).
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height along the y axis.
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Length of the diagonal — the largest possible distance between
+    /// two points in the box. Budget calibration is expressed as a
+    /// fraction of this value.
+    pub fn diagonal(&self) -> f64 {
+        self.width().hypot(self.height())
+    }
+
+    /// Whether `p` lies inside the box (inclusive of edges).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let bb = BoundingBox::of(pts.iter()).unwrap();
+        assert_eq!(bb.min, Point::new(-2.0, -1.0));
+        assert_eq!(bb.max, Point::new(4.0, 5.0));
+        assert_eq!(bb.width(), 6.0);
+        assert_eq!(bb.height(), 6.0);
+    }
+
+    #[test]
+    fn of_empty_is_none() {
+        assert!(BoundingBox::of([].iter()).is_none());
+    }
+
+    #[test]
+    fn contains_edges() {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(10.0, 10.0)));
+        assert!(bb.contains(&Point::new(5.0, 5.0)));
+        assert!(!bb.contains(&Point::new(10.1, 5.0)));
+    }
+
+    #[test]
+    fn diagonal_of_unit_square() {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert!((bb.diagonal() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_box_is_degenerate() {
+        let bb = BoundingBox::of([Point::new(3.0, 4.0)].iter()).unwrap();
+        assert_eq!(bb.width(), 0.0);
+        assert_eq!(bb.height(), 0.0);
+        assert_eq!(bb.diagonal(), 0.0);
+        assert_eq!(bb.center(), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn expand_grows_monotonically() {
+        let mut bb = BoundingBox::empty();
+        bb.expand(&Point::new(1.0, 1.0));
+        let before = bb;
+        bb.expand(&Point::new(0.5, 0.5));
+        assert!(bb.contains(&before.min) && bb.contains(&before.max));
+    }
+}

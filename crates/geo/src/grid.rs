@@ -1,0 +1,256 @@
+use crate::{BoundingBox, Point};
+
+/// A uniform-grid spatial index over a fixed set of points.
+///
+/// Built once from a slice of points (event locations in practice) and
+/// then queried for "all points within radius `r` of `q`". The index is
+/// used to compute `Uc_i` — the number of events a user `u_i` could in
+/// principle reach on budget `B_i` (all events within `B_i / 2`, since a
+/// round trip costs at least twice the one-way distance). `Uc_max`
+/// appears in all approximation-ratio bounds of the paper.
+///
+/// The grid resolution is chosen so the expected bucket occupancy is
+/// O(1); radius queries visit only the buckets overlapping the query
+/// disk, giving near-linear total work for the batched `Uc` computation
+/// instead of the naive O(|U|·|E|).
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    bbox: BoundingBox,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// `buckets[row * cols + col]` holds indices into `points`.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points`.
+    ///
+    /// Degenerate inputs (empty set, or all points coincident) are
+    /// handled by collapsing to a single bucket.
+    pub fn build(points: &[Point]) -> Self {
+        let bbox = BoundingBox::of(points.iter()).unwrap_or_else(|| {
+            BoundingBox::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0))
+        });
+        let n = points.len().max(1);
+        // Aim for ~1 point per cell: side ≈ extent / sqrt(n).
+        let extent = bbox.width().max(bbox.height()).max(f64::MIN_POSITIVE);
+        let target = (n as f64).sqrt().ceil().max(1.0);
+        let cell = (extent / target).max(f64::MIN_POSITIVE);
+        let cols = ((bbox.width() / cell).floor() as usize + 1).max(1);
+        let rows = ((bbox.height() / cell).floor() as usize + 1).max(1);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (i, p) in points.iter().enumerate() {
+            let (c, r) = Self::cell_of_raw(&bbox, cell, cols, rows, p);
+            buckets[r * cols + c].push(i as u32);
+        }
+        GridIndex {
+            points: points.to_vec(),
+            bbox,
+            cell,
+            cols,
+            rows,
+            buckets,
+        }
+    }
+
+    fn cell_of_raw(
+        bbox: &BoundingBox,
+        cell: f64,
+        cols: usize,
+        rows: usize,
+        p: &Point,
+    ) -> (usize, usize) {
+        let c = (((p.x - bbox.min.x) / cell).floor().max(0.0) as usize).min(cols - 1);
+        let r = (((p.y - bbox.min.y) / cell).floor().max(0.0) as usize).min(rows - 1);
+        (c, r)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Indices (into the original slice) of all points within Euclidean
+    /// distance `radius` of `q` (inclusive).
+    pub fn within(&self, q: &Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(q, radius, |i| out.push(i));
+        out
+    }
+
+    /// Counts points within `radius` of `q` without materializing them.
+    pub fn count_within(&self, q: &Point, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(q, radius, |_| n += 1);
+        n
+    }
+
+    /// Visits every point within `radius` of `q` (inclusive boundary).
+    pub fn for_each_within<F: FnMut(usize)>(&self, q: &Point, radius: f64, mut f: F) {
+        if self.points.is_empty() || radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        // Clamp the query window to the grid.
+        let lo = Point::new(q.x - radius, q.y - radius);
+        let hi = Point::new(q.x + radius, q.y + radius);
+        if hi.x < self.bbox.min.x
+            || hi.y < self.bbox.min.y
+            || lo.x > self.bbox.max.x
+            || lo.y > self.bbox.max.y
+        {
+            return;
+        }
+        let (c0, r0) = Self::cell_of_raw(&self.bbox, self.cell, self.cols, self.rows, &lo);
+        let (c1, r1) = Self::cell_of_raw(&self.bbox, self.cell, self.cols, self.rows, &hi);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                for &i in &self.buckets[row * self.cols + col] {
+                    if q.distance_sq(&self.points[i as usize]) <= r2 {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index of the nearest point to `q`, or `None` when empty.
+    ///
+    /// Scans rings of cells outward from the query cell; falls back to a
+    /// full scan when the grid is degenerate.
+    pub fn nearest(&self, q: &Point) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // The grids here are small enough that an expanding-radius probe
+        // backed by `within` is simpler than ring bookkeeping and still
+        // avoids most full scans.
+        let mut radius = self.cell.max(1e-9);
+        let max_r = self.bbox.diagonal().max(q.distance(&self.bbox.center())) + radius;
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            self.for_each_within(q, radius, |i| {
+                let d = q.distance_sq(&self.points[i]);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            });
+            if let Some((i, _)) = best {
+                return Some(i);
+            }
+            if radius > max_r {
+                // Degenerate: brute force (guaranteed to find something).
+                return self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        q.distance_sq(a).total_cmp(&q.distance_sq(b))
+                    })
+                    .map(|(i, _)| i);
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_within(points: &[Point], q: &Point, r: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance(p) <= r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn within_matches_naive_on_grid() {
+        let pts: Vec<Point> = (0..10)
+            .flat_map(|x| (0..10).map(move |y| Point::new(x as f64, y as f64)))
+            .collect();
+        let idx = GridIndex::build(&pts);
+        for q in [
+            Point::new(5.0, 5.0),
+            Point::new(0.0, 0.0),
+            Point::new(9.5, 2.3),
+            Point::new(-3.0, -3.0),
+            Point::new(20.0, 20.0),
+        ] {
+            for r in [0.0, 0.5, 1.0, 2.5, 7.0, 30.0] {
+                let mut got = idx.within(&q, r);
+                got.sort_unstable();
+                let want = naive_within(&pts, &q, r);
+                assert_eq!(got, want, "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_within() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i * 7 % 13) as f64, (i * 11 % 17) as f64))
+            .collect();
+        let idx = GridIndex::build(&pts);
+        let q = Point::new(6.0, 8.0);
+        assert_eq!(idx.count_within(&q, 5.0), idx.within(&q, 5.0).len());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.within(&Point::new(0.0, 0.0), 10.0).is_empty());
+        assert_eq!(idx.nearest(&Point::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn coincident_points() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let idx = GridIndex::build(&pts);
+        assert_eq!(idx.count_within(&Point::new(1.0, 1.0), 0.0), 5);
+        assert_eq!(idx.count_within(&Point::new(2.0, 1.0), 0.5), 0);
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 5.0),
+        ];
+        let idx = GridIndex::build(&pts);
+        assert_eq!(idx.nearest(&Point::new(9.0, 1.0)), Some(1));
+        assert_eq!(idx.nearest(&Point::new(0.1, -0.2)), Some(0));
+        assert_eq!(idx.nearest(&Point::new(100.0, 100.0)), Some(2));
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let idx = GridIndex::build(&[Point::new(0.0, 0.0)]);
+        assert!(idx.within(&Point::new(0.0, 0.0), -1.0).is_empty());
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let idx = GridIndex::build(&[Point::new(3.0, 4.0)]);
+        // distance from origin is exactly 5
+        assert_eq!(idx.count_within(&Point::new(0.0, 0.0), 5.0), 1);
+        assert_eq!(idx.count_within(&Point::new(0.0, 0.0), 4.999), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Planar geometry primitives for event-participant planning.
+//!
+//! The paper ("Complex Event-Participant Planning and Its Incremental
+//! Variant", ICDE 2017) models users and events as points on a 2-D plane
+//! and uses Euclidean distance for all travel costs. This crate provides:
+//!
+//! * [`Point`] — a 2-D location with [`Point::distance`];
+//! * [`BoundingBox`] — axis-aligned extent of a point set, used by the
+//!   data generator to calibrate travel budgets to a "city" size;
+//! * [`GridIndex`] — a uniform-grid spatial index answering radius
+//!   queries. It backs the computation of `Uc_i`, the number of events
+//!   within distance `B_i / 2` of a user, which appears in every
+//!   approximation-ratio bound of the paper (`1/(Uc_max − 1)` for the
+//!   GAP-based algorithm, `1/(2·Uc_max)` for the greedy one).
+//!
+//! All types are plain data (`Copy` where possible) and carry no
+//! interior mutability; indexes are built once and can be queried from
+//! multiple threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod grid;
+mod point;
+
+pub use bbox::BoundingBox;
+pub use grid::GridIndex;
+pub use point::Point;

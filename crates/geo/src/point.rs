@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+
+/// A location on the 2-D plane.
+///
+/// Users and events both carry a `Point`; the paper's worked example
+/// places them on an integer grid but nothing requires integrality.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// This is the travel-cost metric used throughout the paper
+    /// (Section II: "here we simply use Euclidean distance").
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance; cheaper when only comparisons are
+    /// needed (e.g. radius filtering in the grid index).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-4.0, 7.25);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(12.0, 9.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(2.0, 3.0);
+        let b = Point::new(-1.0, 9.5);
+        let d = a.distance(&b);
+        assert!((a.distance_sq(&b) - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_distances() {
+        // From Example 1 of the paper: d(u1, e1) = sqrt(17),
+        // d(e1, e2) = sqrt(41), d(e2, u1) = 6, summing to ~16.53.
+        let u1 = Point::new(2.0, 3.0);
+        let e1 = Point::new(3.0, 7.0);
+        let e2 = Point::new(8.0, 3.0);
+        let total = u1.distance(&e1) + e1.distance(&e2) + e2.distance(&u1);
+        assert!((u1.distance(&e1) - 17f64.sqrt()).abs() < 1e-12);
+        assert!((e1.distance(&e2) - 41f64.sqrt()).abs() < 1e-12);
+        assert!((e2.distance(&u1) - 6.0).abs() < 1e-12);
+        assert!((total - 16.5262).abs() < 1e-3);
+    }
+
+    #[test]
+    fn midpoint_is_between() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        assert_eq!(a.midpoint(&b), Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1, 2.5)");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: the grid index must agree with a naive linear scan
+//! for arbitrary point clouds, query centers and radii.
+
+use epplan_geo::{GridIndex, Point};
+use proptest::prelude::*;
+
+fn naive_within(points: &[Point], q: &Point, r: f64) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| q.distance(p) <= r)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn within_agrees_with_naive(
+        pts in prop::collection::vec(arb_point(), 0..200),
+        q in arb_point(),
+        r in 0.0..500.0f64,
+    ) {
+        let idx = GridIndex::build(&pts);
+        let mut got = idx.within(&q, r);
+        got.sort_unstable();
+        prop_assert_eq!(got, naive_within(&pts, &q, r));
+    }
+
+    #[test]
+    fn count_within_agrees(
+        pts in prop::collection::vec(arb_point(), 0..150),
+        q in arb_point(),
+        r in 0.0..2000.0f64,
+    ) {
+        let idx = GridIndex::build(&pts);
+        prop_assert_eq!(idx.count_within(&q, r), naive_within(&pts, &q, r).len());
+    }
+
+    #[test]
+    fn nearest_agrees_with_naive(
+        pts in prop::collection::vec(arb_point(), 1..120),
+        q in arb_point(),
+    ) {
+        let idx = GridIndex::build(&pts);
+        let got = idx.nearest(&q).expect("non-empty index");
+        let best = pts
+            .iter()
+            .map(|p| q.distance(p))
+            .fold(f64::INFINITY, f64::min);
+        // Ties allowed: the returned point must be at the minimum distance.
+        prop_assert!((q.distance(&pts[got]) - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(
+        a in arb_point(),
+        b in arb_point(),
+        c in arb_point(),
+    ) {
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    #[test]
+    fn bbox_contains_all_points(
+        pts in prop::collection::vec(arb_point(), 1..100),
+    ) {
+        let bb = epplan_geo::BoundingBox::of(pts.iter()).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(p));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! A self-contained dense linear-programming solver.
+//!
+//! The GAP-based GEPC algorithm of the paper solves the LP relaxation of
+//! a Generalized Assignment Problem instance (Section III-A, citing the
+//! Shmoys–Tardos rounding \[6\] and the Plotkin–Shmoys–Tardos relaxation
+//! method \[5\]). No external LP library is permitted in this
+//! reproduction, so this crate implements a classic **two-phase tableau
+//! simplex** method:
+//!
+//! * [`Problem`] — a builder for `min cᵀx  s.t.  Ax {≤,=,≥} b,  x ≥ 0`
+//!   (maximization is handled by negating the objective);
+//! * [`solve`] / [`Problem::solve`] — two-phase simplex with Dantzig
+//!   pricing and an automatic switch to Bland's rule when degeneracy
+//!   threatens cycling;
+//! * [`Solution`] with [`Status`] `Optimal` / `Infeasible` / `Unbounded`.
+//!
+//! The dense tableau is appropriate for the small-to-medium instances
+//! the exact GAP pipeline is used on; the large instances in the paper's
+//! scalability sweeps go through the multiplicative-weights fractional
+//! solver in `epplan-gap` instead, exactly as the paper prescribes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod simplex;
+
+pub use problem::{Problem, Relation};
+pub use simplex::{solve, Solution, Status};

@@ -1,0 +1,182 @@
+/// Direction of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    /// Sparse coefficients `(variable index, value)`; duplicates are
+    /// summed during standardization.
+    pub coeffs: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program `min cᵀx  s.t.  Ax {≤,=,≥} b,  x ≥ 0`.
+///
+/// Rows are entered sparsely; the solver densifies internally. Use
+/// [`Problem::maximize`] to flip the objective sense — the reported
+/// [`crate::Solution::objective`] is always in the *original* sense.
+///
+/// # Example
+/// ```
+/// use epplan_lp::{Problem, Relation, Status};
+/// // max x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6
+/// let mut p = Problem::maximize(2);
+/// p.set_objective(&[(0, 1.0), (1, 1.0)]);
+/// p.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Le, 4.0);
+/// p.add_constraint(&[(0, 3.0), (1, 1.0)], Relation::Le, 6.0);
+/// let s = p.solve();
+/// assert_eq!(s.status, Status::Optimal);
+/// assert!((s.objective - 2.8).abs() < 1e-7); // x = 1.6, y = 1.2
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) n_vars: usize,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) rows: Vec<Row>,
+    pub(crate) maximize: bool,
+}
+
+impl Problem {
+    /// New minimization problem over `n_vars` non-negative variables.
+    pub fn minimize(n_vars: usize) -> Self {
+        Problem {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+            maximize: false,
+        }
+    }
+
+    /// New maximization problem over `n_vars` non-negative variables.
+    pub fn maximize(n_vars: usize) -> Self {
+        Problem {
+            maximize: true,
+            ..Problem::minimize(n_vars)
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraint rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficients from sparse `(var, coeff)` pairs.
+    /// Unmentioned variables keep coefficient zero; duplicate mentions
+    /// accumulate.
+    pub fn set_objective(&mut self, coeffs: &[(usize, f64)]) {
+        self.objective.iter_mut().for_each(|c| *c = 0.0);
+        for &(j, v) in coeffs {
+            assert!(j < self.n_vars, "objective var {j} out of range");
+            self.objective[j] += v;
+        }
+    }
+
+    /// Sets a single objective coefficient.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.n_vars, "objective var {var} out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Adds the constraint `Σ coeffs · x  relation  rhs`.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], relation: Relation, rhs: f64) {
+        for &(j, _) in coeffs {
+            assert!(j < self.n_vars, "constraint var {j} out of range");
+        }
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Adds an upper bound `x_var ≤ bound` as an explicit row.
+    pub fn add_upper_bound(&mut self, var: usize, bound: f64) {
+        self.add_constraint(&[(var, 1.0)], Relation::Le, bound);
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> crate::Solution {
+        crate::solve(self)
+    }
+
+    /// Evaluates the objective (in the original sense) at `x`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.rows.iter().all(|row| {
+            let lhs: f64 = row.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+            match row.relation {
+                Relation::Le => lhs <= row.rhs + tol,
+                Relation::Eq => (lhs - row.rhs).abs() <= tol,
+                Relation::Ge => lhs >= row.rhs - tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_duplicates() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 1.0), (0, 2.0), (1, -1.0)]);
+        assert_eq!(p.objective, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn objective_var_out_of_range_panics() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(&[(1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn constraint_var_out_of_range_panics() {
+        let mut p = Problem::minimize(1);
+        p.add_constraint(&[(3, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = Problem::minimize(2);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 3.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+        assert!(p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[0.5, 1.0], 1e-9)); // violates ≥ 1
+        assert!(!p.is_feasible(&[2.0, 2.0], 1e-9)); // violates ≤ 3
+        assert!(!p.is_feasible(&[-0.1, 0.0], 1e-9)); // negative variable
+    }
+
+    #[test]
+    fn objective_at_respects_sense() {
+        let mut p = Problem::maximize(2);
+        p.set_objective(&[(0, 2.0), (1, 3.0)]);
+        assert_eq!(p.objective_at(&[1.0, 1.0]), 5.0);
+    }
+}

@@ -1,0 +1,500 @@
+use crate::problem::{Problem, Relation};
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The pivot budget was exhausted (pathological cycling); the
+    /// returned point is feasible but possibly suboptimal.
+    IterationLimit,
+}
+
+/// Result of a simplex run.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Solve outcome; `x`/`objective` are meaningful for `Optimal` and
+    /// `IterationLimit` only.
+    pub status: Status,
+    /// Values of the original decision variables.
+    pub x: Vec<f64>,
+    /// Objective value **in the problem's original sense** (i.e. the
+    /// maximum for maximization problems).
+    pub objective: f64,
+    /// Number of simplex pivots performed across both phases.
+    pub pivots: usize,
+}
+
+impl Solution {
+    fn failed(status: Status, n: usize) -> Self {
+        Solution {
+            status,
+            x: vec![0.0; n],
+            objective: f64::NAN,
+            pivots: 0,
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Dense simplex tableau with an extra objective row.
+struct Tableau {
+    /// `(m + 1) × (w + 1)` row-major; row `m` is the reduced-cost row,
+    /// column `w` is the right-hand side.
+    t: Vec<f64>,
+    m: usize,
+    w: usize,
+    basis: Vec<usize>,
+    /// Columns allowed to enter the basis (artificials are barred in
+    /// phase 2).
+    enterable: Vec<bool>,
+    pivots: usize,
+    bland: bool,
+    budget: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.t[r * (self.w + 1) + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.t[r * (self.w + 1) + c] = v;
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let stride = self.w + 1;
+        let piv = self.at(pr, pc);
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for c in 0..stride {
+            self.t[pr * stride + c] *= inv;
+        }
+        self.set(pr, pc, 1.0);
+        for r in 0..=self.m {
+            if r == pr {
+                continue;
+            }
+            let f = self.at(r, pc);
+            if f.abs() <= EPS {
+                self.set(r, pc, 0.0);
+                continue;
+            }
+            for c in 0..stride {
+                let v = self.at(r, c) - f * self.at(pr, c);
+                self.t[r * stride + c] = v;
+            }
+            self.set(r, pc, 0.0);
+        }
+        self.basis[pr] = pc;
+        self.pivots += 1;
+        if self.pivots > self.budget / 2 {
+            self.bland = true;
+        }
+    }
+
+    /// Runs simplex iterations until optimal/unbounded/limit.
+    fn iterate(&mut self) -> Status {
+        loop {
+            if self.pivots >= self.budget {
+                return Status::IterationLimit;
+            }
+            // Entering column: Dantzig (most negative reduced cost) or
+            // Bland (first negative) when cycling is suspected.
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for c in 0..self.w {
+                if !self.enterable[c] {
+                    continue;
+                }
+                let d = self.at(self.m, c);
+                if self.bland {
+                    if d < -EPS {
+                        enter = Some(c);
+                        break;
+                    }
+                } else if d < best {
+                    best = d;
+                    enter = Some(c);
+                }
+            }
+            let Some(pc) = enter else {
+                return Status::Optimal;
+            };
+            // Leaving row: minimum ratio, Bland tie-break on basis index.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.at(r, self.w) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = leave else {
+                return Status::Unbounded;
+            };
+            self.pivot(pr, pc);
+        }
+    }
+}
+
+/// Solves `problem` with the two-phase simplex method.
+///
+/// Phase 1 minimizes the sum of artificial variables to find a basic
+/// feasible solution; phase 2 optimizes the true objective with
+/// artificial columns barred from the basis. Redundant rows discovered
+/// at the end of phase 1 are dropped.
+pub fn solve(problem: &Problem) -> Solution {
+    let n = problem.n_vars;
+    let m = problem.rows.len();
+
+    // Densify rows, normalizing to non-negative rhs.
+    let mut dense: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rels: Vec<Relation> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    for row in &problem.rows {
+        let mut a = vec![0.0; n];
+        for &(j, v) in &row.coeffs {
+            a[j] += v;
+        }
+        let (a, rel, b) = if row.rhs < 0.0 {
+            let flipped = match row.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            (a.iter().map(|v| -v).collect(), flipped, -row.rhs)
+        } else {
+            (a, row.relation, row.rhs)
+        };
+        dense.push(a);
+        rels.push(rel);
+        rhs.push(b);
+    }
+
+    // Column layout: [0, n) original | slacks/surplus | artificials.
+    let n_slack = rels
+        .iter()
+        .filter(|r| !matches!(r, Relation::Eq))
+        .count();
+    let n_art = rels
+        .iter()
+        .filter(|r| matches!(r, Relation::Eq | Relation::Ge))
+        .count();
+    let w = n + n_slack + n_art;
+
+    let mut tab = Tableau {
+        t: vec![0.0; (m + 1) * (w + 1)],
+        m,
+        w,
+        basis: vec![usize::MAX; m],
+        enterable: vec![true; w],
+        pivots: 0,
+        bland: false,
+        budget: 200 * (m + w) + 2000,
+    };
+
+    let mut slack_at = n;
+    let mut art_at = n + n_slack;
+    let art_start = n + n_slack;
+    for r in 0..m {
+        for (j, &a) in dense[r].iter().enumerate() {
+            tab.set(r, j, a);
+        }
+        tab.set(r, w, rhs[r]);
+        match rels[r] {
+            Relation::Le => {
+                tab.set(r, slack_at, 1.0);
+                tab.basis[r] = slack_at;
+                slack_at += 1;
+            }
+            Relation::Ge => {
+                tab.set(r, slack_at, -1.0);
+                slack_at += 1;
+                tab.set(r, art_at, 1.0);
+                tab.basis[r] = art_at;
+                art_at += 1;
+            }
+            Relation::Eq => {
+                tab.set(r, art_at, 1.0);
+                tab.basis[r] = art_at;
+                art_at += 1;
+            }
+        }
+    }
+
+    // ---- Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        for c in art_start..w {
+            tab.set(m, c, 1.0);
+        }
+        // Zero out the reduced costs of basic artificials.
+        for r in 0..m {
+            if tab.basis[r] >= art_start {
+                for c in 0..=w {
+                    let v = tab.at(m, c) - tab.at(r, c);
+                    tab.set(m, c, v);
+                }
+            }
+        }
+        match tab.iterate() {
+            Status::Optimal => {}
+            Status::IterationLimit => return Solution::failed(Status::IterationLimit, n),
+            // Phase 1 objective is bounded below by 0.
+            _ => unreachable!("phase-1 simplex cannot be unbounded"),
+        }
+        let phase1 = -tab.at(m, w);
+        if phase1 > 1e-7 {
+            return Solution::failed(Status::Infeasible, n);
+        }
+        // Drive any basic artificial (necessarily at value ~0) out of
+        // the basis, or mark its row redundant.
+        for r in 0..m {
+            if tab.basis[r] >= art_start {
+                let mut replaced = false;
+                for c in 0..art_start {
+                    if tab.at(r, c).abs() > 1e-7 {
+                        tab.pivot(r, c);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if !replaced {
+                    // Redundant row: every structural coefficient is 0.
+                    // Leave the artificial basic at value 0 but bar it —
+                    // the row can never bind.
+                }
+            }
+        }
+        for c in art_start..w {
+            tab.enterable[c] = false;
+        }
+    }
+
+    // ---- Phase 2: the true objective.
+    let sense = if problem.maximize { -1.0 } else { 1.0 };
+    for c in 0..=w {
+        tab.set(m, c, 0.0);
+    }
+    for (j, &cj) in problem.objective.iter().enumerate() {
+        tab.set(m, j, sense * cj);
+    }
+    for r in 0..m {
+        let b = tab.basis[r];
+        if b < n {
+            let cb = sense * problem.objective[b];
+            if cb != 0.0 {
+                for c in 0..=w {
+                    let v = tab.at(m, c) - cb * tab.at(r, c);
+                    tab.set(m, c, v);
+                }
+            }
+        }
+    }
+
+    let status = tab.iterate();
+    match status {
+        Status::Unbounded => return Solution::failed(Status::Unbounded, n),
+        Status::Optimal | Status::IterationLimit => {}
+        Status::Infeasible => unreachable!("phase-2 starts feasible"),
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if tab.basis[r] < n {
+            x[tab.basis[r]] = tab.at(r, w).max(0.0);
+        }
+    }
+    let objective = problem.objective_at(&x);
+    Solution {
+        status,
+        x,
+        objective,
+        pivots: tab.pivots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relation;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6)
+        let mut p = Problem::maximize(2);
+        p.set_objective(&[(0, 3.0), (1, 5.0)]);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 36.0);
+        assert_near(s.x[0], 2.0);
+        assert_near(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → 22 at (10, 0)? check:
+        // cheapest is all-x since 2 < 3: x = 10, y = 0 → 20.
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 2.0), (1, 3.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 20.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 6, x - y = 0 → x = y = 2, obj 4.
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 1.0), (1, 1.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Eq, 6.0);
+        p.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 0.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.x[0], 2.0);
+        assert_near(s.x[1], 2.0);
+        assert_near(s.objective, 4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize(1);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(p.solve().status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::maximize(1);
+        p.set_objective(&[(0, 1.0)]);
+        p.add_constraint(&[(0, -1.0)], Relation::Le, 0.0); // x ≥ 0 only
+        assert_eq!(p.solve().status, Status::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y ≤ -2 with min x: needs y ≥ x + 2, x can be 0 → obj 0.
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 1.0)]);
+        p.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Le, -2.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 0.0);
+        assert!(p.is_feasible(&s.x, 1e-7));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP (multiple rows binding at the origin).
+        let mut p = Problem::maximize(3);
+        p.set_objective(&[(0, 10.0), (1, -57.0), (2, -9.0)]);
+        p.add_constraint(&[(0, 0.5), (1, -5.5), (2, -2.5)], Relation::Le, 0.0);
+        p.add_constraint(&[(0, 0.5), (1, -1.5), (2, -0.5)], Relation::Le, 0.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 1.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 listed twice plus a consistent ≥.
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 1.0), (1, 2.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 2.0); // all weight on x
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = Problem::minimize(0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 0.0);
+    }
+
+    #[test]
+    fn transportation_lp() {
+        // 2 supplies (3, 4), 2 demands (5, 2); costs [[1,4],[2,1]].
+        // Optimal: s0→d0:3, s1→d0:2, s1→d1:2 → 3+4+2 = 9.
+        let mut p = Problem::minimize(4); // x00 x01 x10 x11
+        p.set_objective(&[(0, 1.0), (1, 4.0), (2, 2.0), (3, 1.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 3.0);
+        p.add_constraint(&[(2, 1.0), (3, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(0, 1.0), (2, 1.0)], Relation::Eq, 5.0);
+        p.add_constraint(&[(1, 1.0), (3, 1.0)], Relation::Eq, 2.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 9.0);
+        assert!(p.is_feasible(&s.x, 1e-7));
+    }
+
+    #[test]
+    fn solution_is_always_feasible_when_optimal() {
+        let mut p = Problem::maximize(3);
+        p.set_objective(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 10.0);
+        p.add_constraint(&[(0, 1.0), (2, -1.0)], Relation::Ge, 1.0);
+        p.add_constraint(&[(1, 1.0), (2, 1.0)], Relation::Eq, 5.0);
+        let s = p.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(p.is_feasible(&s.x, 1e-7));
+    }
+
+    #[test]
+    fn gap_like_lp_relaxation() {
+        // 2 machines, 3 jobs; assignment equality + capacity ≤.
+        // cost c[i][j], time p[i][j].
+        let c = [[1.0, 2.0, 3.0], [2.0, 1.0, 1.0]];
+        let p_t = [[1.0, 1.0, 2.0], [2.0, 1.0, 1.0]];
+        let cap = [2.0, 2.0];
+        // var x[i][j] → index i*3 + j
+        let mut lp = Problem::minimize(6);
+        let obj: Vec<(usize, f64)> = (0..2)
+            .flat_map(|i| (0..3).map(move |j| (i * 3 + j, c[i][j])))
+            .collect();
+        lp.set_objective(&obj);
+        for j in 0..3 {
+            lp.add_constraint(&[(j, 1.0), (3 + j, 1.0)], Relation::Eq, 1.0);
+        }
+        for i in 0..2 {
+            let row: Vec<(usize, f64)> = (0..3).map(|j| (i * 3 + j, p_t[i][j])).collect();
+            lp.add_constraint(&row, Relation::Le, cap[i]);
+        }
+        let s = lp.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(lp.is_feasible(&s.x, 1e-7));
+        // Integral optimum assigns j0→m0 (1), j1→m0 or m1 (cost 2 or 1),
+        // j2→m1 (1). Best integral = 1 + 1 + 1 = 3; LP ≤ that.
+        assert!(s.objective <= 3.0 + 1e-7);
+        assert!(s.objective >= 1.0);
+    }
+}

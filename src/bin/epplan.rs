@@ -1,0 +1,238 @@
+//! `epplan` — command-line interface to the event-participant planner.
+//!
+//! ```text
+//! epplan generate --users 500 --events 50 [--seed 42] --out instance.json
+//! epplan generate --city vancouver --out instance.json
+//! epplan solve --instance instance.json [--solver greedy|gap|exact]
+//!              [--seed 7] [--out plan.json]
+//! epplan validate --instance instance.json --plan plan.json
+//! epplan apply --instance instance.json --plan plan.json --ops ops.json
+//!              [--out-instance i2.json] [--out-plan p2.json]
+//! epplan example [--out instance.json]
+//! ```
+//!
+//! Instances and plans are JSON; operation streams are JSON arrays of
+//! internally-tagged [`AtomicOp`] values, e.g.
+//!
+//! ```json
+//! [{"op": "eta_decrease", "event": 3, "new_upper": 1},
+//!  {"op": "budget_change", "user": 7, "new_budget": 12.5}]
+//! ```
+
+use epplan::core::incremental::{AtomicOp, IncrementalPlanner};
+use epplan::core::plan::Plan;
+use epplan::datagen::{generate, City, GeneratorConfig};
+use epplan::prelude::*;
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: epplan <generate|solve|validate|apply|example> [flags]\n\
+         run with a subcommand; see crate docs for the flag list"
+    );
+    exit(2)
+}
+
+/// Parses `--flag value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(name) = k.strip_prefix("--") else {
+            fail(&format!("unexpected argument {k}"));
+        };
+        let Some(v) = it.next() else {
+            fail(&format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_string(), v.clone());
+    }
+    flags
+}
+
+fn load_instance(flags: &HashMap<String, String>) -> Instance {
+    let path = flags
+        .get("instance")
+        .unwrap_or_else(|| fail("--instance <file> is required"));
+    epplan::datagen::load_instance(Path::new(path))
+        .unwrap_or_else(|e| fail(&format!("cannot load instance {path}: {e}")))
+}
+
+fn load_plan(flags: &HashMap<String, String>) -> Plan {
+    let path = flags
+        .get("plan")
+        .unwrap_or_else(|| fail("--plan <file> is required"));
+    let data = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read plan {path}: {e}")));
+    serde_json::from_str(&data)
+        .unwrap_or_else(|e| fail(&format!("cannot parse plan {path}: {e}")))
+}
+
+fn write_json<T: serde::Serialize>(value: &T, path: &str) {
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    println!("wrote {path}");
+}
+
+fn summarize(instance: &Instance, plan: &Plan) {
+    let v = plan.validate(instance);
+    println!("utility        : {:.3}", plan.total_utility(instance));
+    println!("assignments    : {}", plan.total_assignments());
+    println!(
+        "hard-feasible  : {}",
+        if v.hard_ok() { "yes" } else { "NO" }
+    );
+    let shortfalls = v.shortfall_events();
+    println!(
+        "events below xi: {}{}",
+        shortfalls.len(),
+        if shortfalls.is_empty() {
+            String::new()
+        } else {
+            format!(" ({shortfalls:?})")
+        }
+    );
+}
+
+fn cmd_generate(flags: HashMap<String, String>) {
+    let instance = if let Some(city) = flags.get("city") {
+        let city = match city.to_lowercase().as_str() {
+            "beijing" => City::Beijing,
+            "vancouver" => City::Vancouver,
+            "auckland" => City::Auckland,
+            "singapore" => City::Singapore,
+            other => fail(&format!("unknown city {other}")),
+        };
+        city.instance()
+    } else {
+        let get = |k: &str, d: usize| -> usize {
+            flags
+                .get(k)
+                .map(|v| v.parse().unwrap_or_else(|_| fail(&format!("bad --{k}"))))
+                .unwrap_or(d)
+        };
+        let cfg = GeneratorConfig {
+            n_users: get("users", 500),
+            n_events: get("events", 50),
+            seed: get("seed", 42) as u64,
+            ..Default::default()
+        };
+        generate(&cfg)
+    };
+    println!(
+        "generated {} users × {} events",
+        instance.n_users(),
+        instance.n_events()
+    );
+    match flags.get("out") {
+        Some(path) => {
+            epplan::datagen::save_instance(&instance, Path::new(path))
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            println!("wrote {path}");
+        }
+        None => println!("{}", serde_json::to_string(&instance).expect("serializable")),
+    }
+}
+
+fn cmd_solve(flags: HashMap<String, String>) {
+    let instance = load_instance(&flags);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().unwrap_or_else(|_| fail("bad --seed")))
+        .unwrap_or(0);
+    let solver: Box<dyn GepcSolver> =
+        match flags.get("solver").map(String::as_str).unwrap_or("greedy") {
+            "greedy" => Box::new(GreedySolver::seeded(seed)),
+            "gap" => Box::new(GapBasedSolver::default()),
+            "exact" => Box::new(ExactSolver::default()),
+            other => fail(&format!("unknown solver {other} (greedy|gap|exact)")),
+        };
+    let start = std::time::Instant::now();
+    let solution = solver.solve(&instance);
+    println!(
+        "solved with {} in {:.3}s",
+        solver.name(),
+        start.elapsed().as_secs_f64()
+    );
+    summarize(&instance, &solution.plan);
+    if flags.contains_key("stats") {
+        println!("\n{}", epplan::core::plan::PlanStatistics::of(&instance, &solution.plan));
+        let hist =
+            epplan::core::plan::PlanStatistics::plan_length_histogram(&instance, &solution.plan);
+        println!("plan-length hist : {hist:?}");
+    }
+    if let Some(path) = flags.get("out") {
+        write_json(&solution.plan, path);
+    }
+}
+
+fn cmd_validate(flags: HashMap<String, String>) {
+    let instance = load_instance(&flags);
+    let plan = load_plan(&flags);
+    summarize(&instance, &plan);
+    let v = plan.validate(&instance);
+    for violation in &v.violations {
+        println!("  {violation:?}");
+    }
+    if !v.hard_ok() {
+        exit(1);
+    }
+}
+
+fn cmd_apply(flags: HashMap<String, String>) {
+    let instance = load_instance(&flags);
+    let plan = load_plan(&flags);
+    let ops_path = flags
+        .get("ops")
+        .unwrap_or_else(|| fail("--ops <file> is required"));
+    let data = std::fs::read_to_string(ops_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {ops_path}: {e}")));
+    let ops: Vec<AtomicOp> = serde_json::from_str(&data)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {ops_path}: {e}")));
+    println!("applying {} atomic operation(s)", ops.len());
+    let outcome = IncrementalPlanner.apply_batch(&instance, &plan, &ops);
+    println!("step difs      : {:?}", outcome.step_difs);
+    println!("net dif        : {}", outcome.net_dif);
+    summarize(&outcome.instance, &outcome.plan);
+    if let Some(path) = flags.get("out-instance") {
+        write_json(&outcome.instance, path);
+    }
+    if let Some(path) = flags.get("out-plan") {
+        write_json(&outcome.plan, path);
+    }
+}
+
+fn cmd_example(flags: HashMap<String, String>) {
+    let instance = epplan::datagen::paper_example();
+    println!("the paper's Example 1: 5 users, 4 events");
+    let solution = ExactSolver::default().solve(&instance);
+    summarize(&instance, &solution.plan);
+    if let Some(path) = flags.get("out") {
+        epplan::datagen::save_instance(&instance, Path::new(path))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "generate" => cmd_generate(flags),
+        "solve" => cmd_solve(flags),
+        "validate" => cmd_validate(flags),
+        "apply" => cmd_apply(flags),
+        "example" => cmd_example(flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `epplan` CLI binary: generate → solve →
+//! validate → apply, all through real process invocations and JSON
+//! files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_epplan"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("epplan-cli-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_solve_validate_roundtrip() {
+    let dir = tmp_dir("roundtrip");
+    let inst = dir.join("inst.json");
+    let plan = dir.join("plan.json");
+
+    let out = bin()
+        .args(["generate", "--users", "40", "--events", "6", "--seed", "9"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(inst.exists());
+
+    let out = bin()
+        .args(["solve", "--instance", inst.to_str().unwrap()])
+        .args(["--solver", "greedy", "--out", plan.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hard-feasible  : yes"), "{stdout}");
+
+    let out = bin()
+        .args(["validate", "--instance", inst.to_str().unwrap()])
+        .args(["--plan", plan.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn apply_op_stream() {
+    let dir = tmp_dir("apply");
+    let inst = dir.join("inst.json");
+    let plan = dir.join("plan.json");
+    let ops = dir.join("ops.json");
+    let plan2 = dir.join("plan2.json");
+
+    assert!(bin()
+        .args(["generate", "--users", "30", "--events", "5", "--seed", "4"])
+        .args(["--out", inst.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["solve", "--instance", inst.to_str().unwrap()])
+        .args(["--out", plan.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    std::fs::write(
+        &ops,
+        r#"[{"op":"eta_decrease","event":1,"new_upper":1},
+            {"op":"xi_decrease","event":0,"new_lower":0},
+            {"op":"fee_change","event":2,"new_fee":1.5}]"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["apply", "--instance", inst.to_str().unwrap()])
+        .args(["--plan", plan.to_str().unwrap()])
+        .args(["--ops", ops.to_str().unwrap()])
+        .args(["--out-plan", plan2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("applying 3 atomic operation(s)"), "{stdout}");
+    assert!(plan2.exists());
+}
+
+#[test]
+fn city_preset_generation() {
+    let dir = tmp_dir("city");
+    let inst = dir.join("beijing.json");
+    let out = bin()
+        .args(["generate", "--city", "beijing"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("113 users × 16 events"), "{stdout}");
+}
+
+#[test]
+fn example_subcommand() {
+    let out = bin().arg("example").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("utility        : 6.300"), "{stdout}");
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = bin().arg("solve").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--instance"), "{stderr}");
+}
+
+#[test]
+fn bad_ops_json_fails_cleanly() {
+    let dir = tmp_dir("badops");
+    let inst = dir.join("inst.json");
+    let plan = dir.join("plan.json");
+    let ops = dir.join("ops.json");
+    assert!(bin()
+        .args(["generate", "--users", "10", "--events", "3", "--seed", "1"])
+        .args(["--out", inst.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["solve", "--instance", inst.to_str().unwrap()])
+        .args(["--out", plan.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    std::fs::write(&ops, "{not valid json").unwrap();
+    let out = bin()
+        .args(["apply", "--instance", inst.to_str().unwrap()])
+        .args(["--plan", plan.to_str().unwrap()])
+        .args(["--ops", ops.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests for the GEPC solvers: generated
+//! instances flow through datagen → core solvers → validation, and the
+//! paper's structural claims are checked end to end.
+
+use epplan::core::analysis::InstanceAnalysis;
+use epplan::datagen::{generate, City, GeneratorConfig};
+use epplan::prelude::*;
+
+fn small_cfg(seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        n_users: 60,
+        n_events: 12,
+        seed,
+        mean_lower: 3,
+        mean_upper: 10,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn both_solvers_produce_hard_feasible_plans() {
+    for seed in 0..5 {
+        let inst = generate(&small_cfg(seed));
+        for solver in [
+            Box::new(GreedySolver::seeded(seed)) as Box<dyn GepcSolver>,
+            Box::new(GapBasedSolver::default()),
+        ] {
+            let sol = solver.solve(&inst);
+            let v = sol.plan.validate(&inst);
+            assert!(
+                v.hard_ok(),
+                "{} seed {seed}: {:?}",
+                solver.name(),
+                v.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn solution_shortfall_matches_validation() {
+    let inst = generate(&small_cfg(3));
+    let sol = GreedySolver::seeded(0).solve(&inst);
+    let v = sol.plan.validate(&inst);
+    assert_eq!(sol.shortfall, v.shortfall_events());
+}
+
+#[test]
+fn gap_utility_competitive_with_greedy() {
+    // Table VI shape: GAP-based utility is at least in the greedy's
+    // ballpark (the paper finds it slightly larger; both are
+    // approximations so we allow 15% slack rather than strict order).
+    let mut gap_total = 0.0;
+    let mut greedy_total = 0.0;
+    for seed in 10..15 {
+        let inst = generate(&small_cfg(seed));
+        gap_total += GapBasedSolver::default().solve(&inst).utility;
+        greedy_total += GreedySolver::seeded(1).solve(&inst).utility;
+    }
+    assert!(
+        gap_total >= 0.85 * greedy_total,
+        "gap {gap_total} vs greedy {greedy_total}"
+    );
+}
+
+#[test]
+fn approximation_bounds_hold_vs_exact() {
+    // The paper's ratios: greedy ≥ OPT/(2·Uc_max), GAP ≥
+    // OPT/(Uc_max−1) · (1−O(ε)). Verified on tiny instances where the
+    // exact optimum is computable.
+    let mut checked = 0;
+    for seed in 0..30 {
+        let inst = generate(&GeneratorConfig {
+            n_users: 5,
+            n_events: 4,
+            seed: 3000 + seed,
+            mean_lower: 1,
+            mean_upper: 3,
+            n_tags: 6,
+            ..Default::default()
+        });
+        let Some(exact) = (ExactSolver {
+            max_users: 6,
+            max_events: 5,
+        })
+        .solve_optimal(&inst) else {
+            continue;
+        };
+        if exact.utility <= 0.0 {
+            continue;
+        }
+        let analysis = InstanceAnalysis::of(&inst);
+        let greedy = GreedySolver::seeded(9).solve(&inst);
+        if let Some(bound) = analysis.greedy_bound() {
+            assert!(
+                greedy.utility >= bound * exact.utility - 1e-9,
+                "seed {seed}: greedy {} < bound {} × exact {}",
+                greedy.utility,
+                bound,
+                exact.utility
+            );
+        }
+        let gap = GapBasedSolver::default().solve(&inst);
+        if let Some(bound) = analysis.gap_bound() {
+            // Allow the (1−O(ε)) LP slack on top of the 1/(Uc_max−1).
+            assert!(
+                gap.utility >= 0.8 * bound * exact.utility - 1e-9,
+                "seed {seed}: gap {} < bound {} × exact {}",
+                gap.utility,
+                bound,
+                exact.utility
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "too few feasible tiny instances ({checked})");
+}
+
+#[test]
+fn two_step_framework_never_loses_utility() {
+    for seed in 0..5 {
+        let inst = generate(&small_cfg(100 + seed));
+        let xi_only = GreedySolver::xi_only(seed).solve(&inst);
+        let two_step = GreedySolver::seeded(seed).solve(&inst);
+        assert!(two_step.utility >= xi_only.utility - 1e-9);
+        // Step 2 only adds assignments.
+        assert!(
+            two_step.plan.total_assignments() >= xi_only.plan.total_assignments()
+        );
+    }
+}
+
+#[test]
+fn city_preset_roundtrip_through_solver() {
+    // Beijing-sized end-to-end smoke test (113 × 16, Table IV).
+    let inst = City::Beijing.instance();
+    let sol = GreedySolver::seeded(2).solve(&inst);
+    assert!(sol.plan.validate(&inst).hard_ok());
+    assert!(sol.utility > 0.0);
+}
+
+#[test]
+fn solvers_are_deterministic() {
+    let inst = generate(&small_cfg(77));
+    let a = GreedySolver::seeded(5).solve(&inst);
+    let b = GreedySolver::seeded(5).solve(&inst);
+    assert_eq!(a.plan, b.plan);
+    let c = GapBasedSolver::default().solve(&inst);
+    let d = GapBasedSolver::default().solve(&inst);
+    assert_eq!(c.plan, d.plan);
+}
+
+#[test]
+fn zero_utility_assignments_never_made() {
+    for seed in 0..3 {
+        let inst = generate(&small_cfg(200 + seed));
+        for solver in [
+            Box::new(GreedySolver::seeded(0)) as Box<dyn GepcSolver>,
+            Box::new(GapBasedSolver::default()),
+        ] {
+            let sol = solver.solve(&inst);
+            for u in inst.user_ids() {
+                for &e in sol.plan.user_plan(u) {
+                    assert!(
+                        inst.utility(u, e) > 0.0,
+                        "{} assigned zero-utility pair ({u}, {e})",
+                        solver.name()
+                    );
+                }
+            }
+        }
+    }
+}

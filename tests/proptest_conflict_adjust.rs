@@ -1,0 +1,93 @@
+//! Property tests for Algorithm 1 (Conflict Adjusting) on arbitrary
+//! raw GAP outputs: whatever conflicted multiset the GAP stage hands
+//! over, the adjusted plan must be free of time conflicts and
+//! duplicates, and budget repair must then enforce every budget.
+
+use epplan::core::solver::conflict_adjust::{budget_repair, conflict_adjust};
+use epplan::datagen::{generate, GeneratorConfig};
+use epplan::prelude::*;
+use proptest::prelude::*;
+
+fn arb_setup() -> impl Strategy<Value = (Instance, Vec<Vec<EventId>>)> {
+    (3usize..25, 2usize..8, 0u64..5_000, 0usize..60).prop_map(
+        |(n_users, n_events, seed, n_raw)| {
+            use rand::{Rng, SeedableRng};
+            let inst = generate(&GeneratorConfig {
+                n_users,
+                n_events,
+                seed,
+                mean_lower: 2,
+                mean_upper: 6,
+                conflict_ratio: 0.5, // plenty of conflicts to trip over
+                ..Default::default()
+            });
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF00D);
+            // Raw multiset: random (user, event) incidences, with
+            // duplicates allowed — mimicking GAP copies.
+            let mut raw = vec![Vec::new(); n_users];
+            for _ in 0..n_raw {
+                let u = rng.gen_range(0..n_users);
+                let e = EventId(rng.gen_range(0..n_events) as u32);
+                raw[u].push(e);
+            }
+            (inst, raw)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjusted_plans_have_no_conflicts_or_duplicates(
+        (inst, raw) in arb_setup(),
+    ) {
+        let plan = conflict_adjust(&inst, raw);
+        for u in inst.user_ids() {
+            let evs = plan.user_plan(u);
+            for (i, &a) in evs.iter().enumerate() {
+                for &b in &evs[i + 1..] {
+                    prop_assert_ne!(a, b, "duplicate event in {}", u);
+                    prop_assert!(
+                        !inst.conflicts(a, b),
+                        "conflict {}/{} left in {}", a, b, u
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_repair_enforces_every_budget(
+        (inst, raw) in arb_setup(),
+    ) {
+        let mut plan = conflict_adjust(&inst, raw);
+        budget_repair(&inst, &mut plan);
+        for u in inst.user_ids() {
+            prop_assert!(
+                plan.travel_cost(&inst, u) <= inst.user(u).budget + 1e-6,
+                "user {} over budget", u
+            );
+        }
+        // And conflicts stay resolved: reassignments during repair
+        // also validated against conflicts.
+        for u in inst.user_ids() {
+            let evs = plan.user_plan(u);
+            for (i, &a) in evs.iter().enumerate() {
+                for &b in &evs[i + 1..] {
+                    prop_assert!(!inst.conflicts(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjusting_preserves_total_copies_or_less(
+        (inst, raw) in arb_setup(),
+    ) {
+        let total_in: usize = raw.iter().map(Vec::len).sum();
+        let plan = conflict_adjust(&inst, raw);
+        // Conflict adjusting can only drop copies, never mint new ones.
+        prop_assert!(plan.total_assignments() <= total_in);
+    }
+}
