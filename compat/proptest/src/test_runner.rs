@@ -1,0 +1,42 @@
+//! Test-runner configuration and case outcomes
+//! (`proptest::test_runner` subset).
+
+/// Runner knobs; only `cases` is honored by the shim.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused by the shim.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+/// Per-case result type used by the `proptest!` expansion.
+pub type TestCaseResult = Result<(), TestCaseError>;

@@ -1,0 +1,370 @@
+//! Hermetic, dependency-free stand-in for `serde` (the subset this
+//! workspace uses: `derive(Serialize, Deserialize)` on plain structs,
+//! newtype ids, and externally/internally tagged enums, driven by the
+//! sibling `serde_json` shim).
+//!
+//! Instead of serde's visitor architecture, values round-trip through a
+//! simple self-describing [`Content`] tree: `Serialize` lowers a value
+//! to `Content`, `Deserialize` lifts it back. That is exactly enough
+//! for JSON persistence of instances, plans, configs and op streams.
+
+
+// Hermetic offline stand-in for the real crate; kept simple, not lint-clean.
+#![allow(clippy::all)]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree, the meeting point of serialization
+/// and deserialization (serde's data model, flattened).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key–value pairs in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: JSON has one number type, so integers parse
+    /// as `I64`/`U64` but still deserialize into `f64` fields.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(f) => Some(*f),
+            Content::I64(i) => Some(*i as f64),
+            Content::U64(u) => Some(*u as f64),
+            // Non-finite floats serialize as `null`; lift them back as
+            // NaN so robustness tests can round-trip degenerate data.
+            Content::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(u) => Some(*u),
+            Content::I64(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(i) => Some(*i),
+            Content::U64(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable message naming what was
+/// expected and where it went wrong.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Lift a value back out of the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---- helpers the derive macro expands calls to ----
+
+/// First value under `key`, if present.
+pub fn __get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Required struct field.
+pub fn __field<T: Deserialize>(map: &[(String, Content)], key: &str) -> Result<T, DeError> {
+    match __get(map, key) {
+        Some(v) => T::from_content(v),
+        None => Err(DeError::new(format!("missing field `{key}`"))),
+    }
+}
+
+/// `#[serde(default)]` struct field.
+pub fn __field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    key: &str,
+) -> Result<T, DeError> {
+    match __get(map, key) {
+        Some(v) => T::from_content(v),
+        None => Ok(T::default()),
+    }
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let u = c
+                    .as_u64()
+                    .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError::new(format!(concat!("{} out of range for ", stringify!($t)), u))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let i = c
+                    .as_i64()
+                    .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::new(format!(concat!("{} out of range for ", stringify!($t)), i))
+                })
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().ok_or_else(|| DeError::new("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(f64::from_content(c)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c.as_seq().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {expected}, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(f64::from_content(&Content::I64(-3)).unwrap(), -3.0);
+        assert_eq!(f64::from_content(&Content::U64(7)).unwrap(), 7.0);
+        assert!(f64::from_content(&Content::Null).unwrap().is_nan());
+        assert_eq!(u32::from_content(&Content::I64(5)).unwrap(), 5);
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let c = v.to_content();
+        assert_eq!(Vec::<u32>::from_content(&c).unwrap(), v);
+
+        let t = (2usize, 6usize);
+        let c = t.to_content();
+        assert_eq!(<(usize, usize)>::from_content(&c).unwrap(), t);
+        assert!(<(usize, usize)>::from_content(&Content::Seq(vec![Content::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::U64(4)).unwrap(),
+            Some(4)
+        );
+        assert_eq!(Some(4u32).to_content(), Content::U64(4));
+        assert_eq!(Option::<u32>::None.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn field_helpers() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        assert_eq!(__field::<u32>(&map, "a").unwrap(), 1);
+        assert!(__field::<u32>(&map, "b").is_err());
+        assert_eq!(__field_or_default::<f64>(&map, "b").unwrap(), 0.0);
+    }
+}

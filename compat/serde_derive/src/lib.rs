@@ -1,0 +1,492 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-repo serde shim.
+//!
+//! Implemented with hand-rolled token parsing (no `syn`/`quote`; the
+//! build container cannot fetch them). Supports exactly the shapes
+//! this workspace uses:
+//!
+//! - named-field structs (with `#[serde(default)]` fields),
+//! - one-field tuple ("newtype") structs, serialized transparently,
+//! - externally tagged enums with unit and struct variants,
+//! - internally tagged enums (`#[serde(tag = "...")]`) with
+//!   `rename_all = "snake_case"`.
+//!
+//! Anything else (generics, tuple variants, skipped fields) is
+//! rejected with a compile error rather than silently mis-serialized.
+
+
+// Hermetic offline stand-in for the real crate; kept simple, not lint-clean.
+#![allow(clippy::all)]
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    kind: Kind,
+    /// `#[serde(tag = "...")]` → internally tagged enum.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "...")]`.
+    rename_all: Option<String>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+
+    // Attributes and visibility precede the struct/enum keyword.
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    scan_serde_attr(g, |key, value| match key {
+                        "tag" => tag = value.map(str::to_string),
+                        "rename_all" => rename_all = value.map(str::to_string),
+                        _ => {}
+                    });
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum found in derive input"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic types ({name})");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g.clone(),
+        other => panic!("serde_derive: expected body of {name}, got {other:?}"),
+    };
+
+    let kind = if keyword == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => Kind::NamedStruct(parse_named_fields(&body)),
+            Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(&body);
+                if arity != 1 {
+                    panic!("serde_derive shim supports only 1-field tuple structs ({name} has {arity})");
+                }
+                Kind::NewtypeStruct
+            }
+            _ => panic!("serde_derive: unexpected struct body for {name}"),
+        }
+    } else {
+        Kind::Enum(parse_variants(&body, &name))
+    };
+
+    Container { name, kind, tag, rename_all }
+}
+
+/// If the bracketed attribute group is `[serde(...)]`, invoke `f` for
+/// each `key` or `key = "value"` item inside.
+fn scan_serde_attr(group: &Group, mut f: impl FnMut(&str, Option<&str>)) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
+    };
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        let TokenTree::Ident(key) = &toks[j] else {
+            j += 1;
+            continue;
+        };
+        let key = key.to_string();
+        if matches!(toks.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if let Some(TokenTree::Literal(lit)) = toks.get(j + 2) {
+                let raw = lit.to_string();
+                f(&key, Some(raw.trim_matches('"')));
+            }
+            j += 3;
+        } else {
+            f(&key, None);
+            j += 1;
+        }
+        // Skip the separating comma, if any.
+        if matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default = false;
+        // Field attributes (doc comments, #[serde(default)], ...).
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                scan_serde_attr(g, |key, _| {
+                    if key == "default" {
+                        default = true;
+                    } else if key == "skip" || key == "rename" || key == "flatten" {
+                        panic!("serde_derive shim does not support #[serde({key})] on fields");
+                    }
+                });
+            }
+            i += 2;
+        }
+        if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        // Expect and skip `:`, then the type, up to a top-level comma.
+        // Only `<`/`>` need depth tracking: parenthesized/bracketed
+        // type components arrive as atomic groups.
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_top_level_fields(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(group: &Group, container: &str) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // variant attributes: only docs appear in this workspace
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name in {container}, got {other:?}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g);
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim does not support tuple variants ({container}::{name})");
+            }
+            _ => None,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- renaming ----
+
+fn to_snake(s: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i != 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => to_snake(name),
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some(other) => panic!("serde_derive shim: unsupported rename_all = {other:?}"),
+        None => name.to_string(),
+    }
+}
+
+// ---- codegen ----
+
+const ALLOWS: &str = "#[automatically_derived]\n#[allow(unused_mut, unused_variables, unreachable_patterns, clippy::all)]\n";
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                let key = rename(&f.name, c.rename_all.as_deref());
+                s.push_str(&format!(
+                    "__m.push((\"{key}\".to_string(), ::serde::Serialize::to_content(&self.{})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Content::Map(__m)\n");
+            s
+        }
+        Kind::NewtypeStruct => "::serde::Serialize::to_content(&self.0)\n".to_string(),
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vname = rename(&v.name, c.rename_all.as_deref());
+                match (&v.fields, &c.tag) {
+                    (None, None) => {
+                        s.push_str(&format!(
+                            "{name}::{} => ::serde::Content::Str(\"{vname}\".to_string()),\n",
+                            v.name
+                        ));
+                    }
+                    (None, Some(tag)) => {
+                        s.push_str(&format!(
+                            "{name}::{} => ::serde::Content::Map(vec![(\"{tag}\".to_string(), ::serde::Content::Str(\"{vname}\".to_string()))]),\n",
+                            v.name
+                        ));
+                    }
+                    (Some(fields), tag) => {
+                        let pat: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{} {{ {} }} => {{\n",
+                            v.name,
+                            pat.join(", ")
+                        ));
+                        s.push_str(
+                            "let mut __f: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            s.push_str(&format!(
+                                "__f.push((\"{tag}\".to_string(), ::serde::Content::Str(\"{vname}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            s.push_str(&format!(
+                                "__f.push((\"{0}\".to_string(), ::serde::Serialize::to_content({0})));\n",
+                                f.name
+                            ));
+                        }
+                        if tag.is_some() {
+                            s.push_str("::serde::Content::Map(__f)\n");
+                        } else {
+                            s.push_str(&format!(
+                                "::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(__f))])\n"
+                            ));
+                        }
+                        s.push_str("}\n");
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "{ALLOWS}impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for `{name}`\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                let key = rename(&f.name, c.rename_all.as_deref());
+                let getter = if f.default { "__field_or_default" } else { "__field" };
+                s.push_str(&format!(
+                    "{}: ::serde::{getter}(__m, \"{key}\")?,\n",
+                    f.name
+                ));
+            }
+            s.push_str("})\n");
+            s
+        }
+        Kind::NewtypeStruct => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))\n")
+        }
+        Kind::Enum(variants) => match &c.tag {
+            Some(tag) => gen_de_internal_enum(name, variants, tag, c.rename_all.as_deref()),
+            None => gen_de_external_enum(name, variants, c.rename_all.as_deref()),
+        },
+    };
+    format!(
+        "{ALLOWS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_variant_constructor(name: &str, v: &Variant, map: &str) -> String {
+    match &v.fields {
+        None => format!("Ok({name}::{})", v.name),
+        Some(fields) => {
+            let mut s = format!("Ok({name}::{} {{ ", v.name);
+            for f in fields {
+                let getter = if f.default { "__field_or_default" } else { "__field" };
+                s.push_str(&format!("{0}: ::serde::{getter}({map}, \"{0}\")?, ", f.name));
+            }
+            s.push_str("})");
+            s
+        }
+    }
+}
+
+fn gen_de_internal_enum(
+    name: &str,
+    variants: &[Variant],
+    tag: &str,
+    rule: Option<&str>,
+) -> String {
+    let mut s = format!(
+        "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for `{name}`\"))?;\n\
+         let __t = ::serde::__get(__m, \"{tag}\").and_then(::serde::Content::as_str).ok_or_else(|| ::serde::DeError::new(\"missing tag `{tag}` for `{name}`\"))?;\n\
+         match __t {{\n"
+    );
+    for v in variants {
+        let vname = rename(&v.name, rule);
+        s.push_str(&format!(
+            "\"{vname}\" => {},\n",
+            gen_variant_constructor(name, v, "__m")
+        ));
+    }
+    s.push_str(&format!(
+        "__other => Err(::serde::DeError::new(format!(\"unknown `{tag}` variant `{{__other}}` for `{name}`\"))),\n}}\n"
+    ));
+    s
+}
+
+fn gen_de_external_enum(name: &str, variants: &[Variant], rule: Option<&str>) -> String {
+    let mut s = String::from("if let Some(__s) = __c.as_str() {\nreturn match __s {\n");
+    for v in variants.iter().filter(|v| v.fields.is_none()) {
+        let vname = rename(&v.name, rule);
+        s.push_str(&format!("\"{vname}\" => Ok({name}::{}),\n", v.name));
+    }
+    s.push_str(&format!(
+        "__other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n}};\n}}\n"
+    ));
+    s.push_str(
+        "if let Some(__outer) = __c.as_map() {\nif __outer.len() == 1 {\nlet (__k, __v) = (&__outer[0].0, &__outer[0].1);\nreturn match __k.as_str() {\n",
+    );
+    for v in variants.iter().filter(|v| v.fields.is_some()) {
+        let vname = rename(&v.name, rule);
+        s.push_str(&format!(
+            "\"{vname}\" => {{\nlet __m = __v.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for `{name}::{}`\"))?;\n{}\n}},\n",
+            v.name,
+            gen_variant_constructor(name, v, "__m")
+        ));
+    }
+    s.push_str(&format!(
+        "__other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n}};\n}}\n}}\n"
+    ));
+    s.push_str(&format!(
+        "Err(::serde::DeError::new(\"cannot deserialize `{name}`: expected string or single-key map\"))\n"
+    ));
+    s
+}

@@ -519,7 +519,10 @@ pub fn ablation_lp(opts: &HarnessOptions) -> Table {
         t.row(vec![
             format!("{nu}x{ne}"),
             fnum(lp_cost),
-            fnum(mw.value.cost(&gap_inst)),
+            fnum(mw.value
+                .as_ref()
+                .map(|f| f.cost(&gap_inst))
+                .unwrap_or(f64::NAN)),
             fnum(lp.seconds),
             fnum(mw.seconds),
         ]);

@@ -31,7 +31,10 @@ use crate::model::{Event, EventId, Instance, TimeInterval, UserId};
 use crate::plan::{dif, Plan};
 use crate::solver::filler;
 use epplan_geo::Point;
+use epplan_solve::SolveError;
 use serde::{Deserialize, Serialize};
+
+const STAGE: &str = "core.incremental";
 
 /// A single atomic change to the EBSN (Section IV's taxonomy).
 ///
@@ -190,10 +193,199 @@ pub struct BatchOutcome {
 pub struct IncrementalPlanner;
 
 impl IncrementalPlanner {
+    /// Checks that `op` is well-formed against `instance`: ids in
+    /// range, finite non-negative money amounts, utilities in `[0, 1]`
+    /// (NaN rejected), non-inverted intervals and bounds. Deserialized
+    /// operation streams can violate any of these.
+    fn validate_op(instance: &Instance, op: &AtomicOp) -> Result<(), SolveError<()>> {
+        let bad = |msg: String| Err(SolveError::bad_input(STAGE, msg));
+        let check_event = |e: EventId| {
+            if e.index() >= instance.n_events() {
+                bad(format!("event {e} out of range ({} events)", instance.n_events()))
+            } else {
+                Ok(())
+            }
+        };
+        let check_user = |u: UserId| {
+            if u.index() >= instance.n_users() {
+                bad(format!("user {u} out of range ({} users)", instance.n_users()))
+            } else {
+                Ok(())
+            }
+        };
+        let check_utility = |v: f64| {
+            if !(0.0..=1.0).contains(&v) {
+                bad(format!("utility {v} outside [0, 1]"))
+            } else {
+                Ok(())
+            }
+        };
+        let check_money = |what: &str, v: f64| {
+            if !v.is_finite() || v < 0.0 {
+                bad(format!("{what} {v} must be finite and non-negative"))
+            } else {
+                Ok(())
+            }
+        };
+        let check_time = |t: TimeInterval| {
+            if t.start >= t.end {
+                bad(format!("empty or inverted interval [{}, {})", t.start, t.end))
+            } else {
+                Ok(())
+            }
+        };
+        let check_point = |p: Point| {
+            if !p.x.is_finite() || !p.y.is_finite() {
+                bad(format!("non-finite location ({}, {})", p.x, p.y))
+            } else {
+                Ok(())
+            }
+        };
+        match op {
+            // The four bound operations encode their direction in the
+            // tag, and the repair algorithms rely on it: a mislabeled
+            // `EtaIncrease` that actually lowers η would skip Algorithm
+            // 3's participant trim and leave the event overfull.
+            AtomicOp::EtaDecrease { event, new_upper } => {
+                check_event(*event)?;
+                if *new_upper > instance.event(*event).upper {
+                    return bad(format!(
+                        "eta_decrease raises η for {event}: {} > {}",
+                        new_upper,
+                        instance.event(*event).upper
+                    ));
+                }
+                Ok(())
+            }
+            AtomicOp::EtaIncrease { event, new_upper } => {
+                check_event(*event)?;
+                if *new_upper < instance.event(*event).upper {
+                    return bad(format!(
+                        "eta_increase lowers η for {event}: {} < {}",
+                        new_upper,
+                        instance.event(*event).upper
+                    ));
+                }
+                Ok(())
+            }
+            AtomicOp::XiIncrease { event, new_lower } => {
+                check_event(*event)?;
+                if *new_lower < instance.event(*event).lower {
+                    return bad(format!(
+                        "xi_increase lowers ξ for {event}: {} < {}",
+                        new_lower,
+                        instance.event(*event).lower
+                    ));
+                }
+                Ok(())
+            }
+            AtomicOp::XiDecrease { event, new_lower } => {
+                check_event(*event)?;
+                if *new_lower > instance.event(*event).lower {
+                    return bad(format!(
+                        "xi_decrease raises ξ for {event}: {} > {}",
+                        new_lower,
+                        instance.event(*event).lower
+                    ));
+                }
+                Ok(())
+            }
+            AtomicOp::TimeChange { event, new_time } => {
+                check_event(*event)?;
+                check_time(*new_time)
+            }
+            AtomicOp::LocationChange { event, new_location } => {
+                check_event(*event)?;
+                check_point(*new_location)
+            }
+            AtomicOp::NewEvent { event, utilities } => {
+                if utilities.len() != instance.n_users() {
+                    return bad(format!(
+                        "new event carries {} utilities for {} users",
+                        utilities.len(),
+                        instance.n_users()
+                    ));
+                }
+                utilities.iter().try_for_each(|&v| check_utility(v))?;
+                if event.lower > event.upper {
+                    return bad(format!(
+                        "lower bound {} exceeds upper bound {}",
+                        event.lower, event.upper
+                    ));
+                }
+                check_time(event.time)?;
+                check_point(event.location)?;
+                check_money("admission fee", event.fee)
+            }
+            AtomicOp::UtilityChange { user, event, new_utility } => {
+                check_user(*user)?;
+                check_event(*event)?;
+                check_utility(*new_utility)
+            }
+            AtomicOp::BudgetChange { user, new_budget } => {
+                check_user(*user)?;
+                check_money("travel budget", *new_budget)
+            }
+            AtomicOp::FeeChange { event, new_fee } => {
+                check_event(*event)?;
+                check_money("admission fee", *new_fee)
+            }
+        }
+    }
+
+    /// Fallible variant of [`IncrementalPlanner::apply`]: rejects
+    /// malformed operations with a typed `BadInput` error instead of
+    /// panicking deep inside the model layer. The error carries the
+    /// unchanged `(instance, plan)` as a partial outcome, so callers
+    /// that prefer degradation over failure can keep planning.
+    pub fn try_apply(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        op: &AtomicOp,
+    ) -> Result<IncrementalOutcome, SolveError<IncrementalOutcome>> {
+        if let Err(e) = Self::validate_op(instance, op) {
+            return Err(e
+                .discard_partial()
+                .with_partial(Self::unchanged_outcome(instance, plan)));
+        }
+        Ok(self.apply_validated(instance, plan, op))
+    }
+
+    /// The identity outcome: nothing applied, nothing changed.
+    fn unchanged_outcome(instance: &Instance, plan: &Plan) -> IncrementalOutcome {
+        IncrementalOutcome {
+            instance: instance.clone(),
+            plan: plan.clone(),
+            dif: 0,
+            utility: plan.total_utility(instance),
+            shortfall: instance
+                .event_ids()
+                .filter(|&e| plan.attendance(e) < instance.event(e).lower)
+                .collect(),
+        }
+    }
+
     /// Applies `op` to `(instance, plan)` and repairs the plan with the
     /// appropriate algorithm. Neither input is modified; the updated
-    /// copies are returned in the outcome.
+    /// copies are returned in the outcome. Malformed operations degrade
+    /// to the unchanged plan (see [`IncrementalPlanner::try_apply`] for
+    /// the typed rejection).
     pub fn apply(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        op: &AtomicOp,
+    ) -> IncrementalOutcome {
+        match self.try_apply(instance, plan, op) {
+            Ok(out) => out,
+            Err(e) => e
+                .partial
+                .unwrap_or_else(|| Self::unchanged_outcome(instance, plan)),
+        }
+    }
+
+    fn apply_validated(
         &self,
         instance: &Instance,
         plan: &Plan,
@@ -357,6 +549,57 @@ impl IncrementalPlanner {
             step_difs,
             utility,
             shortfall,
+        }
+    }
+
+    /// Fallible variant of [`IncrementalPlanner::apply_batch`]: stops at
+    /// the first malformed operation with a typed `BadInput` error. The
+    /// error's partial carries the batch outcome of every operation
+    /// applied *before* the bad one, so the valid prefix is not lost.
+    pub fn try_apply_batch(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        ops: &[AtomicOp],
+    ) -> Result<BatchOutcome, SolveError<BatchOutcome>> {
+        let mut inst = instance.clone();
+        let mut cur = plan.clone();
+        let mut step_difs = Vec::with_capacity(ops.len());
+        let mut failure: Option<SolveError<()>> = None;
+        for (k, op) in ops.iter().enumerate() {
+            match self.try_apply(&inst, &cur, op) {
+                Ok(out) => {
+                    step_difs.push(out.dif);
+                    inst = out.instance;
+                    cur = out.plan;
+                }
+                Err(e) => {
+                    failure = Some(SolveError::new(
+                        e.kind,
+                        e.stage,
+                        format!("operation {k}: {}", e.message),
+                    ));
+                    break;
+                }
+            }
+        }
+        let utility = cur.total_utility(&inst);
+        let shortfall = inst
+            .event_ids()
+            .filter(|&e| cur.attendance(e) < inst.event(e).lower)
+            .collect();
+        let net_dif = dif(plan, &cur);
+        let outcome = BatchOutcome {
+            instance: inst,
+            plan: cur,
+            net_dif,
+            step_difs,
+            utility,
+            shortfall,
+        };
+        match failure {
+            None => Ok(outcome),
+            Some(e) => Err(e.discard_partial().with_partial(outcome)),
         }
     }
 }
@@ -648,6 +891,96 @@ mod tests {
         assert_eq!(out.dif, 0);
         assert!(out.plan.attendance(EventId(2)) > 0, "refilled once affordable");
         assert!(out.plan.validate(&out.instance).hard_ok());
+    }
+
+    #[test]
+    fn malformed_ops_are_rejected_with_bad_input() {
+        let (instance, plan) = setup();
+        let planner = IncrementalPlanner;
+        let bad_ops = vec![
+            AtomicOp::EtaDecrease {
+                event: EventId(99),
+                new_upper: 1,
+            },
+            AtomicOp::UtilityChange {
+                user: UserId(50),
+                event: EventId(0),
+                new_utility: 0.5,
+            },
+            AtomicOp::UtilityChange {
+                user: UserId(0),
+                event: EventId(0),
+                new_utility: f64::NAN,
+            },
+            AtomicOp::UtilityChange {
+                user: UserId(0),
+                event: EventId(0),
+                new_utility: 1.5,
+            },
+            AtomicOp::BudgetChange {
+                user: UserId(0),
+                new_budget: -3.0,
+            },
+            AtomicOp::FeeChange {
+                event: EventId(0),
+                new_fee: f64::INFINITY,
+            },
+            AtomicOp::TimeChange {
+                event: EventId(0),
+                new_time: TimeInterval { start: 90, end: 30 },
+            },
+            AtomicOp::LocationChange {
+                event: EventId(0),
+                new_location: Point::new(f64::NAN, 0.0),
+            },
+            AtomicOp::NewEvent {
+                event: Event::new(Point::new(0.0, 0.0), 0, 1, TimeInterval::new(0, 9)),
+                utilities: vec![0.5], // wrong arity for 4 users
+            },
+        ];
+        for op in bad_ops {
+            let err = planner.try_apply(&instance, &plan, &op).unwrap_err();
+            assert_eq!(
+                err.kind,
+                epplan_solve::FailureKind::BadInput,
+                "op {op:?} should be BadInput"
+            );
+            // The partial outcome is the unchanged plan.
+            let partial = err.partial.expect("unchanged outcome travels as partial");
+            assert_eq!(partial.plan, plan);
+            assert_eq!(partial.dif, 0);
+            // And the lossy entry point degrades instead of panicking.
+            let out = planner.apply(&instance, &plan, &op);
+            assert_eq!(out.plan, plan);
+        }
+    }
+
+    #[test]
+    fn batch_stops_at_first_bad_op_keeping_prefix() {
+        let (instance, plan) = setup();
+        let ops = vec![
+            AtomicOp::EtaDecrease {
+                event: EventId(0),
+                new_upper: 1,
+            },
+            AtomicOp::BudgetChange {
+                user: UserId(9),
+                new_budget: 1.0,
+            },
+            AtomicOp::XiDecrease {
+                event: EventId(1),
+                new_lower: 0,
+            },
+        ];
+        let err = IncrementalPlanner
+            .try_apply_batch(&instance, &plan, &ops)
+            .unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::BadInput);
+        assert!(err.message.contains("operation 1"), "{}", err.message);
+        let partial = err.partial.expect("prefix outcome travels as partial");
+        // Only the first op was applied.
+        assert_eq!(partial.step_difs.len(), 1);
+        assert!(partial.plan.validate(&partial.instance).hard_ok());
     }
 
     #[test]

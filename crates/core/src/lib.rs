@@ -25,9 +25,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `SolveError<Solution>` deliberately carries the best partial plan
+// inline so failures can degrade instead of discarding work; the large
+// Err variant is the point, not an accident.
+#![allow(clippy::result_large_err)]
 
 pub mod analysis;
+// Solver and incremental code must degrade with typed errors, never panic.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod incremental;
 pub mod model;
 pub mod plan;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod solver;

@@ -1,4 +1,6 @@
-use crate::model::{Event, EventId, Instance, TimeInterval, User, UserId, UtilityMatrix};
+use crate::model::{
+    Event, EventId, Instance, InstanceError, TimeInterval, User, UserId, UtilityMatrix,
+};
 use epplan_geo::Point;
 
 /// Fluent constructor for [`Instance`]s.
@@ -95,6 +97,36 @@ impl InstanceBuilder {
         }
         Instance::new(self.users, self.events, matrix)
     }
+
+    /// Finalizes the instance under strict validation, returning a
+    /// typed [`InstanceError`] instead of panicking on dangling utility
+    /// references, NaN or out-of-range utilities, non-positive budgets,
+    /// inverted intervals, or `η < ξ`. Prefer this at trust boundaries
+    /// (file loaders, generators).
+    pub fn try_build(self) -> Result<Instance, InstanceError> {
+        let mut matrix = UtilityMatrix::zeros(self.users.len(), self.events.len());
+        for (u, e, v) in self.utilities {
+            if u.index() >= self.users.len() {
+                return Err(InstanceError::UnknownId {
+                    what: format!("utility references unknown user {u}"),
+                });
+            }
+            if e.index() >= self.events.len() {
+                return Err(InstanceError::UnknownId {
+                    what: format!("utility references unknown event {e}"),
+                });
+            }
+            if !(0.0..=1.0).contains(&v) {
+                return Err(InstanceError::InvalidUtility {
+                    user: u,
+                    event: e,
+                    value: v,
+                });
+            }
+            matrix.set(u, e, v);
+        }
+        Instance::try_new(self.users, self.events, matrix)
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +183,44 @@ mod tests {
         let inst = InstanceBuilder::new().build();
         assert_eq!(inst.n_users(), 0);
         assert_eq!(inst.n_events(), 0);
+    }
+
+    #[test]
+    fn try_build_rejects_dangling_ids_and_bad_values() {
+        use crate::model::InstanceError;
+
+        let mut b = InstanceBuilder::new();
+        let u = b.user(Point::new(0.0, 0.0), 1.0);
+        b.utility(u, EventId(3), 0.5);
+        assert!(matches!(
+            b.try_build(),
+            Err(InstanceError::UnknownId { .. })
+        ));
+
+        let mut b = InstanceBuilder::new();
+        let u = b.user(Point::new(0.0, 0.0), 1.0);
+        let e = b.event(Point::new(0.0, 0.0), 0, 1, TimeInterval::new(0, 1));
+        b.utility(u, e, f64::NAN);
+        assert!(matches!(
+            b.try_build(),
+            Err(InstanceError::InvalidUtility { .. })
+        ));
+
+        let mut b = InstanceBuilder::new();
+        b.user(Point::new(0.0, 0.0), 0.0); // zero budget
+        assert!(matches!(
+            b.try_build(),
+            Err(InstanceError::InvalidBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn try_build_accepts_well_formed_input() {
+        let mut b = InstanceBuilder::new();
+        let u = b.user(Point::new(0.0, 0.0), 10.0);
+        let e = b.event(Point::new(1.0, 0.0), 0, 2, TimeInterval::new(0, 60));
+        b.utility(u, e, 0.7);
+        let inst = b.try_build().expect("well-formed");
+        assert_eq!(inst.utility(u, e), 0.7);
     }
 }

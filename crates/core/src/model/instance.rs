@@ -1,4 +1,4 @@
-use crate::model::{Event, EventId, TimeInterval, User, UserId, UtilityMatrix};
+use crate::model::{Event, EventId, InstanceError, TimeInterval, User, UserId, UtilityMatrix};
 use epplan_geo::Point;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +28,100 @@ impl Instance {
             events,
             utilities,
         }
+    }
+
+    /// Assembles an instance under strict validation, rejecting every
+    /// silently-broken input a trust boundary can deliver: shape
+    /// mismatches, NaN or out-of-range utilities, non-positive budgets,
+    /// non-finite coordinates, inverted time windows, `η < ξ`, and
+    /// invalid fees. Prefer this over [`Instance::new`] for
+    /// deserialized or generated data.
+    pub fn try_new(
+        users: Vec<User>,
+        events: Vec<Event>,
+        utilities: UtilityMatrix,
+    ) -> Result<Self, InstanceError> {
+        if utilities.n_users() != users.len() || utilities.n_events() != events.len() {
+            return Err(InstanceError::ShapeMismatch {
+                matrix: (utilities.n_users(), utilities.n_events()),
+                expected: (users.len(), events.len()),
+            });
+        }
+        let inst = Instance {
+            users,
+            events,
+            utilities,
+        };
+        inst.validate_strict()?;
+        Ok(inst)
+    }
+
+    /// Re-checks the strict invariants of [`Instance::try_new`] on an
+    /// already-assembled instance. Useful after deserialization, which
+    /// bypasses every constructor check.
+    pub fn validate_strict(&self) -> Result<(), InstanceError> {
+        if self.utilities.n_users() != self.users.len()
+            || self.utilities.n_events() != self.events.len()
+        {
+            return Err(InstanceError::ShapeMismatch {
+                matrix: (self.utilities.n_users(), self.utilities.n_events()),
+                expected: (self.users.len(), self.events.len()),
+            });
+        }
+        for u in self.user_ids() {
+            let user = self.user(u);
+            if !user.budget.is_finite() || user.budget <= 0.0 {
+                return Err(InstanceError::InvalidBudget {
+                    user: u,
+                    value: user.budget,
+                });
+            }
+            if !user.location.x.is_finite() || !user.location.y.is_finite() {
+                return Err(InstanceError::NonFiniteLocation {
+                    owner: format!("user {u}"),
+                });
+            }
+        }
+        for e in self.event_ids() {
+            let ev = self.event(e);
+            if ev.time.start >= ev.time.end {
+                return Err(InstanceError::InvertedInterval {
+                    event: e,
+                    window: (ev.time.start, ev.time.end),
+                });
+            }
+            if ev.lower > ev.upper {
+                return Err(InstanceError::InvertedBounds {
+                    event: e,
+                    lower: ev.lower,
+                    upper: ev.upper,
+                });
+            }
+            if !ev.fee.is_finite() || ev.fee < 0.0 {
+                return Err(InstanceError::InvalidFee {
+                    event: e,
+                    value: ev.fee,
+                });
+            }
+            if !ev.location.x.is_finite() || !ev.location.y.is_finite() {
+                return Err(InstanceError::NonFiniteLocation {
+                    owner: format!("event {e}"),
+                });
+            }
+        }
+        for u in self.user_ids() {
+            for e in self.event_ids() {
+                let v = self.utility(u, e);
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(InstanceError::InvalidUtility {
+                        user: u,
+                        event: e,
+                        value: v,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of users `n`.
@@ -118,7 +212,7 @@ impl Instance {
                 for w in order.windows(2) {
                     cost += self.event_distance(w[0], w[1]);
                 }
-                cost + self.distance(u, *order.last().expect("non-empty"))
+                cost + self.distance(u, order[order.len() - 1])
             }
         }
     }
@@ -295,5 +389,59 @@ mod tests {
         let users = vec![User::new(Point::new(0.0, 0.0), 1.0)];
         let events = vec![];
         Instance::new(users, events, UtilityMatrix::zeros(2, 0));
+    }
+
+    #[test]
+    fn try_new_rejects_shape_mismatch_without_panicking() {
+        use crate::model::InstanceError;
+        let users = vec![User::new(Point::new(0.0, 0.0), 1.0)];
+        let err = Instance::try_new(users, vec![], UtilityMatrix::zeros(2, 0)).unwrap_err();
+        assert!(matches!(err, InstanceError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn validate_strict_catches_deserialized_corruption() {
+        use crate::model::InstanceError;
+        let inst = two_by_two();
+        assert!(inst.validate_strict().is_ok());
+        let json = serde_json::to_string(&inst).expect("serializable");
+
+        // Serde bypasses every constructor check: patch the JSON the
+        // way a corrupt instance file would look.
+        let bad = json.replace("0.9", "7.5"); // utility far outside [0, 1]
+        let poisoned: Instance = serde_json::from_str(&bad).expect("parses");
+        assert!(matches!(
+            poisoned.validate_strict(),
+            Err(InstanceError::InvalidUtility { .. })
+        ));
+
+        let bad = json.replace("\"lower\":1", "\"lower\":9");
+        let poisoned: Instance = serde_json::from_str(&bad).expect("parses");
+        assert!(matches!(
+            poisoned.validate_strict(),
+            Err(InstanceError::InvertedBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_eta_below_xi_and_inverted_intervals() {
+        use crate::model::InstanceError;
+        let users = vec![User::new(Point::new(0.0, 0.0), 10.0)];
+        // Bypass Event::new's assert the way serde would.
+        let mut event = Event::new(Point::new(0.0, 1.0), 1, 3, TimeInterval::new(0, 60));
+        event.lower = 4; // η = 3 < ξ = 4
+        let err = Instance::try_new(
+            users.clone(),
+            vec![event],
+            UtilityMatrix::zeros(1, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, InstanceError::InvertedBounds { .. }));
+
+        let mut event = Event::new(Point::new(0.0, 1.0), 0, 3, TimeInterval::new(0, 60));
+        event.time = TimeInterval { start: 60, end: 60 };
+        let err = Instance::try_new(users, vec![event], UtilityMatrix::zeros(1, 1))
+            .unwrap_err();
+        assert!(matches!(err, InstanceError::InvertedInterval { .. }));
     }
 }

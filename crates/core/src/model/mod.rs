@@ -6,6 +6,7 @@
 //! not or cannot participate".
 
 mod builder;
+mod error;
 mod event;
 mod instance;
 mod time;
@@ -13,6 +14,7 @@ mod user;
 mod utility;
 
 pub use builder::InstanceBuilder;
+pub use error::InstanceError;
 pub use event::{Event, EventId};
 pub use instance::Instance;
 pub use time::TimeInterval;

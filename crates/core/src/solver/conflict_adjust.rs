@@ -95,8 +95,15 @@ fn try_reassign(
 /// dropped. The returned plan can still carry budget overruns
 /// inherited from the ST load slack — run [`budget_repair`] next.
 pub fn conflict_adjust(instance: &Instance, raw: RawAssignment) -> Plan {
-    assert_eq!(raw.len(), instance.n_users(), "one multiset per user");
     let mut working = raw;
+    // Defensive normalization instead of a panic: a well-formed raw
+    // assignment has exactly one multiset per user. Extra multisets are
+    // dropped, missing ones treated as empty, and out-of-range event
+    // ids discarded.
+    working.resize(instance.n_users(), Vec::new());
+    for multiset in &mut working {
+        multiset.retain(|e| e.index() < instance.n_events());
+    }
     let mut plan = Plan::for_instance(instance);
 
     for u in 0..working.len() {
@@ -235,6 +242,22 @@ mod tests {
         // e0 (utility 0.5 < 0.9) leaves u0; u1 blocked (has e1);
         // u2 takes it.
         assert!(plan.contains(UserId(2), EventId(0)));
+    }
+
+    #[test]
+    fn malformed_raw_assignment_is_normalized() {
+        let inst = inst();
+        // Too few multisets, one out-of-range event id, and one extra
+        // multiset beyond the user count: all tolerated.
+        let raw = vec![vec![EventId(0), EventId(99)]];
+        let plan = conflict_adjust(&inst, raw);
+        assert!(plan.validate(&inst).hard_ok());
+        assert!(plan.contains(UserId(0), EventId(0)));
+        assert_eq!(plan.attendance(EventId(0)), 1);
+
+        let raw = vec![vec![], vec![], vec![], vec![EventId(1)]];
+        let plan = conflict_adjust(&inst, raw);
+        assert_eq!(plan.total_assignments(), 0);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 use crate::model::{EventId, Instance, UserId};
 use crate::plan::Plan;
 use crate::solver::{GepcSolver, Solution};
+use epplan_solve::{BudgetGuard, SolveBudget, SolveError, SolveReport, SolveStatus};
+
+const STAGE: &str = "core.exact";
 
 /// Exact solver with hard instance-size limits.
 #[derive(Debug, Clone)]
@@ -65,19 +68,37 @@ impl ExactSolver {
     }
 
     /// Finds the optimal fully feasible plan, or `None` when no plan
-    /// satisfies every constraint including the lower bounds.
-    ///
-    /// # Panics
-    /// Panics when the instance exceeds the configured size limits.
+    /// satisfies every constraint including the lower bounds — or when
+    /// the instance exceeds the configured size limits (see
+    /// [`ExactSolver::try_solve_optimal`] for the typed distinction).
     pub fn solve_optimal(&self, instance: &Instance) -> Option<Solution> {
-        assert!(
-            instance.n_users() <= self.max_users && instance.n_events() <= self.max_events,
-            "exact solver limited to {}×{} (got {}×{})",
-            self.max_users,
-            self.max_events,
-            instance.n_users(),
-            instance.n_events()
-        );
+        self.try_solve_optimal(instance, SolveBudget::UNLIMITED).ok()
+    }
+
+    /// Finds the optimal fully feasible plan under `budget`.
+    ///
+    /// Errors are typed: `BadInput` when the instance exceeds the
+    /// configured size limits, `Infeasible` (carrying the empty plan as
+    /// a partial) when no plan satisfies every constraint, and
+    /// `BudgetExhausted` (carrying the best incumbent found, if any)
+    /// when the search runs out of budget.
+    pub fn try_solve_optimal(
+        &self,
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<Solution, SolveError<Solution>> {
+        if instance.n_users() > self.max_users || instance.n_events() > self.max_events {
+            return Err(SolveError::bad_input(
+                STAGE,
+                format!(
+                    "exact solver limited to {}×{} (got {}×{})",
+                    self.max_users,
+                    self.max_events,
+                    instance.n_users(),
+                    instance.n_events()
+                ),
+            ));
+        }
         let n = instance.n_users();
         let m = instance.n_events();
         let subsets: Vec<Vec<(u32, f64)>> = instance
@@ -104,12 +125,14 @@ impl ExactSolver {
             chosen: Vec<u32>,
             best_utility: f64,
             best: Option<Vec<u32>>,
+            guard: BudgetGuard,
         }
 
-        fn dfs(ctx: &mut Ctx<'_>, u: usize, utility: f64) {
+        fn dfs(ctx: &mut Ctx<'_>, u: usize, utility: f64) -> Result<(), SolveError<()>> {
+            ctx.guard.tick(STAGE)?;
             if utility + ctx.suffix_best[u] <= ctx.best_utility + 1e-12 && ctx.best.is_some()
             {
-                return;
+                return Ok(());
             }
             let n = ctx.subsets.len();
             if u == n {
@@ -122,7 +145,7 @@ impl ExactSolver {
                     ctx.best_utility = utility;
                     ctx.best = Some(ctx.chosen.clone());
                 }
-                return;
+                return Ok(());
             }
             'subset: for &(mask, ut) in &ctx.subsets[u] {
                 // Apply with η pruning.
@@ -145,13 +168,15 @@ impl ExactSolver {
                     }
                 }
                 ctx.chosen[u] = mask;
-                dfs(ctx, u + 1, utility + ut);
+                let r = dfs(ctx, u + 1, utility + ut);
                 for j in 0..ctx.attendance.len() {
                     if mask & (1 << j) != 0 {
                         ctx.attendance[j] -= 1;
                     }
                 }
+                r?;
             }
+            Ok(())
         }
 
         let mut ctx = Ctx {
@@ -162,19 +187,45 @@ impl ExactSolver {
             chosen: vec![0; n],
             best_utility: f64::NEG_INFINITY,
             best: None,
+            guard: BudgetGuard::new(budget),
         };
-        dfs(&mut ctx, 0, 0.0);
+        let search = dfs(&mut ctx, 0, 0.0);
 
-        let chosen = ctx.best?;
-        let mut plan = Plan::for_instance(instance);
-        for (u, mask) in chosen.iter().enumerate() {
-            for j in 0..m {
-                if mask & (1 << j) != 0 {
-                    plan.add(UserId(u as u32), EventId(j as u32));
+        let reconstruct = |chosen: &[u32]| {
+            let mut plan = Plan::for_instance(instance);
+            for (u, mask) in chosen.iter().enumerate() {
+                for j in 0..m {
+                    if mask & (1 << j) != 0 {
+                        plan.add(UserId(u as u32), EventId(j as u32));
+                    }
                 }
             }
+            let mut sol = Solution::from_plan(instance, plan);
+            sol.report = SolveReport::single("exact", SolveStatus::Optimal);
+            sol
+        };
+
+        match search {
+            Ok(()) => ctx.best.as_deref().map(reconstruct).ok_or_else(|| {
+                SolveError::infeasible(
+                    STAGE,
+                    "no plan satisfies every constraint including the lower bounds",
+                )
+                .with_partial(Solution::from_plan(instance, Plan::for_instance(instance)))
+            }),
+            Err(e) => {
+                // Budget ran out mid-search: surface the best incumbent
+                // (a fully feasible but possibly sub-optimal plan) when
+                // one was found.
+                let mut out: SolveError<Solution> = e.discard_partial();
+                if let Some(chosen) = ctx.best.as_deref() {
+                    let mut sol = reconstruct(chosen);
+                    sol.report = SolveReport::single("exact", SolveStatus::BestEffort);
+                    out = out.with_partial(sol);
+                }
+                Err(out)
+            }
         }
-        Some(Solution::from_plan(instance, plan))
     }
 }
 
@@ -184,6 +235,14 @@ impl GepcSolver for ExactSolver {
     fn solve(&self, instance: &Instance) -> Solution {
         self.solve_optimal(instance)
             .unwrap_or_else(|| Solution::from_plan(instance, Plan::for_instance(instance)))
+    }
+
+    fn try_solve(
+        &self,
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<Solution, SolveError<Solution>> {
+        self.try_solve_optimal(instance, budget)
     }
 
     fn name(&self) -> &'static str {
@@ -255,13 +314,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exact solver limited")]
-    fn size_guard() {
+    fn size_guard_is_typed_bad_input() {
         let n = 11;
         let users = vec![User::new(Point::new(0.0, 0.0), 1.0); n];
         let events = vec![];
         let instance = Instance::new(users, events, UtilityMatrix::zeros(n, 0));
-        let _ = ExactSolver::default().solve_optimal(&instance);
+        let err = ExactSolver::default()
+            .try_solve_optimal(&instance, SolveBudget::UNLIMITED)
+            .unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::BadInput);
+        assert!(err.message.contains("exact solver limited"));
+        // The lossy entry point degrades to `None` instead of panicking.
+        assert!(ExactSolver::default().solve_optimal(&instance).is_none());
+    }
+
+    #[test]
+    fn infeasible_error_carries_empty_plan() {
+        let mut instance = inst();
+        instance.set_event_bounds(EventId(1), 2, 2);
+        instance.set_utility(UserId(0), EventId(1), 0.0);
+        let err = ExactSolver::default()
+            .try_solve_optimal(&instance, SolveBudget::UNLIMITED)
+            .unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::Infeasible);
+        let partial = err.partial.expect("empty plan travels as partial");
+        assert_eq!(partial.plan.total_assignments(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        let instance = inst();
+        let err = ExactSolver::default()
+            .try_solve_optimal(&instance, SolveBudget::from_iteration_cap(1))
+            .unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::BudgetExhausted);
     }
 
     #[test]

@@ -20,9 +20,12 @@
 //!    utility-aware greedy of \[4\].
 
 use crate::model::{EventId, Instance};
+use crate::plan::Plan;
 use crate::solver::conflict_adjust::{budget_repair, conflict_adjust};
-use crate::solver::{filler, GepcSolver, Solution};
-use epplan_gap::{GapConfig, GapInstance, GapSolver as GapPipeline};
+use crate::solver::{filler, GepcSolver, GreedySolver, Solution};
+use epplan_gap::{GapConfig, GapInstance, GapSolution, GapSolver as GapPipeline};
+use epplan_solve::{SolveBudget, SolveError, SolveReport, SolveStatus};
+use std::time::Instant;
 
 /// The GAP-based solver. `epsilon` is the `ε` of the reduction's
 /// budget scaling `T_i = (2+ε)·B_i`; `gap` configures the fractional
@@ -105,18 +108,18 @@ impl GapBasedSolver {
         }
         (gap, jobs)
     }
-}
 
-impl GepcSolver for GapBasedSolver {
-    fn solve(&self, instance: &Instance) -> Solution {
-        let (gap, jobs) = self.build_gap(instance);
-        let gap_solution = GapPipeline::new(self.gap.clone()).solve(&gap);
-
+    /// Post-processes a (possibly partial) GAP assignment into a hard-
+    /// feasible GEPC solution: Algorithm 1 conflict adjusting, budget
+    /// repair, and the optional step-2 capacity fill.
+    fn finish(&self, instance: &Instance, jobs: &[EventId], gap_solution: &GapSolution) -> Solution {
         // Raw multiset assignment: user → copies received.
         let mut raw: Vec<Vec<EventId>> = vec![Vec::new(); instance.n_users()];
         for (jk, &machine) in gap_solution.assignment.iter().enumerate() {
-            if let Some(i) = machine {
-                raw[i].push(jobs[jk]);
+            if let (Some(i), Some(&e)) = (machine, jobs.get(jk)) {
+                if i < raw.len() {
+                    raw[i].push(e);
+                }
             }
         }
 
@@ -128,6 +131,122 @@ impl GepcSolver for GapBasedSolver {
             filler::fill_to_upper(instance, &mut plan, None);
         }
         Solution::from_plan(instance, plan)
+    }
+
+    /// Runs the GAP pipeline under `budget` without any fallback. On
+    /// failure, a partial GAP assignment (when one exists) is post-
+    /// processed into a hard-feasible partial [`Solution`] and attached
+    /// to the error.
+    pub fn try_solve_gap(
+        &self,
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<Solution, SolveError<Solution>> {
+        let (gap, jobs) = self.build_gap(instance);
+        let mut config = self.gap.clone();
+        config.budget = config.budget.min(budget);
+        match GapPipeline::new(config).solve(&gap) {
+            Ok(gap_solution) => {
+                let mut sol = self.finish(instance, &jobs, &gap_solution);
+                sol.report = SolveReport::single("gap_based", SolveStatus::Optimal);
+                Ok(sol)
+            }
+            Err(e) => {
+                let partial = e
+                    .partial
+                    .as_ref()
+                    .map(|gs| self.finish(instance, &jobs, gs));
+                let mut out: SolveError<Solution> = e.discard_partial();
+                if let Some(sol) = partial {
+                    out = out.with_partial(sol);
+                }
+                Err(out)
+            }
+        }
+    }
+
+    /// The degradation chain of the GEPC facade: GAP-based solve first;
+    /// on any failure (budget exhaustion, numerical trouble, bad GAP
+    /// reduction) fall back to the total [`GreedySolver`]; if even the
+    /// greedy plan fails hard validation, degrade to an empty (trivially
+    /// hard-feasible) plan. The chain of attempts is recorded in the
+    /// returned solution's [`SolveReport`].
+    ///
+    /// Failures still surface as `Err` with the *original* failure kind,
+    /// but the error always carries the validated fallback solution in
+    /// [`SolveError::partial`], so callers choose between strictness and
+    /// graceful degradation.
+    pub fn solve_robust(
+        &self,
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<Solution, SolveError<Solution>> {
+        let mut report = SolveReport::new();
+        let start = Instant::now();
+        match self.try_solve_gap(instance, budget) {
+            Ok(mut sol) => {
+                report.record_success("gap_based", SolveStatus::Optimal, start.elapsed());
+                sol.report = report;
+                Ok(sol)
+            }
+            Err(e) => {
+                report.record_failure("gap_based", e.kind, e.message.clone(), start.elapsed());
+
+                // First fallback: the greedy solver is total and cheap.
+                let fb_start = Instant::now();
+                let greedy = GreedySolver {
+                    two_step: self.two_step,
+                    ..GreedySolver::default()
+                };
+                let mut fallback = greedy.solve(instance);
+                if fallback.plan.validate(instance).hard_ok() {
+                    report.record_success("greedy", SolveStatus::BestEffort, fb_start.elapsed());
+                } else {
+                    // Last resort: the empty plan is trivially free of
+                    // hard violations.
+                    report.record_failure(
+                        "greedy",
+                        epplan_solve::FailureKind::NumericalInstability,
+                        "greedy fallback produced a hard-infeasible plan".to_string(),
+                        fb_start.elapsed(),
+                    );
+                    let empty_start = Instant::now();
+                    fallback = Solution::from_plan(
+                        instance,
+                        Plan::empty(instance.n_users(), instance.n_events()),
+                    );
+                    report.record_success(
+                        "best_effort_empty",
+                        SolveStatus::BestEffort,
+                        empty_start.elapsed(),
+                    );
+                }
+                fallback.report = report;
+                Err(e.discard_partial().with_partial(fallback))
+            }
+        }
+    }
+}
+
+impl GepcSolver for GapBasedSolver {
+    fn solve(&self, instance: &Instance) -> Solution {
+        match self.solve_robust(instance, SolveBudget::UNLIMITED) {
+            Ok(sol) => sol,
+            Err(e) => e.partial.unwrap_or_else(|| {
+                Solution::from_plan(
+                    instance,
+                    Plan::empty(instance.n_users(), instance.n_events()),
+                )
+            }),
+        }
+    }
+
+    fn try_solve(
+        &self,
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<Solution, SolveError<Solution>> {
+        self.solve_robust(instance, budget)
     }
 
     fn name(&self) -> &'static str {
@@ -234,5 +353,62 @@ mod tests {
         let inst = Instance::new(vec![], vec![], UtilityMatrix::zeros(0, 0));
         let sol = GapBasedSolver::default().solve(&inst);
         assert_eq!(sol.utility, 0.0);
+    }
+
+    #[test]
+    fn successful_solve_records_single_attempt() {
+        let inst = small();
+        let sol = GapBasedSolver::default()
+            .solve_robust(&inst, SolveBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(sol.report.winner(), Some("gap_based"));
+        assert!(!sol.report.degraded());
+        assert_eq!(sol.report.final_status(), Some(SolveStatus::Optimal));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_valid_greedy_fallback() {
+        let inst = small();
+        let budget = SolveBudget::from_iteration_cap(1);
+        let err = GapBasedSolver::default()
+            .solve_robust(&inst, budget)
+            .unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::BudgetExhausted);
+        let fallback = err.partial.expect("fallback plan travels as partial");
+        assert!(fallback.plan.validate(&inst).hard_ok());
+        // The degradation chain is on record: gap_based failed, the
+        // greedy fallback won.
+        assert!(fallback.report.degraded());
+        assert_eq!(fallback.report.winner(), Some("greedy"));
+        assert_eq!(
+            fallback.report.final_status(),
+            Some(SolveStatus::BestEffort)
+        );
+    }
+
+    #[test]
+    fn total_solve_never_fails_under_tiny_budget() {
+        let inst = small();
+        let solver = GapBasedSolver {
+            gap: GapConfig {
+                budget: SolveBudget::from_iteration_cap(1),
+                ..GapConfig::default()
+            },
+            ..Default::default()
+        };
+        // The trait entry point stays total: the internal budget blows
+        // up the GAP pipeline, the greedy fallback takes over.
+        let sol = solver.solve(&inst);
+        assert!(sol.plan.validate(&inst).hard_ok());
+        assert!(sol.report.degraded());
+    }
+
+    #[test]
+    fn try_solve_trait_entry_matches_solve_robust() {
+        let inst = small();
+        let solver = GapBasedSolver::default();
+        let via_trait = GepcSolver::try_solve(&solver, &inst, SolveBudget::UNLIMITED).unwrap();
+        assert!(via_trait.plan.validate(&inst).hard_ok());
+        assert_eq!(via_trait.report.winner(), Some("gap_based"));
     }
 }

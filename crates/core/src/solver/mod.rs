@@ -32,6 +32,10 @@ pub use local_search::LocalSearch;
 use crate::model::{EventId, Instance};
 use crate::plan::Plan;
 
+pub use epplan_solve::{
+    FailureKind, SolveBudget, SolveError, SolveReport, SolveStatus,
+};
+
 /// A solution to a GEPC instance.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -43,6 +47,11 @@ pub struct Solution {
     /// Events whose participation lower bound `ξ` could not be met —
     /// empty when the plan is fully feasible.
     pub shortfall: Vec<EventId>,
+    /// How the plan was obtained: the chain of solver attempts,
+    /// including any degradation (e.g. `gap_based (budget exhausted)
+    /// -> greedy (best-effort)`). Empty for solvers that do not track
+    /// attempts.
+    pub report: SolveReport,
 }
 
 impl Solution {
@@ -57,6 +66,7 @@ impl Solution {
             plan,
             utility,
             shortfall,
+            report: SolveReport::default(),
         }
     }
 
@@ -70,8 +80,24 @@ impl Solution {
 pub trait GepcSolver {
     /// Produces a plan for `instance`. Implementations must return
     /// plans without hard violations; lower-bound shortfalls are
-    /// reported in [`Solution::shortfall`].
+    /// reported in [`Solution::shortfall`]. This entry point is total:
+    /// solvers degrade to a best-effort plan rather than fail.
     fn solve(&self, instance: &Instance) -> Solution;
+
+    /// Fallible entry point: produces a plan under `budget`, returning
+    /// a typed [`SolveError`] on bad input, infeasibility, or budget
+    /// exhaustion. Where a partial or fallback plan exists it travels
+    /// in [`SolveError::partial`]. The default implementation ignores
+    /// the budget and delegates to the total [`GepcSolver::solve`] —
+    /// solvers with internal iteration structure override it.
+    fn try_solve(
+        &self,
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<Solution, SolveError<Solution>> {
+        let _ = budget;
+        Ok(self.solve(instance))
+    }
 
     /// Short name for logs and benchmark tables.
     fn name(&self) -> &'static str;

@@ -1,21 +1,33 @@
+use epplan_solve::{SolveBudget, SolveError};
+
 use crate::{EdgeId, MinCostFlow};
 
 /// An assignment of every left vertex to one right vertex.
 #[derive(Debug, Clone)]
 pub struct Assignment {
     /// `left_to_right[l]` is the right vertex chosen for left vertex `l`.
+    /// In the *partial* assignment attached to an `Infeasible` error,
+    /// unplaceable left vertices hold `usize::MAX`.
     pub left_to_right: Vec<usize>,
     /// Total cost of the chosen edges.
     pub cost: f64,
 }
+
+/// Pipeline-stage label used in this solver's errors.
+const STAGE: &str = "flow.matching";
 
 /// Minimum-cost assignment saturating all left vertices.
 ///
 /// Given a bipartite graph described by `edges = (left, right, cost)`
 /// and a per-right-vertex capacity, finds an assignment of **every**
 /// left vertex to an adjacent right vertex such that no right vertex
-/// exceeds its capacity and total cost is minimum. Returns `None` when
-/// no such complete assignment exists.
+/// exceeds its capacity and total cost is minimum.
+///
+/// When no complete assignment exists the call fails with an
+/// [`epplan_solve::FailureKind::Infeasible`] error whose partial
+/// artifact is the best *incomplete* assignment found (unmatched left
+/// vertices hold `usize::MAX`), so callers can degrade instead of
+/// aborting.
 ///
 /// This is exactly the integral matching step of the Shmoys–Tardos GAP
 /// rounding: left vertices are jobs, right vertices are machine slots.
@@ -35,10 +47,44 @@ pub fn min_cost_assignment(
     n_right: usize,
     edges: &[(usize, usize, f64)],
     right_capacity: &[usize],
-) -> Option<Assignment> {
-    assert_eq!(right_capacity.len(), n_right, "capacity per right vertex");
+) -> Result<Assignment, SolveError<Assignment>> {
+    min_cost_assignment_with_budget(n_left, n_right, edges, right_capacity, SolveBudget::UNLIMITED)
+}
+
+/// [`min_cost_assignment`] under `budget`; the underlying flow spends
+/// one budget iteration per augmentation. A `BudgetExhausted` error
+/// carries the (incomplete) assignment routed so far as its partial
+/// artifact.
+pub fn min_cost_assignment_with_budget(
+    n_left: usize,
+    n_right: usize,
+    edges: &[(usize, usize, f64)],
+    right_capacity: &[usize],
+    budget: SolveBudget,
+) -> Result<Assignment, SolveError<Assignment>> {
+    if right_capacity.len() != n_right {
+        return Err(SolveError::bad_input(
+            STAGE,
+            format!(
+                "capacity vector has {} entries for {n_right} right vertices",
+                right_capacity.len()
+            ),
+        ));
+    }
+    if let Some(&(l, r, _)) = edges.iter().find(|&&(l, r, _)| l >= n_left || r >= n_right) {
+        return Err(SolveError::bad_input(
+            STAGE,
+            format!("edge ({l}, {r}) endpoint out of range ({n_left} × {n_right})"),
+        ));
+    }
+    if let Some(&(l, r, c)) = edges.iter().find(|&&(_, _, c)| !c.is_finite()) {
+        return Err(SolveError::bad_input(
+            STAGE,
+            format!("edge ({l}, {r}) has non-finite cost {c}"),
+        ));
+    }
     if n_left == 0 {
-        return Some(Assignment {
+        return Ok(Assignment {
             left_to_right: Vec::new(),
             cost: 0.0,
         });
@@ -58,29 +104,43 @@ pub fn min_cost_assignment(
     }
     let mut ids: Vec<(EdgeId, usize, usize)> = Vec::with_capacity(edges.len());
     for &(l, r, c) in edges {
-        assert!(l < n_left && r < n_right, "edge endpoint out of range");
         ids.push((g.add_edge(left(l), right(r), 1.0, c), l, r));
     }
-    let res = g.max_flow_min_cost_fast(s, t);
-    if (res.flow - n_left as f64).abs() > 1e-6 {
-        return None; // some job could not be placed
-    }
-    let mut left_to_right = vec![usize::MAX; n_left];
-    for (id, l, r) in ids {
-        if g.flow_on(id) > 0.5 {
-            left_to_right[l] = r;
+    let extract = |g: &MinCostFlow, ids: &[(EdgeId, usize, usize)], cost: f64| {
+        let mut left_to_right = vec![usize::MAX; n_left];
+        for &(id, l, r) in ids {
+            if g.flow_on(id) > 0.5 {
+                left_to_right[l] = r;
+            }
         }
+        Assignment { left_to_right, cost }
+    };
+    let res = match g.max_flow_min_cost_fast_with_budget(s, t, budget) {
+        Ok(res) => res,
+        Err(e) => {
+            let partial_cost = e.partial.map_or(0.0, |f| f.cost);
+            let partial = extract(&g, &ids, partial_cost);
+            return Err(e.discard_partial().with_partial(partial));
+        }
+    };
+    if (res.flow - n_left as f64).abs() > 1e-6 {
+        let unplaced = n_left - res.flow.round() as usize;
+        let partial = extract(&g, &ids, res.cost);
+        return Err(SolveError::infeasible(
+            STAGE,
+            format!("{unplaced} of {n_left} left vertices cannot be matched"),
+        )
+        .with_partial(partial));
     }
-    debug_assert!(left_to_right.iter().all(|&r| r != usize::MAX));
-    Some(Assignment {
-        left_to_right,
-        cost: res.cost,
-    })
+    let assignment = extract(&g, &ids, res.cost);
+    debug_assert!(assignment.left_to_right.iter().all(|&r| r != usize::MAX));
+    Ok(assignment)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epplan_solve::FailureKind;
 
     #[test]
     fn perfect_matching_unit_capacities() {
@@ -113,13 +173,22 @@ mod tests {
     #[test]
     fn infeasible_when_capacity_insufficient() {
         let edges = [(0, 0, 1.0), (1, 0, 1.0)];
-        assert!(min_cost_assignment(2, 1, &edges, &[1]).is_none());
+        let e = min_cost_assignment(2, 1, &edges, &[1]).unwrap_err();
+        assert_eq!(e.kind, FailureKind::Infeasible);
+        // The partial assignment places exactly one of the two jobs.
+        let partial = e.partial.expect("partial assignment");
+        let placed = partial.left_to_right.iter().filter(|&&r| r != usize::MAX).count();
+        assert_eq!(placed, 1);
     }
 
     #[test]
     fn infeasible_when_left_vertex_isolated() {
         let edges = [(0, 0, 1.0)];
-        assert!(min_cost_assignment(2, 1, &edges, &[2]).is_none());
+        let e = min_cost_assignment(2, 1, &edges, &[2]).unwrap_err();
+        assert_eq!(e.kind, FailureKind::Infeasible);
+        let partial = e.partial.expect("partial assignment");
+        assert_eq!(partial.left_to_right[0], 0);
+        assert_eq!(partial.left_to_right[1], usize::MAX);
     }
 
     #[test]
@@ -127,6 +196,19 @@ mod tests {
         let a = min_cost_assignment(0, 3, &[], &[1, 1, 1]).unwrap();
         assert!(a.left_to_right.is_empty());
         assert_eq!(a.cost, 0.0);
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        // Capacity vector of the wrong length.
+        let e = min_cost_assignment(1, 2, &[(0, 0, 1.0)], &[1]).unwrap_err();
+        assert_eq!(e.kind, FailureKind::BadInput);
+        // Edge endpoint out of range.
+        let e = min_cost_assignment(1, 1, &[(0, 7, 1.0)], &[1]).unwrap_err();
+        assert_eq!(e.kind, FailureKind::BadInput);
+        // Non-finite cost.
+        let e = min_cost_assignment(1, 1, &[(0, 0, f64::NAN)], &[1]).unwrap_err();
+        assert_eq!(e.kind, FailureKind::BadInput);
     }
 
     #[test]
@@ -152,5 +234,23 @@ mod tests {
         let edges = [(0, 0, 0.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 10.0)];
         let a = min_cost_assignment(2, 2, &edges, &[1, 1]).unwrap();
         assert_eq!(a.cost, 3.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_carries_partial_assignment() {
+        // Two jobs, two slots; one augmentation allowed.
+        let edges = [(0, 0, 1.0), (1, 1, 2.0)];
+        let e = min_cost_assignment_with_budget(
+            2,
+            2,
+            &edges,
+            &[1, 1],
+            SolveBudget::from_iteration_cap(1),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, FailureKind::BudgetExhausted);
+        let partial = e.partial.expect("partial assignment");
+        let placed = partial.left_to_right.iter().filter(|&&r| r != usize::MAX).count();
+        assert_eq!(placed, 1);
     }
 }

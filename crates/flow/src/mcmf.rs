@@ -1,5 +1,7 @@
 use std::collections::VecDeque;
 
+use epplan_solve::{BudgetGuard, SolveBudget, SolveError};
+
 /// Identifier of an edge added to a [`MinCostFlow`] graph; use it to
 /// query the final flow with [`MinCostFlow::flow_on`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,12 +23,20 @@ pub struct FlowResult {
     pub cost: f64,
 }
 
+/// Pipeline-stage label used in this solver's errors.
+const STAGE: &str = "flow.mcmf";
+
 /// A directed flow network solved with successive shortest paths.
 ///
 /// Shortest paths are found with SPFA (queue-based Bellman–Ford), which
 /// tolerates negative edge costs as long as the network has no
 /// negative-cost *cycle* — true for every graph built in this workspace
 /// (bipartite source→left→right→sink layerings).
+///
+/// Malformed edges (out-of-range endpoints, negative or non-finite
+/// capacities, non-finite costs) do not panic at build time; they mark
+/// the graph defective and every subsequent solve returns a
+/// [`epplan_solve::FailureKind::BadInput`] error.
 ///
 /// # Example
 /// ```
@@ -38,7 +48,7 @@ pub struct FlowResult {
 /// g.add_edge(1, t, 1.0, 1.0);
 /// g.add_edge(1, 2, 1.0, 0.0);
 /// g.add_edge(2, t, 2.0, 1.0);
-/// let r = g.max_flow_min_cost(s, t);
+/// let r = g.max_flow_min_cost(s, t).expect("well-formed graph");
 /// assert_eq!(r.flow, 3.0);
 /// assert_eq!(r.cost, 7.0);
 /// ```
@@ -48,6 +58,8 @@ pub struct MinCostFlow {
     /// Edges stored in pairs: forward at even index, residual at odd.
     edges: Vec<Edge>,
     adj: Vec<Vec<u32>>,
+    /// First build-time defect, reported by the solve entry points.
+    defect: Option<String>,
 }
 
 const EPS: f64 = 1e-9;
@@ -59,6 +71,7 @@ impl MinCostFlow {
             n,
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
+            defect: None,
         }
     }
 
@@ -69,10 +82,28 @@ impl MinCostFlow {
 
     /// Adds a directed edge `from → to` with capacity `cap ≥ 0` and
     /// per-unit cost `cost`. Returns an id for flow inspection.
+    ///
+    /// A malformed edge is recorded as inert (it carries no flow) and
+    /// poisons the graph: the next solve call reports `BadInput`.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: f64, cost: f64) -> EdgeId {
-        assert!(from < self.n && to < self.n, "edge endpoint out of range");
-        assert!(cap >= 0.0, "negative capacity");
         let id = self.edges.len();
+        let mut flaw = None;
+        if from >= self.n || to >= self.n {
+            flaw = Some(format!("edge {from}->{to} endpoint out of range (n = {})", self.n));
+        } else if cap < 0.0 || !cap.is_finite() {
+            flaw = Some(format!("edge {from}->{to} has invalid capacity {cap}"));
+        } else if !cost.is_finite() {
+            flaw = Some(format!("edge {from}->{to} has non-finite cost {cost}"));
+        }
+        if let Some(flaw) = flaw {
+            if self.defect.is_none() {
+                self.defect = Some(flaw);
+            }
+            // Keep edge ids stable but leave the pair unreachable.
+            self.edges.push(Edge { to: 0, cap: 0.0, cost: 0.0 });
+            self.edges.push(Edge { to: 0, cap: 0.0, cost: 0.0 });
+            return EdgeId(id);
+        }
         self.edges.push(Edge { to, cap, cost });
         self.edges.push(Edge {
             to: from,
@@ -90,15 +121,48 @@ impl MinCostFlow {
         self.edges[id.0 + 1].cap
     }
 
+    /// Rejects defective graphs and out-of-range terminals.
+    fn check_inputs(&self, s: usize, t: usize) -> Result<(), SolveError<FlowResult>> {
+        if let Some(defect) = &self.defect {
+            return Err(SolveError::bad_input(STAGE, defect.clone()));
+        }
+        if s >= self.n || t >= self.n {
+            return Err(SolveError::bad_input(
+                STAGE,
+                format!("terminal out of range: s = {s}, t = {t}, n = {}", self.n),
+            ));
+        }
+        Ok(())
+    }
+
     /// Sends as much flow as possible from `s` to `t`, minimizing cost
     /// among all maximum flows. Can be called once per graph.
-    pub fn max_flow_min_cost(&mut self, s: usize, t: usize) -> FlowResult {
-        self.run(s, t, f64::INFINITY)
+    pub fn max_flow_min_cost(&mut self, s: usize, t: usize) -> Result<FlowResult, SolveError<FlowResult>> {
+        self.run(s, t, f64::INFINITY, SolveBudget::UNLIMITED)
     }
 
     /// Sends up to `limit` units of flow from `s` to `t` at minimum cost.
-    pub fn flow_with_limit(&mut self, s: usize, t: usize, limit: f64) -> FlowResult {
-        self.run(s, t, limit)
+    pub fn flow_with_limit(
+        &mut self,
+        s: usize,
+        t: usize,
+        limit: f64,
+    ) -> Result<FlowResult, SolveError<FlowResult>> {
+        self.run(s, t, limit, SolveBudget::UNLIMITED)
+    }
+
+    /// Like [`flow_with_limit`](Self::flow_with_limit) under `budget`:
+    /// the guard ticks once per augmentation, and exhaustion returns a
+    /// `BudgetExhausted` error carrying the flow routed so far as its
+    /// partial artifact (a valid, possibly non-maximum flow).
+    pub fn flow_with_limit_and_budget(
+        &mut self,
+        s: usize,
+        t: usize,
+        limit: f64,
+        budget: SolveBudget,
+    ) -> Result<FlowResult, SolveError<FlowResult>> {
+        self.run(s, t, limit, budget)
     }
 
     /// Like [`max_flow_min_cost`](Self::max_flow_min_cost) but with
@@ -107,11 +171,28 @@ impl MinCostFlow {
     /// non-negative reduced costs. Asymptotically much faster on the
     /// large slot graphs of the Shmoys–Tardos rounding (thousands of
     /// unit augmentations), and exactly equivalent in its result.
-    pub fn max_flow_min_cost_fast(&mut self, s: usize, t: usize) -> FlowResult {
-        assert!(s < self.n && t < self.n, "terminal out of range");
+    pub fn max_flow_min_cost_fast(
+        &mut self,
+        s: usize,
+        t: usize,
+    ) -> Result<FlowResult, SolveError<FlowResult>> {
+        self.max_flow_min_cost_fast_with_budget(s, t, SolveBudget::UNLIMITED)
+    }
+
+    /// [`max_flow_min_cost_fast`](Self::max_flow_min_cost_fast) under
+    /// `budget`; the guard ticks once per augmentation, and exhaustion
+    /// returns the flow routed so far as the error's partial artifact.
+    pub fn max_flow_min_cost_fast_with_budget(
+        &mut self,
+        s: usize,
+        t: usize,
+        budget: SolveBudget,
+    ) -> Result<FlowResult, SolveError<FlowResult>> {
+        self.check_inputs(s, t)?;
+        let mut guard = BudgetGuard::new(budget);
         let mut total = FlowResult { flow: 0.0, cost: 0.0 };
         if s == t {
-            return total;
+            return Ok(total);
         }
         // Initial potentials via Bellman–Ford (queue-based) over
         // residual arcs with capacity.
@@ -179,6 +260,12 @@ impl MinCostFlow {
             if pre_edge[t] == u32::MAX {
                 break;
             }
+            // Budget is spent per augmentation; ticking only once a
+            // path exists avoids a false exhaustion on the final
+            // (empty) search of an exactly-budgeted run.
+            if let Err(e) = guard.tick(STAGE) {
+                return Err(e.discard_partial().with_partial(total));
+            }
             // Update potentials with the new distances.
             for v in 0..self.n {
                 if dist[v].is_finite() {
@@ -205,14 +292,24 @@ impl MinCostFlow {
             total.flow += push;
             total.cost += push * path_cost;
         }
-        total
+        Ok(total)
     }
 
-    fn run(&mut self, s: usize, t: usize, limit: f64) -> FlowResult {
-        assert!(s < self.n && t < self.n, "terminal out of range");
+    fn run(
+        &mut self,
+        s: usize,
+        t: usize,
+        limit: f64,
+        budget: SolveBudget,
+    ) -> Result<FlowResult, SolveError<FlowResult>> {
+        self.check_inputs(s, t)?;
+        if limit.is_nan() || limit < 0.0 {
+            return Err(SolveError::bad_input(STAGE, format!("invalid flow limit {limit}")));
+        }
+        let mut guard = BudgetGuard::new(budget);
         let mut total = FlowResult { flow: 0.0, cost: 0.0 };
         if s == t {
-            return total;
+            return Ok(total);
         }
         let mut dist = vec![0.0f64; self.n];
         let mut in_queue = vec![false; self.n];
@@ -243,6 +340,10 @@ impl MinCostFlow {
             if pre_edge[t] == u32::MAX {
                 break; // no augmenting path
             }
+            // Budget is spent per augmentation (see the fast variant).
+            if let Err(e) = guard.tick(STAGE) {
+                return Err(e.discard_partial().with_partial(total));
+            }
             // Bottleneck along the path.
             let mut push = limit - total.flow;
             let mut v = t;
@@ -262,7 +363,7 @@ impl MinCostFlow {
             total.flow += push;
             total.cost += push * dist[t];
         }
-        total
+        Ok(total)
     }
 }
 
@@ -287,6 +388,7 @@ mod ordered {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epplan_solve::FailureKind;
 
     #[test]
     fn fast_path_matches_spfa_on_examples() {
@@ -300,8 +402,8 @@ mod tests {
             g.add_edge(1, 3, 1.0, 6.0);
             g
         };
-        let slow = build().max_flow_min_cost(0, 3);
-        let fast = build().max_flow_min_cost_fast(0, 3);
+        let slow = build().max_flow_min_cost(0, 3).unwrap();
+        let fast = build().max_flow_min_cost_fast(0, 3).unwrap();
         assert_eq!(slow.flow, fast.flow);
         assert!((slow.cost - fast.cost).abs() < 1e-9, "{slow:?} vs {fast:?}");
     }
@@ -310,7 +412,7 @@ mod tests {
     fn fast_path_source_equals_sink() {
         let mut g = MinCostFlow::new(2);
         g.add_edge(0, 1, 1.0, 1.0);
-        let r = g.max_flow_min_cost_fast(0, 0);
+        let r = g.max_flow_min_cost_fast(0, 0).unwrap();
         assert_eq!(r.flow, 0.0);
     }
 
@@ -318,7 +420,7 @@ mod tests {
     fn fast_path_disconnected() {
         let mut g = MinCostFlow::new(3);
         g.add_edge(0, 1, 1.0, 1.0);
-        let r = g.max_flow_min_cost_fast(0, 2);
+        let r = g.max_flow_min_cost_fast(0, 2).unwrap();
         assert_eq!(r.flow, 0.0);
         assert_eq!(r.cost, 0.0);
     }
@@ -330,7 +432,7 @@ mod tests {
         g.add_edge(1, 3, 1.0, 1.0);
         let e_dear = g.add_edge(0, 2, 1.0, 5.0);
         g.add_edge(2, 3, 1.0, 5.0);
-        let r = g.max_flow_min_cost(0, 3);
+        let r = g.max_flow_min_cost(0, 3).unwrap();
         assert_eq!(r.flow, 2.0);
         assert_eq!(r.cost, 1.0 + 1.0 + 5.0 + 5.0);
         assert_eq!(g.flow_on(e_cheap), 1.0);
@@ -343,7 +445,7 @@ mod tests {
         let cheap = g.add_edge(0, 1, 5.0, 1.0);
         g.add_edge(1, 2, 5.0, 0.0);
         let dear = g.add_edge(0, 2, 5.0, 10.0);
-        let r = g.flow_with_limit(0, 2, 3.0);
+        let r = g.flow_with_limit(0, 2, 3.0).unwrap();
         assert_eq!(r.flow, 3.0);
         assert_eq!(r.cost, 3.0);
         assert_eq!(g.flow_on(cheap), 3.0);
@@ -354,7 +456,7 @@ mod tests {
     fn respects_limit() {
         let mut g = MinCostFlow::new(2);
         g.add_edge(0, 1, 10.0, 2.0);
-        let r = g.flow_with_limit(0, 1, 4.0);
+        let r = g.flow_with_limit(0, 1, 4.0).unwrap();
         assert_eq!(r.flow, 4.0);
         assert_eq!(r.cost, 8.0);
     }
@@ -363,7 +465,7 @@ mod tests {
     fn disconnected_yields_zero() {
         let mut g = MinCostFlow::new(3);
         g.add_edge(0, 1, 1.0, 1.0);
-        let r = g.max_flow_min_cost(0, 2);
+        let r = g.max_flow_min_cost(0, 2).unwrap();
         assert_eq!(r.flow, 0.0);
         assert_eq!(r.cost, 0.0);
     }
@@ -371,7 +473,7 @@ mod tests {
     #[test]
     fn source_equals_sink() {
         let mut g = MinCostFlow::new(1);
-        let r = g.max_flow_min_cost(0, 0);
+        let r = g.max_flow_min_cost(0, 0).unwrap();
         assert_eq!(r.flow, 0.0);
     }
 
@@ -383,7 +485,7 @@ mod tests {
         let neg = g.add_edge(1, 2, 1.0, -1.5);
         g.add_edge(2, 3, 1.0, 0.5);
         g.add_edge(0, 3, 1.0, 3.0);
-        let r = g.flow_with_limit(0, 3, 1.0);
+        let r = g.flow_with_limit(0, 3, 1.0).unwrap();
         assert_eq!(r.flow, 1.0);
         assert!((r.cost - 1.0).abs() < 1e-9);
         assert_eq!(g.flow_on(neg), 1.0);
@@ -399,7 +501,7 @@ mod tests {
         g.add_edge(1, 2, 1.0, 1.0);
         g.add_edge(1, 3, 1.0, 6.0);
         g.add_edge(2, 3, 2.0, 1.0);
-        let r = g.max_flow_min_cost(0, 3);
+        let r = g.max_flow_min_cost(0, 3).unwrap();
         assert_eq!(r.flow, 2.0);
         // Best: 0→1→2→3 (3) and 0→2→3 (5) = 8.
         assert!((r.cost - 8.0).abs() < 1e-9);
@@ -420,7 +522,7 @@ mod tests {
                 ids.push(g.add_edge(l, r, 1.0, (l * r) as f64));
             }
         }
-        let res = g.max_flow_min_cost(0, 5);
+        let res = g.max_flow_min_cost(0, 5).unwrap();
         assert_eq!(res.flow, 2.0);
         for id in ids {
             let f = g.flow_on(id);
@@ -429,9 +531,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_edge_panics() {
+    fn bad_edge_poisons_graph_instead_of_panicking() {
         let mut g = MinCostFlow::new(2);
         g.add_edge(0, 5, 1.0, 0.0);
+        let e = g.max_flow_min_cost(0, 1).unwrap_err();
+        assert_eq!(e.kind, FailureKind::BadInput);
+    }
+
+    #[test]
+    fn nan_capacity_and_negative_capacity_rejected() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, f64::NAN, 0.0);
+        assert_eq!(g.max_flow_min_cost(0, 1).unwrap_err().kind, FailureKind::BadInput);
+
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, -1.0, 0.0);
+        assert_eq!(g.max_flow_min_cost(0, 1).unwrap_err().kind, FailureKind::BadInput);
+    }
+
+    #[test]
+    fn terminal_out_of_range_rejected() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 1.0, 0.0);
+        let e = g.max_flow_min_cost(0, 9).unwrap_err();
+        assert_eq!(e.kind, FailureKind::BadInput);
+    }
+
+    #[test]
+    fn augmentation_budget_returns_partial_flow() {
+        // Two disjoint unit paths; a 1-augmentation budget routes only
+        // the cheaper one and reports exhaustion with that partial.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1.0, 1.0);
+        g.add_edge(1, 3, 1.0, 0.0);
+        g.add_edge(0, 2, 1.0, 5.0);
+        g.add_edge(2, 3, 1.0, 0.0);
+        let e = g
+            .flow_with_limit_and_budget(0, 3, f64::INFINITY, SolveBudget::from_iteration_cap(1))
+            .unwrap_err();
+        assert_eq!(e.kind, FailureKind::BudgetExhausted);
+        let partial = e.partial.expect("augmentation budget keeps partial flow");
+        assert_eq!(partial.flow, 1.0);
+        assert_eq!(partial.cost, 1.0);
+    }
+
+    #[test]
+    fn fast_augmentation_budget_returns_partial_flow() {
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1.0, 1.0);
+        g.add_edge(1, 3, 1.0, 0.0);
+        g.add_edge(0, 2, 1.0, 5.0);
+        g.add_edge(2, 3, 1.0, 0.0);
+        let e = g
+            .max_flow_min_cost_fast_with_budget(0, 3, SolveBudget::from_iteration_cap(1))
+            .unwrap_err();
+        assert_eq!(e.kind, FailureKind::BudgetExhausted);
+        let partial = e.partial.expect("partial flow");
+        assert_eq!(partial.flow, 1.0);
     }
 }

@@ -74,8 +74,10 @@ proptest! {
         let got = min_cost_assignment(n_left, n_right, &edges, &caps);
         let want = brute_force(n_left, n_right, &edges, &caps);
         match (got, want) {
-            (None, None) => {}
-            (Some(a), Some(w)) => {
+            (Err(e), None) => {
+                prop_assert_eq!(e.kind, epplan_solve::FailureKind::Infeasible);
+            }
+            (Ok(a), Some(w)) => {
                 prop_assert!((a.cost - w).abs() < 1e-6,
                     "flow cost {} vs brute force {}", a.cost, w);
                 // capacities respected
@@ -90,7 +92,7 @@ proptest! {
                 }
             }
             (g, w) => prop_assert!(false, "feasibility disagrees: flow={:?} bf={:?}",
-                g.map(|a| a.cost), w),
+                g.map(|a| a.cost).ok(), w),
         }
     }
 }
@@ -140,8 +142,8 @@ proptest! {
             g
         };
         let mut rng2 = rng.clone();
-        let slow = build(&mut rng).max_flow_min_cost(s, t);
-        let fast = build(&mut rng2).max_flow_min_cost_fast(s, t);
+        let slow = build(&mut rng).max_flow_min_cost(s, t).unwrap();
+        let fast = build(&mut rng2).max_flow_min_cost_fast(s, t).unwrap();
         prop_assert!((slow.flow - fast.flow).abs() < 1e-9,
             "flow {} vs {}", slow.flow, fast.flow);
         prop_assert!((slow.cost - fast.cost).abs() < 1e-6,

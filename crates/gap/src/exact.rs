@@ -8,26 +8,50 @@
 //! cheapest allowed cost (capacity ignored).
 
 use crate::{GapInstance, GapSolution};
+use epplan_solve::{BudgetGuard, SolveBudget, SolveError};
 
 /// Upper limit on jobs before we refuse to run (avoids accidental
-/// exponential blow-ups in benchmarks).
+/// exponential blow-ups in benchmarks). Exceeding it is a `BadInput`
+/// error, not a panic.
 pub const MAX_EXACT_JOBS: usize = 24;
 
-/// Finds a minimum-cost complete assignment, or `None` when no complete
-/// assignment satisfies the capacities.
-///
-/// # Panics
-/// Panics when the instance has more than [`MAX_EXACT_JOBS`] jobs.
-pub fn branch_and_bound(inst: &GapInstance) -> Option<GapSolution> {
-    assert!(
-        inst.n_jobs() <= MAX_EXACT_JOBS,
-        "exact solver limited to {MAX_EXACT_JOBS} jobs, got {}",
-        inst.n_jobs()
-    );
+/// Pipeline-stage label used in this solver's errors.
+const STAGE: &str = "gap.exact";
+
+/// Finds a minimum-cost complete assignment with no budget, or an
+/// `Infeasible` error when no complete assignment satisfies the
+/// capacities. Instances beyond [`MAX_EXACT_JOBS`] jobs (or poisoned
+/// ones) are `BadInput` errors.
+pub fn branch_and_bound(inst: &GapInstance) -> Result<GapSolution, SolveError<GapSolution>> {
+    branch_and_bound_with_budget(inst, SolveBudget::UNLIMITED)
+}
+
+/// [`branch_and_bound`] under a [`SolveBudget`] spent one DFS node per
+/// iteration. A `BudgetExhausted` error carries the best complete
+/// assignment found before the cutoff, when one exists.
+pub fn branch_and_bound_with_budget(
+    inst: &GapInstance,
+    budget: SolveBudget,
+) -> Result<GapSolution, SolveError<GapSolution>> {
+    if let Some(defect) = inst.defect() {
+        return Err(SolveError::bad_input(
+            STAGE,
+            format!("malformed GAP instance: {defect}"),
+        ));
+    }
+    if inst.n_jobs() > MAX_EXACT_JOBS {
+        return Err(SolveError::bad_input(
+            STAGE,
+            format!(
+                "exact solver limited to {MAX_EXACT_JOBS} jobs, got {}",
+                inst.n_jobs()
+            ),
+        ));
+    }
     let n = inst.n_jobs();
     let m = inst.n_machines();
     if n == 0 {
-        return Some(GapSolution::from_assignment(inst, Vec::new()));
+        return Ok(GapSolution::from_assignment(inst, Vec::new()));
     }
 
     // Cheapest allowed cost per job (lower-bound contribution), and the
@@ -44,7 +68,10 @@ pub fn branch_and_bound(inst: &GapInstance) -> Option<GapSolution> {
             }
         }
         if options[j] == 0 {
-            return None; // some job is unassignable
+            return Err(SolveError::infeasible(
+                STAGE,
+                format!("job {j} has no machine that can take it"),
+            ));
         }
     }
     let mut order: Vec<usize> = (0..n).collect();
@@ -59,20 +86,22 @@ pub fn branch_and_bound(inst: &GapInstance) -> Option<GapSolution> {
         inst: &'a GapInstance,
         order: &'a [usize],
         suffix_lb: &'a [f64],
+        guard: BudgetGuard,
         loads: Vec<f64>,
         assign: Vec<Option<usize>>,
         best_cost: f64,
         best: Option<Vec<Option<usize>>>,
     }
 
-    fn dfs(ctx: &mut Ctx<'_>, depth: usize, cost: f64) {
+    fn dfs(ctx: &mut Ctx<'_>, depth: usize, cost: f64) -> Result<(), SolveError<()>> {
+        ctx.guard.tick(STAGE)?;
         if cost + ctx.suffix_lb[depth] >= ctx.best_cost - 1e-12 {
-            return;
+            return Ok(());
         }
         if depth == ctx.order.len() {
             ctx.best_cost = cost;
             ctx.best = Some(ctx.assign.clone());
-            return;
+            return Ok(());
         }
         let j = ctx.order[depth];
         // Try machines in increasing cost for better pruning.
@@ -83,30 +112,50 @@ pub fn branch_and_bound(inst: &GapInstance) -> Option<GapSolution> {
             if ctx.loads[i] + t <= ctx.inst.capacity(i) + 1e-12 {
                 ctx.loads[i] += t;
                 ctx.assign[j] = Some(i);
-                dfs(ctx, depth + 1, cost + ctx.inst.cost(i, j));
+                let r = dfs(ctx, depth + 1, cost + ctx.inst.cost(i, j));
                 ctx.assign[j] = None;
                 ctx.loads[i] -= t;
+                r?;
             }
         }
+        Ok(())
     }
 
     let mut ctx = Ctx {
         inst,
         order: &order,
         suffix_lb: &suffix_lb,
+        guard: BudgetGuard::new(budget),
         loads: vec![0.0; m],
         assign: vec![None; n],
         best_cost: f64::INFINITY,
         best: None,
     };
-    dfs(&mut ctx, 0, 0.0);
-    ctx.best
-        .map(|assignment| GapSolution::from_assignment(inst, assignment))
+    let search = dfs(&mut ctx, 0, 0.0);
+    let best = ctx
+        .best
+        .map(|assignment| GapSolution::from_assignment(inst, assignment));
+    match search {
+        Ok(()) => best.ok_or_else(|| {
+            SolveError::infeasible(STAGE, "no complete assignment fits the capacities")
+        }),
+        Err(e) => {
+            // Budget ran out mid-search; the best complete assignment
+            // found so far (if any) is a valid incumbent, just not
+            // proven optimal.
+            let mut out = e.discard_partial();
+            if let Some(sol) = best {
+                out = out.with_partial(sol);
+            }
+            Err(out)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epplan_solve::FailureKind;
 
     #[test]
     fn trivial_single_pair() {
@@ -151,7 +200,8 @@ mod tests {
             vec![vec![1.0, 1.0]],
             vec![1.5], // two unit jobs, capacity 1.5
         );
-        assert!(branch_and_bound(&g).is_none());
+        let err = branch_and_bound(&g).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Infeasible);
     }
 
     #[test]
@@ -175,9 +225,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exact solver limited")]
-    fn too_many_jobs_panics() {
+    fn too_many_jobs_is_bad_input() {
         let g = GapInstance::new(1, MAX_EXACT_JOBS + 1, vec![1.0]);
-        let _ = branch_and_bound(&g);
+        let err = branch_and_bound(&g).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BadInput);
+        assert!(err.message.contains("exact solver limited"));
+    }
+
+    #[test]
+    fn budget_exhaustion_may_carry_incumbent() {
+        let g = GapInstance::from_matrices(
+            vec![vec![0.0, 0.5, 0.3], vec![2.0, 10.0, 1.0]],
+            vec![vec![1.0; 3], vec![1.0; 3]],
+            vec![2.0, 2.0],
+        );
+        let err =
+            branch_and_bound_with_budget(&g, SolveBudget::from_iteration_cap(1)).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+        // With a roomier cap the incumbent survives as a partial.
+        let err =
+            branch_and_bound_with_budget(&g, SolveBudget::from_iteration_cap(5)).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+        if let Some(sol) = err.partial {
+            assert!(sol.is_complete());
+        }
     }
 }

@@ -100,8 +100,13 @@ impl FractionalSolution {
     /// cost only marginally (the dropped tail carries little mass) and
     /// keeps the rounding near-linear. Exact LP solutions are basic and
     /// already sparse, so pruning is a no-op for them in practice.
+    ///
+    /// `k = 0` would destroy every job's mass, so it is treated as a
+    /// no-op (pruning disabled) rather than a panic.
     pub fn prune_top_k(&mut self, k: usize) {
-        assert!(k > 0, "cannot prune to zero machines");
+        if k == 0 {
+            return;
+        }
         for j in 0..self.n_jobs {
             if self.unassigned.contains(&j) {
                 continue;

@@ -10,6 +10,13 @@
 /// A pair may be *forbidden* (the user cannot attend the event at all,
 /// e.g. zero utility or unaffordable travel): forbidden pairs have
 /// infinite cost and are excluded from every solver's search space.
+///
+/// Malformed construction (wrong capacity count, negative or NaN
+/// values, out-of-range indices) does not panic: the offending value is
+/// neutralized and the first defect is recorded. Every solver entry
+/// point checks [`GapInstance::defect`] and refuses a poisoned instance
+/// with a `BadInput` error, so a bad instance fails loudly at solve
+/// time instead of aborting the process at build time.
 #[derive(Debug, Clone)]
 pub struct GapInstance {
     n_machines: usize,
@@ -18,38 +25,77 @@ pub struct GapInstance {
     costs: Vec<f64>,
     times: Vec<f64>,
     capacity: Vec<f64>,
+    /// First construction defect observed, if any.
+    defect: Option<String>,
 }
 
 impl GapInstance {
     /// Creates an instance with all costs/times zero and the given
-    /// capacities.
-    pub fn new(n_machines: usize, n_jobs: usize, capacity: Vec<f64>) -> Self {
-        assert_eq!(capacity.len(), n_machines, "one capacity per machine");
-        assert!(capacity.iter().all(|&c| c >= 0.0), "negative capacity");
+    /// capacities. A capacity vector of the wrong length, or one with
+    /// negative/non-finite entries, poisons the instance (see
+    /// [`GapInstance::defect`]).
+    pub fn new(n_machines: usize, n_jobs: usize, mut capacity: Vec<f64>) -> Self {
+        let mut defect = None;
+        if capacity.len() != n_machines {
+            defect = Some(format!(
+                "expected one capacity per machine ({n_machines}), got {}",
+                capacity.len()
+            ));
+            capacity.resize(n_machines, 0.0);
+        }
+        for (i, c) in capacity.iter_mut().enumerate() {
+            if !c.is_finite() || *c < 0.0 {
+                defect.get_or_insert_with(|| format!("machine {i} has invalid capacity {c}"));
+                *c = 0.0;
+            }
+        }
         GapInstance {
             n_machines,
             n_jobs,
             costs: vec![0.0; n_machines * n_jobs],
             times: vec![0.0; n_machines * n_jobs],
             capacity,
+            defect,
         }
     }
 
     /// Builds an instance from dense matrices (machine-major rows).
+    /// Ragged matrices poison the instance.
     pub fn from_matrices(costs: Vec<Vec<f64>>, times: Vec<Vec<f64>>, capacity: Vec<f64>) -> Self {
         let n_machines = costs.len();
-        assert_eq!(times.len(), n_machines);
-        assert_eq!(capacity.len(), n_machines);
         let n_jobs = costs.first().map_or(0, Vec::len);
         let mut inst = GapInstance::new(n_machines, n_jobs, capacity);
-        for i in 0..n_machines {
-            assert_eq!(costs[i].len(), n_jobs, "ragged cost matrix");
-            assert_eq!(times[i].len(), n_jobs, "ragged time matrix");
+        if times.len() != n_machines {
+            inst.poison(format!(
+                "time matrix has {} rows for {n_machines} machines",
+                times.len()
+            ));
+        }
+        for (i, cost_row) in costs.iter().enumerate() {
+            if cost_row.len() != n_jobs {
+                inst.poison(format!("ragged cost matrix at machine {i}"));
+            }
+            if times.get(i).is_some_and(|row| row.len() != n_jobs) {
+                inst.poison(format!("ragged time matrix at machine {i}"));
+            }
             for j in 0..n_jobs {
-                inst.set(i, j, costs[i][j], times[i][j]);
+                let c = cost_row.get(j).copied().unwrap_or(f64::INFINITY);
+                let t = times.get(i).and_then(|row| row.get(j)).copied().unwrap_or(0.0);
+                inst.set(i, j, c, t);
             }
         }
         inst
+    }
+
+    /// Records the first construction defect; later ones are dropped.
+    fn poison(&mut self, message: String) {
+        self.defect.get_or_insert(message);
+    }
+
+    /// The first construction defect, if the instance is malformed.
+    /// Solvers reject poisoned instances with a `BadInput` error.
+    pub fn defect(&self) -> Option<&str> {
+        self.defect.as_deref()
     }
 
     #[inline]
@@ -58,16 +104,40 @@ impl GapInstance {
         machine * self.n_jobs + job
     }
 
-    /// Sets the cost and time of a machine–job pair.
-    pub fn set(&mut self, machine: usize, job: usize, cost: f64, time: f64) {
-        assert!(time >= 0.0, "negative processing time");
+    /// Sets the cost and time of a machine–job pair. Out-of-range
+    /// indices, NaN costs, and negative or non-finite times poison the
+    /// instance instead of panicking.
+    pub fn set(&mut self, machine: usize, job: usize, cost: f64, mut time: f64) {
+        if machine >= self.n_machines || job >= self.n_jobs {
+            self.poison(format!(
+                "pair ({machine}, {job}) out of range ({} × {})",
+                self.n_machines, self.n_jobs
+            ));
+            return;
+        }
+        if cost.is_nan() {
+            self.poison(format!("pair ({machine}, {job}) has NaN cost"));
+            return;
+        }
+        if !time.is_finite() || time < 0.0 {
+            self.poison(format!("pair ({machine}, {job}) has invalid time {time}"));
+            time = 0.0;
+        }
         let k = self.idx(machine, job);
         self.costs[k] = cost;
         self.times[k] = time;
     }
 
-    /// Marks a pair as forbidden (never assignable).
+    /// Marks a pair as forbidden (never assignable). Out-of-range
+    /// indices poison the instance.
     pub fn forbid(&mut self, machine: usize, job: usize) {
+        if machine >= self.n_machines || job >= self.n_jobs {
+            self.poison(format!(
+                "forbid ({machine}, {job}) out of range ({} × {})",
+                self.n_machines, self.n_jobs
+            ));
+            return;
+        }
         let k = self.idx(machine, job);
         self.costs[k] = f64::INFINITY;
     }
@@ -260,8 +330,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one capacity per machine")]
-    fn wrong_capacity_count() {
-        GapInstance::new(2, 2, vec![1.0]);
+    fn wrong_capacity_count_poisons() {
+        let g = GapInstance::new(2, 2, vec![1.0]);
+        assert!(g.defect().is_some_and(|d| d.contains("capacity")));
+        // The instance is still usable without panicking.
+        assert_eq!(g.capacity(1), 0.0);
+    }
+
+    #[test]
+    fn invalid_values_poison() {
+        let mut g = tiny();
+        assert!(g.defect().is_none());
+        g.set(0, 0, f64::NAN, 1.0);
+        assert!(g.defect().is_some_and(|d| d.contains("NaN")));
+        let mut g = tiny();
+        g.set(5, 0, 1.0, 1.0);
+        assert!(g.defect().is_some_and(|d| d.contains("out of range")));
+        let mut g = tiny();
+        g.set(0, 0, 1.0, -2.0);
+        assert!(g.defect().is_some_and(|d| d.contains("invalid time")));
+        let mut g = tiny();
+        g.forbid(0, 9);
+        assert!(g.defect().is_some());
+        let g = GapInstance::new(1, 1, vec![-3.0]);
+        assert!(g.defect().is_some_and(|d| d.contains("invalid capacity")));
+        assert_eq!(g.capacity(0), 0.0);
     }
 }

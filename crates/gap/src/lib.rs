@@ -25,7 +25,18 @@
 //!   (used in tests and the approximation-ratio ablation);
 //! * [`GapSolver`] — the composed pipeline with automatic method
 //!   selection.
+//!
+//! Every solver follows the fallible contract of `epplan-solve`:
+//! malformed instances are `BadInput` errors (construction *poisons*
+//! the instance instead of panicking), genuinely over-constrained
+//! systems are `Infeasible`, and each entry point has a
+//! `*_with_budget` variant that spends an [`epplan_solve::SolveBudget`]
+//! and fails with `BudgetExhausted` — carrying the best partial
+//! artifact produced so far — when the allowance runs out.
 
+
+// Solver code must degrade with typed errors, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -41,6 +52,6 @@ mod instance;
 
 pub use fractional::FractionalSolution;
 pub use instance::{GapInstance, GapSolution};
-pub use lp_relax::lp_relaxation;
-pub use rounding::round_shmoys_tardos;
+pub use lp_relax::{lp_relaxation, lp_relaxation_with_budget};
+pub use rounding::{round_shmoys_tardos, round_shmoys_tardos_with_budget};
 pub use solver::{FractionalMethod, GapConfig, GapSolver};

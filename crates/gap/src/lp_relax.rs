@@ -6,34 +6,36 @@
 //! [`FractionalSolution::unassigned`] rather than making the whole LP
 //! infeasible — the ξ-GEPC layer turns those into lower-bound
 //! shortfall diagnostics.
+//!
+//! Failures follow the `epplan-solve` contract: a poisoned instance is
+//! `BadInput`, an over-constrained system is `Infeasible`, and a pivot
+//! loop stopped by a [`SolveBudget`] is `BudgetExhausted` carrying the
+//! feasible point reached so far as a partial fractional solution.
 
 use crate::{FractionalSolution, GapInstance};
-use epplan_lp::{Problem, Relation, Status};
+use epplan_lp::{Problem, Relation};
+use epplan_solve::{SolveBudget, SolveError};
 
-/// Error cases of the exact relaxation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LpRelaxError {
-    /// The machine capacities cannot fractionally accommodate all jobs.
-    Infeasible,
-    /// The simplex hit its pivot budget (pathological instance).
-    IterationLimit,
+/// Solves the LP relaxation exactly with no budget. Returns the
+/// fractional solution (with `unassigned` holding jobs that no machine
+/// can take) or a typed error when the remaining system is infeasible.
+pub fn lp_relaxation(inst: &GapInstance) -> Result<FractionalSolution, SolveError<FractionalSolution>> {
+    lp_relaxation_with_budget(inst, SolveBudget::UNLIMITED)
 }
 
-impl std::fmt::Display for LpRelaxError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LpRelaxError::Infeasible => write!(f, "GAP LP relaxation is infeasible"),
-            LpRelaxError::IterationLimit => write!(f, "simplex iteration limit reached"),
-        }
+/// [`lp_relaxation`] under a [`SolveBudget`] spent one pivot per
+/// iteration. On `BudgetExhausted` the error carries the last feasible
+/// point as a partial fractional solution when phase 1 completed.
+pub fn lp_relaxation_with_budget(
+    inst: &GapInstance,
+    budget: SolveBudget,
+) -> Result<FractionalSolution, SolveError<FractionalSolution>> {
+    if let Some(defect) = inst.defect() {
+        return Err(SolveError::bad_input(
+            "gap.lp_relax",
+            format!("malformed GAP instance: {defect}"),
+        ));
     }
-}
-
-impl std::error::Error for LpRelaxError {}
-
-/// Solves the LP relaxation exactly. Returns the fractional solution
-/// (with `unassigned` holding jobs that no machine can take) or an
-/// error when the remaining system is infeasible.
-pub fn lp_relaxation(inst: &GapInstance) -> Result<FractionalSolution, LpRelaxError> {
     let m = inst.n_machines();
     let n = inst.n_jobs();
     let unassignable = inst.unassignable_jobs();
@@ -84,28 +86,38 @@ pub fn lp_relaxation(inst: &GapInstance) -> Result<FractionalSolution, LpRelaxEr
         }
     }
 
-    let sol = lp.solve();
-    match sol.status {
-        Status::Optimal => {}
-        Status::Infeasible => return Err(LpRelaxError::Infeasible),
-        Status::IterationLimit => return Err(LpRelaxError::IterationLimit),
-        Status::Unbounded => unreachable!("GAP relaxation is bounded below"),
-    }
+    let extract = |x: &[f64]| {
+        let mut frac = FractionalSolution::zero(m, n);
+        for (v, &(i, j)) in pairs.iter().enumerate() {
+            let val = x[v];
+            if val > 1e-12 {
+                frac.set(i, j, val.min(1.0));
+            }
+        }
+        frac.unassigned = unassignable.clone();
+        frac
+    };
 
-    let mut frac = FractionalSolution::zero(m, n);
-    for (v, &(i, j)) in pairs.iter().enumerate() {
-        let val = sol.x[v];
-        if val > 1e-12 {
-            frac.set(i, j, val.min(1.0));
+    match lp.solve_with_budget(budget) {
+        Ok(sol) => Ok(extract(&sol.x)),
+        Err(e) => {
+            // A partial simplex point satisfies all constraints
+            // (including the per-job equalities), so it converts to a
+            // valid — merely suboptimal — fractional solution.
+            let partial = e.partial.as_ref().map(|p| extract(&p.x));
+            let mut out = e.discard_partial();
+            if let Some(frac) = partial {
+                out = out.with_partial(frac);
+            }
+            Err(out)
         }
     }
-    frac.unassigned = unassignable;
-    Ok(frac)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epplan_solve::FailureKind;
 
     #[test]
     fn relaxation_of_easy_instance_is_integral() {
@@ -164,24 +176,34 @@ mod tests {
 
     #[test]
     fn genuinely_infeasible_lp() {
-        // Two jobs, each fits each machine alone (p=1 ≤ T=1), but both
-        // jobs cannot fit anywhere together: total capacity 1+1 = 2 and
-        // total work 2 — actually feasible. Make times 1 and caps 0.9+1:
+        // Machine 1 forbidden for both jobs (p=1 > 0.5); machine 0 can
+        // take only one job fractionally (total work 1.8 > cap 0.9).
         let g = GapInstance::from_matrices(
-            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
-            vec![vec![0.9, 0.9], vec![1.0, 1.0]],
-            vec![0.9, 1.0],
-        );
-        // allowed everywhere; total fractional work ≥ 1.8 > 1.9? No:
-        // 0.9 + 0.9 = 1.8 ≤ caps 1.9 → feasible. Shrink machine 1:
-        let g2 = GapInstance::from_matrices(
             vec![vec![1.0, 1.0], vec![1.0, 1.0]],
             vec![vec![0.9, 0.9], vec![1.0, 1.0]],
             vec![0.9, 0.5],
         );
-        // machine 1 forbidden for both (p=1 > 0.5); machine 0 can take
-        // only one job fractionally (1.8 > 0.9).
-        assert!(g.n_jobs() == 2);
-        assert_eq!(lp_relaxation(&g2).unwrap_err(), LpRelaxError::Infeasible);
+        let err = lp_relaxation(&g).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Infeasible);
+    }
+
+    #[test]
+    fn poisoned_instance_is_bad_input() {
+        let g = GapInstance::new(2, 2, vec![1.0]);
+        let err = lp_relaxation(&g).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BadInput);
+        assert_eq!(err.stage, "gap.lp_relax");
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces() {
+        let g = GapInstance::from_matrices(
+            vec![vec![1.0, 4.0, 2.0], vec![2.0, 1.0, 3.0]],
+            vec![vec![1.0, 2.0, 1.5], vec![2.0, 1.0, 1.0]],
+            vec![2.5, 2.0],
+        );
+        let err =
+            lp_relaxation_with_budget(&g, SolveBudget::from_iteration_cap(1)).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
     }
 }

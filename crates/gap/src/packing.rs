@@ -30,6 +30,7 @@
 //! small enough to verify (see `GapConfig::method`).
 
 use crate::{FractionalSolution, GapInstance};
+use epplan_solve::{BudgetGuard, SolveBudget, SolveError};
 
 /// Tuning knobs for the multiplicative-weights solver.
 #[derive(Debug, Clone)]
@@ -44,6 +45,9 @@ pub struct PackingConfig {
     /// Early-exit: stop once the trailing average's worst relative
     /// overload drops below `1 + slack`.
     pub slack: f64,
+    /// Work allowance, spent one MW round per iteration. Unlimited by
+    /// default; [`crate::GapConfig`] tightens it per solve call.
+    pub budget: SolveBudget,
 }
 
 impl Default for PackingConfig {
@@ -53,6 +57,7 @@ impl Default for PackingConfig {
             eta: 0.5,
             burn_in: 20,
             slack: 0.02,
+            budget: SolveBudget::UNLIMITED,
         }
     }
 }
@@ -60,13 +65,28 @@ impl Default for PackingConfig {
 /// Runs the multiplicative-weights scheme and returns the averaged
 /// fractional solution. Jobs with no allowed machine are listed in
 /// [`FractionalSolution::unassigned`].
-pub fn mw_fractional(inst: &GapInstance, cfg: &PackingConfig) -> FractionalSolution {
+///
+/// A poisoned instance is a `BadInput` error. When `cfg.budget` runs
+/// out mid-scheme the `BudgetExhausted` error carries the rounds
+/// averaged so far as a partial fractional solution, if any round
+/// finished past burn-in.
+pub fn mw_fractional(
+    inst: &GapInstance,
+    cfg: &PackingConfig,
+) -> Result<FractionalSolution, SolveError<FractionalSolution>> {
+    if let Some(defect) = inst.defect() {
+        return Err(SolveError::bad_input(
+            "gap.packing",
+            format!("malformed GAP instance: {defect}"),
+        ));
+    }
     let m = inst.n_machines();
     let n = inst.n_jobs();
+    let mut guard = BudgetGuard::new(cfg.budget);
     let mut frac = FractionalSolution::zero(m, n);
     frac.unassigned = inst.unassignable_jobs();
     if m == 0 || n == frac.unassigned.len() {
-        return frac;
+        return Ok(frac);
     }
 
     // Cache the allowed machines per job once: the oracle scans them
@@ -82,6 +102,15 @@ pub fn mw_fractional(inst: &GapInstance, cfg: &PackingConfig) -> FractionalSolut
     let burn_in = cfg.burn_in.min(cfg.iterations.saturating_sub(1));
 
     for round in 0..cfg.iterations {
+        if let Err(e) = guard.tick("gap.packing") {
+            let mut out = e.discard_partial();
+            // Return whatever trailing average exists as a partial.
+            if averaged_rounds > 0 {
+                frac.scale(1.0 / averaged_rounds as f64);
+                out = out.with_partial(frac);
+            }
+            return Err(out);
+        }
         load.iter_mut().for_each(|l| *l = 0.0);
         for (j, machines) in allowed.iter().enumerate() {
             if machines.is_empty() {
@@ -134,7 +163,7 @@ pub fn mw_fractional(inst: &GapInstance, cfg: &PackingConfig) -> FractionalSolut
     if averaged_rounds > 0 {
         frac.scale(1.0 / averaged_rounds as f64);
     }
-    frac
+    Ok(frac)
 }
 
 #[cfg(test)]
@@ -150,7 +179,7 @@ mod tests {
             vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]],
             vec![10.0, 10.0],
         );
-        let x = mw_fractional(&g, &PackingConfig::default());
+        let x = mw_fractional(&g, &PackingConfig::default()).unwrap();
         assert!(x.check(&g, 1e-7).is_ok());
         assert!((x.cost(&g) - (0.1 + 0.2 + 0.5)).abs() < 1e-6);
     }
@@ -168,7 +197,7 @@ mod tests {
             iterations: 400,
             ..Default::default()
         };
-        let x = mw_fractional(&g, &cfg);
+        let x = mw_fractional(&g, &cfg).unwrap();
         assert!(x.check(&g, 1e-7).is_ok());
         let loads = x.loads(&g);
         for l in loads {
@@ -190,7 +219,7 @@ mod tests {
             eta: 0.3,
             ..Default::default()
         };
-        let mw = mw_fractional(&g, &cfg);
+        let mw = mw_fractional(&g, &cfg).unwrap();
         assert!(mw.check(&g, 1e-7).is_ok());
         // LP cost is 1.0; MW should be within a modest factor and the
         // machine-0 load within a (1+ε) overshoot.
@@ -206,7 +235,7 @@ mod tests {
             vec![5.0],
         );
         g.forbid(0, 1);
-        let x = mw_fractional(&g, &PackingConfig::default());
+        let x = mw_fractional(&g, &PackingConfig::default()).unwrap();
         assert_eq!(x.unassigned, vec![1]);
         assert!((x.job_mass(0) - 1.0).abs() < 1e-9);
         assert_eq!(x.job_mass(1), 0.0);
@@ -215,7 +244,7 @@ mod tests {
     #[test]
     fn empty_instance() {
         let g = GapInstance::new(0, 0, vec![]);
-        let x = mw_fractional(&g, &PackingConfig::default());
+        let x = mw_fractional(&g, &PackingConfig::default()).unwrap();
         assert_eq!(x.n_jobs(), 0);
     }
 
@@ -226,9 +255,46 @@ mod tests {
             vec![vec![1.0; 3], vec![1.0; 3], vec![1.0; 3]],
             vec![1.0, 1.0, 1.0],
         );
-        let x = mw_fractional(&g, &PackingConfig::default());
+        let x = mw_fractional(&g, &PackingConfig::default()).unwrap();
         for j in 0..3 {
             assert!((x.job_mass(j) - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn budget_exhaustion_carries_trailing_average() {
+        use epplan_solve::FailureKind;
+        let g = GapInstance::from_matrices(
+            vec![vec![0.1, 0.9], vec![0.8, 0.2]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![10.0, 10.0],
+        );
+        // Cap below burn-in: no trailing average, no partial.
+        let cfg = PackingConfig {
+            budget: SolveBudget::from_iteration_cap(3),
+            ..Default::default()
+        };
+        let err = mw_fractional(&g, &cfg).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+        assert!(err.partial.is_none());
+        // Cap past burn-in: the partial is a usable fractional solution.
+        let cfg = PackingConfig {
+            budget: SolveBudget::from_iteration_cap(25),
+            slack: 0.0, // defeat early exit so the cap trips
+            ..Default::default()
+        };
+        let err = mw_fractional(&g, &cfg).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+        let partial = err.partial.expect("averaged rounds exist past burn-in");
+        assert!(partial.check(&g, 1e-7).is_ok());
+    }
+
+    #[test]
+    fn poisoned_instance_is_bad_input() {
+        use epplan_solve::FailureKind;
+        let g = GapInstance::new(2, 2, vec![1.0]);
+        let err = mw_fractional(&g, &PackingConfig::default()).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BadInput);
+        assert_eq!(err.stage, "gap.packing");
     }
 }

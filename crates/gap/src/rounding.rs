@@ -18,21 +18,58 @@
 //! 4. assigning each job to its matched slot's machine yields cost at
 //!    most the fractional cost and machine load at most
 //!    `T_i + max_j p_{i,j}` (< 2·T_i after the `p ≤ T` preprocessing).
+//!
+//! If the matching layer nonetheless reports some job unplaceable
+//! (float drift can perturb the certificate), that job falls back to
+//! its highest-fraction machine rather than aborting; a job with no
+//! fractional mass anywhere simply stays unassigned and is reported via
+//! [`GapSolution::unassigned_jobs`].
 
 use crate::{FractionalSolution, GapInstance, GapSolution};
-use epplan_flow::min_cost_assignment;
+use epplan_flow::min_cost_assignment_with_budget;
+use epplan_solve::{FailureKind, SolveBudget, SolveError};
 
 const EPS: f64 = 1e-9;
 
-/// Rounds `frac` to an integral assignment. Jobs in
+/// Rounds `frac` to an integral assignment with no budget. Jobs in
 /// `frac.unassigned` stay unassigned; every other job is matched.
 ///
 /// Returns the integral solution with `fractional_cost` set to the
 /// cost of `frac` (the lower bound used in the paper's approximation
 /// analysis).
-pub fn round_shmoys_tardos(inst: &GapInstance, frac: &FractionalSolution) -> GapSolution {
+pub fn round_shmoys_tardos(
+    inst: &GapInstance,
+    frac: &FractionalSolution,
+) -> Result<GapSolution, SolveError<GapSolution>> {
+    round_shmoys_tardos_with_budget(inst, frac, SolveBudget::UNLIMITED)
+}
+
+/// [`round_shmoys_tardos`] under a [`SolveBudget`] spent one flow
+/// augmentation per iteration. A `BudgetExhausted` error carries the
+/// partially-matched integral solution as its partial artifact.
+pub fn round_shmoys_tardos_with_budget(
+    inst: &GapInstance,
+    frac: &FractionalSolution,
+    budget: SolveBudget,
+) -> Result<GapSolution, SolveError<GapSolution>> {
+    if let Some(defect) = inst.defect() {
+        return Err(SolveError::bad_input(
+            "gap.rounding",
+            format!("malformed GAP instance: {defect}"),
+        ));
+    }
     let m = inst.n_machines();
     let n = inst.n_jobs();
+    if frac.n_machines() != m || frac.n_jobs() != n {
+        return Err(SolveError::bad_input(
+            "gap.rounding",
+            format!(
+                "fractional solution is {} × {} but instance is {m} × {n}",
+                frac.n_machines(),
+                frac.n_jobs()
+            ),
+        ));
+    }
 
     // Jobs that carry fractional mass.
     let active: Vec<usize> = (0..n).filter(|&j| frac.job_mass(j) > 0.5).collect();
@@ -49,7 +86,7 @@ pub fn round_shmoys_tardos(inst: &GapInstance, frac: &FractionalSolution) -> Gap
         let mut jobs: Vec<(usize, f64)> = (0..n)
             .filter_map(|j| {
                 let v = frac.get(i, j);
-                (v > EPS).then_some((j, v))
+                (v > EPS && job_slot_index.contains_key(&j)).then_some((j, v))
             })
             .collect();
         if jobs.is_empty() {
@@ -90,31 +127,63 @@ pub fn round_shmoys_tardos(inst: &GapInstance, frac: &FractionalSolution) -> Gap
     }
 
     let caps = vec![1usize; slot_machine.len()];
-    let matching = min_cost_assignment(active.len(), slot_machine.len(), &edges, &caps);
+    let matching =
+        min_cost_assignment_with_budget(active.len(), slot_machine.len(), &edges, &caps, budget);
 
-    let mut assignment: Vec<Option<usize>> = vec![None; n];
-    match matching {
-        Some(a) => {
-            for (k, &slot) in a.left_to_right.iter().enumerate() {
+    // Each active job's highest-fraction machine, the fallback when the
+    // matching cannot place it. `None` only for a job with no mass
+    // anywhere — which `active` excludes, but stay defensive.
+    let fallback_machine = |j: usize| -> Option<usize> {
+        (0..m)
+            .filter(|&i| frac.get(i, j) > EPS)
+            .max_by(|&a, &b| frac.get(a, j).total_cmp(&frac.get(b, j)))
+    };
+
+    let place = |left_to_right: &[usize]| -> Vec<Option<usize>> {
+        let mut assignment: Vec<Option<usize>> = vec![None; n];
+        for (k, &slot) in left_to_right.iter().enumerate() {
+            if slot != usize::MAX {
                 assignment[active[k]] = Some(slot_machine[slot]);
             }
         }
-        None => {
-            // Should not happen (the fractional solution certifies a
-            // saturating fractional matching), but stay total: fall
-            // back to each active job's highest-fraction machine.
-            for &j in &active {
-                let best = (0..m)
-                    .max_by(|&a, &b| frac.get(a, j).total_cmp(&frac.get(b, j)))
-                    .expect("at least one machine");
-                assignment[j] = Some(best);
-            }
-        }
-    }
+        assignment
+    };
 
-    let mut sol = GapSolution::from_assignment(inst, assignment);
-    sol.fractional_cost = Some(frac.cost(inst));
-    sol
+    let finish = |assignment: Vec<Option<usize>>| {
+        let mut sol = GapSolution::from_assignment(inst, assignment);
+        sol.fractional_cost = Some(frac.cost(inst));
+        sol
+    };
+
+    match matching {
+        Ok(a) => Ok(finish(place(&a.left_to_right))),
+        Err(e) if e.kind == FailureKind::Infeasible => {
+            // Should not happen (the fractional solution certifies a
+            // saturating fractional matching), but degrade per job: keep
+            // what the partial matching placed and send each unplaced
+            // active job to its highest-fraction machine. Jobs with no
+            // fractional support stay unassigned and surface through
+            // `GapSolution::unassigned_jobs`.
+            let mut assignment = match e.partial {
+                Some(partial) => place(&partial.left_to_right),
+                None => vec![None; n],
+            };
+            for &j in &active {
+                if assignment[j].is_none() {
+                    assignment[j] = fallback_machine(j);
+                }
+            }
+            Ok(finish(assignment))
+        }
+        Err(e) if e.kind == FailureKind::BudgetExhausted => {
+            let partial_assignment = match e.partial {
+                Some(ref partial) => place(&partial.left_to_right),
+                None => vec![None; n],
+            };
+            Err(e.discard_partial().with_partial(finish(partial_assignment)))
+        }
+        Err(e) => Err(e.discard_partial()),
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +215,7 @@ mod tests {
             vec![2.0, 2.0],
         );
         let x = lp_relaxation(&g).unwrap();
-        let s = round_shmoys_tardos(&g, &x);
+        let s = round_shmoys_tardos(&g, &x).unwrap();
         assert!(s.is_complete());
         assert_eq!(s.assignment, vec![Some(0), Some(1)]);
         assert!((s.cost - 2.0).abs() < 1e-7);
@@ -168,7 +237,7 @@ mod tests {
             vec![3.0, 3.0, 3.0],
         );
         let x = lp_relaxation(&g).unwrap();
-        let s = round_shmoys_tardos(&g, &x);
+        let s = round_shmoys_tardos(&g, &x).unwrap();
         assert!(s.is_complete());
         // The ST theorem: integral cost ≤ fractional cost.
         assert!(
@@ -189,7 +258,7 @@ mod tests {
             vec![2.0, 2.0],
         );
         let x = lp_relaxation(&g).unwrap();
-        let s = round_shmoys_tardos(&g, &x);
+        let s = round_shmoys_tardos(&g, &x).unwrap();
         assert!(s.is_complete());
         assert!(st_load_ok(&g, &s));
     }
@@ -201,8 +270,8 @@ mod tests {
             vec![vec![1.0; 3], vec![1.0; 3], vec![1.0; 3]],
             vec![1.5, 1.5, 1.5],
         );
-        let x = mw_fractional(&g, &PackingConfig::default());
-        let s = round_shmoys_tardos(&g, &x);
+        let x = mw_fractional(&g, &PackingConfig::default()).unwrap();
+        let s = round_shmoys_tardos(&g, &x).unwrap();
         assert!(s.is_complete());
         assert!(st_load_ok(&g, &s));
     }
@@ -217,7 +286,7 @@ mod tests {
         g.forbid(0, 0);
         let x = lp_relaxation(&g).unwrap();
         assert_eq!(x.unassigned, vec![0]);
-        let s = round_shmoys_tardos(&g, &x);
+        let s = round_shmoys_tardos(&g, &x).unwrap();
         assert_eq!(s.assignment[0], None);
         assert_eq!(s.assignment[1], Some(0));
     }
@@ -226,8 +295,66 @@ mod tests {
     fn empty_instance() {
         let g = GapInstance::new(1, 0, vec![1.0]);
         let x = lp_relaxation(&g).unwrap();
-        let s = round_shmoys_tardos(&g, &x);
+        let s = round_shmoys_tardos(&g, &x).unwrap();
         assert!(s.assignment.is_empty());
         assert_eq!(s.cost, 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_bad_input() {
+        let g = GapInstance::new(2, 2, vec![1.0, 1.0]);
+        let x = FractionalSolution::zero(3, 2);
+        let err = round_shmoys_tardos(&g, &x).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BadInput);
+        assert_eq!(err.stage, "gap.rounding");
+    }
+
+    #[test]
+    fn poisoned_instance_is_bad_input() {
+        let g = GapInstance::new(2, 2, vec![-1.0, 1.0]);
+        let x = FractionalSolution::zero(2, 2);
+        let err = round_shmoys_tardos(&g, &x).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BadInput);
+    }
+
+    #[test]
+    fn budget_exhaustion_carries_partial_solution() {
+        let g = GapInstance::from_matrices(
+            vec![vec![0.2, 0.8, 0.4], vec![0.7, 0.1, 0.9]],
+            vec![vec![1.0; 3], vec![1.0; 3]],
+            vec![2.0, 2.0],
+        );
+        let x = lp_relaxation(&g).unwrap();
+        let err = round_shmoys_tardos_with_budget(&g, &x, SolveBudget::from_iteration_cap(1))
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+        let partial = err.partial.expect("partially-matched solution");
+        // At most one augmentation ran, so at most one job is placed —
+        // but the artifact is still a structurally valid GapSolution.
+        assert!(partial.assignment.iter().flatten().count() <= 1);
+        assert!(partial.fractional_cost.is_some());
+    }
+
+    #[test]
+    fn infeasible_matching_falls_back_per_job() {
+        // A doctored fractional solution (sub-unit masses, as a drifted
+        // MW average could produce): three active jobs with mass 0.6
+        // each on one machine yield total mass 1.8 → only 2 slots, so
+        // the saturating matching is infeasible. The rounder must not
+        // panic: the unmatched job falls back to its highest-fraction
+        // machine and every job ends up placed.
+        let g = GapInstance::from_matrices(
+            vec![vec![1.0, 1.0, 1.0]],
+            vec![vec![1.0, 1.0, 1.0]],
+            vec![5.0],
+        );
+        let mut x = FractionalSolution::zero(1, 3);
+        for j in 0..3 {
+            x.set(0, j, 0.6);
+        }
+        let s = round_shmoys_tardos(&g, &x).unwrap();
+        for j in 0..3 {
+            assert_eq!(s.assignment[j], Some(0), "job {j} dropped");
+        }
     }
 }

@@ -2,7 +2,13 @@
 //! greedy completion fallback.
 
 use crate::packing::{mw_fractional, PackingConfig};
-use crate::{greedy, lp_relaxation, round_shmoys_tardos, GapInstance, GapSolution};
+use crate::{
+    lp_relaxation_with_budget, round_shmoys_tardos_with_budget, GapInstance, GapSolution,
+};
+use epplan_solve::{BudgetGuard, FailureKind, SolveBudget, SolveError};
+
+/// Pipeline-stage label used in this solver's errors.
+const STAGE: &str = "gap.pipeline";
 
 /// How to obtain the fractional relaxation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +41,12 @@ pub struct GapConfig {
     /// matching near-linear on large MW solutions; see
     /// [`crate::FractionalSolution::prune_top_k`].
     pub rounding_top_k: usize,
+    /// Work allowance for the whole pipeline. The wall-clock portion is
+    /// shared across stages (each stage receives what the previous ones
+    /// left); iteration caps apply per stage in that stage's natural
+    /// unit. Combined with [`PackingConfig::budget`] by taking the
+    /// tighter limit.
+    pub budget: SolveBudget,
 }
 
 impl Default for GapConfig {
@@ -44,6 +56,7 @@ impl Default for GapConfig {
             auto_simplex_limit: 12_000,
             packing: PackingConfig::default(),
             rounding_top_k: 8,
+            budget: SolveBudget::UNLIMITED,
         }
     }
 }
@@ -64,72 +77,118 @@ impl GapSolver {
         GapSolver { config }
     }
 
-    /// Solves `inst`, always returning a (possibly partial) solution.
+    /// Solves `inst` within the configured budget.
+    ///
     /// `fractional_cost` is populated whenever a relaxation was solved,
     /// giving the lower bound used in approximation-ratio reporting.
-    pub fn solve(&self, inst: &GapInstance) -> GapSolution {
+    /// A fractionally infeasible (or numerically degenerate) instance
+    /// does not fail the pipeline: the solver falls back from the exact
+    /// LP to the multiplicative-weights relaxation, whose output the
+    /// rounding and completion passes can still turn into a best-effort
+    /// partial assignment — per-job infeasibility then surfaces through
+    /// [`GapSolution::unassigned_jobs`]. Typed failures are reserved
+    /// for a poisoned instance (`BadInput`) and an exhausted budget
+    /// (`BudgetExhausted`, carrying the best partial solution when one
+    /// exists).
+    pub fn solve(&self, inst: &GapInstance) -> Result<GapSolution, SolveError<GapSolution>> {
+        if let Some(defect) = inst.defect() {
+            return Err(SolveError::bad_input(
+                STAGE,
+                format!("malformed GAP instance: {defect}"),
+            ));
+        }
+        let guard = BudgetGuard::new(self.config.budget);
         let n_pairs = (0..inst.n_jobs())
             .map(|j| inst.allowed_machines(j).count())
             .sum::<usize>();
-        let method = match self.config.method {
-            FractionalMethod::Auto => {
-                if n_pairs <= self.config.auto_simplex_limit {
-                    FractionalMethod::Simplex
-                } else {
-                    FractionalMethod::MultiplicativeWeights
-                }
-            }
-            m => m,
+        let use_simplex = match self.config.method {
+            FractionalMethod::Auto => n_pairs <= self.config.auto_simplex_limit,
+            FractionalMethod::Simplex => true,
+            FractionalMethod::MultiplicativeWeights => false,
         };
 
-        let frac = match method {
-            FractionalMethod::Simplex => match lp_relaxation(inst) {
-                Ok(f) => Some(f),
-                // Fractionally infeasible (or pathological): fall back
-                // to the MW solver, which always produces a job-mass-1
-                // solution (possibly overloading machines) that the
-                // rounding and completion passes can still work with.
-                Err(_) => Some(mw_fractional(inst, &self.config.packing)),
-            },
-            FractionalMethod::MultiplicativeWeights => {
-                Some(mw_fractional(inst, &self.config.packing))
+        let frac = if use_simplex {
+            match lp_relaxation_with_budget(inst, guard.remaining_budget()) {
+                Ok(f) => f,
+                Err(e)
+                    if matches!(
+                        e.kind,
+                        FailureKind::Infeasible | FailureKind::NumericalInstability
+                    ) =>
+                {
+                    // Fractionally infeasible (or pathological): fall
+                    // back to the MW solver, which always produces a
+                    // job-mass-1 solution (possibly overloading
+                    // machines) that the rounding and completion passes
+                    // can still work with.
+                    self.mw_within(inst, guard.remaining_budget())?
+                }
+                Err(e) => return Err(e.discard_partial()),
             }
-            FractionalMethod::Auto => unreachable!("resolved above"),
+        } else {
+            self.mw_within(inst, guard.remaining_budget())?
         };
+        guard
+            .check_deadline(STAGE)
+            .map_err(SolveError::discard_partial)?;
 
-        let mut sol = match frac {
-            Some(mut f) => {
-                if self.config.rounding_top_k > 0 {
-                    f.prune_top_k(self.config.rounding_top_k);
-                }
-                round_shmoys_tardos(inst, &f)
+        let mut frac = frac;
+        if self.config.rounding_top_k > 0 {
+            frac.prune_top_k(self.config.rounding_top_k);
+        }
+        match round_shmoys_tardos_with_budget(inst, &frac, guard.remaining_budget()) {
+            Ok(mut sol) => {
+                complete_solution(inst, &mut sol);
+                Ok(sol)
             }
-            None => greedy::greedy_assign(inst),
-        };
-        enforce_st_load_bound(inst, &mut sol);
+            Err(mut e) if e.kind == FailureKind::BudgetExhausted => {
+                // The partially-matched solution is still worth
+                // repairing: it may be the best artifact the caller
+                // gets before degrading to a pure greedy plan.
+                if let Some(sol) = e.partial.as_mut() {
+                    complete_solution(inst, sol);
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
 
-        // Greedy completion for any leftover job, within the ST load
-        // slack (capacity + the job's own time), preferring cheap pairs.
-        let leftovers = sol.unassigned_jobs();
-        if !leftovers.is_empty() {
-            for j in leftovers {
-                let mut best: Option<(usize, f64)> = None;
-                for i in inst.allowed_machines(j) {
-                    let c = inst.cost(i, j);
-                    if sol.loads[i] + inst.time(i, j) <= inst.capacity(i) + 1e-9
-                        && best.is_none_or(|(_, bc)| c < bc)
-                    {
-                        best = Some((i, c));
-                    }
-                }
-                if let Some((i, c)) = best {
-                    sol.assignment[j] = Some(i);
-                    sol.loads[i] += inst.time(i, j);
-                    sol.cost += c;
-                }
+    /// Runs the MW fractional solver under the tighter of its own
+    /// configured budget and the pipeline's remaining allowance.
+    fn mw_within(
+        &self,
+        inst: &GapInstance,
+        remaining: SolveBudget,
+    ) -> Result<crate::FractionalSolution, SolveError<GapSolution>> {
+        let mut packing = self.config.packing.clone();
+        packing.budget = packing.budget.min(remaining);
+        mw_fractional(inst, &packing).map_err(SolveError::discard_partial)
+    }
+}
+
+/// Post-rounding repair: enforce the ST load bound, then greedily place
+/// leftover jobs within strict capacity.
+fn complete_solution(inst: &GapInstance, sol: &mut GapSolution) {
+    enforce_st_load_bound(inst, sol);
+    // Greedy completion for any leftover job, within the ST load
+    // slack (capacity + the job's own time), preferring cheap pairs.
+    let leftovers = sol.unassigned_jobs();
+    for j in leftovers {
+        let mut best: Option<(usize, f64)> = None;
+        for i in inst.allowed_machines(j) {
+            let c = inst.cost(i, j);
+            if sol.loads[i] + inst.time(i, j) <= inst.capacity(i) + 1e-9
+                && best.is_none_or(|(_, bc)| c < bc)
+            {
+                best = Some((i, c));
             }
         }
-        sol
+        if let Some((i, c)) = best {
+            sol.assignment[j] = Some(i);
+            sol.loads[i] += inst.time(i, j);
+            sol.cost += c;
+        }
     }
 }
 
@@ -152,9 +211,6 @@ fn enforce_st_load_bound(inst: &GapInstance, sol: &mut GapSolution) {
                 .filter(|&(_, &mi)| mi == Some(i))
                 .map(|(j, _)| j)
                 .collect();
-            if on_i.is_empty() {
-                break;
-            }
             let max_p = on_i
                 .iter()
                 .map(|&j| inst.time(i, j))
@@ -164,7 +220,9 @@ fn enforce_st_load_bound(inst: &GapInstance, sol: &mut GapSolution) {
             }
             // Evict the most expensive job on this machine.
             on_i.sort_by(|&a, &b| inst.cost(i, a).total_cmp(&inst.cost(i, b)));
-            let j = *on_i.last().expect("non-empty");
+            let Some(&j) = on_i.last() else {
+                break;
+            };
             sol.assignment[j] = None;
             sol.loads[i] -= inst.time(i, j);
             sol.cost -= inst.cost(i, j);
@@ -175,6 +233,7 @@ fn enforce_st_load_bound(inst: &GapInstance, sol: &mut GapSolution) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::greedy;
 
     fn random_instance(m: usize, n: usize, seed: u64, cap_scale: f64) -> GapInstance {
         use rand::{Rng, SeedableRng};
@@ -199,7 +258,8 @@ mod tests {
                 method: FractionalMethod::Simplex,
                 ..Default::default()
             })
-            .solve(&g);
+            .solve(&g)
+            .unwrap();
             let greedy_sol = greedy::greedy_assign(&g);
             if lp_sol.is_complete() && greedy_sol.is_complete() {
                 // LP + ST rounding is cost-optimal up to the fractional
@@ -222,7 +282,8 @@ mod tests {
                 method: FractionalMethod::Simplex,
                 ..Default::default()
             })
-            .solve(&g);
+            .solve(&g)
+            .unwrap();
             if let Some(fc) = sol.fractional_cost {
                 if sol.is_complete() {
                     assert!(sol.cost <= fc + 1e-6, "seed {seed}: {} > {fc}", sol.cost);
@@ -235,8 +296,8 @@ mod tests {
     fn exact_matches_pipeline_on_tiny_instances() {
         for seed in 20..30 {
             let g = random_instance(3, 6, seed, 5.0);
-            let exact = crate::exact::branch_and_bound(&g);
-            let sol = GapSolver::default().solve(&g);
+            let exact = crate::exact::branch_and_bound(&g).ok();
+            let sol = GapSolver::default().solve(&g).unwrap();
             if let Some(e) = exact {
                 assert!(sol.is_complete());
                 // ST rounding cost ≤ fractional ≤ exact optimum.
@@ -257,7 +318,7 @@ mod tests {
             auto_simplex_limit: 10, // force MW
             ..Default::default()
         });
-        let sol = solver.solve(&g);
+        let sol = solver.solve(&g).unwrap();
         assert!(sol.is_complete());
         assert!(sol.fractional_cost.is_some());
     }
@@ -269,12 +330,14 @@ mod tests {
             method: FractionalMethod::MultiplicativeWeights,
             ..Default::default()
         })
-        .solve(&g);
+        .solve(&g)
+        .unwrap();
         let lp = GapSolver::new(GapConfig {
             method: FractionalMethod::Simplex,
             ..Default::default()
         })
-        .solve(&g);
+        .solve(&g)
+        .unwrap();
         assert!(mw.is_complete());
         assert!(lp.is_complete());
         // MW is approximate; require it within a generous constant of LP.
@@ -290,8 +353,39 @@ mod tests {
             vec![vec![1.0; 6]],
             vec![2.0],
         );
-        let sol = GapSolver::default().solve(&g);
+        let sol = GapSolver::default().solve(&g).unwrap();
         assert!(!sol.is_complete());
         assert!(sol.loads[0] <= 2.0 + 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn poisoned_instance_is_bad_input() {
+        let g = GapInstance::new(3, 2, vec![1.0]);
+        let err = GapSolver::default().solve(&g).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BadInput);
+        assert_eq!(err.stage, STAGE);
+    }
+
+    #[test]
+    fn exhausted_time_budget_is_typed() {
+        let g = random_instance(6, 18, 3, 4.0);
+        let solver = GapSolver::new(GapConfig {
+            budget: SolveBudget::from_time_limit(std::time::Duration::ZERO),
+            ..Default::default()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let err = solver.solve(&g).unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+    }
+
+    #[test]
+    fn generous_budget_solves_normally() {
+        let g = random_instance(4, 8, 11, 3.0);
+        let solver = GapSolver::new(GapConfig {
+            budget: SolveBudget::from_time_limit(std::time::Duration::from_secs(30)),
+            ..Default::default()
+        });
+        let sol = solver.solve(&g).unwrap();
+        assert!(sol.is_complete());
     }
 }

@@ -56,8 +56,8 @@ proptest! {
             method: FractionalMethod::Simplex,
             ..Default::default()
         });
-        let sol = solver.solve(&inst);
-        let opt = exact::branch_and_bound(&inst);
+        let sol = solver.solve(&inst).unwrap();
+        let opt = exact::branch_and_bound(&inst).ok();
 
         prop_assert!(st_load_ok(&inst, &sol));
 
@@ -93,7 +93,7 @@ proptest! {
             method: FractionalMethod::MultiplicativeWeights,
             ..Default::default()
         });
-        let sol = solver.solve(&inst);
+        let sol = solver.solve(&inst).unwrap();
         prop_assert!(st_load_ok(&inst, &sol));
         for (j, &mi) in sol.assignment.iter().enumerate() {
             if let Some(i) = mi {

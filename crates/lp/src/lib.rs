@@ -9,16 +9,24 @@
 //!
 //! * [`Problem`] — a builder for `min cᵀx  s.t.  Ax {≤,=,≥} b,  x ≥ 0`
 //!   (maximization is handled by negating the objective);
-//! * [`solve`] / [`Problem::solve`] — two-phase simplex with Dantzig
-//!   pricing and an automatic switch to Bland's rule when degeneracy
-//!   threatens cycling;
-//! * [`Solution`] with [`Status`] `Optimal` / `Infeasible` / `Unbounded`.
+//! * [`solve`] / [`solve_with_budget`] / [`Problem::solve`] — two-phase
+//!   simplex with Dantzig pricing and an automatic switch to Bland's
+//!   rule when degeneracy threatens cycling;
+//! * the fallible contract of `epplan-solve`: a run returns
+//!   `Result<Solution, SolveError<Solution>>` — infeasibility,
+//!   non-finite inputs, unbounded objectives and exhausted
+//!   [`epplan_solve::SolveBudget`]s are all typed errors, and a
+//!   budget-exhausted phase-2 run attaches the best feasible point as
+//!   the error's partial artifact.
 //!
 //! The dense tableau is appropriate for the small-to-medium instances
 //! the exact GAP pipeline is used on; the large instances in the paper's
 //! scalability sweeps go through the multiplicative-weights fractional
 //! solver in `epplan-gap` instead, exactly as the paper prescribes.
 
+
+// Solver code must degrade with typed errors, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -26,4 +34,4 @@ mod problem;
 mod simplex;
 
 pub use problem::{Problem, Relation};
-pub use simplex::{solve, Solution, Status};
+pub use simplex::{solve, solve_with_budget, Solution};

@@ -26,14 +26,13 @@ pub(crate) struct Row {
 ///
 /// # Example
 /// ```
-/// use epplan_lp::{Problem, Relation, Status};
+/// use epplan_lp::{Problem, Relation};
 /// // max x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6
 /// let mut p = Problem::maximize(2);
 /// p.set_objective(&[(0, 1.0), (1, 1.0)]);
 /// p.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Le, 4.0);
 /// p.add_constraint(&[(0, 3.0), (1, 1.0)], Relation::Le, 6.0);
-/// let s = p.solve();
-/// assert_eq!(s.status, Status::Optimal);
+/// let s = p.solve().expect("bounded and feasible");
 /// assert!((s.objective - 2.8).abs() < 1e-7); // x = 1.6, y = 1.2
 /// ```
 #[derive(Debug, Clone)]
@@ -42,6 +41,10 @@ pub struct Problem {
     pub(crate) objective: Vec<f64>,
     pub(crate) rows: Vec<Row>,
     pub(crate) maximize: bool,
+    /// First builder misuse observed (out-of-range variable index).
+    /// A poisoned problem fails at solve time with `BadInput` instead
+    /// of panicking at build time.
+    pub(crate) defect: Option<String>,
 }
 
 impl Problem {
@@ -52,6 +55,7 @@ impl Problem {
             objective: vec![0.0; n_vars],
             rows: Vec::new(),
             maximize: false,
+            defect: None,
         }
     }
 
@@ -73,27 +77,49 @@ impl Problem {
         self.rows.len()
     }
 
+    /// Records the first builder misuse; later ones are dropped.
+    fn poison(&mut self, message: String) {
+        self.defect.get_or_insert(message);
+    }
+
+    /// The first builder misuse, if any. A poisoned problem fails at
+    /// solve time with a `BadInput` error.
+    pub fn defect(&self) -> Option<&str> {
+        self.defect.as_deref()
+    }
+
     /// Sets the objective coefficients from sparse `(var, coeff)` pairs.
     /// Unmentioned variables keep coefficient zero; duplicate mentions
-    /// accumulate.
+    /// accumulate. An out-of-range index poisons the problem (see
+    /// [`Problem::defect`]) instead of panicking.
     pub fn set_objective(&mut self, coeffs: &[(usize, f64)]) {
         self.objective.iter_mut().for_each(|c| *c = 0.0);
         for &(j, v) in coeffs {
-            assert!(j < self.n_vars, "objective var {j} out of range");
+            if j >= self.n_vars {
+                self.poison(format!("objective var {j} out of range ({})", self.n_vars));
+                continue;
+            }
             self.objective[j] += v;
         }
     }
 
-    /// Sets a single objective coefficient.
+    /// Sets a single objective coefficient. An out-of-range index
+    /// poisons the problem instead of panicking.
     pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) {
-        assert!(var < self.n_vars, "objective var {var} out of range");
+        if var >= self.n_vars {
+            self.poison(format!("objective var {var} out of range ({})", self.n_vars));
+            return;
+        }
         self.objective[var] = coeff;
     }
 
-    /// Adds the constraint `Σ coeffs · x  relation  rhs`.
+    /// Adds the constraint `Σ coeffs · x  relation  rhs`. An
+    /// out-of-range index poisons the problem instead of panicking;
+    /// the offending row is dropped.
     pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], relation: Relation, rhs: f64) {
-        for &(j, _) in coeffs {
-            assert!(j < self.n_vars, "constraint var {j} out of range");
+        if let Some(&(j, _)) = coeffs.iter().find(|&&(j, _)| j >= self.n_vars) {
+            self.poison(format!("constraint var {j} out of range ({})", self.n_vars));
+            return;
         }
         self.rows.push(Row {
             coeffs: coeffs.to_vec(),
@@ -107,9 +133,19 @@ impl Problem {
         self.add_constraint(&[(var, 1.0)], Relation::Le, bound);
     }
 
-    /// Solves the program with the two-phase simplex method.
-    pub fn solve(&self) -> crate::Solution {
+    /// Solves the program with the two-phase simplex method and no
+    /// caller budget. See [`crate::solve_with_budget`] for the error
+    /// contract.
+    pub fn solve(&self) -> Result<crate::Solution, epplan_solve::SolveError<crate::Solution>> {
         crate::solve(self)
+    }
+
+    /// Solves the program under `budget`; see [`crate::solve_with_budget`].
+    pub fn solve_with_budget(
+        &self,
+        budget: epplan_solve::SolveBudget,
+    ) -> Result<crate::Solution, epplan_solve::SolveError<crate::Solution>> {
+        crate::solve_with_budget(self, budget)
     }
 
     /// Evaluates the objective (in the original sense) at `x`.
@@ -149,17 +185,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn objective_var_out_of_range_panics() {
+    fn objective_var_out_of_range_poisons() {
         let mut p = Problem::minimize(1);
         p.set_objective(&[(1, 1.0)]);
+        assert!(p.defect().is_some_and(|d| d.contains("out of range")));
+        let err = p.solve().unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::BadInput);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn constraint_var_out_of_range_panics() {
+    fn constraint_var_out_of_range_poisons() {
         let mut p = Problem::minimize(1);
         p.add_constraint(&[(3, 1.0)], Relation::Le, 1.0);
+        assert!(p.defect().is_some_and(|d| d.contains("out of range")));
+        assert_eq!(p.n_rows(), 0);
+        let err = p.solve().unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::BadInput);
+        // set_objective_coeff poisons the same way.
+        let mut p = Problem::minimize(1);
+        p.set_objective_coeff(9, 1.0);
+        assert!(p.defect().is_some());
     }
 
     #[test]

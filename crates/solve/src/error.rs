@@ -1,0 +1,158 @@
+//! The structured error half of the solver vocabulary.
+
+/// Why a solve failed (the failure half of the status hierarchy;
+/// successes are [`crate::SolveStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The input violates the solver's contract (NaN weights, shape
+    /// mismatches, out-of-range ids). Retrying cannot help.
+    BadInput,
+    /// The constraints admit no solution (or none for a specific
+    /// item). Retrying cannot help.
+    Infeasible,
+    /// The [`crate::SolveBudget`] ran out before completion. Retrying
+    /// with a larger budget may help; the error usually carries the
+    /// best partial artifact.
+    BudgetExhausted,
+    /// A numerical guard tripped (cycling, unbounded objective, NaN in
+    /// the tableau). The instance is probably degenerate; a fallback
+    /// solver is the right response.
+    NumericalInstability,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::BadInput => f.write_str("bad input"),
+            FailureKind::Infeasible => f.write_str("infeasible"),
+            FailureKind::BudgetExhausted => f.write_str("budget exhausted"),
+            FailureKind::NumericalInstability => f.write_str("numerical instability"),
+        }
+    }
+}
+
+/// A structured solver failure: what went wrong, where, and — when one
+/// exists — the best partial artifact produced before the failure.
+///
+/// `P` is the solver's artifact type (an LP solution, a `GapSolution`,
+/// a GEPC `Solution`, …). Solvers without a meaningful partial use the
+/// default `P = ()`.
+#[derive(Debug, Clone)]
+pub struct SolveError<P = ()> {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Which pipeline stage failed, e.g. `"lp.simplex"`,
+    /// `"gap.rounding"`, `"core.gap_based"`.
+    pub stage: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Best artifact available when the failure occurred, if any.
+    pub partial: Option<P>,
+}
+
+impl<P> SolveError<P> {
+    pub fn new(kind: FailureKind, stage: &'static str, message: impl Into<String>) -> Self {
+        SolveError {
+            kind,
+            stage,
+            message: message.into(),
+            partial: None,
+        }
+    }
+
+    pub fn bad_input(stage: &'static str, message: impl Into<String>) -> Self {
+        Self::new(FailureKind::BadInput, stage, message)
+    }
+
+    pub fn infeasible(stage: &'static str, message: impl Into<String>) -> Self {
+        Self::new(FailureKind::Infeasible, stage, message)
+    }
+
+    pub fn budget_exhausted(stage: &'static str, message: impl Into<String>) -> Self {
+        Self::new(FailureKind::BudgetExhausted, stage, message)
+    }
+
+    pub fn numerical(stage: &'static str, message: impl Into<String>) -> Self {
+        Self::new(FailureKind::NumericalInstability, stage, message)
+    }
+
+    /// Attaches the best partial artifact.
+    pub fn with_partial(mut self, partial: P) -> Self {
+        self.partial = Some(partial);
+        self
+    }
+
+    /// Converts the partial artifact, preserving everything else.
+    /// Lets an outer pipeline stage re-wrap an inner stage's error
+    /// into its own artifact type.
+    pub fn map_partial<Q>(self, f: impl FnOnce(P) -> Q) -> SolveError<Q> {
+        SolveError {
+            kind: self.kind,
+            stage: self.stage,
+            message: self.message,
+            partial: self.partial.map(f),
+        }
+    }
+
+    /// Drops the partial artifact (for crossing artifact-type
+    /// boundaries where it is not convertible).
+    pub fn discard_partial<Q>(self) -> SolveError<Q> {
+        SolveError {
+            kind: self.kind,
+            stage: self.stage,
+            message: self.message,
+            partial: None,
+        }
+    }
+
+    /// `true` when a retry with a bigger budget could succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.kind, FailureKind::BudgetExhausted)
+    }
+}
+
+impl<P> std::fmt::Display for SolveError<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.stage, self.message)?;
+        if self.partial.is_some() {
+            f.write_str(" (partial result available)")?;
+        }
+        Ok(())
+    }
+}
+
+impl<P: std::fmt::Debug> std::error::Error for SolveError<P> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_stage_and_partial() {
+        let e: SolveError<u32> = SolveError::budget_exhausted("lp.simplex", "2000 pivots");
+        let s = e.to_string();
+        assert!(s.contains("budget exhausted"), "{s}");
+        assert!(s.contains("lp.simplex"), "{s}");
+        assert!(!s.contains("partial"), "{s}");
+        let s = e.with_partial(7).to_string();
+        assert!(s.contains("partial result available"), "{s}");
+    }
+
+    #[test]
+    fn map_and_discard_partial() {
+        let e: SolveError<u32> = SolveError::infeasible("flow.matching", "job 3").with_partial(6);
+        let mapped = e.clone().map_partial(|v| v * 2);
+        assert_eq!(mapped.partial, Some(12));
+        assert_eq!(mapped.kind, FailureKind::Infeasible);
+        let dropped: SolveError<String> = e.discard_partial();
+        assert!(dropped.partial.is_none());
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(SolveError::<()>::budget_exhausted("s", "m").is_retryable());
+        assert!(!SolveError::<()>::bad_input("s", "m").is_retryable());
+        assert!(!SolveError::<()>::infeasible("s", "m").is_retryable());
+        assert!(!SolveError::<()>::numerical("s", "m").is_retryable());
+    }
+}

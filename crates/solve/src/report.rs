@@ -1,0 +1,164 @@
+//! Degradation-chain reporting: what a facade tried, in order, and
+//! how each attempt ended.
+
+use std::time::Duration;
+
+use crate::{FailureKind, SolveStatus};
+
+/// How one solver attempt in a degradation chain ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// The attempt produced the artifact the caller received.
+    Succeeded(SolveStatus),
+    /// The attempt failed and the chain moved on to a fallback.
+    Failed {
+        kind: FailureKind,
+        message: String,
+    },
+}
+
+/// One entry of a [`SolveReport`] chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttempt {
+    /// Solver identifier, e.g. `"gap_based"`, `"greedy"`,
+    /// `"best_effort"`.
+    pub solver: &'static str,
+    /// How it ended.
+    pub outcome: AttemptOutcome,
+    /// Wall-clock time the attempt took.
+    pub elapsed: Duration,
+}
+
+/// Record of a facade's degradation chain: every solver attempted, in
+/// order, ending with the one whose artifact was returned. Travels
+/// alongside the solution so callers can tell an optimal answer from
+/// a validated best-effort fallback without re-deriving why.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveReport {
+    /// Attempts in execution order; the last one succeeded (when the
+    /// overall solve succeeded).
+    pub attempts: Vec<SolveAttempt>,
+}
+
+impl SolveReport {
+    pub fn new() -> Self {
+        SolveReport::default()
+    }
+
+    /// A single-attempt report for solvers that never degrade.
+    pub fn single(solver: &'static str, status: SolveStatus) -> Self {
+        let mut r = SolveReport::new();
+        r.record_success(solver, status, Duration::ZERO);
+        r
+    }
+
+    /// Appends a failed attempt.
+    pub fn record_failure(
+        &mut self,
+        solver: &'static str,
+        kind: FailureKind,
+        message: impl Into<String>,
+        elapsed: Duration,
+    ) {
+        self.attempts.push(SolveAttempt {
+            solver,
+            outcome: AttemptOutcome::Failed {
+                kind,
+                message: message.into(),
+            },
+            elapsed,
+        });
+    }
+
+    /// Appends the successful attempt (normally the last call made).
+    pub fn record_success(
+        &mut self,
+        solver: &'static str,
+        status: SolveStatus,
+        elapsed: Duration,
+    ) {
+        self.attempts.push(SolveAttempt {
+            solver,
+            outcome: AttemptOutcome::Succeeded(status),
+            elapsed,
+        });
+    }
+
+    /// Status of the final (successful) attempt, if any.
+    pub fn final_status(&self) -> Option<SolveStatus> {
+        self.attempts.iter().rev().find_map(|a| match a.outcome {
+            AttemptOutcome::Succeeded(s) => Some(s),
+            AttemptOutcome::Failed { .. } => None,
+        })
+    }
+
+    /// `true` when a fallback (anything beyond the first attempt) ran.
+    pub fn degraded(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// Name of the solver whose artifact was returned, if any
+    /// succeeded.
+    pub fn winner(&self) -> Option<&'static str> {
+        self.attempts.iter().rev().find_map(|a| match a.outcome {
+            AttemptOutcome::Succeeded(_) => Some(a.solver),
+            AttemptOutcome::Failed { .. } => None,
+        })
+    }
+}
+
+impl std::fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.attempts.is_empty() {
+            return f.write_str("(no attempts)");
+        }
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            match &a.outcome {
+                AttemptOutcome::Succeeded(s) => write!(f, "{} ({s})", a.solver)?,
+                AttemptOutcome::Failed { kind, .. } => write!(f, "{} ({kind})", a.solver)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_accumulates_and_reports_winner() {
+        let mut r = SolveReport::new();
+        r.record_failure(
+            "gap_based",
+            FailureKind::BudgetExhausted,
+            "deadline",
+            Duration::from_millis(1),
+        );
+        r.record_success("greedy", SolveStatus::BestEffort, Duration::from_millis(2));
+        assert!(r.degraded());
+        assert_eq!(r.winner(), Some("greedy"));
+        assert_eq!(r.final_status(), Some(SolveStatus::BestEffort));
+        let s = r.to_string();
+        assert!(s.contains("gap_based (budget exhausted) -> greedy (best-effort)"), "{s}");
+    }
+
+    #[test]
+    fn single_attempt_is_not_degraded() {
+        let r = SolveReport::single("greedy", SolveStatus::Optimal);
+        assert!(!r.degraded());
+        assert_eq!(r.winner(), Some("greedy"));
+        assert_eq!(r.final_status(), Some(SolveStatus::Optimal));
+    }
+
+    #[test]
+    fn empty_report_displays_gracefully() {
+        let r = SolveReport::new();
+        assert_eq!(r.to_string(), "(no attempts)");
+        assert_eq!(r.final_status(), None);
+        assert_eq!(r.winner(), None);
+    }
+}

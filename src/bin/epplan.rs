@@ -4,7 +4,8 @@
 //! epplan generate --users 500 --events 50 [--seed 42] --out instance.json
 //! epplan generate --city vancouver --out instance.json
 //! epplan solve --instance instance.json [--solver greedy|gap|exact]
-//!              [--seed 7] [--out plan.json]
+//!              [--seed 7] [--time-limit-ms 500] [--max-iters 10000]
+//!              [--out plan.json]
 //! epplan validate --instance instance.json --plan plan.json
 //! epplan apply --instance instance.json --plan plan.json --ops ops.json
 //!              [--out-instance i2.json] [--out-plan p2.json]
@@ -18,26 +19,107 @@
 //! [{"op": "eta_decrease", "event": 3, "new_upper": 1},
 //!  {"op": "budget_change", "user": 7, "new_budget": 12.5}]
 //! ```
+//!
+//! # Exit codes
+//!
+//! Failures are classified, each with a distinct non-zero exit code and
+//! a machine-readable JSON error object on stderr (last stderr line):
+//!
+//! | code | class              | meaning                                    |
+//! |------|--------------------|--------------------------------------------|
+//! | 1    | `internal`         | unexpected internal failure                |
+//! | 2    | `usage`            | bad flags / unknown subcommand             |
+//! | 3    | `io`               | file unreadable or unwritable              |
+//! | 4    | `parse`            | malformed JSON in an input file            |
+//! | 5    | `invalid-instance` | instance fails strict model validation     |
+//! | 6    | `infeasible`       | plan violates hard constraints / no plan   |
+//! | 7    | `budget-exhausted` | solve budget ran out (partial plan saved)  |
 
 use epplan::core::incremental::{AtomicOp, IncrementalPlanner};
 use epplan::core::plan::Plan;
+use epplan::core::solver::{FailureKind, SolveBudget};
 use epplan::datagen::{generate, City, GeneratorConfig};
 use epplan::prelude::*;
+use serde::Serialize;
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::exit;
+use std::time::Duration;
 
-fn fail(msg: &str) -> ! {
+/// Failure classes, each mapping to a stable exit code.
+#[derive(Debug, Clone, Copy)]
+enum FailClass {
+    Internal,
+    Usage,
+    Io,
+    Parse,
+    InvalidInstance,
+    Infeasible,
+    BudgetExhausted,
+}
+
+impl FailClass {
+    fn exit_code(self) -> i32 {
+        match self {
+            FailClass::Internal => 1,
+            FailClass::Usage => 2,
+            FailClass::Io => 3,
+            FailClass::Parse => 4,
+            FailClass::InvalidInstance => 5,
+            FailClass::Infeasible => 6,
+            FailClass::BudgetExhausted => 7,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FailClass::Internal => "internal",
+            FailClass::Usage => "usage",
+            FailClass::Io => "io",
+            FailClass::Parse => "parse",
+            FailClass::InvalidInstance => "invalid-instance",
+            FailClass::Infeasible => "infeasible",
+            FailClass::BudgetExhausted => "budget-exhausted",
+        }
+    }
+
+    fn for_failure_kind(kind: FailureKind) -> FailClass {
+        match kind {
+            FailureKind::BadInput => FailClass::InvalidInstance,
+            FailureKind::Infeasible => FailClass::Infeasible,
+            FailureKind::BudgetExhausted => FailClass::BudgetExhausted,
+            FailureKind::NumericalInstability => FailClass::Internal,
+        }
+    }
+}
+
+/// The machine-readable error object printed as the last stderr line.
+#[derive(Serialize)]
+struct ErrorObject {
+    class: String,
+    exit_code: i32,
+    message: String,
+}
+
+fn fail(class: FailClass, msg: &str) -> ! {
     eprintln!("error: {msg}");
-    exit(1)
+    let obj = ErrorObject {
+        class: class.name().to_string(),
+        exit_code: class.exit_code(),
+        message: msg.to_string(),
+    };
+    if let Ok(json) = serde_json::to_string(&obj) {
+        eprintln!("{json}");
+    }
+    exit(class.exit_code())
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: epplan <generate|solve|validate|apply|example> [flags]\n\
-         run with a subcommand; see crate docs for the flag list"
-    );
-    exit(2)
+    fail(
+        FailClass::Usage,
+        "usage: epplan <generate|solve|validate|apply|example> [flags]; \
+         run with a subcommand; see crate docs for the flag list",
+    )
 }
 
 /// Parses `--flag value` pairs after the subcommand.
@@ -46,10 +128,10 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut it = args.iter();
     while let Some(k) = it.next() {
         let Some(name) = k.strip_prefix("--") else {
-            fail(&format!("unexpected argument {k}"));
+            fail(FailClass::Usage, &format!("unexpected argument {k}"));
         };
         let Some(v) = it.next() else {
-            fail(&format!("flag --{name} needs a value"));
+            fail(FailClass::Usage, &format!("flag --{name} needs a value"));
         };
         flags.insert(name.to_string(), v.clone());
     }
@@ -59,25 +141,49 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn load_instance(flags: &HashMap<String, String>) -> Instance {
     let path = flags
         .get("instance")
-        .unwrap_or_else(|| fail("--instance <file> is required"));
-    epplan::datagen::load_instance(Path::new(path))
-        .unwrap_or_else(|e| fail(&format!("cannot load instance {path}: {e}")))
+        .unwrap_or_else(|| fail(FailClass::Usage, "--instance <file> is required"));
+    let instance = epplan::datagen::load_instance(Path::new(path)).unwrap_or_else(|e| {
+        let class = if e.kind() == std::io::ErrorKind::InvalidData {
+            FailClass::Parse
+        } else {
+            FailClass::Io
+        };
+        fail(class, &format!("cannot parse or read instance {path}: {e}"))
+    });
+    // Deserialization bypasses every constructor check; reject broken
+    // instances (NaN utilities, inverted windows, η < ξ, …) up front.
+    if let Err(e) = instance.validate_strict() {
+        fail(
+            FailClass::InvalidInstance,
+            &format!("invalid instance {path}: {e}"),
+        );
+    }
+    instance
 }
 
 fn load_plan(flags: &HashMap<String, String>) -> Plan {
     let path = flags
         .get("plan")
-        .unwrap_or_else(|| fail("--plan <file> is required"));
+        .unwrap_or_else(|| fail(FailClass::Usage, "--plan <file> is required"));
     let data = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read plan {path}: {e}")));
+        .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot read plan {path}: {e}")));
     serde_json::from_str(&data)
-        .unwrap_or_else(|e| fail(&format!("cannot parse plan {path}: {e}")))
+        .unwrap_or_else(|e| fail(FailClass::Parse, &format!("cannot parse plan {path}: {e}")))
+}
+
+fn to_json<T: serde::Serialize>(value: &T, pretty: bool) -> String {
+    let res = if pretty {
+        serde_json::to_string_pretty(value)
+    } else {
+        serde_json::to_string(value)
+    };
+    res.unwrap_or_else(|e| fail(FailClass::Internal, &format!("cannot serialize output: {e}")))
 }
 
 fn write_json<T: serde::Serialize>(value: &T, path: &str) {
-    let json = serde_json::to_string_pretty(value).expect("serializable");
+    let json = to_json(value, true);
     std::fs::write(path, json)
-        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot write {path}: {e}")));
     println!("wrote {path}");
 }
 
@@ -108,14 +214,17 @@ fn cmd_generate(flags: HashMap<String, String>) {
             "vancouver" => City::Vancouver,
             "auckland" => City::Auckland,
             "singapore" => City::Singapore,
-            other => fail(&format!("unknown city {other}")),
+            other => fail(FailClass::Usage, &format!("unknown city {other}")),
         };
         city.instance()
     } else {
         let get = |k: &str, d: usize| -> usize {
             flags
                 .get(k)
-                .map(|v| v.parse().unwrap_or_else(|_| fail(&format!("bad --{k}"))))
+                .map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| fail(FailClass::Usage, &format!("bad --{k}")))
+                })
                 .unwrap_or(d)
         };
         let cfg = GeneratorConfig {
@@ -134,33 +243,81 @@ fn cmd_generate(flags: HashMap<String, String>) {
     match flags.get("out") {
         Some(path) => {
             epplan::datagen::save_instance(&instance, Path::new(path))
-                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot write {path}: {e}")));
             println!("wrote {path}");
         }
-        None => println!("{}", serde_json::to_string(&instance).expect("serializable")),
+        None => println!("{}", to_json(&instance, false)),
     }
+}
+
+/// Reads the optional `--time-limit-ms` / `--max-iters` flags into a
+/// [`SolveBudget`]. Both absent means unlimited.
+fn parse_budget(flags: &HashMap<String, String>) -> SolveBudget {
+    let mut budget = SolveBudget::UNLIMITED;
+    if let Some(v) = flags.get("time-limit-ms") {
+        let ms: u64 = v
+            .parse()
+            .unwrap_or_else(|_| fail(FailClass::Usage, "bad --time-limit-ms"));
+        budget = budget.with_time_limit(Duration::from_millis(ms));
+    }
+    if let Some(v) = flags.get("max-iters") {
+        let n: u64 = v
+            .parse()
+            .unwrap_or_else(|_| fail(FailClass::Usage, "bad --max-iters"));
+        budget = budget.with_iteration_cap(n);
+    }
+    budget
 }
 
 fn cmd_solve(flags: HashMap<String, String>) {
     let instance = load_instance(&flags);
     let seed: u64 = flags
         .get("seed")
-        .map(|v| v.parse().unwrap_or_else(|_| fail("bad --seed")))
+        .map(|v| v.parse().unwrap_or_else(|_| fail(FailClass::Usage, "bad --seed")))
         .unwrap_or(0);
     let solver: Box<dyn GepcSolver> =
         match flags.get("solver").map(String::as_str).unwrap_or("greedy") {
             "greedy" => Box::new(GreedySolver::seeded(seed)),
             "gap" => Box::new(GapBasedSolver::default()),
             "exact" => Box::new(ExactSolver::default()),
-            other => fail(&format!("unknown solver {other} (greedy|gap|exact)")),
+            other => fail(
+                FailClass::Usage,
+                &format!("unknown solver {other} (greedy|gap|exact)"),
+            ),
         };
+    let budget = parse_budget(&flags);
     let start = std::time::Instant::now();
-    let solution = solver.solve(&instance);
+    let solution = match solver.try_solve(&instance, budget) {
+        Ok(solution) => solution,
+        Err(e) => {
+            let class = FailClass::for_failure_kind(e.kind);
+            let Some(partial) = e.partial else {
+                fail(class, &format!("solve failed at {}: {}", e.stage, e.message));
+            };
+            // A degraded (but hard-feasible) plan exists: report it,
+            // persist it when asked, then exit with the typed code so
+            // scripts can tell degraded runs from clean ones.
+            eprintln!(
+                "warning: solve failed at {} ({}); falling back to {}",
+                e.stage,
+                e.message,
+                partial.report
+            );
+            summarize(&instance, &partial.plan);
+            if let Some(path) = flags.get("out") {
+                write_json(&partial.plan, path);
+            }
+            fail(class, &format!("solve failed at {}: {}", e.stage, e.message));
+        }
+    };
     println!(
         "solved with {} in {:.3}s",
         solver.name(),
         start.elapsed().as_secs_f64()
     );
+    if !solution.report.attempts.is_empty() {
+        println!("solve chain    : {}", solution.report);
+    }
     summarize(&instance, &solution.plan);
     if flags.contains_key("stats") {
         println!("\n{}", epplan::core::plan::PlanStatistics::of(&instance, &solution.plan));
@@ -182,7 +339,10 @@ fn cmd_validate(flags: HashMap<String, String>) {
         println!("  {violation:?}");
     }
     if !v.hard_ok() {
-        exit(1);
+        fail(
+            FailClass::Infeasible,
+            &format!("plan violates {} hard constraint(s)", v.violations.len()),
+        );
     }
 }
 
@@ -191,13 +351,19 @@ fn cmd_apply(flags: HashMap<String, String>) {
     let plan = load_plan(&flags);
     let ops_path = flags
         .get("ops")
-        .unwrap_or_else(|| fail("--ops <file> is required"));
+        .unwrap_or_else(|| fail(FailClass::Usage, "--ops <file> is required"));
     let data = std::fs::read_to_string(ops_path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {ops_path}: {e}")));
+        .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot read {ops_path}: {e}")));
     let ops: Vec<AtomicOp> = serde_json::from_str(&data)
-        .unwrap_or_else(|e| fail(&format!("cannot parse {ops_path}: {e}")));
+        .unwrap_or_else(|e| fail(FailClass::Parse, &format!("cannot parse {ops_path}: {e}")));
     println!("applying {} atomic operation(s)", ops.len());
-    let outcome = IncrementalPlanner.apply_batch(&instance, &plan, &ops);
+    let outcome = match IncrementalPlanner.try_apply_batch(&instance, &plan, &ops) {
+        Ok(outcome) => outcome,
+        Err(e) => fail(
+            FailClass::InvalidInstance,
+            &format!("cannot apply operation stream: {}", e.message),
+        ),
+    };
     println!("step difs      : {:?}", outcome.step_difs);
     println!("net dif        : {}", outcome.net_dif);
     summarize(&outcome.instance, &outcome.plan);
@@ -216,7 +382,7 @@ fn cmd_example(flags: HashMap<String, String>) {
     summarize(&instance, &solution.plan);
     if let Some(path) = flags.get("out") {
         epplan::datagen::save_instance(&instance, Path::new(path))
-            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot write {path}: {e}")));
         println!("wrote {path}");
     }
 }

@@ -110,10 +110,174 @@ fn example_subcommand() {
     assert!(stdout.contains("utility        : 6.300"), "{stdout}");
 }
 
+/// Extracts the machine-readable JSON error object from the last
+/// stderr line that looks like one, returning `(class, message_line)`.
+fn parse_error_object(stderr: &[u8]) -> (String, String) {
+    let text = String::from_utf8_lossy(stderr);
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{') && l.contains("\"class\""))
+        .unwrap_or_else(|| panic!("no JSON error line in stderr: {text}"));
+    let start = line
+        .find("\"class\":\"")
+        .map(|i| i + "\"class\":\"".len())
+        .unwrap_or_else(|| panic!("no class field: {line}"));
+    let len = line[start..].find('"').expect("closing quote");
+    (line[start..start + len].to_string(), line.to_string())
+}
+
 #[test]
 fn unknown_subcommand_fails() {
     let out = bin().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
+}
+
+#[test]
+fn usage_errors_exit_2_with_json_object() {
+    let out = bin().arg("solve").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let (class, line) = parse_error_object(&out.stderr);
+    assert_eq!(class, "usage");
+    assert!(line.contains("\"exit_code\":2"), "{line}");
+    assert!(line.contains("--instance"), "{line}");
+}
+
+#[test]
+fn missing_instance_file_exits_3() {
+    let out = bin()
+        .args(["solve", "--instance", "/nonexistent/epplan-void.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let (class, _) = parse_error_object(&out.stderr);
+    assert_eq!(class, "io");
+}
+
+#[test]
+fn malformed_instance_json_exits_4() {
+    let dir = tmp_dir("badinst");
+    let inst = dir.join("inst.json");
+    std::fs::write(&inst, "{definitely not json").unwrap();
+    let out = bin()
+        .args(["solve", "--instance", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let (class, _) = parse_error_object(&out.stderr);
+    assert_eq!(class, "parse");
+}
+
+#[test]
+fn strictly_invalid_instance_exits_5() {
+    let dir = tmp_dir("invalidinst");
+    let inst = dir.join("inst.json");
+    // Parses fine, but the utility is far outside [0, 1] — the kind of
+    // damage serde cannot catch.
+    std::fs::write(
+        &inst,
+        r#"{"users":[{"location":{"x":0.0,"y":0.0},"budget":10.0}],
+            "events":[{"location":{"x":1.0,"y":0.0},"lower":0,"upper":1,
+                       "time":{"start":0,"end":60},"fee":0.0}],
+            "utilities":{"n_users":1,"n_events":1,"values":[7.5]}}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["solve", "--instance", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    let (class, line) = parse_error_object(&out.stderr);
+    assert_eq!(class, "invalid-instance");
+    assert!(line.contains("outside [0, 1]"), "{line}");
+}
+
+#[test]
+fn infeasible_plan_validation_exits_6() {
+    let dir = tmp_dir("infeasible");
+    let inst = dir.join("inst.json");
+    let plan = dir.join("plan.json");
+    // One user, one event the user cannot attend (zero utility), but a
+    // plan that assigns it anyway.
+    std::fs::write(
+        &inst,
+        r#"{"users":[{"location":{"x":0.0,"y":0.0},"budget":10.0}],
+            "events":[{"location":{"x":1.0,"y":0.0},"lower":0,"upper":1,
+                       "time":{"start":0,"end":60},"fee":0.0}],
+            "utilities":{"n_users":1,"n_events":1,"values":[0.0]}}"#,
+    )
+    .unwrap();
+    std::fs::write(&plan, r#"{"assignments":[[0]],"attendance":[1]}"#).unwrap();
+    let out = bin()
+        .args(["validate", "--instance", inst.to_str().unwrap()])
+        .args(["--plan", plan.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6), "{}", String::from_utf8_lossy(&out.stderr));
+    let (class, _) = parse_error_object(&out.stderr);
+    assert_eq!(class, "infeasible");
+}
+
+#[test]
+fn exhausted_solve_budget_exits_7_with_fallback_plan() {
+    let dir = tmp_dir("budget");
+    let inst = dir.join("inst.json");
+    let plan = dir.join("plan.json");
+    assert!(bin()
+        .args(["generate", "--users", "40", "--events", "6", "--seed", "2"])
+        .args(["--out", inst.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["solve", "--instance", inst.to_str().unwrap()])
+        .args(["--solver", "gap", "--time-limit-ms", "0"])
+        .args(["--out", plan.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "{}", String::from_utf8_lossy(&out.stderr));
+    let (class, _) = parse_error_object(&out.stderr);
+    assert_eq!(class, "budget-exhausted");
+    // The greedy fallback plan was still produced and written.
+    assert!(plan.exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hard-feasible  : yes"), "{stdout}");
+}
+
+#[test]
+fn malformed_op_in_stream_is_typed_error() {
+    let dir = tmp_dir("badop");
+    let inst = dir.join("inst.json");
+    let plan = dir.join("plan.json");
+    let ops = dir.join("ops.json");
+    assert!(bin()
+        .args(["generate", "--users", "10", "--events", "3", "--seed", "5"])
+        .args(["--out", inst.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["solve", "--instance", inst.to_str().unwrap()])
+        .args(["--out", plan.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    // Parses fine but references event 99 — rejected by op validation,
+    // not by a panic deep inside the model layer.
+    std::fs::write(
+        &ops,
+        r#"[{"op":"eta_decrease","event":99,"new_upper":1}]"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["apply", "--instance", inst.to_str().unwrap()])
+        .args(["--plan", plan.to_str().unwrap()])
+        .args(["--ops", ops.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5), "{}", String::from_utf8_lossy(&out.stderr));
+    let (_, line) = parse_error_object(&out.stderr);
+    assert!(line.contains("out of range"), "{line}");
 }
 
 #[test]
