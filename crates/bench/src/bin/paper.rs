@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper [--quick] [--reps N] <experiment>...
+//! paper [--quick] [--reps N] [--obs] <experiment>...
 //!
 //! experiments:
 //!   example   Paper Example 1 sanity run
@@ -18,7 +18,11 @@
 //! ```
 //!
 //! Memory numbers are live because this binary installs the
-//! `epplan-memtrack` counting allocator.
+//! `epplan-memtrack` counting allocator. `--obs` turns on the
+//! `epplan-obs` metrics registry and prints the accumulated per-stage
+//! cost table (spans, counters, gauges) to stderr after all
+//! experiments finish — useful for attributing a table's wall time to
+//! simplex pivots vs MW epochs vs rounding.
 
 use epplan_bench::experiments::{self, HarnessOptions};
 use epplan_bench::table::Table;
@@ -29,7 +33,7 @@ static ALLOC: epplan_memtrack::Tracking = epplan_memtrack::Tracking;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper [--quick] [--reps N] \
+        "usage: paper [--quick] [--reps N] [--obs] \
          <example|table6|fig2|fig3|table7|table8|table9|fig4|fig5|ablations|all>..."
     );
     std::process::exit(2)
@@ -51,10 +55,15 @@ fn main() {
     let mut opts = HarnessOptions::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut obs = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--obs" => {
+                obs = true;
+                epplan_obs::enable_metrics();
+            }
             "--reps" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
                     usage()
@@ -135,5 +144,10 @@ fn main() {
             }
             _ => usage(),
         }
+    }
+
+    if obs {
+        eprintln!("\n=== observability: accumulated solver-stage costs ===");
+        eprintln!("{}", epplan_obs::snapshot().render_table());
     }
 }

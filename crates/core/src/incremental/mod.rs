@@ -391,6 +391,11 @@ impl IncrementalPlanner {
         plan: &Plan,
         op: &AtomicOp,
     ) -> IncrementalOutcome {
+        // Per-operation repair cost: the measurement the incremental
+        // tables (paper §V/§VI) are built from.
+        let mut sp = epplan_obs::span("iep.apply");
+        sp.add_iters(1);
+        epplan_obs::counter_add("iep.ops", 1);
         let mut inst = instance.clone();
         let mut new_plan = plan.clone();
 

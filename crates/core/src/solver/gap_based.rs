@@ -82,6 +82,7 @@ impl GapBasedSolver {
     /// Exposed for the LP-vs-MW ablation experiment and for tests that
     /// verify the reduction constants.
     pub fn build_gap(&self, instance: &Instance) -> (GapInstance, Vec<EventId>) {
+        let _sp = epplan_obs::span("solve.reduction");
         // Job list: ξ_j copies of each event.
         let mut jobs: Vec<EventId> = Vec::new();
         for e in instance.event_ids() {
@@ -124,10 +125,15 @@ impl GapBasedSolver {
         }
 
         // Algorithm 1 + budget enforcement.
-        let mut plan = conflict_adjust(instance, raw);
-        budget_repair(instance, &mut plan);
+        let mut plan = {
+            let _sp = epplan_obs::span("solve.conflict_adjust");
+            let mut plan = conflict_adjust(instance, raw);
+            budget_repair(instance, &mut plan);
+            plan
+        };
 
         if self.two_step {
+            let _sp = epplan_obs::span("solve.fill");
             filler::fill_to_upper(instance, &mut plan, None);
         }
         Solution::from_plan(instance, plan)
@@ -181,11 +187,22 @@ impl GapBasedSolver {
         instance: &Instance,
         budget: SolveBudget,
     ) -> Result<Solution, SolveError<Solution>> {
+        // Baseline for the per-stage cost delta attached to the report
+        // (only when metrics collection is on — StageMark clones the
+        // aggregate map, which we won't pay for by default).
+        let mark = epplan_obs::metrics_enabled().then(epplan_obs::StageMark::now);
         let mut report = SolveReport::new();
         let start = Instant::now();
-        match self.try_solve_gap(instance, budget) {
+        let gap_result = {
+            let _sp = epplan_obs::span("solve.gap_based");
+            self.try_solve_gap(instance, budget)
+        };
+        match gap_result {
             Ok(mut sol) => {
                 report.record_success("gap_based", SolveStatus::Optimal, start.elapsed());
+                if let Some(mark) = &mark {
+                    report.stages = mark.delta();
+                }
                 sol.report = report;
                 Ok(sol)
             }
@@ -198,7 +215,10 @@ impl GapBasedSolver {
                     two_step: self.two_step,
                     ..GreedySolver::default()
                 };
-                let mut fallback = greedy.solve(instance);
+                let mut fallback = {
+                    let _sp = epplan_obs::span("solve.greedy_fallback");
+                    greedy.solve(instance)
+                };
                 if fallback.plan.validate(instance).hard_ok() {
                     report.record_success("greedy", SolveStatus::BestEffort, fb_start.elapsed());
                 } else {
@@ -220,6 +240,9 @@ impl GapBasedSolver {
                         SolveStatus::BestEffort,
                         empty_start.elapsed(),
                     );
+                }
+                if let Some(mark) = &mark {
+                    report.stages = mark.delta();
                 }
                 fallback.report = report;
                 Err(e.discard_partial().with_partial(fallback))

@@ -189,6 +189,7 @@ impl MinCostFlow {
         budget: SolveBudget,
     ) -> Result<FlowResult, SolveError<FlowResult>> {
         self.check_inputs(s, t)?;
+        let mut sp = epplan_obs::span("flow.mcmf");
         let mut guard = BudgetGuard::new(budget);
         let mut total = FlowResult { flow: 0.0, cost: 0.0 };
         if s == t {
@@ -199,6 +200,7 @@ impl MinCostFlow {
         let mut pot = vec![f64::INFINITY; self.n];
         pot[s] = 0.0;
         {
+            let _sp = epplan_obs::span("flow.potentials");
             let mut in_queue = vec![false; self.n];
             let mut queue = VecDeque::new();
             queue.push_back(s);
@@ -264,6 +266,8 @@ impl MinCostFlow {
             // path exists avoids a false exhaustion on the final
             // (empty) search of an exactly-budgeted run.
             if let Err(e) = guard.tick(STAGE) {
+                sp.add_iters(guard.iterations());
+                epplan_obs::counter_add("flow.augmentations", guard.iterations());
                 return Err(e.discard_partial().with_partial(total));
             }
             // Update potentials with the new distances.
@@ -292,6 +296,8 @@ impl MinCostFlow {
             total.flow += push;
             total.cost += push * path_cost;
         }
+        sp.add_iters(guard.iterations());
+        epplan_obs::counter_add("flow.augmentations", guard.iterations());
         Ok(total)
     }
 
@@ -306,6 +312,7 @@ impl MinCostFlow {
         if limit.is_nan() || limit < 0.0 {
             return Err(SolveError::bad_input(STAGE, format!("invalid flow limit {limit}")));
         }
+        let mut sp = epplan_obs::span("flow.mcmf");
         let mut guard = BudgetGuard::new(budget);
         let mut total = FlowResult { flow: 0.0, cost: 0.0 };
         if s == t {
@@ -342,6 +349,8 @@ impl MinCostFlow {
             }
             // Budget is spent per augmentation (see the fast variant).
             if let Err(e) = guard.tick(STAGE) {
+                sp.add_iters(guard.iterations());
+                epplan_obs::counter_add("flow.augmentations", guard.iterations());
                 return Err(e.discard_partial().with_partial(total));
             }
             // Bottleneck along the path.
@@ -363,6 +372,8 @@ impl MinCostFlow {
             total.flow += push;
             total.cost += push * dist[t];
         }
+        sp.add_iters(guard.iterations());
+        epplan_obs::counter_add("flow.augmentations", guard.iterations());
         Ok(total)
     }
 }

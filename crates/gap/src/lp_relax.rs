@@ -36,6 +36,7 @@ pub fn lp_relaxation_with_budget(
             format!("malformed GAP instance: {defect}"),
         ));
     }
+    let mut sp = epplan_obs::span("gap.lp_relax");
     let m = inst.n_machines();
     let n = inst.n_jobs();
     let unassignable = inst.unassignable_jobs();
@@ -99,7 +100,10 @@ pub fn lp_relaxation_with_budget(
     };
 
     match lp.solve_with_budget(budget) {
-        Ok(sol) => Ok(extract(&sol.x)),
+        Ok(sol) => {
+            sp.add_iters(sol.pivots);
+            Ok(extract(&sol.x))
+        }
         Err(e) => {
             // A partial simplex point satisfies all constraints
             // (including the per-job equalities), so it converts to a

@@ -82,12 +82,14 @@ pub fn mw_fractional(
     }
     let m = inst.n_machines();
     let n = inst.n_jobs();
+    let mut sp = epplan_obs::span("gap.packing");
     let mut guard = BudgetGuard::new(cfg.budget);
     let mut frac = FractionalSolution::zero(m, n);
     frac.unassigned = inst.unassignable_jobs();
     if m == 0 || n == frac.unassigned.len() {
         return Ok(frac);
     }
+    let assignable_jobs = (n - frac.unassigned.len()) as u64;
 
     // Cache the allowed machines per job once: the oracle scans them
     // every round.
@@ -103,6 +105,11 @@ pub fn mw_fractional(
 
     for round in 0..cfg.iterations {
         if let Err(e) = guard.tick("gap.packing") {
+            // The tick that tripped never ran its round.
+            let epochs = guard.iterations().saturating_sub(1);
+            sp.add_iters(epochs);
+            epplan_obs::counter_add("packing.epochs", epochs);
+            epplan_obs::counter_add("packing.oracle_calls", epochs * assignable_jobs);
             let mut out = e.discard_partial();
             // Return whatever trailing average exists as a partial.
             if averaged_rounds > 0 {
@@ -162,6 +169,21 @@ pub fn mw_fractional(
     }
     if averaged_rounds > 0 {
         frac.scale(1.0 / averaged_rounds as f64);
+    }
+    let epochs = guard.iterations();
+    sp.add_iters(epochs);
+    epplan_obs::counter_add("packing.epochs", epochs);
+    epplan_obs::counter_add("packing.oracle_calls", epochs * assignable_jobs);
+    if epplan_obs::metrics_enabled() {
+        // Width of the fractional solution: worst load/capacity ratio.
+        let worst = (0..m)
+            .map(|i| {
+                let cap = inst.capacity(i).max(1e-12);
+                let l: f64 = (0..n).map(|j| frac.get(i, j) * inst.time(i, j)).sum();
+                l / cap
+            })
+            .fold(0.0f64, f64::max);
+        epplan_obs::gauge_set("packing.width", worst);
     }
     Ok(frac)
 }

@@ -71,6 +71,8 @@ pub fn round_shmoys_tardos_with_budget(
         ));
     }
 
+    let mut sp = epplan_obs::span("gap.rounding");
+
     // Jobs that carry fractional mass.
     let active: Vec<usize> = (0..n).filter(|&j| frac.job_mass(j) > 0.5).collect();
     let job_slot_index: std::collections::HashMap<usize, usize> = active
@@ -125,6 +127,11 @@ pub fn round_shmoys_tardos_with_budget(
             }
         }
     }
+
+    // Slot-graph size: the knob that drives the matching's cost.
+    sp.add_iters(slot_machine.len() as u64);
+    epplan_obs::counter_add("rounding.slots", slot_machine.len() as u64);
+    epplan_obs::counter_add("rounding.edges", edges.len() as u64);
 
     let caps = vec![1usize; slot_machine.len()];
     let matching =

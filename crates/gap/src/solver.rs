@@ -97,6 +97,7 @@ impl GapSolver {
                 format!("malformed GAP instance: {defect}"),
             ));
         }
+        let _sp = epplan_obs::span("gap.pipeline");
         let guard = BudgetGuard::new(self.config.budget);
         let n_pairs = (0..inst.n_jobs())
             .map(|j| inst.allowed_machines(j).count())

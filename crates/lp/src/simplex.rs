@@ -203,6 +203,22 @@ pub fn solve_with_budget(
     problem: &Problem,
     budget: SolveBudget,
 ) -> Result<Solution, SolveError<Solution>> {
+    let mut sp = epplan_obs::span("lp.simplex");
+    let result = solve_inner(problem, budget);
+    // Pivot count for the span: the success/partial artifact carries
+    // it; errors without a partial (e.g. infeasible) report none.
+    let pivots = match &result {
+        Ok(s) => s.pivots,
+        Err(e) => e.partial.as_ref().map_or(0, |p| p.pivots),
+    };
+    sp.add_iters(pivots);
+    result
+}
+
+fn solve_inner(
+    problem: &Problem,
+    budget: SolveBudget,
+) -> Result<Solution, SolveError<Solution>> {
     validate(problem)?;
     let n = problem.n_vars;
     let m = problem.rows.len();
@@ -301,7 +317,15 @@ pub fn solve_with_budget(
                 }
             }
         }
-        match tab.iterate() {
+        let phase1_end = {
+            let mut sp = epplan_obs::span("lp.phase1");
+            let r = tab.iterate();
+            let pivots = tab.guard.iterations();
+            sp.add_iters(pivots);
+            epplan_obs::counter_add("lp.iterations", pivots);
+            r
+        };
+        match phase1_end {
             Ok(IterEnd::Optimal) => {}
             // No feasible point exists yet, so nothing to attach.
             Err(e) => return Err(e.discard_partial()),
@@ -366,7 +390,16 @@ pub fn solve_with_budget(
         }
     }
 
-    match tab.iterate() {
+    let phase1_pivots = tab.guard.iterations();
+    let phase2_end = {
+        let mut sp = epplan_obs::span("lp.phase2");
+        let r = tab.iterate();
+        let pivots = tab.guard.iterations() - phase1_pivots;
+        sp.add_iters(pivots);
+        epplan_obs::counter_add("lp.iterations", pivots);
+        r
+    };
+    match phase2_end {
         Ok(IterEnd::Optimal) => {
             let x = tab.extract(n);
             let objective = problem.objective_at(&x);

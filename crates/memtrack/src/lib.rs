@@ -156,6 +156,64 @@ impl MemoryProbe {
             alloc_calls: alloc_calls() - self.start_calls,
         }
     }
+
+    /// Starts a *nest-safe* measurement region for RAII use (e.g. by
+    /// `epplan-obs` spans). Unlike [`MemoryProbe::start`], which simply
+    /// resets the global peak watermark, the returned [`ScopedProbe`]
+    /// remembers the watermark it clobbered and re-merges it on finish
+    /// (or drop), so an inner probe cannot erase the peak observed by
+    /// an enclosing one.
+    pub fn scoped() -> ScopedProbe {
+        let saved_peak = peak_bytes();
+        reset_peak();
+        ScopedProbe {
+            saved_peak,
+            start_bytes: current_bytes(),
+            start_calls: alloc_calls(),
+            finished: false,
+        }
+    }
+}
+
+/// RAII measurement region created by [`MemoryProbe::scoped`].
+///
+/// Safe to nest: on finish/drop it folds the pre-region peak watermark
+/// back into the global counter with a `fetch_max`, so enclosing
+/// regions still see their true peak.
+#[derive(Debug)]
+pub struct ScopedProbe {
+    saved_peak: usize,
+    start_bytes: usize,
+    start_calls: usize,
+    finished: bool,
+}
+
+impl ScopedProbe {
+    /// Ends the region, restores the outer peak watermark and reports
+    /// the region's memory usage.
+    pub fn finish(mut self) -> MemoryReport {
+        let peak = peak_bytes();
+        self.restore();
+        MemoryReport {
+            peak_delta_bytes: peak.saturating_sub(self.start_bytes),
+            start_bytes: self.start_bytes,
+            peak_bytes: peak,
+            alloc_calls: alloc_calls().saturating_sub(self.start_calls),
+        }
+    }
+
+    fn restore(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            PEAK.fetch_max(self.saved_peak, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for ScopedProbe {
+    fn drop(&mut self) {
+        self.restore();
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +274,41 @@ mod tests {
         on_dealloc(100);
         reset_peak();
         assert_eq!(peak_bytes(), current_bytes());
+    }
+
+    #[test]
+    fn scoped_probe_restores_outer_watermark() {
+        let _g = LOCK.lock().unwrap();
+        reset_peak();
+        on_alloc(10_000);
+        on_dealloc(10_000);
+        let outer_peak_before = peak_bytes();
+        assert!(outer_peak_before >= 10_000);
+
+        // An inner scoped probe resets the watermark to measure its own
+        // region, but must not erase the outer high-water mark.
+        let inner = MemoryProbe::scoped();
+        on_alloc(256);
+        on_dealloc(256);
+        let report = inner.finish();
+        assert!(report.peak_delta_bytes >= 256);
+        assert!(report.alloc_calls >= 1);
+        assert!(peak_bytes() >= outer_peak_before);
+    }
+
+    #[test]
+    fn scoped_probe_drop_restores_watermark() {
+        let _g = LOCK.lock().unwrap();
+        reset_peak();
+        on_alloc(5_000);
+        on_dealloc(5_000);
+        let before = peak_bytes();
+        {
+            let _inner = MemoryProbe::scoped();
+            on_alloc(64);
+            on_dealloc(64);
+            // dropped without finish()
+        }
+        assert!(peak_bytes() >= before);
     }
 }

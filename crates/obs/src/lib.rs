@@ -1,0 +1,160 @@
+//! First-party tracing and metrics for the epplan solver stack.
+//!
+//! The paper's experiments (Tables VI–IX) report running time and
+//! memory cost per algorithm; this crate provides the plumbing to
+//! reproduce that breakdown *per stage* of our pipeline. Three
+//! building blocks, all dependency-free (matching the vendored
+//! `compat/` policy):
+//!
+//! * **Spans** ([`span`]) — RAII timers with parent/child nesting,
+//!   per-span iteration counts and (when the `epplan-memtrack`
+//!   allocator is installed) peak-memory deltas. Completed spans feed
+//!   the per-stage aggregate table and, if a sink is installed, emit a
+//!   JSON-lines trace event.
+//! * **Metrics** ([`counter_add`], [`gauge_set`], [`observe`]) — a
+//!   global registry of counters, gauges and fixed-bucket (powers of
+//!   two) histograms behind relaxed atomics.
+//! * **Sinks** ([`install_sink`], [`JsonlSink`]) — pluggable consumers
+//!   of trace events.
+//!
+//! # Overhead contract
+//!
+//! Everything is off by default. The *entire* cost of an instrumented
+//! region when neither metrics nor a sink is enabled is **one relaxed
+//! atomic load** per [`span`] call (the `STATE` check below) and one
+//! per metric helper call — no clock reads, no allocation, no locks.
+//! Enabling metrics ([`enable_metrics`]) adds clock reads at span
+//! boundaries and one mutex acquisition per *span end* (stage
+//! granularity, not per inner iteration); counters stay lock-free.
+//!
+//! # Stable names
+//!
+//! Span and metric names emitted by the workspace are a documented
+//! contract — see the "Observability" section of `DESIGN.md`.
+
+// Solver-adjacent code must not panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod sink;
+mod span;
+mod stage;
+
+pub use metrics::{
+    counter_add, counter_value, gauge_set, gauge_value, observe, reset_metrics, snapshot,
+    HistogramSnapshot, MetricsSnapshot,
+};
+pub use sink::{
+    install_sink, uninstall_sink, CollectingSink, JsonlSink, OwnedTraceEvent, TraceEvent,
+    TraceSink,
+};
+pub use span::{span, Span};
+pub use stage::{render_stage_table, stage_stats, StageMark, StageStats};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+const METRICS_BIT: u8 = 1;
+const SINK_BIT: u8 = 2;
+
+/// Global enablement state. 0 = fully disabled: spans and metric
+/// helpers return after a single relaxed load of this value.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+pub(crate) fn state() -> u8 {
+    STATE.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_bit(bit: u8) {
+    STATE.fetch_or(bit, Ordering::Relaxed);
+}
+
+pub(crate) fn clear_bit(bit: u8) {
+    STATE.fetch_and(!bit, Ordering::Relaxed);
+}
+
+pub(crate) fn metrics_bit(state: u8) -> bool {
+    state & METRICS_BIT != 0
+}
+
+pub(crate) fn sink_bit(state: u8) -> bool {
+    state & SINK_BIT != 0
+}
+
+/// Turns on metric collection (counters, gauges, histograms and the
+/// per-stage aggregate table). Idempotent; process-global.
+pub fn enable_metrics() {
+    set_bit(METRICS_BIT);
+}
+
+/// Turns metric collection back off. Already-recorded values remain
+/// readable via [`snapshot`] / [`counter_value`].
+pub fn disable_metrics() {
+    clear_bit(METRICS_BIT);
+}
+
+/// `true` when metric collection is on. Instrumented code can use this
+/// to skip *computing* an expensive metric value (the record helpers
+/// already early-return on their own).
+pub fn metrics_enabled() -> bool {
+    metrics_bit(state())
+}
+
+/// Locks a mutex, tolerating poison: observability must never take the
+/// solver down, so a panic elsewhere just hands us the inner data.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Minimal JSON string escaping for names and messages. Names are
+/// static identifiers in practice, but escaping keeps the JSONL output
+/// well-formed for any input.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+pub(crate) fn test_mutex() -> &'static Mutex<()> {
+    static M: Mutex<()> = Mutex::new(());
+    &M
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_bits_roundtrip() {
+        // Serialize against other tests that flip global state.
+        let _g = lock(crate::test_mutex());
+        disable_metrics();
+        assert!(!metrics_enabled());
+        enable_metrics();
+        assert!(metrics_enabled());
+        disable_metrics();
+        assert!(!metrics_enabled());
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain.name"), "plain.name");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,331 @@
+//! Global metrics registry: counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Metric storage is registered once per name (behind a mutex) and
+//! then updated lock-free through `&'static` atomics, so the hot path
+//! after first touch is a registry-free `fetch_add`. All helpers
+//! early-return on a single atomic load when metrics are disabled.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::stage::{stage_stats, render_stage_table, StageStats};
+use crate::{json_escape, lock};
+
+/// Histograms bucket by powers of two: bucket `i` counts values `v`
+/// with `2^(i-1) < v <= 2^i` (bucket 0 counts `v <= 1`); the last
+/// bucket is a catch-all.
+const HIST_BUCKETS: usize = 32;
+
+// Variants are only ever `Box::leak`ed once per metric name, so the
+// size skew from the inline histogram buckets is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Metric {
+    Counter(AtomicU64),
+    /// f64 stored as bits.
+    Gauge(AtomicU64),
+    Histogram {
+        buckets: [AtomicU64; HIST_BUCKETS],
+        count: AtomicU64,
+        sum: AtomicU64,
+    },
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, &'static Metric>> = Mutex::new(BTreeMap::new());
+
+fn metric(name: &'static str, make: fn() -> Metric) -> &'static Metric {
+    let mut reg = lock(&REGISTRY);
+    reg.entry(name).or_insert_with(|| Box::leak(Box::new(make())))
+}
+
+/// Adds `n` to the counter `name`. No-op unless metrics are enabled.
+pub fn counter_add(name: &'static str, n: u64) {
+    if !crate::metrics_bit(crate::state()) {
+        return;
+    }
+    if let Metric::Counter(c) = metric(name, || Metric::Counter(AtomicU64::new(0))) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Sets the gauge `name` to `v`. No-op unless metrics are enabled.
+pub fn gauge_set(name: &'static str, v: f64) {
+    if !crate::metrics_bit(crate::state()) {
+        return;
+    }
+    if let Metric::Gauge(g) = metric(name, || Metric::Gauge(AtomicU64::new(0))) {
+        g.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Records `v` into the power-of-two histogram `name`. No-op unless
+/// metrics are enabled.
+pub fn observe(name: &'static str, v: u64) {
+    if !crate::metrics_bit(crate::state()) {
+        return;
+    }
+    let m = metric(name, || Metric::Histogram {
+        buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+    });
+    if let Metric::Histogram { buckets, count, sum } = m {
+        let idx = (64 - u64::leading_zeros(v.max(1)) as usize - 1
+            + usize::from(!v.is_power_of_two() && v > 1))
+        .min(HIST_BUCKETS - 1);
+        buckets[idx].fetch_add(1, Ordering::Relaxed);
+        count.fetch_add(1, Ordering::Relaxed);
+        sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// Current value of counter `name` (0 if never touched). Readable even
+/// when collection is disabled — used by tests and snapshotting.
+pub fn counter_value(name: &str) -> u64 {
+    let reg = lock(&REGISTRY);
+    match reg.get(name) {
+        Some(Metric::Counter(c)) => c.load(Ordering::Relaxed),
+        _ => 0,
+    }
+}
+
+/// Current value of gauge `name` (0.0 if never touched).
+pub fn gauge_value(name: &str) -> f64 {
+    let reg = lock(&REGISTRY);
+    match reg.get(name) {
+        Some(Metric::Gauge(g)) => f64::from_bits(g.load(Ordering::Relaxed)),
+        _ => 0.0,
+    }
+}
+
+/// Zeroes every registered metric and the stage aggregates, in place.
+/// Registered storage stays registered (the `&'static` cells are
+/// leaked by design), so hot paths never re-register.
+pub fn reset_metrics() {
+    let reg = lock(&REGISTRY);
+    for m in reg.values() {
+        match m {
+            Metric::Counter(c) => c.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.store(0, Ordering::Relaxed),
+            Metric::Histogram { buckets, count, sum } => {
+                for b in buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                count.store(0, Ordering::Relaxed);
+                sum.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+    drop(reg);
+    crate::stage::reset_stages();
+}
+
+/// A point-in-time copy of a histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(upper_bound, count)`; the upper bound of
+    /// bucket `i` is `2^i`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of every metric plus the per-stage aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Per-stage (span) aggregates, sorted by stage name.
+    pub stages: Vec<StageStats>,
+}
+
+/// Takes a snapshot of the registry and stage aggregates.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = lock(&REGISTRY);
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, m) in reg.iter() {
+        match m {
+            Metric::Counter(c) => counters.push((name.to_string(), c.load(Ordering::Relaxed))),
+            Metric::Gauge(g) => {
+                gauges.push((name.to_string(), f64::from_bits(g.load(Ordering::Relaxed))))
+            }
+            Metric::Histogram { buckets, count, sum } => {
+                let snap = HistogramSnapshot {
+                    count: count.load(Ordering::Relaxed),
+                    sum: sum.load(Ordering::Relaxed),
+                    buckets: buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then(|| (1u64 << i.min(63), n))
+                        })
+                        .collect(),
+                };
+                histograms.push((name.to_string(), snap));
+            }
+        }
+    }
+    drop(reg);
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        stages: stage_stats(),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the human-readable report printed by `--metrics`: the
+    /// per-stage cost table (the paper-style time/memory breakdown)
+    /// followed by the flat counter/gauge list.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&render_stage_table(&self.stages));
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            out.push_str("\ncounters/gauges:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<24} {v}\n"));
+            }
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<24} {v:.4}\n"));
+            }
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {name:<24} count={} sum={} mean={:.1}\n",
+                h.count,
+                h.sum,
+                if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 }
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a single JSON object (hand-written —
+    /// the crate is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let val = if v.is_finite() { format!("{v}") } else { "null".to_string() };
+            out.push_str(&format!("\"{}\":{}", json_escape(name), val));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_escape(name),
+                h.count,
+                h.sum
+            ));
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"le\":{le},\"count\":{n}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"calls\":{},\"wall_us\":{},\"iters\":{},\"peak_mem_bytes\":{},\"alloc_calls\":{}}}",
+                json_escape(&s.name),
+                s.calls,
+                s.wall.as_micros(),
+                s.iters,
+                s.peak_mem_bytes,
+                s.alloc_calls
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let _g = lock(crate::test_mutex());
+        crate::enable_metrics();
+        reset_metrics();
+        counter_add("test.counter", 3);
+        counter_add("test.counter", 4);
+        gauge_set("test.gauge", 2.5);
+        assert_eq!(counter_value("test.counter"), 7);
+        assert_eq!(gauge_value("test.gauge"), 2.5);
+        crate::disable_metrics();
+        counter_add("test.counter", 100);
+        assert_eq!(counter_value("test.counter"), 7);
+        reset_metrics();
+        assert_eq!(counter_value("test.counter"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_pow2() {
+        let _g = lock(crate::test_mutex());
+        crate::enable_metrics();
+        reset_metrics();
+        observe("test.hist", 1); // bucket 0 (le=1)
+        observe("test.hist", 2); // bucket 1 (le=2)
+        observe("test.hist", 3); // bucket 2 (le=4)
+        observe("test.hist", 1024); // bucket 10
+        let snap = snapshot();
+        let h = &snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "test.hist")
+            .unwrap()
+            .1;
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1030);
+        assert!(h.buckets.contains(&(1, 1)));
+        assert!(h.buckets.contains(&(2, 1)));
+        assert!(h.buckets.contains(&(4, 1)));
+        assert!(h.buckets.contains(&(1024, 1)));
+        crate::disable_metrics();
+        reset_metrics();
+    }
+
+    #[test]
+    fn snapshot_json_is_sane() {
+        let _g = lock(crate::test_mutex());
+        crate::enable_metrics();
+        reset_metrics();
+        counter_add("test.json", 9);
+        let j = snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"test.json\":9"));
+        assert!(j.contains("\"stages\":["));
+        crate::disable_metrics();
+        reset_metrics();
+    }
+}

@@ -1,0 +1,254 @@
+//! Pluggable trace sinks and the JSON-lines trace event format.
+//!
+//! A [`TraceSink`] receives one [`TraceEvent`] per completed span.
+//! [`JsonlSink`] writes each event as one JSON object per line — the
+//! format consumed by the CI trace-schema check and by any external
+//! trace viewer. Required keys on every line: `ts`, `span`, `dur_us`.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::{json_escape, lock};
+
+/// A completed span, handed to the installed sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent<'a> {
+    /// Microseconds since the process-wide trace epoch at span start.
+    pub ts_us: u64,
+    /// Unique span id (> 0).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name (stable contract, e.g. `"lp.phase1"`).
+    pub span: &'a str,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Iteration count attached via `Span::add_iters`.
+    pub iters: u64,
+    /// Peak additional heap bytes during the span (0 unless the
+    /// `epplan-memtrack` allocator is installed in the binary).
+    pub mem_peak_delta: u64,
+    /// Allocation calls during the span (same caveat).
+    pub alloc_calls: u64,
+}
+
+impl TraceEvent<'_> {
+    /// One JSON object, no trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"ts\":{},\"id\":{},",
+            self.ts_us, self.id
+        );
+        if let Some(p) = self.parent {
+            out.push_str(&format!("\"parent\":{p},"));
+        }
+        out.push_str(&format!(
+            "\"span\":\"{}\",\"dur_us\":{},\"iters\":{},\"mem_peak_bytes\":{},\"alloc_calls\":{}}}",
+            json_escape(self.span),
+            self.dur_us,
+            self.iters,
+            self.mem_peak_delta,
+            self.alloc_calls
+        ));
+        out
+    }
+
+    /// An owned copy (for collecting sinks / tests).
+    pub fn to_owned_event(&self) -> OwnedTraceEvent {
+        OwnedTraceEvent {
+            ts_us: self.ts_us,
+            id: self.id,
+            parent: self.parent,
+            span: self.span.to_string(),
+            dur_us: self.dur_us,
+            iters: self.iters,
+            mem_peak_delta: self.mem_peak_delta,
+            alloc_calls: self.alloc_calls,
+        }
+    }
+}
+
+/// Owned variant of [`TraceEvent`], produced by [`CollectingSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedTraceEvent {
+    /// Microseconds since the trace epoch at span start.
+    pub ts_us: u64,
+    /// Unique span id.
+    pub id: u64,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub span: String,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Iteration count.
+    pub iters: u64,
+    /// Peak additional heap bytes.
+    pub mem_peak_delta: u64,
+    /// Allocation calls.
+    pub alloc_calls: u64,
+}
+
+/// Consumer of completed-span events. Implementations must be cheap
+/// and must never panic — they run inside solver `Drop` paths.
+pub trait TraceSink: Send + Sync {
+    /// Called once per completed span.
+    fn record(&self, event: &TraceEvent<'_>);
+    /// Flushes buffered output (called by [`uninstall_sink`]).
+    fn flush(&self) {}
+}
+
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// Installs `sink` as the process-global trace sink and starts span
+/// event emission. Replaces (and flushes) any previous sink.
+pub fn install_sink(sink: Arc<dyn TraceSink>) {
+    let prev = {
+        let mut slot = SINK.write().unwrap_or_else(|p| p.into_inner());
+        slot.replace(sink)
+    };
+    if let Some(prev) = prev {
+        prev.flush();
+    }
+    crate::set_bit(crate::SINK_BIT);
+}
+
+/// Removes the installed sink (flushing it) and stops span event
+/// emission. Returns the sink so callers can finalize it.
+pub fn uninstall_sink() -> Option<Arc<dyn TraceSink>> {
+    crate::clear_bit(crate::SINK_BIT);
+    let prev = {
+        let mut slot = SINK.write().unwrap_or_else(|p| p.into_inner());
+        slot.take()
+    };
+    if let Some(prev) = &prev {
+        prev.flush();
+    }
+    prev
+}
+
+/// Hands a completed span to the installed sink, if any.
+pub(crate) fn emit(event: &TraceEvent<'_>) {
+    let guard = SINK.read().unwrap_or_else(|p| p.into_inner());
+    if let Some(sink) = guard.as_ref() {
+        sink.record(event);
+    }
+}
+
+/// A [`TraceSink`] writing one JSON line per span to any writer
+/// (typically a `BufWriter<File>`).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent<'_>) {
+        let mut w = lock(&self.writer);
+        // Tracing is best-effort: an I/O error must not kill the solve.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = lock(&self.writer).flush();
+    }
+}
+
+/// A [`TraceSink`] that buffers owned events in memory, for tests.
+#[derive(Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<OwnedTraceEvent>>,
+}
+
+impl CollectingSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn events(&self) -> Vec<OwnedTraceEvent> {
+        lock(&self.events).clone()
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&self, event: &TraceEvent<'_>) {
+        lock(&self.events).push(event.to_owned_event());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_json_has_required_keys() {
+        let e = TraceEvent {
+            ts_us: 12,
+            id: 3,
+            parent: Some(1),
+            span: "lp.phase1",
+            dur_us: 456,
+            iters: 7,
+            mem_peak_delta: 1024,
+            alloc_calls: 2,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"ts\":12"));
+        assert!(j.contains("\"span\":\"lp.phase1\""));
+        assert!(j.contains("\"dur_us\":456"));
+        assert!(j.contains("\"parent\":1"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+
+        let root = TraceEvent { parent: None, ..e };
+        assert!(!root.to_json().contains("parent"));
+    }
+
+    #[test]
+    fn sink_receives_span_events() {
+        let _g = lock(crate::test_mutex());
+        let sink = Arc::new(CollectingSink::new());
+        install_sink(sink.clone());
+        {
+            let outer = crate::span("test.sink_outer");
+            let _outer_id = outer.id().unwrap();
+            let _inner = crate::span("test.sink_inner");
+        }
+        uninstall_sink();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Inner span ends (and is recorded) first.
+        assert_eq!(events[0].span, "test.sink_inner");
+        assert_eq!(events[1].span, "test.sink_outer");
+        assert_eq!(events[0].parent, Some(events[1].id));
+        assert_eq!(events[1].parent, None);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let _g = lock(crate::test_mutex());
+        let buf: Vec<u8> = Vec::new();
+        let sink = JsonlSink::new(buf);
+        sink.record(&TraceEvent {
+            ts_us: 1,
+            id: 2,
+            parent: None,
+            span: "a",
+            dur_us: 3,
+            iters: 0,
+            mem_peak_delta: 0,
+            alloc_calls: 0,
+        });
+        let w = lock(&sink.writer);
+        let text = String::from_utf8(w.clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"span\":\"a\""));
+    }
+}

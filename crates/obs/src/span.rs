@@ -1,0 +1,155 @@
+//! Hierarchical RAII spans.
+//!
+//! A [`span`] names a region of solver work ("lp.phase1",
+//! "gap.rounding", …). Spans nest: each thread tracks its currently
+//! open span, and a new span records it as its parent, so trace
+//! events reconstruct the call tree via `id`/`parent` pairs.
+//!
+//! When observability is fully disabled (no metrics, no sink) a span
+//! is a single relaxed atomic load and carries no state at all.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use epplan_memtrack::{MemoryProbe, ScopedProbe};
+
+use crate::sink::{emit, TraceEvent};
+use crate::stage::record_stage;
+
+/// Monotonic span-id source; 0 is reserved for "no parent".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide time origin for the `ts` field of trace events.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Id of the innermost open span on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Opens a span named `name`. Returns a no-op handle (one atomic load
+/// spent, nothing else) unless metrics or a sink are enabled.
+///
+/// The span ends when the handle drops; use [`Span::add_iters`] to
+/// attach an iteration count (pivots, augmentations, epochs, …).
+pub fn span(name: &'static str) -> Span {
+    let state = crate::state();
+    if state == 0 {
+        return Span(None);
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(id));
+    Span(Some(ActiveSpan {
+        name,
+        id,
+        parent,
+        start: Instant::now(),
+        start_ts_us: epoch().elapsed().as_micros() as u64,
+        probe: MemoryProbe::scoped(),
+        iters: 0,
+    }))
+}
+
+/// An open span; see [`span`]. Ends (and reports) on drop.
+#[derive(Debug)]
+pub struct Span(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start: Instant,
+    start_ts_us: u64,
+    probe: ScopedProbe,
+    iters: u64,
+}
+
+impl Span {
+    /// Adds `n` to the span's iteration count (no-op when disabled).
+    pub fn add_iters(&mut self, n: u64) {
+        if let Some(a) = self.0.as_mut() {
+            a.iters += n;
+        }
+    }
+
+    /// The span's id, if active (useful in tests).
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        let dur = a.start.elapsed();
+        // `finish` consumes the probe by value; destructure first.
+        let ActiveSpan {
+            name,
+            id,
+            parent,
+            start: _,
+            start_ts_us,
+            probe,
+            iters,
+        } = a;
+        let mem = probe.finish();
+        CURRENT.with(|c| c.set(parent));
+
+        let state = crate::state();
+        if crate::metrics_bit(state) {
+            record_stage(name, dur, iters, mem.peak_delta_bytes as u64, mem.alloc_calls as u64);
+        }
+        if crate::sink_bit(state) {
+            emit(&TraceEvent {
+                ts_us: start_ts_us,
+                id,
+                parent: if parent == 0 { None } else { Some(parent) },
+                span: name,
+                dur_us: dur.as_micros() as u64,
+                iters,
+                mem_peak_delta: mem.peak_delta_bytes as u64,
+                alloc_calls: mem.alloc_calls as u64,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = lock(crate::test_mutex());
+        crate::disable_metrics();
+        let mut s = span("test.inert");
+        s.add_iters(5);
+        assert!(s.id().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_restore_current() {
+        let _g = lock(crate::test_mutex());
+        crate::enable_metrics();
+        {
+            let outer = span("test.outer");
+            let outer_id = outer.id().unwrap();
+            assert_eq!(CURRENT.with(|c| c.get()), outer_id);
+            {
+                let inner = span("test.inner");
+                assert_eq!(CURRENT.with(|c| c.get()), inner.id().unwrap());
+            }
+            assert_eq!(CURRENT.with(|c| c.get()), outer_id);
+        }
+        assert_eq!(CURRENT.with(|c| c.get()), 0);
+        crate::disable_metrics();
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-stage aggregates: the data behind the paper-style cost table.
+//!
+//! Every completed span (when metrics are enabled) folds into one
+//! [`StageStats`] row keyed by span name — call count, total wall
+//! time, total iterations, max peak-memory delta and total allocation
+//! calls. This is what `epplan solve --metrics` renders and what
+//! `SolveReport` attaches as its per-stage summary.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::lock;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct StageAgg {
+    calls: u64,
+    nanos: u128,
+    iters: u64,
+    peak_mem: u64,
+    alloc_calls: u64,
+}
+
+static STAGES: Mutex<BTreeMap<&'static str, StageAgg>> = Mutex::new(BTreeMap::new());
+
+pub(crate) fn record_stage(
+    name: &'static str,
+    dur: Duration,
+    iters: u64,
+    peak_mem: u64,
+    alloc_calls: u64,
+) {
+    let mut stages = lock(&STAGES);
+    let agg = stages.entry(name).or_default();
+    agg.calls += 1;
+    agg.nanos += dur.as_nanos();
+    agg.iters += iters;
+    agg.peak_mem = agg.peak_mem.max(peak_mem);
+    agg.alloc_calls += alloc_calls;
+}
+
+pub(crate) fn reset_stages() {
+    lock(&STAGES).clear();
+}
+
+/// Aggregate cost of one named stage (span) across a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Span name, e.g. `"gap.rounding"`.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub calls: u64,
+    /// Total wall time across all calls.
+    pub wall: Duration,
+    /// Total iteration count (pivots, augmentations, epochs, …).
+    pub iters: u64,
+    /// Maximum peak-memory delta over any single call, in bytes
+    /// (0 unless the `epplan-memtrack` allocator is installed).
+    pub peak_mem_bytes: u64,
+    /// Total allocation calls across all calls (same caveat).
+    pub alloc_calls: u64,
+}
+
+/// Snapshot of every stage aggregate, sorted by stage name.
+pub fn stage_stats() -> Vec<StageStats> {
+    let stages = lock(&STAGES);
+    stages
+        .iter()
+        .map(|(name, a)| StageStats {
+            name: name.to_string(),
+            calls: a.calls,
+            wall: Duration::from_nanos(a.nanos.min(u64::MAX as u128) as u64),
+            iters: a.iters,
+            peak_mem_bytes: a.peak_mem,
+            alloc_calls: a.alloc_calls,
+        })
+        .collect()
+}
+
+/// Remembers the stage aggregates at a point in time so the *delta*
+/// attributable to one solve can be extracted (`SolveReport.stages`).
+#[derive(Debug, Clone)]
+pub struct StageMark {
+    base: BTreeMap<String, StageAgg>,
+}
+
+impl StageMark {
+    /// Marks the current aggregate state.
+    pub fn now() -> Self {
+        let stages = lock(&STAGES);
+        StageMark {
+            base: stages.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
+        }
+    }
+
+    /// Stage stats accumulated since this mark (stages untouched since
+    /// the mark are omitted).
+    pub fn delta(&self) -> Vec<StageStats> {
+        stage_stats()
+            .into_iter()
+            .filter_map(|s| {
+                let base = self.base.get(&s.name).copied().unwrap_or_default();
+                let calls = s.calls.saturating_sub(base.calls);
+                if calls == 0 {
+                    return None;
+                }
+                Some(StageStats {
+                    calls,
+                    wall: s
+                        .wall
+                        .saturating_sub(Duration::from_nanos(
+                            base.nanos.min(u64::MAX as u128) as u64,
+                        )),
+                    iters: s.iters.saturating_sub(base.iters),
+                    // Max-peak can't be differenced; keep the run max.
+                    peak_mem_bytes: s.peak_mem_bytes,
+                    alloc_calls: s.alloc_calls.saturating_sub(base.alloc_calls),
+                    name: s.name,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Renders stage rows as the human cost table (wall time, calls,
+/// iterations, peak memory, allocation calls).
+pub fn render_stage_table(stages: &[StageStats]) -> String {
+    let mut out = String::new();
+    if stages.is_empty() {
+        out.push_str("(no stage data — was metrics collection enabled?)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+        "stage", "calls", "wall", "iters", "peak-mem", "allocs"
+    ));
+    for s in stages {
+        out.push_str(&format!(
+            "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+            s.name,
+            s.calls,
+            fmt_duration(s.wall),
+            s.iters,
+            fmt_bytes(s.peak_mem_bytes),
+            s.alloc_calls
+        ));
+    }
+    out
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", us as f64 / 1_000_000.0)
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.2}MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_aggregate_and_mark_deltas() {
+        let _g = lock(crate::test_mutex());
+        crate::enable_metrics();
+        crate::reset_metrics();
+        record_stage("test.stage", Duration::from_micros(100), 5, 2048, 3);
+        record_stage("test.stage", Duration::from_micros(50), 2, 4096, 1);
+        let stats = stage_stats();
+        let s = stats.iter().find(|s| s.name == "test.stage").unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.iters, 7);
+        assert_eq!(s.peak_mem_bytes, 4096);
+        assert_eq!(s.alloc_calls, 4);
+        assert_eq!(s.wall, Duration::from_micros(150));
+
+        let mark = StageMark::now();
+        record_stage("test.stage", Duration::from_micros(10), 1, 100, 2);
+        record_stage("test.other", Duration::from_micros(20), 9, 0, 0);
+        let delta = mark.delta();
+        assert_eq!(delta.len(), 2);
+        let d = delta.iter().find(|s| s.name == "test.stage").unwrap();
+        assert_eq!(d.calls, 1);
+        assert_eq!(d.iters, 1);
+        let o = delta.iter().find(|s| s.name == "test.other").unwrap();
+        assert_eq!(o.calls, 1);
+        assert_eq!(o.iters, 9);
+        crate::disable_metrics();
+        crate::reset_metrics();
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let rows = vec![StageStats {
+            name: "lp.simplex".to_string(),
+            calls: 1,
+            wall: Duration::from_micros(1234),
+            iters: 42,
+            peak_mem_bytes: 3 * 1024 * 1024,
+            alloc_calls: 10,
+        }];
+        let t = render_stage_table(&rows);
+        assert!(t.contains("lp.simplex"));
+        assert!(t.contains("1.23ms"));
+        assert!(t.contains("3.00MiB"));
+        assert!(render_stage_table(&[]).contains("no stage data"));
+    }
+
+    #[test]
+    fn duration_and_byte_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(10)), "10µs");
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.500s");
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+    }
+}

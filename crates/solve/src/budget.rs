@@ -142,6 +142,14 @@ impl BudgetGuard {
     }
 
     fn exhausted(&self, stage: &'static str, message: String) -> SolveError<()> {
+        // Budget-consumption metrics: how often budgets trip and how
+        // much work was spent when they did (no-ops unless enabled).
+        epplan_obs::counter_add("budget.exhausted", 1);
+        epplan_obs::gauge_set("budget.spent_iters", self.iterations as f64);
+        epplan_obs::gauge_set(
+            "budget.spent_ms",
+            self.started.elapsed().as_secs_f64() * 1e3,
+        );
         SolveError::new(FailureKind::BudgetExhausted, stage, message)
     }
 

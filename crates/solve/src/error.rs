@@ -20,6 +20,19 @@ pub enum FailureKind {
     NumericalInstability,
 }
 
+impl FailureKind {
+    /// Terse single-word code, used by the one-line degradation-chain
+    /// summary (`gap_based ✗ budget → greedy ✓`).
+    pub fn short_code(self) -> &'static str {
+        match self {
+            FailureKind::BadInput => "input",
+            FailureKind::Infeasible => "infeasible",
+            FailureKind::BudgetExhausted => "budget",
+            FailureKind::NumericalInstability => "numerical",
+        }
+    }
+}
+
 impl std::fmt::Display for FailureKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -3,6 +3,8 @@
 
 use std::time::Duration;
 
+use epplan_obs::StageStats;
+
 use crate::{FailureKind, SolveStatus};
 
 /// How one solver attempt in a degradation chain ended.
@@ -38,6 +40,10 @@ pub struct SolveReport {
     /// Attempts in execution order; the last one succeeded (when the
     /// overall solve succeeded).
     pub attempts: Vec<SolveAttempt>,
+    /// Per-stage cost breakdown (wall time, iterations, peak memory)
+    /// accumulated during this solve. Populated by facades when
+    /// `epplan_obs::metrics_enabled()`; empty otherwise.
+    pub stages: Vec<StageStats>,
 }
 
 impl SolveReport {
@@ -105,8 +111,18 @@ impl SolveReport {
             AttemptOutcome::Failed { .. } => None,
         })
     }
+
+    /// The per-stage cost table for this solve, rendered for humans
+    /// (wall time, iteration counts, peak-memory deltas per stage).
+    /// Says so explicitly when no stage data was collected.
+    pub fn cost_table(&self) -> String {
+        epplan_obs::render_stage_table(&self.stages)
+    }
 }
 
+/// One-line degradation-chain summary: each attempt as
+/// `solver ✗ reason` (failed) or `solver ✓` (succeeded), joined by
+/// ` → `, e.g. `gap_based ✗ budget → greedy ✓`.
 impl std::fmt::Display for SolveReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.attempts.is_empty() {
@@ -114,11 +130,18 @@ impl std::fmt::Display for SolveReport {
         }
         for (i, a) in self.attempts.iter().enumerate() {
             if i > 0 {
-                f.write_str(" -> ")?;
+                f.write_str(" → ")?;
             }
             match &a.outcome {
-                AttemptOutcome::Succeeded(s) => write!(f, "{} ({s})", a.solver)?,
-                AttemptOutcome::Failed { kind, .. } => write!(f, "{} ({kind})", a.solver)?,
+                AttemptOutcome::Succeeded(SolveStatus::Optimal) => {
+                    write!(f, "{} ✓", a.solver)?
+                }
+                AttemptOutcome::Succeeded(SolveStatus::BestEffort) => {
+                    write!(f, "{} ✓ best-effort", a.solver)?
+                }
+                AttemptOutcome::Failed { kind, .. } => {
+                    write!(f, "{} ✗ {}", a.solver, kind.short_code())?
+                }
             }
         }
         Ok(())
@@ -143,7 +166,48 @@ mod tests {
         assert_eq!(r.winner(), Some("greedy"));
         assert_eq!(r.final_status(), Some(SolveStatus::BestEffort));
         let s = r.to_string();
-        assert!(s.contains("gap_based (budget exhausted) -> greedy (best-effort)"), "{s}");
+        assert_eq!(s, "gap_based ✗ budget → greedy ✓ best-effort", "{s}");
+    }
+
+    #[test]
+    fn display_covers_every_outcome_shape() {
+        let mut r = SolveReport::new();
+        r.record_failure("exact", FailureKind::BadInput, "nan", Duration::ZERO);
+        r.record_failure(
+            "gap_based",
+            FailureKind::NumericalInstability,
+            "cycling",
+            Duration::ZERO,
+        );
+        r.record_failure("flow", FailureKind::Infeasible, "cut", Duration::ZERO);
+        r.record_success("greedy", SolveStatus::Optimal, Duration::ZERO);
+        assert_eq!(
+            r.to_string(),
+            "exact ✗ input → gap_based ✗ numerical → flow ✗ infeasible → greedy ✓"
+        );
+    }
+
+    #[test]
+    fn cost_table_reports_missing_stage_data() {
+        let r = SolveReport::new();
+        assert!(r.cost_table().contains("no stage data"));
+    }
+
+    #[test]
+    fn cost_table_renders_attached_stages() {
+        let mut r = SolveReport::new();
+        r.record_success("gap_based", SolveStatus::Optimal, Duration::ZERO);
+        r.stages = vec![epplan_obs::StageStats {
+            name: "lp.simplex".to_string(),
+            calls: 1,
+            wall: Duration::from_micros(500),
+            iters: 17,
+            peak_mem_bytes: 0,
+            alloc_calls: 0,
+        }];
+        let t = r.cost_table();
+        assert!(t.contains("lp.simplex"));
+        assert!(t.contains("17"));
     }
 
     #[test]

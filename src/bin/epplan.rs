@@ -5,7 +5,8 @@
 //! epplan generate --city vancouver --out instance.json
 //! epplan solve --instance instance.json [--solver greedy|gap|exact]
 //!              [--seed 7] [--time-limit-ms 500] [--max-iters 10000]
-//!              [--out plan.json]
+//!              [--out plan.json] [--stats] [--metrics] [--json-metrics]
+//!              [--trace trace.jsonl]
 //! epplan validate --instance instance.json --plan plan.json
 //! epplan apply --instance instance.json --plan plan.json --ops ops.json
 //!              [--out-instance i2.json] [--out-plan p2.json]
@@ -44,7 +45,13 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Duration;
+
+// Count allocations so per-span `mem_peak_bytes` / `alloc_calls` in
+// trace output reflect real allocator traffic, as in the bench binary.
+#[global_allocator]
+static ALLOC: epplan::memtrack::Tracking = epplan::memtrack::Tracking;
 
 /// Failure classes, each mapping to a stable exit code.
 #[derive(Debug, Clone, Copy)]
@@ -122,14 +129,61 @@ fn usage() -> ! {
     )
 }
 
-/// Parses `--flag value` pairs after the subcommand.
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Per-subcommand flag grammar: which `--flag value` pairs and which
+/// bare `--flag` booleans a subcommand accepts. Anything else is a
+/// usage error — silently swallowing a typo like `--solvr gap` would
+/// run the wrong solver without complaint.
+struct FlagSpec {
+    value: &'static [&'static str],
+    boolean: &'static [&'static str],
+}
+
+fn flag_spec(cmd: &str) -> FlagSpec {
+    match cmd {
+        "generate" => FlagSpec {
+            value: &["users", "events", "seed", "out", "city"],
+            boolean: &[],
+        },
+        "solve" => FlagSpec {
+            value: &["instance", "solver", "seed", "time-limit-ms", "max-iters", "out", "trace"],
+            boolean: &["stats", "metrics", "json-metrics"],
+        },
+        "validate" => FlagSpec {
+            value: &["instance", "plan"],
+            boolean: &[],
+        },
+        "apply" => FlagSpec {
+            value: &["instance", "plan", "ops", "out-instance", "out-plan"],
+            boolean: &[],
+        },
+        "example" => FlagSpec {
+            value: &["out"],
+            boolean: &[],
+        },
+        _ => usage(),
+    }
+}
+
+/// Parses the arguments after the subcommand against its [`FlagSpec`].
+/// Boolean flags are stored with an empty value; test for presence
+/// with `contains_key`.
+fn parse_flags(cmd: &str, args: &[String], spec: &FlagSpec) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(k) = it.next() {
         let Some(name) = k.strip_prefix("--") else {
             fail(FailClass::Usage, &format!("unexpected argument {k}"));
         };
+        if spec.boolean.contains(&name) {
+            flags.insert(name.to_string(), String::new());
+            continue;
+        }
+        if !spec.value.contains(&name) {
+            fail(
+                FailClass::Usage,
+                &format!("unknown flag --{name} for `{cmd}`"),
+            );
+        }
         let Some(v) = it.next() else {
             fail(FailClass::Usage, &format!("flag --{name} needs a value"));
         };
@@ -269,8 +323,56 @@ fn parse_budget(flags: &HashMap<String, String>) -> SolveBudget {
     budget
 }
 
+/// Which observability outputs `solve` was asked for, set up from the
+/// `--trace` / `--metrics` / `--json-metrics` flags.
+struct ObsConfig {
+    tracing: bool,
+    metrics: bool,
+    json_metrics: bool,
+}
+
+fn setup_obs(flags: &HashMap<String, String>) -> ObsConfig {
+    let tracing = match flags.get("trace") {
+        Some(path) => {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                fail(FailClass::Io, &format!("cannot create trace file {path}: {e}"))
+            });
+            epplan::obs::install_sink(Arc::new(epplan::obs::JsonlSink::new(
+                std::io::BufWriter::new(file),
+            )));
+            true
+        }
+        None => false,
+    };
+    let metrics = flags.contains_key("metrics");
+    let json_metrics = flags.contains_key("json-metrics");
+    if metrics || json_metrics {
+        epplan::obs::enable_metrics();
+    }
+    ObsConfig { tracing, metrics, json_metrics }
+}
+
+/// Flushes the trace sink and emits the metrics snapshot. Must run on
+/// every `solve` exit path — including the degraded-fallback one — so a
+/// failed run still yields its trace and cost table.
+fn finish_obs(cfg: &ObsConfig) {
+    if cfg.tracing {
+        drop(epplan::obs::uninstall_sink());
+    }
+    if cfg.metrics || cfg.json_metrics {
+        let snap = epplan::obs::snapshot();
+        if cfg.metrics {
+            eprintln!("{}", snap.render_table());
+        }
+        if cfg.json_metrics {
+            println!("{}", snap.to_json());
+        }
+    }
+}
+
 fn cmd_solve(flags: HashMap<String, String>) {
     let instance = load_instance(&flags);
+    let obs = setup_obs(&flags);
     let seed: u64 = flags
         .get("seed")
         .map(|v| v.parse().unwrap_or_else(|_| fail(FailClass::Usage, "bad --seed")))
@@ -303,6 +405,7 @@ fn cmd_solve(flags: HashMap<String, String>) {
                 e.message,
                 partial.report
             );
+            finish_obs(&obs);
             summarize(&instance, &partial.plan);
             if let Some(path) = flags.get("out") {
                 write_json(&partial.plan, path);
@@ -328,6 +431,7 @@ fn cmd_solve(flags: HashMap<String, String>) {
     if let Some(path) = flags.get("out") {
         write_json(&solution.plan, path);
     }
+    finish_obs(&obs);
 }
 
 fn cmd_validate(flags: HashMap<String, String>) {
@@ -392,7 +496,7 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
-    let flags = parse_flags(rest);
+    let flags = parse_flags(cmd, rest, &flag_spec(cmd));
     match cmd.as_str() {
         "generate" => cmd_generate(flags),
         "solve" => cmd_solve(flags),

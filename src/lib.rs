@@ -30,6 +30,7 @@ pub use epplan_gap as gap;
 pub use epplan_geo as geo;
 pub use epplan_lp as lp;
 pub use epplan_memtrack as memtrack;
+pub use epplan_obs as obs;
 
 /// Commonly used items, re-exported for `use epplan::prelude::*`.
 pub mod prelude {

@@ -289,6 +289,76 @@ fn missing_required_flag_fails() {
 }
 
 #[test]
+fn unknown_flag_is_usage_error() {
+    let out = bin()
+        .args(["solve", "--instance", "x.json", "--solvr", "gap"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let (class, line) = parse_error_object(&out.stderr);
+    assert_eq!(class, "usage");
+    assert!(line.contains("unknown flag --solvr"), "{line}");
+}
+
+#[test]
+fn trace_and_metrics_outputs() {
+    let dir = tmp_dir("obs");
+    let inst = dir.join("inst.json");
+    let trace = dir.join("trace.jsonl");
+    assert!(bin()
+        .args(["generate", "--users", "60", "--events", "8", "--seed", "3"])
+        .args(["--out", inst.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["solve", "--instance", inst.to_str().unwrap(), "--solver", "gap"])
+        .args(["--trace", trace.to_str().unwrap()])
+        .args(["--metrics", "--json-metrics"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Every trace line parses as a JSON object carrying the schema
+    // keys (extra keys like `parent`/`iters` are ignored by the typed
+    // deserialize).
+    #[derive(serde::Deserialize)]
+    struct TraceLine {
+        ts: u64,
+        id: u64,
+        span: String,
+        dur_us: u64,
+    }
+    let body = std::fs::read_to_string(&trace).unwrap();
+    assert!(!body.trim().is_empty(), "trace file is empty");
+    let mut saw_nested = false;
+    for line in body.lines() {
+        let ev: TraceLine = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("bad trace line {line}: {e}"));
+        assert!(!ev.span.is_empty(), "empty span name: {line}");
+        assert!(ev.id > 0, "span id must be positive: {line}");
+        let _ = (ev.ts, ev.dur_us);
+        saw_nested |= line.contains("\"parent\":");
+    }
+    assert!(saw_nested, "no nested span (parent id) in trace:\n{body}");
+
+    // --metrics renders the human stage table on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stage"), "{stderr}");
+    assert!(stderr.contains("lp.simplex"), "{stderr}");
+
+    // --json-metrics puts a machine-readable snapshot on stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let snap_line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{') && l.contains("\"counters\""))
+        .unwrap_or_else(|| panic!("no metrics JSON in stdout: {stdout}"));
+    assert!(snap_line.contains("\"lp.iterations\":"), "{snap_line}");
+    assert!(snap_line.contains("\"stages\":"), "{snap_line}");
+}
+
+#[test]
 fn bad_ops_json_fails_cleanly() {
     let dir = tmp_dir("badops");
     let inst = dir.join("inst.json");

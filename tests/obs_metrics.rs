@@ -1,0 +1,65 @@
+//! Tier-1 observability test: a GAP-based solve on a real generated
+//! instance must leave non-trivial tracks in the global metrics
+//! registry — LP pivots, MW epochs, and rounding slot-graph sizes.
+//!
+//! Metrics are process-global, so both solver configurations run
+//! inside one test function with a `reset_metrics` between them.
+
+use epplan::datagen::{generate, GeneratorConfig};
+use epplan::gap::{FractionalMethod, GapConfig};
+use epplan::obs;
+use epplan::prelude::*;
+
+#[test]
+fn gap_solve_emits_stage_metrics() {
+    let instance = generate(&GeneratorConfig {
+        n_users: 60,
+        n_events: 8,
+        seed: 3,
+        ..Default::default()
+    });
+    obs::enable_metrics();
+
+    // Simplex path: the LP relaxation must pivot and the ST rounding
+    // must build a non-empty slot graph.
+    obs::reset_metrics();
+    let solver = GapBasedSolver::with_gap_config(GapConfig {
+        method: FractionalMethod::Simplex,
+        ..Default::default()
+    });
+    let solution = solver.solve(&instance);
+    assert!(solution.plan.validate(&instance).hard_ok());
+    assert!(
+        obs::counter_value("lp.iterations") > 0,
+        "simplex solve recorded no LP pivots"
+    );
+    assert!(
+        obs::counter_value("rounding.slots") > 0,
+        "rounding recorded no slots"
+    );
+    let stages: Vec<&str> = solution.report.stages.iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        stages.contains(&"lp.simplex") && stages.contains(&"gap.rounding"),
+        "SolveReport stage summary missing expected stages: {stages:?}"
+    );
+
+    // Multiplicative-weights path: epochs and oracle calls instead of
+    // pivots.
+    obs::reset_metrics();
+    let solver = GapBasedSolver::with_gap_config(GapConfig {
+        method: FractionalMethod::MultiplicativeWeights,
+        ..Default::default()
+    });
+    let solution = solver.solve(&instance);
+    assert!(solution.plan.validate(&instance).hard_ok());
+    assert!(
+        obs::counter_value("packing.epochs") > 0,
+        "MW solve recorded no packing epochs"
+    );
+    assert!(
+        obs::counter_value("rounding.slots") > 0,
+        "rounding recorded no slots on the MW path"
+    );
+
+    obs::disable_metrics();
+}
