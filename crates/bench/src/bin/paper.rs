@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper [--quick] [--reps N] [--obs] <experiment>...
+//! paper [--quick] [--reps N] [--obs] [--threads N] <experiment>...
 //!
 //! experiments:
 //!   example   Paper Example 1 sanity run
@@ -14,8 +14,14 @@
 //!   fig4      IEP utility/time scalability sweeps
 //!   fig5      IEP memory scalability sweeps
 //!   ablations A1 (approx ratios), A2 (LP vs MW), A3 (filler)
-//!   all       everything above
+//!   bench     serial-vs-parallel baseline, written to BENCH_gepc.json
+//!   all       everything above except bench
 //! ```
+//!
+//! `--threads N` pins the worker count for every solver stage (same
+//! knob as the `EPPLAN_THREADS` env var); the default is the machine's
+//! available parallelism. `bench` compares `threads=1` against that
+//! resolved count.
 //!
 //! Memory numbers are live because this binary installs the
 //! `epplan-memtrack` counting allocator. `--obs` turns on the
@@ -33,8 +39,8 @@ static ALLOC: epplan_memtrack::Tracking = epplan_memtrack::Tracking;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper [--quick] [--reps N] [--obs] \
-         <example|table6|fig2|fig3|table7|table8|table9|fig4|fig5|ablations|all>..."
+        "usage: paper [--quick] [--reps N] [--obs] [--threads N] \
+         <example|table6|fig2|fig3|table7|table8|table9|fig4|fig5|ablations|bench|all>..."
     );
     std::process::exit(2)
 }
@@ -69,6 +75,13 @@ fn main() {
                     usage()
                 };
                 opts.reps = n;
+            }
+            "--threads" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
+                else {
+                    usage()
+                };
+                epplan_par::set_threads(n);
             }
             "--csv" => {
                 let Some(dir) = args.next() else { usage() };
@@ -134,6 +147,15 @@ fn main() {
                     .get_or_insert_with(|| experiments::iep_scaling(&opts))
                     .clone();
                 fig5.iter().for_each(|t| emit(t, csv_dir.as_ref()));
+            }
+            "bench" => {
+                let json = experiments::bench_gepc(&opts, epplan_par::threads());
+                let path = "BENCH_gepc.json";
+                match std::fs::write(path, &json) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+                }
+                print!("{json}");
             }
             "ablations" => {
                 emit(&experiments::ablation_approx(&opts), csv_dir.as_ref());

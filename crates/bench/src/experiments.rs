@@ -640,6 +640,108 @@ pub fn ablation_geography(opts: &HarnessOptions) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------
+// BENCH_gepc.json — the serial-vs-parallel performance baseline.
+// ---------------------------------------------------------------------
+
+/// One measured (instance, thread-count) cell of the parallel baseline.
+struct BenchCell {
+    threads: usize,
+    utility: f64,
+    wall_s: f64,
+    mem_mib: f64,
+    packing_wall_s: f64,
+}
+
+fn bench_cell(inst: &Instance, threads: usize) -> BenchCell {
+    epplan_par::set_threads(threads);
+    let mark = epplan_obs::StageMark::now();
+    let m = measure(|| gap_solver_fast().solve(inst));
+    // The MW packing oracle is the headline parallel stage; pull its
+    // wall time out of the per-stage aggregates for this run only.
+    let packing_wall_s = mark
+        .delta()
+        .into_iter()
+        .find(|s| s.name == "gap.packing")
+        .map(|s| s.wall.as_secs_f64())
+        .unwrap_or(0.0);
+    BenchCell {
+        threads,
+        utility: m.value.utility,
+        wall_s: m.seconds,
+        mem_mib: m.mem_mib,
+        packing_wall_s,
+    }
+}
+
+/// Serial-vs-parallel GEPC baseline: the MW GAP pipeline at `threads=1`
+/// and `threads=n` on the Fig-2 |U| grid at |E|=50. Returns the JSON
+/// document committed as `BENCH_gepc.json`. Parallel runs must produce
+/// the same plan utility as serial ones (the `epplan-par` determinism
+/// contract); each summary row records that check's outcome.
+pub fn bench_gepc(opts: &HarnessOptions, threads: usize) -> String {
+    // Stage aggregates only accumulate while metrics are on.
+    let was_enabled = epplan_obs::metrics_enabled();
+    epplan_obs::enable_metrics();
+    let prior = epplan_par::threads();
+
+    let grid: &[(usize, usize)] = if opts.quick {
+        &[(500, 50), (1000, 50)]
+    } else {
+        &[(1000, 50), (5000, 50), (10000, 50)]
+    };
+    let mut rows = String::new();
+    let mut summary = String::new();
+    for (i, &(users, events)) in grid.iter().enumerate() {
+        let inst = generate(&GeneratorConfig::default().cutout(users, events));
+        let serial = bench_cell(&inst, 1);
+        let parallel = if threads > 1 {
+            bench_cell(&inst, threads)
+        } else {
+            bench_cell(&inst, 1)
+        };
+        for c in [&serial, &parallel] {
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"users\": {users}, \"events\": {events}, \"threads\": {}, \
+                 \"utility\": {:.6}, \"wall_s\": {:.6}, \"mem_mib\": {:.3}, \
+                 \"packing_wall_s\": {:.6}}}",
+                c.threads, c.utility, c.wall_s, c.mem_mib, c.packing_wall_s
+            ));
+        }
+        if i > 0 {
+            summary.push_str(",\n");
+        }
+        let wall_speedup = serial.wall_s / parallel.wall_s.max(1e-12);
+        let packing_speedup = serial.packing_wall_s / parallel.packing_wall_s.max(1e-12);
+        summary.push_str(&format!(
+            "    {{\"users\": {users}, \"events\": {events}, \
+             \"wall_speedup\": {wall_speedup:.3}, \
+             \"packing_speedup\": {packing_speedup:.3}, \
+             \"deterministic\": {}}}",
+            (serial.utility - parallel.utility).abs() < 1e-9
+        ));
+    }
+
+    epplan_par::set_threads(prior);
+    if !was_enabled {
+        epplan_obs::disable_metrics();
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "{{\n  \"bench\": \"gepc_serial_vs_parallel\",\n  \
+         \"solver\": \"gap(multiplicative-weights)\",\n  \
+         \"machine_cores\": {cores},\n  \
+         \"threads_compared\": [1, {threads}],\n  \
+         \"rows\": [\n{rows}\n  ],\n  \
+         \"summary\": [\n{summary}\n  ]\n}}\n"
+    )
+}
+
 /// Quickstart sanity: solves the paper's Example 1 with all three
 /// solvers and prints the resulting utilities.
 pub fn example_table() -> Table {

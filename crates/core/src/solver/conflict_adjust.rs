@@ -20,6 +20,43 @@
 use crate::model::{EventId, Instance, UserId};
 use crate::plan::Plan;
 
+/// Events per parallel receiver-ranking chunk (each costs an
+/// `O(n log n)` sort over the users).
+const ORDER_MIN_CHUNK: usize = 8;
+
+/// Precomputes the receiver preference order — users with positive
+/// utility, descending utility then ascending id — for every event
+/// marked in `needed`, fanned out across event chunks. Reassignment
+/// then consumes a fixed order instead of re-sorting per offer; the
+/// offering user is skipped at iteration time, which yields exactly
+/// the per-offer order the sequential sort produced.
+fn receiver_orders(instance: &Instance, needed: &[bool]) -> Vec<Option<Vec<UserId>>> {
+    epplan_par::par_range_map(instance.n_events(), ORDER_MIN_CHUNK, |events| {
+        events
+            .map(|ei| {
+                if !needed[ei] {
+                    return None;
+                }
+                let e = EventId(ei as u32);
+                let mut order: Vec<UserId> = instance
+                    .user_ids()
+                    .filter(|&u| instance.utility(u, e) > 0.0)
+                    .collect();
+                order.sort_by(|&a, &b| {
+                    instance
+                        .utility(b, e)
+                        .total_cmp(&instance.utility(a, e))
+                        .then(a.cmp(&b))
+                });
+                Some(order)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// A raw (pre-repair) assignment: per-user event multiset, possibly
 /// containing duplicates and time conflicts. This is what the GAP
 /// rounding hands back, with one entry per assigned event copy.
@@ -58,18 +95,12 @@ fn try_reassign(
     processed: usize,
     e: EventId,
     exclude: UserId,
+    order: &[UserId],
 ) -> Option<UserId> {
-    let mut candidates: Vec<UserId> = instance
-        .user_ids()
-        .filter(|&u| u != exclude && instance.utility(u, e) > 0.0)
-        .collect();
-    candidates.sort_by(|&a, &b| {
-        instance
-            .utility(b, e)
-            .total_cmp(&instance.utility(a, e))
-            .then(a.cmp(&b))
-    });
-    for u in candidates {
+    for &u in order {
+        if u == exclude {
+            continue;
+        }
         let current: &[EventId] = if u.index() < processed {
             plan.user_plan(u)
         } else {
@@ -106,6 +137,18 @@ pub fn conflict_adjust(instance: &Instance, raw: RawAssignment) -> Plan {
     }
     let mut plan = Plan::for_instance(instance);
 
+    // Only events present in the raw assignment can ever be offered
+    // around (reassignment moves existing copies; it never conjures new
+    // events), so their receiver orders cover every offer below.
+    let mut needed = vec![false; instance.n_events()];
+    for multiset in &working {
+        for e in multiset {
+            needed[e.index()] = true;
+        }
+    }
+    let orders = receiver_orders(instance, &needed);
+    const NO_ORDER: &[UserId] = &[];
+
     for u in 0..working.len() {
         let user = UserId(u as u32);
         // Resolve this user's conflicts on the multiset.
@@ -123,7 +166,8 @@ pub fn conflict_adjust(instance: &Instance, raw: RawAssignment) -> Plan {
             // Offer the removed copy to the other users; if no one can
             // absorb it, the copy is dropped (the shortfall surfaces in
             // validation).
-            let _ = try_reassign(instance, &mut plan, &mut working, u, e, user);
+            let order = orders[e.index()].as_deref().unwrap_or(NO_ORDER);
+            let _ = try_reassign(instance, &mut plan, &mut working, u, e, user, order);
         }
         // Commit the now conflict-free multiset (`Plan::add` ignores
         // any residual duplicate defensively).
@@ -141,6 +185,15 @@ pub fn conflict_adjust(instance: &Instance, raw: RawAssignment) -> Plan {
 /// number of assignments that had to be dropped entirely.
 pub fn budget_repair(instance: &Instance, plan: &mut Plan) -> usize {
     let mut dropped = 0;
+    // Victims only ever come out of the incoming plan, so the events
+    // currently planned bound the receiver orders needed.
+    let mut needed = vec![false; instance.n_events()];
+    for u in instance.user_ids() {
+        for e in plan.user_plan(u) {
+            needed[e.index()] = true;
+        }
+    }
+    let orders = receiver_orders(instance, &needed);
     for u in instance.user_ids() {
         while plan.travel_cost(instance, u) > instance.user(u).budget + 1e-9 {
             // Remove the event contributing the least utility.
@@ -156,7 +209,8 @@ pub fn budget_repair(instance: &Instance, plan: &mut Plan) -> usize {
             // All users are "processed" here: reassignment checks go
             // against the committed plan only.
             let n = instance.n_users();
-            if try_reassign(instance, plan, &mut [], n, victim, u).is_none() {
+            let order = orders[victim.index()].as_deref().unwrap_or(&[]);
+            if try_reassign(instance, plan, &mut [], n, victim, u, order).is_none() {
                 dropped += 1;
             }
         }

@@ -18,6 +18,10 @@ use crate::plan::Plan;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Users per parallel candidate-scan chunk (each user costs an `O(m)`
+/// pass over the events).
+const SCAN_MIN_CHUNK: usize = 16;
+
 /// A max-heap key ordering candidate assignments by utility.
 #[derive(PartialEq)]
 struct Candidate {
@@ -55,33 +59,56 @@ impl Ord for Candidate {
 /// budget, less capacity), so a candidate that fails once can be
 /// discarded permanently.
 pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserId]>) -> usize {
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
     let user_iter: Vec<UserId> = match users {
         Some(us) => us.to_vec(),
         None => instance.user_ids().collect(),
     };
-    for &u in &user_iter {
-        let budget = instance.user(u).budget;
-        for e in instance.event_ids() {
-            let mu = instance.utility(u, e);
-            if mu <= 0.0 || plan.contains(u, e) {
-                continue;
-            }
-            if plan.attendance(e) >= instance.event(e).upper {
-                continue;
-            }
-            // Cheap reachability prefilter: a round trip to the single
-            // event (plus its fee) already exceeds the budget.
-            if 2.0 * instance.distance(u, e) + instance.event(e).fee > budget + 1e-9 {
-                continue;
-            }
-            heap.push(Candidate {
-                utility: mu,
-                user: u,
-                event: e,
-            });
-        }
+    // Candidate generation is a pure scan of the (frozen) plan, so it
+    // fans out across user chunks. Candidates are pairwise distinct
+    // under `Candidate`'s total order, so the heap's pop sequence — and
+    // with it the fill — is independent of push order entirely.
+    let snapshot: &Plan = plan;
+    if epplan_obs::metrics_enabled() {
+        epplan_obs::gauge_set("filler.par.threads", epplan_par::threads() as f64);
+        epplan_obs::gauge_set(
+            "filler.par.chunks",
+            epplan_par::chunk_count(user_iter.len(), SCAN_MIN_CHUNK) as f64,
+        );
     }
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::from(
+        epplan_par::par_chunks_map(&user_iter, SCAN_MIN_CHUNK, |_, chunk| {
+            let mut out: Vec<Candidate> = Vec::new();
+            for &u in chunk {
+                let budget = instance.user(u).budget;
+                for e in instance.event_ids() {
+                    let mu = instance.utility(u, e);
+                    if mu <= 0.0 || snapshot.contains(u, e) {
+                        continue;
+                    }
+                    if snapshot.attendance(e) >= instance.event(e).upper {
+                        continue;
+                    }
+                    // Cheap reachability prefilter: a round trip to the
+                    // single event (plus its fee) already exceeds the
+                    // budget.
+                    if 2.0 * instance.distance(u, e) + instance.event(e).fee
+                        > budget + 1e-9
+                    {
+                        continue;
+                    }
+                    out.push(Candidate {
+                        utility: mu,
+                        user: u,
+                        event: e,
+                    });
+                }
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>(),
+    );
 
     let mut added = 0;
     while let Some(c) = heap.pop() {

@@ -18,6 +18,9 @@ use crate::solver::{filler, GepcSolver, Solution};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Users per parallel ranking chunk (each costs an `O(m log m)` sort).
+const RANK_MIN_CHUNK: usize = 16;
+
 /// Configurable greedy solver. Deterministic for a fixed [`seed`]
 /// (`GreedySolver::seeded`): the paper notes the random user order
 /// influences total utility (Example 5), so benchmarks fix seeds.
@@ -87,6 +90,43 @@ impl GepcSolver for GreedySolver {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         order.shuffle(&mut rng);
 
+        // Each user's utility-descending event ranking is independent
+        // of every other user's, so all rankings are precomputed in
+        // parallel; the take loop below stays sequential (it threads
+        // shared copy counters) and reads them in shuffled order.
+        let ranked_all: Vec<Vec<crate::model::EventId>> = if total_copies == 0 {
+            Vec::new()
+        } else {
+            if epplan_obs::metrics_enabled() {
+                epplan_obs::gauge_set("greedy.par.threads", epplan_par::threads() as f64);
+                epplan_obs::gauge_set(
+                    "greedy.par.chunks",
+                    epplan_par::chunk_count(instance.n_users(), RANK_MIN_CHUNK) as f64,
+                );
+            }
+            epplan_par::par_range_map(instance.n_users(), RANK_MIN_CHUNK, |users| {
+                users
+                    .map(|ui| {
+                        let u = crate::model::UserId(ui as u32);
+                        let mut ranked: Vec<crate::model::EventId> = instance
+                            .event_ids()
+                            .filter(|&e| instance.utility(u, e) > 0.0)
+                            .collect();
+                        ranked.sort_by(|&a, &b| {
+                            instance
+                                .utility(u, b)
+                                .total_cmp(&instance.utility(u, a))
+                                .then(a.cmp(&b))
+                        });
+                        ranked
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
         'users: for &u in &order {
             if total_copies == 0 {
                 break;
@@ -97,19 +137,10 @@ impl GepcSolver for GreedySolver {
             // descending utility each round matches "find the event
             // that maximizes μ(u_i, e)" with the infeasible ones
             // skipped.
-            let mut ranked: Vec<crate::model::EventId> = instance
-                .event_ids()
-                .filter(|&e| instance.utility(u, e) > 0.0)
-                .collect();
-            ranked.sort_by(|&a, &b| {
-                instance
-                    .utility(u, b)
-                    .total_cmp(&instance.utility(u, a))
-                    .then(a.cmp(&b))
-            });
+            let ranked = &ranked_all[u.index()];
             loop {
                 let mut taken = false;
-                for &e in &ranked {
+                for &e in ranked {
                     if copies[e.index()] == 0 || plan.contains(u, e) {
                         continue;
                     }

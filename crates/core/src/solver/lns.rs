@@ -20,6 +20,26 @@ use crate::plan::Plan;
 use crate::solver::{filler, GepcSolver, GreedySolver, LocalSearch, Solution};
 use rand::prelude::*;
 
+/// Users (or events) per chunk in the acceptance-test scans.
+const SCORE_MIN_CHUNK: usize = 256;
+
+/// Plan utility, parallel over user chunks. Chunk subtotals merge in
+/// index order, so the value depends only on the fixed chunk plan —
+/// every LNS acceptance test sees the same score at any thread count.
+fn plan_utility(instance: &Instance, plan: &Plan) -> f64 {
+    epplan_par::par_range_reduce(
+        instance.n_users(),
+        SCORE_MIN_CHUNK,
+        |users| {
+            users
+                .map(|ui| plan.user_utility(instance, UserId(ui as u32)))
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+}
+
 /// Configurable LNS solver.
 #[derive(Debug, Clone)]
 pub struct LnsSolver {
@@ -95,13 +115,13 @@ impl GepcSolver for LnsSolver {
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Seed with the paper's greedy two-step solution.
         let mut best = GreedySolver::seeded(self.seed).solve(instance).plan;
-        let mut best_utility = best.total_utility(instance);
+        let mut best_utility = plan_utility(instance, &best);
         let mut best_shortfall = count_shortfall(instance, &best);
 
         let mut current = best.clone();
         for _ in 0..self.iterations {
             self.destroy_and_repair(instance, &mut current, &mut rng);
-            let utility = current.total_utility(instance);
+            let utility = plan_utility(instance, &current);
             let shortfall = count_shortfall(instance, &current);
             // Accept lexicographically: fewer shortfalls first, then
             // higher utility.
@@ -129,10 +149,22 @@ impl GepcSolver for LnsSolver {
 }
 
 fn count_shortfall(instance: &Instance, plan: &Plan) -> usize {
-    instance
-        .event_ids()
-        .filter(|&e| plan.attendance(e) < instance.event(e).lower)
-        .count()
+    // Exact integer reduction: chunked counting is associative, so the
+    // parallel count always equals the serial one.
+    epplan_par::par_range_reduce(
+        instance.n_events(),
+        SCORE_MIN_CHUNK,
+        |events| {
+            events
+                .filter(|&ei| {
+                    let e = crate::model::EventId(ei as u32);
+                    plan.attendance(e) < instance.event(e).lower
+                })
+                .count()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0)
 }
 
 #[cfg(test)]

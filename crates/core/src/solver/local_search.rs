@@ -20,6 +20,21 @@
 use crate::model::{EventId, Instance, UserId};
 use crate::plan::Plan;
 
+/// Users per parallel proposal chunk (a proposal costs `O(m · |plan|)`
+/// feasibility checks).
+const PROPOSE_MIN_CHUNK: usize = 8;
+
+/// A user's best candidate moves, evaluated against a plan snapshot.
+/// Application re-validates against the live plan, since earlier users'
+/// applied moves may have consumed the capacity a proposal relied on.
+#[derive(Debug, Clone, Copy, Default)]
+struct Proposal {
+    /// Best extra event and its utility.
+    add: Option<(EventId, f64)>,
+    /// Best `(old, new, gain)` replacement.
+    swap: Option<(EventId, EventId, f64)>,
+}
+
 /// Configuration for [`LocalSearch::improve`].
 #[derive(Debug, Clone, Copy)]
 pub struct LocalSearch {
@@ -44,6 +59,13 @@ impl LocalSearch {
     /// Runs improvement sweeps until a sweep finds no move or the round
     /// budget is spent. Returns the total utility gained.
     pub fn improve(&self, instance: &Instance, plan: &mut Plan) -> f64 {
+        if epplan_obs::metrics_enabled() {
+            epplan_obs::gauge_set("local_search.par.threads", epplan_par::threads() as f64);
+            epplan_obs::gauge_set(
+                "local_search.par.chunks",
+                epplan_par::chunk_count(instance.n_users(), PROPOSE_MIN_CHUNK) as f64,
+            );
+        }
         let mut total_gain = 0.0;
         for _ in 0..self.max_rounds {
             let gain = self.sweep(instance, plan);
@@ -55,19 +77,61 @@ impl LocalSearch {
         total_gain
     }
 
-    /// One pass over all users applying the best single move per user.
+    /// One improvement pass: every user's best add/swap is *proposed*
+    /// in parallel against a frozen snapshot of the plan, then the
+    /// proposals are *applied* sequentially in user-id order, each
+    /// re-validated against the live plan (an earlier user's applied
+    /// move may have consumed the capacity a later proposal assumed).
+    /// The apply order is fixed, so the sweep's outcome depends only on
+    /// the snapshot — not on the thread count. Moves invalidated at
+    /// apply time are simply dropped; the next sweep re-proposes
+    /// against the updated plan.
     fn sweep(&self, instance: &Instance, plan: &mut Plan) -> f64 {
+        let snapshot: &Plan = plan;
+        let proposals: Vec<Proposal> =
+            epplan_par::par_range_map(instance.n_users(), PROPOSE_MIN_CHUNK, |users| {
+                users
+                    .map(|ui| {
+                        let u = UserId(ui as u32);
+                        Proposal {
+                            add: self.propose_add(instance, snapshot, u),
+                            swap: self.propose_swap(instance, snapshot, u),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
         let mut gain = 0.0;
-        for u in instance.user_ids() {
-            gain += self.best_add(instance, plan, u);
-            gain += self.best_swap(instance, plan, u);
+        for (ui, p) in proposals.iter().enumerate() {
+            let u = UserId(ui as u32);
+            if let Some((e, mu)) = p.add {
+                if self.add_still_valid(instance, plan, u, e) {
+                    plan.add(u, e);
+                    gain += mu;
+                }
+            }
+            if let Some((old, new, delta)) = p.swap {
+                if self.swap_still_valid(instance, plan, u, old, new) {
+                    plan.remove(u, old);
+                    plan.add(u, new);
+                    gain += delta;
+                }
+            }
         }
         gain += self.transfers(instance, plan);
         gain
     }
 
-    /// Adds the best feasible extra event to `u`'s plan, if any.
-    fn best_add(&self, instance: &Instance, plan: &mut Plan, u: UserId) -> f64 {
+    /// Proposes the best feasible extra event for `u` under `plan`.
+    fn propose_add(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        u: UserId,
+    ) -> Option<(EventId, f64)> {
         let mut best: Option<(EventId, f64)> = None;
         for e in instance.event_ids() {
             let mu = instance.utility(u, e);
@@ -84,17 +148,29 @@ impl LocalSearch {
                 best = Some((e, mu));
             }
         }
-        match best {
-            Some((e, mu)) => {
-                plan.add(u, e);
-                mu
-            }
-            None => 0.0,
-        }
+        best
     }
 
-    /// Applies the best utility-improving swap in `u`'s plan, if any.
-    fn best_swap(&self, instance: &Instance, plan: &mut Plan, u: UserId) -> f64 {
+    /// Re-checks a proposed add against the live plan.
+    fn add_still_valid(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        u: UserId,
+        e: EventId,
+    ) -> bool {
+        !plan.contains(u, e)
+            && plan.attendance(e) < instance.event(e).upper
+            && instance.can_attend_with(u, plan.user_plan(u), e)
+    }
+
+    /// Proposes the best utility-improving swap in `u`'s plan.
+    fn propose_swap(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        u: UserId,
+    ) -> Option<(EventId, EventId, f64)> {
         let current: Vec<EventId> = plan.user_plan(u).to_vec();
         let mut best: Option<(EventId, EventId, f64)> = None;
         for &old in &current {
@@ -121,14 +197,31 @@ impl LocalSearch {
                 }
             }
         }
-        match best {
-            Some((old, new, delta)) => {
-                plan.remove(u, old);
-                plan.add(u, new);
-                delta
-            }
-            None => 0.0,
+        best
+    }
+
+    /// Re-checks a proposed swap against the live plan (including the
+    /// user's own just-applied add, which may conflict with `new`).
+    fn swap_still_valid(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        u: UserId,
+        old: EventId,
+        new: EventId,
+    ) -> bool {
+        let current = plan.user_plan(u);
+        if !current.contains(&old) || current.contains(&new) {
+            return false;
         }
+        if plan.attendance(old) <= instance.event(old).lower {
+            return false;
+        }
+        if plan.attendance(new) >= instance.event(new).upper {
+            return false;
+        }
+        let rest: Vec<EventId> = current.iter().copied().filter(|&e| e != old).collect();
+        instance.can_attend_with(u, &rest, new)
     }
 
     /// Transfers assignments to users who value them more. Attendance

@@ -1,9 +1,13 @@
 //! The instance generator.
 
 use crate::{GeneratorConfig, TagModel};
-use epplan_core::model::{Event, Instance, TimeInterval, User, UserId, UtilityMatrix};
+use epplan_core::model::{Event, Instance, TimeInterval, User, UtilityMatrix};
 use epplan_geo::Point;
 use rand::prelude::*;
+
+/// Users per parallel utility-row chunk (each row costs `m` Jaccard
+/// evaluations).
+const UTILITY_ROW_MIN_CHUNK: usize = 32;
 
 /// Generates a synthetic EBSN instance from `cfg`. Deterministic for a
 /// fixed seed.
@@ -175,19 +179,28 @@ pub fn generate(cfg: &GeneratorConfig) -> Instance {
         cfg.tags_per_user,
         cfg.tags_per_group,
     );
-    let mut utilities = UtilityMatrix::zeros(n, m);
-    for u in 0..n {
-        for e in 0..m {
-            let mu = tag_model.utility(u, e);
-            if mu > 0.0 {
-                utilities.set(
-                    UserId(u as u32),
-                    epplan_core::model::EventId(e as u32),
-                    mu,
-                );
-            }
-        }
+    // All randomness is consumed above (TagModel::sample draws from the
+    // sequential RNG); the n×m utility fill is a pure function of the
+    // tag model, so the rows fan out across workers. Row order — and
+    // with it the generated instance — is independent of the thread
+    // count.
+    if epplan_obs::metrics_enabled() {
+        epplan_obs::gauge_set("datagen.par.threads", epplan_par::threads() as f64);
+        epplan_obs::gauge_set(
+            "datagen.par.chunks",
+            epplan_par::chunk_count(n, UTILITY_ROW_MIN_CHUNK) as f64,
+        );
     }
+    let rows: Vec<Vec<f64>> =
+        epplan_par::par_range_map(n, UTILITY_ROW_MIN_CHUNK, |users| {
+            users
+                .map(|u| (0..m).map(|e| tag_model.utility(u, e)).collect::<Vec<f64>>())
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let utilities = UtilityMatrix::from_rows(rows);
 
     Instance::new(users, events, utilities)
 }

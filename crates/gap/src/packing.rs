@@ -32,6 +32,14 @@
 use crate::{FractionalSolution, GapInstance};
 use epplan_solve::{BudgetGuard, SolveBudget, SolveError};
 
+/// Jobs per parallel oracle chunk: small enough to balance across
+/// workers on mid-size instances, large enough to amortize spawn cost.
+const ORACLE_MIN_CHUNK: usize = 64;
+
+/// Machines per chunk in the convergence/width scans (each machine
+/// costs a full pass over the jobs, so chunks can be tiny).
+const WIDTH_MIN_CHUNK: usize = 2;
+
 /// Tuning knobs for the multiplicative-weights solver.
 #[derive(Debug, Clone)]
 pub struct PackingConfig {
@@ -102,10 +110,62 @@ pub fn mw_fractional(
     let mut choice = vec![usize::MAX; n];
     let mut averaged_rounds = 0usize;
     let burn_in = cfg.burn_in.min(cfg.iterations.saturating_sub(1));
+    // The oracle fans out across workers; the deadline flag lets the
+    // wall-clock limit trip *inside* a parallel round, not just between
+    // rounds.
+    let deadline = guard.deadline_flag();
+    if epplan_obs::metrics_enabled() {
+        epplan_obs::gauge_set("packing.par.threads", epplan_par::threads() as f64);
+        epplan_obs::gauge_set(
+            "packing.par.chunks",
+            epplan_par::chunk_count(n, ORACLE_MIN_CHUNK) as f64,
+        );
+    }
 
     for round in 0..cfg.iterations {
-        if let Err(e) = guard.tick("gap.packing") {
-            // The tick that tripped never ran its round.
+        let mut trip = guard.tick("gap.packing").err();
+        if trip.is_none() {
+            // Oracle step, parallel over jobs: each job's penalized
+            // argmin is independent and writes only its own `choice`
+            // slot, so chunk scheduling cannot affect the result.
+            let oracle: Result<(), epplan_solve::DeadlineExceeded> =
+                epplan_par::try_par_chunks_for_each_mut(
+                &mut choice,
+                ORACLE_MIN_CHUNK,
+                |start, chunk| {
+                    deadline.poll()?;
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let j = start + k;
+                        let machines = &allowed[j];
+                        if machines.is_empty() {
+                            continue;
+                        }
+                        let mut best = f64::INFINITY;
+                        let mut best_i = machines[0] as usize;
+                        for &iu in machines {
+                            let i = iu as usize;
+                            let cap = inst.capacity(i).max(1e-12);
+                            let pen =
+                                inst.cost(i, j) + lambda[i] * inst.time(i, j) / cap;
+                            if pen < best {
+                                best = pen;
+                                best_i = i;
+                            }
+                        }
+                        *slot = best_i;
+                    }
+                    Ok(())
+                },
+            );
+            if oracle.is_err() {
+                // The flag saw the monotonic clock pass the deadline,
+                // so this point check errs; the interrupted round is
+                // discarded like a round the tick never admitted.
+                trip = guard.check_deadline("gap.packing").err();
+            }
+        }
+        if let Some(e) = trip {
+            // The round that tripped never completed.
             let epochs = guard.iterations().saturating_sub(1);
             sp.add_iters(epochs);
             epplan_obs::counter_add("packing.epochs", epochs);
@@ -118,24 +178,14 @@ pub fn mw_fractional(
             }
             return Err(out);
         }
+        // Load accumulation stays serial in job order: it is O(n)
+        // against the oracle's O(n·m), and summing in a fixed order
+        // keeps every float bit-identical to the pre-parallel solver.
         load.iter_mut().for_each(|l| *l = 0.0);
-        for (j, machines) in allowed.iter().enumerate() {
-            if machines.is_empty() {
-                continue;
+        for (j, &i) in choice.iter().enumerate() {
+            if i != usize::MAX {
+                load[i] += inst.time(i, j);
             }
-            let mut best = f64::INFINITY;
-            let mut best_i = machines[0] as usize;
-            for &iu in machines {
-                let i = iu as usize;
-                let cap = inst.capacity(i).max(1e-12);
-                let pen = inst.cost(i, j) + lambda[i] * inst.time(i, j) / cap;
-                if pen < best {
-                    best = pen;
-                    best_i = i;
-                }
-            }
-            choice[j] = best_i;
-            load[best_i] += inst.time(best_i, j);
         }
         // Weight update toward observed overload.
         for i in 0..m {
@@ -150,17 +200,29 @@ pub fn mw_fractional(
                 }
             }
             averaged_rounds += 1;
-            // Early exit on a converged trailing average.
+            // Early exit on a converged trailing average. Parallel over
+            // machines; each machine's load sum runs serially over jobs
+            // and `f64::max` merges exactly, so the ratio is the same
+            // at every thread count.
             if averaged_rounds >= 10 && averaged_rounds.is_multiple_of(10) {
                 let scale = 1.0 / averaged_rounds as f64;
-                let worst = (0..m)
-                    .map(|i| {
-                        let cap = inst.capacity(i).max(1e-12);
-                        let l: f64 =
-                            (0..n).map(|j| frac.get(i, j) * inst.time(i, j)).sum();
-                        l * scale / cap
-                    })
-                    .fold(0.0f64, f64::max);
+                let worst = epplan_par::par_range_reduce(
+                    m,
+                    WIDTH_MIN_CHUNK,
+                    |machines| {
+                        machines
+                            .map(|i| {
+                                let cap = inst.capacity(i).max(1e-12);
+                                let l: f64 = (0..n)
+                                    .map(|j| frac.get(i, j) * inst.time(i, j))
+                                    .sum();
+                                l * scale / cap
+                            })
+                            .fold(0.0f64, f64::max)
+                    },
+                    f64::max,
+                )
+                .unwrap_or(0.0);
                 if worst <= 1.0 + cfg.slack {
                     break;
                 }
@@ -176,13 +238,22 @@ pub fn mw_fractional(
     epplan_obs::counter_add("packing.oracle_calls", epochs * assignable_jobs);
     if epplan_obs::metrics_enabled() {
         // Width of the fractional solution: worst load/capacity ratio.
-        let worst = (0..m)
-            .map(|i| {
-                let cap = inst.capacity(i).max(1e-12);
-                let l: f64 = (0..n).map(|j| frac.get(i, j) * inst.time(i, j)).sum();
-                l / cap
-            })
-            .fold(0.0f64, f64::max);
+        let worst = epplan_par::par_range_reduce(
+            m,
+            WIDTH_MIN_CHUNK,
+            |machines| {
+                machines
+                    .map(|i| {
+                        let cap = inst.capacity(i).max(1e-12);
+                        let l: f64 =
+                            (0..n).map(|j| frac.get(i, j) * inst.time(i, j)).sum();
+                        l / cap
+                    })
+                    .fold(0.0f64, f64::max)
+            },
+            f64::max,
+        )
+        .unwrap_or(0.0);
         epplan_obs::gauge_set("packing.width", worst);
     }
     Ok(frac)

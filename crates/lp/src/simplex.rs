@@ -22,6 +22,14 @@ const EPS: f64 = 1e-9;
 /// Pipeline-stage label used in this solver's errors.
 const STAGE: &str = "lp.simplex";
 
+/// Tableau rows per parallel elimination chunk (each row is a full
+/// `O(w)` axpy, so chunks can be small).
+const ELIM_MIN_CHUNK: usize = 8;
+
+/// Columns per pricing chunk / rows per ratio-test chunk: per-element
+/// work is one comparison, so small tableaus stay on the inline path.
+const SCAN_MIN_CHUNK: usize = 2048;
+
 /// How a run of simplex iterations ended (budget failures travel in
 /// the `Err` channel).
 enum IterEnd {
@@ -46,6 +54,9 @@ struct Tableau {
     /// (anti-cycling).
     bland_after: u64,
     bland: bool,
+    /// Reusable copy of the normalized pivot row, read concurrently by
+    /// elimination workers while `t`'s other rows are written.
+    scratch: Vec<f64>,
 }
 
 impl Tableau {
@@ -68,21 +79,31 @@ impl Tableau {
             self.t[pr * stride + c] *= inv;
         }
         self.set(pr, pc, 1.0);
-        for r in 0..=self.m {
-            if r == pr {
-                continue;
+        // Elimination, parallel over rows. Workers read the normalized
+        // pivot row from a snapshot (they cannot alias it while other
+        // rows are written) and each row's axpy runs left-to-right
+        // exactly as in the serial form, so every float is identical.
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&self.t[pr * stride..(pr + 1) * stride]);
+        let pivot_row = &self.scratch;
+        let mut rows: Vec<&mut [f64]> = self.t.chunks_mut(stride).collect();
+        epplan_par::par_chunks_for_each_mut(&mut rows, ELIM_MIN_CHUNK, |start, chunk| {
+            for (k, row) in chunk.iter_mut().enumerate() {
+                if start + k == pr {
+                    continue;
+                }
+                let f = row[pc];
+                if f.abs() <= EPS {
+                    row[pc] = 0.0;
+                    continue;
+                }
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v -= f * pivot_row[c];
+                }
+                row[pc] = 0.0;
             }
-            let f = self.at(r, pc);
-            if f.abs() <= EPS {
-                self.set(r, pc, 0.0);
-                continue;
-            }
-            for c in 0..stride {
-                let v = self.at(r, c) - f * self.at(pr, c);
-                self.t[r * stride + c] = v;
-            }
-            self.set(r, pc, 0.0);
-        }
+        });
         self.basis[pr] = pc;
         if self.guard.iterations() > self.bland_after {
             self.bland = true;
@@ -94,44 +115,81 @@ impl Tableau {
     fn iterate(&mut self) -> Result<IterEnd, SolveError<()>> {
         loop {
             self.guard.tick(STAGE)?;
+            let stride = self.w + 1;
             // Entering column: Dantzig (most negative reduced cost) or
             // Bland (first negative) when cycling is suspected.
-            let mut enter: Option<usize> = None;
-            let mut best = -EPS;
-            for c in 0..self.w {
-                if !self.enterable[c] {
-                    continue;
-                }
-                let d = self.at(self.m, c);
-                if self.bland {
-                    if d < -EPS {
-                        enter = Some(c);
-                        break;
-                    }
-                } else if d < best {
-                    best = d;
-                    enter = Some(c);
-                }
-            }
+            // Parallel over column chunks; the in-order merge keeps the
+            // earliest qualifying index, matching the serial scan.
+            let obj = &self.t[self.m * stride..self.m * stride + self.w];
+            let enterable = &self.enterable;
+            let enter: Option<usize> = if self.bland {
+                epplan_par::par_range_reduce(
+                    self.w,
+                    SCAN_MIN_CHUNK,
+                    |cols| cols.into_iter().find(|&c| enterable[c] && obj[c] < -EPS),
+                    |a, b| a.or(b),
+                )
+                .flatten()
+            } else {
+                epplan_par::par_range_reduce(
+                    self.w,
+                    SCAN_MIN_CHUNK,
+                    |cols| {
+                        let mut best = -EPS;
+                        let mut e = None;
+                        for c in cols {
+                            if enterable[c] {
+                                let d = obj[c];
+                                if d < best {
+                                    best = d;
+                                    e = Some(c);
+                                }
+                            }
+                        }
+                        (best, e)
+                    },
+                    |a, b| if b.0 < a.0 { b } else { a },
+                )
+                .and_then(|(_, e)| e)
+            };
             let Some(pc) = enter else {
                 return Ok(IterEnd::Optimal);
             };
-            // Leaving row: minimum ratio, Bland tie-break on basis index.
-            let mut leave: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..self.m {
-                let a = self.at(r, pc);
-                if a > EPS {
-                    let ratio = self.at(r, self.w) / a;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(r);
+            // Leaving row: minimum ratio, Bland tie-break on basis
+            // index. Chunk-local fold plus in-order merge applies the
+            // same `better` predicate, so the winner only depends on
+            // the fixed chunk boundaries — never the thread count.
+            let t = &self.t;
+            let basis = &self.basis;
+            let better = |ratio: f64, row: usize, best: f64, cur: Option<usize>| {
+                ratio < best - EPS
+                    || (ratio < best + EPS
+                        && cur.is_some_and(|lr| basis[row] < basis[lr]))
+            };
+            let leave: Option<usize> = epplan_par::par_range_reduce(
+                self.m,
+                SCAN_MIN_CHUNK,
+                |rows| {
+                    let mut leave: Option<usize> = None;
+                    let mut best_ratio = f64::INFINITY;
+                    for r in rows {
+                        let a = t[r * stride + pc];
+                        if a > EPS {
+                            let ratio = t[r * stride + self.w] / a;
+                            if better(ratio, r, best_ratio, leave) {
+                                best_ratio = ratio;
+                                leave = Some(r);
+                            }
+                        }
                     }
-                }
-            }
+                    (best_ratio, leave)
+                },
+                |a, b| match b.1 {
+                    Some(br) if better(b.0, br, a.0, a.1) => b,
+                    _ => a,
+                },
+            )
+            .and_then(|(_, l)| l);
             let Some(pr) = leave else {
                 return Ok(IterEnd::Unbounded);
             };
@@ -272,7 +330,15 @@ fn solve_inner(
         guard: BudgetGuard::new(effective),
         bland_after: effective.max_iterations.unwrap_or(pivot_cap) / 2,
         bland: false,
+        scratch: Vec::new(),
     };
+    if epplan_obs::metrics_enabled() {
+        epplan_obs::gauge_set("lp.par.threads", epplan_par::threads() as f64);
+        epplan_obs::gauge_set(
+            "lp.par.chunks",
+            epplan_par::chunk_count(m + 1, ELIM_MIN_CHUNK) as f64,
+        );
+    }
 
     let mut slack_at = n;
     let mut art_at = n + n_slack;
@@ -545,7 +611,8 @@ mod tests {
         let mut p = Problem::maximize(2);
         p.set_objective(&[(0, 1.0), (1, 1.0)]);
         p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
-        std::thread::sleep(Duration::from_millis(1));
+        // Zero allowances are pre-expired, so no sleep is needed for
+        // the first in-loop check to trip.
         let r = p.solve_with_budget(SolveBudget::from_time_limit(Duration::ZERO));
         let e = r.unwrap_err();
         assert_eq!(e.kind, FailureKind::BudgetExhausted);

@@ -1,0 +1,514 @@
+//! `epplan-par` — a zero-dependency, deterministic, scoped
+//! data-parallel runtime for the epplan workspace.
+//!
+//! The build environment is fully offline (no `rayon`), so this crate
+//! provides the minimal fork/join surface the solver hot loops need,
+//! built entirely on [`std::thread::scope`]. The design goal is a
+//! *determinism contract* strong enough for tier-1 tests to enforce:
+//!
+//! > **Parallel output is bit-identical to serial output.**
+//!
+//! Three rules make that hold by construction:
+//!
+//! 1. **Fixed chunk boundaries.** Work of length `len` is split into
+//!    chunks of `chunk_size(len, min_chunk)` elements — a function of
+//!    the *problem size only*, never of the thread count. Running with
+//!    1 thread or 64 threads produces the same chunks.
+//! 2. **Pure chunk closures.** A chunk closure may read shared state
+//!    but mutates only its own chunk (or returns a value). Scheduling
+//!    order therefore cannot influence any result.
+//! 3. **Index-ordered merge.** Chunk results are collected by chunk
+//!    index and merged left-to-right, so reductions (including
+//!    floating-point sums) associate the same way at every thread
+//!    count.
+//!
+//! The serial path (`threads() == 1`, or fewer chunks than threads)
+//! runs the *same* chunked code inline; "serial" and "parallel" differ
+//! only in which OS thread executes a chunk.
+//!
+//! # Thread-count control
+//!
+//! The worker count is a process-global setting resolved in order:
+//! [`set_threads`] (e.g. from a `--threads N` CLI flag), else the
+//! `EPPLAN_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`]. Worker threads are spawned
+//! per parallel region and joined before it returns (scoped — borrowed
+//! data needs no `'static` bound, and no idle pool lingers between
+//! solves).
+//!
+//! # Cancellation
+//!
+//! The `try_*` variants stop early when a chunk closure returns `Err`
+//! (e.g. a [`SolveBudget`] deadline flag tripping inside a worker):
+//! the first error — by chunk index, deterministically — is returned
+//! and remaining chunks are abandoned via a shared atomic stop flag.
+//!
+//! [`SolveBudget`]: https://docs.rs/epplan-solve
+
+// Solver-adjacent code must not panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::convert::Infallible;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Upper bound on configured worker threads (sanity clamp for wild
+/// `EPPLAN_THREADS` values).
+pub const MAX_THREADS: usize = 512;
+
+/// Upper bound on chunks per parallel region: keeps per-chunk
+/// bookkeeping (result slots, partial accumulators) bounded on huge
+/// inputs while `min_chunk` bounds it on small ones.
+pub const MAX_CHUNKS_PER_OP: usize = 1024;
+
+/// Process-global worker count; 0 = not yet resolved.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("EPPLAN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.clamp(1, MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .clamp(1, MAX_THREADS)
+}
+
+/// The worker count parallel regions will use. Resolved lazily from
+/// `EPPLAN_THREADS` / available parallelism on first call unless
+/// [`set_threads`] ran earlier.
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let resolved = default_threads();
+    // Racing first calls agree on the value unless set_threads() wins,
+    // which is exactly the precedence we want.
+    let _ = THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Overrides the worker count for the whole process (clamped to
+/// `1..=`[`MAX_THREADS`]). By the determinism contract this changes
+/// wall-clock only, never results.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// The fixed chunk size for a region over `len` items: at least
+/// `min_chunk` (amortizing per-chunk overhead) and at least
+/// `len / `[`MAX_CHUNKS_PER_OP`]. Depends only on the problem size —
+/// never on [`threads`] — which is what makes chunk boundaries stable
+/// across thread counts.
+pub fn chunk_size(len: usize, min_chunk: usize) -> usize {
+    min_chunk.max(1).max(len.div_ceil(MAX_CHUNKS_PER_OP))
+}
+
+/// Number of chunks a region over `len` items splits into.
+pub fn chunk_count(len: usize, min_chunk: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        len.div_ceil(chunk_size(len, min_chunk))
+    }
+}
+
+#[inline]
+fn chunk_range(i: usize, cs: usize, len: usize) -> Range<usize> {
+    let start = i * cs;
+    start..(start + cs).min(len)
+}
+
+/// Maps fixed chunks of `0..len` through `f` (called with each chunk's
+/// index range), fanning out across [`threads`] workers, with
+/// early-exit on the first `Err`. Results come back in chunk order; on
+/// error the `Err` from the lowest-indexed failing chunk is returned.
+///
+/// `f` runs concurrently on borrowed state — it must confine writes to
+/// chunk-local data for the determinism contract to hold.
+pub fn try_par_range_map<R, E>(
+    len: usize,
+    min_chunk: usize,
+    f: impl Fn(Range<usize>) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+{
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let cs = chunk_size(len, min_chunk);
+    let n_chunks = len.div_ceil(cs);
+    let workers = threads().min(n_chunks);
+    if workers <= 1 {
+        // Inline path: same chunk boundaries, same merge order.
+        let mut out = Vec::with_capacity(n_chunks);
+        for i in 0..n_chunks {
+            out.push(f(chunk_range(i, cs, len))?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    // Each worker claims chunk indices from the shared counter (work
+    // chunking: fast workers take more chunks) and keeps its results
+    // tagged by index for the ordered merge below.
+    let worker = |_w: usize| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        let mut err: Option<(usize, E)> = None;
+        while !stop.load(Ordering::Relaxed) {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_chunks {
+                break;
+            }
+            match f(chunk_range(i, cs, len)) {
+                Ok(r) => local.push((i, r)),
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    err = Some((i, e));
+                    break;
+                }
+            }
+        }
+        (local, err)
+    };
+
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n_chunks);
+    let mut first_err: Option<(usize, E)> = None;
+    std::thread::scope(|s| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || worker(w))).collect();
+        for h in handles {
+            match h.join() {
+                Ok((local, err)) => {
+                    tagged.extend(local);
+                    if let Some((i, e)) = err {
+                        if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                            first_err = Some((i, e));
+                        }
+                    }
+                }
+                // A panicking chunk closure panics the region, exactly
+                // like its serial counterpart would.
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n_chunks);
+    Ok(tagged.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Infallible [`try_par_range_map`].
+pub fn par_range_map<R: Send>(
+    len: usize,
+    min_chunk: usize,
+    f: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    match try_par_range_map::<R, Infallible>(len, min_chunk, |r| Ok(f(r))) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Parallel fold-then-merge over `0..len`: `fold` produces one
+/// accumulator per fixed chunk (in parallel), `merge` combines them
+/// **left-to-right in chunk order** (serially), so the reduction tree
+/// is identical at every thread count. Returns `None` for `len == 0`.
+pub fn par_range_reduce<A: Send>(
+    len: usize,
+    min_chunk: usize,
+    fold: impl Fn(Range<usize>) -> A + Sync,
+    merge: impl FnMut(A, A) -> A,
+) -> Option<A> {
+    par_range_map(len, min_chunk, fold).into_iter().reduce(merge)
+}
+
+/// Fallible [`par_range_reduce`]; the first chunk error (by index)
+/// aborts the region.
+pub fn try_par_range_reduce<A: Send, E: Send>(
+    len: usize,
+    min_chunk: usize,
+    fold: impl Fn(Range<usize>) -> Result<A, E> + Sync,
+    merge: impl FnMut(A, A) -> A,
+) -> Result<Option<A>, E> {
+    Ok(try_par_range_map(len, min_chunk, fold)?
+        .into_iter()
+        .reduce(merge))
+}
+
+/// Maps fixed chunks of a slice through `f` (called with each chunk's
+/// start offset and contents), results in chunk order.
+pub fn par_chunks_map<T: Sync, R: Send>(
+    items: &[T],
+    min_chunk: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    par_range_map(items.len(), min_chunk, |r| f(r.start, &items[r]))
+}
+
+/// Runs `f` over disjoint mutable chunks of `items` (start offset +
+/// chunk), with early-exit on the first `Err`. Chunks are distributed
+/// round-robin across workers up front (no claiming counter needed —
+/// every chunk must run anyway, and mutable slices cannot be handed
+/// out through a shared queue without locking).
+pub fn try_par_chunks_for_each_mut<T: Send, E: Send>(
+    items: &mut [T],
+    min_chunk: usize,
+    f: impl Fn(usize, &mut [T]) -> Result<(), E> + Sync,
+) -> Result<(), E> {
+    let len = items.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let cs = chunk_size(len, min_chunk);
+    let n_chunks = len.div_ceil(cs);
+    let workers = threads().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in items.chunks_mut(cs).enumerate() {
+            f(i * cs, chunk)?;
+        }
+        return Ok(());
+    }
+
+    let stop = AtomicBool::new(false);
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in items.chunks_mut(cs).enumerate() {
+        per_worker[i % workers].push((i * cs, chunk));
+    }
+    let mut first_err: Option<(usize, E)> = None;
+    std::thread::scope(|s| {
+        let f = &f;
+        let stop = &stop;
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|mine| {
+                s.spawn(move || {
+                    for (start, chunk) in mine {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Err(e) = f(start, chunk) {
+                            stop.store(true, Ordering::Relaxed);
+                            return Some((start, e));
+                        }
+                    }
+                    None
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Some((start, e))) => {
+                    if first_err.as_ref().is_none_or(|(fs, _)| start < *fs) {
+                        first_err = Some((start, e));
+                    }
+                }
+                Ok(None) => {}
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Infallible [`try_par_chunks_for_each_mut`].
+pub fn par_chunks_for_each_mut<T: Send>(
+    items: &mut [T],
+    min_chunk: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    match try_par_chunks_for_each_mut::<T, Infallible>(items, min_chunk, |i, c| {
+        f(i, c);
+        Ok(())
+    }) {
+        Ok(()) => (),
+        Err(e) => match e {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the global thread count.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: Mutex<()> = Mutex::new(());
+        M.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        set_threads(n);
+        let r = f();
+        set_threads(1);
+        r
+    }
+
+    #[test]
+    fn chunk_plan_ignores_thread_count() {
+        let _g = lock();
+        assert_eq!(chunk_size(100, 8), 8);
+        assert_eq!(chunk_count(100, 8), 13);
+        assert_eq!(chunk_count(0, 8), 0);
+        // Huge inputs are capped at MAX_CHUNKS_PER_OP chunks.
+        assert!(chunk_count(10_000_000, 1) <= MAX_CHUNKS_PER_OP);
+        // The plan is a pure function of (len, min_chunk).
+        for t in [1, 2, 7] {
+            with_threads(t, || {
+                assert_eq!(chunk_size(100, 8), 8);
+                assert_eq!(chunk_count(100, 8), 13);
+            });
+        }
+    }
+
+    #[test]
+    fn map_is_identical_across_thread_counts() {
+        let _g = lock();
+        let items: Vec<u64> = (0..10_001).collect();
+        let run = |t: usize| {
+            with_threads(t, || {
+                par_chunks_map(&items, 16, |start, chunk| {
+                    (start, chunk.iter().map(|&x| x * x).sum::<u64>())
+                })
+            })
+        };
+        let serial = run(1);
+        for t in [2, 4, 9] {
+            assert_eq!(run(t), serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical() {
+        let _g = lock();
+        // A sum whose value depends on association order: determinism
+        // requires the merge tree to be fixed.
+        let xs: Vec<f64> = (0..4_999).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |t: usize| {
+            with_threads(t, || {
+                par_range_reduce(
+                    xs.len(),
+                    32,
+                    |r| xs[r].iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .unwrap_or(0.0)
+            })
+        };
+        let serial = run(1).to_bits();
+        for t in [2, 4, 16] {
+            assert_eq!(run(t).to_bits(), serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_writes_every_chunk() {
+        let _g = lock();
+        let run = |t: usize| {
+            with_threads(t, || {
+                let mut v = vec![0usize; 1_000];
+                par_chunks_for_each_mut(&mut v, 7, |start, chunk| {
+                    for (k, x) in chunk.iter_mut().enumerate() {
+                        *x = start + k;
+                    }
+                });
+                v
+            })
+        };
+        let want: Vec<usize> = (0..1_000).collect();
+        assert_eq!(run(1), want);
+        assert_eq!(run(4), want);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let _g = lock();
+        for t in [1, 4] {
+            let got = with_threads(t, || {
+                try_par_range_map(1_000, 10, |r| {
+                    if r.start >= 500 {
+                        Err(r.start)
+                    } else {
+                        Ok(r.start)
+                    }
+                })
+            });
+            // With 1 thread the scan stops at the first failing chunk;
+            // with several, lower-indexed chunks may fail concurrently —
+            // but never one below the first failing index.
+            let err = got.err().unwrap_or(usize::MAX);
+            assert!((500..1_000).contains(&err), "threads={t}: {err}");
+        }
+        let ok = try_par_range_map(100, 10, |r| Ok::<_, ()>(r.len()));
+        assert_eq!(ok, Ok(vec![10; 10]));
+    }
+
+    #[test]
+    fn try_for_each_mut_propagates_error() {
+        let _g = lock();
+        for t in [1, 3] {
+            let r = with_threads(t, || {
+                let mut v = vec![0u8; 100];
+                try_par_chunks_for_each_mut(&mut v, 10, |start, _| {
+                    if start == 50 {
+                        Err("boom")
+                    } else {
+                        Ok(())
+                    }
+                })
+            });
+            assert_eq!(r, Err("boom"), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let _g = lock();
+        assert!(par_range_map(0, 8, |r| r.len()).is_empty());
+        assert_eq!(par_range_reduce(0, 8, |_| 1, |a, b| a + b), None);
+        par_chunks_for_each_mut::<u8>(&mut [], 8, |_, _| {});
+    }
+
+    #[test]
+    fn set_threads_clamps() {
+        let _g = lock();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(usize::MAX);
+        assert_eq!(threads(), MAX_THREADS);
+        set_threads(1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let _g = lock();
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_range_map(100, 10, |r| {
+                    if r.start == 30 {
+                        panic!("chunk panic");
+                    }
+                    r.len()
+                })
+            })
+        });
+        assert!(caught.is_err());
+        set_threads(1);
+    }
+}

@@ -22,7 +22,7 @@ mod budget;
 mod error;
 mod report;
 
-pub use budget::{BudgetGuard, SolveBudget};
+pub use budget::{BudgetGuard, DeadlineExceeded, DeadlineFlag, SolveBudget};
 pub use error::{FailureKind, SolveError};
 pub use report::{AttemptOutcome, SolveAttempt, SolveReport};
 

@@ -141,23 +141,26 @@ struct FlagSpec {
 fn flag_spec(cmd: &str) -> FlagSpec {
     match cmd {
         "generate" => FlagSpec {
-            value: &["users", "events", "seed", "out", "city"],
+            value: &["users", "events", "seed", "out", "city", "threads"],
             boolean: &[],
         },
         "solve" => FlagSpec {
-            value: &["instance", "solver", "seed", "time-limit-ms", "max-iters", "out", "trace"],
+            value: &[
+                "instance", "solver", "seed", "time-limit-ms", "max-iters", "out", "trace",
+                "threads",
+            ],
             boolean: &["stats", "metrics", "json-metrics"],
         },
         "validate" => FlagSpec {
-            value: &["instance", "plan"],
+            value: &["instance", "plan", "threads"],
             boolean: &[],
         },
         "apply" => FlagSpec {
-            value: &["instance", "plan", "ops", "out-instance", "out-plan"],
+            value: &["instance", "plan", "ops", "out-instance", "out-plan", "threads"],
             boolean: &[],
         },
         "example" => FlagSpec {
-            value: &["out"],
+            value: &["out", "threads"],
             boolean: &[],
         },
         _ => usage(),
@@ -190,6 +193,21 @@ fn parse_flags(cmd: &str, args: &[String], spec: &FlagSpec) -> HashMap<String, S
         flags.insert(name.to_string(), v.clone());
     }
     flags
+}
+
+/// Applies `--threads N` (accepted by every subcommand) to the shared
+/// worker-count knob. Without the flag the `EPPLAN_THREADS` env var or
+/// the machine's available parallelism decides, inside `epplan::par`.
+fn apply_threads(flags: &HashMap<String, String>) {
+    if let Some(v) = flags.get("threads") {
+        let n: usize = v
+            .parse()
+            .unwrap_or_else(|_| fail(FailClass::Usage, "bad --threads (want a positive integer)"));
+        if n == 0 {
+            fail(FailClass::Usage, "bad --threads (want a positive integer)");
+        }
+        epplan::par::set_threads(n);
+    }
 }
 
 fn load_instance(flags: &HashMap<String, String>) -> Instance {
@@ -497,6 +515,7 @@ fn main() {
         usage();
     };
     let flags = parse_flags(cmd, rest, &flag_spec(cmd));
+    apply_threads(&flags);
     match cmd.as_str() {
         "generate" => cmd_generate(flags),
         "solve" => cmd_solve(flags),

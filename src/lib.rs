@@ -31,6 +31,8 @@ pub use epplan_geo as geo;
 pub use epplan_lp as lp;
 pub use epplan_memtrack as memtrack;
 pub use epplan_obs as obs;
+pub use epplan_par as par;
+pub use epplan_solve as solve;
 
 /// Commonly used items, re-exported for `use epplan::prelude::*`.
 pub mod prelude {

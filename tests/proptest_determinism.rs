@@ -1,0 +1,92 @@
+//! Thread-count determinism: the `epplan-par` contract says a parallel
+//! run is bit-identical to a serial one (fixed chunk boundaries, chunk
+//! results merged in index order). These properties pin that contract
+//! end-to-end: every solver, and the generator itself, must produce
+//! the *same plan and the same total utility, to the bit*, at
+//! `threads = 1` and `threads = 4` on a single-core machine alike.
+
+use epplan::core::solver::{LnsSolver, LocalSearch};
+use epplan::datagen::{generate, GeneratorConfig};
+use epplan::prelude::*;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The worker-count knob is process-global; integration-test cases run
+/// on multiple threads, so every case that flips it holds this lock.
+static THREADS: Mutex<()> = Mutex::new(());
+
+/// Runs `f` at `threads = 1` and again at `threads = 4`, restoring the
+/// serial default afterwards, and returns both results for comparison.
+fn at_both_thread_counts<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = THREADS.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    epplan::par::set_threads(1);
+    let serial = f();
+    epplan::par::set_threads(4);
+    let parallel = f();
+    epplan::par::set_threads(1);
+    (serial, parallel)
+}
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (2usize..50, 1usize..10, 0u64..10_000, 0.0..0.6f64).prop_map(
+        |(n_users, n_events, seed, conflict_ratio)| GeneratorConfig {
+            n_users,
+            n_events,
+            seed,
+            conflict_ratio,
+            mean_lower: 2,
+            mean_upper: 6,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generator_is_thread_invariant(cfg in arb_config()) {
+        let (serial, parallel) = at_both_thread_counts(|| generate(&cfg));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn greedy_is_thread_invariant(cfg in arb_config(), seed in 0u64..100) {
+        let inst = generate(&cfg);
+        let (serial, parallel) =
+            at_both_thread_counts(|| GreedySolver::seeded(seed).solve(&inst));
+        prop_assert_eq!(&serial.plan, &parallel.plan);
+        prop_assert_eq!(serial.utility.to_bits(), parallel.utility.to_bits());
+    }
+
+    #[test]
+    fn gap_based_is_thread_invariant(cfg in arb_config()) {
+        let inst = generate(&cfg);
+        let (serial, parallel) =
+            at_both_thread_counts(|| GapBasedSolver::default().solve(&inst));
+        prop_assert_eq!(&serial.plan, &parallel.plan);
+        prop_assert_eq!(serial.utility.to_bits(), parallel.utility.to_bits());
+    }
+
+    #[test]
+    fn local_search_is_thread_invariant(cfg in arb_config(), seed in 0u64..100) {
+        let inst = generate(&cfg);
+        let base = GreedySolver::seeded(seed).solve(&inst).plan;
+        let (serial, parallel) = at_both_thread_counts(|| {
+            let mut plan = base.clone();
+            let gain = LocalSearch::default().improve(&inst, &mut plan);
+            (plan, gain)
+        });
+        prop_assert_eq!(&serial.0, &parallel.0);
+        prop_assert_eq!(serial.1.to_bits(), parallel.1.to_bits());
+    }
+
+    #[test]
+    fn lns_is_thread_invariant(cfg in arb_config(), seed in 0u64..50) {
+        let inst = generate(&cfg);
+        let (serial, parallel) =
+            at_both_thread_counts(|| LnsSolver::seeded(seed).solve(&inst));
+        prop_assert_eq!(&serial.plan, &parallel.plan);
+        prop_assert_eq!(serial.utility.to_bits(), parallel.utility.to_bits());
+    }
+}
