@@ -21,6 +21,9 @@
 //! | Local-search gain ablation | extension | [`experiments::ablation_local_search`] |
 //! | Geography ablation | extension | [`experiments::ablation_geography`] |
 
+// Solver-adjacent code must not panic (uniform workspace gate; the
+// epplan-lint `robustness/unwrap` rule enforces the same contract).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -104,6 +104,7 @@ impl Table {
 /// Formats a float compactly (scientific above 10⁵ like the paper's
 /// tables, and below 10⁻³ so sub-millisecond timings stay readable).
 pub fn fnum(x: f64) -> String {
+    // epplan-lint: allow(float/exact-eq) — display special-case for an exactly-zero cell; no numeric decision rides on it
     if x == 0.0 {
         "0".into()
     } else if x.abs() >= 1e5 || x.abs() < 1e-3 {

@@ -23,6 +23,9 @@
 //! validation and metrics; [`analysis`] computes the `Uc` quantities of
 //! the paper's approximation-ratio bounds.
 
+// Solver-adjacent code must not panic (uniform workspace gate; the
+// epplan-lint `robustness/unwrap` rule enforces the same contract).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // `SolveError<Solution>` deliberately carries the best partial plan
@@ -31,10 +34,7 @@
 #![allow(clippy::result_large_err)]
 
 pub mod analysis;
-// Solver and incremental code must degrade with typed errors, never panic.
-#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod incremental;
 pub mod model;
 pub mod plan;
-#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod solver;

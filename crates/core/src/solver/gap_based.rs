@@ -192,6 +192,7 @@ impl GapBasedSolver {
         // aggregate map, which we won't pay for by default).
         let mark = epplan_obs::metrics_enabled().then(epplan_obs::StageMark::now);
         let mut report = SolveReport::new();
+        // epplan-lint: allow(determinism/wall-clock) — stage wall time feeds the SolveReport only; it never steers solver decisions
         let start = Instant::now();
         let gap_result = {
             let _sp = epplan_obs::span("solve.gap_based");
@@ -210,6 +211,7 @@ impl GapBasedSolver {
                 report.record_failure("gap_based", e.kind, e.message.clone(), start.elapsed());
 
                 // First fallback: the greedy solver is total and cheap.
+                // epplan-lint: allow(determinism/wall-clock) — report-only fallback timing, not a solver decision
                 let fb_start = Instant::now();
                 let greedy = GreedySolver {
                     two_step: self.two_step,
@@ -230,6 +232,7 @@ impl GapBasedSolver {
                         "greedy fallback produced a hard-infeasible plan".to_string(),
                         fb_start.elapsed(),
                     );
+                    // epplan-lint: allow(determinism/wall-clock) — report-only last-resort timing, not a solver decision
                     let empty_start = Instant::now();
                     fallback = Solution::from_plan(
                         instance,

@@ -164,7 +164,12 @@ pub fn generate(cfg: &GeneratorConfig) -> Instance {
                 event_locs[j],
                 lower,
                 upper,
-                times[j].expect("every event placed"),
+                // Every index was placed by the cluster/solo loops
+                // above; a default slot keeps the path panic-free if
+                // that invariant ever breaks.
+                times[j].unwrap_or_else(|| {
+                    TimeInterval::new(slot_start, slot_start + cfg.duration_range.1)
+                }),
             )
         })
         .collect();

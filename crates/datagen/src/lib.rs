@@ -25,6 +25,9 @@
 //! paper's Example 1 (Figure 1 + Table I) with coordinates
 //! reverse-engineered from every distance stated in the text.
 
+// Solver-adjacent code must not panic (uniform workspace gate; the
+// epplan-lint `robustness/unwrap` rule enforces the same contract).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

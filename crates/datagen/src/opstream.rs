@@ -99,6 +99,15 @@ impl OpStreamSampler {
         }
     }
 
+    /// Bounding box of all event venues. `next_op` asserts events
+    /// exist before calling this, so the empty (`None`) arm is
+    /// unreachable; a degenerate box at the origin keeps the path
+    /// total instead of panicking.
+    fn event_bbox(instance: &Instance) -> BoundingBox {
+        BoundingBox::of(instance.events().iter().map(|e| &e.location))
+            .unwrap_or_else(|| BoundingBox::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0)))
+    }
+
     fn random_event(&mut self, instance: &Instance) -> EventId {
         EventId(self.rng.gen_range(0..instance.n_events()) as u32)
     }
@@ -167,8 +176,7 @@ impl OpStreamSampler {
         }
         if pick(w.location_change) {
             let event = self.random_event(instance);
-            let bb = BoundingBox::of(instance.events().iter().map(|e| &e.location))
-                .expect("events exist");
+            let bb = Self::event_bbox(instance);
             return AtomicOp::LocationChange {
                 event,
                 new_location: Point::new(
@@ -178,16 +186,16 @@ impl OpStreamSampler {
             };
         }
         if pick(w.new_event) {
-            let bb = BoundingBox::of(instance.events().iter().map(|e| &e.location))
-                .expect("events exist");
-            let center = bb.center();
-            // Place the new event after everything else on the timeline.
+            let center = Self::event_bbox(instance).center();
+            // Place the new event after everything else on the
+            // timeline (the asserted-nonempty event set makes the
+            // `max()` fallback unreachable).
             let latest = instance
                 .events()
                 .iter()
                 .map(|e| e.time.end)
                 .max()
-                .expect("events exist");
+                .unwrap_or(0);
             let start = latest + self.rng.gen_range(10..120);
             let dur = self.rng.gen_range(60..180);
             let upper = self.rng.gen_range(10..40);
@@ -362,10 +370,23 @@ mod tests {
         let (inst, plan) = setup();
         let mut sampler = OpStreamSampler::new(17);
         let ops = sampler.stream(&inst, &plan, 250);
-        let mut kinds = std::collections::HashSet::new();
-        for op in &ops {
-            kinds.insert(std::mem::discriminant(op));
+        // BTreeSet over a stable per-kind index — no hash-order
+        // iteration, even in tests (determinism/hash-iter).
+        fn kind_index(op: &AtomicOp) -> u8 {
+            match op {
+                AtomicOp::EtaDecrease { .. } => 0,
+                AtomicOp::EtaIncrease { .. } => 1,
+                AtomicOp::XiIncrease { .. } => 2,
+                AtomicOp::XiDecrease { .. } => 3,
+                AtomicOp::TimeChange { .. } => 4,
+                AtomicOp::LocationChange { .. } => 5,
+                AtomicOp::NewEvent { .. } => 6,
+                AtomicOp::UtilityChange { .. } => 7,
+                AtomicOp::BudgetChange { .. } => 8,
+                AtomicOp::FeeChange { .. } => 9,
+            }
         }
+        let kinds: std::collections::BTreeSet<u8> = ops.iter().map(kind_index).collect();
         assert!(kinds.len() >= 9, "only {} distinct kinds", kinds.len());
     }
 }

@@ -73,13 +73,14 @@ pub fn round_shmoys_tardos_with_budget(
 
     let mut sp = epplan_obs::span("gap.rounding");
 
-    // Jobs that carry fractional mass.
+    // Jobs that carry fractional mass. The reverse map (job id → index
+    // in `active`) is an index-keyed Vec: dense, O(1), and free of the
+    // hash-order hazards the determinism contract bans.
     let active: Vec<usize> = (0..n).filter(|&j| frac.job_mass(j) > 0.5).collect();
-    let job_slot_index: std::collections::HashMap<usize, usize> = active
-        .iter()
-        .enumerate()
-        .map(|(k, &j)| (j, k))
-        .collect();
+    let mut job_slot_index = vec![usize::MAX; n];
+    for (k, &j) in active.iter().enumerate() {
+        job_slot_index[j] = k;
+    }
 
     // Build slots machine by machine.
     let mut slot_machine: Vec<usize> = Vec::new(); // slot id → machine
@@ -88,7 +89,7 @@ pub fn round_shmoys_tardos_with_budget(
         let mut jobs: Vec<(usize, f64)> = (0..n)
             .filter_map(|j| {
                 let v = frac.get(i, j);
-                (v > EPS && job_slot_index.contains_key(&j)).then_some((j, v))
+                (v > EPS && job_slot_index[j] != usize::MAX).then_some((j, v))
             })
             .collect();
         if jobs.is_empty() {
@@ -108,7 +109,7 @@ pub fn round_shmoys_tardos_with_budget(
         let mut slot = 0usize;
         let mut fill = 0.0f64;
         for (j, mut v) in jobs {
-            let jk = job_slot_index[&j];
+            let jk = job_slot_index[j];
             while v > EPS {
                 debug_assert!(slot < k_i, "slot overflow on machine {i}");
                 let take = v.min(1.0 - fill);

@@ -17,6 +17,9 @@
 //! interior mutability; indexes are built once and can be queried from
 //! multiple threads.
 
+// Solver-adjacent code must not panic (uniform workspace gate; the
+// epplan-lint `robustness/unwrap` rule enforces the same contract).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

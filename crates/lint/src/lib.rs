@@ -1,0 +1,417 @@
+//! `epplan-lint` — a first-party, zero-dependency static-analysis
+//! pass enforcing the repo-wide contracts that `cargo test` can only
+//! spot-check:
+//!
+//! * **typed fallibility** — no panicking solver paths
+//!   (`robustness/unwrap`),
+//! * **stable observability names** — span/metric literals match the
+//!   documented registry (`obs/stable-names`),
+//! * **bit-identical determinism** — no hash-order iteration, wall
+//!   clocks or raw threads outside their single owners
+//!   (`determinism/hash-iter`, `determinism/wall-clock`,
+//!   `par/raw-threads`), and no exact float equality
+//!   (`float/exact-eq`).
+//!
+//! The pass is a lightweight tokenizer (see [`tokens`]) — enough to
+//! tell code from strings/comments and to skip `#[cfg(test)]` /
+//! `#[test]` regions where a rule's scope says so — plus a rule
+//! catalogue ([`rules`]) keyed off workspace-relative paths. No `syn`,
+//! no rustc internals: the linter builds and runs in the same fully
+//! offline environment as the rest of the workspace.
+//!
+//! **Suppressions are explicit and auditable.** A violation is
+//! silenced only by a same-line or preceding-line comment
+//!
+//! ```text
+//! // epplan-lint: allow(determinism/wall-clock) — report-only timing, never steers the solver
+//! ```
+//!
+//! and the reason after the dash is *required*: an allow without one
+//! is itself a diagnostic (`lint/allow-needs-reason`), as is an allow
+//! naming an unknown rule (`lint/unknown-rule`). `--list-allows`
+//! prints every suppression in the tree for review.
+
+// Solver-adjacent code must not panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod tokens;
+
+use rules::FileContext;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding: `path:line:col rule message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule machine name, e.g. `determinism/hash-iter`.
+    pub rule: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// One parsed `epplan-lint: allow(rule) — reason` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Workspace-relative path of the file carrying the comment.
+    pub path: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// The code line the suppression applies to.
+    pub target_line: u32,
+    /// Suppressed rule.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// Result of linting a tree: surviving diagnostics plus the audit
+/// trail of every suppression that matched the grammar.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Diagnostics that survived suppression filtering, in path/line
+    /// order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every well-formed suppression in the tree (valid rule + reason).
+    pub allows: Vec<Allow>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when the tree is contract-clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the machine-readable JSON object (`--json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"version\":1,\"files_scanned\":");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\"clean\":");
+        s.push_str(if self.is_clean() { "true" } else { "false" });
+        s.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&d.path),
+                d.line,
+                d.col,
+                json_escape(&d.rule),
+                json_escape(&d.message)
+            ));
+        }
+        s.push_str("],\"allows\":[");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"path\":\"{}\",\"line\":{},\"target_line\":{},\"rule\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(&a.path),
+                a.line,
+                a.target_line,
+                json_escape(&a.rule),
+                json_escape(&a.reason)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints one file's source text under the rule scopes derived from
+/// `rel_path` (workspace-relative, `/`-separated). Returns surviving
+/// diagnostics and the parsed suppressions.
+pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Diagnostic>, Vec<Allow>) {
+    let ctx = FileContext::from_path(rel_path);
+    let ts = tokens::tokenize(src);
+    let mut diags = rules::run_rules(&ctx, &ts);
+    let (allows, mut meta) = parse_allows(rel_path, &ts);
+    // A diagnostic is suppressed by a matching-rule allow targeting
+    // its line.
+    diags.retain(|d| {
+        !allows
+            .iter()
+            .any(|a| a.rule == d.rule && a.target_line == d.line)
+    });
+    diags.append(&mut meta);
+    diags.sort_by(|a, b| {
+        (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str()))
+    });
+    (diags, allows)
+}
+
+/// Parses every `epplan-lint:` marker in the comment stream. Returns
+/// the well-formed allows plus the meta-diagnostics for malformed ones
+/// (missing reason, unknown rule) — which are deliberately not
+/// suppressible.
+fn parse_allows(rel_path: &str, ts: &tokens::TokenStream) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut meta = Vec::new();
+    // Sorted token lines, to resolve "next code line" targets.
+    let tok_lines: Vec<u32> = ts.toks.iter().map(|t| t.line).collect();
+    for c in &ts.comments {
+        // The marker must open the comment (modulo whitespace):
+        // prose *mentioning* `epplan-lint:` — docs, this very file —
+        // is not a suppression.
+        let Some(rest) = c.text.trim_start().strip_prefix("epplan-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            meta.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: c.line,
+                col: 1,
+                rule: "lint/unknown-rule".to_string(),
+                message: "malformed epplan-lint marker: expected `allow(<rule>)`".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            meta.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: c.line,
+                col: 1,
+                rule: "lint/unknown-rule".to_string(),
+                message: "malformed epplan-lint marker: unclosed `allow(`".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !rules::RULES.contains(&rule.as_str()) {
+            meta.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: c.line,
+                col: 1,
+                rule: "lint/unknown-rule".to_string(),
+                message: format!("allow names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        // Reason: everything after the closing paren, stripped of
+        // separator punctuation. Required.
+        let reason = rest[close + 1..]
+            .trim_start_matches(|ch: char| {
+                ch.is_whitespace() || ch == '—' || ch == '–' || ch == '-' || ch == ':'
+            })
+            .trim()
+            .to_string();
+        if reason.is_empty() {
+            meta.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: c.line,
+                col: 1,
+                rule: "lint/allow-needs-reason".to_string(),
+                message: format!(
+                    "allow({rule}) without a reason: write \
+                     `// epplan-lint: allow({rule}) — <why this site is exempt>`"
+                ),
+            });
+            continue;
+        }
+        // A trailing comment suppresses its own line; a standalone
+        // comment suppresses the next line carrying code.
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            tok_lines
+                .iter()
+                .copied()
+                .filter(|&l| l > c.line)
+                .min()
+                .unwrap_or(c.line)
+        };
+        allows.push(Allow {
+            path: rel_path.to_string(),
+            line: c.line,
+            target_line,
+            rule,
+            reason,
+        });
+    }
+    (allows, meta)
+}
+
+/// Errors from the filesystem-facing entry points.
+#[derive(Debug)]
+pub enum LintError {
+    /// A path could not be read.
+    Io(PathBuf, std::io::Error),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Directories scanned by `--workspace`, relative to the root.
+const WORKSPACE_DIRS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Directory names never descended into: build output, the
+/// deliberately-violating lint fixtures, and the offline dependency
+/// shims (third-party API surface, not governed by our contracts).
+const SKIP_DIRS: &[&str] = &["target", "lint_fixtures", "compat"];
+
+/// Collects every `.rs` file under the workspace roots, sorted by
+/// path so runs are deterministic.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut files = Vec::new();
+    for dir in WORKSPACE_DIRS {
+        let p = root.join(dir);
+        if p.is_dir() {
+            collect_rs(&p, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut entries: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints a set of files, reporting paths relative to `root`.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, LintError> {
+    let mut report = LintReport::default();
+    for path in files {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| LintError::Io(path.clone(), e))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let (diags, allows) = lint_source(&rel, &src);
+        report.diagnostics.extend(diags);
+        report.allows.extend(allows);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Lints the whole workspace rooted at `root` (the `--workspace`
+/// entry point).
+pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let files = workspace_files(root)?;
+    lint_files(root, &files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "use std::collections::HashMap; // epplan-lint: allow(determinism/hash-iter) — keyed lookup only, never iterated\n";
+        let (diags, allows) = lint_source("crates/gap/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "determinism/hash-iter");
+        assert!(allows[0].reason.contains("keyed lookup"));
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "// epplan-lint: allow(determinism/hash-iter) — fixture\nuse std::collections::HashMap;\n";
+        let (diags, allows) = lint_source("crates/gap/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(allows[0].target_line, 2);
+    }
+
+    #[test]
+    fn allow_without_reason_rejected() {
+        let src = "use std::collections::HashMap; // epplan-lint: allow(determinism/hash-iter)\n";
+        let (diags, _) = lint_source("crates/gap/src/x.rs", src);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule.as_str()).collect();
+        assert!(rules.contains(&"determinism/hash-iter"), "{diags:?}");
+        assert!(rules.contains(&"lint/allow-needs-reason"), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let src = "fn main() {} // epplan-lint: allow(no/such-rule) — whatever\n";
+        let (diags, allows) = lint_source("crates/gap/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "lint/unknown-rule");
+        assert!(allows.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                path: "a.rs".into(),
+                line: 1,
+                col: 2,
+                rule: "float/exact-eq".into(),
+                message: "a \"quoted\" msg".into(),
+            }],
+            allows: vec![],
+            files_scanned: 1,
+        };
+        let j = report.to_json();
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.contains("\"clean\":false"));
+    }
+}

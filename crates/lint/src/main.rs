@@ -1,0 +1,132 @@
+//! `epplan-lint` CLI.
+//!
+//! ```text
+//! cargo run -p epplan-lint -- --workspace            # lint the whole tree
+//! cargo run -p epplan-lint -- crates/gap/src/x.rs    # lint specific files
+//! cargo run -p epplan-lint -- --workspace --json     # machine-readable output
+//! cargo run -p epplan-lint -- --workspace --list-allows
+//! ```
+//!
+//! Exit codes follow the workspace CLI contract (see DESIGN.md):
+//! 0 clean · 2 usage error · 3 io error · 5 contract violations found.
+
+use epplan_lint::{lint_files, run_workspace, LintError, LintReport};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_IO: u8 = 3;
+const EXIT_VIOLATIONS: u8 = 5;
+
+const USAGE: &str = "\
+epplan-lint — first-party invariant linter for the epplan workspace
+
+USAGE:
+    epplan-lint [--root DIR] (--workspace | PATH...) [--json] [--list-allows]
+
+OPTIONS:
+    --workspace     lint src/, crates/, tests/ and examples/ under the root
+    --root DIR      workspace root (default: current directory)
+    --json          emit one machine-readable JSON object on stdout
+    --list-allows   print every `epplan-lint: allow` suppression and exit
+    --help          this text
+
+EXIT CODES:
+    0  clean    2  usage error    3  io error    5  violations found";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut json = false;
+    let mut list_allows = false;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--list-allows" => list_allows = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    return usage_error("--root requires a directory argument");
+                };
+                root = PathBuf::from(dir);
+            }
+            flag if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+
+    if !workspace && paths.is_empty() {
+        return usage_error("nothing to lint: pass --workspace or explicit paths");
+    }
+    if workspace && !paths.is_empty() {
+        return usage_error("--workspace and explicit paths are mutually exclusive");
+    }
+
+    let result = if workspace {
+        run_workspace(&root)
+    } else {
+        let files: Vec<PathBuf> = paths.iter().map(|p| root.join(p)).collect();
+        lint_files(&root, &files)
+    };
+
+    let report = match result {
+        Ok(r) => r,
+        Err(e @ LintError::Io(..)) => {
+            eprintln!("epplan-lint: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+
+    if list_allows {
+        print_allows(&report, &root);
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        eprintln!(
+            "epplan-lint: {} file(s) scanned, {} violation(s), {} suppression(s)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.allows.len()
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_VIOLATIONS)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("epplan-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn print_allows(report: &LintReport, root: &Path) {
+    if report.allows.is_empty() {
+        println!("no epplan-lint suppressions under {}", root.display());
+        return;
+    }
+    for a in &report.allows {
+        println!("{}:{} allow({}) — {}", a.path, a.target_line, a.rule, a.reason);
+    }
+    eprintln!("epplan-lint: {} suppression(s)", report.allows.len());
+}

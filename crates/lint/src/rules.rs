@@ -1,0 +1,327 @@
+//! The rule catalogue: each rule is a pure function over the token
+//! stream of one file plus that file's path-derived context. Rules
+//! emit [`Diagnostic`]s; suppression filtering happens in `lib.rs`.
+//!
+//! The catalogue mirrors the repo's three cross-crate contracts
+//! (typed fallibility, stable observability names, bit-identical
+//! parallel determinism) — see DESIGN.md § Static analysis &
+//! invariants for the prose version of every rule.
+
+use crate::tokens::{test_region_mask, Tok, TokKind, TokenStream};
+use crate::Diagnostic;
+
+/// Machine names of every rule, the strings accepted by
+/// `epplan-lint: allow(<rule>)`.
+pub const RULES: &[&str] = &[
+    "determinism/hash-iter",
+    "determinism/wall-clock",
+    "par/raw-threads",
+    "robustness/unwrap",
+    "float/exact-eq",
+    "obs/stable-names",
+];
+
+/// Crates whose output must be bit-reproducible: the solver stack and
+/// the instance generator. `HashMap`/`HashSet` iteration order is
+/// nondeterministic across processes, so these crates use `BTreeMap`/
+/// `BTreeSet` or index-keyed `Vec`s instead.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "solve", "lp", "flow", "gap", "geo", "datagen"];
+
+/// The only places allowed to read the wall clock: budget enforcement,
+/// benchmarking, and the observability layer itself.
+const WALL_CLOCK_ALLOWED: &[&str] = &["crates/solve/src/budget.rs", "crates/bench/", "crates/obs/"];
+
+/// The single owner of thread creation.
+const THREADS_ALLOWED: &[&str] = &["crates/par/"];
+
+/// The stable observability name registry (DESIGN.md § Observability).
+/// Renaming or adding a name is a breaking change that must update the
+/// DESIGN.md table *and* this list, in the same commit.
+pub const SPAN_NAMES: &[&str] = &[
+    "lp.simplex",
+    "lp.phase1",
+    "lp.phase2",
+    "flow.mcmf",
+    "flow.potentials",
+    "gap.pipeline",
+    "gap.lp_relax",
+    "gap.packing",
+    "gap.rounding",
+    "solve.reduction",
+    "solve.conflict_adjust",
+    "solve.fill",
+    "solve.gap_based",
+    "solve.greedy_fallback",
+    "iep.apply",
+];
+
+/// Registered counter names.
+pub const COUNTER_NAMES: &[&str] = &[
+    "lp.iterations",
+    "flow.augmentations",
+    "packing.epochs",
+    "packing.oracle_calls",
+    "rounding.slots",
+    "rounding.edges",
+    "budget.exhausted",
+    "iep.ops",
+];
+
+/// Registered gauge names.
+pub const GAUGE_NAMES: &[&str] = &[
+    "packing.width",
+    "budget.spent_iters",
+    "budget.spent_ms",
+    "packing.par.threads",
+    "packing.par.chunks",
+    "lp.par.threads",
+    "lp.par.chunks",
+    "greedy.par.threads",
+    "greedy.par.chunks",
+    "filler.par.threads",
+    "filler.par.chunks",
+    "local_search.par.threads",
+    "local_search.par.chunks",
+    "datagen.par.threads",
+    "datagen.par.chunks",
+];
+
+/// Path-derived context for one file, controlling which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Crate name for `crates/<name>/…` paths, `None` for the root
+    /// package, integration tests and examples.
+    pub crate_name: Option<String>,
+    /// Whole file is test code (under a `tests/` or `benches/` dir).
+    pub is_test_file: bool,
+    /// Example programs: demos, exempt from library-code rules.
+    pub is_example: bool,
+    /// Binary targets (`src/bin/…`): CLI front-ends, exempt from the
+    /// library-only rules but still subject to determinism rules.
+    pub is_bin: bool,
+}
+
+impl FileContext {
+    /// Builds the context from a workspace-relative path.
+    pub fn from_path(path: &str) -> Self {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        let is_test_file = path.starts_with("tests/")
+            || path.contains("/tests/")
+            || path.contains("/benches/");
+        FileContext {
+            path: path.to_string(),
+            crate_name,
+            is_test_file,
+            is_example: path.starts_with("examples/") || path.contains("/examples/"),
+            is_bin: path.contains("src/bin/"),
+        }
+    }
+
+    fn in_any(&self, prefixes: &[&str]) -> bool {
+        prefixes
+            .iter()
+            .any(|p| self.path == *p || self.path.starts_with(p))
+    }
+}
+
+/// Runs every applicable rule over one tokenized file.
+pub fn run_rules(ctx: &FileContext, ts: &TokenStream) -> Vec<Diagnostic> {
+    let toks = &ts.toks;
+    let test_mask = test_region_mask(toks);
+    let in_test = |idx: usize| ctx.is_test_file || test_mask[idx];
+    let mut out = Vec::new();
+
+    let diag = |out: &mut Vec<Diagnostic>, t: &Tok, rule: &str, message: String| {
+        out.push(Diagnostic {
+            path: ctx.path.clone(),
+            line: t.line,
+            col: t.col,
+            rule: rule.to_string(),
+            message,
+        });
+    };
+
+    // determinism/hash-iter — applies to every region (tests
+    // included: hash-order iteration in a test makes its assertions
+    // flaky) of the deterministic crates.
+    let hash_iter_applies = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    if hash_iter_applies && !ctx.is_example {
+        for t in toks.iter() {
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "HashMap" | "HashSet" | "hash_map" | "hash_set")
+            {
+                diag(
+                    &mut out,
+                    t,
+                    "determinism/hash-iter",
+                    format!(
+                        "`{}` in a deterministic crate: iteration order varies per process; \
+                         use `BTreeMap`/`BTreeSet` or an index-keyed `Vec`",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // determinism/wall-clock — non-test code outside the approved
+    // timing owners must not read the clock.
+    if !ctx.in_any(WALL_CLOCK_ALLOWED) && !ctx.is_example && !ctx.is_test_file {
+        for (i, t) in toks.iter().enumerate() {
+            if in_test(i) || t.kind != TokKind::Ident {
+                continue;
+            }
+            let flagged = match t.text.as_str() {
+                // `Instant` alone is fine (type positions, re-exports);
+                // the violation is *reading* the clock.
+                "Instant" => {
+                    toks.get(i + 1).is_some_and(|n| n.text == "::")
+                        && toks.get(i + 2).is_some_and(|n| n.text == "now")
+                }
+                "SystemTime" | "UNIX_EPOCH" => true,
+                _ => false,
+            };
+            if flagged {
+                diag(
+                    &mut out,
+                    t,
+                    "determinism/wall-clock",
+                    format!(
+                        "wall-clock read (`{}`) outside solve::budget / bench / obs: \
+                         clock values must never steer solver behaviour",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // par/raw-threads — thread creation has a single owner
+    // (`epplan-par`); applies everywhere, tests included, so TSan and
+    // the determinism contract see one spawn site.
+    if !ctx.in_any(THREADS_ALLOWED) && !ctx.is_example {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && t.text == "thread"
+                && toks.get(i + 1).is_some_and(|n| n.text == "::")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| matches!(n.text.as_str(), "spawn" | "scope" | "Builder"))
+            {
+                diag(
+                    &mut out,
+                    t,
+                    "par/raw-threads",
+                    format!(
+                        "raw `thread::{}` outside epplan-par: route parallel work through \
+                         the deterministic runtime (par_range_map & friends)",
+                        toks[i + 2].text
+                    ),
+                );
+            }
+        }
+    }
+
+    // robustness/unwrap — non-test library code must degrade through
+    // typed `SolveError`/`InstanceError` paths, never panic.
+    if ctx.crate_name.is_some() && !ctx.is_test_file && !ctx.is_example && !ctx.is_bin {
+        for (i, t) in toks.iter().enumerate() {
+            if in_test(i) || t.kind != TokKind::Ident {
+                continue;
+            }
+            if matches!(t.text.as_str(), "unwrap" | "expect")
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            {
+                diag(
+                    &mut out,
+                    t,
+                    "robustness/unwrap",
+                    format!(
+                        "`.{}(…)` in non-test library code: return a typed error \
+                         (SolveError / InstanceError) or use a documented fallback",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // float/exact-eq — `==` / `!=` against a float literal compares
+    // bit patterns; outside deliberate exact checks this hides
+    // tolerance bugs. Applies to non-test code everywhere.
+    if !ctx.is_test_file && !ctx.is_example {
+        for (i, t) in toks.iter().enumerate() {
+            if in_test(i) || t.kind != TokKind::Punct {
+                continue;
+            }
+            if (t.text == "==" || t.text == "!=")
+                && (i > 0 && toks[i - 1].kind == TokKind::Float
+                    || toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float))
+            {
+                diag(
+                    &mut out,
+                    t,
+                    "float/exact-eq",
+                    format!(
+                        "exact float comparison (`{}` with a float literal): use a \
+                         tolerance helper, or allow with a reason if exactness is the point",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // obs/stable-names — span/metric names in non-test code must match
+    // the documented registry. The obs crate itself (definition site +
+    // its own test fixtures) and this linter are exempt.
+    let obs_exempt = matches!(ctx.crate_name.as_deref(), Some("obs") | Some("lint"));
+    if !obs_exempt && !ctx.is_test_file && !ctx.is_example {
+        for (i, t) in toks.iter().enumerate() {
+            if in_test(i) || t.kind != TokKind::Ident {
+                continue;
+            }
+            let registry: &[&str] = match t.text.as_str() {
+                "span" => SPAN_NAMES,
+                "counter_add" => COUNTER_NAMES,
+                "gauge_set" => GAUGE_NAMES,
+                _ => continue,
+            };
+            // Match `name("literal"` — a direct call with a literal
+            // first argument. Calls through variables are rare enough
+            // here that the registry check simply skips them.
+            let Some(open) = toks.get(i + 1) else { continue };
+            if open.text != "(" {
+                continue;
+            }
+            let Some(arg) = toks.get(i + 2) else { continue };
+            if arg.kind != TokKind::Str {
+                continue;
+            }
+            if !registry.contains(&arg.text.as_str()) {
+                diag(
+                    &mut out,
+                    arg,
+                    "obs/stable-names",
+                    format!(
+                        "`{}(\"{}\")` is not in the stable name registry; register the \
+                         name in DESIGN.md § Observability and crates/lint/src/rules.rs",
+                        t.text, arg.text
+                    ),
+                );
+            }
+        }
+    }
+
+    out
+}

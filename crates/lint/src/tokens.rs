@@ -1,0 +1,626 @@
+//! A lightweight Rust tokenizer — just enough structure for the lint
+//! rules: it separates code from strings and comments, tags float
+//! literals, merges the multi-char operators the rules match on
+//! (`::`, `==`, `!=`, …), and records line comments verbatim so the
+//! suppression parser can find `epplan-lint:` markers. It is *not* a
+//! full lexer (no keyword table, no numeric-suffix validation); every
+//! input tokenizes — malformed source simply yields odd tokens rather
+//! than an error, which is the right trade for a linter that must
+//! never block on code rustc itself will reject.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#async`).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000`).
+    Int,
+    /// Float literal (`0.0`, `1e-9`, `2f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation / operator, multi-char operators pre-merged.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim text (string literals: the content, without quotes).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// One `//` comment, verbatim (without the leading slashes), with the
+/// line it sits on and whether code precedes it on that line — the
+/// suppression parser uses that to decide which line an
+/// `epplan-lint: allow(...)` applies to.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// Comment body, without the leading `//`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// `true` when a code token precedes the comment on its line
+    /// (trailing comment), `false` for a comment alone on its line.
+    pub trailing: bool,
+}
+
+/// Tokenizer output: the code tokens plus the captured line comments.
+#[derive(Debug, Default)]
+pub struct TokenStream {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Captured `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Multi-char operators merged into single `Punct` tokens, longest
+/// first so e.g. `..=` wins over `..`.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `src`. Total: never fails.
+pub fn tokenize(src: &str) -> TokenStream {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = TokenStream::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    // Line of the most recently emitted token, to classify trailing
+    // comments.
+    let mut last_tok_line: u32 = 0;
+
+    macro_rules! advance {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(c);
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == '/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    text: b[start..j].iter().collect(),
+                    line: tline,
+                    trailing: last_tok_line == tline,
+                });
+                col += (j - i) as u32;
+                i = j;
+                continue;
+            }
+            if b[i + 1] == '*' {
+                // Nested block comment.
+                let mut depth = 1usize;
+                advance!(b[i]);
+                advance!(b[i + 1]);
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        advance!(b[j]);
+                        advance!(b[j + 1]);
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        advance!(b[j]);
+                        advance!(b[j + 1]);
+                        j += 2;
+                    } else {
+                        advance!(b[j]);
+                        j += 1;
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+
+        // Raw strings: r"…", r#"…"#, and byte variants br#"…"#.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // past opening quote
+            let text_start = j;
+            let mut text_end = b.len();
+            while j < b.len() {
+                if b[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        text_end = j;
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            for &ch in &b[i..j.min(b.len())] {
+                advance!(ch);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[text_start..text_end].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = tline;
+            i = j;
+            continue;
+        }
+
+        // Plain (and byte) strings.
+        if c == '"' || (c == 'b' && i + 1 < b.len() && b[i + 1] == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let text_start = j;
+            while j < b.len() {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    break;
+                }
+                j += 1;
+            }
+            let text_end = j.min(b.len());
+            let j = (j + 1).min(b.len());
+            for &ch in &b[i..j] {
+                advance!(ch);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[text_start..text_end].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = tline;
+            i = j;
+            continue;
+        }
+
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            let is_lifetime = i + 1 < b.len()
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < b.len() && b[i + 2] == '\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                for &ch in &b[i..j] {
+                    advance!(ch);
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i..j].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+                last_tok_line = tline;
+                i = j;
+                continue;
+            }
+            // Char literal: 'x' or '\…'.
+            let mut j = i + 1;
+            if j < b.len() && b[j] == '\\' {
+                j += 2;
+            } else {
+                j += 1;
+            }
+            let j = if j < b.len() && b[j] == '\'' { j + 1 } else { j };
+            for &ch in &b[i..j.min(b.len())] {
+                advance!(ch);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: b[i..j.min(b.len())].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = tline;
+            i = j;
+            continue;
+        }
+
+        // Identifiers (including raw identifiers r#foo — the raw-string
+        // branch above already claimed r" / r#").
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            if c == 'r' && i + 1 < b.len() && b[i + 1] == '#' {
+                j += 2;
+            }
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            for &ch in &b[i..j] {
+                advance!(ch);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i..j].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = tline;
+            i = j;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut is_float = false;
+            let hex = c == '0' && i + 1 < b.len() && (b[i + 1] == 'x' || b[i + 1] == 'b' || b[i + 1] == 'o');
+            if hex {
+                j += 2;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part: a dot followed by a digit (so `1..n`
+                // ranges and `1.max(2)` method calls stay separate).
+                if j + 1 < b.len() && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                        j += 1;
+                    }
+                } else if j < b.len() && b[j] == '.' && !(j + 1 < b.len() && (b[j + 1] == '.' || b[j + 1].is_alphabetic() || b[j + 1] == '_')) {
+                    // Trailing-dot float `1.`.
+                    is_float = true;
+                    j += 1;
+                }
+                // Exponent.
+                if j < b.len() && (b[j] == 'e' || b[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < b.len() && (b[k] == '+' || b[k] == '-') {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Type suffix.
+                if src_slice_starts(&b, j, "f32") || src_slice_starts(&b, j, "f64") {
+                    is_float = true;
+                    j += 3;
+                } else {
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+            }
+            for &ch in &b[i..j] {
+                advance!(ch);
+            }
+            out.toks.push(Tok {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text: b[i..j].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = tline;
+            i = j;
+            continue;
+        }
+
+        // Punctuation, merging known multi-char operators.
+        let mut matched = 1usize;
+        for op in OPERATORS {
+            let oc: Vec<char> = op.chars().collect();
+            if i + oc.len() <= b.len() && b[i..i + oc.len()] == oc[..] {
+                matched = oc.len();
+                break;
+            }
+        }
+        for &ch in &b[i..i + matched] {
+            advance!(ch);
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: b[i..i + matched].iter().collect(),
+            line: tline,
+            col: tcol,
+        });
+        last_tok_line = tline;
+        i += matched;
+    }
+
+    out
+}
+
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return false;
+        }
+    }
+    j += 1; // past 'r'
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    // `r#ident` is a raw identifier, not a raw string: after the hash
+    // run the very next char must be the opening quote.
+    j < b.len() && b[j] == '"'
+}
+
+fn src_slice_starts(b: &[char], at: usize, pat: &str) -> bool {
+    let pc: Vec<char> = pat.chars().collect();
+    at + pc.len() <= b.len() && b[at..at + pc.len()] == pc[..]
+}
+
+/// Marks which tokens sit inside test-only code: an item annotated
+/// `#[test]` / `#[cfg(test)]` (including `cfg(all(test, …))`), up to
+/// the end of that item (matching closing brace, or `;` for brace-less
+/// items). `#[cfg(not(test))]` and `#[cfg_attr(…)]` do **not** count.
+/// Returns one flag per token.
+pub fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            // Parse the attribute bracket [ … ].
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "!" {
+                // Inner attribute `#![…]` — applies to the whole file;
+                // the per-file context already handles that, skip.
+                i += 1;
+                continue;
+            }
+            if j >= toks.len() || toks[j].text != "[" {
+                i += 1;
+                continue;
+            }
+            let attr_start = i;
+            let mut depth = 0usize;
+            let mut attr_text = String::new();
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct && t.text == "[" {
+                    depth += 1;
+                } else if t.kind == TokKind::Punct && t.text == "]" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if depth >= 1 && !(t.text == "[" && depth == 1) {
+                    attr_text.push_str(&t.text);
+                }
+                j += 1;
+            }
+            let attr_end = j; // index of the closing ']'
+            if attr_end >= toks.len() {
+                break;
+            }
+            if is_test_attr(&attr_text) {
+                // Mark everything from the attribute through the end of
+                // the annotated item.
+                let mut k = attr_end + 1;
+                let mut brace_depth = 0usize;
+                let mut entered = false;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "{" => {
+                                brace_depth += 1;
+                                entered = true;
+                            }
+                            "}" => {
+                                brace_depth = brace_depth.saturating_sub(1);
+                                if entered && brace_depth == 0 {
+                                    break;
+                                }
+                            }
+                            ";" if !entered => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let item_end = k.min(toks.len() - 1);
+                for flag in &mut mask[attr_start..=item_end] {
+                    *flag = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether a (whitespace-free) attribute body marks test-only code:
+/// `test` itself, or a `cfg(…)` whose predicate mentions `test` as a
+/// standalone term outside `not(…)` — so `cfg(test)` and
+/// `cfg(all(test, unix))` qualify, while `cfg(not(test))`,
+/// `cfg_attr(not(test), …)` and `cfg(feature = "testdata")` do not.
+fn is_test_attr(attr: &str) -> bool {
+    if attr == "test" {
+        return true;
+    }
+    if !attr.starts_with("cfg(") {
+        return false;
+    }
+    let mut from = 0usize;
+    while let Some(p) = attr[from..].find("test") {
+        let s = from + p;
+        let e = s + "test".len();
+        let pre = attr[..s].chars().next_back().unwrap_or(' ');
+        let post = attr[e..].chars().next().unwrap_or(' ');
+        if (pre == '(' || pre == ',') && (post == ')' || post == ',') && !attr[..s].ends_with("not(")
+        {
+            return true;
+        }
+        from = e;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let ts = tokenize("let a = \"HashMap // not a comment\"; // trailing HashMap\n/* block\nHashMap */ b");
+        let idents: Vec<&str> = ts
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "a", "b"]);
+        assert_eq!(ts.comments.len(), 1);
+        assert!(ts.comments[0].trailing);
+        assert!(ts.comments[0].text.contains("trailing HashMap"));
+    }
+
+    #[test]
+    fn operators_merge() {
+        assert!(texts("a == b != c :: d").contains(&"==".to_string()));
+        assert!(texts("a::b").contains(&"::".to_string()));
+        let ts = texts("a <= 0.5");
+        assert!(ts.contains(&"<=".to_string()));
+        assert!(!ts.contains(&"==".to_string()));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let ts = tokenize("0.5 1e-9 2f64 42 0..n 1.max(2)");
+        let kinds: Vec<(TokKind, &str)> =
+            ts.toks.iter().map(|t| (t.kind, t.text.as_str())).collect();
+        assert_eq!(kinds[0], (TokKind::Float, "0.5"));
+        assert_eq!(kinds[1], (TokKind::Float, "1e-9"));
+        assert_eq!(kinds[2], (TokKind::Float, "2f64"));
+        assert_eq!(kinds[3], (TokKind::Int, "42"));
+        assert_eq!(kinds[4], (TokKind::Int, "0"));
+        assert_eq!(kinds[5].1, "..");
+        assert!(kinds.iter().any(|&(k, t)| k == TokKind::Int && t == "1"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = tokenize("<'a> 'x' '\\n' &'static str");
+        let kinds: Vec<(TokKind, &str)> = ts
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Lifetime | TokKind::Char))
+            .map(|t| (t.kind, t.text.as_str()))
+            .collect();
+        assert_eq!(kinds[0], (TokKind::Lifetime, "'a"));
+        assert_eq!(kinds[1].0, TokKind::Char);
+        assert_eq!(kinds[2].0, TokKind::Char);
+        assert_eq!(kinds[3], (TokKind::Lifetime, "'static"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let ts = tokenize("r#\"a \"quoted\" HashMap\"# x");
+        assert_eq!(ts.toks[0].kind, TokKind::Str);
+        assert_eq!(ts.toks[1].text, "x");
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let ts = tokenize("a\nb\n  c");
+        assert_eq!(ts.toks[0].line, 1);
+        assert_eq!(ts.toks[1].line, 2);
+        assert_eq!(ts.toks[2].line, 3);
+        assert_eq!(ts.toks[2].col, 3);
+    }
+
+    #[test]
+    fn test_regions_cover_annotated_items() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let ts = tokenize(src);
+        let mask = test_region_mask(&ts.toks);
+        let live_unwraps: Vec<u32> = ts
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, &m)| t.text == "unwrap" && !m)
+            .map(|(t, _)| t.line)
+            .collect();
+        assert_eq!(live_unwraps, vec![1]);
+        // live2 after the test module is live again.
+        let live2 = ts.toks.iter().zip(&mask).find(|(t, _)| t.text == "live2");
+        assert!(!*live2.expect("token").1);
+    }
+
+    #[test]
+    fn cfg_not_test_and_cfg_attr_are_live() {
+        let src = "#[cfg(not(test))]\nfn a() { x.unwrap(); }\n#[cfg_attr(not(test), deny(bad))]\nfn b() { y.unwrap(); }\n#[test]\nfn c() { z.unwrap(); }\n";
+        let ts = tokenize(src);
+        let mask = test_region_mask(&ts.toks);
+        let live: Vec<u32> = ts
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, &m)| t.text == "unwrap" && !m)
+            .map(|(t, _)| t.line)
+            .collect();
+        assert_eq!(live, vec![2, 4]);
+    }
+}

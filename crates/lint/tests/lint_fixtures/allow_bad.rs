@@ -1,0 +1,3 @@
+use std::collections::HashMap; // epplan-lint: allow(determinism/hash-iter)
+
+fn f() {} // epplan-lint: allow(not/a-rule) — the rule name is wrong so this must not parse

@@ -1,0 +1,9 @@
+use std::collections::HashMap; // epplan-lint: allow(determinism/hash-iter) — fixture: keyed lookups only, never iterated
+
+// epplan-lint: allow(determinism/hash-iter) — fixture: standalone allow applies to the next code line
+use std::collections::HashSet;
+
+// epplan-lint: allow(determinism/hash-iter) — fixture: membership tests on caller-owned sets, no iteration
+fn keyed(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> bool {
+    m.contains_key(&1) && s.contains(&2)
+}

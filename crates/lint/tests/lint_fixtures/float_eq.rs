@@ -1,0 +1,15 @@
+fn compare(a: f64, n: usize) -> bool {
+    let x = a == 0.0;
+    let y = 1e-9 != a;
+    let ints_are_fine = n == 0;
+    let ordering_is_fine = a <= 0.5;
+    x && y && ints_are_fine && ordering_is_fine
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_expectations_in_tests_are_fine() {
+        assert!(super::compare(0.0, 0) == false || 1.0 == 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+use std::collections::HashMap;
+
+fn build() -> HashMap<usize, usize> {
+    let m = HashMap::new();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_order_in_tests_is_flagged_too() {
+        let _s = std::collections::HashSet::<u32>::new();
+    }
+}

@@ -1,0 +1,8 @@
+fn instrumented() {
+    let _sp = epplan_obs::span("lp.simplex");
+    epplan_obs::counter_add("lp.iterations", 1);
+    epplan_obs::gauge_set("packing.width", 2.0);
+    let _bad = epplan_obs::span("lp.typo");
+    epplan_obs::counter_add("made.up.counter", 1);
+    epplan_obs::gauge_set("nope.gauge", 1.0);
+}

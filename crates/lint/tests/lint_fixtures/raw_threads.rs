@@ -1,0 +1,14 @@
+fn fan_out() {
+    std::thread::spawn(|| {});
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_tests_are_flagged_too() {
+        std::thread::spawn(|| {});
+    }
+}

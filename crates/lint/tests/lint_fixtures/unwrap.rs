@@ -1,0 +1,21 @@
+fn live(x: Option<u32>) -> u32 {
+    let _s = "calling .unwrap() inside a string is fine";
+    // and .unwrap() inside a comment is fine too
+    x.unwrap()
+}
+
+fn live2(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+fn fallbacks_are_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let _ = Some(1).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+use std::time::Instant;
+
+fn read_clock() -> u64 {
+    let started = Instant::now();
+    let _ = std::time::SystemTime::now();
+    started.elapsed().as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

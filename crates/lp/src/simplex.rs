@@ -447,6 +447,7 @@ fn solve_inner(
         let b = tab.basis[r];
         if b < n {
             let cb = sense * problem.objective[b];
+            // epplan-lint: allow(float/exact-eq) — exact sparsity skip of structurally-zero cost rows; a tolerance here would change pivoting
             if cb != 0.0 {
                 for c in 0..=w {
                     let v = tab.at(m, c) - cb * tab.at(r, c);

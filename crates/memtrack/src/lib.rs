@@ -26,6 +26,9 @@
 //! assert!(report.peak_delta_bytes == 0 || report.peak_delta_bytes >= 800_000);
 //! ```
 
+// Solver-adjacent code must not panic (uniform workspace gate; the
+// epplan-lint `robustness/unwrap` rule enforces the same contract).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 use std::alloc::{GlobalAlloc, Layout, System};

@@ -341,13 +341,15 @@ mod tests {
         assert!(flag.poll().is_err());
         assert!(flag.is_tripped());
         // Once tripped, it stays tripped (latching), including when
-        // observed from another thread.
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                assert!(flag.poll().is_err());
-                assert!(flag.is_tripped());
-            });
+        // observed from other threads. Cross-thread observation goes
+        // through epplan-par — the single owner of thread creation —
+        // exactly as production parallel regions poll the flag.
+        let polls = epplan_par::par_range_map(4, 1, |_chunk| {
+            let tripped_here = flag.poll().is_err();
+            tripped_here && flag.is_tripped()
         });
+        assert_eq!(polls.len(), 4);
+        assert!(polls.iter().all(|&tripped| tripped));
 
         // Unlimited: never trips.
         let g = BudgetGuard::new(SolveBudget::UNLIMITED);

@@ -406,6 +406,7 @@ fn cmd_solve(flags: HashMap<String, String>) {
             ),
         };
     let budget = parse_budget(&flags);
+    // epplan-lint: allow(determinism/wall-clock) — end-to-end wall time printed to the user; never fed back into the solve
     let start = std::time::Instant::now();
     let solution = match solver.try_solve(&instance, budget) {
         Ok(solution) => solution,

@@ -23,6 +23,10 @@
 //! assert!(solution.plan.validate(&instance).hard_ok());
 //! ```
 
+// Solver-adjacent code must not panic (uniform workspace gate; the
+// epplan-lint `robustness/unwrap` rule enforces the same contract).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub use epplan_core as core;
 pub use epplan_datagen as datagen;
 pub use epplan_flow as flow;

@@ -7,6 +7,8 @@
 
 use epplan::core::solver::{LnsSolver, LocalSearch};
 use epplan::datagen::{generate, GeneratorConfig};
+use epplan::gap::packing::{mw_fractional, PackingConfig};
+use epplan::gap::{lp_relaxation, round_shmoys_tardos, GapInstance};
 use epplan::prelude::*;
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -39,6 +41,33 @@ fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
             ..Default::default()
         },
     )
+}
+
+/// Arbitrary dense GAP instances: costs/times in (0, 1], capacities
+/// loose enough that the LP relaxation stays feasible yet tight enough
+/// to force genuinely fractional optima (the slot-splitting path).
+fn arb_gap() -> impl Strategy<Value = GapInstance> {
+    (2usize..5, 2usize..9, 0u64..10_000).prop_map(|(m, n, seed)| {
+        // Splitmix-style hash keeps instance generation self-contained
+        // (no dependence on the datagen crate's RNG stream).
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            state ^= state >> 27;
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let costs: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| 0.05 + 0.95 * next()).collect())
+            .collect();
+        let times: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| 0.1 + 0.9 * next()).collect())
+            .collect();
+        // Total capacity ≈ 1.2 × the mean per-machine load of a
+        // balanced fractional assignment.
+        let cap = 1.2 * (n as f64) * 0.55 / (m as f64);
+        GapInstance::from_matrices(costs, times, vec![cap.max(1.0); m])
+    })
 }
 
 proptest! {
@@ -79,6 +108,32 @@ proptest! {
         });
         prop_assert_eq!(&serial.0, &parallel.0);
         prop_assert_eq!(serial.1.to_bits(), parallel.1.to_bits());
+    }
+
+    #[test]
+    fn rounding_slot_graph_is_thread_invariant(g in arb_gap()) {
+        // The PR-4 rewrite replaced the rounding slot map's HashMap
+        // with an index-keyed Vec; this property pins the whole
+        // fractional → slot-graph → matching path to the bit across
+        // thread counts, over both fractional front-ends.
+        let (serial, parallel) = at_both_thread_counts(|| {
+            let lp = lp_relaxation(&g).ok().map(|x| round_shmoys_tardos(&g, &x).ok());
+            let mw = mw_fractional(&g, &PackingConfig::default())
+                .ok()
+                .map(|x| round_shmoys_tardos(&g, &x).ok());
+            (lp, mw)
+        });
+        let flat = |r: Option<Option<epplan::gap::GapSolution>>| r.flatten();
+        let (s_lp, s_mw) = serial;
+        let (p_lp, p_mw) = parallel;
+        for (s, p) in [(flat(s_lp), flat(p_lp)), (flat(s_mw), flat(p_mw))] {
+            prop_assert_eq!(s.is_some(), p.is_some());
+            if let (Some(s), Some(p)) = (s, p) {
+                prop_assert_eq!(&s.assignment, &p.assignment);
+                prop_assert_eq!(s.cost.to_bits(), p.cost.to_bits());
+                prop_assert_eq!(&s.unassigned_jobs(), &p.unassigned_jobs());
+            }
+        }
     }
 
     #[test]
