@@ -1,0 +1,167 @@
+//! Independent plan certification: the [`epplan_solve::PlanView`]
+//! bridge from an [`Instance`] + [`Plan`] pair to the constraint
+//! checker in `epplan-solve`.
+//!
+//! The checker recomputes every GEPC quantity (pairwise time conflicts,
+//! per-user travel cost against `B_i`, per-event attendance against
+//! `η`/`ξ`, per-assignment utility, `U_P`, and — for the incremental
+//! variant — `dif(P, P′)`) **from scratch** through the raw instance
+//! accessors. It deliberately does not reuse [`Plan::validate`], the
+//! solver-side validator: the two implementations are independent, so a
+//! defect (or an injected fault) in one cannot silently vouch for
+//! itself through the other.
+
+use crate::model::{EventId, Instance, UserId};
+use crate::plan::Plan;
+use epplan_solve::{certify_plan, Certificate, PlanView};
+
+/// Adapter exposing an instance/plan pair through the checker's
+/// [`PlanView`] interface.
+struct CertView<'a> {
+    instance: &'a Instance,
+    plan: &'a Plan,
+}
+
+impl PlanView for CertView<'_> {
+    fn n_users(&self) -> usize {
+        self.instance.n_users()
+    }
+
+    fn n_events(&self) -> usize {
+        self.instance.n_events()
+    }
+
+    fn assignments(&self, user: usize) -> Vec<usize> {
+        self.plan
+            .user_plan(UserId(user as u32))
+            .iter()
+            .map(|e| e.index())
+            .collect()
+    }
+
+    fn conflicts(&self, a: usize, b: usize) -> bool {
+        self.instance.conflicts(EventId(a as u32), EventId(b as u32))
+    }
+
+    fn travel_cost(&self, user: usize, events: &[usize]) -> f64 {
+        let evs: Vec<EventId> = events.iter().map(|&e| EventId(e as u32)).collect();
+        self.instance.travel_cost(UserId(user as u32), &evs)
+    }
+
+    fn budget(&self, user: usize) -> f64 {
+        self.instance.user(UserId(user as u32)).budget
+    }
+
+    fn bounds(&self, event: usize) -> (u32, u32) {
+        let e = self.instance.event(EventId(event as u32));
+        (e.lower, e.upper)
+    }
+
+    fn utility(&self, user: usize, event: usize) -> f64 {
+        self.instance.utility(UserId(user as u32), EventId(event as u32))
+    }
+}
+
+/// Certifies `plan` against every GEPC constraint of `instance`,
+/// recomputing `U_P` from scratch. See [`Certificate`] for the verdict
+/// structure.
+pub fn certify(instance: &Instance, plan: &Plan) -> Certificate {
+    let _sp = epplan_obs::span("solve.certify");
+    certify_plan(&CertView { instance, plan }, None)
+}
+
+/// [`certify`], additionally recomputing the IEP negative impact
+/// `dif(old, new)` — assignments of `old` missing from `new` — into
+/// [`Certificate::dif`].
+pub fn certify_incremental(instance: &Instance, old: &Plan, new: &Plan) -> Certificate {
+    let _sp = epplan_obs::span("solve.certify");
+    let baseline: Vec<Vec<usize>> = (0..old.n_users())
+        .map(|u| {
+            old.user_plan(UserId(u as u32))
+                .iter()
+                .map(|e| e.index())
+                .collect()
+        })
+        .collect();
+    certify_plan(&CertView { instance, plan: new }, Some(&baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, TimeInterval, User, UtilityMatrix};
+    use crate::plan::dif;
+    use epplan_geo::Point;
+    use epplan_solve::certify::constraint;
+
+    fn inst() -> Instance {
+        let users = vec![
+            User::new(Point::new(0.0, 0.0), 50.0),
+            User::new(Point::new(1.0, 0.0), 50.0),
+            User::new(Point::new(2.0, 0.0), 0.5), // tight budget
+        ];
+        let events = vec![
+            Event::new(Point::new(0.0, 1.0), 1, 2, TimeInterval::new(0, 59)),
+            // Overlaps event 0 in time → conflicting pair.
+            Event::new(Point::new(0.0, 2.0), 0, 3, TimeInterval::new(30, 119)),
+        ];
+        let utilities = UtilityMatrix::from_rows(vec![
+            vec![0.9, 0.4],
+            vec![0.7, 0.8],
+            vec![0.5, 0.0], // zero utility for (u2, e1)
+        ]);
+        Instance::new(users, events, utilities)
+    }
+
+    #[test]
+    fn feasible_plan_certifies_and_matches_solver_validation() {
+        let instance = inst();
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(0));
+        plan.add(UserId(1), EventId(1));
+        let cert = certify(&instance, &plan);
+        assert!(cert.hard_ok(), "violations: {:?}", cert.hard_violations);
+        assert!((cert.utility - (0.9 + 0.8)).abs() < 1e-12);
+        assert!(plan.validate(&instance).hard_ok());
+    }
+
+    #[test]
+    fn conflicting_assignments_are_rejected() {
+        let instance = inst();
+        let mut plan = Plan::for_instance(&instance);
+        plan.add(UserId(0), EventId(0));
+        plan.add(UserId(0), EventId(1)); // overlapping intervals
+        let cert = certify(&instance, &plan);
+        assert!(!cert.hard_ok());
+        assert!(cert
+            .violated_constraints()
+            .contains(&constraint::TIME_CONFLICT));
+    }
+
+    #[test]
+    fn budget_and_zero_utility_are_rejected() {
+        let instance = inst();
+        let mut plan = Plan::for_instance(&instance);
+        // u2 has budget 0.5; event 0 is far away → budget bust. Its
+        // utility for e1 is 0 → zero-utility violation.
+        plan.add(UserId(2), EventId(0));
+        plan.add(UserId(2), EventId(1));
+        let cert = certify(&instance, &plan);
+        let names = cert.violated_constraints();
+        assert!(names.contains(&constraint::TRAVEL_BUDGET));
+        assert!(names.contains(&constraint::ZERO_UTILITY));
+    }
+
+    #[test]
+    fn incremental_certificate_agrees_with_plan_dif() {
+        let instance = inst();
+        let mut old = Plan::for_instance(&instance);
+        old.add(UserId(0), EventId(0));
+        old.add(UserId(1), EventId(1));
+        let mut new = Plan::for_instance(&instance);
+        new.add(UserId(1), EventId(1));
+        let cert = certify_incremental(&instance, &old, &new);
+        assert_eq!(cert.dif, Some(1));
+        assert_eq!(cert.dif, Some(dif(&old, &new)));
+    }
+}

@@ -349,6 +349,13 @@ impl IncrementalPlanner {
                 .discard_partial()
                 .with_partial(Self::unchanged_outcome(instance, plan)));
         }
+        // Deterministic fault injection in front of the repair dispatch
+        // (serial entry point, hit count thread-invariant). The error
+        // degrades to the unchanged plan like any other IEP failure.
+        if let Some(action) = epplan_fault::point("core.iep.apply") {
+            return Err(SolveError::from_fault(STAGE, "core.iep.apply", action)
+                .with_partial(Self::unchanged_outcome(instance, plan)));
+        }
         Ok(self.apply_validated(instance, plan, op))
     }
 

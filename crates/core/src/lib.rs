@@ -34,6 +34,7 @@
 #![allow(clippy::result_large_err)]
 
 pub mod analysis;
+pub mod certify;
 pub mod incremental;
 pub mod model;
 pub mod plan;

@@ -19,12 +19,15 @@
 //! 5. **Step 2** — fill remaining capacity `η_j − ξ_j` with the
 //!    utility-aware greedy of \[4\].
 
-use crate::model::{EventId, Instance};
+use crate::model::{EventId, Instance, UserId};
 use crate::plan::Plan;
 use crate::solver::conflict_adjust::{budget_repair, conflict_adjust};
 use crate::solver::{filler, GepcSolver, GreedySolver, Solution};
+use epplan_fault::FaultAction;
 use epplan_gap::{GapConfig, GapInstance, GapSolution, GapSolver as GapPipeline};
-use epplan_solve::{SolveBudget, SolveError, SolveReport, SolveStatus};
+use epplan_solve::{
+    Certificate, FailureKind, OptimalityCert, SolveBudget, SolveError, SolveReport, SolveStatus,
+};
 use std::time::Instant;
 
 /// The GAP-based solver. `epsilon` is the `ε` of the reduction's
@@ -56,6 +59,11 @@ pub struct GapBasedSolver {
     pub gap: GapConfig,
     /// Run step 2 (capacity filler) after ξ-GEPC.
     pub two_step: bool,
+    /// Independently certify every tier's plan (see [`crate::certify`])
+    /// and escalate to the next fallback tier when certification
+    /// rejects one. The winning tier's [`Certificate`] is attached to
+    /// the report.
+    pub certify: bool,
 }
 
 impl Default for GapBasedSolver {
@@ -64,6 +72,7 @@ impl Default for GapBasedSolver {
             epsilon: 0.2,
             gap: GapConfig::default(),
             two_step: true,
+            certify: false,
         }
     }
 }
@@ -75,6 +84,12 @@ impl GapBasedSolver {
             gap,
             ..Default::default()
         }
+    }
+
+    /// Toggles independent certification of every tier's plan.
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
     }
 
     /// Builds the GAP instance of the Theorem-2 reduction, returning it
@@ -113,7 +128,18 @@ impl GapBasedSolver {
     /// Post-processes a (possibly partial) GAP assignment into a hard-
     /// feasible GEPC solution: Algorithm 1 conflict adjusting, budget
     /// repair, and the optional step-2 capacity fill.
-    fn finish(&self, instance: &Instance, jobs: &[EventId], gap_solution: &GapSolution) -> Solution {
+    ///
+    /// Carries the `core.conflict_adjust.apply` fault site: a
+    /// `PoisonValue` injection *skips* Algorithm 1 and budget repair —
+    /// the raw GAP assignment flows through unrepaired, so downstream
+    /// certification (not this function) must catch the corruption.
+    /// Any other injected action fails typed.
+    fn finish(
+        &self,
+        instance: &Instance,
+        jobs: &[EventId],
+        gap_solution: &GapSolution,
+    ) -> Result<Solution, SolveError<Solution>> {
         // Raw multiset assignment: user → copies received.
         let mut raw: Vec<Vec<EventId>> = vec![Vec::new(); instance.n_users()];
         for (jk, &machine) in gap_solution.assignment.iter().enumerate() {
@@ -124,19 +150,45 @@ impl GapBasedSolver {
             }
         }
 
+        let mut poisoned = false;
+        if let Some(action) = epplan_fault::point("core.conflict_adjust.apply") {
+            match action {
+                FaultAction::PoisonValue => poisoned = true,
+                other => {
+                    return Err(SolveError::from_fault(
+                        "core.conflict_adjust",
+                        "core.conflict_adjust.apply",
+                        other,
+                    ))
+                }
+            }
+        }
+
         // Algorithm 1 + budget enforcement.
         let mut plan = {
             let _sp = epplan_obs::span("solve.conflict_adjust");
-            let mut plan = conflict_adjust(instance, raw);
-            budget_repair(instance, &mut plan);
-            plan
+            if poisoned {
+                // Poison: pass the raw assignment straight through,
+                // keeping its time conflicts and budget busts.
+                let mut plan = Plan::for_instance(instance);
+                for (u, evs) in raw.into_iter().enumerate() {
+                    for e in evs {
+                        plan.add(UserId(u as u32), e);
+                    }
+                }
+                plan
+            } else {
+                let mut plan = conflict_adjust(instance, raw);
+                budget_repair(instance, &mut plan);
+                plan
+            }
         };
 
-        if self.two_step {
+        if self.two_step && !poisoned {
             let _sp = epplan_obs::span("solve.fill");
             filler::fill_to_upper(instance, &mut plan, None);
         }
-        Solution::from_plan(instance, plan)
+        Ok(Solution::from_plan(instance, plan))
     }
 
     /// Runs the GAP pipeline under `budget` without any fallback. On
@@ -148,20 +200,40 @@ impl GapBasedSolver {
         instance: &Instance,
         budget: SolveBudget,
     ) -> Result<Solution, SolveError<Solution>> {
+        // Deterministic fault injection in front of the Theorem-2
+        // reduction (serial entry point, hit count thread-invariant).
+        if let Some(action) = epplan_fault::point("core.reduction.build") {
+            return Err(SolveError::from_fault(
+                "core.reduction",
+                "core.reduction.build",
+                action,
+            ));
+        }
         let (gap, jobs) = self.build_gap(instance);
         let mut config = self.gap.clone();
         config.budget = config.budget.min(budget);
         match GapPipeline::new(config).solve(&gap) {
             Ok(gap_solution) => {
-                let mut sol = self.finish(instance, &jobs, &gap_solution);
+                let mut sol = self.finish(instance, &jobs, &gap_solution)?;
                 sol.report = SolveReport::single("gap_based", SolveStatus::Optimal);
+                // Seed the optimality half of the certificate: the
+                // fractional relaxation's objective lower-bounds the
+                // integral GAP cost the plan came from.
+                if let Some(bound) = gap_solution.fractional_cost {
+                    let mut seed = Certificate::default();
+                    seed.optimality.push(OptimalityCert::LpLowerBound {
+                        bound,
+                        achieved: gap_solution.cost,
+                    });
+                    sol.report.certificate = Some(seed);
+                }
                 Ok(sol)
             }
             Err(e) => {
                 let partial = e
                     .partial
                     .as_ref()
-                    .map(|gs| self.finish(instance, &jobs, gs));
+                    .and_then(|gs| self.finish(instance, &jobs, gs).ok());
                 let mut out: SolveError<Solution> = e.discard_partial();
                 if let Some(sol) = partial {
                     out = out.with_partial(sol);
@@ -198,59 +270,154 @@ impl GapBasedSolver {
             let _sp = epplan_obs::span("solve.gap_based");
             self.try_solve_gap(instance, budget)
         };
-        match gap_result {
+        // Tier 1: the GAP pipeline. A success still escalates when
+        // independent certification rejects the plan.
+        let failure: SolveError<Solution> = match gap_result {
             Ok(mut sol) => {
-                report.record_success("gap_based", SolveStatus::Optimal, start.elapsed());
-                if let Some(mark) = &mark {
-                    report.stages = mark.delta();
+                let seed = sol.report.certificate.take();
+                if self.certify {
+                    let mut cert = crate::certify::certify(instance, &sol.plan);
+                    if let Some(seed) = seed {
+                        cert.optimality.extend(seed.optimality);
+                    }
+                    if cert.hard_ok() {
+                        report.record_success("gap_based", SolveStatus::Optimal, start.elapsed());
+                        report.certificate = Some(cert);
+                        if let Some(mark) = &mark {
+                            report.stages = mark.delta();
+                        }
+                        sol.report = report;
+                        return Ok(sol);
+                    }
+                    let msg = format!(
+                        "certification rejected the gap_based plan: {}",
+                        cert.violated_constraints().join(", ")
+                    );
+                    report.record_failure(
+                        "gap_based",
+                        FailureKind::NumericalInstability,
+                        msg.clone(),
+                        start.elapsed(),
+                    );
+                    SolveError::numerical("gap_based", msg)
+                } else {
+                    report.record_success("gap_based", SolveStatus::Optimal, start.elapsed());
+                    if let Some(mark) = &mark {
+                        report.stages = mark.delta();
+                    }
+                    sol.report = report;
+                    return Ok(sol);
                 }
-                sol.report = report;
-                Ok(sol)
             }
             Err(e) => {
                 report.record_failure("gap_based", e.kind, e.message.clone(), start.elapsed());
+                e.discard_partial()
+            }
+        };
 
-                // First fallback: the greedy solver is total and cheap.
-                // epplan-lint: allow(determinism/wall-clock) — report-only fallback timing, not a solver decision
-                let fb_start = Instant::now();
-                let greedy = GreedySolver {
-                    two_step: self.two_step,
-                    ..GreedySolver::default()
-                };
-                let mut fallback = {
-                    let _sp = epplan_obs::span("solve.greedy_fallback");
-                    greedy.solve(instance)
-                };
-                if fallback.plan.validate(instance).hard_ok() {
-                    report.record_success("greedy", SolveStatus::BestEffort, fb_start.elapsed());
-                } else {
-                    // Last resort: the empty plan is trivially free of
-                    // hard violations.
-                    report.record_failure(
-                        "greedy",
-                        epplan_solve::FailureKind::NumericalInstability,
-                        "greedy fallback produced a hard-infeasible plan".to_string(),
-                        fb_start.elapsed(),
-                    );
-                    // epplan-lint: allow(determinism/wall-clock) — report-only last-resort timing, not a solver decision
-                    let empty_start = Instant::now();
-                    fallback = Solution::from_plan(
-                        instance,
-                        Plan::empty(instance.n_users(), instance.n_events()),
-                    );
-                    report.record_success(
-                        "best_effort_empty",
-                        SolveStatus::BestEffort,
-                        empty_start.elapsed(),
-                    );
+        // Tiers 2–3: greedy, then the empty plan.
+        let (mut fallback, certificate) = self.fallback_tiers(instance, &mut report);
+        report.certificate = certificate;
+        if let Some(mark) = &mark {
+            report.stages = mark.delta();
+        }
+        fallback.report = report;
+        Err(failure.with_partial(fallback))
+    }
+
+    /// Runs the fallback tiers of the degradation chain — the total
+    /// greedy solver, then the trivially hard-feasible empty plan —
+    /// recording every attempt in `report`. Returns the surviving
+    /// solution plus its [`Certificate`] when certification is on.
+    ///
+    /// Carries the `core.greedy.fallback` fault site: `PoisonValue`
+    /// deterministically corrupts the greedy plan (every user piled
+    /// onto every event) so validation — or certification — must catch
+    /// it; any other action fails the greedy tier typed.
+    fn fallback_tiers(
+        &self,
+        instance: &Instance,
+        report: &mut SolveReport,
+    ) -> (Solution, Option<Certificate>) {
+        // epplan-lint: allow(determinism/wall-clock) — report-only fallback timing, not a solver decision
+        let fb_start = Instant::now();
+        let greedy = GreedySolver {
+            two_step: self.two_step,
+            ..GreedySolver::default()
+        };
+        let mut fallback = {
+            let _sp = epplan_obs::span("solve.greedy_fallback");
+            greedy.solve(instance)
+        };
+
+        let mut greedy_failure: Option<(FailureKind, String)> = None;
+        if let Some(action) = epplan_fault::point("core.greedy.fallback") {
+            match action {
+                FaultAction::PoisonValue => {
+                    let mut plan = fallback.plan.clone();
+                    for u in instance.user_ids() {
+                        for e in instance.event_ids() {
+                            plan.add(u, e);
+                        }
+                    }
+                    fallback = Solution::from_plan(instance, plan);
                 }
-                if let Some(mark) = &mark {
-                    report.stages = mark.delta();
+                other => {
+                    let e: SolveError<Solution> =
+                        SolveError::from_fault("core.greedy", "core.greedy.fallback", other);
+                    greedy_failure = Some((e.kind, e.message));
                 }
-                fallback.report = report;
-                Err(e.discard_partial().with_partial(fallback))
             }
         }
+
+        let mut certificate = None;
+        if greedy_failure.is_none() {
+            if self.certify {
+                let cert = crate::certify::certify(instance, &fallback.plan);
+                if cert.hard_ok() {
+                    certificate = Some(cert);
+                } else {
+                    greedy_failure = Some((
+                        FailureKind::NumericalInstability,
+                        format!(
+                            "certification rejected the greedy fallback: {}",
+                            cert.violated_constraints().join(", ")
+                        ),
+                    ));
+                }
+            } else if !fallback.plan.validate(instance).hard_ok() {
+                greedy_failure = Some((
+                    FailureKind::NumericalInstability,
+                    "greedy fallback produced a hard-infeasible plan".to_string(),
+                ));
+            }
+        }
+
+        match greedy_failure {
+            None => {
+                report.record_success("greedy", SolveStatus::BestEffort, fb_start.elapsed());
+            }
+            Some((kind, message)) => {
+                report.record_failure("greedy", kind, message, fb_start.elapsed());
+                // Last resort: the empty plan is trivially free of
+                // hard violations.
+                // epplan-lint: allow(determinism/wall-clock) — report-only last-resort timing, not a solver decision
+                let empty_start = Instant::now();
+                fallback = Solution::from_plan(
+                    instance,
+                    Plan::empty(instance.n_users(), instance.n_events()),
+                );
+                if self.certify {
+                    certificate = Some(crate::certify::certify(instance, &fallback.plan));
+                }
+                report.record_success(
+                    "best_effort_empty",
+                    SolveStatus::BestEffort,
+                    empty_start.elapsed(),
+                );
+            }
+        }
+        (fallback, certificate)
     }
 }
 

@@ -1,0 +1,466 @@
+//! Deterministic fault injection for the epplan solver stack.
+//!
+//! PR 1's degradation contract (gap → greedy → empty, typed
+//! [`SolveError`]s, budget exhaustion with partials) is only as
+//! trustworthy as the failure modes the tests actually drive. This
+//! crate lets tests and CI *schedule* a failure at any registered
+//! injection site — deterministically, by hit count — instead of
+//! hoping a pathological instance happens to trip the right branch.
+//!
+//! [`SolveError`]: https://docs.rs/epplan-solve
+//!
+//! # Model
+//!
+//! * **Sites** — every injectable point in the solver pipeline has a
+//!   stable dotted name (e.g. `flow.mcmf.augment`), registered in
+//!   [`SITES`] and checked by the `fault/unregistered-site` lint rule.
+//!   The naming follows the span-name registry from `epplan-obs`
+//!   (DESIGN.md § Observability).
+//! * **Plans** — a [`FaultPlan`] maps `(site, hit-count)` pairs to a
+//!   [`FaultAction`]. The textual spec grammar (also accepted from the
+//!   `EPPLAN_FAULTS` environment variable) is:
+//!
+//!   ```text
+//!   spec    := entry (';' entry)*
+//!   entry   := site ['@' hit] '=' action
+//!   site    := registered dotted name        (see SITES)
+//!   hit     := 1-based decimal hit count     (default 1)
+//!   action  := 'error' | 'deadline' | 'nan' | 'alloc'
+//!   ```
+//!
+//!   `flow.mcmf.augment@3=error` fails the *third* time the
+//!   augmentation site is reached; earlier and later hits pass.
+//! * **Points** — instrumented code calls [`point`] with its site
+//!   name. With no plan armed the entire cost is **one relaxed atomic
+//!   load** (mirroring the `epplan-obs` disabled path). With a plan
+//!   armed, the site's hit counter is incremented under a mutex and
+//!   the scheduled [`FaultAction`] is returned on the matching hit.
+//!
+//! Sites are only placed in *serial* sections of the solvers (loop
+//! heads, pre-dispatch checks), never inside `epplan-par` worker
+//! closures — so hit counts, and therefore injected failures, are
+//! identical at any thread count.
+//!
+//! # What a fired action means
+//!
+//! The crate only *reports* the scheduled action; the instrumented
+//! site decides how to realise it. The conventional mapping (helper:
+//! `SolveError::from_fault` in `epplan-solve`) is: `error` → a typed
+//! `NumericalInstability`, `deadline`/`alloc` → a typed
+//! `BudgetExhausted`, `nan` → a site-local poisoned value where the
+//! site can propagate one (exercising downstream detection and the
+//! certification escalation path), else a typed error.
+
+// Fault injection must never panic the solver it is testing.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// The registry of injection sites. Every `point(...)` literal in the
+/// workspace must name an entry here (lint rule
+/// `fault/unregistered-site`); the list is mirrored in
+/// `crates/lint/src/rules.rs` and DESIGN.md § Fault model.
+pub const SITES: &[&str] = &[
+    "lp.simplex.pivot",
+    "flow.mcmf.augment",
+    "gap.lp_relax.solve",
+    "gap.packing.oracle",
+    "gap.rounding.match",
+    "core.reduction.build",
+    "core.conflict_adjust.apply",
+    "core.greedy.fallback",
+    "core.iep.apply",
+    "solve.budget.tick",
+];
+
+/// `true` when `site` names a registered injection site.
+pub fn is_registered(site: &str) -> bool {
+    site_index(site).is_some()
+}
+
+fn site_index(site: &str) -> Option<usize> {
+    SITES.iter().position(|&s| s == site)
+}
+
+/// How a scheduled fault should manifest at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// Fail with a typed error (conventionally `NumericalInstability`).
+    TypedError,
+    /// Trip the deadline: fail as if the solve budget ran out.
+    DeadlineTrip,
+    /// Inject a poisoned value (NaN) into the site's data where the
+    /// site supports it; otherwise realised as a typed error.
+    PoisonValue,
+    /// Simulate allocation pressure: fail as if memory ran out
+    /// (realised as a typed budget-class error — the solvers never
+    /// abort on OOM, they degrade).
+    AllocPressure,
+}
+
+impl FaultAction {
+    /// The spec keyword for this action.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FaultAction::TypedError => "error",
+            FaultAction::DeadlineTrip => "deadline",
+            FaultAction::PoisonValue => "nan",
+            FaultAction::AllocPressure => "alloc",
+        }
+    }
+
+    fn from_keyword(kw: &str) -> Option<Self> {
+        match kw {
+            "error" => Some(FaultAction::TypedError),
+            "deadline" => Some(FaultAction::DeadlineTrip),
+            "nan" => Some(FaultAction::PoisonValue),
+            "alloc" => Some(FaultAction::AllocPressure),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A malformed or unregistered fault spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(message: String) -> Self {
+        SpecError { message }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One scheduled fault: fire `action` on the `hit`-th visit to `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FaultEntry {
+    site: usize,
+    hit: u64,
+    action: FaultAction,
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// Built from a textual spec ([`FaultPlan::from_spec`]) or
+/// programmatically ([`FaultPlan::single`]); armed process-wide with
+/// [`install`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults fire.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single fault on the first hit of `site`.
+    ///
+    /// Returns a [`SpecError`] for unregistered sites.
+    pub fn single(site: &str, action: FaultAction) -> Result<Self, SpecError> {
+        Self::single_at(site, 1, action)
+    }
+
+    /// A plan with a single fault on the `hit`-th (1-based) visit to
+    /// `site`.
+    pub fn single_at(site: &str, hit: u64, action: FaultAction) -> Result<Self, SpecError> {
+        let idx = site_index(site)
+            .ok_or_else(|| SpecError::new(format!("unregistered site {site:?}")))?;
+        if hit == 0 {
+            return Err(SpecError::new("hit counts are 1-based; 0 is invalid".into()));
+        }
+        Ok(FaultPlan {
+            entries: vec![FaultEntry { site: idx, hit, action }],
+        })
+    }
+
+    /// Parses the `EPPLAN_FAULTS` spec grammar (see the crate docs).
+    pub fn from_spec(spec: &str) -> Result<Self, SpecError> {
+        let mut entries = Vec::new();
+        for raw in spec.split(';') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (target, action_kw) = part.split_once('=').ok_or_else(|| {
+                SpecError::new(format!("entry {part:?} is missing '=action'"))
+            })?;
+            let action = FaultAction::from_keyword(action_kw.trim()).ok_or_else(|| {
+                SpecError::new(format!(
+                    "unknown action {:?} (expected error|deadline|nan|alloc)",
+                    action_kw.trim()
+                ))
+            })?;
+            let (site_name, hit) = match target.trim().split_once('@') {
+                Some((s, h)) => {
+                    let hit: u64 = h.trim().parse().map_err(|_| {
+                        SpecError::new(format!("hit count {:?} is not a number", h.trim()))
+                    })?;
+                    (s.trim(), hit)
+                }
+                None => (target.trim(), 1),
+            };
+            if hit == 0 {
+                return Err(SpecError::new(format!(
+                    "hit count for {site_name:?} is 0; counts are 1-based"
+                )));
+            }
+            let idx = site_index(site_name).ok_or_else(|| {
+                SpecError::new(format!("unregistered site {site_name:?}"))
+            })?;
+            entries.push(FaultEntry { site: idx, hit, action });
+        }
+        Ok(FaultPlan { entries })
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, e) in self.entries.iter().enumerate() {
+            if k > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{}@{}={}", SITES[e.site], e.hit, e.action)?;
+        }
+        Ok(())
+    }
+}
+
+/// Armed plan + per-site visit counters. `None` when disarmed.
+struct ArmedPlan {
+    plan: FaultPlan,
+    hits: Vec<u64>,
+}
+
+/// Fast-path gate: `false` means [`point`] returns after one relaxed
+/// load, exactly like the `epplan-obs` disabled path.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<ArmedPlan>> = Mutex::new(None);
+
+/// Locks the state mutex, tolerating poison: a panicking test thread
+/// must not wedge fault injection for the rest of the process.
+fn lock() -> MutexGuard<'static, Option<ArmedPlan>> {
+    STATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Arms `plan` process-wide, resetting all hit counters. Installing
+/// the empty plan still counts hits but never fires.
+pub fn install(plan: FaultPlan) {
+    let mut state = lock();
+    *state = Some(ArmedPlan {
+        hits: vec![0; SITES.len()],
+        plan,
+    });
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms fault injection and drops the hit counters. [`point`]
+/// reverts to its single-atomic-load no-op path.
+pub fn clear() {
+    let mut state = lock();
+    *state = None;
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// `true` when a plan is armed.
+pub fn is_armed() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Reads `EPPLAN_FAULTS` and arms the parsed plan. Returns `Ok(true)`
+/// when a plan was installed, `Ok(false)` when the variable is unset
+/// or empty, and the parse error otherwise (callers should surface it
+/// as a usage error — a silently ignored fault spec would defeat the
+/// point of a chaos run).
+pub fn install_from_env() -> Result<bool, SpecError> {
+    match std::env::var("EPPLAN_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let plan = FaultPlan::from_spec(&spec)?;
+            install(plan);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// The injection point. Instrumented code calls this with its
+/// registered site name; a `Some(action)` return means the scheduled
+/// fault fires *now* and the site must realise it.
+///
+/// Disabled cost: one relaxed atomic load. Unregistered names never
+/// fire (and are rejected at lint time).
+pub fn point(site: &str) -> Option<FaultAction> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    point_slow(site)
+}
+
+#[cold]
+fn point_slow(site: &str) -> Option<FaultAction> {
+    let idx = site_index(site)?;
+    let mut state = lock();
+    let armed = state.as_mut()?;
+    armed.hits[idx] += 1;
+    let visit = armed.hits[idx];
+    armed
+        .plan
+        .entries
+        .iter()
+        .find(|e| e.site == idx && e.hit == visit)
+        .map(|e| e.action)
+}
+
+/// Number of times `site` has been visited since the current plan was
+/// armed (0 when disarmed or unregistered). Test-facing: lets chaos
+/// tests assert that a site was actually reached.
+pub fn hits(site: &str) -> u64 {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return 0;
+    }
+    let idx = match site_index(site) {
+        Some(i) => i,
+        None => return 0,
+    };
+    let state = lock();
+    state.as_ref().map_or(0, |armed| armed.hits[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    /// Fault state is process-global; tests in this binary serialise
+    /// on this lock so parallel `cargo test` threads don't interleave
+    /// installs.
+    static GUARD: TestMutex<()> = TestMutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn registry_is_sorted_unique_and_dotted() {
+        for w in SITES.windows(2) {
+            assert!(w[0] != w[1], "duplicate site {:?}", w[0]);
+        }
+        for s in SITES {
+            assert!(s.contains('.'), "site {s:?} is not dotted");
+            assert!(is_registered(s));
+        }
+        assert!(!is_registered("no.such.site"));
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = FaultPlan::from_spec(
+            "flow.mcmf.augment@3=error; lp.simplex.pivot=nan;gap.rounding.match@2=deadline",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(
+            plan.to_string(),
+            "flow.mcmf.augment@3=error;lp.simplex.pivot@1=nan;gap.rounding.match@2=deadline"
+        );
+        // Display output parses back to the same plan.
+        assert_eq!(FaultPlan::from_spec(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        for bad in [
+            "flow.mcmf.augment",             // missing action
+            "flow.mcmf.augment=explode",     // unknown action
+            "no.such.site=error",            // unregistered site
+            "flow.mcmf.augment@zero=error",  // non-numeric hit
+            "flow.mcmf.augment@0=error",     // 0 is not 1-based
+        ] {
+            assert!(FaultPlan::from_spec(bad).is_err(), "accepted {bad:?}");
+        }
+        // Empty and separator-only specs are the empty plan.
+        assert!(FaultPlan::from_spec("").unwrap().is_empty());
+        assert!(FaultPlan::from_spec(" ; ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn disabled_path_returns_none() {
+        let _x = exclusive();
+        clear();
+        assert!(!is_armed());
+        assert_eq!(point("flow.mcmf.augment"), None);
+        assert_eq!(hits("flow.mcmf.augment"), 0);
+    }
+
+    #[test]
+    fn fires_on_exact_hit_only() {
+        let _x = exclusive();
+        install(FaultPlan::single_at("lp.simplex.pivot", 3, FaultAction::TypedError).unwrap());
+        assert_eq!(point("lp.simplex.pivot"), None);
+        assert_eq!(point("lp.simplex.pivot"), None);
+        assert_eq!(point("lp.simplex.pivot"), Some(FaultAction::TypedError));
+        assert_eq!(point("lp.simplex.pivot"), None);
+        assert_eq!(hits("lp.simplex.pivot"), 4);
+        // Other sites are counted but never fire.
+        assert_eq!(point("flow.mcmf.augment"), None);
+        assert_eq!(hits("flow.mcmf.augment"), 1);
+        clear();
+    }
+
+    #[test]
+    fn reinstall_resets_counters() {
+        let _x = exclusive();
+        install(FaultPlan::single("core.iep.apply", FaultAction::PoisonValue).unwrap());
+        assert_eq!(point("core.iep.apply"), Some(FaultAction::PoisonValue));
+        install(FaultPlan::single("core.iep.apply", FaultAction::PoisonValue).unwrap());
+        assert_eq!(hits("core.iep.apply"), 0);
+        assert_eq!(point("core.iep.apply"), Some(FaultAction::PoisonValue));
+        clear();
+    }
+
+    #[test]
+    fn unregistered_point_never_fires() {
+        let _x = exclusive();
+        install(FaultPlan::new());
+        assert_eq!(point("not.a.site"), None);
+        assert_eq!(hits("not.a.site"), 0);
+        clear();
+    }
+
+    #[test]
+    fn single_rejects_unregistered_and_zero_hit() {
+        assert!(FaultPlan::single("nope", FaultAction::TypedError).is_err());
+        assert!(FaultPlan::single_at("lp.simplex.pivot", 0, FaultAction::TypedError).is_err());
+    }
+}

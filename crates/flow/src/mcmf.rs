@@ -262,6 +262,15 @@ impl MinCostFlow {
             if pre_edge[t] == u32::MAX {
                 break;
             }
+            // Deterministic fault injection, then the real budget: both
+            // exits carry the flow routed so far, which successive
+            // shortest paths keeps cost-optimal for its value.
+            if let Some(action) = epplan_fault::point("flow.mcmf.augment") {
+                sp.add_iters(guard.iterations());
+                epplan_obs::counter_add("flow.augmentations", guard.iterations());
+                return Err(SolveError::from_fault(STAGE, "flow.mcmf.augment", action)
+                    .with_partial(total));
+            }
             // Budget is spent per augmentation; ticking only once a
             // path exists avoids a false exhaustion on the final
             // (empty) search of an exactly-budgeted run.
@@ -347,6 +356,13 @@ impl MinCostFlow {
             if pre_edge[t] == u32::MAX {
                 break; // no augmenting path
             }
+            // Deterministic fault injection mirrors the fast variant.
+            if let Some(action) = epplan_fault::point("flow.mcmf.augment") {
+                sp.add_iters(guard.iterations());
+                epplan_obs::counter_add("flow.augmentations", guard.iterations());
+                return Err(SolveError::from_fault(STAGE, "flow.mcmf.augment", action)
+                    .with_partial(total));
+            }
             // Budget is spent per augmentation (see the fast variant).
             if let Err(e) = guard.tick(STAGE) {
                 sp.add_iters(guard.iterations());
@@ -375,6 +391,46 @@ impl MinCostFlow {
         sp.add_iters(guard.iterations());
         epplan_obs::counter_add("flow.augmentations", guard.iterations());
         Ok(total)
+    }
+
+    /// Reduced-cost optimality certificate: `true` when the residual
+    /// graph (arcs with remaining capacity) contains no negative-cost
+    /// cycle, which proves the current flow is cost-minimal among all
+    /// flows of its value. Successive shortest paths maintains this
+    /// invariant after every augmentation, so both complete runs and
+    /// budget-exhausted partials should certify; call this after a
+    /// solve for `--certify` runs and chaos tests. `O(V·E)`
+    /// Bellman–Ford — cheap next to the solve, not free.
+    ///
+    /// Defective (poisoned) graphs never certify.
+    pub fn verify_reduced_cost_optimality(&self) -> bool {
+        if self.defect.is_some() {
+            return false;
+        }
+        // Bellman–Ford from a virtual super-source (all distances 0):
+        // if a full extra pass still relaxes after `n` rounds, a
+        // negative-cost residual cycle exists.
+        let mut dist = vec![0.0f64; self.n];
+        let relax_all = |dist: &mut [f64]| {
+            let mut relaxed = false;
+            for u in 0..self.n {
+                let du = dist[u];
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid as usize];
+                    if e.cap > EPS && du + e.cost < dist[e.to] - EPS {
+                        dist[e.to] = du + e.cost;
+                        relaxed = true;
+                    }
+                }
+            }
+            relaxed
+        };
+        for _ in 0..self.n {
+            if !relax_all(&mut dist) {
+                return true;
+            }
+        }
+        !relax_all(&mut dist)
     }
 }
 
@@ -584,6 +640,45 @@ mod tests {
         let partial = e.partial.expect("augmentation budget keeps partial flow");
         assert_eq!(partial.flow, 1.0);
         assert_eq!(partial.cost, 1.0);
+    }
+
+    #[test]
+    fn completed_and_partial_flows_certify_reduced_cost_optimality() {
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1.0, 1.0);
+        g.add_edge(1, 3, 1.0, 0.0);
+        g.add_edge(0, 2, 1.0, 5.0);
+        g.add_edge(2, 3, 1.0, 0.0);
+        g.max_flow_min_cost_fast(0, 3).unwrap();
+        assert!(g.verify_reduced_cost_optimality(), "complete flow certifies");
+
+        // Successive shortest paths keeps even a truncated flow
+        // cost-optimal for its value, so the partial certifies too.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1.0, 1.0);
+        g.add_edge(1, 3, 1.0, 0.0);
+        g.add_edge(0, 2, 1.0, 5.0);
+        g.add_edge(2, 3, 1.0, 0.0);
+        let e = g
+            .flow_with_limit_and_budget(0, 3, f64::INFINITY, SolveBudget::from_iteration_cap(1))
+            .unwrap_err();
+        assert_eq!(e.kind, FailureKind::BudgetExhausted);
+        assert!(g.verify_reduced_cost_optimality(), "SSP partial certifies");
+    }
+
+    #[test]
+    fn negative_cycle_fails_the_optimality_certificate() {
+        // A capacitated negative-cost cycle means cost could still be
+        // reduced without changing the flow value: not optimal.
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 1.0, 1.0);
+        g.add_edge(1, 0, 1.0, -2.0);
+        assert!(!g.verify_reduced_cost_optimality());
+
+        // Poisoned graphs never certify.
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 5, 1.0, 0.0);
+        assert!(!g.verify_reduced_cost_optimality());
     }
 
     #[test]

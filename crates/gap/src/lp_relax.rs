@@ -99,6 +99,15 @@ pub fn lp_relaxation_with_budget(
         frac
     };
 
+    // Deterministic fault injection in front of the simplex dispatch
+    // (the pivot loop has its own `lp.simplex.pivot` site).
+    if let Some(action) = epplan_fault::point("gap.lp_relax.solve") {
+        return Err(SolveError::from_fault(
+            "gap.lp_relax",
+            "gap.lp_relax.solve",
+            action,
+        ));
+    }
     match lp.solve_with_budget(budget) {
         Ok(sol) => {
             sp.add_iters(sol.pivots);

@@ -125,6 +125,18 @@ pub fn mw_fractional(
     for round in 0..cfg.iterations {
         let mut trip = guard.tick("gap.packing").err();
         if trip.is_none() {
+            // Deterministic fault injection at the (serial) round head;
+            // a fired fault is handled exactly like a budget trip, so
+            // the trailing average still travels as the partial.
+            if let Some(action) = epplan_fault::point("gap.packing.oracle") {
+                trip = Some(SolveError::from_fault(
+                    "gap.packing",
+                    "gap.packing.oracle",
+                    action,
+                ));
+            }
+        }
+        if trip.is_none() {
             // Oracle step, parallel over jobs: each job's penalized
             // argmin is independent and writes only its own `choice`
             // slot, so chunk scheduling cannot affect the result.

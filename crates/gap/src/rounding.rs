@@ -134,6 +134,15 @@ pub fn round_shmoys_tardos_with_budget(
     epplan_obs::counter_add("rounding.slots", slot_machine.len() as u64);
     epplan_obs::counter_add("rounding.edges", edges.len() as u64);
 
+    // Deterministic fault injection in front of the matching dispatch
+    // (the augmentation loop has its own `flow.mcmf.augment` site).
+    if let Some(action) = epplan_fault::point("gap.rounding.match") {
+        return Err(SolveError::from_fault(
+            "gap.rounding",
+            "gap.rounding.match",
+            action,
+        ));
+    }
     let caps = vec![1usize; slot_machine.len()];
     let matching =
         min_cost_assignment_with_budget(active.len(), slot_machine.len(), &edges, &caps, budget);

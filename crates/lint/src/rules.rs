@@ -19,6 +19,7 @@ pub const RULES: &[&str] = &[
     "robustness/unwrap",
     "float/exact-eq",
     "obs/stable-names",
+    "fault/unregistered-site",
 ];
 
 /// Crates whose output must be bit-reproducible: the solver stack and
@@ -52,6 +53,7 @@ pub const SPAN_NAMES: &[&str] = &[
     "solve.fill",
     "solve.gap_based",
     "solve.greedy_fallback",
+    "solve.certify",
     "iep.apply",
 ];
 
@@ -84,6 +86,24 @@ pub const GAUGE_NAMES: &[&str] = &[
     "local_search.par.chunks",
     "datagen.par.threads",
     "datagen.par.chunks",
+];
+
+/// The fault-injection site registry (DESIGN.md § Fault model &
+/// certification). Must mirror `epplan_fault::SITES` exactly — a site
+/// name referenced anywhere else (an injection point or a test arming
+/// a plan) that is missing here silently never fires, which is exactly
+/// the bug class `fault/unregistered-site` exists to catch.
+pub const FAULT_SITES: &[&str] = &[
+    "core.conflict_adjust.apply",
+    "core.greedy.fallback",
+    "core.iep.apply",
+    "core.reduction.build",
+    "flow.mcmf.augment",
+    "gap.lp_relax.solve",
+    "gap.packing.oracle",
+    "gap.rounding.match",
+    "lp.simplex.pivot",
+    "solve.budget.tick",
 ];
 
 /// Path-derived context for one file, controlling which rules apply.
@@ -316,6 +336,51 @@ pub fn run_rules(ctx: &FileContext, ts: &TokenStream) -> Vec<Diagnostic> {
                     format!(
                         "`{}(\"{}\")` is not in the stable name registry; register the \
                          name in DESIGN.md § Observability and crates/lint/src/rules.rs",
+                        t.text, arg.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // fault/unregistered-site — site names handed to the fault layer
+    // must match the registry; an unregistered name never fires, so a
+    // typo silently disables the chaos coverage it was meant to buy.
+    // Applies to tests too (they arm plans by site name); the fault
+    // crate itself (definition site) and this linter are exempt.
+    let fault_exempt = matches!(ctx.crate_name.as_deref(), Some("fault") | Some("lint"));
+    if !fault_exempt && !ctx.is_example {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || !matches!(t.text.as_str(), "point" | "single" | "single_at")
+            {
+                continue;
+            }
+            // Only qualified calls into the fault layer: a bare
+            // `single("…")` is `SolveReport::single` and friends.
+            let qualified = i >= 2
+                && toks[i - 1].text == "::"
+                && matches!(toks[i - 2].text.as_str(), "epplan_fault" | "FaultPlan" | "fault");
+            if !qualified {
+                continue;
+            }
+            let Some(open) = toks.get(i + 1) else { continue };
+            if open.text != "(" {
+                continue;
+            }
+            let Some(arg) = toks.get(i + 2) else { continue };
+            if arg.kind != TokKind::Str {
+                continue;
+            }
+            if !FAULT_SITES.contains(&arg.text.as_str()) {
+                diag(
+                    &mut out,
+                    arg,
+                    "fault/unregistered-site",
+                    format!(
+                        "`{}(\"{}\")` names a fault site missing from the registry; \
+                         register it in epplan_fault::SITES, DESIGN.md § Fault model \
+                         and crates/lint/src/rules.rs",
                         t.text, arg.text
                     ),
                 );

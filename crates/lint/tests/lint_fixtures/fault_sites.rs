@@ -1,0 +1,8 @@
+fn arm_faults() {
+    let _ = epplan_fault::point("lp.simplex.pivot"); // registered: silent
+    let _ = epplan_fault::point("lp.simplex.pviot"); // typo: fires
+    let _ = FaultPlan::single("no.such.site", FaultAction::TypedError); // fires
+    let _ = epplan_fault::single_at("flow.mcmf.augment", 2, FaultAction::DeadlineTrip);
+    let _ = SolveReport::single("greedy", SolveStatus::Optimal); // not the fault layer: silent
+    let _ = fault::single_at("gap.rounding.matched", 1, FaultAction::PoisonValue); // fires
+}

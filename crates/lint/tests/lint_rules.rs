@@ -103,6 +103,33 @@ fn obs_names_must_match_registry() {
 }
 
 #[test]
+fn fault_sites_must_match_registry() {
+    let src = fixture("fault_sites.rs");
+    let got = fire_lines("crates/core/src/fixture.rs", &src);
+    let expected: Vec<(u32, String)> = [3, 4, 7]
+        .iter()
+        .map(|&l| (l, "fault/unregistered-site".to_string()))
+        .collect();
+    assert_eq!(got, expected);
+    // Integration tests arm plans by site name → the rule covers them.
+    assert_eq!(fire_lines("tests/fixture.rs", &src).len(), 3);
+    // The fault crate itself defines the registry and may use scratch
+    // names in its own tests.
+    assert!(fire_lines("crates/fault/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn lint_fault_registry_mirrors_the_real_one() {
+    // The linter is zero-dep, so its copy of the site registry must be
+    // asserted against the authoritative one here.
+    let mut ours: Vec<&str> = epplan_lint::rules::FAULT_SITES.to_vec();
+    let mut real: Vec<&str> = epplan_fault::SITES.to_vec();
+    ours.sort_unstable();
+    real.sort_unstable();
+    assert_eq!(ours, real, "crates/lint/src/rules.rs FAULT_SITES drifted from epplan_fault::SITES");
+}
+
+#[test]
 fn allows_with_reasons_suppress() {
     let src = fixture("allow_ok.rs");
     let (diags, allows) = lint_source("crates/gap/src/fixture.rs", &src);

@@ -15,6 +15,12 @@ pub struct Solution {
     pub objective: f64,
     /// Number of simplex pivots performed across both phases.
     pub pivots: u64,
+    /// `true` when the final reduced-cost row was re-scanned after the
+    /// optimal exit and every enterable column was confirmed
+    /// non-negative — the cheap dual-feasibility certificate that the
+    /// returned point is LP-optimal. Always `false` on the partial
+    /// artifact of a budget-exhausted run.
+    pub dual_feasible: bool,
 }
 
 const EPS: f64 = 1e-9;
@@ -114,6 +120,12 @@ impl Tableau {
     /// guard trips (pivot cap or wall-clock deadline).
     fn iterate(&mut self) -> Result<IterEnd, SolveError<()>> {
         loop {
+            // Deterministic fault injection. The site sits in this
+            // serial loop head (never inside the parallel scans), so
+            // its hit count is identical at any thread count.
+            if let Some(action) = epplan_fault::point("lp.simplex.pivot") {
+                return Err(SolveError::from_fault(STAGE, "lp.simplex.pivot", action));
+            }
             self.guard.tick(STAGE)?;
             let stride = self.w + 1;
             // Entering column: Dantzig (most negative reduced cost) or
@@ -195,6 +207,21 @@ impl Tableau {
             };
             self.pivot(pr, pc);
         }
+    }
+
+    /// Independent re-scan of the reduced-cost row: `true` when every
+    /// enterable column's reduced cost is ≥ −EPS (and none is NaN) —
+    /// dual feasibility, i.e. a certificate that the current basis is
+    /// optimal. [`Tableau::iterate`]'s optimal exit implies this by
+    /// construction; re-checking after the fact guards against
+    /// poisoned tableau values that compare as "not negative".
+    fn verify_dual_feasible(&self) -> bool {
+        let stride = self.w + 1;
+        let obj = &self.t[self.m * stride..self.m * stride + self.w];
+        self.enterable
+            .iter()
+            .zip(obj)
+            .all(|(&open, &d)| !open || d >= -EPS)
     }
 
     /// Extracts the values of the first `n` (structural) variables from
@@ -474,6 +501,7 @@ fn solve_inner(
                 x,
                 objective,
                 pivots: tab.guard.iterations(),
+                dual_feasible: tab.verify_dual_feasible(),
             })
         }
         Ok(IterEnd::Unbounded) => Err(SolveError::numerical(
@@ -489,6 +517,7 @@ fn solve_inner(
                 x,
                 objective,
                 pivots: tab.guard.iterations(),
+                dual_feasible: false,
             }))
         }
     }
@@ -524,6 +553,7 @@ mod tests {
         assert_near(s.objective, 36.0);
         assert_near(s.x[0], 2.0);
         assert_near(s.x[1], 6.0);
+        assert!(s.dual_feasible, "optimal exit must certify dual feasibility");
     }
 
     #[test]
@@ -605,6 +635,10 @@ mod tests {
         let partial = e.partial.expect("phase-2 exhaustion carries a partial");
         assert!(p.is_feasible(&partial.x, 1e-7));
         assert!(partial.objective <= 36.0 + 1e-7);
+        assert!(
+            !partial.dual_feasible,
+            "a truncated run must not claim optimality"
+        );
     }
 
     #[test]

@@ -107,6 +107,11 @@ impl BudgetGuard {
     /// cost to hot loops.
     #[inline]
     pub fn tick(&mut self, stage: &'static str) -> Result<(), SolveError<()>> {
+        // Deterministic fault injection: one relaxed atomic load when
+        // no fault plan is armed (DESIGN.md § Fault model).
+        if let Some(action) = epplan_fault::point("solve.budget.tick") {
+            return Err(SolveError::from_fault(stage, "solve.budget.tick", action));
+        }
         self.iterations += 1;
         if let Some(cap) = self.budget.max_iterations {
             if self.iterations > cap {

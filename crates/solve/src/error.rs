@@ -31,6 +31,32 @@ impl FailureKind {
             FailureKind::NumericalInstability => "numerical",
         }
     }
+
+    /// The documented CLI exit code for this failure class — the
+    /// single source of truth for the README/DESIGN exit-code contract
+    /// (1–7). The `epplan` binary's `FailClass` mapping is tested
+    /// exhaustively against this function.
+    ///
+    /// `NumericalInstability` maps to 1 (internal error): by the time
+    /// a numerical failure escapes the CLI every fallback tier has
+    /// been exhausted, which is an internal defect, not a property of
+    /// the input.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            FailureKind::NumericalInstability => 1,
+            FailureKind::BadInput => 5,
+            FailureKind::Infeasible => 6,
+            FailureKind::BudgetExhausted => 7,
+        }
+    }
+
+    /// Every variant, for exhaustive contract tests.
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::BadInput,
+        FailureKind::Infeasible,
+        FailureKind::BudgetExhausted,
+        FailureKind::NumericalInstability,
+    ];
 }
 
 impl std::fmt::Display for FailureKind {
@@ -87,6 +113,35 @@ impl<P> SolveError<P> {
 
     pub fn numerical(stage: &'static str, message: impl Into<String>) -> Self {
         Self::new(FailureKind::NumericalInstability, stage, message)
+    }
+
+    /// The conventional realisation of a fired injection fault as a
+    /// typed error (DESIGN.md § Fault model): `error`/`nan` → numerical
+    /// instability, `deadline`/`alloc` → budget exhaustion. Sites that
+    /// can propagate a genuine poisoned value handle
+    /// [`epplan_fault::FaultAction::PoisonValue`] themselves *before*
+    /// falling back to this mapping.
+    pub fn from_fault(
+        stage: &'static str,
+        site: &str,
+        action: epplan_fault::FaultAction,
+    ) -> Self {
+        use epplan_fault::FaultAction;
+        match action {
+            FaultAction::TypedError => {
+                Self::numerical(stage, format!("injected fault at {site}"))
+            }
+            FaultAction::PoisonValue => {
+                Self::numerical(stage, format!("injected poisoned value at {site}"))
+            }
+            FaultAction::DeadlineTrip => {
+                Self::budget_exhausted(stage, format!("injected deadline trip at {site}"))
+            }
+            FaultAction::AllocPressure => Self::budget_exhausted(
+                stage,
+                format!("injected allocation pressure at {site}"),
+            ),
+        }
     }
 
     /// Attaches the best partial artifact.
@@ -159,6 +214,37 @@ mod tests {
         assert_eq!(mapped.kind, FailureKind::Infeasible);
         let dropped: SolveError<String> = e.discard_partial();
         assert!(dropped.partial.is_none());
+    }
+
+    #[test]
+    fn exit_codes_are_documented_and_distinct() {
+        // The contract table in README.md § Exit codes / DESIGN.md
+        // § Error handling. Changing a code here requires a doc change.
+        assert_eq!(FailureKind::NumericalInstability.exit_code(), 1);
+        assert_eq!(FailureKind::BadInput.exit_code(), 5);
+        assert_eq!(FailureKind::Infeasible.exit_code(), 6);
+        assert_eq!(FailureKind::BudgetExhausted.exit_code(), 7);
+        let mut codes: Vec<i32> = FailureKind::ALL.iter().map(|k| k.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), FailureKind::ALL.len(), "exit codes collide");
+    }
+
+    #[test]
+    fn fault_actions_map_to_typed_errors() {
+        use epplan_fault::FaultAction;
+        let cases = [
+            (FaultAction::TypedError, FailureKind::NumericalInstability),
+            (FaultAction::PoisonValue, FailureKind::NumericalInstability),
+            (FaultAction::DeadlineTrip, FailureKind::BudgetExhausted),
+            (FaultAction::AllocPressure, FailureKind::BudgetExhausted),
+        ];
+        for (action, kind) in cases {
+            let e: SolveError = SolveError::from_fault("lp.simplex", "lp.simplex.pivot", action);
+            assert_eq!(e.kind, kind, "{action:?}");
+            assert!(e.message.contains("injected"), "{}", e.message);
+            assert!(e.message.contains("lp.simplex.pivot"), "{}", e.message);
+        }
     }
 
     #[test]

@@ -19,10 +19,12 @@
 // Solver code must degrade with typed errors, never panic.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 mod budget;
+pub mod certify;
 mod error;
 mod report;
 
 pub use budget::{BudgetGuard, DeadlineExceeded, DeadlineFlag, SolveBudget};
+pub use certify::{certify_plan, recompute_dif, CertViolation, Certificate, OptimalityCert, PlanView};
 pub use error::{FailureKind, SolveError};
 pub use report::{AttemptOutcome, SolveAttempt, SolveReport};
 

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use epplan_obs::StageStats;
 
-use crate::{FailureKind, SolveStatus};
+use crate::{Certificate, FailureKind, SolveStatus};
 
 /// How one solver attempt in a degradation chain ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +44,10 @@ pub struct SolveReport {
     /// accumulated during this solve. Populated by facades when
     /// `epplan_obs::metrics_enabled()`; empty otherwise.
     pub stages: Vec<StageStats>,
+    /// Independent certification of the returned artifact (see
+    /// [`crate::certify`]). `None` when certification was not
+    /// requested.
+    pub certificate: Option<Certificate>,
 }
 
 impl SolveReport {

@@ -149,7 +149,7 @@ fn flag_spec(cmd: &str) -> FlagSpec {
                 "instance", "solver", "seed", "time-limit-ms", "max-iters", "out", "trace",
                 "threads",
             ],
-            boolean: &["stats", "metrics", "json-metrics"],
+            boolean: &["stats", "metrics", "json-metrics", "certify"],
         },
         "validate" => FlagSpec {
             value: &["instance", "plan", "threads"],
@@ -391,6 +391,7 @@ fn finish_obs(cfg: &ObsConfig) {
 fn cmd_solve(flags: HashMap<String, String>) {
     let instance = load_instance(&flags);
     let obs = setup_obs(&flags);
+    let certify = flags.contains_key("certify");
     let seed: u64 = flags
         .get("seed")
         .map(|v| v.parse().unwrap_or_else(|_| fail(FailClass::Usage, "bad --seed")))
@@ -398,7 +399,7 @@ fn cmd_solve(flags: HashMap<String, String>) {
     let solver: Box<dyn GepcSolver> =
         match flags.get("solver").map(String::as_str).unwrap_or("greedy") {
             "greedy" => Box::new(GreedySolver::seeded(seed)),
-            "gap" => Box::new(GapBasedSolver::default()),
+            "gap" => Box::new(GapBasedSolver::default().with_certify(certify)),
             "exact" => Box::new(ExactSolver::default()),
             other => fail(
                 FailClass::Usage,
@@ -424,6 +425,12 @@ fn cmd_solve(flags: HashMap<String, String>) {
                 e.message,
                 partial.report
             );
+            if certify {
+                let cert = partial.report.certificate.clone().unwrap_or_else(|| {
+                    epplan::core::certify::certify(&instance, &partial.plan)
+                });
+                println!("certificate    : {cert}");
+            }
             finish_obs(&obs);
             summarize(&instance, &partial.plan);
             if let Some(path) = flags.get("out") {
@@ -439,6 +446,24 @@ fn cmd_solve(flags: HashMap<String, String>) {
     );
     if !solution.report.attempts.is_empty() {
         println!("solve chain    : {}", solution.report);
+    }
+    if certify {
+        // The gap solver certifies tier-internally (the certificate
+        // rides on the report); other solvers are checked here. Either
+        // way an uncertified plan never exits 0.
+        let cert = solution
+            .report
+            .certificate
+            .clone()
+            .unwrap_or_else(|| epplan::core::certify::certify(&instance, &solution.plan));
+        println!("certificate    : {cert}");
+        if !cert.hard_ok() {
+            finish_obs(&obs);
+            fail(
+                FailClass::Infeasible,
+                &format!("certification rejected the final plan: {cert}"),
+            );
+        }
     }
     summarize(&instance, &solution.plan);
     if flags.contains_key("stats") {
@@ -511,6 +536,11 @@ fn cmd_example(flags: HashMap<String, String>) {
 }
 
 fn main() {
+    // Arm deterministic fault injection when EPPLAN_FAULTS is set; a
+    // malformed spec is a usage error, not a silent no-op.
+    if let Err(e) = epplan::fault::install_from_env() {
+        fail(FailClass::Usage, &format!("bad EPPLAN_FAULTS: {e}"));
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         usage();
@@ -524,5 +554,50 @@ fn main() {
         "apply" => cmd_apply(flags),
         "example" => cmd_example(flags),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CLI exit-code table (crate docs, README, DESIGN.md) and the
+    /// library's own [`FailureKind::exit_code`] contract must agree for
+    /// every failure kind — exhaustively, so adding a kind without
+    /// updating the mapping fails here instead of drifting silently.
+    #[test]
+    fn cli_exit_codes_agree_with_failure_kinds() {
+        for kind in FailureKind::ALL {
+            assert_eq!(
+                FailClass::for_failure_kind(kind).exit_code(),
+                kind.exit_code(),
+                "exit-code drift for {kind:?}: CLI maps it to {} but the library documents {}",
+                FailClass::for_failure_kind(kind).exit_code(),
+                kind.exit_code(),
+            );
+        }
+    }
+
+    /// Every failure class keeps its documented code and name — the
+    /// table in the crate docs is a contract for scripts.
+    #[test]
+    fn fail_classes_match_documented_table() {
+        let table: [(FailClass, i32, &str); 7] = [
+            (FailClass::Internal, 1, "internal"),
+            (FailClass::Usage, 2, "usage"),
+            (FailClass::Io, 3, "io"),
+            (FailClass::Parse, 4, "parse"),
+            (FailClass::InvalidInstance, 5, "invalid-instance"),
+            (FailClass::Infeasible, 6, "infeasible"),
+            (FailClass::BudgetExhausted, 7, "budget-exhausted"),
+        ];
+        for (class, code, name) in table {
+            assert_eq!(class.exit_code(), code);
+            assert_eq!(class.name(), name);
+        }
+        let mut codes: Vec<i32> = table.iter().map(|(c, _, _)| c.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), table.len(), "exit codes must stay distinct");
     }
 }

@@ -29,6 +29,7 @@
 
 pub use epplan_core as core;
 pub use epplan_datagen as datagen;
+pub use epplan_fault as fault;
 pub use epplan_flow as flow;
 pub use epplan_gap as gap;
 pub use epplan_geo as geo;
