@@ -15,7 +15,8 @@
 //!   fig5      IEP memory scalability sweeps
 //!   ablations A1 (approx ratios), A2 (LP vs MW), A3 (filler)
 //!   bench     serial-vs-parallel baseline, written to BENCH_gepc.json
-//!   all       everything above except bench
+//!   serve     serving-daemon throughput/latency, written to BENCH_serve.json
+//!   all       everything above except bench and serve
 //! ```
 //!
 //! `--threads N` pins the worker count for every solver stage (same
@@ -40,7 +41,7 @@ static ALLOC: epplan_memtrack::Tracking = epplan_memtrack::Tracking;
 fn usage() -> ! {
     eprintln!(
         "usage: paper [--quick] [--reps N] [--obs] [--threads N] \
-         <example|table6|fig2|fig3|table7|table8|table9|fig4|fig5|ablations|bench|all>..."
+         <example|table6|fig2|fig3|table7|table8|table9|fig4|fig5|ablations|bench|serve|all>..."
     );
     std::process::exit(2)
 }
@@ -151,6 +152,15 @@ fn main() {
             "bench" => {
                 let json = experiments::bench_gepc(&opts, epplan_par::threads());
                 let path = "BENCH_gepc.json";
+                match std::fs::write(path, &json) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+                }
+                print!("{json}");
+            }
+            "serve" => {
+                let json = experiments::bench_serve(&opts, epplan_par::threads());
+                let path = "BENCH_serve.json";
                 match std::fs::write(path, &json) {
                     Ok(()) => println!("wrote {path}"),
                     Err(e) => eprintln!("warning: cannot write {path}: {e}"),

@@ -742,6 +742,182 @@ pub fn bench_gepc(opts: &HarnessOptions, threads: usize) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// BENCH_serve.json — daemon throughput and repair-latency baseline.
+// ---------------------------------------------------------------------
+
+/// One measured (instance, thread-count) serving cell.
+struct ServeCell {
+    threads: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    applied: u64,
+    resolved: u64,
+    rejected: u64,
+    snapshots: u64,
+    utility: f64,
+    certified: bool,
+    /// Mid-stream certification spot-checks that failed (must be 0:
+    /// the daemon's contract is "no uncertified interval").
+    uncertified_intervals: u64,
+    error: Option<String>,
+}
+
+impl ServeCell {
+    fn failed(threads: usize, error: String) -> Self {
+        ServeCell {
+            threads,
+            ops: 0,
+            ops_per_sec: 0.0,
+            p50_us: 0,
+            p99_us: 0,
+            applied: 0,
+            resolved: 0,
+            rejected: 0,
+            snapshots: 0,
+            utility: 0.0,
+            certified: false,
+            uncertified_intervals: 0,
+            error: Some(error),
+        }
+    }
+}
+
+fn serve_cell(
+    inst: &Instance,
+    ops: &[epplan_core::incremental::SequencedOp],
+    threads: usize,
+    tag: &str,
+) -> ServeCell {
+    epplan_par::set_threads(threads);
+    let state_dir = std::env::temp_dir().join(format!("epplan-bench-serve-{tag}-{threads}"));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let config = epplan_serve::ServeConfig {
+        drift_threshold: Some(5000),
+        snapshot_every: Some(2500),
+        ..epplan_serve::ServeConfig::default()
+    };
+    let mut daemon =
+        match epplan_serve::Daemon::start(inst.clone(), config, Some(&state_dir)) {
+            Ok(d) => d,
+            Err(e) => return ServeCell::failed(threads, e.to_string()),
+        };
+    let mut uncertified_intervals = 0u64;
+    for (k, sop) in ops.iter().enumerate() {
+        if let Err(e) = daemon.process(sop) {
+            let _ = std::fs::remove_dir_all(&state_dir);
+            return ServeCell::failed(threads, format!("op {}: {e}", sop.id));
+        }
+        // Spot-check the "always certified" contract mid-stream.
+        if (k + 1) % 1000 == 0 && !daemon.certificate().hard_ok() {
+            uncertified_intervals += 1;
+        }
+    }
+    let s = daemon.summary();
+    let _ = std::fs::remove_dir_all(&state_dir);
+    ServeCell {
+        threads,
+        ops: s.ops,
+        ops_per_sec: s.ops_per_sec,
+        p50_us: s.p50_us,
+        p99_us: s.p99_us,
+        applied: s.applied,
+        resolved: s.resolved,
+        rejected: s.rejected,
+        snapshots: s.snapshots,
+        utility: s.utility,
+        certified: s.certified,
+        uncertified_intervals,
+        error: None,
+    }
+}
+
+/// Serving-daemon baseline: `epplan serve` ingesting a synthetic op
+/// stream on the Fig-2 |U| grid at |E|=50, WAL and snapshots on, at
+/// `threads=1` and `threads=n`. Measures sustained ops/sec and p50/p99
+/// per-op repair latency; every cell re-certifies its final plan and
+/// spot-checks certification mid-stream ("no uncertified interval").
+/// Returns the JSON document committed as `BENCH_serve.json`.
+pub fn bench_serve(opts: &HarnessOptions, threads: usize) -> String {
+    let prior = epplan_par::threads();
+    let grid: &[(usize, usize, usize)] = if opts.quick {
+        &[(500, 50, 2_000), (1000, 50, 2_000)]
+    } else {
+        &[(1000, 50, 10_000), (5000, 50, 10_000), (10000, 50, 10_000)]
+    };
+    let mut rows = String::new();
+    let mut summary = String::new();
+    for (i, &(users, events, n_ops)) in grid.iter().enumerate() {
+        let inst = generate(&GeneratorConfig::default().cutout(users, events));
+        // A deterministic greedy plan gives the op sampler its context;
+        // ids start at 1 (0 is reserved by the protocol).
+        let plan0 = GreedySolver::seeded(42).solve(&inst).plan;
+        let mut sampler = epplan_datagen::OpStreamSampler::new(42);
+        let ops = sampler.sequenced_stream(&inst, &plan0, n_ops, 1);
+        let tag = format!("u{users}");
+        let serial = serve_cell(&inst, &ops, 1, &tag);
+        let parallel = if threads > 1 {
+            serve_cell(&inst, &ops, threads, &tag)
+        } else {
+            serve_cell(&inst, &ops, 1, &tag)
+        };
+        for c in [&serial, &parallel] {
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"users\": {users}, \"events\": {events}, \"ops\": {}, \
+                 \"threads\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \
+                 \"p99_us\": {}, \"applied\": {}, \"resolved\": {}, \
+                 \"rejected\": {}, \"snapshots\": {}, \"utility\": {:.6}, \
+                 \"certified\": {}, \"uncertified_intervals\": {}{}}}",
+                c.ops,
+                c.threads,
+                c.ops_per_sec,
+                c.p50_us,
+                c.p99_us,
+                c.applied,
+                c.resolved,
+                c.rejected,
+                c.snapshots,
+                c.utility,
+                c.certified,
+                c.uncertified_intervals,
+                match &c.error {
+                    Some(e) => format!(", \"error\": {:?}", e),
+                    None => String::new(),
+                }
+            ));
+        }
+        if i > 0 {
+            summary.push_str(",\n");
+        }
+        summary.push_str(&format!(
+            "    {{\"users\": {users}, \"events\": {events}, \
+             \"deterministic\": {}, \"always_certified\": {}}}",
+            (serial.utility - parallel.utility).abs() < 1e-9,
+            serial.certified
+                && parallel.certified
+                && serial.uncertified_intervals == 0
+                && parallel.uncertified_intervals == 0
+        ));
+    }
+    epplan_par::set_threads(prior);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "{{\n  \"bench\": \"serve_daemon\",\n  \
+         \"solver\": \"iep(repair) + gap(fallback re-solve)\",\n  \
+         \"machine_cores\": {cores},\n  \
+         \"threads_compared\": [1, {threads}],\n  \
+         \"rows\": [\n{rows}\n  ],\n  \
+         \"summary\": [\n{summary}\n  ]\n}}\n"
+    )
+}
+
 /// Quickstart sanity: solves the paper's Example 1 with all three
 /// solvers and prints the resulting utilities.
 pub fn example_table() -> Table {

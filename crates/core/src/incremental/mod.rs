@@ -31,7 +31,7 @@ use crate::model::{Event, EventId, Instance, TimeInterval, UserId};
 use crate::plan::{dif, Plan};
 use crate::solver::filler;
 use epplan_geo::Point;
-use epplan_solve::SolveError;
+use epplan_solve::{BudgetGuard, SolveBudget, SolveError};
 use serde::{Deserialize, Serialize};
 
 const STAGE: &str = "core.incremental";
@@ -122,6 +122,58 @@ pub enum AtomicOp {
         /// New fee `≥ 0`.
         new_fee: f64,
     },
+}
+
+/// An [`AtomicOp`] tagged with a strictly monotonic stream id — the
+/// replay and idempotency unit of durable operation streams (the
+/// `epplan serve` write-ahead log, `datagen::opstream` JSONL files).
+///
+/// Ids are assigned by the producer and must strictly increase along a
+/// stream ([`validate_sequence`]); gaps are fine. A consumer that
+/// remembers the last id it applied can replay any suffix of the
+/// stream without double-applying an operation.
+///
+/// Serializes as `{"id": 17, "op": {"op": "eta_decrease", ...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequencedOp {
+    /// Strictly monotonic stream id (producer-assigned, 1-based by
+    /// convention; 0 is reserved for "nothing applied yet").
+    pub id: u64,
+    /// The operation itself.
+    pub op: AtomicOp,
+}
+
+impl SequencedOp {
+    /// Tags `op` with stream id `id`.
+    pub fn new(id: u64, op: AtomicOp) -> Self {
+        SequencedOp { id, op }
+    }
+}
+
+/// Validates the id discipline of a sequenced stream: ids must
+/// strictly increase (duplicates and reorderings are both rejected)
+/// and must not use the reserved id 0. Run this on any deserialized
+/// stream before replaying it — a duplicate id replayed against a
+/// write-ahead log would double-apply its operation.
+pub fn validate_sequence(ops: &[SequencedOp]) -> Result<(), SolveError<()>> {
+    let mut last: u64 = 0;
+    for (k, sop) in ops.iter().enumerate() {
+        if sop.id == 0 {
+            return Err(SolveError::bad_input(
+                STAGE,
+                format!("operation {k} uses reserved stream id 0"),
+            ));
+        }
+        if sop.id <= last {
+            let what = if sop.id == last { "duplicates" } else { "precedes" };
+            return Err(SolveError::bad_input(
+                STAGE,
+                format!("operation {k} id {} {what} previous id {last}", sop.id),
+            ));
+        }
+        last = sop.id;
+    }
+    Ok(())
 }
 
 /// Result of applying an atomic operation.
@@ -359,6 +411,84 @@ impl IncrementalPlanner {
         Ok(self.apply_validated(instance, plan, op))
     }
 
+    /// [`IncrementalPlanner::try_apply`] under a per-operation
+    /// [`SolveBudget`]: the serving layer's entry point. The budget is
+    /// enforced at the operation granularity — one guard tick up front
+    /// (so iteration caps and pre-expired zero allowances trip
+    /// deterministically before any work) and a deadline check after
+    /// the repair. A tripped budget returns the usual retryable
+    /// `BudgetExhausted` error carrying the **unchanged** state as the
+    /// partial, never a half-repaired plan.
+    pub fn try_apply_budgeted(
+        &self,
+        instance: &Instance,
+        plan: &Plan,
+        op: &AtomicOp,
+        budget: SolveBudget,
+    ) -> Result<IncrementalOutcome, SolveError<IncrementalOutcome>> {
+        let mut guard = BudgetGuard::new(budget);
+        if let Err(e) = guard.tick(STAGE) {
+            return Err(e
+                .discard_partial()
+                .with_partial(Self::unchanged_outcome(instance, plan)));
+        }
+        let out = self.try_apply(instance, plan, op)?;
+        match guard.check_deadline(STAGE) {
+            Ok(()) => Ok(out),
+            // The repair finished but blew the deadline: report the
+            // exhaustion, offer the unchanged pre-op state — the repair
+            // result must not leak past a broken budget contract.
+            Err(e) => Err(e
+                .discard_partial()
+                .with_partial(Self::unchanged_outcome(instance, plan))),
+        }
+    }
+
+    /// The pure state transition of `op` on the instance alone — no
+    /// plan repair, no fault points, no budget. This is the single
+    /// source of truth for "what the world looks like after `op`";
+    /// [`IncrementalPlanner::apply`] composes it with the repair
+    /// algorithms, and the `epplan serve` full-re-solve fallback uses
+    /// it directly when a repair fails and the plan is rebuilt from
+    /// scratch. `op` must already be validated.
+    pub fn apply_to_instance(instance: &Instance, op: &AtomicOp) -> Instance {
+        let mut inst = instance.clone();
+        match op {
+            AtomicOp::EtaDecrease { event, new_upper }
+            | AtomicOp::EtaIncrease { event, new_upper } => {
+                let lower = inst.event(*event).lower.min(*new_upper);
+                inst.set_event_bounds(*event, lower, *new_upper);
+            }
+            AtomicOp::XiIncrease { event, new_lower } => {
+                let upper = inst.event(*event).upper.max(*new_lower);
+                inst.set_event_bounds(*event, *new_lower, upper);
+            }
+            AtomicOp::XiDecrease { event, new_lower } => {
+                let upper = inst.event(*event).upper;
+                inst.set_event_bounds(*event, *new_lower, upper);
+            }
+            AtomicOp::TimeChange { event, new_time } => {
+                inst.set_event_time(*event, *new_time);
+            }
+            AtomicOp::LocationChange { event, new_location } => {
+                inst.set_event_location(*event, *new_location);
+            }
+            AtomicOp::NewEvent { event, utilities } => {
+                inst.add_event(*event, utilities);
+            }
+            AtomicOp::UtilityChange { user, event, new_utility } => {
+                inst.set_utility(*user, *event, *new_utility);
+            }
+            AtomicOp::BudgetChange { user, new_budget } => {
+                inst.set_budget(*user, *new_budget);
+            }
+            AtomicOp::FeeChange { event, new_fee } => {
+                inst.set_event_fee(*event, *new_fee);
+            }
+        }
+        inst
+    }
+
     /// The identity outcome: nothing applied, nothing changed.
     fn unchanged_outcome(instance: &Instance, plan: &Plan) -> IncrementalOutcome {
         IncrementalOutcome {
@@ -403,48 +533,39 @@ impl IncrementalPlanner {
         let mut sp = epplan_obs::span("iep.apply");
         sp.add_iters(1);
         epplan_obs::counter_add("iep.ops", 1);
-        let mut inst = instance.clone();
+        // The instance transition is shared with the serving layer's
+        // full-re-solve fallback; only the repair dispatch lives here.
+        let inst = Self::apply_to_instance(instance, op);
         let mut new_plan = plan.clone();
 
         match op {
-            AtomicOp::EtaDecrease { event, new_upper } => {
-                let lower = inst.event(*event).lower.min(*new_upper);
-                inst.set_event_bounds(*event, lower, *new_upper);
+            AtomicOp::EtaDecrease { event, .. } => {
                 eta_decrease(&inst, &mut new_plan, *event);
             }
-            AtomicOp::EtaIncrease { event, new_upper } => {
-                let lower = inst.event(*event).lower.min(*new_upper);
-                inst.set_event_bounds(*event, lower, *new_upper);
+            AtomicOp::EtaIncrease { event, .. } => {
                 // Pure addition: fill the new capacity, no negative
                 // impact possible.
                 repair::fill_event_to_upper(&inst, &mut new_plan, *event);
             }
-            AtomicOp::XiIncrease { event, new_lower } => {
-                let upper = inst.event(*event).upper.max(*new_lower);
-                inst.set_event_bounds(*event, *new_lower, upper);
+            AtomicOp::XiIncrease { event, .. } => {
                 xi_increase(&inst, &mut new_plan, *event);
             }
-            AtomicOp::XiDecrease { event, new_lower } => {
+            AtomicOp::XiDecrease { .. } => {
                 // The old plan remains feasible: nothing to repair.
-                let upper = inst.event(*event).upper;
-                inst.set_event_bounds(*event, *new_lower, upper);
             }
-            AtomicOp::TimeChange { event, new_time } => {
-                inst.set_event_time(*event, *new_time);
+            AtomicOp::TimeChange { event, .. } => {
                 time_change(&inst, &mut new_plan, *event);
             }
-            AtomicOp::LocationChange {
-                event,
-                new_location,
-            } => {
-                inst.set_event_location(*event, *new_location);
+            AtomicOp::LocationChange { event, .. } => {
                 // Same repair loop: the removal pass inside
                 // `time_change` re-checks both conflicts and budgets,
                 // and only budgets can newly fail here.
                 time_change(&inst, &mut new_plan, *event);
             }
-            AtomicOp::NewEvent { event, utilities } => {
-                let id = inst.add_event(*event, utilities);
+            AtomicOp::NewEvent { .. } => {
+                // `apply_to_instance` appended the event, so it carries
+                // the highest id.
+                let id = EventId((inst.n_events() - 1) as u32);
                 new_plan.resize_events(inst.n_events());
                 // Reduction per the paper: raise the lower bound from 0
                 // (Algorithm 4), then fill spare capacity to η.
@@ -458,7 +579,6 @@ impl IncrementalPlanner {
                 event,
                 new_utility,
             } => {
-                inst.set_utility(*user, *event, *new_utility);
                 if *new_utility <= 0.0 && new_plan.contains(*user, *event) {
                     // The user can no longer attend (the paper's
                     // availability example): remove, restore the lower
@@ -478,8 +598,7 @@ impl IncrementalPlanner {
                 }
             }
             AtomicOp::FeeChange { event, new_fee } => {
-                let old_fee = inst.event(*event).fee;
-                inst.set_event_fee(*event, *new_fee);
+                let old_fee = instance.event(*event).fee;
                 if *new_fee > old_fee {
                     // Same repair loop as a venue move: the removal pass
                     // re-checks budgets (now including the higher fee)
@@ -491,8 +610,7 @@ impl IncrementalPlanner {
                 }
             }
             AtomicOp::BudgetChange { user, new_budget } => {
-                let old_budget = inst.user(*user).budget;
-                inst.set_budget(*user, *new_budget);
+                let old_budget = instance.user(*user).budget;
                 if *new_budget < old_budget {
                     let dropped = repair::shed_to_budget(&inst, &mut new_plan, *user);
                     for e in dropped {
@@ -993,6 +1111,107 @@ mod tests {
         // Only the first op was applied.
         assert_eq!(partial.step_difs.len(), 1);
         assert!(partial.plan.validate(&partial.instance).hard_ok());
+    }
+
+    /// Every op kind, well-formed against the [`setup`] instance.
+    fn one_of_each_op() -> Vec<AtomicOp> {
+        vec![
+            AtomicOp::EtaDecrease { event: EventId(0), new_upper: 1 },
+            AtomicOp::EtaIncrease { event: EventId(2), new_upper: 4 },
+            AtomicOp::XiIncrease { event: EventId(2), new_lower: 2 },
+            AtomicOp::XiDecrease { event: EventId(0), new_lower: 0 },
+            AtomicOp::TimeChange {
+                event: EventId(0),
+                new_time: TimeInterval::new(60, 119),
+            },
+            AtomicOp::LocationChange {
+                event: EventId(1),
+                new_location: Point::new(5.0, 5.0),
+            },
+            AtomicOp::NewEvent {
+                event: Event::new(Point::new(2.0, 2.0), 1, 3, TimeInterval::new(200, 260)),
+                utilities: vec![0.5, 0.6, 0.7, 0.8],
+            },
+            AtomicOp::UtilityChange {
+                user: UserId(0),
+                event: EventId(0),
+                new_utility: 0.0,
+            },
+            AtomicOp::BudgetChange { user: UserId(1), new_budget: 2.5 },
+            AtomicOp::FeeChange { event: EventId(0), new_fee: 5.0 },
+        ]
+    }
+
+    #[test]
+    fn apply_to_instance_agrees_with_full_apply() {
+        // The pure instance transition and the repair entry point must
+        // describe the same post-op world, for every op kind.
+        let (instance, plan) = setup();
+        for op in one_of_each_op() {
+            let inst_only = IncrementalPlanner::apply_to_instance(&instance, &op);
+            let full = IncrementalPlanner.apply(&instance, &plan, &op);
+            assert_eq!(inst_only, full.instance, "divergence for {op:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_validation_rejects_duplicates_reorderings_and_zero() {
+        let op = AtomicOp::XiDecrease { event: EventId(0), new_lower: 0 };
+        let seq = |ids: &[u64]| -> Vec<SequencedOp> {
+            ids.iter().map(|&id| SequencedOp::new(id, op.clone())).collect()
+        };
+        assert!(validate_sequence(&seq(&[1, 2, 3])).is_ok());
+        assert!(validate_sequence(&seq(&[1, 5, 90])).is_ok(), "gaps are fine");
+        assert!(validate_sequence(&[]).is_ok());
+        for (ids, needle) in [
+            (&[1u64, 2, 2][..], "duplicates"),
+            (&[3, 1][..], "precedes"),
+            (&[0, 1][..], "reserved"),
+        ] {
+            let err = validate_sequence(&seq(ids)).unwrap_err();
+            assert_eq!(err.kind, epplan_solve::FailureKind::BadInput);
+            assert!(err.message.contains(needle), "{ids:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn sequenced_op_round_trips_json() {
+        let sop = SequencedOp::new(
+            17,
+            AtomicOp::EtaDecrease { event: EventId(3), new_upper: 1 },
+        );
+        let json = serde_json::to_string(&sop).unwrap();
+        assert!(json.contains("\"id\""), "{json}");
+        assert!(json.contains("eta_decrease"), "{json}");
+        let back: SequencedOp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sop);
+    }
+
+    #[test]
+    fn budgeted_apply_enforces_and_reports_retryable_exhaustion() {
+        let (instance, plan) = setup();
+        let op = AtomicOp::EtaDecrease { event: EventId(0), new_upper: 1 };
+        // A pre-expired allowance trips before any repair work, with
+        // the unchanged state as the partial.
+        let err = IncrementalPlanner
+            .try_apply_budgeted(
+                &instance,
+                &plan,
+                &op,
+                epplan_solve::SolveBudget::from_time_limit(std::time::Duration::ZERO),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, epplan_solve::FailureKind::BudgetExhausted);
+        assert!(err.is_retryable());
+        let partial = err.partial.expect("unchanged outcome travels as partial");
+        assert_eq!(partial.plan, plan);
+        // An ample budget matches the unbudgeted path exactly.
+        let out = IncrementalPlanner
+            .try_apply_budgeted(&instance, &plan, &op, epplan_solve::SolveBudget::UNLIMITED)
+            .expect("unlimited budget cannot trip");
+        let base = IncrementalPlanner.apply(&instance, &plan, &op);
+        assert_eq!(out.plan, base.plan);
+        assert_eq!(out.instance, base.instance);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! current user count). Drive it in a loop with
 //! `IncrementalPlanner::apply`, or feed a batch to `apply_batch`.
 
-use epplan_core::incremental::AtomicOp;
+use epplan_core::incremental::{AtomicOp, SequencedOp};
 use epplan_core::model::{Event, EventId, Instance, TimeInterval, UserId};
 use epplan_core::plan::Plan;
 use epplan_geo::{BoundingBox, Point};
@@ -268,6 +268,34 @@ impl OpStreamSampler {
         }
         ops
     }
+
+    /// [`OpStreamSampler::stream`], with each operation tagged by a
+    /// strictly monotonic stream id starting at `first_id` (≥ 1; id 0
+    /// is reserved for "nothing applied yet"). Sequenced streams are
+    /// the durable/replayable form — `epplan serve` skips any id at or
+    /// below its high-water mark, so replaying a whole stream after a
+    /// crash is idempotent. The result always passes
+    /// [`epplan_core::incremental::validate_sequence`].
+    ///
+    /// Panics if `first_id` is 0 or the ids would overflow `u64`.
+    pub fn sequenced_stream(
+        &mut self,
+        instance: &Instance,
+        plan: &Plan,
+        n: usize,
+        first_id: u64,
+    ) -> Vec<SequencedOp> {
+        assert!(first_id >= 1, "stream id 0 is reserved");
+        assert!(
+            u64::MAX - first_id >= n as u64,
+            "stream ids would overflow u64"
+        );
+        self.stream(instance, plan, n)
+            .into_iter()
+            .enumerate()
+            .map(|(k, op)| SequencedOp::new(first_id + k as u64, op))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +391,44 @@ mod tests {
         // Replay must succeed even with the growing event set.
         let out = IncrementalPlanner.apply_batch(&inst, &plan, &ops);
         assert_eq!(out.instance.n_events(), inst.n_events() + n_new);
+    }
+
+    #[test]
+    fn sequenced_stream_is_strictly_monotonic_and_validates() {
+        use epplan_core::incremental::validate_sequence;
+        let (inst, plan) = setup();
+        let seq = OpStreamSampler::new(5).sequenced_stream(&inst, &plan, 25, 1);
+        assert_eq!(seq.len(), 25);
+        validate_sequence(&seq).expect("generator output must validate");
+        for (k, sop) in seq.iter().enumerate() {
+            assert_eq!(sop.id, 1 + k as u64, "ids are dense from first_id");
+        }
+        // Ids carry the configured offset and the ops match the
+        // unsequenced stream for the same seed.
+        let offset = OpStreamSampler::new(5).sequenced_stream(&inst, &plan, 25, 100);
+        assert_eq!(offset[0].id, 100);
+        assert_eq!(offset[24].id, 124);
+        let plain = OpStreamSampler::new(5).stream(&inst, &plan, 25);
+        let unwrapped: Vec<_> = seq.into_iter().map(|s| s.op).collect();
+        assert_eq!(unwrapped, plain);
+    }
+
+    #[test]
+    fn duplicate_id_replay_is_rejected_at_validation_time() {
+        use epplan_core::incremental::validate_sequence;
+        let (inst, plan) = setup();
+        let mut seq = OpStreamSampler::new(7).sequenced_stream(&inst, &plan, 10, 1);
+        // A double-applied record (the WAL-replay hazard this guards).
+        seq.push(seq[4].clone());
+        let err = validate_sequence(&seq).unwrap_err();
+        assert_eq!(err.kind, epplan_core::solver::FailureKind::BadInput);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream id 0 is reserved")]
+    fn sequenced_stream_rejects_reserved_first_id() {
+        let (inst, plan) = setup();
+        let _ = OpStreamSampler::new(1).sequenced_stream(&inst, &plan, 1, 0);
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub const SITES: &[&str] = &[
     "core.greedy.fallback",
     "core.iep.apply",
     "solve.budget.tick",
+    "serve.wal.append",
+    "serve.snapshot.write",
+    "serve.op.ingest",
 ];
 
 /// `true` when `site` names a registered injection site.

@@ -26,11 +26,20 @@ pub const RULES: &[&str] = &[
 /// the instance generator. `HashMap`/`HashSet` iteration order is
 /// nondeterministic across processes, so these crates use `BTreeMap`/
 /// `BTreeSet` or index-keyed `Vec`s instead.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "solve", "lp", "flow", "gap", "geo", "datagen"];
+const DETERMINISTIC_CRATES: &[&str] =
+    &["core", "solve", "lp", "flow", "gap", "geo", "datagen", "serve"];
 
 /// The only places allowed to read the wall clock: budget enforcement,
-/// benchmarking, and the observability layer itself.
-const WALL_CLOCK_ALLOWED: &[&str] = &["crates/solve/src/budget.rs", "crates/bench/", "crates/obs/"];
+/// benchmarking, the observability layer itself, and the serving
+/// daemon's latency instrumentation (`crates/serve/src/daemon.rs`
+/// measures per-op repair latency; clock values feed histograms only,
+/// never solver decisions — see DESIGN.md § Serving).
+const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/solve/src/budget.rs",
+    "crates/bench/",
+    "crates/obs/",
+    "crates/serve/src/daemon.rs",
+];
 
 /// The single owner of thread creation.
 const THREADS_ALLOWED: &[&str] = &["crates/par/"];
@@ -55,6 +64,10 @@ pub const SPAN_NAMES: &[&str] = &[
     "solve.greedy_fallback",
     "solve.certify",
     "iep.apply",
+    "serve.op",
+    "serve.resolve",
+    "serve.snapshot",
+    "serve.restore",
 ];
 
 /// Registered counter names.
@@ -67,6 +80,14 @@ pub const COUNTER_NAMES: &[&str] = &[
     "rounding.edges",
     "budget.exhausted",
     "iep.ops",
+    "serve.ops",
+    "serve.ops_applied",
+    "serve.ops_resolved",
+    "serve.ops_rejected",
+    "serve.ops_skipped",
+    "serve.retries",
+    "serve.resolves",
+    "serve.snapshots",
 ];
 
 /// Registered gauge names.
@@ -86,6 +107,8 @@ pub const GAUGE_NAMES: &[&str] = &[
     "local_search.par.chunks",
     "datagen.par.threads",
     "datagen.par.chunks",
+    "serve.drift",
+    "serve.utility",
 ];
 
 /// The fault-injection site registry (DESIGN.md § Fault model &
@@ -103,6 +126,9 @@ pub const FAULT_SITES: &[&str] = &[
     "gap.packing.oracle",
     "gap.rounding.match",
     "lp.simplex.pivot",
+    "serve.op.ingest",
+    "serve.snapshot.write",
+    "serve.wal.append",
     "solve.budget.tick",
 ];
 

@@ -1,0 +1,776 @@
+//! The serving daemon: certified plan state + the per-op processing
+//! ladder (repair → retry with doubled budget → full re-solve →
+//! typed rejection), WAL/snapshot durability, and crash recovery.
+//!
+//! ## Invariant
+//!
+//! The *visible* plan — the one a caller observes via
+//! [`Daemon::plan`] or any [`OpResponse`] — is certified at all
+//! times. State transitions happen only after
+//! [`certify_incremental`]/[`certify`] confirms zero hard violations;
+//! a failed repair or re-solve leaves the previous certified plan in
+//! place and rejects the op with a typed error.
+//!
+//! ## Wall-clock use
+//!
+//! This module reads `Instant` for two purposes only: per-op latency
+//! histograms and throughput reporting. No *planning decision* except
+//! explicit wall-clock budgets (`time_limit`) depends on it, and the
+//! outcome of every budget race is recorded in the WAL as an
+//! [`OutcomeMode`], which is what replay follows — so recovery is
+//! deterministic even when the original run raced a deadline.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use epplan_core::certify::{certify, certify_incremental};
+use epplan_core::incremental::{IncrementalOutcome, IncrementalPlanner, SequencedOp};
+use epplan_core::model::Instance;
+use epplan_core::plan::{dif, Plan};
+use epplan_core::solver::{GapBasedSolver, GepcSolver};
+use epplan_solve::{Certificate, FailureKind, SolveBudget, SolveError};
+
+use crate::proto::{OpResponse, ServeSummary};
+use crate::wal::{self, OutcomeMode, Snapshot, WalRecord, WalWriter, FORMAT_VERSION};
+use crate::ServeError;
+
+const STAGE: &str = "serve.daemon";
+
+/// Serving knobs. Budgets use plain [`SolveBudget`]; for *provably*
+/// convergent crash recovery prefer iteration caps (or no limit) over
+/// wall-clock limits — time-based budgets still recover correctly
+/// (outcome modes are recorded), but identical re-runs from scratch
+/// are only guaranteed when budget decisions are clock-free.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Budget for one incremental repair attempt (before escalation).
+    pub op_budget: SolveBudget,
+    /// Budget for a full re-solve (fallback and drift-triggered).
+    pub resolve_budget: SolveBudget,
+    /// Budget-doubling retries after a retryable exhaustion.
+    pub max_retries: u32,
+    /// Accumulated `dif` that triggers a certified full re-solve.
+    /// `None` disables drift-triggered re-solves.
+    pub drift_threshold: Option<u64>,
+    /// Snapshot after every this many processed ops. `None` keeps
+    /// only the initial snapshot (WAL grows unboundedly).
+    pub snapshot_every: Option<u64>,
+    /// Test hook: `abort()` the process after fully processing this
+    /// many ops — a deterministic stand-in for `SIGKILL`.
+    pub crash_after_ops: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            op_budget: SolveBudget::UNLIMITED,
+            resolve_budget: SolveBudget::UNLIMITED,
+            max_retries: 3,
+            drift_threshold: None,
+            snapshot_every: Some(1000),
+            crash_after_ops: None,
+        }
+    }
+}
+
+/// Monotonic per-session counters, exposed for benchmarks and tests.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Ops repaired incrementally (status `applied`).
+    pub applied: u64,
+    /// Ops that ended in a certified full re-solve (status `resolved`).
+    pub resolved: u64,
+    /// Ops rejected with a typed error.
+    pub rejected: u64,
+    /// Duplicate ids skipped.
+    pub skipped: u64,
+    /// Budget-escalation retries across all ops.
+    pub retries: u64,
+    /// Full re-solves (fallback + drift-triggered).
+    pub resolves: u64,
+    /// Snapshots written (including the initial one).
+    pub snapshots: u64,
+    /// Per-op latencies in microseconds, insertion order.
+    pub latencies_us: Vec<u64>,
+}
+
+/// `base` doubled `attempt` times (both limits), saturating.
+fn escalated(base: SolveBudget, attempt: u32) -> SolveBudget {
+    if attempt == 0 {
+        return base;
+    }
+    let factor = 1u64 << attempt.min(16);
+    SolveBudget {
+        time_limit: base.time_limit.map(|t| t.saturating_mul(factor as u32)),
+        max_iterations: base.max_iterations.map(|c| c.saturating_mul(factor)),
+    }
+}
+
+/// A long-lived, crash-recoverable incremental planning session.
+#[derive(Debug)]
+pub struct Daemon {
+    instance: Instance,
+    plan: Plan,
+    utility: f64,
+    /// Highest op id folded into the visible plan.
+    last_op_id: u64,
+    /// Accumulated `dif` since the last full solve.
+    drift: u64,
+    /// Non-skipped ops processed this session (drives snapshots and
+    /// the crash hook, *not* recovery — that uses `last_op_id`).
+    processed: u64,
+    wal: Option<WalWriter>,
+    state_dir: Option<PathBuf>,
+    config: ServeConfig,
+    stats: ServeStats,
+    started: Instant,
+}
+
+impl Daemon {
+    /// Solves `instance` from scratch, certifies, writes the initial
+    /// snapshot (id 0) and a fresh WAL when `state_dir` is given.
+    pub fn start(
+        instance: Instance,
+        config: ServeConfig,
+        state_dir: Option<&Path>,
+    ) -> Result<Daemon, ServeError> {
+        let (plan, utility) = Self::full_solve(&instance, config.resolve_budget)?;
+        let mut daemon = Daemon {
+            instance,
+            plan,
+            utility,
+            last_op_id: 0,
+            drift: 0,
+            processed: 0,
+            wal: None,
+            state_dir: state_dir.map(Path::to_path_buf),
+            config,
+            stats: ServeStats::default(),
+            started: Instant::now(),
+        };
+        if let Some(dir) = daemon.state_dir.clone() {
+            fs::create_dir_all(&dir).map_err(|e| {
+                ServeError::io(format!("creating state dir {}: {e}", dir.display()))
+            })?;
+            daemon.write_snapshot()?; // also creates the fresh WAL
+        }
+        daemon.publish_gauges();
+        Ok(daemon)
+    }
+
+    /// Recovers a session from `state_dir`: loads the snapshot,
+    /// re-certifies it (disk is never trusted), replays the WAL
+    /// suffix honoring recorded [`OutcomeMode`]s, and finishes a
+    /// torn tail op (logged but never completed) live.
+    pub fn restore(config: ServeConfig, state_dir: &Path) -> Result<Daemon, ServeError> {
+        let mut sp = epplan_obs::span("serve.restore");
+        sp.add_iters(1);
+        let snap = wal::read_snapshot(state_dir)?.ok_or_else(|| {
+            ServeError::corrupt(format!("no snapshot in {}", state_dir.display()))
+        })?;
+        let utility = snap.plan.total_utility(&snap.instance);
+        let mut daemon = Daemon {
+            instance: snap.instance,
+            plan: snap.plan,
+            utility,
+            last_op_id: snap.last_op_id,
+            drift: snap.drift,
+            processed: 0,
+            wal: None,
+            state_dir: Some(state_dir.to_path_buf()),
+            config,
+            stats: ServeStats::default(),
+            started: Instant::now(),
+        };
+        let cert = certify(&daemon.instance, &daemon.plan);
+        if !cert.hard_ok() {
+            return Err(ServeError::corrupt(format!(
+                "restored snapshot failed certification: {cert}"
+            )));
+        }
+        let records = wal::read_wal(&state_dir.join(wal::WAL_FILE))?;
+        let mut pending: Vec<(SequencedOp, Option<OutcomeMode>)> = Vec::new();
+        for rec in records {
+            match rec {
+                WalRecord::Op(sop) => pending.push((sop, None)),
+                WalRecord::Outcome { id, mode } => {
+                    match pending.last_mut() {
+                        Some(last) if last.0.id == id && last.1.is_none() => {
+                            last.1 = Some(mode);
+                        }
+                        _ => {
+                            return Err(ServeError::corrupt(format!(
+                                "WAL outcome for op {id} does not follow its op record"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // Only the final record may lack an outcome (crash mid-op).
+        let n_pending = pending.len();
+        let mut tail: Option<SequencedOp> = None;
+        for (i, (sop, mode)) in pending.into_iter().enumerate() {
+            if sop.id <= daemon.last_op_id {
+                continue; // already folded into the snapshot
+            }
+            match mode {
+                Some(m) => daemon.replay(&sop, m)?,
+                None if i + 1 == n_pending => tail = Some(sop),
+                None => {
+                    return Err(ServeError::corrupt(format!(
+                        "WAL op {} has no outcome but is not the final record",
+                        sop.id
+                    )));
+                }
+            }
+        }
+        daemon.wal = Some(WalWriter::open_append(&state_dir.join(wal::WAL_FILE))?);
+        if let Some(sop) = tail {
+            // Durably logged, never completed: finish it now. The op
+            // record is already on disk, only the outcome is appended.
+            let (mode, _resp) = daemon.execute(&sop);
+            if let Some(w) = daemon.wal.as_mut() {
+                w.append_outcome(sop.id, mode)?;
+            }
+        }
+        daemon.publish_gauges();
+        Ok(daemon)
+    }
+
+    /// Processes one op end to end: duplicate check, WAL append,
+    /// the repair/re-solve ladder, outcome marker, periodic snapshot.
+    /// Returns the response to acknowledge to the client; a returned
+    /// error (WAL/snapshot I/O) is fatal to the session — the plan
+    /// state is still certified, but durability is gone.
+    pub fn process(&mut self, sop: &SequencedOp) -> Result<OpResponse, ServeError> {
+        let t0 = Instant::now();
+        let mut sp = epplan_obs::span("serve.op");
+        sp.add_iters(1);
+        epplan_obs::counter_add("serve.ops", 1);
+        if sop.id <= self.last_op_id {
+            self.stats.skipped += 1;
+            epplan_obs::counter_add("serve.ops_skipped", 1);
+            return Ok(self.response(sop.id, "skipped", 0, 0, None));
+        }
+        if let Some(w) = self.wal.as_mut() {
+            w.append_op(sop)?;
+        }
+        let (mode, resp) = self.execute(sop);
+        if let Some(w) = self.wal.as_mut() {
+            w.append_outcome(sop.id, mode)?;
+        }
+        self.processed += 1;
+        if let Some(every) = self.config.snapshot_every {
+            if every > 0 && self.processed.is_multiple_of(every) {
+                self.write_snapshot()?;
+            }
+        }
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.stats.latencies_us.push(us);
+        epplan_obs::observe("serve.op_latency_us", us);
+        if let Some(n) = self.config.crash_after_ops {
+            if self.processed >= n {
+                // Deterministic SIGKILL stand-in: no unwinding, no
+                // flushes beyond what already happened.
+                std::process::abort();
+            }
+        }
+        Ok(resp)
+    }
+
+    /// The per-op ladder. Infallible by construction: every branch
+    /// ends in a certified state or an explicit rejection that keeps
+    /// the previous certified plan.
+    fn execute(&mut self, sop: &SequencedOp) -> (OutcomeMode, OpResponse) {
+        let op = &sop.op;
+        let mut retries = 0u32;
+        let repair_failure: String;
+        loop {
+            let attempt: Result<IncrementalOutcome, SolveError> =
+                match epplan_fault::point("serve.op.ingest") {
+                    Some(action) => {
+                        Err(SolveError::from_fault(STAGE, "serve.op.ingest", action))
+                    }
+                    None => IncrementalPlanner
+                        .try_apply_budgeted(
+                            &self.instance,
+                            &self.plan,
+                            op,
+                            escalated(self.config.op_budget, retries),
+                        )
+                        .map_err(SolveError::discard_partial),
+                };
+            match attempt {
+                Ok(out) => {
+                    let cert = certify_incremental(&out.instance, &self.plan, &out.plan);
+                    if cert.hard_ok() {
+                        let op_dif = out.dif as u64;
+                        self.instance = out.instance;
+                        self.plan = out.plan;
+                        self.utility = out.utility;
+                        self.drift += op_dif;
+                        self.last_op_id = sop.id;
+                        if self.drift_exceeded() && self.resolve_in_place().is_ok() {
+                            self.stats.resolved += 1;
+                            epplan_obs::counter_add("serve.ops_resolved", 1);
+                            self.publish_gauges();
+                            return (
+                                OutcomeMode::RepairResolve,
+                                self.response(sop.id, "resolved", op_dif, retries, None),
+                            );
+                        }
+                        self.stats.applied += 1;
+                        epplan_obs::counter_add("serve.ops_applied", 1);
+                        self.publish_gauges();
+                        return (
+                            OutcomeMode::Repair,
+                            self.response(sop.id, "applied", op_dif, retries, None),
+                        );
+                    }
+                    repair_failure =
+                        format!("repair rejected by certification: {cert}");
+                    break;
+                }
+                Err(e) => {
+                    if e.kind == FailureKind::BadInput {
+                        // Malformed op: no amount of re-solving helps.
+                        // Advance the cursor, keep the certified plan.
+                        self.last_op_id = sop.id;
+                        self.stats.rejected += 1;
+                        epplan_obs::counter_add("serve.ops_rejected", 1);
+                        return (
+                            OutcomeMode::Reject,
+                            self.response(sop.id, "rejected", 0, retries, Some(e.to_string())),
+                        );
+                    }
+                    if e.is_retryable() && retries < self.config.max_retries {
+                        retries += 1;
+                        self.stats.retries += 1;
+                        epplan_obs::counter_add("serve.retries", 1);
+                        continue;
+                    }
+                    repair_failure = e.to_string();
+                    break;
+                }
+            }
+        }
+        // Graceful degradation: rebuild the plan from scratch on the
+        // post-op instance; swap in only if it certifies.
+        let next = IncrementalPlanner::apply_to_instance(&self.instance, op);
+        match Self::full_solve(&next, self.config.resolve_budget) {
+            Ok((new_plan, utility)) => {
+                let op_dif = dif(&self.plan, &new_plan) as u64;
+                self.instance = next;
+                self.plan = new_plan;
+                self.utility = utility;
+                self.drift = 0;
+                self.last_op_id = sop.id;
+                self.stats.resolved += 1;
+                self.stats.resolves += 1;
+                epplan_obs::counter_add("serve.ops_resolved", 1);
+                epplan_obs::counter_add("serve.resolves", 1);
+                self.publish_gauges();
+                (
+                    OutcomeMode::Resolve,
+                    self.response(sop.id, "resolved", op_dif, retries, Some(repair_failure)),
+                )
+            }
+            Err(resolve_failure) => {
+                self.last_op_id = sop.id;
+                self.stats.rejected += 1;
+                epplan_obs::counter_add("serve.ops_rejected", 1);
+                (
+                    OutcomeMode::Reject,
+                    self.response(
+                        sop.id,
+                        "rejected",
+                        0,
+                        retries,
+                        Some(format!(
+                            "repair failed ({repair_failure}); re-solve failed ({resolve_failure})"
+                        )),
+                    ),
+                )
+            }
+        }
+    }
+
+    /// Re-applies one WAL record during recovery, following the
+    /// recorded decision instead of re-deciding (budget escalation
+    /// and drift triggers are not re-derivable after a crash).
+    fn replay(&mut self, sop: &SequencedOp, mode: OutcomeMode) -> Result<(), ServeError> {
+        match mode {
+            OutcomeMode::Repair => self.replay_repair(sop),
+            OutcomeMode::RepairResolve => {
+                self.replay_repair(sop)?;
+                self.resolve_in_place()
+            }
+            OutcomeMode::Resolve => {
+                self.instance = IncrementalPlanner::apply_to_instance(&self.instance, &sop.op);
+                self.last_op_id = sop.id;
+                self.resolve_in_place()
+            }
+            OutcomeMode::Reject => {
+                self.last_op_id = sop.id;
+                Ok(())
+            }
+        }
+    }
+
+    fn replay_repair(&mut self, sop: &SequencedOp) -> Result<(), ServeError> {
+        let out = IncrementalPlanner
+            .try_apply(&self.instance, &self.plan, &sop.op)
+            .map_err(|e| {
+                ServeError::solve(
+                    e.kind,
+                    format!("replaying op {}: {}", sop.id, e.message),
+                )
+            })?;
+        self.drift += out.dif as u64;
+        self.instance = out.instance;
+        self.plan = out.plan;
+        self.utility = out.utility;
+        self.last_op_id = sop.id;
+        Ok(())
+    }
+
+    /// Full re-solve of the *current* instance; the result replaces
+    /// the plan only on success (and it is certified by
+    /// [`Daemon::full_solve`]). Resets drift.
+    fn resolve_in_place(&mut self) -> Result<(), ServeError> {
+        let (plan, utility) = Self::full_solve(&self.instance, self.config.resolve_budget)?;
+        self.plan = plan;
+        self.utility = utility;
+        self.drift = 0;
+        self.stats.resolves += 1;
+        epplan_obs::counter_add("serve.resolves", 1);
+        Ok(())
+    }
+
+    /// Solves `instance` from scratch and certifies the result.
+    /// Degrades to the solver's partial (fallback) plan when one
+    /// exists, but *never* returns an uncertified plan.
+    fn full_solve(
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<(Plan, f64), ServeError> {
+        let mut sp = epplan_obs::span("serve.resolve");
+        sp.add_iters(1);
+        let solver = GapBasedSolver::default().with_certify(false);
+        let solution = match solver.try_solve(instance, budget) {
+            Ok(s) => s,
+            Err(e) => match e.partial {
+                Some(best_effort) => best_effort,
+                None => {
+                    return Err(ServeError::solve(
+                        e.kind,
+                        format!("full solve failed: {}", e.message),
+                    ));
+                }
+            },
+        };
+        let cert = certify(instance, &solution.plan);
+        if !cert.hard_ok() {
+            return Err(ServeError::solve(
+                FailureKind::Infeasible,
+                format!("full solve produced an uncertifiable plan: {cert}"),
+            ));
+        }
+        Ok((solution.plan, cert.utility))
+    }
+
+    fn drift_exceeded(&self) -> bool {
+        self.config
+            .drift_threshold
+            .is_some_and(|t| self.drift >= t)
+    }
+
+    /// Snapshots current state atomically, then truncates the WAL
+    /// (the snapshot supersedes it). Called at start and every
+    /// `snapshot_every` ops.
+    fn write_snapshot(&mut self) -> Result<(), ServeError> {
+        let Some(dir) = self.state_dir.clone() else {
+            return Ok(());
+        };
+        let mut sp = epplan_obs::span("serve.snapshot");
+        sp.add_iters(1);
+        if let Some(w) = self.wal.as_mut() {
+            w.sync()?;
+        }
+        let snap = Snapshot {
+            version: FORMAT_VERSION,
+            last_op_id: self.last_op_id,
+            drift: self.drift,
+            instance: self.instance.clone(),
+            plan: self.plan.clone(),
+        };
+        wal::write_snapshot(&dir, &snap)?;
+        // A crash between the rename above and the truncate below is
+        // benign: replay skips ops at or below snap.last_op_id.
+        self.wal = Some(WalWriter::create(&dir.join(wal::WAL_FILE))?);
+        self.stats.snapshots += 1;
+        epplan_obs::counter_add("serve.snapshots", 1);
+        Ok(())
+    }
+
+    fn publish_gauges(&self) {
+        epplan_obs::gauge_set("serve.drift", self.drift as f64);
+        epplan_obs::gauge_set("serve.utility", self.utility);
+    }
+
+    fn response(
+        &self,
+        id: u64,
+        status: &str,
+        op_dif: u64,
+        retries: u32,
+        error: Option<String>,
+    ) -> OpResponse {
+        OpResponse {
+            id,
+            status: status.to_string(),
+            dif: op_dif,
+            drift: self.drift,
+            utility: self.utility,
+            retries,
+            error,
+        }
+    }
+
+    /// End-of-stream summary (latency percentiles, throughput, and a
+    /// final re-certification of the visible plan).
+    pub fn summary(&self) -> ServeSummary {
+        let mut lat = self.stats.latencies_us.clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                return 0;
+            }
+            let idx = (p * (lat.len() - 1) as f64).round() as usize;
+            lat[idx.min(lat.len() - 1)]
+        };
+        let ops = self.stats.applied + self.stats.resolved + self.stats.rejected
+            + self.stats.skipped;
+        let wall_s = self.started.elapsed().as_secs_f64();
+        ServeSummary {
+            ops,
+            applied: self.stats.applied,
+            resolved: self.stats.resolved,
+            rejected: self.stats.rejected,
+            skipped: self.stats.skipped,
+            retries: self.stats.retries,
+            resolves: self.stats.resolves,
+            snapshots: self.stats.snapshots,
+            drift: self.drift,
+            utility: self.utility,
+            certified: certify(&self.instance, &self.plan).hard_ok(),
+            wall_s,
+            ops_per_sec: if wall_s > 0.0 { ops as f64 / wall_s } else { 0.0 },
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+        }
+    }
+
+    /// The certificate of the visible plan, with accumulated drift
+    /// attached (rendered as `drift = N since full solve`).
+    pub fn certificate(&self) -> Certificate {
+        certify(&self.instance, &self.plan).with_drift(self.drift)
+    }
+
+    /// The current (always certified) plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The current instance (after all folded ops).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Global utility of the visible plan.
+    pub fn utility(&self) -> f64 {
+        self.utility
+    }
+
+    /// Accumulated `dif` since the last full solve.
+    pub fn drift(&self) -> u64 {
+        self.drift
+    }
+
+    /// Highest op id folded into the visible plan.
+    pub fn last_op_id(&self) -> u64 {
+        self.last_op_id
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epplan_core::incremental::AtomicOp;
+    use epplan_core::model::EventId;
+    use epplan_datagen::{generate, GeneratorConfig, OpStreamSampler};
+
+    fn small_instance() -> Instance {
+        generate(&GeneratorConfig {
+            n_users: 60,
+            n_events: 8,
+            seed: 7,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    fn ops_for(instance: &Instance, plan: &Plan, n: usize) -> Vec<SequencedOp> {
+        let mut sampler = OpStreamSampler::new(99);
+        sampler.sequenced_stream(instance, plan, n, 1)
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "epplan-daemon-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn plan_bytes(d: &Daemon) -> String {
+        serde_json::to_string(d.plan()).unwrap()
+    }
+
+    #[test]
+    fn stream_processing_keeps_state_certified_and_skips_duplicates() {
+        let instance = small_instance();
+        let mut d = Daemon::start(instance, ServeConfig::default(), None).unwrap();
+        let ops = ops_for(d.instance(), d.plan(), 12);
+        for sop in &ops {
+            let resp = d.process(sop).unwrap();
+            assert_ne!(resp.status, "skipped");
+            assert!(d.certificate().hard_ok(), "visible state must certify");
+        }
+        assert_eq!(d.last_op_id(), 12);
+        // Replaying any earlier id is a no-op acknowledgement.
+        let before = plan_bytes(&d);
+        let resp = d.process(&ops[3]).unwrap();
+        assert_eq!(resp.status, "skipped");
+        assert_eq!(plan_bytes(&d), before);
+        let s = d.summary();
+        assert!(s.certified);
+        assert_eq!(s.ops, 13);
+        assert_eq!(s.skipped, 1);
+    }
+
+    #[test]
+    fn bad_input_is_rejected_and_cursor_advances_past_it() {
+        let instance = small_instance();
+        let mut d = Daemon::start(instance, ServeConfig::default(), None).unwrap();
+        let before = plan_bytes(&d);
+        let bogus = SequencedOp::new(
+            1,
+            AtomicOp::EtaDecrease {
+                event: EventId(10_000),
+                new_upper: 1,
+            },
+        );
+        let resp = d.process(&bogus).unwrap();
+        assert_eq!(resp.status, "rejected");
+        assert!(resp.error.is_some());
+        assert_eq!(plan_bytes(&d), before, "rejection must not disturb the plan");
+        assert_eq!(d.last_op_id(), 1, "cursor advances past rejected ops");
+        assert!(d.certificate().hard_ok());
+    }
+
+    #[test]
+    fn exhausted_op_budget_degrades_to_certified_full_resolve() {
+        let instance = small_instance();
+        let config = ServeConfig {
+            // Zero iterations stays zero under doubling: every repair
+            // attempt exhausts, forcing the full re-solve fallback.
+            op_budget: SolveBudget::from_iteration_cap(0),
+            max_retries: 2,
+            ..ServeConfig::default()
+        };
+        let mut d = Daemon::start(instance, config, None).unwrap();
+        let ops = ops_for(d.instance(), d.plan(), 3);
+        for sop in &ops {
+            let resp = d.process(sop).unwrap();
+            assert_eq!(resp.status, "resolved");
+            assert_eq!(resp.retries, 2, "all retries consumed before fallback");
+            assert!(d.certificate().hard_ok());
+        }
+        assert_eq!(d.stats().resolves, 3);
+        assert_eq!(d.stats().retries, 6);
+        assert_eq!(d.drift(), 0, "full re-solve resets drift");
+    }
+
+    #[test]
+    fn drift_threshold_zero_resolves_after_every_repair() {
+        let instance = small_instance();
+        let config = ServeConfig {
+            drift_threshold: Some(0),
+            ..ServeConfig::default()
+        };
+        let mut d = Daemon::start(instance, config, None).unwrap();
+        let ops = ops_for(d.instance(), d.plan(), 4);
+        for sop in &ops {
+            let resp = d.process(sop).unwrap();
+            assert_eq!(resp.status, "resolved");
+            assert_eq!(d.drift(), 0);
+        }
+        assert_eq!(d.stats().resolved, 4);
+    }
+
+    #[test]
+    fn crash_and_restore_converges_to_the_uninterrupted_plan() {
+        let instance = small_instance();
+        let dir = tmp_dir("restore");
+        let config = ServeConfig {
+            snapshot_every: Some(4),
+            drift_threshold: Some(30),
+            ..ServeConfig::default()
+        };
+
+        // Uninterrupted reference run (no state dir).
+        let mut reference = Daemon::start(instance.clone(), config.clone(), None).unwrap();
+        let ops = ops_for(reference.instance(), reference.plan(), 15);
+        for sop in &ops {
+            reference.process(sop).unwrap();
+        }
+
+        // Crashed run: process a prefix, then drop the daemon without
+        // any shutdown — state must be recoverable from disk alone.
+        {
+            let mut d = Daemon::start(instance, config.clone(), Some(&dir)).unwrap();
+            for sop in &ops[..9] {
+                d.process(sop).unwrap();
+            }
+            // d dropped here: simulated crash after op 9.
+        }
+        let mut restored = Daemon::restore(config, &dir).unwrap();
+        assert_eq!(restored.last_op_id(), 9);
+        // Re-feed the whole stream; the prefix is skipped as duplicates.
+        for sop in &ops {
+            restored.process(sop).unwrap();
+        }
+        assert_eq!(plan_bytes(&restored), plan_bytes(&reference));
+        assert_eq!(restored.drift(), reference.drift());
+        assert_eq!(restored.utility(), reference.utility());
+        assert!(restored.certificate().hard_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_without_snapshot_is_a_typed_corruption_error() {
+        let dir = tmp_dir("nosnap");
+        fs::create_dir_all(&dir).unwrap();
+        let err = Daemon::restore(ServeConfig::default(), &dir).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

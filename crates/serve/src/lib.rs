@@ -1,0 +1,115 @@
+//! `epplan-serve` — a crash-recoverable incremental planning daemon.
+//!
+//! The serving layer keeps a *certified* plan for one GEPC instance
+//! alive across an unbounded stream of [`SequencedOp`] atomic
+//! operations (the IEP setting of Cheng et al., ICDE 2017 §V–VI):
+//!
+//! * every operation is repaired via the incremental entry points
+//!   under a per-op [`SolveBudget`], with deterministic budget
+//!   doubling on retryable exhaustion, then a full re-solve, then a
+//!   typed rejection — the visible plan is certified at every step;
+//! * a write-ahead log records each op *before* it is applied and an
+//!   outcome marker *after*, so a crash at any point — injected fault
+//!   or literal `SIGKILL` — can be recovered by replaying the WAL on
+//!   top of the last snapshot, converging to the pre-crash plan;
+//! * snapshots are length-prefixed, checksummed, and atomically
+//!   renamed into place, so a torn snapshot write never corrupts the
+//!   previous good one;
+//! * accumulated plan drift (`dif` since the last full solve) triggers
+//!   a background re-solve whose result is swapped in only after
+//!   certification.
+//!
+//! [`SequencedOp`]: epplan_core::incremental::SequencedOp
+//! [`SolveBudget`]: epplan_solve::SolveBudget
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use epplan_solve::FailureKind;
+
+pub mod daemon;
+pub mod proto;
+pub mod wal;
+
+pub use daemon::{Daemon, ServeConfig, ServeStats};
+pub use proto::{parse_op_line, OpResponse, ServeSummary};
+pub use wal::{
+    read_snapshot, read_wal, write_snapshot, OutcomeMode, Snapshot, WalRecord,
+    WalWriter, FORMAT_VERSION,
+};
+
+/// Classified serving failure. The kind maps onto the CLI's exit-code
+/// contract: I/O trouble, on-disk corruption, and solver failures are
+/// distinguishable by exit status alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Failure class (drives the process exit code).
+    pub kind: ServeErrorKind,
+    /// Human-readable context: what failed, and where.
+    pub message: String,
+}
+
+/// The failure classes a serving session can end with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeErrorKind {
+    /// WAL append, snapshot write, or socket/file I/O failed.
+    Io,
+    /// On-disk state (WAL frame or snapshot) failed checksum or
+    /// structural validation — or a protocol line was malformed.
+    Corrupt,
+    /// The solver layer failed (bad input, infeasible, budget
+    /// exhausted, numerical instability).
+    Solve(FailureKind),
+}
+
+impl ServeError {
+    /// An I/O failure (exit code 3).
+    pub fn io(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::Io,
+            message: message.into(),
+        }
+    }
+
+    /// A corruption / parse failure (exit code 4).
+    pub fn corrupt(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::Corrupt,
+            message: message.into(),
+        }
+    }
+
+    /// A solver-layer failure (exit code = the kind's code).
+    pub fn solve(kind: FailureKind, message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::Solve(kind),
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code this failure maps to, matching the CLI
+    /// contract: 3 = io, 4 = parse/corrupt, solver kinds keep their
+    /// own codes (5 bad input, 6 infeasible, 7 budget, 1 numerical).
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            ServeErrorKind::Io => 3,
+            ServeErrorKind::Corrupt => 4,
+            ServeErrorKind::Solve(k) => k.exit_code(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ServeErrorKind::Io => "io",
+            ServeErrorKind::Corrupt => "corrupt",
+            ServeErrorKind::Solve(k) => k.short_code(),
+        };
+        write!(f, "serve error [{kind}]: {}", self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,583 @@
+//! Write-ahead log and snapshot persistence for `epplan serve`.
+//!
+//! ## On-disk format
+//!
+//! Both the WAL (`wal.log`) and the snapshot (`snapshot.bin`) are
+//! sequences of self-delimiting *frames*:
+//!
+//! ```text
+//! [ tag: u8 ][ len: u32 LE ][ checksum: u32 LE ][ payload: len bytes ]
+//! ```
+//!
+//! The payload is the JSON encoding of the record; the checksum is
+//! FNV-1a over the payload bytes. Three tags exist: `1` = op record
+//! (a [`SequencedOp`], appended *before* the op is applied), `2` =
+//! outcome record (op id + [`OutcomeMode`], appended *after* the op
+//! is fully processed), `3` = snapshot (the whole daemon state, sole
+//! frame of `snapshot.bin`).
+//!
+//! ## Crash semantics
+//!
+//! * A *torn tail* — the file ends mid-frame because the process died
+//!   during an append — is tolerated: the reader stops at the last
+//!   complete frame. This is the expected shape after a `SIGKILL`.
+//! * A *checksum mismatch* or *unknown tag* before the tail is
+//!   corruption and is reported as a typed error (CLI exit code 4);
+//!   recovery never silently skips a damaged record.
+//! * Snapshots are written to `snapshot.bin.tmp`, synced, then
+//!   atomically renamed over `snapshot.bin` — a crash mid-write
+//!   leaves the previous good snapshot in place. After a successful
+//!   snapshot the WAL is truncated; a crash *between* rename and
+//!   truncate is safe because replay skips ops at or below the
+//!   snapshot's `last_op_id`.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use epplan_core::incremental::SequencedOp;
+use epplan_core::model::Instance;
+use epplan_core::plan::Plan;
+use serde::{Deserialize, Serialize};
+
+use crate::ServeError;
+
+/// WAL file name inside the state directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file name inside the state directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Temporary snapshot name; only ever observed after a crash between
+/// write and rename, and ignored by recovery.
+pub const SNAPSHOT_TMP_FILE: &str = "snapshot.bin.tmp";
+/// Version stamp embedded in every snapshot; bumped on layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_OP: u8 = 1;
+const TAG_OUTCOME: u8 = 2;
+const TAG_SNAPSHOT: u8 = 3;
+const FRAME_HEADER_LEN: usize = 9;
+
+/// 32-bit FNV-1a over `bytes` — the frame checksum. Deliberately a
+/// tiny self-contained function: the WAL must be readable with no
+/// dependencies beyond the standard library.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// How an op was ultimately processed — recorded in the WAL so replay
+/// retraces the *decision*, not just the input. Budget escalation and
+/// drift triggers involve wall-clock time and are therefore not
+/// re-derivable; the recorded mode makes replay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeMode {
+    /// The op was repaired incrementally (IEP) and certified.
+    Repair,
+    /// Repaired, then the accumulated drift crossed the threshold and
+    /// a certified full re-solve was swapped in.
+    RepairResolve,
+    /// Repair failed or was rejected by certification; a certified
+    /// full re-solve replaced the plan.
+    Resolve,
+    /// The op was rejected; the previous certified plan is retained
+    /// and only the op cursor advanced.
+    Reject,
+}
+
+impl OutcomeMode {
+    /// Stable on-disk keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            OutcomeMode::Repair => "repair",
+            OutcomeMode::RepairResolve => "repair_resolve",
+            OutcomeMode::Resolve => "resolve",
+            OutcomeMode::Reject => "reject",
+        }
+    }
+
+    /// Parses a stable keyword back; `None` on unknown input.
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        match s {
+            "repair" => Some(OutcomeMode::Repair),
+            "repair_resolve" => Some(OutcomeMode::RepairResolve),
+            "resolve" => Some(OutcomeMode::Resolve),
+            "reject" => Some(OutcomeMode::Reject),
+            _ => None,
+        }
+    }
+}
+
+/// JSON payload of an outcome frame. A named struct rather than a
+/// tagged enum: the op id plus the mode keyword.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct OutcomeRec {
+    id: u64,
+    mode: String,
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An op was durably logged before being applied.
+    Op(SequencedOp),
+    /// The op with this id finished processing with the given mode.
+    Outcome {
+        /// Id of the op this outcome belongs to.
+        id: u64,
+        /// How the op was processed.
+        mode: OutcomeMode,
+    },
+}
+
+/// The full daemon state persisted at a snapshot point. Restoring a
+/// snapshot and replaying the WAL suffix reproduces the pre-crash
+/// certified plan bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Layout version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Highest op id folded into this snapshot (0 = initial solve).
+    pub last_op_id: u64,
+    /// Accumulated `dif` since the last full solve.
+    pub drift: u64,
+    /// The instance as of `last_op_id`.
+    pub instance: Instance,
+    /// The certified plan as of `last_op_id`.
+    pub plan: Plan,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> ServeError {
+    ServeError::io(format!("{context}: {e}"))
+}
+
+fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.push(tag);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+fn to_json<T: Serialize>(what: &str, value: &T) -> Result<Vec<u8>, ServeError> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| ServeError::corrupt(format!("encoding {what}: {e}")))
+}
+
+/// Append-only WAL writer. Every append is flushed to the operating
+/// system before returning, so a process kill (the crash model this
+/// daemon defends against) loses at most the frame being written —
+/// which the reader then treats as a torn tail. Durability against
+/// power loss additionally requires [`WalWriter::sync`], which the
+/// daemon invokes at snapshot points.
+#[derive(Debug)]
+pub struct WalWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Creates (truncating) a fresh WAL at `path`.
+    pub fn create(path: &Path) -> Result<Self, ServeError> {
+        let file = File::create(path)
+            .map_err(|e| io_err(&format!("creating WAL {}", path.display()), e))?;
+        Ok(WalWriter {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens the WAL at `path` for appending (creating it if absent).
+    pub fn open_append(path: &Path) -> Result<Self, ServeError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(&format!("opening WAL {}", path.display()), e))?;
+        Ok(WalWriter {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Durably logs an op *before* it is applied. Fault site
+    /// `serve.wal.append` fires here, upstream of any write, modelling
+    /// a full disk or I/O error at the worst possible moment.
+    pub fn append_op(&mut self, sop: &SequencedOp) -> Result<(), ServeError> {
+        if let Some(action) = epplan_fault::point("serve.wal.append") {
+            return Err(ServeError::io(format!(
+                "injected fault at serve.wal.append ({action})"
+            )));
+        }
+        let payload = to_json("op record", sop)?;
+        self.append(TAG_OP, &payload)
+    }
+
+    /// Logs the outcome marker for op `id` *after* processing.
+    pub fn append_outcome(&mut self, id: u64, mode: OutcomeMode) -> Result<(), ServeError> {
+        let rec = OutcomeRec {
+            id,
+            mode: mode.keyword().to_string(),
+        };
+        let payload = to_json("outcome record", &rec)?;
+        self.append(TAG_OUTCOME, &payload)
+    }
+
+    fn append(&mut self, tag: u8, payload: &[u8]) -> Result<(), ServeError> {
+        let frame = encode_frame(tag, payload);
+        self.out
+            .write_all(&frame)
+            .and_then(|()| self.out.flush())
+            .map_err(|e| io_err(&format!("appending to WAL {}", self.path.display()), e))
+    }
+
+    /// Forces the log to stable storage (`fdatasync`).
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.out
+            .flush()
+            .and_then(|()| self.out.get_ref().sync_data())
+            .map_err(|e| io_err(&format!("syncing WAL {}", self.path.display()), e))
+    }
+}
+
+/// Decodes every frame of the byte buffer `bytes` (from `source`, for
+/// error context). A torn tail is tolerated; everything before it
+/// must checksum.
+fn decode_frames(bytes: &[u8], source: &str) -> Result<Vec<(u8, Vec<u8>)>, ServeError> {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        if bytes.len() - off < FRAME_HEADER_LEN {
+            break; // torn header at the tail — crash mid-append
+        }
+        let tag = bytes[off];
+        let mut len_buf = [0u8; 4];
+        len_buf.copy_from_slice(&bytes[off + 1..off + 5]);
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut crc_buf = [0u8; 4];
+        crc_buf.copy_from_slice(&bytes[off + 5..off + 9]);
+        let crc = u32::from_le_bytes(crc_buf);
+        let start = off + FRAME_HEADER_LEN;
+        if bytes.len() - start < len {
+            break; // torn payload at the tail
+        }
+        let payload = &bytes[start..start + len];
+        if fnv1a(payload) != crc {
+            return Err(ServeError::corrupt(format!(
+                "{source}: checksum mismatch in frame at byte {off} \
+                 (stored {crc:#010x}, computed {:#010x})",
+                fnv1a(payload)
+            )));
+        }
+        frames.push((tag, payload.to_vec()));
+        off = start + len;
+    }
+    Ok(frames)
+}
+
+/// Reads and validates the whole WAL. A missing file is an empty log;
+/// a torn tail is tolerated; corruption anywhere else is an error.
+pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>, ServeError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)
+                .map_err(|e| io_err(&format!("reading WAL {}", path.display()), e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(&format!("opening WAL {}", path.display()), e)),
+    }
+    let source = format!("WAL {}", path.display());
+    let mut records = Vec::new();
+    for (tag, payload) in decode_frames(&bytes, &source)? {
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| ServeError::corrupt(format!("{source}: non-UTF-8 payload: {e}")))?;
+        match tag {
+            TAG_OP => {
+                let sop: SequencedOp = serde_json::from_str(text).map_err(|e| {
+                    ServeError::corrupt(format!("{source}: undecodable op record: {e}"))
+                })?;
+                records.push(WalRecord::Op(sop));
+            }
+            TAG_OUTCOME => {
+                let rec: OutcomeRec = serde_json::from_str(text).map_err(|e| {
+                    ServeError::corrupt(format!("{source}: undecodable outcome record: {e}"))
+                })?;
+                let mode = OutcomeMode::from_keyword(&rec.mode).ok_or_else(|| {
+                    ServeError::corrupt(format!(
+                        "{source}: unknown outcome mode {:?}",
+                        rec.mode
+                    ))
+                })?;
+                records.push(WalRecord::Outcome { id: rec.id, mode });
+            }
+            other => {
+                return Err(ServeError::corrupt(format!(
+                    "{source}: unknown frame tag {other}"
+                )));
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Writes `snap` atomically into `dir`: temp file, sync, rename.
+/// Fault site `serve.snapshot.write` fires before the temp file is
+/// created, so an injected failure leaves the previous snapshot (and
+/// the WAL) fully intact.
+pub fn write_snapshot(dir: &Path, snap: &Snapshot) -> Result<(), ServeError> {
+    if let Some(action) = epplan_fault::point("serve.snapshot.write") {
+        return Err(ServeError::io(format!(
+            "injected fault at serve.snapshot.write ({action})"
+        )));
+    }
+    let payload = to_json("snapshot", snap)?;
+    let frame = encode_frame(TAG_SNAPSHOT, &payload);
+    let tmp = dir.join(SNAPSHOT_TMP_FILE);
+    let fin = dir.join(SNAPSHOT_FILE);
+    let mut file = File::create(&tmp)
+        .map_err(|e| io_err(&format!("creating snapshot temp {}", tmp.display()), e))?;
+    file.write_all(&frame)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io_err(&format!("writing snapshot temp {}", tmp.display()), e))?;
+    drop(file);
+    fs::rename(&tmp, &fin).map_err(|e| {
+        io_err(
+            &format!("renaming snapshot {} -> {}", tmp.display(), fin.display()),
+            e,
+        )
+    })
+}
+
+/// Loads the snapshot from `dir`. `Ok(None)` when no snapshot exists;
+/// corruption (bad checksum, torn frame, version mismatch) is an
+/// error — a snapshot is written atomically and must never be torn.
+pub fn read_snapshot(dir: &Path) -> Result<Option<Snapshot>, ServeError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)
+                .map_err(|e| io_err(&format!("reading snapshot {}", path.display()), e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(&format!("opening snapshot {}", path.display()), e)),
+    }
+    let source = format!("snapshot {}", path.display());
+    let frames = decode_frames(&bytes, &source)?;
+    let (tag, payload) = match frames.as_slice() {
+        [single] => (single.0, &single.1),
+        _ => {
+            return Err(ServeError::corrupt(format!(
+                "{source}: expected exactly one complete frame, found {}",
+                frames.len()
+            )));
+        }
+    };
+    if tag != TAG_SNAPSHOT {
+        return Err(ServeError::corrupt(format!(
+            "{source}: unexpected frame tag {tag}"
+        )));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServeError::corrupt(format!("{source}: non-UTF-8 payload: {e}")))?;
+    let snap: Snapshot = serde_json::from_str(text)
+        .map_err(|e| ServeError::corrupt(format!("{source}: undecodable snapshot: {e}")))?;
+    if snap.version != FORMAT_VERSION {
+        return Err(ServeError::corrupt(format!(
+            "{source}: format version {} (supported: {FORMAT_VERSION})",
+            snap.version
+        )));
+    }
+    Ok(Some(snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeErrorKind;
+    use epplan_core::incremental::{AtomicOp, SequencedOp};
+    use epplan_core::model::EventId;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "epplan-wal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_ops() -> Vec<SequencedOp> {
+        vec![
+            SequencedOp::new(
+                1,
+                AtomicOp::EtaDecrease {
+                    event: EventId(0),
+                    new_upper: 3,
+                },
+            ),
+            SequencedOp::new(
+                2,
+                AtomicOp::UtilityChange {
+                    user: epplan_core::model::UserId(0),
+                    event: EventId(0),
+                    new_utility: 0.5,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn wal_round_trips_ops_and_outcomes() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            w.append_op(&ops[0]).unwrap();
+            w.append_outcome(1, OutcomeMode::Repair).unwrap();
+            w.append_op(&ops[1]).unwrap();
+            w.append_outcome(2, OutcomeMode::Resolve).unwrap();
+            w.sync().unwrap();
+        }
+        let records = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0], WalRecord::Op(ops[0].clone()));
+        assert_eq!(
+            records[1],
+            WalRecord::Outcome {
+                id: 1,
+                mode: OutcomeMode::Repair
+            }
+        );
+        assert_eq!(records[2], WalRecord::Op(ops[1].clone()));
+        assert_eq!(
+            records[3],
+            WalRecord::Outcome {
+                id: 2,
+                mode: OutcomeMode::Resolve
+            }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_but_mid_file_corruption_is_not() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(WAL_FILE);
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            w.append_op(&ops[0]).unwrap();
+            w.append_outcome(1, OutcomeMode::Repair).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the end.
+        let full = fs::read(&path).unwrap();
+        for cut in [1, 5, full.len() / 2] {
+            fs::write(&path, &full[..full.len() - cut]).unwrap();
+            let records = read_wal(&path).unwrap();
+            assert!(records.len() < 2, "cut {cut} should drop the tail record");
+        }
+        // Flip a payload byte in the middle: corruption, not a tear.
+        let mut evil = full.clone();
+        evil[FRAME_HEADER_LEN + 2] ^= 0xff;
+        fs::write(&path, &evil).unwrap();
+        let err = read_wal(&path).unwrap_err();
+        assert_eq!(err.kind, ServeErrorKind::Corrupt);
+        assert_eq!(err.exit_code(), 4);
+        // Unknown tag: also corruption.
+        let mut unk = full;
+        unk[0] = 9;
+        fs::write(&path, &unk).unwrap();
+        // checksum still matches payload, so the tag check fires
+        let err = read_wal(&path).unwrap_err();
+        assert_eq!(err.kind, ServeErrorKind::Corrupt);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_wal_reads_as_empty() {
+        let dir = tmp_dir("missing");
+        assert!(read_wal(&dir.join(WAL_FILE)).unwrap().is_empty());
+        assert!(read_snapshot(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_wrong_version() {
+        let dir = tmp_dir("snap");
+        let instance = epplan_datagen::paper_example();
+        let plan = Plan::for_instance(&instance);
+        let snap = Snapshot {
+            version: FORMAT_VERSION,
+            last_op_id: 42,
+            drift: 7,
+            instance,
+            plan,
+        };
+        write_snapshot(&dir, &snap).unwrap();
+        let back = read_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(back.last_op_id, 42);
+        assert_eq!(back.drift, 7);
+        // Temp file must not linger after the rename.
+        assert!(!dir.join(SNAPSHOT_TMP_FILE).exists());
+
+        let wrong = Snapshot {
+            version: FORMAT_VERSION + 1,
+            ..snap
+        };
+        write_snapshot(&dir, &wrong).unwrap();
+        let err = read_snapshot(&dir).unwrap_err();
+        assert_eq!(err.kind, ServeErrorKind::Corrupt);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_surface_as_io_errors() {
+        let dir = tmp_dir("fault");
+        let path = dir.join(WAL_FILE);
+        let mut w = WalWriter::create(&path).unwrap();
+        epplan_fault::install(
+            epplan_fault::FaultPlan::single(
+                "serve.wal.append",
+                epplan_fault::FaultAction::TypedError,
+            )
+            .unwrap(),
+        );
+        let err = w.append_op(&sample_ops()[0]).unwrap_err();
+        epplan_fault::clear();
+        assert_eq!(err.kind, ServeErrorKind::Io);
+        assert_eq!(err.exit_code(), 3);
+
+        let instance = epplan_datagen::paper_example();
+        let plan = Plan::for_instance(&instance);
+        let snap = Snapshot {
+            version: FORMAT_VERSION,
+            last_op_id: 0,
+            drift: 0,
+            instance,
+            plan,
+        };
+        epplan_fault::install(
+            epplan_fault::FaultPlan::single(
+                "serve.snapshot.write",
+                epplan_fault::FaultAction::TypedError,
+            )
+            .unwrap(),
+        );
+        let err = write_snapshot(&dir, &snap).unwrap_err();
+        epplan_fault::clear();
+        assert_eq!(err.kind, ServeErrorKind::Io);
+        // The failed attempt must not have disturbed the directory.
+        assert!(!dir.join(SNAPSHOT_FILE).exists());
+        assert!(!dir.join(SNAPSHOT_TMP_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

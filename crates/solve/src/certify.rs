@@ -160,8 +160,22 @@ pub struct Certificate {
     pub utility: f64,
     /// `dif(P, P′)` against a baseline plan, when one was supplied.
     pub dif: Option<usize>,
+    /// Accumulated `dif` since the last **full** solve, for long-lived
+    /// incremental state (the `epplan serve` daemon sums each repair's
+    /// `dif` here and resets it on every certified re-solve). `None`
+    /// outside incremental serving contexts.
+    pub drift: Option<u64>,
     /// Optimality certificates gathered along the pipeline.
     pub optimality: Vec<OptimalityCert>,
+}
+
+impl Certificate {
+    /// Returns this certificate with the accumulated-drift line set
+    /// (see [`Certificate::drift`]).
+    pub fn with_drift(mut self, drift: u64) -> Self {
+        self.drift = Some(drift);
+        self
+    }
 }
 
 impl Certificate {
@@ -199,6 +213,9 @@ impl fmt::Display for Certificate {
         }
         if let Some(d) = self.dif {
             write!(f, ", dif = {d}")?;
+        }
+        if let Some(d) = self.drift {
+            write!(f, ", drift = {d} since full solve")?;
         }
         if !self.soft_violations.is_empty() {
             write!(f, ", {} soft shortfall(s)", self.soft_violations.len())?;
@@ -486,6 +503,27 @@ mod tests {
         let v = TestView::feasible();
         let cert = certify_plan(&v, Some(&old));
         assert_eq!(cert.dif, Some(0));
+    }
+
+    #[test]
+    fn drift_renders_without_json_parsing() {
+        // The daemon-facing drift line (ISSUE 6 satellite): visible in
+        // `Display`, absent unless set.
+        let cert = certify_plan(&TestView::feasible(), None);
+        assert!(!cert.to_string().contains("drift"), "{cert}");
+        let cert = cert.with_drift(42);
+        assert_eq!(cert.drift, Some(42));
+        assert!(
+            cert.to_string().contains("drift = 42 since full solve"),
+            "{cert}"
+        );
+        // Also present on rejected certificates — degraded serving
+        // state must still report how far it has drifted.
+        let mut bad = TestView::feasible();
+        bad.assignments[1] = vec![1, 1];
+        let cert = certify_plan(&bad, None).with_drift(7);
+        assert!(cert.to_string().contains("REJECTED"), "{cert}");
+        assert!(cert.to_string().contains("drift = 7"), "{cert}");
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! epplan apply --instance instance.json --plan plan.json --ops ops.json
 //!              [--out-instance i2.json] [--out-plan p2.json]
 //! epplan example [--out instance.json]
+//! epplan opstream --instance instance.json [--count 1000] [--seed 42]
+//!                 [--start-id 1] [--out ops.jsonl]
+//! epplan serve --instance instance.json [--ops ops.jsonl | --socket s.sock]
+//!              [--state-dir dir] [--restore] [--snapshot-every 1000]
+//!              [--op-time-limit-ms 50] [--op-max-iters 100000]
+//!              [--max-retries 3] [--drift-threshold 500]
+//!              [--resolve-time-limit-ms 5000] [--resolve-max-iters N]
+//!              [--out plan.json] [--quiet] [--metrics] [--json-metrics]
 //! ```
 //!
 //! Instances and plans are JSON; operation streams are JSON arrays of
@@ -20,6 +28,13 @@
 //! [{"op": "eta_decrease", "event": 3, "new_upper": 1},
 //!  {"op": "budget_change", "user": 7, "new_budget": 12.5}]
 //! ```
+//!
+//! `serve` instead speaks newline-delimited JSON of *sequenced* ops
+//! (`{"id": 17, "op": {...}}`), read from `--ops`, a Unix socket, or
+//! stdin; every op is acknowledged with one JSON response line, and the
+//! stream ends with a JSON summary line. With `--state-dir` the daemon
+//! write-ahead-logs every op and snapshots periodically; `--restore`
+//! recovers the pre-crash certified plan from that directory.
 //!
 //! # Exit codes
 //!
@@ -124,7 +139,7 @@ fn fail(class: FailClass, msg: &str) -> ! {
 fn usage() -> ! {
     fail(
         FailClass::Usage,
-        "usage: epplan <generate|solve|validate|apply|example> [flags]; \
+        "usage: epplan <generate|solve|validate|apply|example|opstream|serve> [flags]; \
          run with a subcommand; see crate docs for the flag list",
     )
 }
@@ -162,6 +177,30 @@ fn flag_spec(cmd: &str) -> FlagSpec {
         "example" => FlagSpec {
             value: &["out", "threads"],
             boolean: &[],
+        },
+        "opstream" => FlagSpec {
+            value: &["instance", "count", "seed", "start-id", "out", "threads"],
+            boolean: &[],
+        },
+        "serve" => FlagSpec {
+            value: &[
+                "instance",
+                "ops",
+                "socket",
+                "state-dir",
+                "snapshot-every",
+                "op-time-limit-ms",
+                "op-max-iters",
+                "max-retries",
+                "drift-threshold",
+                "resolve-time-limit-ms",
+                "resolve-max-iters",
+                "crash-after-ops",
+                "out",
+                "threads",
+                "trace",
+            ],
+            boolean: &["restore", "quiet", "metrics", "json-metrics"],
         },
         _ => usage(),
     }
@@ -535,6 +574,175 @@ fn cmd_example(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_opstream(flags: HashMap<String, String>) {
+    let instance = load_instance(&flags);
+    let parse_u64 = |k: &str, d: u64| -> u64 {
+        flags
+            .get(k)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| fail(FailClass::Usage, &format!("bad --{k}")))
+            })
+            .unwrap_or(d)
+    };
+    let count = parse_u64("count", 1000) as usize;
+    let seed = parse_u64("seed", 42);
+    let start_id = parse_u64("start-id", 1);
+    if start_id == 0 {
+        fail(FailClass::Usage, "bad --start-id (id 0 is reserved)");
+    }
+    // The sampler weights ops by what the current plan looks like;
+    // a deterministic greedy plan supplies that context.
+    let plan = GreedySolver::seeded(seed).solve(&instance).plan;
+    let mut sampler = epplan::datagen::OpStreamSampler::new(seed);
+    let ops = sampler.sequenced_stream(&instance, &plan, count, start_id);
+    let mut lines = String::new();
+    for sop in &ops {
+        lines.push_str(&to_json(sop, false));
+        lines.push('\n');
+    }
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, lines)
+                .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot write {path}: {e}")));
+            eprintln!("wrote {} op(s) to {path}", ops.len());
+        }
+        None => print!("{lines}"),
+    }
+}
+
+fn serve_fail(obs: &ObsConfig, e: &epplan::serve::ServeError) -> ! {
+    finish_obs(obs);
+    let class = match e.kind {
+        epplan::serve::ServeErrorKind::Io => FailClass::Io,
+        epplan::serve::ServeErrorKind::Corrupt => FailClass::Parse,
+        epplan::serve::ServeErrorKind::Solve(kind) => FailClass::for_failure_kind(kind),
+    };
+    fail(class, &e.to_string())
+}
+
+/// Feeds every op line of `reader` through the daemon, acknowledging
+/// each with one flushed JSON line on `writer` (a client that has read
+/// the ack for op `k` knows `k` is durable and the plan certified).
+fn run_op_stream<R: std::io::BufRead, W: std::io::Write>(
+    daemon: &mut epplan::serve::Daemon,
+    reader: R,
+    writer: &mut W,
+    quiet: bool,
+) -> Result<(), epplan::serve::ServeError> {
+    use epplan::serve::ServeError;
+    for line in reader.lines() {
+        let line =
+            line.map_err(|e| ServeError::io(format!("reading op stream: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let sop = epplan::serve::parse_op_line(line)?;
+        let resp = daemon.process(&sop)?;
+        if !quiet {
+            let json = serde_json::to_string(&resp)
+                .map_err(|e| ServeError::io(format!("encoding response: {e}")))?;
+            writeln!(writer, "{json}")
+                .and_then(|()| writer.flush())
+                .map_err(|e| ServeError::io(format!("writing response: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: HashMap<String, String>) {
+    use epplan::serve::{Daemon, ServeConfig};
+    let obs = setup_obs(&flags);
+    let parse_u64 = |k: &str| -> Option<u64> {
+        flags.get(k).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(FailClass::Usage, &format!("bad --{k}")))
+        })
+    };
+    let mut op_budget = SolveBudget::UNLIMITED;
+    if let Some(ms) = parse_u64("op-time-limit-ms") {
+        op_budget = op_budget.with_time_limit(Duration::from_millis(ms));
+    }
+    if let Some(n) = parse_u64("op-max-iters") {
+        op_budget = op_budget.with_iteration_cap(n);
+    }
+    let mut resolve_budget = SolveBudget::UNLIMITED;
+    if let Some(ms) = parse_u64("resolve-time-limit-ms") {
+        resolve_budget = resolve_budget.with_time_limit(Duration::from_millis(ms));
+    }
+    if let Some(n) = parse_u64("resolve-max-iters") {
+        resolve_budget = resolve_budget.with_iteration_cap(n);
+    }
+    let config = ServeConfig {
+        op_budget,
+        resolve_budget,
+        max_retries: parse_u64("max-retries").map(|v| v as u32).unwrap_or(3),
+        drift_threshold: parse_u64("drift-threshold"),
+        snapshot_every: Some(parse_u64("snapshot-every").unwrap_or(1000)),
+        crash_after_ops: parse_u64("crash-after-ops"),
+    };
+    let state_dir = flags.get("state-dir").map(std::path::PathBuf::from);
+    let quiet = flags.contains_key("quiet");
+    let mut daemon = if flags.contains_key("restore") {
+        let Some(dir) = &state_dir else {
+            fail(FailClass::Usage, "--restore requires --state-dir");
+        };
+        Daemon::restore(config, dir).unwrap_or_else(|e| serve_fail(&obs, &e))
+    } else {
+        let instance = load_instance(&flags);
+        Daemon::start(instance, config, state_dir.as_deref())
+            .unwrap_or_else(|e| serve_fail(&obs, &e))
+    };
+    if !quiet {
+        eprintln!("certificate    : {}", daemon.certificate());
+    }
+    let result = if let Some(path) = flags.get("socket") {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)
+            .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot bind socket {path}: {e}")));
+        let (stream, _) = listener
+            .accept()
+            .unwrap_or_else(|e| fail(FailClass::Io, &format!("accepting on {path}: {e}")));
+        let mut writer = stream
+            .try_clone()
+            .unwrap_or_else(|e| fail(FailClass::Io, &format!("cloning socket stream: {e}")));
+        run_op_stream(&mut daemon, std::io::BufReader::new(stream), &mut writer, quiet)
+    } else if let Some(path) = flags.get("ops") {
+        let file = std::fs::File::open(path)
+            .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot read {path}: {e}")));
+        let stdout = std::io::stdout();
+        run_op_stream(
+            &mut daemon,
+            std::io::BufReader::new(file),
+            &mut stdout.lock(),
+            quiet,
+        )
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        run_op_stream(&mut daemon, stdin.lock(), &mut stdout.lock(), quiet)
+    };
+    if let Err(e) = result {
+        serve_fail(&obs, &e);
+    }
+    let summary = daemon.summary();
+    println!("{}", to_json(&summary, false));
+    if !quiet {
+        eprintln!("certificate    : {}", daemon.certificate());
+    }
+    if let Some(path) = flags.get("out") {
+        write_json(daemon.plan(), path);
+    }
+    finish_obs(&obs);
+    if !summary.certified {
+        fail(
+            FailClass::Infeasible,
+            "final plan failed certification (this is a bug: serve must never expose uncertified state)",
+        );
+    }
+}
+
 fn main() {
     // Arm deterministic fault injection when EPPLAN_FAULTS is set; a
     // malformed spec is a usage error, not a silent no-op.
@@ -553,6 +761,8 @@ fn main() {
         "validate" => cmd_validate(flags),
         "apply" => cmd_apply(flags),
         "example" => cmd_example(flags),
+        "opstream" => cmd_opstream(flags),
+        "serve" => cmd_serve(flags),
         _ => usage(),
     }
 }

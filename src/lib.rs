@@ -37,6 +37,7 @@ pub use epplan_lp as lp;
 pub use epplan_memtrack as memtrack;
 pub use epplan_obs as obs;
 pub use epplan_par as par;
+pub use epplan_serve as serve;
 pub use epplan_solve as solve;
 
 /// Commonly used items, re-exported for `use epplan::prelude::*`.
