@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper [--quick] [--reps N] [--obs] [--threads N] <experiment>...
+//! paper [--quick] [--reps N] [--obs] [--threads N] [--tolerance F] [--strict] <experiment>...
 //!
 //! experiments:
 //!   example   Paper Example 1 sanity run
@@ -16,8 +16,17 @@
 //!   ablations A1 (approx ratios), A2 (LP vs MW), A3 (filler)
 //!   bench     serial-vs-parallel baseline, written to BENCH_gepc.json
 //!   serve     serving-daemon throughput/latency, written to BENCH_serve.json
-//!   all       everything above except bench and serve
+//!   gate      re-measure bench+serve, diff against the committed
+//!             BENCH_*.json within --tolerance (default 0.15); exits 1
+//!             on regression. Fresh rows land in BENCH_*.fresh.json.
+//!   all       everything above except bench, serve and gate
 //! ```
+//!
+//! `gate` timing checks (wall_s / ops_per_sec) are enforced only when
+//! the committed baseline carries the same `machine_cores` fingerprint
+//! as this machine — cross-machine numbers downgrade to warnings
+//! unless `--strict`. Utility drift and lost certification always
+//! fail: those are machine-independent.
 //!
 //! `--threads N` pins the worker count for every solver stage (same
 //! knob as the `EPPLAN_THREADS` env var); the default is the machine's
@@ -40,10 +49,50 @@ static ALLOC: epplan_memtrack::Tracking = epplan_memtrack::Tracking;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper [--quick] [--reps N] [--obs] [--threads N] \
-         <example|table6|fig2|fig3|table7|table8|table9|fig4|fig5|ablations|bench|serve|all>..."
+        "usage: paper [--quick] [--reps N] [--obs] [--threads N] [--tolerance F] [--strict] \
+         <example|table6|fig2|fig3|table7|table8|table9|fig4|fig5|ablations|bench|serve|gate|all>..."
     );
     std::process::exit(2)
+}
+
+/// Runs one leg of the perf gate: re-measures `experiment`, diffs the
+/// fresh rows against the committed `<path>`, and writes the fresh
+/// document next to it as `<stem>.fresh.json` for CI artifact upload.
+fn gate_leg(
+    name: &str,
+    committed_path: &str,
+    fresh_json: &str,
+    tolerance: f64,
+    strict: bool,
+) -> bool {
+    let fresh_path = committed_path.replace(".json", ".fresh.json");
+    if let Err(e) = std::fs::write(&fresh_path, fresh_json) {
+        eprintln!("warning: cannot write {fresh_path}: {e}");
+    }
+    let committed = match std::fs::read_to_string(committed_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("gate: cannot read committed {committed_path}: {e}");
+            return false;
+        }
+    };
+    let (base, fresh) = match (
+        epplan_bench::gate::parse_bench(&committed),
+        epplan_bench::gate::parse_bench(fresh_json),
+    ) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) => {
+            eprintln!("gate: cannot parse {committed_path}: {e}");
+            return false;
+        }
+        (_, Err(e)) => {
+            eprintln!("gate: cannot parse fresh {name} rows: {e}");
+            return false;
+        }
+    };
+    let outcome = epplan_bench::gate::compare(committed_path, &base, &fresh, tolerance, strict);
+    print!("{outcome}");
+    outcome.passed()
 }
 
 /// Prints a table and, when `csv_dir` is set, also writes
@@ -63,10 +112,23 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut obs = false;
+    let mut tolerance = 0.15;
+    let mut strict = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--strict" => strict = true,
+            "--tolerance" => {
+                let Some(f) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|f| f.is_finite() && *f >= 0.0)
+                else {
+                    usage()
+                };
+                tolerance = f;
+            }
             "--obs" => {
                 obs = true;
                 epplan_obs::enable_metrics();
@@ -166,6 +228,17 @@ fn main() {
                     Err(e) => eprintln!("warning: cannot write {path}: {e}"),
                 }
                 print!("{json}");
+            }
+            "gate" => {
+                let gepc = experiments::bench_gepc(&opts, epplan_par::threads());
+                let gepc_ok = gate_leg("gepc", "BENCH_gepc.json", &gepc, tolerance, strict);
+                let serve = experiments::bench_serve(&opts, epplan_par::threads());
+                let serve_ok = gate_leg("serve", "BENCH_serve.json", &serve, tolerance, strict);
+                if !(gepc_ok && serve_ok) {
+                    eprintln!("gate: perf regression against committed BENCH files");
+                    std::process::exit(1);
+                }
+                println!("gate: ok (tolerance {tolerance})");
             }
             "ablations" => {
                 emit(&experiments::ablation_approx(&opts), csv_dir.as_ref());

@@ -685,10 +685,12 @@ pub fn bench_gepc(opts: &HarnessOptions, threads: usize) -> String {
     epplan_obs::enable_metrics();
     let prior = epplan_par::threads();
 
+    // The full grid is a superset of the quick grid so `paper gate
+    // --quick` rows always have committed counterparts to diff.
     let grid: &[(usize, usize)] = if opts.quick {
         &[(500, 50), (1000, 50)]
     } else {
-        &[(1000, 50), (5000, 50), (10000, 50)]
+        &[(500, 50), (1000, 50), (5000, 50), (10000, 50)]
     };
     let mut rows = String::new();
     let mut summary = String::new();
@@ -752,6 +754,7 @@ struct ServeCell {
     ops: u64,
     ops_per_sec: f64,
     p50_us: u64,
+    p95_us: u64,
     p99_us: u64,
     applied: u64,
     resolved: u64,
@@ -772,6 +775,7 @@ impl ServeCell {
             ops: 0,
             ops_per_sec: 0.0,
             p50_us: 0,
+            p95_us: 0,
             p99_us: 0,
             applied: 0,
             resolved: 0,
@@ -822,6 +826,7 @@ fn serve_cell(
         ops: s.ops,
         ops_per_sec: s.ops_per_sec,
         p50_us: s.p50_us,
+        p95_us: s.p95_us,
         p99_us: s.p99_us,
         applied: s.applied,
         resolved: s.resolved,
@@ -842,10 +847,18 @@ fn serve_cell(
 /// Returns the JSON document committed as `BENCH_serve.json`.
 pub fn bench_serve(opts: &HarnessOptions, threads: usize) -> String {
     let prior = epplan_par::threads();
+    // Superset rule as in `bench_gepc`: the quick cells stay in the
+    // full grid so gate runs can always match committed rows.
     let grid: &[(usize, usize, usize)] = if opts.quick {
         &[(500, 50, 2_000), (1000, 50, 2_000)]
     } else {
-        &[(1000, 50, 10_000), (5000, 50, 10_000), (10000, 50, 10_000)]
+        &[
+            (500, 50, 2_000),
+            (1000, 50, 2_000),
+            (1000, 50, 10_000),
+            (5000, 50, 10_000),
+            (10000, 50, 10_000),
+        ]
     };
     let mut rows = String::new();
     let mut summary = String::new();
@@ -870,13 +883,14 @@ pub fn bench_serve(opts: &HarnessOptions, threads: usize) -> String {
             rows.push_str(&format!(
                 "    {{\"users\": {users}, \"events\": {events}, \"ops\": {}, \
                  \"threads\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \
-                 \"p99_us\": {}, \"applied\": {}, \"resolved\": {}, \
+                 \"p95_us\": {}, \"p99_us\": {}, \"applied\": {}, \"resolved\": {}, \
                  \"rejected\": {}, \"snapshots\": {}, \"utility\": {:.6}, \
                  \"certified\": {}, \"uncertified_intervals\": {}{}}}",
                 c.ops,
                 c.threads,
                 c.ops_per_sec,
                 c.p50_us,
+                c.p95_us,
                 c.p99_us,
                 c.applied,
                 c.resolved,

@@ -1,0 +1,481 @@
+//! The perf-regression gate: compares freshly measured bench rows
+//! against the committed `BENCH_gepc.json` / `BENCH_serve.json`
+//! trajectory with explicit tolerances (ROADMAP Open item 1 — "speed
+//! claims stay honest").
+//!
+//! The committed files are hand-written flat JSON (one object per
+//! row), so the parser here is a deliberately tiny scanner for exactly
+//! that shape — the workspace `serde_json` shim has no dynamic value
+//! type. Rows are matched on their integer key fields
+//! (`users`/`events`/`threads`/`ops`); three classes of checks run per
+//! matched pair:
+//!
+//! * **determinism** — `utility` must agree to 1e-6 relative and
+//!   `certified` must stay `true`. Machine-independent: always
+//!   enforced.
+//! * **timing** — `wall_s` must not grow, and `ops_per_sec` must not
+//!   shrink, by more than the tolerance. Enforced only when the
+//!   baseline was recorded on a machine with the same core count
+//!   (otherwise the comparison is apples-to-oranges and the checks
+//!   downgrade to warnings — pass `strict` to enforce anyway).
+//! * **coverage** — a gate run that matches zero committed rows fails
+//!   outright; silently diffing nothing reads as "no regression".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar cell of a bench row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// Any JSON number (integers included).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A quoted string (e.g. an `error` field).
+    Str(String),
+}
+
+impl Val {
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed bench document: the machine fingerprint plus its rows.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// `machine_cores` from the document header, when present.
+    pub machine_cores: Option<u64>,
+    /// Flat key→value rows from the `"rows"` array.
+    pub rows: Vec<BTreeMap<String, Val>>,
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn parse_string(bytes: &[u8], mut i: usize) -> Result<(String, usize), String> {
+    if bytes.get(i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    i += 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).ok_or("truncated escape")?;
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    other => *other as char,
+                });
+                i += 2;
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_scalar(bytes: &[u8], i: usize) -> Result<(Val, usize), String> {
+    match bytes.get(i) {
+        Some(b'"') => {
+            let (s, next) = parse_string(bytes, i)?;
+            Ok((Val::Str(s), next))
+        }
+        Some(b't') if bytes[i..].starts_with(b"true") => Ok((Val::Bool(true), i + 4)),
+        Some(b'f') if bytes[i..].starts_with(b"false") => Ok((Val::Bool(false), i + 5)),
+        Some(_) => {
+            let start = i;
+            let mut end = i;
+            while end < bytes.len()
+                && matches!(bytes[end], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                end += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..end]).map_err(|e| e.to_string())?;
+            let n: f64 = text
+                .parse()
+                .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))?;
+            Ok((Val::Num(n), end))
+        }
+        None => Err("unexpected end of document".to_string()),
+    }
+}
+
+/// Parses one flat row object `{"k": v, ...}` starting at `{`.
+fn parse_row(bytes: &[u8], mut i: usize) -> Result<(BTreeMap<String, Val>, usize), String> {
+    if bytes.get(i) != Some(&b'{') {
+        return Err(format!("expected '{{' at byte {i}"));
+    }
+    i = skip_ws(bytes, i + 1);
+    let mut row = BTreeMap::new();
+    if bytes.get(i) == Some(&b'}') {
+        return Ok((row, i + 1));
+    }
+    loop {
+        let (key, next) = parse_string(bytes, i)?;
+        i = skip_ws(bytes, next);
+        if bytes.get(i) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i = skip_ws(bytes, i + 1);
+        let (val, next) = parse_scalar(bytes, i)?;
+        row.insert(key, val);
+        i = skip_ws(bytes, next);
+        match bytes.get(i) {
+            Some(b',') => i = skip_ws(bytes, i + 1),
+            Some(b'}') => return Ok((row, i + 1)),
+            other => return Err(format!("expected ',' or '}}' in row, got {other:?}")),
+        }
+    }
+}
+
+/// Parses a BENCH_*.json document: the `machine_cores` header field
+/// and every flat object in the top-level `"rows"` array.
+pub fn parse_bench(doc: &str) -> Result<BenchDoc, String> {
+    let bytes = doc.as_bytes();
+    let machine_cores = doc.find("\"machine_cores\"").and_then(|k| {
+        let after = skip_ws(bytes, k + "\"machine_cores\"".len());
+        if bytes.get(after) != Some(&b':') {
+            return None;
+        }
+        let at = skip_ws(bytes, after + 1);
+        match parse_scalar(bytes, at) {
+            Ok((Val::Num(n), _)) if n >= 0.0 => Some(n as u64),
+            _ => None,
+        }
+    });
+    let rows_key = doc
+        .find("\"rows\"")
+        .ok_or_else(|| "no \"rows\" array in document".to_string())?;
+    let mut i = skip_ws(bytes, rows_key + "\"rows\"".len());
+    if bytes.get(i) != Some(&b':') {
+        return Err("malformed \"rows\" key".to_string());
+    }
+    i = skip_ws(bytes, i + 1);
+    if bytes.get(i) != Some(&b'[') {
+        return Err("\"rows\" is not an array".to_string());
+    }
+    i = skip_ws(bytes, i + 1);
+    let mut rows = Vec::new();
+    if bytes.get(i) == Some(&b']') {
+        return Ok(BenchDoc { machine_cores, rows });
+    }
+    loop {
+        let (row, next) = parse_row(bytes, i)?;
+        rows.push(row);
+        i = skip_ws(bytes, next);
+        match bytes.get(i) {
+            Some(b',') => i = skip_ws(bytes, i + 1),
+            Some(b']') => return Ok(BenchDoc { machine_cores, rows }),
+            other => return Err(format!("expected ',' or ']' after row, got {other:?}")),
+        }
+    }
+}
+
+/// Fields that identify a row across runs.
+const KEY_FIELDS: &[&str] = &["users", "events", "threads", "ops"];
+
+fn row_key(row: &BTreeMap<String, Val>) -> String {
+    KEY_FIELDS
+        .iter()
+        .filter_map(|k| {
+            row.get(*k)
+                .and_then(Val::as_num)
+                .map(|v| format!("{k}={v}"))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Severity of one gate check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance.
+    Ok,
+    /// Out of tolerance, but not enforced (cross-machine timing).
+    Warn,
+    /// Out of tolerance and enforced — the gate fails.
+    Fail,
+}
+
+/// One metric comparison between a committed and a fresh row.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Which document the row came from (e.g. `BENCH_serve.json`).
+    pub file: String,
+    /// The matched row's identity (`users=… events=… threads=…`).
+    pub key: String,
+    /// Metric name (`wall_s`, `ops_per_sec`, `utility`, `certified`).
+    pub metric: &'static str,
+    /// Committed baseline value.
+    pub committed: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// Relative change, signed so that positive = worse.
+    pub worse_pct: f64,
+    /// Outcome for this check.
+    pub status: GateStatus,
+}
+
+/// Everything one `compare` call produced.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// All checks, in row order.
+    pub checks: Vec<GateCheck>,
+    /// Fresh rows that found a committed counterpart.
+    pub matched_rows: usize,
+    /// Fresh rows with no committed counterpart (new cells — fine).
+    pub unmatched_rows: usize,
+}
+
+impl GateOutcome {
+    /// `true` when no enforced check failed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.status != GateStatus::Fail)
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.checks
+            .iter()
+            .filter(|c| c.status == GateStatus::Fail)
+            .count()
+    }
+}
+
+impl fmt::Display for GateOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.checks {
+            let tag = match c.status {
+                GateStatus::Ok => "ok  ",
+                GateStatus::Warn => "warn",
+                GateStatus::Fail => "FAIL",
+            };
+            writeln!(
+                f,
+                "[{tag}] {} {} {}: committed {:.4} fresh {:.4} ({:+.1}% worse)",
+                c.file, c.key, c.metric, c.committed, c.fresh, c.worse_pct
+            )?;
+        }
+        writeln!(
+            f,
+            "gate: {} rows matched, {} unmatched, {} failures",
+            self.matched_rows,
+            self.unmatched_rows,
+            self.failures()
+        )
+    }
+}
+
+/// Compares `fresh` against `committed` rows. `tolerance` is the
+/// allowed relative regression for timing metrics (0.15 = 15%).
+/// Timing checks are enforced when both documents carry the same
+/// `machine_cores`, or when `strict` is set; determinism checks
+/// (utility drift, lost certification) are always enforced.
+pub fn compare(
+    file: &str,
+    committed: &BenchDoc,
+    fresh: &BenchDoc,
+    tolerance: f64,
+    strict: bool,
+) -> GateOutcome {
+    let same_machine = committed.machine_cores.is_some()
+        && committed.machine_cores == fresh.machine_cores;
+    let enforce_timing = strict || same_machine;
+    let timing_status = |worse: f64| -> GateStatus {
+        if worse <= tolerance {
+            GateStatus::Ok
+        } else if enforce_timing {
+            GateStatus::Fail
+        } else {
+            GateStatus::Warn
+        }
+    };
+    let by_key: BTreeMap<String, &BTreeMap<String, Val>> = committed
+        .rows
+        .iter()
+        .map(|r| (row_key(r), r))
+        .collect();
+    let mut out = GateOutcome::default();
+    for row in &fresh.rows {
+        let key = row_key(row);
+        let Some(base) = by_key.get(&key) else {
+            out.unmatched_rows += 1;
+            continue;
+        };
+        out.matched_rows += 1;
+        let num = |r: &BTreeMap<String, Val>, k: &str| r.get(k).and_then(Val::as_num);
+        // wall_s: lower is better.
+        if let (Some(c), Some(fr)) = (num(base, "wall_s"), num(row, "wall_s")) {
+            let worse = if c > 0.0 { fr / c - 1.0 } else { 0.0 };
+            out.checks.push(GateCheck {
+                file: file.to_string(),
+                key: key.clone(),
+                metric: "wall_s",
+                committed: c,
+                fresh: fr,
+                worse_pct: worse * 100.0,
+                status: timing_status(worse),
+            });
+        }
+        // ops_per_sec: higher is better.
+        if let (Some(c), Some(fr)) = (num(base, "ops_per_sec"), num(row, "ops_per_sec")) {
+            let worse = if c > 0.0 { 1.0 - fr / c } else { 0.0 };
+            out.checks.push(GateCheck {
+                file: file.to_string(),
+                key: key.clone(),
+                metric: "ops_per_sec",
+                committed: c,
+                fresh: fr,
+                worse_pct: worse * 100.0,
+                status: timing_status(worse),
+            });
+        }
+        // utility: must agree — the trajectory also pins solver output.
+        if let (Some(c), Some(fr)) = (num(base, "utility"), num(row, "utility")) {
+            let drift = (fr - c).abs() / c.abs().max(1.0);
+            out.checks.push(GateCheck {
+                file: file.to_string(),
+                key: key.clone(),
+                metric: "utility",
+                committed: c,
+                fresh: fr,
+                worse_pct: drift * 100.0,
+                status: if drift <= 1e-6 {
+                    GateStatus::Ok
+                } else {
+                    GateStatus::Fail
+                },
+            });
+        }
+        // certified: must never regress to false.
+        if let Some(Val::Bool(fr)) = row.get("certified") {
+            let c = matches!(base.get("certified"), Some(Val::Bool(true)));
+            out.checks.push(GateCheck {
+                file: file.to_string(),
+                key: key.clone(),
+                metric: "certified",
+                committed: f64::from(u8::from(c)),
+                fresh: f64::from(u8::from(*fr)),
+                worse_pct: 0.0,
+                status: if *fr || !c { GateStatus::Ok } else { GateStatus::Fail },
+            });
+        }
+    }
+    if out.matched_rows == 0 {
+        // Coverage failure: a gate that compared nothing must not pass.
+        out.checks.push(GateCheck {
+            file: file.to_string(),
+            key: "(no matching rows)".to_string(),
+            metric: "coverage",
+            committed: committed.rows.len() as f64,
+            fresh: fresh.rows.len() as f64,
+            worse_pct: 100.0,
+            status: GateStatus::Fail,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "bench": "x", "machine_cores": 4,
+  "rows": [
+    {"users": 500, "events": 50, "threads": 1, "ops_per_sec": 100.0, "utility": 10.5, "certified": true},
+    {"users": 500, "events": 50, "threads": 4, "ops_per_sec": 120.0, "utility": 10.5, "certified": true}
+  ]
+}"#;
+
+    fn fresh_doc(ops_per_sec: f64, utility: f64, cores: u64) -> BenchDoc {
+        parse_bench(&format!(
+            "{{\"machine_cores\": {cores}, \"rows\": [{{\"users\": 500, \"events\": 50, \
+             \"threads\": 1, \"ops_per_sec\": {ops_per_sec}, \"utility\": {utility}, \
+             \"certified\": true}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parser_reads_flat_rows_and_header() {
+        let doc = parse_bench(BASE).unwrap();
+        assert_eq!(doc.machine_cores, Some(4));
+        assert_eq!(doc.rows.len(), 2);
+        assert_eq!(doc.rows[0].get("users"), Some(&Val::Num(500.0)));
+        assert_eq!(doc.rows[0].get("certified"), Some(&Val::Bool(true)));
+        assert!(parse_bench("{}").is_err());
+        assert!(parse_bench("{\"rows\": []}").unwrap().rows.is_empty());
+        // String values (error fields) parse too.
+        let d = parse_bench("{\"rows\": [{\"error\": \"boom \\\"x\\\"\", \"ops\": 3}]}").unwrap();
+        assert_eq!(d.rows[0].get("error"), Some(&Val::Str("boom \"x\"".into())));
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_regression_fails() {
+        let base = parse_bench(BASE).unwrap();
+        // 10% slower than committed 100 ops/s: inside a 15% tolerance.
+        let ok = compare("B", &base, &fresh_doc(90.0, 10.5, 4), 0.15, false);
+        assert!(ok.passed(), "{ok}");
+        assert_eq!(ok.matched_rows, 1);
+        // 30% slower: out of tolerance on the same machine → fail.
+        let bad = compare("B", &base, &fresh_doc(70.0, 10.5, 4), 0.15, false);
+        assert!(!bad.passed());
+        assert_eq!(bad.failures(), 1);
+        assert!(bad.to_string().contains("ops_per_sec"));
+    }
+
+    #[test]
+    fn cross_machine_timing_downgrades_to_warning() {
+        let base = parse_bench(BASE).unwrap();
+        let cross = compare("B", &base, &fresh_doc(50.0, 10.5, 16), 0.15, false);
+        assert!(cross.passed(), "{cross}");
+        assert!(cross
+            .checks
+            .iter()
+            .any(|c| c.metric == "ops_per_sec" && c.status == GateStatus::Warn));
+        // strict mode enforces regardless of the fingerprint.
+        let strict = compare("B", &base, &fresh_doc(50.0, 10.5, 16), 0.15, true);
+        assert!(!strict.passed());
+    }
+
+    #[test]
+    fn utility_drift_fails_even_cross_machine() {
+        let base = parse_bench(BASE).unwrap();
+        let drifted = compare("B", &base, &fresh_doc(100.0, 11.0, 16), 0.15, false);
+        assert!(!drifted.passed());
+        assert!(drifted
+            .checks
+            .iter()
+            .any(|c| c.metric == "utility" && c.status == GateStatus::Fail));
+    }
+
+    #[test]
+    fn zero_matched_rows_is_a_failure() {
+        let base = parse_bench(BASE).unwrap();
+        let alien = parse_bench(
+            "{\"machine_cores\": 4, \"rows\": [{\"users\": 9999, \"events\": 1, \
+             \"threads\": 1, \"ops_per_sec\": 1.0}]}",
+        )
+        .unwrap();
+        let out = compare("B", &base, &alien, 0.15, false);
+        assert!(!out.passed());
+        assert_eq!(out.matched_rows, 0);
+        assert_eq!(out.unmatched_rows, 1);
+        assert!(out.to_string().contains("coverage"));
+    }
+}

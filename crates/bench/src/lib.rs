@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod measure;
 pub mod ops;
 pub mod table;

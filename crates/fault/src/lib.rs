@@ -78,6 +78,7 @@ pub const SITES: &[&str] = &[
     "serve.wal.append",
     "serve.snapshot.write",
     "serve.op.ingest",
+    "serve.metrics.scrape",
 ];
 
 /// `true` when `site` names a registered injection site.

@@ -88,6 +88,9 @@ pub const COUNTER_NAMES: &[&str] = &[
     "serve.retries",
     "serve.resolves",
     "serve.snapshots",
+    "serve.slo.burning_ops",
+    "obs.scrape.requests",
+    "obs.scrape.errors",
 ];
 
 /// Registered gauge names.
@@ -109,7 +112,18 @@ pub const GAUGE_NAMES: &[&str] = &[
     "datagen.par.chunks",
     "serve.drift",
     "serve.utility",
+    "serve.slo.burning",
+    "serve.slo.target_us",
+    "serve.window.p50_us",
+    "serve.window.p95_us",
+    "serve.window.p99_us",
 ];
+
+/// Registered histogram names (`epplan_obs::observe`).
+pub const HISTOGRAM_NAMES: &[&str] = &["serve.op_latency_us"];
+
+/// Registered sliding-window names (`epplan_obs::window`).
+pub const WINDOW_NAMES: &[&str] = &["serve.window.op_latency_us"];
 
 /// The fault-injection site registry (DESIGN.md § Fault model &
 /// certification). Must mirror `epplan_fault::SITES` exactly — a site
@@ -126,6 +140,7 @@ pub const FAULT_SITES: &[&str] = &[
     "gap.packing.oracle",
     "gap.rounding.match",
     "lp.simplex.pivot",
+    "serve.metrics.scrape",
     "serve.op.ingest",
     "serve.snapshot.write",
     "serve.wal.append",
@@ -341,6 +356,8 @@ pub fn run_rules(ctx: &FileContext, ts: &TokenStream) -> Vec<Diagnostic> {
                 "span" => SPAN_NAMES,
                 "counter_add" => COUNTER_NAMES,
                 "gauge_set" => GAUGE_NAMES,
+                "observe" => HISTOGRAM_NAMES,
+                "window" => WINDOW_NAMES,
                 _ => continue,
             };
             // Match `name("literal"` — a direct call with a literal

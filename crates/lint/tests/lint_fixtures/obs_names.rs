@@ -2,7 +2,11 @@ fn instrumented() {
     let _sp = epplan_obs::span("lp.simplex");
     epplan_obs::counter_add("lp.iterations", 1);
     epplan_obs::gauge_set("packing.width", 2.0);
+    epplan_obs::observe("serve.op_latency_us", 42);
+    let _w = epplan_obs::window("serve.window.op_latency_us", epplan_obs::WindowConfig::default());
     let _bad = epplan_obs::span("lp.typo");
     epplan_obs::counter_add("made.up.counter", 1);
     epplan_obs::gauge_set("nope.gauge", 1.0);
+    epplan_obs::observe("rogue.histogram", 7);
+    let _bw = epplan_obs::window("rogue.window", epplan_obs::WindowConfig::default());
 }

@@ -92,7 +92,7 @@ fn float_exact_eq_fires_on_literal_comparisons() {
 fn obs_names_must_match_registry() {
     let src = fixture("obs_names.rs");
     let got = fire_lines("crates/gap/src/fixture.rs", &src);
-    let expected: Vec<(u32, String)> = [5, 6, 7]
+    let expected: Vec<(u32, String)> = [7, 8, 9, 10, 11]
         .iter()
         .map(|&l| (l, "obs/stable-names".to_string()))
         .collect();

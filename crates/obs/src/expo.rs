@@ -1,0 +1,267 @@
+//! Zero-dependency Prometheus text-format exposition.
+//!
+//! Renders a [`MetricsSnapshot`] (and windowed histograms) as
+//! Prometheus exposition format 0.0.4 text: `# TYPE` headers, metric
+//! names with dots mapped to underscores under an `epplan_` prefix,
+//! cumulative `le`-labelled histogram buckets with a `+Inf` terminator,
+//! and `summary`-typed quantile lines for sliding windows. The output
+//! is deterministic: metrics render in sorted-name order straight from
+//! the snapshot's `BTreeMap`-backed ordering.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Maps a dotted stable name ("serve.op_latency_us") to a valid
+/// Prometheus metric name ("epplan_serve_op_latency_us").
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("epplan_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats an f64 the way Prometheus expects (Go syntax for the
+/// non-finite values).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one histogram in Prometheus `histogram` type: cumulative
+/// `_bucket{le="..."}` lines, a `+Inf` bucket, `_sum` and `_count`.
+pub fn prometheus_histogram(name: &str, h: &HistogramSnapshot) -> String {
+    let pname = prometheus_name(name);
+    let mut out = format!("# TYPE {pname} histogram\n");
+    let mut cum = 0u64;
+    for (le, n) in &h.buckets {
+        cum += n;
+        out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{pname}_sum {}\n", h.sum));
+    out.push_str(&format!("{pname}_count {}\n", h.count));
+    out
+}
+
+/// Renders a snapshot (typically of a sliding window) in Prometheus
+/// `summary` type: one `{quantile="p"}` line per requested quantile via
+/// the shared estimator, plus `_sum`/`_count`.
+pub fn prometheus_summary(name: &str, h: &HistogramSnapshot, quantiles: &[f64]) -> String {
+    let pname = prometheus_name(name);
+    let mut out = format!("# TYPE {pname} summary\n");
+    for &p in quantiles {
+        out.push_str(&format!(
+            "{pname}{{quantile=\"{}\"}} {}\n",
+            prom_f64(p),
+            h.quantile(p)
+        ));
+    }
+    out.push_str(&format!("{pname}_sum {}\n", h.sum));
+    out.push_str(&format!("{pname}_count {}\n", h.count));
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders every counter, gauge, histogram and per-stage aggregate
+    /// as Prometheus text exposition format. Stage aggregates become
+    /// `epplan_stage_*{stage="..."}` counters so the paper-style cost
+    /// table stays scrapeable.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let pname = prometheus_name(name);
+            out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let pname = prometheus_name(name);
+            out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", prom_f64(*v)));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&prometheus_histogram(name, h));
+        }
+        if !self.stages.is_empty() {
+            out.push_str("# TYPE epplan_stage_wall_us counter\n");
+            for s in &self.stages {
+                out.push_str(&format!(
+                    "epplan_stage_wall_us{{stage=\"{}\"}} {}\n",
+                    s.name,
+                    s.wall.as_micros()
+                ));
+            }
+            out.push_str("# TYPE epplan_stage_calls counter\n");
+            for s in &self.stages {
+                out.push_str(&format!(
+                    "epplan_stage_calls{{stage=\"{}\"}} {}\n",
+                    s.name, s.calls
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Very small structural validator used by tests and the scrape chaos
+/// suite: every non-comment line must be `name{labels}? value`, every
+/// histogram must end with a `+Inf` bucket whose cumulative count
+/// equals `_count`, and `# TYPE` lines must precede their samples.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut typed: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if name.is_empty()
+                || !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped")
+            {
+                return Err(format!("line {lineno}: malformed TYPE line: {line}"));
+            }
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return Err(format!("line {lineno}: no value: {line}")),
+        };
+        let base = name_part.split('{').next().unwrap_or("");
+        if base.is_empty()
+            || !base
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {lineno}: bad metric name: {line}"));
+        }
+        if name_part.contains('{') && !name_part.ends_with('}') {
+            return Err(format!("line {lineno}: unterminated labels: {line}"));
+        }
+        let v = value_part.trim();
+        let ok_value = v.parse::<f64>().is_ok() || matches!(v, "NaN" | "+Inf" | "-Inf");
+        if !ok_value {
+            return Err(format!("line {lineno}: bad sample value: {line}"));
+        }
+        let family = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .unwrap_or(base);
+        if !typed.iter().any(|t| t == family || t == base) {
+            return Err(format!("line {lineno}: sample before TYPE: {line}"));
+        }
+    }
+    if typed.is_empty() {
+        return Err("no TYPE lines".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::StageStats;
+    use std::time::Duration;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("serve.ops".to_string(), 42),
+                ("serve.resolves".to_string(), 3),
+            ],
+            gauges: vec![
+                ("serve.drift".to_string(), 7.0),
+                ("serve.utility".to_string(), 123.5),
+            ],
+            histograms: vec![(
+                "serve.op_latency_us".to_string(),
+                HistogramSnapshot {
+                    count: 6,
+                    sum: 1350,
+                    buckets: vec![(128, 2), (256, 3), (512, 1)],
+                },
+            )],
+            stages: vec![StageStats {
+                name: "serve.daemon".to_string(),
+                calls: 42,
+                wall: Duration::from_micros(9000),
+                iters: 0,
+                peak_mem_bytes: 0,
+                alloc_calls: 0,
+            }],
+        }
+    }
+
+    // Golden-file test for the exposition format: byte-exact output
+    // for a hand-built snapshot, so any format drift is a visible diff.
+    #[test]
+    fn prometheus_exposition_golden() {
+        let got = sample_snapshot().to_prometheus();
+        let want = "\
+# TYPE epplan_serve_ops counter
+epplan_serve_ops 42
+# TYPE epplan_serve_resolves counter
+epplan_serve_resolves 3
+# TYPE epplan_serve_drift gauge
+epplan_serve_drift 7
+# TYPE epplan_serve_utility gauge
+epplan_serve_utility 123.5
+# TYPE epplan_serve_op_latency_us histogram
+epplan_serve_op_latency_us_bucket{le=\"128\"} 2
+epplan_serve_op_latency_us_bucket{le=\"256\"} 5
+epplan_serve_op_latency_us_bucket{le=\"512\"} 6
+epplan_serve_op_latency_us_bucket{le=\"+Inf\"} 6
+epplan_serve_op_latency_us_sum 1350
+epplan_serve_op_latency_us_count 6
+# TYPE epplan_stage_wall_us counter
+epplan_stage_wall_us{stage=\"serve.daemon\"} 9000
+# TYPE epplan_stage_calls counter
+epplan_stage_calls{stage=\"serve.daemon\"} 42
+";
+        assert_eq!(got, want);
+        validate_prometheus(&got).unwrap();
+    }
+
+    #[test]
+    fn summary_lines_use_shared_estimator() {
+        let h = HistogramSnapshot::from_values(&[10, 20, 30, 40, 50]);
+        let text = prometheus_summary("serve.window.op_latency_us", &h, &[0.5, 0.99]);
+        assert!(text.contains("# TYPE epplan_serve_window_op_latency_us summary"));
+        assert!(text.contains("epplan_serve_window_op_latency_us{quantile=\"0.5\"} 30"));
+        assert!(text.contains("epplan_serve_window_op_latency_us{quantile=\"0.99\"} 50"));
+        assert!(text.contains("epplan_serve_window_op_latency_us_count 5"));
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn non_finite_gauges_render_go_style() {
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_prometheus("").is_err());
+        assert!(validate_prometheus("epplan_x 1\n").is_err()); // no TYPE
+        assert!(validate_prometheus("# TYPE epplan_x counter\nepplan_x one\n").is_err());
+        assert!(validate_prometheus("# TYPE epplan_x counter\nepplan_x 1\n").is_ok());
+    }
+}

@@ -37,14 +37,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod expo;
 mod metrics;
+mod report;
 mod sink;
 mod span;
 mod stage;
+mod window;
 
+pub use expo::{prometheus_histogram, prometheus_name, prometheus_summary, validate_prometheus};
 pub use metrics::{
-    counter_add, counter_value, gauge_set, gauge_value, observe, reset_metrics, snapshot,
-    HistogramSnapshot, MetricsSnapshot,
+    counter_add, counter_value, gauge_set, gauge_value, observe, pow2_bucket_le, reset_metrics,
+    snapshot, HistogramSnapshot, MetricsSnapshot,
+};
+pub use report::{
+    critical_path, perfetto_json, render_critical_path, render_self_time, self_time,
+    CriticalPathRow, SelfTimeRow,
 };
 pub use sink::{
     install_sink, uninstall_sink, CollectingSink, JsonlSink, OwnedTraceEvent, TraceEvent,
@@ -52,6 +60,7 @@ pub use sink::{
 };
 pub use span::{span, Span};
 pub use stage::{render_stage_table, stage_stats, StageMark, StageStats};
+pub use window::{window, WindowConfig, WindowedHistogram};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard};

@@ -18,6 +18,47 @@ use crate::{json_escape, lock};
 /// bucket is a catch-all.
 const HIST_BUCKETS: usize = 32;
 
+/// Bucket index for value `v` under the power-of-two scheme above.
+/// Shared by the atomic histograms and the windowed ring histograms so
+/// every latency number in the workspace quantizes identically.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    (64 - u64::leading_zeros(v.max(1)) as usize - 1
+        + usize::from(!v.is_power_of_two() && v > 1))
+    .min(HIST_BUCKETS - 1)
+}
+
+/// Upper bound (`le`) of the bucket that `v` falls into: the smallest
+/// `2^i >= v` (clamped at the catch-all bucket).
+pub fn pow2_bucket_le(v: u64) -> u64 {
+    1u64 << bucket_index(v).min(63)
+}
+
+/// The one audited quantile walk: given a total `count` and buckets as
+/// `(upper_bound, bucket_count)` in ascending `upper_bound` order,
+/// returns the upper bound of the bucket holding the observation of
+/// rank `ceil(p * count)` (clamped to `[1, count]`). Integer-only and
+/// deterministic; returns 0 for an empty distribution.
+pub(crate) fn quantile_walk<I>(count: u64, buckets: I, p: f64) -> u64
+where
+    I: IntoIterator<Item = (u64, u64)>,
+{
+    if count == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    let mut last = 0u64;
+    for (le, n) in buckets {
+        cum += n;
+        last = le;
+        if cum >= rank {
+            return le;
+        }
+    }
+    last
+}
+
 // Variants are only ever `Box::leak`ed once per metric name, so the
 // size skew from the inline histogram buckets is irrelevant.
 #[allow(clippy::large_enum_variant)]
@@ -71,10 +112,7 @@ pub fn observe(name: &'static str, v: u64) {
         sum: AtomicU64::new(0),
     });
     if let Metric::Histogram { buckets, count, sum } = m {
-        let idx = (64 - u64::leading_zeros(v.max(1)) as usize - 1
-            + usize::from(!v.is_power_of_two() && v > 1))
-        .min(HIST_BUCKETS - 1);
-        buckets[idx].fetch_add(1, Ordering::Relaxed);
+        buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         count.fetch_add(1, Ordering::Relaxed);
         sum.fetch_add(v, Ordering::Relaxed);
     }
@@ -131,6 +169,63 @@ pub struct HistogramSnapshot {
     /// Non-empty buckets as `(upper_bound, count)`; the upper bound of
     /// bucket `i` is `2^i`.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Builds an *exact* snapshot from raw values: one bucket per
+    /// distinct value, so [`quantile`](Self::quantile) returns true
+    /// order statistics. Used for published summary numbers where the
+    /// raw samples are still at hand (bench rows, serve summaries).
+    pub fn from_values(values: &[u64]) -> Self {
+        let mut by_value: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut sum = 0u64;
+        for &v in values {
+            *by_value.entry(v).or_insert(0) += 1;
+            sum = sum.saturating_add(v);
+        }
+        HistogramSnapshot {
+            count: values.len() as u64,
+            sum,
+            buckets: by_value.into_iter().collect(),
+        }
+    }
+
+    /// Builds a snapshot from raw values quantized into the shared
+    /// power-of-two buckets — the same shape `observe` and the windowed
+    /// ring produce. Used by tests to pin the windowed estimator
+    /// against the recorded trace.
+    pub fn from_values_pow2(values: &[u64]) -> Self {
+        let mut by_le: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut sum = 0u64;
+        for &v in values {
+            *by_le.entry(pow2_bucket_le(v)).or_insert(0) += 1;
+            sum = sum.saturating_add(v);
+        }
+        HistogramSnapshot {
+            count: values.len() as u64,
+            sum,
+            buckets: by_le.into_iter().collect(),
+        }
+    }
+
+    /// Quantile estimate at `p` in `[0, 1]`: the upper bound of the
+    /// bucket holding the rank-`ceil(p*count)` observation. On an
+    /// exact snapshot ([`from_values`](Self::from_values)) this is the
+    /// true order statistic; on pow2-bucketed data it is the bucket
+    /// ceiling (at most 2x the true value). Every published p50/p95/p99
+    /// in the workspace goes through this one walk.
+    pub fn quantile(&self, p: f64) -> u64 {
+        quantile_walk(self.count, self.buckets.iter().copied(), p)
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
 }
 
 /// A point-in-time copy of every metric plus the per-stage aggregates.
@@ -311,6 +406,62 @@ mod tests {
         assert!(h.buckets.contains(&(2, 1)));
         assert!(h.buckets.contains(&(4, 1)));
         assert!(h.buckets.contains(&(1024, 1)));
+        crate::disable_metrics();
+        reset_metrics();
+    }
+
+    #[test]
+    fn quantile_on_exact_snapshot_is_order_statistic() {
+        let vals = [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 10];
+        let h = HistogramSnapshot::from_values(&vals);
+        assert_eq!(h.count, 10);
+        assert_eq!(h.sum, 55);
+        assert_eq!(h.quantile(0.0), 1); // rank clamps to 1
+        assert_eq!(h.quantile(0.5), 5); // ceil(0.5*10) = rank 5
+        assert_eq!(h.quantile(0.95), 10); // ceil(9.5) = rank 10
+        assert_eq!(h.quantile(0.99), 10);
+        assert_eq!(h.quantile(1.0), 10);
+        // Duplicates: the walk is over (value, multiplicity) buckets.
+        let h = HistogramSnapshot::from_values(&[4, 4, 4, 4, 100]);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(0.99), 100);
+    }
+
+    #[test]
+    fn quantile_on_pow2_snapshot_returns_bucket_ceiling() {
+        let vals = [3u64, 3, 3, 700];
+        let h = HistogramSnapshot::from_values_pow2(&vals);
+        assert_eq!(h.quantile(0.5), 4); // 3 lands in the le=4 bucket
+        assert_eq!(h.quantile(1.0), 1024); // 700 lands in le=1024
+        assert_eq!(HistogramSnapshot::from_values(&[]).quantile(0.5), 0);
+        assert_eq!(pow2_bucket_le(1), 1);
+        assert_eq!(pow2_bucket_le(2), 2);
+        assert_eq!(pow2_bucket_le(3), 4);
+        assert_eq!(pow2_bucket_le(1024), 1024);
+        assert_eq!(pow2_bucket_le(1025), 2048);
+    }
+
+    #[test]
+    fn live_histogram_and_from_values_pow2_agree() {
+        let _g = lock(crate::test_mutex());
+        crate::enable_metrics();
+        reset_metrics();
+        let vals = [1u64, 2, 3, 17, 900, 900, 4096, 5000];
+        for &v in &vals {
+            observe("test.hist.agree", v);
+        }
+        let snap = snapshot();
+        let live = &snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "test.hist.agree")
+            .unwrap()
+            .1;
+        let rebuilt = HistogramSnapshot::from_values_pow2(&vals);
+        assert_eq!(live, &rebuilt);
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(live.quantile(p), rebuilt.quantile(p));
+        }
         crate::disable_metrics();
         reset_metrics();
     }

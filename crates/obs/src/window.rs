@@ -1,0 +1,261 @@
+//! Sliding-window histograms: a ring of rotated power-of-two
+//! histograms with a shared quantile estimator, so long-running
+//! processes (the serve daemon) can report *recent* p50/p95/p99 for a
+//! latency stream instead of lifetime-cumulative values.
+//!
+//! # Determinism
+//!
+//! Rotation is **observation-count driven, never time driven**: after
+//! every `per_slot` observations the ring advances and the oldest slot
+//! is dropped wholesale. Feeding the same value sequence therefore
+//! always yields the same window contents, independent of wall clock
+//! or thread count — the serve daemon's bit-identical-across-threads
+//! contract extends to its windowed telemetry for a fixed input trace.
+//!
+//! The retained set is always a *suffix* of the observation stream:
+//! between `(slots-1)*per_slot + 1` and `slots*per_slot` of the most
+//! recent observations (once warm).
+
+use crate::metrics::{bucket_index, quantile_walk, HistogramSnapshot};
+
+const HIST_BUCKETS: usize = 32;
+
+/// Shape of a sliding window: `slots` ring entries of `per_slot`
+/// observations each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Number of ring slots (>= 2 recommended; clamped to >= 1).
+    pub slots: usize,
+    /// Observations per slot before the ring rotates (clamped to >= 1).
+    pub per_slot: u64,
+}
+
+impl WindowConfig {
+    /// Window sized to cover roughly `total_ops` recent observations,
+    /// split over 8 slots.
+    pub fn covering(total_ops: u64) -> Self {
+        WindowConfig {
+            slots: 8,
+            per_slot: (total_ops / 8).max(1),
+        }
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig::covering(1024)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+    }
+
+    fn clear(&mut self) {
+        self.buckets = [0; HIST_BUCKETS];
+        self.count = 0;
+        self.sum = 0;
+    }
+}
+
+/// A ring of rotated pow2 histograms owned by a single (serial)
+/// producer. Unlike the global registry histograms this is plain,
+/// non-atomic storage: the serve daemon processes ops serially, and
+/// keeping the window off the global registry means scrapes read a
+/// consistent point-in-time state.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    name: &'static str,
+    config: WindowConfig,
+    ring: Vec<Slot>,
+    /// Index of the slot currently being filled.
+    cursor: usize,
+    /// Total observations ever (not just retained).
+    total: u64,
+    /// Completed ring rotations (slots evicted).
+    rotations: u64,
+}
+
+/// Creates a sliding-window histogram named `name`. The name is part
+/// of the stable-name registry (see DESIGN.md) and is checked by
+/// `epplan-lint` like every other metric constructor.
+pub fn window(name: &'static str, config: WindowConfig) -> WindowedHistogram {
+    let config = WindowConfig {
+        slots: config.slots.max(1),
+        per_slot: config.per_slot.max(1),
+    };
+    WindowedHistogram {
+        name,
+        config,
+        ring: vec![Slot::empty(); config.slots],
+        cursor: 0,
+        total: 0,
+        rotations: 0,
+    }
+}
+
+impl WindowedHistogram {
+    /// The stable metric name this window was created under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The (clamped) window shape.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Records one observation. Rotates the ring (evicting the oldest
+    /// slot) once the current slot holds `per_slot` observations.
+    pub fn observe(&mut self, v: u64) {
+        let slot = &mut self.ring[self.cursor];
+        slot.buckets[bucket_index(v)] += 1;
+        slot.count += 1;
+        slot.sum = slot.sum.saturating_add(v);
+        self.total += 1;
+        if self.ring[self.cursor].count >= self.config.per_slot {
+            self.cursor = (self.cursor + 1) % self.config.slots;
+            if self.ring[self.cursor].count > 0 {
+                self.rotations += 1;
+            }
+            self.ring[self.cursor].clear();
+        }
+    }
+
+    /// Number of observations currently retained in the window. Always
+    /// the most recent `len()` observations of the stream.
+    pub fn len(&self) -> u64 {
+        self.ring.iter().map(|s| s.count).sum()
+    }
+
+    /// `true` when no observations are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total observations ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of slot evictions so far (0 until the ring wraps).
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Windowed quantile via the shared estimator — identical walk to
+    /// [`HistogramSnapshot::quantile`], over the merged ring. No
+    /// allocation: merges into a stack array.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let mut merged = [0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        for slot in &self.ring {
+            count += slot.count;
+            for (m, b) in merged.iter_mut().zip(slot.buckets.iter()) {
+                *m += b;
+            }
+        }
+        quantile_walk(
+            count,
+            merged
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| (1u64 << i.min(63), *n)),
+            p,
+        )
+    }
+
+    /// Point-in-time copy of the merged window as a standard
+    /// [`HistogramSnapshot`] (sparse pow2 buckets), so scrapes and
+    /// summaries reuse the exposition/quantile code paths unchanged.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut merged = [0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for slot in &self.ring {
+            count += slot.count;
+            sum = sum.saturating_add(slot.sum);
+            for (m, b) in merged.iter_mut().zip(slot.buckets.iter()) {
+                *m += b;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets: merged
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| (1u64 << i.min(63), *n))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_boundaries_are_count_driven() {
+        // 3 slots x 4 per slot: capacity 12, retained is a suffix of
+        // between 9 and 12 observations once warm.
+        let mut w = window("serve.window.op_latency_us", WindowConfig { slots: 3, per_slot: 4 });
+        for v in 1..=4u64 {
+            w.observe(v);
+        }
+        // Slot 0 full -> cursor advanced, nothing evicted yet.
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.rotations(), 0);
+        for v in 5..=12u64 {
+            w.observe(v);
+        }
+        // Ring is exactly full: 12 retained, cursor wrapped onto slot 0
+        // which was cleared -> first eviction.
+        assert_eq!(w.total(), 12);
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.rotations(), 1);
+        // Retained must be the suffix 5..=12.
+        let snap = w.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.sum, (5..=12u64).sum::<u64>());
+        let expect = HistogramSnapshot::from_values_pow2(&(5..=12u64).collect::<Vec<_>>());
+        assert_eq!(snap, expect);
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(w.quantile(p), expect.quantile(p));
+        }
+    }
+
+    #[test]
+    fn window_matches_shared_estimator_on_suffix() {
+        let mut w = window("serve.window.op_latency_us", WindowConfig { slots: 4, per_slot: 8 });
+        let stream: Vec<u64> = (0..100u64).map(|i| (i * 37 + 11) % 997 + 1).collect();
+        for &v in &stream {
+            w.observe(v);
+        }
+        let retained = &stream[stream.len() - w.len() as usize..];
+        let expect = HistogramSnapshot::from_values_pow2(retained);
+        assert_eq!(w.snapshot(), expect);
+        for p in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(w.quantile(p), expect.quantile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn clamped_config_and_empty_window() {
+        let w = window("serve.window.op_latency_us", WindowConfig { slots: 0, per_slot: 0 });
+        assert_eq!(w.config(), WindowConfig { slots: 1, per_slot: 1 });
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.99), 0);
+        assert_eq!(w.snapshot().count, 0);
+    }
+}

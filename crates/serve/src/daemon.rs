@@ -29,6 +29,7 @@ use epplan_core::incremental::{IncrementalOutcome, IncrementalPlanner, Sequenced
 use epplan_core::model::Instance;
 use epplan_core::plan::{dif, Plan};
 use epplan_core::solver::{GapBasedSolver, GepcSolver};
+use epplan_obs::{HistogramSnapshot, WindowConfig, WindowedHistogram};
 use epplan_solve::{Certificate, FailureKind, SolveBudget, SolveError};
 
 use crate::proto::{OpResponse, ServeSummary};
@@ -59,6 +60,14 @@ pub struct ServeConfig {
     /// Test hook: `abort()` the process after fully processing this
     /// many ops — a deterministic stand-in for `SIGKILL`.
     pub crash_after_ops: Option<u64>,
+    /// SLO target for the *windowed* p99 op latency, microseconds.
+    /// While the windowed p99 exceeds this, the daemon counts burn
+    /// (`serve.slo.burning_ops`) and flags per-op acks. `None`
+    /// disables SLO accounting.
+    pub slo_p99_us: Option<u64>,
+    /// Approximate number of recent ops the latency window covers
+    /// (ring of 8 count-rotated slots; see `epplan_obs::window`).
+    pub slo_window_ops: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +79,8 @@ impl Default for ServeConfig {
             drift_threshold: None,
             snapshot_every: Some(1000),
             crash_after_ops: None,
+            slo_p99_us: None,
+            slo_window_ops: 1024,
         }
     }
 }
@@ -91,6 +102,8 @@ pub struct ServeStats {
     pub resolves: u64,
     /// Snapshots written (including the initial one).
     pub snapshots: u64,
+    /// Ops processed while the windowed p99 exceeded the SLO target.
+    pub slo_burning_ops: u64,
     /// Per-op latencies in microseconds, insertion order.
     pub latencies_us: Vec<u64>,
 }
@@ -125,6 +138,21 @@ pub struct Daemon {
     config: ServeConfig,
     stats: ServeStats,
     started: Instant,
+    /// Sliding window over recent per-op latencies (serial, count-
+    /// rotated — see the determinism note on `epplan_obs::window`).
+    window: WindowedHistogram,
+    /// Whether the windowed p99 currently exceeds the SLO target.
+    slo_burning: bool,
+    /// `last_op_id` at the most recent snapshot (0 before any).
+    snapshot_op: u64,
+}
+
+/// The daemon's latency window, keyed by the registered stable name.
+fn latency_window(config: &ServeConfig) -> WindowedHistogram {
+    epplan_obs::window(
+        "serve.window.op_latency_us",
+        WindowConfig::covering(config.slo_window_ops.max(1)),
+    )
 }
 
 impl Daemon {
@@ -136,6 +164,7 @@ impl Daemon {
         state_dir: Option<&Path>,
     ) -> Result<Daemon, ServeError> {
         let (plan, utility) = Self::full_solve(&instance, config.resolve_budget)?;
+        let window = latency_window(&config);
         let mut daemon = Daemon {
             instance,
             plan,
@@ -148,6 +177,9 @@ impl Daemon {
             config,
             stats: ServeStats::default(),
             started: Instant::now(),
+            window,
+            slo_burning: false,
+            snapshot_op: 0,
         };
         if let Some(dir) = daemon.state_dir.clone() {
             fs::create_dir_all(&dir).map_err(|e| {
@@ -170,6 +202,8 @@ impl Daemon {
             ServeError::corrupt(format!("no snapshot in {}", state_dir.display()))
         })?;
         let utility = snap.plan.total_utility(&snap.instance);
+        let window = latency_window(&config);
+        let snapshot_op = snap.last_op_id;
         let mut daemon = Daemon {
             instance: snap.instance,
             plan: snap.plan,
@@ -182,6 +216,9 @@ impl Daemon {
             config,
             stats: ServeStats::default(),
             started: Instant::now(),
+            window,
+            slo_burning: false,
+            snapshot_op,
         };
         let cert = certify(&daemon.instance, &daemon.plan);
         if !cert.hard_ok() {
@@ -257,7 +294,7 @@ impl Daemon {
         if let Some(w) = self.wal.as_mut() {
             w.append_op(sop)?;
         }
-        let (mode, resp) = self.execute(sop);
+        let (mode, mut resp) = self.execute(sop);
         if let Some(w) = self.wal.as_mut() {
             w.append_outcome(sop.id, mode)?;
         }
@@ -270,6 +307,9 @@ impl Daemon {
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.stats.latencies_us.push(us);
         epplan_obs::observe("serve.op_latency_us", us);
+        self.window.observe(us);
+        self.update_slo();
+        resp.slo_burning = self.slo_burning;
         if let Some(n) = self.config.crash_after_ops {
             if self.processed >= n {
                 // Deterministic SIGKILL stand-in: no unwinding, no
@@ -510,6 +550,7 @@ impl Daemon {
         // A crash between the rename above and the truncate below is
         // benign: replay skips ops at or below snap.last_op_id.
         self.wal = Some(WalWriter::create(&dir.join(wal::WAL_FILE))?);
+        self.snapshot_op = self.last_op_id;
         self.stats.snapshots += 1;
         epplan_obs::counter_add("serve.snapshots", 1);
         Ok(())
@@ -518,6 +559,36 @@ impl Daemon {
     fn publish_gauges(&self) {
         epplan_obs::gauge_set("serve.drift", self.drift as f64);
         epplan_obs::gauge_set("serve.utility", self.utility);
+    }
+
+    /// Recomputes windowed quantiles after each op, publishes them as
+    /// gauges (when metrics are on), and tracks SLO burn. Telemetry
+    /// only — never feeds back into planning decisions.
+    fn update_slo(&mut self) {
+        let publish = epplan_obs::metrics_enabled();
+        if self.config.slo_p99_us.is_none() && !publish {
+            return;
+        }
+        let p99 = self.window.quantile(0.99);
+        if publish {
+            epplan_obs::gauge_set("serve.window.p50_us", self.window.quantile(0.50) as f64);
+            epplan_obs::gauge_set("serve.window.p95_us", self.window.quantile(0.95) as f64);
+            epplan_obs::gauge_set("serve.window.p99_us", p99 as f64);
+        }
+        if let Some(target) = self.config.slo_p99_us {
+            self.slo_burning = p99 > target;
+            if self.slo_burning {
+                self.stats.slo_burning_ops += 1;
+                epplan_obs::counter_add("serve.slo.burning_ops", 1);
+            }
+            if publish {
+                epplan_obs::gauge_set("serve.slo.target_us", target as f64);
+                epplan_obs::gauge_set(
+                    "serve.slo.burning",
+                    if self.slo_burning { 1.0 } else { 0.0 },
+                );
+            }
+        }
     }
 
     fn response(
@@ -536,21 +607,16 @@ impl Daemon {
             utility: self.utility,
             retries,
             error,
+            slo_burning: self.slo_burning,
         }
     }
 
     /// End-of-stream summary (latency percentiles, throughput, and a
-    /// final re-certification of the visible plan).
+    /// final re-certification of the visible plan). Lifetime
+    /// percentiles are exact order statistics; windowed ones come from
+    /// the pow2 ring — both through the one shared estimator.
     pub fn summary(&self) -> ServeSummary {
-        let mut lat = self.stats.latencies_us.clone();
-        lat.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if lat.is_empty() {
-                return 0;
-            }
-            let idx = (p * (lat.len() - 1) as f64).round() as usize;
-            lat[idx.min(lat.len() - 1)]
-        };
+        let exact = HistogramSnapshot::from_values(&self.stats.latencies_us);
         let ops = self.stats.applied + self.stats.resolved + self.stats.rejected
             + self.stats.skipped;
         let wall_s = self.started.elapsed().as_secs_f64();
@@ -568,8 +634,13 @@ impl Daemon {
             certified: certify(&self.instance, &self.plan).hard_ok(),
             wall_s,
             ops_per_sec: if wall_s > 0.0 { ops as f64 / wall_s } else { 0.0 },
-            p50_us: pct(0.50),
-            p99_us: pct(0.99),
+            p50_us: exact.quantile(0.50),
+            p95_us: exact.quantile(0.95),
+            p99_us: exact.quantile(0.99),
+            window_p50_us: self.window.quantile(0.50),
+            window_p95_us: self.window.quantile(0.95),
+            window_p99_us: self.window.quantile(0.99),
+            slo_burning_ops: self.stats.slo_burning_ops,
         }
     }
 
@@ -607,6 +678,38 @@ impl Daemon {
     /// Session counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// Point-in-time copy of the sliding latency window (pow2
+    /// buckets), for scrapes and tests.
+    pub fn window_snapshot(&self) -> HistogramSnapshot {
+        self.window.snapshot()
+    }
+
+    /// Windowed latency quantile via the shared estimator.
+    pub fn window_quantile(&self, p: f64) -> u64 {
+        self.window.quantile(p)
+    }
+
+    /// Observations currently retained in the latency window.
+    pub fn window_len(&self) -> u64 {
+        self.window.len()
+    }
+
+    /// `true` while the windowed p99 exceeds the configured SLO.
+    pub fn slo_burning(&self) -> bool {
+        self.slo_burning
+    }
+
+    /// `last_op_id` as of the most recent snapshot (0 before any).
+    pub fn snapshot_op(&self) -> u64 {
+        self.snapshot_op
+    }
+
+    /// Ops applied since the last snapshot — the WAL replay distance
+    /// a crash right now would incur.
+    pub fn wal_pending_ops(&self) -> u64 {
+        self.last_op_id.saturating_sub(self.snapshot_op)
     }
 }
 

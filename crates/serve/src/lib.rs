@@ -31,10 +31,12 @@ use epplan_solve::FailureKind;
 
 pub mod daemon;
 pub mod proto;
+pub mod scrape;
 pub mod wal;
 
 pub use daemon::{Daemon, ServeConfig, ServeStats};
 pub use proto::{parse_op_line, OpResponse, ServeSummary};
+pub use scrape::{render_scrape, MetricsEndpoint};
 pub use wal::{
     read_snapshot, read_wal, write_snapshot, OutcomeMode, Snapshot, WalRecord,
     WalWriter, FORMAT_VERSION,

@@ -46,6 +46,9 @@ pub struct OpResponse {
     /// Failure detail when `status` is `"rejected"`, or the repair
     /// failure that forced a `"resolved"` fallback.
     pub error: Option<String>,
+    /// `true` while the windowed p99 latency exceeds the configured
+    /// `--slo-p99-us` target (always `false` when no SLO is set).
+    pub slo_burning: bool,
 }
 
 /// End-of-stream summary, serialized as the final JSON line.
@@ -77,8 +80,20 @@ pub struct ServeSummary {
     pub wall_s: f64,
     /// Throughput over the whole stream.
     pub ops_per_sec: f64,
-    /// Median per-op latency, microseconds.
+    /// Median per-op latency, microseconds (whole stream, exact
+    /// order statistic via the shared estimator).
     pub p50_us: u64,
+    /// 95th-percentile per-op latency, microseconds.
+    pub p95_us: u64,
     /// 99th-percentile per-op latency, microseconds.
     pub p99_us: u64,
+    /// Windowed (recent) median latency at stream end.
+    pub window_p50_us: u64,
+    /// Windowed 95th-percentile latency at stream end.
+    pub window_p95_us: u64,
+    /// Windowed 99th-percentile latency at stream end.
+    pub window_p99_us: u64,
+    /// Ops processed while the windowed p99 exceeded the SLO target
+    /// (0 when no `--slo-p99-us` is set).
+    pub slo_burning_ops: u64,
 }

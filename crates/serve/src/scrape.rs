@@ -1,0 +1,205 @@
+//! The live metrics endpoint: a Unix socket answering each connection
+//! with one point-in-time Prometheus-text scrape of the daemon.
+//!
+//! ## Isolation contract
+//!
+//! Scrapes must never perturb op processing. The listener is
+//! **non-blocking** and polled *between* ops from the single serving
+//! thread (no thread is spawned — the workspace bans raw threads
+//! outside `crates/par`), so a scrape can only observe daemon state at
+//! op boundaries and the served plan bytes are bit-identical to a
+//! no-scrape run. Writes to an accepted connection carry a short
+//! timeout so a stalled scraper cannot wedge ingestion, and every
+//! failure path (including the registered `serve.metrics.scrape`
+//! fault site) just counts `obs.scrape.errors` and drops the
+//! connection.
+
+use std::io::Write;
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use epplan_fault::FaultAction;
+
+use crate::daemon::Daemon;
+use crate::ServeError;
+
+/// How long a single scrape write may block before the connection is
+/// dropped (the daemon never waits on a slow scraper longer than this
+/// per poll).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Renders the full scrape body for the current daemon state: every
+/// registered counter/gauge/histogram, the windowed latency summary
+/// (shared estimator), and an `epplan_health` line carrying
+/// certification status, drift and WAL/snapshot positions.
+pub fn render_scrape(daemon: &Daemon) -> String {
+    let mut out = epplan_obs::snapshot().to_prometheus();
+    out.push_str(&epplan_obs::prometheus_summary(
+        "serve.window.op_latency_us",
+        &daemon.window_snapshot(),
+        &[0.5, 0.95, 0.99],
+    ));
+    let certified = daemon.certificate().hard_ok();
+    out.push_str("# TYPE epplan_health gauge\n");
+    out.push_str(&format!(
+        "epplan_health{{certified=\"{}\",drift=\"{}\",last_op_id=\"{}\",snapshot_op=\"{}\",wal_pending=\"{}\",slo_burning=\"{}\"}} 1\n",
+        certified,
+        daemon.drift(),
+        daemon.last_op_id(),
+        daemon.snapshot_op(),
+        daemon.wal_pending_ops(),
+        daemon.slo_burning(),
+    ));
+    out.push_str(&format!(
+        "# TYPE epplan_serve_last_op_id gauge\nepplan_serve_last_op_id {}\n",
+        daemon.last_op_id()
+    ));
+    out.push_str(&format!(
+        "# TYPE epplan_serve_snapshot_op gauge\nepplan_serve_snapshot_op {}\n",
+        daemon.snapshot_op()
+    ));
+    out.push_str(&format!(
+        "# TYPE epplan_serve_wal_pending_ops gauge\nepplan_serve_wal_pending_ops {}\n",
+        daemon.wal_pending_ops()
+    ));
+    out
+}
+
+/// A bound, non-blocking metrics socket. Created once at daemon
+/// startup (`--metrics-socket`), polled between ops.
+#[derive(Debug)]
+pub struct MetricsEndpoint {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl MetricsEndpoint {
+    /// Binds the scrape socket at `path` (replacing a stale socket
+    /// file if one exists) and switches it to non-blocking accepts.
+    pub fn bind(path: &Path) -> Result<MetricsEndpoint, ServeError> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path).map_err(|e| {
+            ServeError::io(format!("binding metrics socket {}: {e}", path.display()))
+        })?;
+        listener.set_nonblocking(true).map_err(|e| {
+            ServeError::io(format!(
+                "setting metrics socket {} non-blocking: {e}",
+                path.display()
+            ))
+        })?;
+        Ok(MetricsEndpoint {
+            listener,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The socket path this endpoint is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accepts and answers every pending scrape connection. Never
+    /// blocks on a missing client and never returns an error: scrape
+    /// failures are counted (`obs.scrape.errors`) and dropped so op
+    /// ingestion always continues. Returns the number of scrapes
+    /// answered successfully.
+    pub fn poll(&self, daemon: &Daemon) -> u64 {
+        let mut served = 0u64;
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _addr)) => {
+                    let body = match epplan_fault::point("serve.metrics.scrape") {
+                        // PoisonValue corrupts the payload (the client
+                        // sees garbage); every other action fails the
+                        // scrape outright. Either way the daemon only
+                        // bumps the error counter and moves on.
+                        Some(FaultAction::PoisonValue) => {
+                            epplan_obs::counter_add("obs.scrape.errors", 1);
+                            "!! corrupted scrape !!\n".to_string()
+                        }
+                        Some(_) => {
+                            epplan_obs::counter_add("obs.scrape.errors", 1);
+                            continue; // drop the connection unanswered
+                        }
+                        None => render_scrape(daemon),
+                    };
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                    match stream.write_all(body.as_bytes()).and_then(|()| stream.flush()) {
+                        Ok(()) => {
+                            epplan_obs::counter_add("obs.scrape.requests", 1);
+                            served += 1;
+                        }
+                        Err(_) => epplan_obs::counter_add("obs.scrape.errors", 1),
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    epplan_obs::counter_add("obs.scrape.errors", 1);
+                    break;
+                }
+            }
+        }
+        served
+    }
+}
+
+impl Drop for MetricsEndpoint {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::ServeConfig;
+    use epplan_datagen::{generate, GeneratorConfig};
+    use std::io::Read;
+    use std::os::unix::net::UnixStream;
+
+    fn small_daemon() -> Daemon {
+        let instance = generate(&GeneratorConfig {
+            n_users: 40,
+            n_events: 6,
+            seed: 11,
+            ..GeneratorConfig::default()
+        });
+        Daemon::start(instance, ServeConfig::default(), None)
+            .unwrap_or_else(|e| panic!("daemon start: {e}"))
+    }
+
+    #[test]
+    fn scrape_body_is_valid_prometheus_with_health() {
+        let d = small_daemon();
+        let body = render_scrape(&d);
+        epplan_obs::validate_prometheus(&body)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+        assert!(body.contains("epplan_health{certified=\"true\",drift=\"0\""));
+        assert!(body.contains("# TYPE epplan_serve_window_op_latency_us summary"));
+        assert!(body.contains("epplan_serve_window_op_latency_us{quantile=\"0.99\"}"));
+        assert!(body.contains("epplan_serve_wal_pending_ops 0"));
+    }
+
+    #[test]
+    fn endpoint_answers_pending_connections_and_cleans_up() {
+        let d = small_daemon();
+        let sock = std::env::temp_dir().join(format!(
+            "epplan-scrape-test-{}.sock",
+            std::process::id()
+        ));
+        let ep = MetricsEndpoint::bind(&sock).unwrap_or_else(|e| panic!("bind: {e}"));
+        assert_eq!(ep.poll(&d), 0, "no client yet");
+        let mut client = UnixStream::connect(&sock).unwrap_or_else(|e| panic!("connect: {e}"));
+        assert_eq!(ep.poll(&d), 1);
+        let mut body = String::new();
+        client
+            .read_to_string(&mut body)
+            .unwrap_or_else(|e| panic!("read: {e}"));
+        epplan_obs::validate_prometheus(&body)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+        drop(ep);
+        assert!(!sock.exists(), "socket file removed on drop");
+    }
+}

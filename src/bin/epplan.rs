@@ -18,7 +18,9 @@
 //!              [--op-time-limit-ms 50] [--op-max-iters 100000]
 //!              [--max-retries 3] [--drift-threshold 500]
 //!              [--resolve-time-limit-ms 5000] [--resolve-max-iters N]
+//!              [--metrics-socket m.sock] [--slo-p99-us N] [--slo-window-ops 1024]
 //!              [--out plan.json] [--quiet] [--metrics] [--json-metrics]
+//! epplan report --trace trace.jsonl [--perfetto out.json] [--top 20]
 //! ```
 //!
 //! Instances and plans are JSON; operation streams are JSON arrays of
@@ -35,6 +37,18 @@
 //! stream ends with a JSON summary line. With `--state-dir` the daemon
 //! write-ahead-logs every op and snapshots periodically; `--restore`
 //! recovers the pre-crash certified plan from that directory.
+//!
+//! `--metrics-socket` additionally binds a Unix socket that answers
+//! every connection with one point-in-time Prometheus text scrape
+//! (counters, gauges, histograms, sliding-window latency quantiles and
+//! an `epplan_health` line) — polled between ops from the serving
+//! thread, so a slow or dead scraper can never stall ingestion or
+//! perturb the plan. `--slo-p99-us` arms SLO burn accounting over the
+//! last `--slo-window-ops` operations.
+//!
+//! `report` turns a `--trace` JSONL file (from `solve --trace` or
+//! `serve --trace`) into a per-stage self-time table, a critical-path
+//! attribution, and optionally a Perfetto/chrome://tracing JSON file.
 //!
 //! # Exit codes
 //!
@@ -139,7 +153,7 @@ fn fail(class: FailClass, msg: &str) -> ! {
 fn usage() -> ! {
     fail(
         FailClass::Usage,
-        "usage: epplan <generate|solve|validate|apply|example|opstream|serve> [flags]; \
+        "usage: epplan <generate|solve|validate|apply|example|opstream|serve|report> [flags]; \
          run with a subcommand; see crate docs for the flag list",
     )
 }
@@ -196,11 +210,18 @@ fn flag_spec(cmd: &str) -> FlagSpec {
                 "resolve-time-limit-ms",
                 "resolve-max-iters",
                 "crash-after-ops",
+                "metrics-socket",
+                "slo-p99-us",
+                "slo-window-ops",
                 "out",
                 "threads",
                 "trace",
             ],
             boolean: &["restore", "quiet", "metrics", "json-metrics"],
+        },
+        "report" => FlagSpec {
+            value: &["trace", "perfetto", "top", "threads"],
+            boolean: &[],
         },
         _ => usage(),
     }
@@ -624,13 +645,21 @@ fn serve_fail(obs: &ObsConfig, e: &epplan::serve::ServeError) -> ! {
 /// Feeds every op line of `reader` through the daemon, acknowledging
 /// each with one flushed JSON line on `writer` (a client that has read
 /// the ack for op `k` knows `k` is durable and the plan certified).
+///
+/// Pending scrape connections on `metrics` are answered between ops —
+/// never concurrently with one — so a scrape observes a consistent
+/// point-in-time state and cannot perturb the plan.
 fn run_op_stream<R: std::io::BufRead, W: std::io::Write>(
     daemon: &mut epplan::serve::Daemon,
     reader: R,
     writer: &mut W,
     quiet: bool,
+    metrics: Option<&epplan::serve::MetricsEndpoint>,
 ) -> Result<(), epplan::serve::ServeError> {
     use epplan::serve::ServeError;
+    if let Some(ep) = metrics {
+        ep.poll(daemon);
+    }
     for line in reader.lines() {
         let line =
             line.map_err(|e| ServeError::io(format!("reading op stream: {e}")))?;
@@ -646,6 +675,9 @@ fn run_op_stream<R: std::io::BufRead, W: std::io::Write>(
             writeln!(writer, "{json}")
                 .and_then(|()| writer.flush())
                 .map_err(|e| ServeError::io(format!("writing response: {e}")))?;
+        }
+        if let Some(ep) = metrics {
+            ep.poll(daemon);
         }
     }
     Ok(())
@@ -681,7 +713,16 @@ fn cmd_serve(flags: HashMap<String, String>) {
         drift_threshold: parse_u64("drift-threshold"),
         snapshot_every: Some(parse_u64("snapshot-every").unwrap_or(1000)),
         crash_after_ops: parse_u64("crash-after-ops"),
+        slo_p99_us: parse_u64("slo-p99-us"),
+        slo_window_ops: parse_u64("slo-window-ops").unwrap_or(1024).max(1),
     };
+    // A metrics socket implies the metrics registry: scrapes would
+    // otherwise be empty.
+    let metrics_endpoint = flags.get("metrics-socket").map(|path| {
+        epplan::obs::enable_metrics();
+        epplan::serve::MetricsEndpoint::bind(Path::new(path))
+            .unwrap_or_else(|e| fail(FailClass::Io, &e.to_string()))
+    });
     let state_dir = flags.get("state-dir").map(std::path::PathBuf::from);
     let quiet = flags.contains_key("quiet");
     let mut daemon = if flags.contains_key("restore") {
@@ -707,7 +748,13 @@ fn cmd_serve(flags: HashMap<String, String>) {
         let mut writer = stream
             .try_clone()
             .unwrap_or_else(|e| fail(FailClass::Io, &format!("cloning socket stream: {e}")));
-        run_op_stream(&mut daemon, std::io::BufReader::new(stream), &mut writer, quiet)
+        run_op_stream(
+            &mut daemon,
+            std::io::BufReader::new(stream),
+            &mut writer,
+            quiet,
+            metrics_endpoint.as_ref(),
+        )
     } else if let Some(path) = flags.get("ops") {
         let file = std::fs::File::open(path)
             .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot read {path}: {e}")));
@@ -717,14 +764,26 @@ fn cmd_serve(flags: HashMap<String, String>) {
             std::io::BufReader::new(file),
             &mut stdout.lock(),
             quiet,
+            metrics_endpoint.as_ref(),
         )
     } else {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        run_op_stream(&mut daemon, stdin.lock(), &mut stdout.lock(), quiet)
+        run_op_stream(
+            &mut daemon,
+            stdin.lock(),
+            &mut stdout.lock(),
+            quiet,
+            metrics_endpoint.as_ref(),
+        )
     };
     if let Err(e) = result {
         serve_fail(&obs, &e);
+    }
+    // One last poll so a scraper connecting right at end-of-stream
+    // still gets the final state before the socket is torn down.
+    if let Some(ep) = &metrics_endpoint {
+        ep.poll(&daemon);
     }
     let summary = daemon.summary();
     println!("{}", to_json(&summary, false));
@@ -740,6 +799,77 @@ fn cmd_serve(flags: HashMap<String, String>) {
             FailClass::Infeasible,
             "final plan failed certification (this is a bug: serve must never expose uncertified state)",
         );
+    }
+}
+
+/// One line of a `--trace` JSONL file, mirroring the `JsonlSink`
+/// schema. Numeric fields default to 0 so hand-trimmed traces (or
+/// future schema extensions) still parse.
+#[derive(serde::Deserialize)]
+struct TraceLine {
+    ts: u64,
+    id: u64,
+    #[serde(default)]
+    parent: Option<u64>,
+    span: String,
+    #[serde(default)]
+    dur_us: u64,
+    #[serde(default)]
+    iters: u64,
+    #[serde(default)]
+    mem_peak_bytes: u64,
+    #[serde(default)]
+    alloc_calls: u64,
+}
+
+fn cmd_report(flags: HashMap<String, String>) {
+    let path = flags
+        .get("trace")
+        .unwrap_or_else(|| fail(FailClass::Usage, "--trace <trace.jsonl> is required"));
+    let top: usize = flags
+        .get("top")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(FailClass::Usage, "bad --top (want a positive integer)"))
+        })
+        .unwrap_or(20);
+    let data = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot read trace {path}: {e}")));
+    let mut events: Vec<epplan::obs::OwnedTraceEvent> = Vec::new();
+    for (idx, line) in data.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let t: TraceLine = serde_json::from_str(line).unwrap_or_else(|e| {
+            fail(
+                FailClass::Parse,
+                &format!("bad trace line {} in {path}: {e}", idx + 1),
+            )
+        });
+        events.push(epplan::obs::OwnedTraceEvent {
+            ts_us: t.ts,
+            id: t.id,
+            parent: t.parent,
+            span: t.span,
+            dur_us: t.dur_us,
+            iters: t.iters,
+            mem_peak_delta: t.mem_peak_bytes,
+            alloc_calls: t.alloc_calls,
+        });
+    }
+    if events.is_empty() {
+        fail(FailClass::Parse, &format!("trace {path} holds no events"));
+    }
+    println!("{} span(s) in {path}", events.len());
+    let rows = epplan::obs::self_time(&events);
+    println!("\n{}", epplan::obs::render_self_time(&rows, top));
+    let cp = epplan::obs::critical_path(&events);
+    println!("{}", epplan::obs::render_critical_path(&cp, top));
+    if let Some(out) = flags.get("perfetto") {
+        std::fs::write(out, epplan::obs::perfetto_json(&events))
+            .unwrap_or_else(|e| fail(FailClass::Io, &format!("cannot write {out}: {e}")));
+        println!("wrote {out} (load in ui.perfetto.dev or chrome://tracing)");
     }
 }
 
@@ -763,6 +893,7 @@ fn main() {
         "example" => cmd_example(flags),
         "opstream" => cmd_opstream(flags),
         "serve" => cmd_serve(flags),
+        "report" => cmd_report(flags),
         _ => usage(),
     }
 }

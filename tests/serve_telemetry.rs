@@ -1,0 +1,362 @@
+//! Telemetry-plane contract of `epplan serve`:
+//!
+//! * `--metrics-socket` answers every connection with one valid
+//!   Prometheus text scrape — mid-stream, from the serving thread —
+//!   including windowed latency quantiles and an `epplan_health` line;
+//! * scraping must not perturb the plan: the `--out` bytes are
+//!   bit-identical to a no-scrape run, at `EPPLAN_THREADS` 1 and 4;
+//! * a faulted scrape (`serve.metrics.scrape`) is dropped or corrupted
+//!   on the wire but never stalls ingestion or changes the plan;
+//! * the daemon's windowed quantiles agree with the shared
+//!   `HistogramSnapshot` estimator replayed over the recorded latency
+//!   suffix;
+//! * `--slo-p99-us` burn accounting surfaces in per-op acks and the
+//!   final summary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_epplan"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("epplan-telemetry-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates a small instance + sequenced op stream into `dir`.
+fn make_fixture(dir: &Path, n_ops: usize) -> (PathBuf, PathBuf) {
+    let inst = dir.join("inst.json");
+    let ops = dir.join("ops.jsonl");
+    let out = bin()
+        .args(["generate", "--users", "60", "--events", "8", "--seed", "11"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["opstream", "--instance", inst.to_str().unwrap()])
+        .args(["--count", &n_ops.to_string(), "--seed", "23"])
+        .args(["--out", ops.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    (inst, ops)
+}
+
+/// Reference run: whole stream from a file, no metrics socket; returns
+/// the certified plan bytes.
+fn reference_plan(dir: &Path, inst: &Path, ops: &Path, threads: &str) -> Vec<u8> {
+    let plan = dir.join(format!("plan-ref-{threads}.json"));
+    let out = bin()
+        .args(["serve", "--instance", inst.to_str().unwrap()])
+        .args(["--ops", ops.to_str().unwrap()])
+        .args(["--out", plan.to_str().unwrap()])
+        .arg("--quiet")
+        .env("EPPLAN_THREADS", threads)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"certified\":true"));
+    std::fs::read(&plan).unwrap()
+}
+
+/// Spawns `epplan serve --socket --metrics-socket`, waits for both
+/// sockets to come up, and returns the child plus a connected op
+/// stream.
+fn spawn_socket_daemon(
+    inst: &Path,
+    ops_sock: &Path,
+    metrics_sock: &Path,
+    plan_out: &Path,
+    threads: &str,
+    fault: Option<&str>,
+) -> (Child, UnixStream) {
+    let mut cmd = bin();
+    cmd.args(["serve", "--instance", inst.to_str().unwrap()])
+        .args(["--socket", ops_sock.to_str().unwrap()])
+        .args(["--metrics-socket", metrics_sock.to_str().unwrap()])
+        .args(["--out", plan_out.to_str().unwrap()])
+        .env("EPPLAN_THREADS", threads)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(spec) = fault {
+        cmd.env("EPPLAN_FAULTS", spec);
+    }
+    let child = cmd.spawn().unwrap();
+    // The daemon binds the metrics socket before accepting ops; wait
+    // for the ops socket to accept a connection.
+    let mut stream = None;
+    for _ in 0..200 {
+        if let Ok(s) = UnixStream::connect(ops_sock) {
+            stream = Some(s);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stream = stream.expect("ops socket never came up");
+    assert!(metrics_sock.exists(), "metrics socket not bound");
+    (child, stream)
+}
+
+/// Connects to the metrics socket and reads one whole scrape. The
+/// daemon only answers between ops, so `kick` is called after
+/// connecting to push one op through (unblocking the poll).
+fn scrape(metrics_sock: &Path, mut kick: impl FnMut()) -> String {
+    let mut conn = UnixStream::connect(metrics_sock).expect("connect metrics socket");
+    conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    kick();
+    let mut text = String::new();
+    conn.read_to_string(&mut text).expect("read scrape");
+    text
+}
+
+fn socket_run_with_scrapes(
+    dir: &Path,
+    inst: &Path,
+    ops: &Path,
+    threads: &str,
+    fault: Option<&str>,
+) -> (Vec<u8>, Vec<String>) {
+    let tag = fault.map(|_| "fault").unwrap_or("clean");
+    let ops_sock = dir.join(format!("ops-{tag}-{threads}.sock"));
+    let metrics_sock = dir.join(format!("metrics-{tag}-{threads}.sock"));
+    let plan = dir.join(format!("plan-{tag}-{threads}.json"));
+    let op_lines: Vec<String> = std::fs::read_to_string(ops)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect();
+    let (mut child, stream) =
+        spawn_socket_daemon(inst, &ops_sock, &metrics_sock, &plan, threads, fault);
+    let mut writer = stream.try_clone().unwrap();
+    let mut acks = BufReader::new(stream).lines();
+    let mut send_op = |i: usize| {
+        writeln!(writer, "{}", op_lines[i]).unwrap();
+        writer.flush().unwrap();
+        let ack = acks.next().unwrap().unwrap();
+        assert!(ack.contains("\"id\":"), "not an ack: {ack}");
+        assert!(
+            ack.contains("\"slo_burning\":"),
+            "acks must carry the SLO flag: {ack}"
+        );
+    };
+    // Warm up, then scrape mid-stream (twice — the second proves the
+    // endpoint survives its first client), then drain the stream.
+    let mut scrapes = Vec::new();
+    let mut next = 0usize;
+    for _ in 0..10 {
+        send_op(next);
+        next += 1;
+    }
+    scrapes.push(scrape(&metrics_sock, || {
+        send_op(next);
+        next += 1;
+    }));
+    for _ in 0..5 {
+        send_op(next);
+        next += 1;
+    }
+    scrapes.push(scrape(&metrics_sock, || {
+        send_op(next);
+        next += 1;
+    }));
+    while next < op_lines.len() {
+        send_op(next);
+        next += 1;
+    }
+    drop(writer);
+    drop(acks); // closes the ops socket: the daemon finishes and exits
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon exit: {status:?}");
+    assert!(
+        !metrics_sock.exists(),
+        "metrics socket file must be removed on shutdown"
+    );
+    (std::fs::read(&plan).unwrap(), scrapes)
+}
+
+fn scrape_matrix_for(threads: &str) {
+    let dir = tmp_dir(&format!("scrape-{threads}"));
+    let (inst, ops) = make_fixture(&dir, 40);
+    let reference = reference_plan(&dir, &inst, &ops, threads);
+
+    let (plan, scrapes) = socket_run_with_scrapes(&dir, &inst, &ops, threads, None);
+    assert_eq!(
+        plan, reference,
+        "scraping must not perturb the plan (threads {threads})"
+    );
+    for text in &scrapes {
+        epplan::obs::validate_prometheus(text)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n---\n{text}"));
+        assert!(text.contains("epplan_serve_ops "), "ops counter missing:\n{text}");
+        assert!(
+            text.contains("epplan_serve_op_latency_us_bucket{le="),
+            "latency histogram missing:\n{text}"
+        );
+        assert!(
+            text.contains("epplan_serve_window_op_latency_us{quantile=\"0.99\"}"),
+            "windowed quantiles missing:\n{text}"
+        );
+        assert!(
+            text.contains("epplan_health{certified=\"true\""),
+            "health line missing or uncertified:\n{text}"
+        );
+        assert!(text.contains("epplan_serve_wal_pending_ops"), "WAL gauge missing");
+    }
+    // The second scrape happened later in the stream: its op counter
+    // must be strictly larger.
+    let count = |t: &str| -> u64 {
+        t.lines()
+            .find_map(|l| l.strip_prefix("epplan_serve_ops "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no epplan_serve_ops sample"))
+    };
+    assert!(count(&scrapes[1]) > count(&scrapes[0]));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn midstream_scrape_is_valid_and_plan_invariant_threads_1() {
+    scrape_matrix_for("1");
+}
+
+#[test]
+fn midstream_scrape_is_valid_and_plan_invariant_threads_4() {
+    scrape_matrix_for("4");
+}
+
+/// Chaos leg: the first scrape hits the registered
+/// `serve.metrics.scrape` fault site (`@1`). `error` drops the
+/// connection unanswered; `nan` writes a corrupted body. Either way
+/// ingestion finishes, the *next* scrape recovers (and reports the
+/// failure via `obs.scrape.errors`), and the plan is bit-identical to
+/// the reference.
+#[test]
+fn faulted_scrape_never_stalls_ingestion_or_changes_the_plan() {
+    let dir = tmp_dir("chaos");
+    let (inst, ops) = make_fixture(&dir, 40);
+    let reference = reference_plan(&dir, &inst, &ops, "1");
+
+    let (plan, scrapes) =
+        socket_run_with_scrapes(&dir, &inst, &ops, "1", Some("serve.metrics.scrape@1=error"));
+    assert_eq!(plan, reference, "dropped scrape must not change the plan");
+    assert!(
+        scrapes[0].is_empty(),
+        "faulted scrape should be dropped, got:\n{}",
+        scrapes[0]
+    );
+    epplan::obs::validate_prometheus(&scrapes[1])
+        .unwrap_or_else(|e| panic!("endpoint must recover after a fault: {e}"));
+    assert!(
+        scrapes[1].contains("epplan_obs_scrape_errors 1"),
+        "recovered scrape must report the earlier failure:\n{}",
+        scrapes[1]
+    );
+
+    let (plan, scrapes) =
+        socket_run_with_scrapes(&dir, &inst, &ops, "1", Some("serve.metrics.scrape@1=nan"));
+    assert_eq!(plan, reference, "corrupted scrape must not change the plan");
+    assert!(
+        scrapes[0].contains("corrupted scrape"),
+        "poisoned scrape should be visibly corrupt, got:\n{}",
+        scrapes[0]
+    );
+    assert!(
+        epplan::obs::validate_prometheus(&scrapes[0]).is_err(),
+        "poisoned scrape must NOT validate"
+    );
+    epplan::obs::validate_prometheus(&scrapes[1])
+        .unwrap_or_else(|e| panic!("endpoint must recover after poison: {e}"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Library leg: the daemon's windowed quantiles must agree with the
+/// shared estimator replayed over the recorded latency suffix — at
+/// worker counts 1 and 4 (the window is fed from the single serving
+/// thread either way).
+#[test]
+fn windowed_quantiles_match_shared_estimator_on_recorded_suffix() {
+    use epplan::core::solver::{GepcSolver, GreedySolver};
+    use epplan::serve::{Daemon, ServeConfig};
+    for threads in [1usize, 4] {
+        epplan::par::set_threads(threads);
+        let instance = epplan::datagen::generate(&epplan::datagen::GeneratorConfig {
+            n_users: 60,
+            n_events: 8,
+            seed: 11,
+            ..Default::default()
+        });
+        let plan = GreedySolver::seeded(23).solve(&instance).plan;
+        let mut sampler = epplan::datagen::OpStreamSampler::new(23);
+        let ops = sampler.sequenced_stream(&instance, &plan, 150, 1);
+        let config = ServeConfig {
+            slo_window_ops: 64,
+            ..Default::default()
+        };
+        let mut daemon = Daemon::start(instance, config, None).unwrap();
+        for sop in &ops {
+            daemon.process(sop).unwrap();
+        }
+        let latencies = &daemon.stats().latencies_us;
+        let n = daemon.window_len() as usize;
+        assert!(n > 0 && n <= 64, "window length out of range: {n}");
+        assert!(latencies.len() >= n);
+        // Count-driven rotation retains exactly the latency suffix.
+        let suffix = &latencies[latencies.len() - n..];
+        let exact = epplan::obs::HistogramSnapshot::from_values_pow2(suffix);
+        for p in [0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(
+                daemon.window_quantile(p),
+                exact.quantile(p),
+                "window p{p} disagrees with the shared estimator (threads {threads})"
+            );
+        }
+    }
+}
+
+/// An impossible SLO (p99 ≤ 1µs) must burn: flagged acks, a burn
+/// counter in the summary, and windowed quantiles in the summary JSON.
+#[test]
+fn slo_burn_surfaces_in_acks_and_summary() {
+    let dir = tmp_dir("slo");
+    let (inst, ops) = make_fixture(&dir, 30);
+    let out = bin()
+        .args(["serve", "--instance", inst.to_str().unwrap()])
+        .args(["--ops", ops.to_str().unwrap()])
+        .args(["--slo-p99-us", "1", "--slo-window-ops", "16"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"slo_burning\":true"),
+        "acks must flag the burn: {stdout}"
+    );
+    let summary = stdout
+        .lines()
+        .find(|l| l.contains("\"slo_burning_ops\""))
+        .unwrap_or_else(|| panic!("no summary line: {stdout}"));
+    assert!(summary.contains("\"window_p99_us\""), "summary: {summary}");
+    // Every op except the very first (which sees an empty window
+    // before its own latency lands... it still observes itself first)
+    // should count as burning against a 1µs target.
+    let burning: u64 = summary
+        .split("\"slo_burning_ops\":")
+        .nth(1)
+        .and_then(|s| {
+            s.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|d| d.parse().ok())
+        })
+        .unwrap();
+    assert!(burning > 0, "burn counter stayed zero: {summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
