@@ -674,10 +674,26 @@ fn bench_cell(inst: &Instance, threads: usize) -> BenchCell {
     }
 }
 
+/// Candidate-pruned generator configs for the `|U| ≥ 10⁵` scale rows.
+/// The travel-budget window shrinks with the grid so each user sees
+/// tens of events instead of all of them; the dense utility layout
+/// would need `|U|·|E| ≥ 2·10¹⁰` μ-cells at the top cell, which is
+/// exactly what the CSR instance layout exists to avoid.
+fn scale_config(n_users: usize, n_events: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        n_users,
+        n_events,
+        candidate_pruned: true,
+        budget_frac: if n_events >= 500 { (0.2, 0.4) } else { (0.3, 0.5) },
+        ..GeneratorConfig::default()
+    }
+}
+
 /// Serial-vs-parallel GEPC baseline: the MW GAP pipeline at `threads=1`
-/// and `threads=n` on the Fig-2 |U| grid at |E|=50. Returns the JSON
-/// document committed as `BENCH_gepc.json`. Parallel runs must produce
-/// the same plan utility as serial ones (the `epplan-par` determinism
+/// and `threads=n` on the Fig-2 |U| grid at |E|=50, plus the
+/// candidate-pruned 10⁵/10⁶ scale cells. Returns the JSON document
+/// committed as `BENCH_gepc.json`. Parallel runs must produce the same
+/// plan utility as serial ones (the `epplan-par` determinism
 /// contract); each summary row records that check's outcome.
 pub fn bench_gepc(opts: &HarnessOptions, threads: usize) -> String {
     // Stage aggregates only accumulate while metrics are on.
@@ -692,10 +708,23 @@ pub fn bench_gepc(opts: &HarnessOptions, threads: usize) -> String {
     } else {
         &[(500, 50), (1000, 50), (5000, 50), (10000, 50)]
     };
+    let mut cells: Vec<(usize, usize, GeneratorConfig)> = grid
+        .iter()
+        .map(|&(u, e)| (u, e, GeneratorConfig::default().cutout(u, e)))
+        .collect();
+    if !opts.quick {
+        for (u, e) in [(100_000, 200), (1_000_000, 500)] {
+            cells.push((u, e, scale_config(u, e)));
+        }
+    }
     let mut rows = String::new();
     let mut summary = String::new();
-    for (i, &(users, events)) in grid.iter().enumerate() {
-        let inst = generate(&GeneratorConfig::default().cutout(users, events));
+    for (i, (users, events, cfg)) in cells.iter().enumerate() {
+        let (users, events) = (*users, *events);
+        let inst = generate(cfg);
+        // Mean candidate-list length: the row that explains the wall
+        // clock of every sparse-path stage.
+        let cand_density = inst.candidates().len() as f64 / (inst.n_users().max(1)) as f64;
         let serial = bench_cell(&inst, 1);
         let parallel = if threads > 1 {
             bench_cell(&inst, threads)
@@ -708,6 +737,7 @@ pub fn bench_gepc(opts: &HarnessOptions, threads: usize) -> String {
             }
             rows.push_str(&format!(
                 "    {{\"users\": {users}, \"events\": {events}, \"threads\": {}, \
+                 \"cand_density\": {cand_density:.3}, \
                  \"utility\": {:.6}, \"wall_s\": {:.6}, \"mem_mib\": {:.3}, \
                  \"packing_wall_s\": {:.6}}}",
                 c.threads, c.utility, c.wall_s, c.mem_mib, c.packing_wall_s

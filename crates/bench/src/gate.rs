@@ -331,6 +331,21 @@ pub fn compare(
                 status: timing_status(worse),
             });
         }
+        // mem_mib: peak resident memory, lower is better. Timing-class:
+        // allocator and machine effects make it environment-sensitive,
+        // so it shares the tolerance and the same-machine downgrade.
+        if let (Some(c), Some(fr)) = (num(base, "mem_mib"), num(row, "mem_mib")) {
+            let worse = if c > 0.0 { fr / c - 1.0 } else { 0.0 };
+            out.checks.push(GateCheck {
+                file: file.to_string(),
+                key: key.clone(),
+                metric: "mem_mib",
+                committed: c,
+                fresh: fr,
+                worse_pct: worse * 100.0,
+                status: timing_status(worse),
+            });
+        }
         // ops_per_sec: higher is better.
         if let (Some(c), Some(fr)) = (num(base, "ops_per_sec"), num(row, "ops_per_sec")) {
             let worse = if c > 0.0 { 1.0 - fr / c } else { 0.0 };
@@ -462,6 +477,60 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.metric == "utility" && c.status == GateStatus::Fail));
+    }
+
+    #[test]
+    fn mem_regression_fails_within_machine_only() {
+        let base = parse_bench(
+            "{\"machine_cores\": 4, \"rows\": [{\"users\": 500, \"events\": 50, \
+             \"threads\": 1, \"mem_mib\": 100.0}]}",
+        )
+        .unwrap();
+        let fresh = |mem: f64, cores: u64| {
+            parse_bench(&format!(
+                "{{\"machine_cores\": {cores}, \"rows\": [{{\"users\": 500, \
+                 \"events\": 50, \"threads\": 1, \"mem_mib\": {mem}}}]}}"
+            ))
+            .unwrap()
+        };
+        // 10% growth inside a 15% tolerance: fine.
+        assert!(compare("B", &base, &fresh(110.0, 4), 0.15, false).passed());
+        // 30% growth on the same machine: fail.
+        let bad = compare("B", &base, &fresh(130.0, 4), 0.15, false);
+        assert!(!bad.passed());
+        assert!(bad
+            .checks
+            .iter()
+            .any(|c| c.metric == "mem_mib" && c.status == GateStatus::Fail));
+        // Cross-machine: warning only.
+        let cross = compare("B", &base, &fresh(130.0, 16), 0.15, false);
+        assert!(cross.passed(), "{cross}");
+        assert!(cross
+            .checks
+            .iter()
+            .any(|c| c.metric == "mem_mib" && c.status == GateStatus::Warn));
+    }
+
+    #[test]
+    fn brand_new_grid_rows_are_additive_not_a_coverage_failure() {
+        // A fresh run that extends the grid (e.g. first-ever 10^5/10^6
+        // scale rows) must pass as long as at least one committed row
+        // is still covered — new cells are additions, not regressions.
+        let base = parse_bench(BASE).unwrap();
+        let extended = parse_bench(
+            "{\"machine_cores\": 4, \"rows\": [\
+             {\"users\": 500, \"events\": 50, \"threads\": 1, \"ops_per_sec\": 100.0, \
+              \"utility\": 10.5, \"certified\": true},\
+             {\"users\": 100000, \"events\": 200, \"threads\": 1, \"ops_per_sec\": 5.0, \
+              \"utility\": 999.0, \"certified\": true},\
+             {\"users\": 1000000, \"events\": 500, \"threads\": 1, \"ops_per_sec\": 0.5, \
+              \"utility\": 9999.0, \"certified\": true}]}",
+        )
+        .unwrap();
+        let out = compare("B", &base, &extended, 0.15, false);
+        assert!(out.passed(), "{out}");
+        assert_eq!(out.matched_rows, 1);
+        assert_eq!(out.unmatched_rows, 2);
     }
 
     #[test]

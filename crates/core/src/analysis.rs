@@ -80,7 +80,7 @@ mod tests {
             Event::new(Point::new(10.0, 0.0), 0, 1, TimeInterval::new(40, 50)),
         ];
         let n = users.len();
-        Instance::new(users, events, UtilityMatrix::zeros(n, 3))
+        Instance::new(users, events, UtilityMatrix::zeros(n, 3)).unwrap()
     }
 
     #[test]

@@ -109,8 +109,8 @@ mod tests {
             vec![0.9, 0.4],
             vec![0.7, 0.8],
             vec![0.5, 0.0], // zero utility for (u2, e1)
-        ]);
-        Instance::new(users, events, utilities)
+        ]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]

@@ -61,8 +61,8 @@ mod tests {
             vec![0.9, 0.5],
             vec![0.6, 0.8],
             vec![0.3, 0.7],
-        ]);
-        let instance = Instance::new(users, events, utilities);
+        ]).unwrap();
+        let instance = Instance::new(users, events, utilities).unwrap();
         let mut plan = Plan::for_instance(&instance);
         for u in instance.user_ids() {
             plan.add(u, EventId(0));

@@ -758,8 +758,8 @@ mod tests {
             vec![0.7, 0.8, 0.5],
             vec![0.5, 0.4, 0.9],
             vec![0.3, 0.7, 0.6],
-        ]);
-        let instance = Instance::new(users, events, utilities);
+        ]).unwrap();
+        let instance = Instance::new(users, events, utilities).unwrap();
         let plan = GreedySolver::seeded(11).solve(&instance).plan;
         (instance, plan)
     }

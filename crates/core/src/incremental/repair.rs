@@ -181,8 +181,8 @@ mod tests {
             vec![0.9, 0.5, 0.3],
             vec![0.4, 0.8, 0.6],
             vec![0.2, 0.3, 0.7],
-        ]);
-        Instance::new(users, events, utilities)
+        ]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]

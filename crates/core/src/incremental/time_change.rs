@@ -114,8 +114,8 @@ mod tests {
             vec![0.9, 0.8],
             vec![0.5, 0.4],
             vec![0.3, 0.2],
-        ]);
-        let instance = Instance::new(users, events, utilities);
+        ]).unwrap();
+        let instance = Instance::new(users, events, utilities).unwrap();
         let mut plan = Plan::for_instance(&instance);
         plan.add(UserId(0), EventId(0));
         plan.add(UserId(0), EventId(1));

@@ -68,8 +68,8 @@ mod tests {
             vec![0.7, 0.8], // Δ to e0 = −0.1
             vec![0.4, 0.6], // Δ to e0 = −0.2
             vec![0.2, 0.5], // Δ to e0 = −0.3
-        ]);
-        let instance = Instance::new(users, events, utilities);
+        ]).unwrap();
+        let instance = Instance::new(users, events, utilities).unwrap();
         let mut plan = Plan::for_instance(&instance);
         for u in instance.user_ids() {
             plan.add(u, EventId(1));

@@ -95,7 +95,11 @@ impl InstanceBuilder {
             );
             matrix.set(u, e, v);
         }
-        Instance::new(self.users, self.events, matrix)
+        match Instance::new(self.users, self.events, matrix) {
+            Ok(inst) => inst,
+            // The matrix was sized from these exact user/event lists.
+            Err(_) => unreachable!("builder matrix is rectangular by construction"),
+        }
     }
 
     /// Finalizes the instance under strict validation, returning a

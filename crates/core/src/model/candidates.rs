@@ -1,0 +1,303 @@
+//! Per-user candidate lists in a flat CSR/SoA arena.
+//!
+//! The paper's pruning `Uc_i` observes that a user `u_i` can only ever
+//! attend events within `B_i / 2` of home (a round trip costs at least
+//! twice the one-way distance, and fees are non-negative), and only
+//! events with `μ > 0`. [`CandidateSet`] materializes exactly that set
+//! per user, in one contiguous arena — the structure every hot solver
+//! path iterates instead of the full `|U| × |E|` matrix.
+//!
+//! Candidate membership is the *canonical predicate*
+//! `μ(u, e) > 0 ∧ 2·d(u, e) + fee(e) ≤ B_u + 1e-9`, the same float
+//! expression as single-event feasibility in
+//! [`Instance::can_attend_with`]. By the triangle inequality any
+//! feasible attendance set containing `e` costs at least
+//! `2·d(u, e) + fee(e)`, so pruning non-candidates is lossless: no
+//! solver stage can ever want an event outside the list.
+//!
+//! Derivation probes the geo grid index per user when the instance has
+//! enough events to pay for it, and falls back to a direct row scan
+//! otherwise (and always for CSR-stored utility matrices, whose rows
+//! already are candidate-shaped). Both strategies apply the same
+//! predicate and emit events in ascending id order, so the resulting
+//! lists are identical — a property pinned by tests below.
+
+use crate::model::{EventId, Instance, UserId};
+use epplan_geo::GridIndex;
+
+/// Below this many events a per-user grid probe costs more than just
+/// scanning the row.
+const GRID_MIN_EVENTS: usize = 32;
+/// Users per parallel build chunk (fixed boundaries — thread-count
+/// independent, so the arena bytes are too).
+const BUILD_MIN_CHUNK: usize = 64;
+
+/// Per-user candidate event lists in one flat CSR arena.
+///
+/// Row `u` owns `event_ids/utilities[row_offsets[u]..row_offsets[u+1]]`,
+/// event ids strictly ascending within a row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSet {
+    row_offsets: Vec<u32>,
+    event_ids: Vec<u32>,
+    utilities: Vec<f64>,
+    n_events: usize,
+}
+
+/// The canonical candidate predicate (see the module docs). Every
+/// derivation strategy must evaluate exactly this expression — as must
+/// any caller that scans a dense row *in lieu of* a candidate row (the
+/// filler's restricted repair mode), or the two paths drift apart.
+#[inline]
+pub(crate) fn is_candidate(instance: &Instance, u: UserId, e: EventId, mu: f64) -> bool {
+    mu > 0.0
+        && 2.0 * instance.distance(u, e) + instance.event(e).fee
+            <= instance.user(u).budget + 1e-9
+}
+
+impl CandidateSet {
+    /// Derives the candidate lists for `instance`, choosing between a
+    /// grid probe of each user's `B_i/2` window and a dense row scan.
+    pub fn build(instance: &Instance) -> Self {
+        let use_grid =
+            !instance.utilities().is_sparse() && instance.n_events() >= GRID_MIN_EVENTS;
+        let grid = if use_grid {
+            let venues: Vec<_> = instance.events().iter().map(|e| e.location).collect();
+            Some(GridIndex::build(&venues))
+        } else {
+            None
+        };
+        Self::build_with(instance, grid.as_ref())
+    }
+
+    fn build_with(instance: &Instance, grid: Option<&GridIndex>) -> Self {
+        let n_users = instance.n_users();
+        let parts = epplan_par::par_range_map(n_users, BUILD_MIN_CHUNK, |range| {
+            let mut lens: Vec<u32> = Vec::with_capacity(range.len());
+            let mut ids: Vec<u32> = Vec::new();
+            let mut utils: Vec<f64> = Vec::new();
+            let mut probe: Vec<usize> = Vec::new();
+            for u in range {
+                let user = UserId(u as u32);
+                let before = ids.len();
+                match grid {
+                    Some(grid) => {
+                        // Superset window: 2d + fee ≤ B + 1e-9 with
+                        // fee ≥ 0 implies d ≤ B/2 + 1e-9.
+                        let radius = instance.user(user).budget * 0.5 + 1e-9;
+                        probe.clear();
+                        grid.for_each_within(&instance.user(user).location, radius, |i| {
+                            probe.push(i);
+                        });
+                        probe.sort_unstable(); // bucket order → id order
+                        for &i in &probe {
+                            let e = EventId(i as u32);
+                            let mu = instance.utility(user, e);
+                            if is_candidate(instance, user, e, mu) {
+                                ids.push(i as u32);
+                                utils.push(mu);
+                            }
+                        }
+                    }
+                    None => {
+                        instance.utilities().for_each_positive_in_row(user, |e, mu| {
+                            if is_candidate(instance, user, e, mu) {
+                                ids.push(e.0);
+                                utils.push(mu);
+                            }
+                        });
+                    }
+                }
+                lens.push((ids.len() - before) as u32);
+            }
+            (lens, ids, utils)
+        });
+
+        let nnz: usize = parts.iter().map(|(_, ids, _)| ids.len()).sum();
+        assert!(nnz <= u32::MAX as usize, "candidate arena too large");
+        let mut row_offsets = Vec::with_capacity(n_users + 1);
+        let mut event_ids = Vec::with_capacity(nnz);
+        let mut utilities = Vec::with_capacity(nnz);
+        row_offsets.push(0u32);
+        for (lens, ids, utils) in parts {
+            for len in lens {
+                let last = *row_offsets.last().unwrap_or(&0);
+                row_offsets.push(last + len);
+            }
+            event_ids.extend_from_slice(&ids);
+            utilities.extend_from_slice(&utils);
+        }
+        CandidateSet {
+            row_offsets,
+            event_ids,
+            utilities,
+            n_events: instance.n_events(),
+        }
+    }
+
+    /// Number of user rows.
+    pub fn n_users(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of events in the originating instance (not all of which
+    /// necessarily appear as candidates).
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// Total number of `(user, event)` candidate pairs in the arena.
+    pub fn len(&self) -> usize {
+        self.event_ids.len()
+    }
+
+    /// Whether no user has any candidate.
+    pub fn is_empty(&self) -> bool {
+        self.event_ids.is_empty()
+    }
+
+    /// Mean candidates per user — the density the bench grids report.
+    pub fn density(&self) -> f64 {
+        if self.n_users() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.n_users() as f64
+        }
+    }
+
+    /// The arena range owned by one user's row.
+    #[inline]
+    pub fn row_range(&self, u: UserId) -> std::ops::Range<usize> {
+        self.row_offsets[u.index()] as usize..self.row_offsets[u.index() + 1] as usize
+    }
+
+    /// One user's candidate events and their utilities, ids ascending.
+    #[inline]
+    pub fn row(&self, u: UserId) -> (&[u32], &[f64]) {
+        let r = self.row_range(u);
+        (&self.event_ids[r.clone()], &self.utilities[r])
+    }
+
+    /// The full event-id arena (all rows concatenated).
+    pub fn event_ids(&self) -> &[u32] {
+        &self.event_ids
+    }
+
+    /// The full utility arena, parallel to [`Self::event_ids`].
+    pub fn utilities(&self) -> &[f64] {
+        &self.utilities
+    }
+
+    /// The CSR row-offset prefix array, `n_users + 1` long.
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// Whether `e` is a candidate for `u` (binary search of the row).
+    pub fn contains(&self, u: UserId, e: EventId) -> bool {
+        let (ids, _) = self.row(u);
+        ids.binary_search(&e.0).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, TimeInterval, User, UtilityMatrix};
+    use epplan_geo::Point;
+
+    fn scattered_instance(n_users: usize, n_events: usize) -> Instance {
+        // Deterministic splitmix-style scatter, no external RNG.
+        let mut state = 0x9e37u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let users: Vec<User> = (0..n_users)
+            .map(|_| {
+                User::new(
+                    Point::new(next() * 100.0, next() * 100.0),
+                    5.0 + next() * 40.0,
+                )
+            })
+            .collect();
+        let events: Vec<Event> = (0..n_events)
+            .map(|i| {
+                Event::new(
+                    Point::new(next() * 100.0, next() * 100.0),
+                    0,
+                    4,
+                    TimeInterval::new(i as u32 * 10, i as u32 * 10 + 5),
+                )
+                .with_fee(if i % 3 == 0 { next() * 3.0 } else { 0.0 })
+            })
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..n_users)
+            .map(|_| {
+                (0..n_events)
+                    .map(|j| if j % 4 == 0 { 0.0 } else { (next() * 100.0).round() / 100.0 })
+                    .collect()
+            })
+            .collect();
+        Instance::new(users, events, UtilityMatrix::from_rows(rows).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grid_probe_matches_dense_scan_exactly() {
+        let inst = scattered_instance(40, 48);
+        let venues: Vec<_> = inst.events().iter().map(|e| e.location).collect();
+        let grid = GridIndex::build(&venues);
+        let via_grid = CandidateSet::build_with(&inst, Some(&grid));
+        let via_scan = CandidateSet::build_with(&inst, None);
+        assert_eq!(via_grid, via_scan);
+        assert!(!via_grid.is_empty());
+    }
+
+    #[test]
+    fn rows_are_ascending_and_satisfy_the_predicate() {
+        let inst = scattered_instance(25, 48);
+        let cs = CandidateSet::build(&inst);
+        assert_eq!(cs.n_users(), 25);
+        assert_eq!(cs.n_events(), 48);
+        for u in inst.user_ids() {
+            let (ids, utils) = cs.row(u);
+            for w in ids.windows(2) {
+                assert!(w[0] < w[1], "row of {u} not strictly ascending");
+            }
+            for (&e, &mu) in ids.iter().zip(utils) {
+                let e = EventId(e);
+                assert_eq!(mu, inst.utility(u, e));
+                assert!(is_candidate(&inst, u, e, mu));
+            }
+        }
+        // Completeness: everything passing the predicate is present.
+        for u in inst.user_ids() {
+            for e in inst.event_ids() {
+                if is_candidate(&inst, u, e, inst.utility(u, e)) {
+                    assert!(cs.contains(u, e), "missing candidate ({u}, {e})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_set_is_thread_count_invariant() {
+        let inst = scattered_instance(150, 48);
+        let prev = epplan_par::threads();
+        epplan_par::set_threads(1);
+        let at1 = CandidateSet::build(&inst);
+        epplan_par::set_threads(4);
+        let at4 = CandidateSet::build(&inst);
+        epplan_par::set_threads(prev);
+        assert_eq!(at1, at4);
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_arena() {
+        let inst = Instance::new(vec![], vec![], UtilityMatrix::zeros(0, 0)).unwrap();
+        let cs = CandidateSet::build(&inst);
+        assert_eq!(cs.n_users(), 0);
+        assert!(cs.is_empty());
+        assert_eq!(cs.density(), 0.0);
+    }
+}

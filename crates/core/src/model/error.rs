@@ -1,14 +1,14 @@
 //! Typed construction-time rejection of malformed instances.
 //!
-//! The positional constructors ([`Instance::new`],
-//! [`InstanceBuilder::build`]) keep their historical panicking
-//! contracts for programmatic callers whose inputs are statically
-//! known. Data that crosses a trust boundary — deserialized instance
-//! files, generated workloads — goes through [`Instance::try_new`] /
-//! [`InstanceBuilder::try_build`] instead, which reject every way an
-//! instance can be silently broken: NaN or out-of-range utilities,
-//! non-positive budgets, inverted time intervals, `η < ξ`, negative
-//! fees, non-finite coordinates, and shape mismatches.
+//! Shape mismatches are typed errors everywhere: [`Instance::new`] and
+//! `UtilityMatrix::from_rows` return [`InstanceError::ShapeMismatch`]
+//! rather than panicking (the PR 1 no-panic contract). Data that
+//! crosses a trust boundary — deserialized instance files, generated
+//! workloads — additionally goes through [`Instance::try_new`] /
+//! [`InstanceBuilder::try_build`], which reject every way an instance
+//! can be silently broken: NaN or out-of-range utilities, non-positive
+//! budgets, inverted time intervals, `η < ξ`, negative fees,
+//! non-finite coordinates, and corrupt sparse utility storage.
 //!
 //! [`Instance::new`]: crate::model::Instance::new
 //! [`Instance::try_new`]: crate::model::Instance::try_new

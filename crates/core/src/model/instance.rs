@@ -1,6 +1,9 @@
-use crate::model::{Event, EventId, InstanceError, TimeInterval, User, UserId, UtilityMatrix};
+use crate::model::{
+    CandidateSet, Event, EventId, InstanceError, TimeInterval, User, UserId, UtilityMatrix,
+};
 use epplan_geo::Point;
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A complete EBSN problem instance: the users `U`, the events `E`,
 /// and the utility matrix `μ` (Section II of the paper).
@@ -10,24 +13,75 @@ use serde::{Deserialize, Serialize};
 /// ([`UserId`], [`EventId`]) into it. Incremental (IEP) atomic
 /// operations mutate a cloned instance through the `set_*`/`add_event`
 /// methods.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The per-user candidate lists (`Uc_i`, the CSR arena every hot
+/// solver path iterates) are derived lazily on first use and cached;
+/// any mutation that can change candidate membership invalidates the
+/// cache. The cache never takes part in equality or serialization.
+#[derive(Debug, Clone)]
 pub struct Instance {
     users: Vec<User>,
     events: Vec<Event>,
     utilities: UtilityMatrix,
+    candidates: OnceLock<CandidateSet>,
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.users == other.users
+            && self.events == other.events
+            && self.utilities == other.utilities
+    }
+}
+
+// Hand-written (the serde shim has no `skip`): the derived layout for
+// the three data fields, with the candidate cache left out and rebuilt
+// lazily after deserialization.
+impl Serialize for Instance {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("users".to_string(), self.users.to_content()),
+            ("events".to_string(), self.events.to_content()),
+            ("utilities".to_string(), self.utilities.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for Instance {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| DeError::new("expected map for `Instance`"))?;
+        Ok(Instance {
+            users: serde::__field(m, "users")?,
+            events: serde::__field(m, "events")?,
+            utilities: serde::__field(m, "utilities")?,
+            candidates: OnceLock::new(),
+        })
+    }
 }
 
 impl Instance {
-    /// Assembles an instance; panics when the utility matrix shape
-    /// disagrees with the user/event counts.
-    pub fn new(users: Vec<User>, events: Vec<Event>, utilities: UtilityMatrix) -> Self {
-        assert_eq!(utilities.n_users(), users.len(), "utility rows ≠ users");
-        assert_eq!(utilities.n_events(), events.len(), "utility cols ≠ events");
-        Instance {
+    /// Assembles an instance; rejects a utility matrix whose shape
+    /// disagrees with the user/event counts with a typed
+    /// [`InstanceError::ShapeMismatch`].
+    pub fn new(
+        users: Vec<User>,
+        events: Vec<Event>,
+        utilities: UtilityMatrix,
+    ) -> Result<Self, InstanceError> {
+        if utilities.n_users() != users.len() || utilities.n_events() != events.len() {
+            return Err(InstanceError::ShapeMismatch {
+                matrix: (utilities.n_users(), utilities.n_events()),
+                expected: (users.len(), events.len()),
+            });
+        }
+        Ok(Instance {
             users,
             events,
             utilities,
-        }
+            candidates: OnceLock::new(),
+        })
     }
 
     /// Assembles an instance under strict validation, rejecting every
@@ -41,17 +95,7 @@ impl Instance {
         events: Vec<Event>,
         utilities: UtilityMatrix,
     ) -> Result<Self, InstanceError> {
-        if utilities.n_users() != users.len() || utilities.n_events() != events.len() {
-            return Err(InstanceError::ShapeMismatch {
-                matrix: (utilities.n_users(), utilities.n_events()),
-                expected: (users.len(), events.len()),
-            });
-        }
-        let inst = Instance {
-            users,
-            events,
-            utilities,
-        };
+        let inst = Instance::new(users, events, utilities)?;
         inst.validate_strict()?;
         Ok(inst)
     }
@@ -109,19 +153,10 @@ impl Instance {
                 });
             }
         }
-        for u in self.user_ids() {
-            for e in self.event_ids() {
-                let v = self.utility(u, e);
-                if !(0.0..=1.0).contains(&v) {
-                    return Err(InstanceError::InvalidUtility {
-                        user: u,
-                        event: e,
-                        value: v,
-                    });
-                }
-            }
-        }
-        Ok(())
+        // Validates every *stored* utility entry plus the storage
+        // structure itself — O(stored entries), not O(|U|·|E|), so
+        // strict validation stays affordable on sparse instances.
+        self.utilities.validate()
     }
 
     /// Number of users `n`.
@@ -175,6 +210,17 @@ impl Instance {
     /// The full utility matrix.
     pub fn utilities(&self) -> &UtilityMatrix {
         &self.utilities
+    }
+
+    /// The per-user candidate lists (`Uc_i`), derived on first use and
+    /// cached until a mutation invalidates them.
+    pub fn candidates(&self) -> &CandidateSet {
+        self.candidates.get_or_init(|| {
+            let _sp = epplan_obs::span("core.candidates.build");
+            let cs = CandidateSet::build(self);
+            epplan_obs::gauge_set("gap.candidates.per_user", cs.density());
+            cs
+        })
     }
 
     /// Euclidean distance from a user's origin to an event venue.
@@ -235,16 +281,23 @@ impl Instance {
     }
 
     // ---- mutation API for IEP atomic operations ----
+    //
+    // Every mutation that can change candidate membership (utility,
+    // budget, venue, fee, new event) drops the cached candidate lists;
+    // time windows and participation bounds do not enter the candidate
+    // predicate, so those setters leave the cache alone.
 
     /// Sets `μ(u, e)`.
     pub fn set_utility(&mut self, u: UserId, e: EventId, value: f64) {
         self.utilities.set(u, e, value);
+        self.candidates.take();
     }
 
     /// Sets a user's travel budget.
     pub fn set_budget(&mut self, u: UserId, budget: f64) {
         assert!(budget >= 0.0, "negative travel budget");
         self.users[u.index()].budget = budget;
+        self.candidates.take();
     }
 
     /// Sets an event's time window.
@@ -255,12 +308,14 @@ impl Instance {
     /// Sets an event's venue location.
     pub fn set_event_location(&mut self, e: EventId, location: Point) {
         self.events[e.index()].location = location;
+        self.candidates.take();
     }
 
     /// Sets an event's admission fee (the Section VII extension).
     pub fn set_event_fee(&mut self, e: EventId, fee: f64) {
         assert!(fee >= 0.0, "negative admission fee");
         self.events[e.index()].fee = fee;
+        self.candidates.take();
     }
 
     /// Sets an event's participation bounds; panics if inverted.
@@ -281,6 +336,7 @@ impl Instance {
         for (u, &v) in utilities.iter().enumerate() {
             self.utilities.set(UserId(u as u32), id, v);
         }
+        self.candidates.take();
         id
     }
 }
@@ -298,8 +354,9 @@ mod tests {
             Event::new(Point::new(0.0, 3.0), 1, 2, TimeInterval::new(60, 120)),
             Event::new(Point::new(4.0, 0.0), 0, 2, TimeInterval::new(180, 240)),
         ];
-        let utilities = UtilityMatrix::from_rows(vec![vec![0.9, 0.5], vec![0.2, 0.0]]);
-        Instance::new(users, events, utilities)
+        let utilities =
+            UtilityMatrix::from_rows(vec![vec![0.9, 0.5], vec![0.2, 0.0]]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]
@@ -360,6 +417,25 @@ mod tests {
     }
 
     #[test]
+    fn candidate_cache_tracks_mutations() {
+        let mut inst = two_by_two();
+        // u0 on budget 10: e0 costs 6, e1 costs 8 → both candidates.
+        // u1 on budget 5: e0 costs 2·√(10²+3²) > 5, e1 has μ = 0 → none.
+        let cs = inst.candidates();
+        assert_eq!(cs.row(UserId(0)).0, &[0, 1]);
+        assert!(cs.row(UserId(1)).0.is_empty());
+        assert!(inst.candidates().contains(UserId(0), EventId(1)));
+
+        // Shrinking u0's budget below e1's round trip evicts it.
+        inst.set_budget(UserId(0), 7.0);
+        assert_eq!(inst.candidates().row(UserId(0)).0, &[0]);
+
+        // Zeroing the utility evicts e0 as well.
+        inst.set_utility(UserId(0), EventId(0), 0.0);
+        assert!(inst.candidates().row(UserId(0)).0.is_empty());
+    }
+
+    #[test]
     fn fees_are_charged_against_the_budget() {
         let mut inst = two_by_two();
         // u0 round trip to e0 costs 6 of budget 10; a fee of 5 breaks it.
@@ -384,16 +460,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "utility rows")]
-    fn shape_mismatch_panics() {
+    fn shape_mismatch_is_a_typed_error() {
         let users = vec![User::new(Point::new(0.0, 0.0), 1.0)];
-        let events = vec![];
-        Instance::new(users, events, UtilityMatrix::zeros(2, 0));
+        let err = Instance::new(users, vec![], UtilityMatrix::zeros(2, 0)).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::ShapeMismatch {
+                matrix: (2, 0),
+                expected: (1, 0),
+            }
+        ));
     }
 
     #[test]
     fn try_new_rejects_shape_mismatch_without_panicking() {
-        use crate::model::InstanceError;
         let users = vec![User::new(Point::new(0.0, 0.0), 1.0)];
         let err = Instance::try_new(users, vec![], UtilityMatrix::zeros(2, 0)).unwrap_err();
         assert!(matches!(err, InstanceError::ShapeMismatch { .. }));
@@ -401,7 +481,6 @@ mod tests {
 
     #[test]
     fn validate_strict_catches_deserialized_corruption() {
-        use crate::model::InstanceError;
         let inst = two_by_two();
         assert!(inst.validate_strict().is_ok());
         let json = serde_json::to_string(&inst).expect("serializable");
@@ -425,7 +504,6 @@ mod tests {
 
     #[test]
     fn try_new_rejects_eta_below_xi_and_inverted_intervals() {
-        use crate::model::InstanceError;
         let users = vec![User::new(Point::new(0.0, 0.0), 10.0)];
         // Bypass Event::new's assert the way serde would.
         let mut event = Event::new(Point::new(0.0, 1.0), 1, 3, TimeInterval::new(0, 60));

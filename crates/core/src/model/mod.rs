@@ -6,6 +6,7 @@
 //! not or cannot participate".
 
 mod builder;
+pub(crate) mod candidates;
 mod error;
 mod event;
 mod instance;
@@ -14,6 +15,7 @@ mod user;
 mod utility;
 
 pub use builder::InstanceBuilder;
+pub use candidates::CandidateSet;
 pub use error::InstanceError;
 pub use event::{Event, EventId};
 pub use instance::Instance;

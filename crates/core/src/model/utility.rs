@@ -1,42 +1,116 @@
-use crate::model::{EventId, UserId};
-use serde::{Deserialize, Serialize};
+use crate::model::{EventId, InstanceError, UserId};
+use serde::{Content, DeError, Deserialize, Serialize};
 
-/// The dense user × event utility matrix `μ(u_i, e_j) ∈ [0, 1]`.
+/// The user × event utility matrix `μ(u_i, e_j) ∈ [0, 1]`.
 ///
 /// A score of 0 means the user "will not or cannot participate in the
 /// corresponding event" (Section II) — solvers never make `μ = 0`
 /// assignments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Two storage layouts share one API: a dense user-major array (small
+/// hand-built instances, builder output) and a CSR layout holding only
+/// the non-zero entries (generated instances at `|U| ≥ 10⁵`, where the
+/// dense array alone would be gigabytes). `get`/`set` are
+/// layout-transparent; the JSON serialization of the dense layout is
+/// unchanged from earlier releases.
+#[derive(Debug, Clone, PartialEq)]
 pub struct UtilityMatrix {
     n_users: usize,
     n_events: usize,
-    /// User-major dense storage.
-    values: Vec<f64>,
+    storage: Storage,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Storage {
+    /// User-major dense values, `n_users * n_events` long.
+    Dense(Vec<f64>),
+    /// CSR over users: row `u` owns `cols/vals[offsets[u]..offsets[u+1]]`,
+    /// columns strictly ascending within a row.
+    Sparse {
+        offsets: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<f64>,
+    },
 }
 
 impl UtilityMatrix {
-    /// All-zero matrix of the given shape.
+    /// All-zero matrix of the given shape (dense layout).
     pub fn zeros(n_users: usize, n_events: usize) -> Self {
         UtilityMatrix {
             n_users,
             n_events,
-            values: vec![0.0; n_users * n_events],
+            storage: Storage::Dense(vec![0.0; n_users * n_events]),
         }
     }
 
-    /// Builds from user-major rows; panics on ragged input or values
-    /// outside `[0, 1]`.
-    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+    /// Builds from user-major rows; rejects ragged input with a typed
+    /// [`InstanceError::ShapeMismatch`]. Panics on values outside
+    /// `[0, 1]` (same contract as [`UtilityMatrix::set`]).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, InstanceError> {
         let n_users = rows.len();
         let n_events = rows.first().map_or(0, Vec::len);
         let mut m = UtilityMatrix::zeros(n_users, n_events);
         for (u, row) in rows.into_iter().enumerate() {
-            assert_eq!(row.len(), n_events, "ragged utility matrix");
+            if row.len() != n_events {
+                return Err(InstanceError::ShapeMismatch {
+                    matrix: (u, row.len()),
+                    expected: (n_users, n_events),
+                });
+            }
             for (e, v) in row.into_iter().enumerate() {
                 m.set(UserId(u as u32), EventId(e as u32), v);
             }
         }
-        m
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix from per-user `(event, μ)` lists. Columns
+    /// must be strictly ascending within each row and `< n_events`;
+    /// values must lie in `[0, 1]`. Entries with `μ = 0` may simply be
+    /// omitted — `get` returns 0 for any absent pair.
+    pub fn from_sparse_rows(
+        n_events: usize,
+        rows: &[Vec<(u32, f64)>],
+    ) -> Result<Self, InstanceError> {
+        let n_users = rows.len();
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        assert!(nnz <= u32::MAX as usize, "sparse utility matrix too large");
+        let mut offsets = Vec::with_capacity(n_users + 1);
+        let mut cols = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        offsets.push(0u32);
+        for (u, row) in rows.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for &(c, v) in row {
+                if (c as usize) >= n_events || prev.is_some_and(|p| p >= c) {
+                    return Err(InstanceError::UnknownId {
+                        what: format!(
+                            "sparse utility row {u} has out-of-range or out-of-order column {c}"
+                        ),
+                    });
+                }
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(InstanceError::InvalidUtility {
+                        user: UserId(u as u32),
+                        event: EventId(c),
+                        value: v,
+                    });
+                }
+                prev = Some(c);
+                cols.push(c);
+                vals.push(v);
+            }
+            offsets.push(cols.len() as u32);
+        }
+        Ok(UtilityMatrix {
+            n_users,
+            n_events,
+            storage: Storage::Sparse {
+                offsets,
+                cols,
+                vals,
+            },
+        })
     }
 
     /// Number of user rows.
@@ -49,40 +123,244 @@ impl UtilityMatrix {
         self.n_events
     }
 
-    /// `μ(user, event)`.
-    #[inline]
-    pub fn get(&self, user: UserId, event: EventId) -> f64 {
-        self.values[user.index() * self.n_events + event.index()]
+    /// Whether the CSR layout is in use.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.storage, Storage::Sparse { .. })
     }
 
-    /// Sets `μ(user, event)`; panics outside `[0, 1]`.
+    /// Number of explicitly stored entries (`n_users * n_events` for
+    /// the dense layout).
+    pub fn stored_entries(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(values) => values.len(),
+            Storage::Sparse { cols, .. } => cols.len(),
+        }
+    }
+
+    /// `μ(user, event)`; 0 for pairs absent from the sparse layout.
     #[inline]
+    pub fn get(&self, user: UserId, event: EventId) -> f64 {
+        match &self.storage {
+            Storage::Dense(values) => values[user.index() * self.n_events + event.index()],
+            Storage::Sparse {
+                offsets,
+                cols,
+                vals,
+            } => {
+                let lo = offsets[user.index()] as usize;
+                let hi = offsets[user.index() + 1] as usize;
+                match cols[lo..hi].binary_search(&(event.index() as u32)) {
+                    Ok(k) => vals[lo + k],
+                    Err(_) => 0.0,
+                }
+            }
+        }
+    }
+
+    /// Sets `μ(user, event)`; panics outside `[0, 1]`. On the sparse
+    /// layout an absent pair is spliced in (an absent pair set to 0
+    /// stays implicit).
     pub fn set(&mut self, user: UserId, event: EventId, value: f64) {
         assert!(
             (0.0..=1.0).contains(&value),
             "utility {value} outside [0, 1]"
         );
-        self.values[user.index() * self.n_events + event.index()] = value;
+        let n_events = self.n_events;
+        match &mut self.storage {
+            Storage::Dense(values) => {
+                values[user.index() * n_events + event.index()] = value;
+            }
+            Storage::Sparse {
+                offsets,
+                cols,
+                vals,
+            } => {
+                let lo = offsets[user.index()] as usize;
+                let hi = offsets[user.index() + 1] as usize;
+                let col = event.index() as u32;
+                match cols[lo..hi].binary_search(&col) {
+                    Ok(k) => vals[lo + k] = value,
+                    Err(k) => {
+                        // epplan-lint: allow(float/exact-eq) — sparse storage: exact 0.0 means "absent", no tolerance wanted
+                        if value == 0.0 {
+                            return; // absent == implicit zero
+                        }
+                        cols.insert(lo + k, col);
+                        vals.insert(lo + k, value);
+                        for o in &mut offsets[user.index() + 1..] {
+                            *o += 1;
+                        }
+                    }
+                }
+            }
+        }
     }
 
-    /// The utility row of one user across all events.
-    pub fn user_row(&self, user: UserId) -> &[f64] {
-        let s = user.index() * self.n_events;
-        &self.values[s..s + self.n_events]
+    /// Visits every entry with `μ > 0` in one user's row, in ascending
+    /// event order. O(row length) on either layout — this is the
+    /// building block of candidate derivation.
+    #[inline]
+    pub fn for_each_positive_in_row<F: FnMut(EventId, f64)>(&self, user: UserId, mut f: F) {
+        match &self.storage {
+            Storage::Dense(values) => {
+                let s = user.index() * self.n_events;
+                for (e, &v) in values[s..s + self.n_events].iter().enumerate() {
+                    if v > 0.0 {
+                        f(EventId(e as u32), v);
+                    }
+                }
+            }
+            Storage::Sparse {
+                offsets,
+                cols,
+                vals,
+            } => {
+                let lo = offsets[user.index()] as usize;
+                let hi = offsets[user.index() + 1] as usize;
+                for k in lo..hi {
+                    if vals[k] > 0.0 {
+                        f(EventId(cols[k]), vals[k]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates the storage structure and every stored value, the way
+    /// strict instance validation needs after deserialization: dense
+    /// length must match the shape; sparse offsets must be a monotone
+    /// prefix array with ascending in-range columns; all stored values
+    /// must lie in `[0, 1]`. O(stored entries).
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        match &self.storage {
+            Storage::Dense(values) => {
+                if values.len() != self.n_users * self.n_events {
+                    return Err(InstanceError::ShapeMismatch {
+                        matrix: (self.n_users, values.len()),
+                        expected: (self.n_users, self.n_events),
+                    });
+                }
+                for (idx, &v) in values.iter().enumerate() {
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(InstanceError::InvalidUtility {
+                            user: UserId((idx / self.n_events) as u32),
+                            event: EventId((idx % self.n_events) as u32),
+                            value: v,
+                        });
+                    }
+                }
+            }
+            Storage::Sparse {
+                offsets,
+                cols,
+                vals,
+            } => {
+                let well_formed = offsets.len() == self.n_users + 1
+                    && offsets.first() == Some(&0)
+                    && offsets.last().copied() == Some(cols.len() as u32)
+                    && cols.len() == vals.len()
+                    && offsets.windows(2).all(|w| w[0] <= w[1]);
+                if !well_formed {
+                    return Err(InstanceError::UnknownId {
+                        what: "corrupt sparse utility storage (bad offsets)".to_string(),
+                    });
+                }
+                for u in 0..self.n_users {
+                    let lo = offsets[u] as usize;
+                    let hi = offsets[u + 1] as usize;
+                    let row = &cols[lo..hi];
+                    if row.iter().any(|&c| (c as usize) >= self.n_events)
+                        || row.windows(2).any(|w| w[0] >= w[1])
+                    {
+                        return Err(InstanceError::UnknownId {
+                            what: format!(
+                                "corrupt sparse utility storage (row {u} columns)"
+                            ),
+                        });
+                    }
+                    for (k, &v) in vals[lo..hi].iter().enumerate() {
+                        if !(0.0..=1.0).contains(&v) {
+                            return Err(InstanceError::InvalidUtility {
+                                user: UserId(u as u32),
+                                event: EventId(row[k]),
+                                value: v,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Appends an all-zero column for a newly created event and returns
     /// its id (used by the `NewEvent` atomic operation).
     pub fn push_event_column(&mut self) -> EventId {
         let ne = self.n_events;
-        let mut values = Vec::with_capacity(self.n_users * (ne + 1));
-        for u in 0..self.n_users {
-            values.extend_from_slice(&self.values[u * ne..(u + 1) * ne]);
-            values.push(0.0);
+        if let Storage::Dense(values) = &mut self.storage {
+            let mut next = Vec::with_capacity(self.n_users * (ne + 1));
+            for u in 0..self.n_users {
+                next.extend_from_slice(&values[u * ne..(u + 1) * ne]);
+                next.push(0.0);
+            }
+            *values = next;
         }
-        self.values = values;
+        // Sparse layout: a zero column is implicit, only the shape grows.
         self.n_events += 1;
         EventId(ne as u32)
+    }
+}
+
+// The serde shim has no `flatten`/`untagged`, so the two layouts are
+// dispatched by hand: the dense layout keeps the historical
+// `{n_users, n_events, values}` JSON shape bit-for-bit, the sparse
+// layout writes `{n_users, n_events, offsets, cols, vals}`, and the
+// deserializer picks by which field set is present.
+impl Serialize for UtilityMatrix {
+    fn to_content(&self) -> Content {
+        let mut m = vec![
+            ("n_users".to_string(), self.n_users.to_content()),
+            ("n_events".to_string(), self.n_events.to_content()),
+        ];
+        match &self.storage {
+            Storage::Dense(values) => {
+                m.push(("values".to_string(), values.to_content()));
+            }
+            Storage::Sparse {
+                offsets,
+                cols,
+                vals,
+            } => {
+                m.push(("offsets".to_string(), offsets.to_content()));
+                m.push(("cols".to_string(), cols.to_content()));
+                m.push(("vals".to_string(), vals.to_content()));
+            }
+        }
+        Content::Map(m)
+    }
+}
+
+impl Deserialize for UtilityMatrix {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| DeError::new("expected map for `UtilityMatrix`"))?;
+        let n_users: usize = serde::__field(m, "n_users")?;
+        let n_events: usize = serde::__field(m, "n_events")?;
+        let storage = if serde::__get(m, "values").is_some() {
+            Storage::Dense(serde::__field(m, "values")?)
+        } else {
+            Storage::Sparse {
+                offsets: serde::__field(m, "offsets")?,
+                cols: serde::__field(m, "cols")?,
+                vals: serde::__field(m, "vals")?,
+            }
+        };
+        Ok(UtilityMatrix {
+            n_users,
+            n_events,
+            storage,
+        })
     }
 }
 
@@ -92,12 +370,12 @@ mod tests {
 
     #[test]
     fn from_rows_and_get() {
-        let m = UtilityMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let m = UtilityMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
         assert_eq!(m.n_users(), 2);
         assert_eq!(m.n_events(), 2);
         assert_eq!(m.get(UserId(0), EventId(1)), 0.2);
         assert_eq!(m.get(UserId(1), EventId(0)), 0.3);
-        assert_eq!(m.user_row(UserId(1)), &[0.3, 0.4]);
+        assert!(!m.is_sparse());
     }
 
     #[test]
@@ -108,14 +386,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ragged")]
-    fn ragged_rows_panic() {
-        UtilityMatrix::from_rows(vec![vec![0.1], vec![0.2, 0.3]]);
+    fn ragged_rows_are_a_typed_error() {
+        let err = UtilityMatrix::from_rows(vec![vec![0.1], vec![0.2, 0.3]]).unwrap_err();
+        assert!(matches!(err, InstanceError::ShapeMismatch { .. }));
     }
 
     #[test]
     fn push_event_column_preserves_rows() {
-        let mut m = UtilityMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let mut m = UtilityMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
         let e = m.push_event_column();
         assert_eq!(e, EventId(2));
         assert_eq!(m.n_events(), 3);
@@ -123,5 +401,78 @@ mod tests {
         assert_eq!(m.get(UserId(1), EventId(1)), 0.4);
         assert_eq!(m.get(UserId(0), EventId(2)), 0.0);
         assert_eq!(m.get(UserId(1), EventId(2)), 0.0);
+    }
+
+    #[test]
+    fn sparse_rows_match_dense_semantics() {
+        let dense = UtilityMatrix::from_rows(vec![vec![0.1, 0.0, 0.2], vec![0.0, 0.3, 0.0]])
+            .unwrap();
+        let sparse = UtilityMatrix::from_sparse_rows(
+            3,
+            &[vec![(0, 0.1), (2, 0.2)], vec![(1, 0.3)]],
+        )
+        .unwrap();
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.stored_entries(), 3);
+        for u in 0..2 {
+            for e in 0..3 {
+                assert_eq!(
+                    dense.get(UserId(u), EventId(e)),
+                    sparse.get(UserId(u), EventId(e)),
+                    "({u}, {e})"
+                );
+            }
+        }
+        let mut dense_pos = Vec::new();
+        let mut sparse_pos = Vec::new();
+        dense.for_each_positive_in_row(UserId(0), |e, v| dense_pos.push((e, v)));
+        sparse.for_each_positive_in_row(UserId(0), |e, v| sparse_pos.push((e, v)));
+        assert_eq!(dense_pos, sparse_pos);
+    }
+
+    #[test]
+    fn sparse_rejects_disorder_and_bad_values() {
+        assert!(matches!(
+            UtilityMatrix::from_sparse_rows(3, &[vec![(2, 0.1), (1, 0.2)]]),
+            Err(InstanceError::UnknownId { .. })
+        ));
+        assert!(matches!(
+            UtilityMatrix::from_sparse_rows(3, &[vec![(5, 0.1)]]),
+            Err(InstanceError::UnknownId { .. })
+        ));
+        assert!(matches!(
+            UtilityMatrix::from_sparse_rows(3, &[vec![(1, 1.5)]]),
+            Err(InstanceError::InvalidUtility { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_set_splices_and_push_column_is_implicit() {
+        let mut m = UtilityMatrix::from_sparse_rows(3, &[vec![(1, 0.3)], vec![]]).unwrap();
+        m.set(UserId(1), EventId(0), 0.7);
+        assert_eq!(m.get(UserId(1), EventId(0)), 0.7);
+        m.set(UserId(0), EventId(2), 0.0); // absent + zero stays implicit
+        assert_eq!(m.stored_entries(), 2);
+        let e = m.push_event_column();
+        assert_eq!(e, EventId(3));
+        assert_eq!(m.get(UserId(0), EventId(3)), 0.0);
+        m.set(UserId(0), EventId(3), 0.5);
+        assert_eq!(m.get(UserId(0), EventId(3)), 0.5);
+        assert_eq!(m.get(UserId(0), EventId(1)), 0.3);
+    }
+
+    #[test]
+    fn serde_roundtrips_both_layouts_and_keeps_dense_shape() {
+        let dense = UtilityMatrix::from_rows(vec![vec![0.1, 0.2]]).unwrap();
+        let json = serde_json::to_string(&dense).unwrap();
+        assert!(json.contains("\"values\""), "dense JSON shape changed: {json}");
+        let back: UtilityMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dense);
+
+        let sparse = UtilityMatrix::from_sparse_rows(4, &[vec![(1, 0.5), (3, 0.25)]]).unwrap();
+        let json = serde_json::to_string(&sparse).unwrap();
+        let back: UtilityMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sparse);
+        assert!(back.is_sparse());
     }
 }

@@ -167,8 +167,8 @@ mod tests {
         let utilities = UtilityMatrix::from_rows(vec![
             vec![0.5, 0.5, 0.5],
             vec![0.5, 0.0, 0.5],
-        ]);
-        Instance::new(users, events, utilities)
+        ]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]

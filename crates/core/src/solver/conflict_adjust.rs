@@ -31,30 +31,40 @@ const ORDER_MIN_CHUNK: usize = 8;
 /// offering user is skipped at iteration time, which yields exactly
 /// the per-offer order the sequential sort produced.
 fn receiver_orders(instance: &Instance, needed: &[bool]) -> Vec<Option<Vec<UserId>>> {
-    epplan_par::par_range_map(instance.n_events(), ORDER_MIN_CHUNK, |events| {
-        events
-            .map(|ei| {
-                if !needed[ei] {
-                    return None;
+    // Transpose the user-major candidate lists into per-event receiver
+    // lists (users ascending), touching only needed events, then sort
+    // each list in parallel — O(candidates) total instead of a full
+    // users × events sweep. Restricting receivers to candidates is
+    // lossless: a non-candidate either has μ = 0 (never in the old
+    // order) or cannot afford the event on its own, which
+    // `can_attend_with` rejects in every plan state.
+    let cands = instance.candidates();
+    let mut lists: Vec<Option<Vec<(u32, f64)>>> =
+        needed.iter().map(|&nd| nd.then(Vec::new)).collect();
+    for u in instance.user_ids() {
+        let (events, utils) = cands.row(u);
+        for (&e, &mu) in events.iter().zip(utils) {
+            if let Some(list) = lists.get_mut(e as usize).and_then(|o| o.as_mut()) {
+                list.push((u.0, mu));
+            }
+        }
+    }
+    let sorted: Result<(), std::convert::Infallible> =
+        epplan_par::try_par_chunks_for_each_mut(&mut lists, ORDER_MIN_CHUNK, |_, chunk| {
+            for slot in chunk.iter_mut() {
+                if let Some(list) = slot.as_mut() {
+                    list.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 }
-                let e = EventId(ei as u32);
-                let mut order: Vec<UserId> = instance
-                    .user_ids()
-                    .filter(|&u| instance.utility(u, e) > 0.0)
-                    .collect();
-                order.sort_by(|&a, &b| {
-                    instance
-                        .utility(b, e)
-                        .total_cmp(&instance.utility(a, e))
-                        .then(a.cmp(&b))
-                });
-                Some(order)
-            })
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+            }
+            Ok(())
+        });
+    if let Err(never) = sorted {
+        match never {}
+    }
+    lists
+        .into_iter()
+        .map(|slot| slot.map(|list| list.into_iter().map(|(u, _)| UserId(u)).collect()))
+        .collect()
 }
 
 /// A raw (pre-repair) assignment: per-user event multiset, possibly
@@ -240,8 +250,8 @@ mod tests {
             vec![0.5, 0.9, 0.3],
             vec![0.8, 0.2, 0.4],
             vec![0.6, 0.7, 0.5],
-        ]);
-        Instance::new(users, events, utilities)
+        ]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]

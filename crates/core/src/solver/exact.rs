@@ -266,8 +266,8 @@ mod tests {
             Event::new(Point::new(0.0, 2.0), 0, 1, TimeInterval::new(60, 119)),
         ];
         let utilities =
-            UtilityMatrix::from_rows(vec![vec![0.5, 0.9], vec![0.6, 0.8]]);
-        Instance::new(users, events, utilities)
+            UtilityMatrix::from_rows(vec![vec![0.5, 0.9], vec![0.6, 0.8]]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]
@@ -318,7 +318,7 @@ mod tests {
         let n = 11;
         let users = vec![User::new(Point::new(0.0, 0.0), 1.0); n];
         let events = vec![];
-        let instance = Instance::new(users, events, UtilityMatrix::zeros(n, 0));
+        let instance = Instance::new(users, events, UtilityMatrix::zeros(n, 0)).unwrap();
         let err = ExactSolver::default()
             .try_solve_optimal(&instance, SolveBudget::UNLIMITED)
             .unwrap_err();

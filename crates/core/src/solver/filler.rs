@@ -75,40 +75,66 @@ pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserI
             epplan_par::chunk_count(user_iter.len(), SCAN_MIN_CHUNK) as f64,
         );
     }
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::from(
-        epplan_par::par_chunks_map(&user_iter, SCAN_MIN_CHUNK, |_, chunk| {
-            let mut out: Vec<Candidate> = Vec::new();
-            for &u in chunk {
-                let budget = instance.user(u).budget;
-                for e in instance.event_ids() {
-                    let mu = instance.utility(u, e);
-                    if mu <= 0.0 || snapshot.contains(u, e) {
-                        continue;
-                    }
-                    if snapshot.attendance(e) >= instance.event(e).upper {
-                        continue;
-                    }
-                    // Cheap reachability prefilter: a round trip to the
-                    // single event (plus its fee) already exceeds the
-                    // budget.
-                    if 2.0 * instance.distance(u, e) + instance.event(e).fee
-                        > budget + 1e-9
-                    {
-                        continue;
-                    }
-                    out.push(Candidate {
-                        utility: mu,
-                        user: u,
-                        event: e,
-                    });
+    // Full fills iterate the cached candidate arena — each user costs
+    // O(candidates), not O(events), and the μ > 0 / single-event
+    // affordability prefilters are already encoded in the rows.
+    // Restricted (repair-mode) fills instead scan the few listed users'
+    // dense rows with the same predicate applied inline: incremental
+    // ops mutate the instance, which invalidates the candidate cache,
+    // and rebuilding the whole arena to repair a handful of users would
+    // put an O(|U|·|E|) step on the serving hot path. The two paths
+    // admit identical candidate pairs, and heap pop order is a total
+    // order, so the fill itself is byte-for-byte the same either way.
+    let mut heap: BinaryHeap<Candidate> = if users.is_some() {
+        let mut out: Vec<Candidate> = Vec::new();
+        for &u in &user_iter {
+            instance.utilities().for_each_positive_in_row(u, |e, mu| {
+                if !crate::model::candidates::is_candidate(instance, u, e, mu) {
+                    return;
                 }
-            }
-            out
-        })
-        .into_iter()
-        .flatten()
-        .collect::<Vec<_>>(),
-    );
+                if snapshot.contains(u, e) {
+                    return;
+                }
+                if snapshot.attendance(e) >= instance.event(e).upper {
+                    return;
+                }
+                out.push(Candidate {
+                    utility: mu,
+                    user: u,
+                    event: e,
+                });
+            });
+        }
+        BinaryHeap::from(out)
+    } else {
+        let cands = instance.candidates();
+        BinaryHeap::from(
+            epplan_par::par_chunks_map(&user_iter, SCAN_MIN_CHUNK, |_, chunk| {
+                let mut out: Vec<Candidate> = Vec::new();
+                for &u in chunk {
+                    let (events, utils) = cands.row(u);
+                    for (&ei, &mu) in events.iter().zip(utils) {
+                        let e = EventId(ei);
+                        if snapshot.contains(u, e) {
+                            continue;
+                        }
+                        if snapshot.attendance(e) >= instance.event(e).upper {
+                            continue;
+                        }
+                        out.push(Candidate {
+                            utility: mu,
+                            user: u,
+                            event: e,
+                        });
+                    }
+                }
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>(),
+        )
+    };
 
     let mut added = 0;
     while let Some(c) = heap.pop() {
@@ -148,8 +174,8 @@ mod tests {
         let utilities = UtilityMatrix::from_rows(vec![
             vec![0.9, 0.8, 0.7],
             vec![0.6, 0.5, 0.95],
-        ]);
-        Instance::new(users, events, utilities)
+        ]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]

@@ -98,11 +98,15 @@ impl GapBasedSolver {
     /// verify the reduction constants.
     pub fn build_gap(&self, instance: &Instance) -> (GapInstance, Vec<EventId>) {
         let _sp = epplan_obs::span("solve.reduction");
-        // Job list: ξ_j copies of each event.
+        // Job list: ξ_j copies of each event, each tagged with the
+        // event it copies — the ξ copies share one candidate row in the
+        // sparse GAP layout (identical Theorem-2 columns).
         let mut jobs: Vec<EventId> = Vec::new();
+        let mut job_group: Vec<u32> = Vec::new();
         for e in instance.event_ids() {
             for _ in 0..instance.event(e).lower {
                 jobs.push(e);
+                job_group.push(e.0);
             }
         }
         let n = instance.n_users();
@@ -111,17 +115,26 @@ impl GapBasedSolver {
             .iter()
             .map(|u| (2.0 + self.epsilon) * u.budget)
             .collect();
-        let mut gap = GapInstance::new(n, jobs.len(), caps);
-        for (jk, &e) in jobs.iter().enumerate() {
-            for u in instance.user_ids() {
-                let mu = instance.utility(u, e);
-                if mu <= 0.0 {
-                    gap.forbid(u.index(), jk);
-                } else {
-                    gap.set(u.index(), jk, 1.0 - mu, 2.0 * instance.distance(u, e));
-                }
+        // Transpose the per-user candidate lists into per-event rows of
+        // (user, c = 1 − μ, p = 2·d). Users come out ascending per row
+        // because the outer loop is ascending; the candidate predicate
+        // already excludes μ = 0 pairs, and pairs the user's budget can
+        // never cover drop out too (lossless: any feasible plan
+        // containing the event costs at least 2·d + fee by the triangle
+        // inequality, so budget repair would strip them anyway).
+        let cands = instance.candidates();
+        let mut rows: Vec<Vec<(u32, f64, f64)>> = vec![Vec::new(); instance.n_events()];
+        for u in instance.user_ids() {
+            let (events, utils) = cands.row(u);
+            for (k, &e) in events.iter().enumerate() {
+                rows[e as usize].push((
+                    u.0,
+                    1.0 - utils[k],
+                    2.0 * instance.distance(u, EventId(e)),
+                ));
             }
         }
+        let gap = GapInstance::from_group_candidates(n, caps, job_group, &rows);
         (gap, jobs)
     }
 
@@ -467,8 +480,8 @@ mod tests {
             vec![0.9, 0.4],
             vec![0.7, 0.8],
             vec![0.5, 0.6],
-        ]);
-        Instance::new(users, events, utilities)
+        ]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]
@@ -543,7 +556,7 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = Instance::new(vec![], vec![], UtilityMatrix::zeros(0, 0));
+        let inst = Instance::new(vec![], vec![], UtilityMatrix::zeros(0, 0)).unwrap();
         let sol = GapBasedSolver::default().solve(&inst);
         assert_eq!(sol.utility, 0.0);
     }

@@ -94,9 +94,16 @@ impl GepcSolver for GreedySolver {
         // of every other user's, so all rankings are precomputed in
         // parallel; the take loop below stays sequential (it threads
         // shared copy counters) and reads them in shuffled order.
-        let ranked_all: Vec<Vec<crate::model::EventId>> = if total_copies == 0 {
+        //
+        // Rankings come from the candidate set, not a dense event scan:
+        // only events the user values (μ > 0) *and* can ever afford are
+        // sorted. Dropping the unaffordable ones cannot change the
+        // output — `can_attend_with` rejects them in every plan state
+        // (the round trip to the lone event already busts the budget).
+        let ranked_all: Vec<Vec<(crate::model::EventId, f64)>> = if total_copies == 0 {
             Vec::new()
         } else {
+            let cands = instance.candidates();
             if epplan_obs::metrics_enabled() {
                 epplan_obs::gauge_set("greedy.par.threads", epplan_par::threads() as f64);
                 epplan_obs::gauge_set(
@@ -108,16 +115,13 @@ impl GepcSolver for GreedySolver {
                 users
                     .map(|ui| {
                         let u = crate::model::UserId(ui as u32);
-                        let mut ranked: Vec<crate::model::EventId> = instance
-                            .event_ids()
-                            .filter(|&e| instance.utility(u, e) > 0.0)
+                        let (events, utils) = cands.row(u);
+                        let mut ranked: Vec<(crate::model::EventId, f64)> = events
+                            .iter()
+                            .zip(utils)
+                            .map(|(&e, &mu)| (crate::model::EventId(e), mu))
                             .collect();
-                        ranked.sort_by(|&a, &b| {
-                            instance
-                                .utility(u, b)
-                                .total_cmp(&instance.utility(u, a))
-                                .then(a.cmp(&b))
-                        });
+                        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                         ranked
                     })
                     .collect::<Vec<_>>()
@@ -140,7 +144,7 @@ impl GepcSolver for GreedySolver {
             let ranked = &ranked_all[u.index()];
             loop {
                 let mut taken = false;
-                for &e in ranked {
+                for &(e, _) in ranked {
                     if copies[e.index()] == 0 || plan.contains(u, e) {
                         continue;
                     }
@@ -189,8 +193,8 @@ mod tests {
             Event::new(Point::new(0.0, 2.0), 1, 2, TimeInterval::new(60, 119)),
         ];
         let utilities =
-            UtilityMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]);
-        Instance::new(users, events, utilities)
+            UtilityMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        Instance::new(users, events, utilities).unwrap()
     }
 
     #[test]
@@ -264,7 +268,7 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = Instance::new(vec![], vec![], UtilityMatrix::zeros(0, 0));
+        let inst = Instance::new(vec![], vec![], UtilityMatrix::zeros(0, 0)).unwrap();
         let sol = GreedySolver::default().solve(&inst);
         assert_eq!(sol.utility, 0.0);
         assert!(sol.fully_feasible());

@@ -88,14 +88,20 @@ impl LocalSearch {
     /// against the updated plan.
     fn sweep(&self, instance: &Instance, plan: &mut Plan) -> f64 {
         let snapshot: &Plan = plan;
+        // Move candidates come from the candidate set: only events a
+        // user values (μ > 0) and can ever afford are proposed. The
+        // dropped pairs could never pass `can_attend_with` anyway, so
+        // the sweep's outcome is unchanged — each proposal just costs
+        // O(candidates(u)) instead of O(events).
+        let cands = instance.candidates();
         let proposals: Vec<Proposal> =
             epplan_par::par_range_map(instance.n_users(), PROPOSE_MIN_CHUNK, |users| {
                 users
                     .map(|ui| {
                         let u = UserId(ui as u32);
                         Proposal {
-                            add: self.propose_add(instance, snapshot, u),
-                            swap: self.propose_swap(instance, snapshot, u),
+                            add: self.propose_add(instance, cands, snapshot, u),
+                            swap: self.propose_swap(instance, cands, snapshot, u),
                         }
                     })
                     .collect::<Vec<_>>()
@@ -129,12 +135,14 @@ impl LocalSearch {
     fn propose_add(
         &self,
         instance: &Instance,
+        cands: &crate::model::CandidateSet,
         plan: &Plan,
         u: UserId,
     ) -> Option<(EventId, f64)> {
         let mut best: Option<(EventId, f64)> = None;
-        for e in instance.event_ids() {
-            let mu = instance.utility(u, e);
+        let (events, utils) = cands.row(u);
+        for (&ei, &mu) in events.iter().zip(utils) {
+            let e = EventId(ei);
             if mu <= self.min_gain || plan.contains(u, e) {
                 continue;
             }
@@ -168,11 +176,13 @@ impl LocalSearch {
     fn propose_swap(
         &self,
         instance: &Instance,
+        cands: &crate::model::CandidateSet,
         plan: &Plan,
         u: UserId,
     ) -> Option<(EventId, EventId, f64)> {
         let current: Vec<EventId> = plan.user_plan(u).to_vec();
         let mut best: Option<(EventId, EventId, f64)> = None;
+        let (cand_events, cand_utils) = cands.row(u);
         for &old in &current {
             // Removing `old` must not break its lower bound.
             if plan.attendance(old) <= instance.event(old).lower {
@@ -180,8 +190,8 @@ impl LocalSearch {
             }
             let mu_old = instance.utility(u, old);
             let rest: Vec<EventId> = current.iter().copied().filter(|&e| e != old).collect();
-            for new in instance.event_ids() {
-                let mu_new = instance.utility(u, new);
+            for (&ni, &mu_new) in cand_events.iter().zip(cand_utils) {
+                let new = EventId(ni);
                 if mu_new <= mu_old + self.min_gain || current.contains(&new) {
                     continue;
                 }
@@ -227,6 +237,19 @@ impl LocalSearch {
     /// Transfers assignments to users who value them more. Attendance
     /// is unchanged so participation bounds cannot be affected.
     fn transfers(&self, instance: &Instance, plan: &mut Plan) -> f64 {
+        // Per-event receiver candidates (users ascending, with their
+        // utilities), transposed once from the user-major candidate
+        // lists: O(candidates) total instead of a users × events sweep.
+        // Non-candidates either value the event at 0 or cannot afford
+        // it alone, so `can_attend_with` would reject them regardless.
+        let cands = instance.candidates();
+        let mut by_event: Vec<Vec<(u32, f64)>> = vec![Vec::new(); instance.n_events()];
+        for u in instance.user_ids() {
+            let (events, utils) = cands.row(u);
+            for (&e, &mu) in events.iter().zip(utils) {
+                by_event[e as usize].push((u.0, mu));
+            }
+        }
         let mut gain = 0.0;
         for e in instance.event_ids() {
             // The current attendee valuing the event least…
@@ -241,17 +264,14 @@ impl LocalSearch {
             };
             let mu_worst = instance.utility(worst, e);
             // …versus the best-valuing feasible outsider.
-            let candidate = instance
-                .user_ids()
-                .filter(|&u| !plan.contains(u, e))
-                .filter(|&u| instance.utility(u, e) > mu_worst + self.min_gain)
-                .filter(|&u| instance.can_attend_with(u, plan.user_plan(u), e))
-                .max_by(|&a, &b| {
-                    instance
-                        .utility(a, e)
-                        .total_cmp(&instance.utility(b, e))
-                        .then(b.cmp(&a))
-                });
+            let candidate = by_event[e.index()]
+                .iter()
+                .map(|&(u, mu)| (UserId(u), mu))
+                .filter(|&(u, _)| !plan.contains(u, e))
+                .filter(|&(_, mu)| mu > mu_worst + self.min_gain)
+                .filter(|&(u, _)| instance.can_attend_with(u, plan.user_plan(u), e))
+                .max_by(|&(a, mua), &(b, mub)| mua.total_cmp(&mub).then(b.cmp(&a)))
+                .map(|(u, _)| u);
             if let Some(receiver) = candidate {
                 plan.remove(worst, e);
                 plan.add(receiver, e);

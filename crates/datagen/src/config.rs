@@ -64,6 +64,13 @@ pub struct GeneratorConfig {
     pub mean_upper: u32,
     /// Placement of users and venues on the plane.
     pub spatial: SpatialModel,
+    /// Emit the utility matrix in CSR form, computing μ only for
+    /// events inside each user's `B/2` travel window (the paper's
+    /// `Uc_i` pruning). Solver-equivalent to the dense layout — the
+    /// derived candidate lists are identical — but O(candidates) in
+    /// memory, which the `|U| ≥ 10⁵` bench grids require.
+    #[serde(default)]
+    pub candidate_pruned: bool,
 }
 
 impl Default for GeneratorConfig {
@@ -83,6 +90,7 @@ impl Default for GeneratorConfig {
             mean_lower: 10,
             mean_upper: 50,
             spatial: SpatialModel::Uniform,
+            candidate_pruned: false,
         }
     }
 }

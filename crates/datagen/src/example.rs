@@ -43,14 +43,20 @@ pub fn paper_example() -> Instance {
         Event::new(Point::new(14.0, 4.0), 1, 5, TimeInterval::new(pm(6, 0), pm(8, 0))),
     ];
     // Table I, columns 2–6 (rows are events; transpose to user rows).
-    let utilities = UtilityMatrix::from_rows(vec![
+    let utilities = match UtilityMatrix::from_rows(vec![
         vec![0.7, 0.6, 0.9, 0.3], // u1
         vec![0.6, 0.5, 0.8, 0.4], // u2
         vec![0.4, 0.7, 0.9, 0.5], // u3
         vec![0.2, 0.3, 0.8, 0.6], // u4
         vec![0.3, 0.1, 0.6, 0.7], // u5
-    ]);
-    Instance::new(users, events, utilities)
+    ]) {
+        Ok(m) => m,
+        Err(_) => unreachable!("Table I rows are rectangular"),
+    };
+    match Instance::new(users, events, utilities) {
+        Ok(inst) => inst,
+        Err(_) => unreachable!("Table I shape is 5 × 4"),
+    }
 }
 
 #[cfg(test)]

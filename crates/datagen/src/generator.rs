@@ -196,18 +196,60 @@ pub fn generate(cfg: &GeneratorConfig) -> Instance {
             epplan_par::chunk_count(n, UTILITY_ROW_MIN_CHUNK) as f64,
         );
     }
-    let rows: Vec<Vec<f64>> =
-        epplan_par::par_range_map(n, UTILITY_ROW_MIN_CHUNK, |users| {
-            users
-                .map(|u| (0..m).map(|e| tag_model.utility(u, e)).collect::<Vec<f64>>())
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
-    let utilities = UtilityMatrix::from_rows(rows);
+    let utilities = if cfg.candidate_pruned {
+        // Emit the CSR layout directly: only events inside a user's
+        // `B/2` window can ever be candidates (generated events are
+        // fee-free), so μ is computed for the window alone and the
+        // matrix is O(candidates) in memory instead of O(n·m) — the
+        // |U| ≥ 10⁵ bench grids depend on this. The probe radius and
+        // the in-window μ values match the dense path exactly, so the
+        // derived candidate lists — and with them every solver
+        // result — are identical to the unpruned instance.
+        let grid = epplan_geo::GridIndex::build(&event_locs);
+        let sparse_rows: Vec<Vec<(u32, f64)>> =
+            epplan_par::par_range_map(n, UTILITY_ROW_MIN_CHUNK, |range| {
+                range
+                    .map(|u| {
+                        let radius = users[u].budget * 0.5 + 1e-9;
+                        let mut window = grid.within(&users[u].location, radius);
+                        window.sort_unstable();
+                        window
+                            .into_iter()
+                            .filter_map(|e| {
+                                let mu = tag_model.utility(u, e);
+                                (mu > 0.0).then_some((e as u32, mu))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        match UtilityMatrix::from_sparse_rows(m, &sparse_rows) {
+            Ok(mat) => mat,
+            Err(_) => unreachable!("window columns are sorted and μ ∈ [0, 1]"),
+        }
+    } else {
+        let rows: Vec<Vec<f64>> =
+            epplan_par::par_range_map(n, UTILITY_ROW_MIN_CHUNK, |users| {
+                users
+                    .map(|u| (0..m).map(|e| tag_model.utility(u, e)).collect::<Vec<f64>>())
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        match UtilityMatrix::from_rows(rows) {
+            Ok(mat) => mat,
+            Err(_) => unreachable!("generated rows are rectangular by construction"),
+        }
+    };
 
-    Instance::new(users, events, utilities)
+    match Instance::new(users, events, utilities) {
+        Ok(inst) => inst,
+        Err(_) => unreachable!("generated matrix matches the user/event counts"),
+    }
 }
 
 /// Measures the realized conflict ratio of an instance: the fraction
@@ -352,6 +394,34 @@ mod tests {
         let density = nonzero as f64 / (50.0 * 20.0);
         assert!(density > 0.05, "utility matrix unusably sparse: {density}");
         assert!(density < 0.95, "utility matrix implausibly dense: {density}");
+    }
+
+    #[test]
+    fn candidate_pruned_matches_dense_candidates() {
+        let dense_cfg = GeneratorConfig {
+            n_users: 120,
+            n_events: 40,
+            ..Default::default()
+        };
+        let pruned_cfg = GeneratorConfig {
+            candidate_pruned: true,
+            ..dense_cfg.clone()
+        };
+        let dense = generate(&dense_cfg);
+        let pruned = generate(&pruned_cfg);
+        assert!(pruned.utilities().is_sparse());
+        assert!(!dense.utilities().is_sparse());
+        // The derived candidate lists — everything solvers consume —
+        // are identical; the pruned matrix just omits unreachable μ.
+        assert_eq!(dense.candidates(), pruned.candidates());
+        assert!(pruned.utilities().stored_entries() <= dense.utilities().stored_entries());
+        // In-window utilities agree entry for entry.
+        for u in dense.user_ids() {
+            let (ids, utils) = dense.candidates().row(u);
+            for (&e, &mu) in ids.iter().zip(utils) {
+                assert_eq!(pruned.utility(u, epplan_core::model::EventId(e)), mu);
+            }
+        }
     }
 
     #[test]

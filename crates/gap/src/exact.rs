@@ -59,12 +59,10 @@ pub fn branch_and_bound_with_budget(
     let mut min_cost = vec![f64::INFINITY; n];
     let mut options = vec![0usize; n];
     for j in 0..n {
-        for i in 0..m {
-            if inst.allowed(i, j) {
-                options[j] += 1;
-                if inst.cost(i, j) < min_cost[j] {
-                    min_cost[j] = inst.cost(i, j);
-                }
+        for (_, c, _) in inst.allowed_triples(j) {
+            options[j] += 1;
+            if c < min_cost[j] {
+                min_cost[j] = c;
             }
         }
         if options[j] == 0 {

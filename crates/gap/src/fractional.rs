@@ -5,12 +5,19 @@ use crate::GapInstance;
 
 /// A fractional assignment: `x(i, j) ∈ [0, 1]` with `Σ_i x(i, j) = 1`
 /// for every job `j` that is fractionally assignable.
+///
+/// Storage is job-major sparse: each job keeps its machine support as a
+/// machine-ascending `(machine, fraction)` list. A job's support is
+/// small (the LP's basic solutions are sparse; the MW average touches
+/// at most one machine per round), so every operation is
+/// O(support) — never O(machines × jobs), which matters once the GEPC
+/// reduction puts 10⁵–10⁶ machines in play.
 #[derive(Debug, Clone)]
 pub struct FractionalSolution {
     n_machines: usize,
     n_jobs: usize,
-    /// Machine-major dense matrix.
-    x: Vec<f64>,
+    /// Per-job support, machine-ascending `(machine, fraction)` pairs.
+    x: Vec<Vec<(u32, f64)>>,
     /// Jobs that could not be (fractionally) assigned at all.
     pub unassigned: Vec<usize>,
 }
@@ -21,7 +28,7 @@ impl FractionalSolution {
         FractionalSolution {
             n_machines,
             n_jobs,
-            x: vec![0.0; n_machines * n_jobs],
+            x: vec![Vec::new(); n_jobs],
             unassigned: Vec::new(),
         }
     }
@@ -36,58 +43,95 @@ impl FractionalSolution {
         self.n_jobs
     }
 
+    /// Machine support of job `j`: machine-ascending
+    /// `(machine, fraction)` pairs with non-zero fractions.
+    #[inline]
+    pub fn support(&self, job: usize) -> &[(u32, f64)] {
+        &self.x[job]
+    }
+
     /// Fraction of job `j` on machine `i`.
     #[inline]
     pub fn get(&self, machine: usize, job: usize) -> f64 {
-        self.x[machine * self.n_jobs + job]
+        let row = &self.x[job];
+        match row.binary_search_by_key(&(machine as u32), |&(i, _)| i) {
+            Ok(k) => row[k].1,
+            Err(_) => 0.0,
+        }
     }
 
-    /// Sets the fraction of job `j` on machine `i`.
+    /// Sets the fraction of job `j` on machine `i` (zero removes the
+    /// entry).
     #[inline]
     pub fn set(&mut self, machine: usize, job: usize, v: f64) {
-        self.x[machine * self.n_jobs + job] = v;
+        let row = &mut self.x[job];
+        match row.binary_search_by_key(&(machine as u32), |&(i, _)| i) {
+            Ok(k) => {
+                // epplan-lint: allow(float/exact-eq) — sparse storage: exact 0.0 means "absent", no tolerance wanted
+                if v == 0.0 {
+                    row.remove(k);
+                } else {
+                    row[k].1 = v;
+                }
+            }
+            Err(k) => {
+                // epplan-lint: allow(float/exact-eq) — sparse storage: exact 0.0 means "absent", no tolerance wanted
+                if v != 0.0 {
+                    row.insert(k, (machine as u32, v));
+                }
+            }
+        }
     }
 
     /// Adds to the fraction of job `j` on machine `i`.
     #[inline]
     pub fn add(&mut self, machine: usize, job: usize, v: f64) {
-        self.x[machine * self.n_jobs + job] += v;
+        let row = &mut self.x[job];
+        match row.binary_search_by_key(&(machine as u32), |&(i, _)| i) {
+            Ok(k) => row[k].1 += v,
+            Err(k) => row.insert(k, (machine as u32, v)),
+        }
     }
 
-    /// Scales the whole matrix by `f` (used to average MW iterates).
+    /// Scales every fraction by `f` (used to average MW iterates).
     pub fn scale(&mut self, f: f64) {
-        self.x.iter_mut().for_each(|v| *v *= f);
+        for row in &mut self.x {
+            for (_, v) in row.iter_mut() {
+                *v *= f;
+            }
+        }
     }
 
     /// Fractional cost `Σ c(i,j) · x(i,j)` over non-forbidden pairs.
     pub fn cost(&self, inst: &GapInstance) -> f64 {
         let mut total = 0.0;
-        for i in 0..self.n_machines {
-            for j in 0..self.n_jobs {
-                let v = self.get(i, j);
+        for (j, row) in self.x.iter().enumerate() {
+            for &(i, v) in row {
                 if v > 0.0 {
-                    total += v * inst.cost(i, j);
+                    total += v * inst.cost(i as usize, j);
                 }
             }
         }
         total
     }
 
-    /// Per-machine fractional loads `Σ p(i,j) · x(i,j)`.
+    /// Per-machine fractional loads `Σ p(i,j) · x(i,j)`. Each machine's
+    /// sum accumulates in ascending job order, so the floats are
+    /// independent of thread count and storage layout.
     pub fn loads(&self, inst: &GapInstance) -> Vec<f64> {
-        (0..self.n_machines)
-            .map(|i| {
-                (0..self.n_jobs)
-                    .map(|j| self.get(i, j) * inst.time(i, j))
-                    .sum()
-            })
-            .collect()
+        let mut loads = vec![0.0; self.n_machines];
+        for (j, row) in self.x.iter().enumerate() {
+            for &(i, v) in row {
+                loads[i as usize] += v * inst.time(i as usize, j);
+            }
+        }
+        loads
     }
 
     /// Total assigned fraction of job `j` (should be 1 for assigned
     /// jobs, 0 for unassigned ones).
     pub fn job_mass(&self, job: usize) -> f64 {
-        (0..self.n_machines).map(|i| self.get(i, job)).sum()
+        self.x[job].iter().map(|&(_, v)| v).sum()
     }
 
     /// Keeps only each job's `k` largest machine fractions,
@@ -108,14 +152,15 @@ impl FractionalSolution {
             return;
         }
         for j in 0..self.n_jobs {
-            if self.unassigned.contains(&j) {
+            if self.x[j].len() <= k || self.unassigned.contains(&j) {
                 continue;
             }
-            let mut fracs: Vec<(usize, f64)> = (0..self.n_machines)
-                .filter_map(|i| {
-                    let v = self.get(i, j);
-                    (v > 0.0).then_some((i, v))
-                })
+            let mass = self.job_mass(j);
+            let mut fracs: Vec<(u32, f64)> = self
+                .x[j]
+                .iter()
+                .copied()
+                .filter(|&(_, v)| v > 0.0)
                 .collect();
             if fracs.len() <= k {
                 continue;
@@ -125,13 +170,13 @@ impl FractionalSolution {
             if keep <= 0.0 {
                 continue;
             }
-            let scale = self.job_mass(j) / keep;
-            for &(i, _) in &fracs[k..] {
-                self.set(i, j, 0.0);
+            let scale = mass / keep;
+            fracs.truncate(k);
+            fracs.sort_by_key(|&(i, _)| i);
+            for (_, v) in fracs.iter_mut() {
+                *v *= scale;
             }
-            for &(i, v) in &fracs[..k] {
-                self.set(i, j, v * scale);
-            }
+            self.x[j] = fracs;
         }
     }
 
@@ -139,21 +184,19 @@ impl FractionalSolution {
     /// non-negativity, job masses ≈ 1 (or 0 for unassigned), and zero
     /// mass on forbidden pairs.
     pub fn check(&self, inst: &GapInstance, tol: f64) -> Result<(), String> {
-        if self.x.iter().any(|&v| v < -tol) {
-            return Err("negative fraction".into());
-        }
-        for j in 0..self.n_jobs {
+        for (j, row) in self.x.iter().enumerate() {
+            for &(i, v) in row {
+                if v < -tol {
+                    return Err("negative fraction".into());
+                }
+                if v > tol && !inst.allowed(i as usize, j) {
+                    return Err(format!("mass on forbidden pair ({i}, {j})"));
+                }
+            }
             let mass = self.job_mass(j);
             let expect = if self.unassigned.contains(&j) { 0.0 } else { 1.0 };
             if (mass - expect).abs() > tol {
                 return Err(format!("job {j} mass {mass}, expected {expect}"));
-            }
-        }
-        for i in 0..self.n_machines {
-            for j in 0..self.n_jobs {
-                if self.get(i, j) > tol && !inst.allowed(i, j) {
-                    return Err(format!("mass on forbidden pair ({i}, {j})"));
-                }
             }
         }
         Ok(())
@@ -182,6 +225,18 @@ mod tests {
         assert!((x.cost(&g) - (0.5 + 1.5 + 2.0)).abs() < 1e-12);
         assert_eq!(x.loads(&g), vec![0.5 + 2.0, 1.0]);
         assert!(x.check(&g, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn support_is_machine_ascending_and_sparse() {
+        let mut x = FractionalSolution::zero(3, 1);
+        x.add(2, 0, 0.25);
+        x.add(0, 0, 0.5);
+        x.add(2, 0, 0.25);
+        assert_eq!(x.support(0), &[(0, 0.5), (2, 0.5)]);
+        assert_eq!(x.get(1, 0), 0.0);
+        x.set(0, 0, 0.0);
+        assert_eq!(x.support(0), &[(2, 0.5)]);
     }
 
     #[test]

@@ -26,14 +26,10 @@ pub fn greedy_assign(inst: &GapInstance) -> GapSolution {
         for (slot, &j) in remaining.iter().enumerate() {
             let mut best: Option<(usize, f64)> = None;
             let mut second: Option<f64> = None;
-            for (i, load) in loads.iter().enumerate() {
-                if !inst.allowed(i, j) {
+            for (i, c, t) in inst.allowed_triples(j) {
+                if loads[i] + t > inst.capacity(i) + 1e-12 {
                     continue;
                 }
-                if load + inst.time(i, j) > inst.capacity(i) + 1e-12 {
-                    continue;
-                }
-                let c = inst.cost(i, j);
                 match best {
                     None => best = Some((i, c)),
                     Some((_, bc)) if c < bc => {

@@ -1,3 +1,51 @@
+/// Compressed candidate storage shared by groups of identical jobs.
+///
+/// The GEPC reduction creates `ξ_j` *identical* copies of every event,
+/// so a dense machine-major matrix stores each event's candidate column
+/// `ξ_j` times — and stores every non-candidate pair besides. This
+/// layout keeps one machine-ascending candidate row per *group* (event)
+/// in a flat CSR arena, with `job_group` mapping each job (copy) to its
+/// row. Pairs absent from a row are forbidden.
+#[derive(Debug, Clone)]
+struct SparseLayout {
+    /// Job → candidate row (group) index; copies share a row.
+    job_group: Vec<u32>,
+    /// Row offsets into the arenas, `n_groups + 1` entries.
+    offsets: Vec<u32>,
+    /// Candidate machine ids, strictly ascending within a row.
+    machines: Vec<u32>,
+    /// Parallel to `machines`: assignment costs (finite).
+    costs: Vec<f64>,
+    /// Parallel to `machines`: processing times (finite, ≥ 0).
+    times: Vec<f64>,
+}
+
+impl SparseLayout {
+    /// Arena slice of candidate row `r` as `(machines, costs, times)`.
+    #[inline]
+    fn row(&self, r: usize) -> (&[u32], &[f64], &[f64]) {
+        let lo = self.offsets[r] as usize;
+        let hi = self.offsets[r + 1] as usize;
+        (
+            &self.machines[lo..hi],
+            &self.costs[lo..hi],
+            &self.times[lo..hi],
+        )
+    }
+
+    /// Arena index of `(machine, job)` if the pair is a candidate.
+    #[inline]
+    fn find(&self, machine: usize, job: usize) -> Option<usize> {
+        let r = self.job_group[job] as usize;
+        let lo = self.offsets[r] as usize;
+        let hi = self.offsets[r + 1] as usize;
+        self.machines[lo..hi]
+            .binary_search(&(machine as u32))
+            .ok()
+            .map(|k| lo + k)
+    }
+}
+
 /// A Generalized Assignment Problem instance.
 ///
 /// `n_machines` machines (users, in the GEPC reduction) and `n_jobs`
@@ -11,6 +59,15 @@
 /// e.g. zero utility or unaffordable travel): forbidden pairs have
 /// infinite cost and are excluded from every solver's search space.
 ///
+/// Storage is either a dense machine-major matrix (the small-instance
+/// constructors [`GapInstance::new`] / [`GapInstance::from_matrices`])
+/// or a per-group candidate-list CSR arena
+/// ([`GapInstance::from_group_candidates`]), which is what the ξ-GEPC
+/// reduction emits at scale: memory and solver work become
+/// O(candidates) instead of O(machines × jobs). Accessors dispatch on
+/// the layout; sparse instances are immutable after construction
+/// (`set`/`forbid` poison them).
+///
 /// Malformed construction (wrong capacity count, negative or NaN
 /// values, out-of-range indices) does not panic: the offending value is
 /// neutralized and the first defect is recorded. Every solver entry
@@ -22,9 +79,12 @@ pub struct GapInstance {
     n_machines: usize,
     n_jobs: usize,
     /// Machine-major `n_machines × n_jobs`; `f64::INFINITY` = forbidden.
+    /// Empty when `sparse` carries the candidate arena.
     costs: Vec<f64>,
     times: Vec<f64>,
     capacity: Vec<f64>,
+    /// Candidate-list storage, when built sparsely.
+    sparse: Option<SparseLayout>,
     /// First construction defect observed, if any.
     defect: Option<String>,
 }
@@ -55,8 +115,101 @@ impl GapInstance {
             costs: vec![0.0; n_machines * n_jobs],
             times: vec![0.0; n_machines * n_jobs],
             capacity,
+            sparse: None,
             defect,
         }
+    }
+
+    /// Builds a sparse instance from per-group candidate rows.
+    ///
+    /// `job_group[j]` names the row of `rows` job `j` draws candidates
+    /// from; jobs sharing a group (the ξ copies of one event) share one
+    /// row. Each row lists `(machine, cost, time)` triples with
+    /// strictly ascending machine ids; every pair *not* listed is
+    /// forbidden. Malformed input — an out-of-range group or machine, a
+    /// non-ascending row, a NaN/infinite cost, a negative or non-finite
+    /// time, or an arena larger than `u32::MAX` entries — poisons the
+    /// instance (see [`GapInstance::defect`]); offending entries are
+    /// dropped so the stored arena stays structurally consistent.
+    pub fn from_group_candidates(
+        n_machines: usize,
+        capacity: Vec<f64>,
+        job_group: Vec<u32>,
+        rows: &[Vec<(u32, f64, f64)>],
+    ) -> Self {
+        let n_jobs = job_group.len();
+        // Validate capacities via the dense constructor with zero jobs:
+        // allocating the machines × jobs matrices just to discard them
+        // would make the sparse path's peak memory O(machines × jobs)
+        // at construction (tens of GiB at |U| = 10^6).
+        let mut inst = GapInstance::new(n_machines, 0, capacity);
+        inst.n_jobs = n_jobs;
+        let mut job_group = job_group;
+        for g in job_group.iter_mut() {
+            if *g as usize >= rows.len() {
+                inst.poison(format!(
+                    "job group {g} out of range ({} candidate rows)",
+                    rows.len()
+                ));
+                *g = 0;
+            }
+        }
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        if nnz > u32::MAX as usize {
+            inst.poison(format!("candidate arena has {nnz} entries (u32 offsets)"));
+        }
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut machines = Vec::with_capacity(nnz.min(u32::MAX as usize));
+        let mut costs = Vec::with_capacity(machines.capacity());
+        let mut times = Vec::with_capacity(machines.capacity());
+        offsets.push(0u32);
+        for (r, row) in rows.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for &(i, c, t) in row {
+                if i as usize >= n_machines {
+                    inst.poison(format!("row {r}: machine {i} out of range ({n_machines})"));
+                    continue;
+                }
+                if prev.is_some_and(|p| i <= p) {
+                    inst.poison(format!("row {r}: machine ids not strictly ascending"));
+                    continue;
+                }
+                if !c.is_finite() {
+                    inst.poison(format!("row {r}: machine {i} has non-finite cost {c}"));
+                    continue;
+                }
+                if !t.is_finite() || t < 0.0 {
+                    inst.poison(format!("row {r}: machine {i} has invalid time {t}"));
+                    continue;
+                }
+                if machines.len() == u32::MAX as usize {
+                    break;
+                }
+                prev = Some(i);
+                machines.push(i);
+                costs.push(c);
+                times.push(t);
+            }
+            offsets.push(machines.len() as u32);
+        }
+        if rows.is_empty() && n_jobs > 0 {
+            // Every job's group was clamped to row 0 (and the instance
+            // poisoned); give them an empty row to stay panic-free.
+            offsets.push(0);
+        }
+        inst.sparse = Some(SparseLayout {
+            job_group,
+            offsets,
+            machines,
+            costs,
+            times,
+        });
+        inst
+    }
+
+    /// Whether this instance uses the candidate-list (CSR) layout.
+    pub fn is_sparse(&self) -> bool {
+        self.sparse.is_some()
     }
 
     /// Builds an instance from dense matrices (machine-major rows).
@@ -106,8 +259,16 @@ impl GapInstance {
 
     /// Sets the cost and time of a machine–job pair. Out-of-range
     /// indices, NaN costs, and negative or non-finite times poison the
-    /// instance instead of panicking.
+    /// instance instead of panicking. Sparse instances are immutable:
+    /// copies share candidate rows, so a per-pair write is ill-defined
+    /// and poisons the instance.
     pub fn set(&mut self, machine: usize, job: usize, cost: f64, mut time: f64) {
+        if self.sparse.is_some() {
+            self.poison(format!(
+                "set ({machine}, {job}) on an immutable sparse instance"
+            ));
+            return;
+        }
         if machine >= self.n_machines || job >= self.n_jobs {
             self.poison(format!(
                 "pair ({machine}, {job}) out of range ({} × {})",
@@ -129,8 +290,15 @@ impl GapInstance {
     }
 
     /// Marks a pair as forbidden (never assignable). Out-of-range
-    /// indices poison the instance.
+    /// indices poison the instance, as does a sparse instance (whose
+    /// forbidden pairs are fixed at construction).
     pub fn forbid(&mut self, machine: usize, job: usize) {
+        if self.sparse.is_some() {
+            self.poison(format!(
+                "forbid ({machine}, {job}) on an immutable sparse instance"
+            ));
+            return;
+        }
         if machine >= self.n_machines || job >= self.n_jobs {
             self.poison(format!(
                 "forbid ({machine}, {job}) out of range ({} × {})",
@@ -155,13 +323,20 @@ impl GapInstance {
     /// Cost of assigning `job` to `machine` (infinite if forbidden).
     #[inline]
     pub fn cost(&self, machine: usize, job: usize) -> f64 {
-        self.costs[self.idx(machine, job)]
+        match &self.sparse {
+            Some(s) => s.find(machine, job).map_or(f64::INFINITY, |k| s.costs[k]),
+            None => self.costs[self.idx(machine, job)],
+        }
     }
 
-    /// Processing time of `job` on `machine`.
+    /// Processing time of `job` on `machine` (0 for forbidden sparse
+    /// pairs, which no solver path consumes).
     #[inline]
     pub fn time(&self, machine: usize, job: usize) -> f64 {
-        self.times[self.idx(machine, job)]
+        match &self.sparse {
+            Some(s) => s.find(machine, job).map_or(0.0, |k| s.times[k]),
+            None => self.times[self.idx(machine, job)],
+        }
     }
 
     /// Capacity of `machine`.
@@ -170,25 +345,114 @@ impl GapInstance {
         self.capacity[machine]
     }
 
-    /// Whether the pair may be used: finite cost and the job fits the
-    /// machine's capacity on its own (`p_{i,j} ≤ T_i`, the standard GAP
-    /// preprocessing step that the Shmoys–Tardos analysis requires).
+    /// Whether the pair may be used: present (sparse) with finite cost,
+    /// and the job fits the machine's capacity on its own (`p_{i,j} ≤
+    /// T_i`, the standard GAP preprocessing step that the Shmoys–Tardos
+    /// analysis requires).
     #[inline]
     pub fn allowed(&self, machine: usize, job: usize) -> bool {
-        let k = self.idx(machine, job);
-        self.costs[k].is_finite() && self.times[k] <= self.capacity[machine] + 1e-12
+        match &self.sparse {
+            Some(s) => s.find(machine, job).is_some_and(|k| {
+                s.times[k] <= self.capacity[machine] + 1e-12
+            }),
+            None => {
+                let k = self.idx(machine, job);
+                self.costs[k].is_finite() && self.times[k] <= self.capacity[machine] + 1e-12
+            }
+        }
+    }
+
+    /// Number of distinct candidate rows: one per job group for sparse
+    /// instances (copies share a row), one per job for dense ones.
+    pub fn n_candidate_rows(&self) -> usize {
+        match &self.sparse {
+            Some(s) => s.offsets.len() - 1,
+            None => self.n_jobs,
+        }
+    }
+
+    /// The candidate row `job` draws its machines from.
+    #[inline]
+    pub fn candidate_row_of(&self, job: usize) -> usize {
+        match &self.sparse {
+            Some(s) => s.job_group[job] as usize,
+            None => job,
+        }
+    }
+
+    /// Allowed `(machine, cost, time)` triples of candidate row `row`,
+    /// machine-ascending. The workhorse of every solver's inner loop:
+    /// O(row candidates) on sparse instances, one pass over the
+    /// machines on dense ones.
+    pub fn row_allowed_triples(
+        &self,
+        row: usize,
+    ) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        let (machines, costs, times, dense_n) = match &self.sparse {
+            Some(s) => {
+                let (m, c, t) = s.row(row);
+                (m, c, t, 0)
+            }
+            None => (&[][..], &[][..], &[][..], self.n_machines),
+        };
+        let sparse_iter = machines
+            .iter()
+            .zip(costs.iter())
+            .zip(times.iter())
+            .filter_map(move |((&i, &c), &t)| {
+                (c.is_finite() && t <= self.capacity[i as usize] + 1e-12)
+                    .then_some((i as usize, c, t))
+            });
+        let dense_iter = (0..dense_n)
+            .filter(move |&i| self.allowed(i, row))
+            .map(move |i| (i, self.cost(i, row), self.time(i, row)));
+        dense_iter.chain(sparse_iter)
+    }
+
+    /// Allowed `(machine, cost, time)` triples for `job`,
+    /// machine-ascending.
+    pub fn allowed_triples(&self, job: usize) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        self.row_allowed_triples(self.candidate_row_of(job))
     }
 
     /// Machines allowed for `job`.
     pub fn allowed_machines(&self, job: usize) -> impl Iterator<Item = usize> + '_ {
-        (0..self.n_machines).filter(move |&i| self.allowed(i, job))
+        self.allowed_triples(job).map(|(i, _, _)| i)
+    }
+
+    /// Number of allowed machine–job pairs (the LP variable count).
+    /// O(candidates) on sparse instances, O(machines × jobs) dense.
+    pub fn allowed_pairs_count(&self) -> usize {
+        match &self.sparse {
+            Some(s) => {
+                // Allowed count per row, then sum over jobs via the
+                // group map (copies multiply their row's count).
+                let per_row: Vec<usize> = (0..s.offsets.len() - 1)
+                    .map(|r| self.row_allowed_triples(r).count())
+                    .collect();
+                s.job_group.iter().map(|&g| per_row[g as usize]).sum()
+            }
+            None => (0..self.n_jobs)
+                .map(|j| self.allowed_machines(j).count())
+                .sum(),
+        }
     }
 
     /// Jobs with no allowed machine (unassignable under any policy).
     pub fn unassignable_jobs(&self) -> Vec<usize> {
-        (0..self.n_jobs)
-            .filter(|&j| self.allowed_machines(j).next().is_none())
-            .collect()
+        match &self.sparse {
+            Some(s) => {
+                let row_ok: Vec<bool> = (0..s.offsets.len() - 1)
+                    .map(|r| self.row_allowed_triples(r).next().is_some())
+                    .collect();
+                (0..self.n_jobs)
+                    .filter(|&j| !row_ok[s.job_group[j] as usize])
+                    .collect()
+            }
+            None => (0..self.n_jobs)
+                .filter(|&j| self.allowed_machines(j).next().is_none())
+                .collect(),
+        }
     }
 
     /// Total cost of an assignment (ignoring `None` entries).
@@ -355,5 +619,147 @@ mod tests {
         let g = GapInstance::new(1, 1, vec![-3.0]);
         assert!(g.defect().is_some_and(|d| d.contains("invalid capacity")));
         assert_eq!(g.capacity(0), 0.0);
+    }
+
+    /// Sparse twin of `tiny()`: two jobs sharing one candidate row plus
+    /// a third job with its own row.
+    fn sparse_tiny() -> GapInstance {
+        GapInstance::from_group_candidates(
+            3,
+            vec![2.0, 1.0, 4.0],
+            vec![0, 0, 1],
+            &[
+                vec![(0, 1.0, 1.0), (2, 0.5, 3.0)],
+                vec![(1, 2.0, 1.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn sparse_accessors_match_candidate_rows() {
+        let g = sparse_tiny();
+        assert!(g.is_sparse());
+        assert!(g.defect().is_none());
+        assert_eq!(g.n_machines(), 3);
+        assert_eq!(g.n_jobs(), 3);
+        assert_eq!(g.n_candidate_rows(), 2);
+        assert_eq!(g.candidate_row_of(1), 0);
+        assert_eq!(g.candidate_row_of(2), 1);
+        // Copies share the row.
+        assert_eq!(g.cost(0, 0), 1.0);
+        assert_eq!(g.cost(0, 1), 1.0);
+        assert_eq!(g.time(2, 0), 3.0);
+        // Absent pair is forbidden.
+        assert_eq!(g.cost(1, 0), f64::INFINITY);
+        assert_eq!(g.time(1, 0), 0.0);
+        assert!(!g.allowed(1, 0));
+        // Present pair still gated by capacity: machine 2 has cap 4.
+        assert!(g.allowed(2, 0));
+        assert_eq!(g.allowed_machines(0).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            g.allowed_triples(2).collect::<Vec<_>>(),
+            vec![(1, 2.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn sparse_capacity_gates_oversized_candidates() {
+        // Machine 1 (cap 1.0) listed with time 5.0: present but not
+        // allowed — the p ≤ T preprocessing applies to sparse rows too.
+        let g = GapInstance::from_group_candidates(
+            2,
+            vec![2.0, 1.0],
+            vec![0],
+            &[vec![(0, 1.0, 1.0), (1, 0.1, 5.0)]],
+        );
+        assert!(!g.allowed(1, 0));
+        assert_eq!(g.allowed_machines(0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(g.allowed_pairs_count(), 1);
+    }
+
+    #[test]
+    fn sparse_matches_dense_semantics() {
+        // The same instance built both ways answers identically.
+        let sparse = sparse_tiny();
+        let mut dense = GapInstance::new(3, 3, vec![2.0, 1.0, 4.0]);
+        for j in 0..2 {
+            dense.set(0, j, 1.0, 1.0);
+            dense.set(2, j, 0.5, 3.0);
+            dense.forbid(1, j);
+        }
+        dense.set(1, 2, 2.0, 1.0);
+        dense.forbid(0, 2);
+        dense.forbid(2, 2);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(sparse.allowed(i, j), dense.allowed(i, j), "({i},{j})");
+                if sparse.allowed(i, j) {
+                    assert_eq!(sparse.cost(i, j), dense.cost(i, j));
+                    assert_eq!(sparse.time(i, j), dense.time(i, j));
+                }
+            }
+        }
+        assert_eq!(sparse.allowed_pairs_count(), dense.allowed_pairs_count());
+        assert_eq!(sparse.unassignable_jobs(), dense.unassignable_jobs());
+    }
+
+    #[test]
+    fn sparse_unassignable_jobs_via_group_rows() {
+        let g = GapInstance::from_group_candidates(
+            2,
+            vec![1.0, 1.0],
+            vec![0, 1, 0],
+            &[vec![(0, 0.3, 1.0)], vec![]],
+        );
+        assert_eq!(g.unassignable_jobs(), vec![1]);
+    }
+
+    #[test]
+    fn sparse_is_immutable() {
+        let mut g = sparse_tiny();
+        g.set(0, 0, 0.5, 1.0);
+        assert!(g.defect().is_some_and(|d| d.contains("immutable")));
+        let mut g = sparse_tiny();
+        g.forbid(0, 0);
+        assert!(g.defect().is_some_and(|d| d.contains("immutable")));
+    }
+
+    #[test]
+    fn sparse_malformed_rows_poison() {
+        // Out-of-range machine.
+        let g = GapInstance::from_group_candidates(
+            1,
+            vec![1.0],
+            vec![0],
+            &[vec![(5, 1.0, 1.0)]],
+        );
+        assert!(g.defect().is_some_and(|d| d.contains("out of range")));
+        // Non-ascending machines.
+        let g = GapInstance::from_group_candidates(
+            2,
+            vec![1.0, 1.0],
+            vec![0],
+            &[vec![(1, 1.0, 1.0), (0, 1.0, 1.0)]],
+        );
+        assert!(g.defect().is_some_and(|d| d.contains("ascending")));
+        // NaN cost and negative time.
+        let g = GapInstance::from_group_candidates(
+            1,
+            vec![1.0],
+            vec![0],
+            &[vec![(0, f64::NAN, 1.0)]],
+        );
+        assert!(g.defect().is_some_and(|d| d.contains("cost")));
+        let g = GapInstance::from_group_candidates(
+            1,
+            vec![1.0],
+            vec![0],
+            &[vec![(0, 1.0, -1.0)]],
+        );
+        assert!(g.defect().is_some_and(|d| d.contains("time")));
+        // Dangling group reference, including the no-rows corner.
+        let g = GapInstance::from_group_candidates(1, vec![1.0], vec![3], &[]);
+        assert!(g.defect().is_some_and(|d| d.contains("group")));
+        assert!(!g.allowed(0, 0)); // structurally consistent, no panic
     }
 }

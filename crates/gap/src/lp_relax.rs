@@ -41,55 +41,58 @@ pub fn lp_relaxation_with_budget(
     let n = inst.n_jobs();
     let unassignable = inst.unassignable_jobs();
 
-    // Sparse variable numbering over allowed pairs only.
-    let mut var_of = vec![usize::MAX; m * n];
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    for i in 0..m {
-        for j in 0..n {
-            if inst.allowed(i, j) {
-                var_of[i * n + j] = pairs.len();
-                pairs.push((i, j));
-            }
+    // Sparse variable numbering over allowed pairs only, machine-major
+    // ((i, j) ascending) — the same order the old dense `i × j` scan
+    // enumerated, so the simplex sees identical columns and pivots. The
+    // pairs come out of the candidate iterator job-major; one sort on
+    // the integer key restores machine-major without ever allocating an
+    // m × n table.
+    let mut pairs: Vec<(usize, usize, f64, f64)> = Vec::new();
+    for j in 0..n {
+        for (i, c, t) in inst.allowed_triples(j) {
+            pairs.push((i, j, c, t));
         }
     }
+    pairs.sort_unstable_by_key(|&(i, j, _, _)| (i, j));
 
     let mut lp = Problem::minimize(pairs.len());
     let obj: Vec<(usize, f64)> = pairs
         .iter()
         .enumerate()
-        .map(|(v, &(i, j))| (v, inst.cost(i, j)))
+        .map(|(v, &(_, _, c, _))| (v, c))
         .collect();
     lp.set_objective(&obj);
 
-    // Assignment constraints for assignable jobs.
-    for j in 0..n {
+    // Assignment constraints for assignable jobs; machine-major pair
+    // order makes each job's variable list i-ascending for free.
+    let mut job_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (v, &(_, j, _, _)) in pairs.iter().enumerate() {
+        job_rows[j].push((v, 1.0));
+    }
+    for (j, row) in job_rows.into_iter().enumerate() {
         if unassignable.contains(&j) {
             continue;
         }
-        let row: Vec<(usize, f64)> = (0..m)
-            .filter_map(|i| {
-                let v = var_of[i * n + j];
-                (v != usize::MAX).then_some((v, 1.0))
-            })
-            .collect();
         lp.add_constraint(&row, Relation::Eq, 1.0);
     }
-    // Capacity constraints.
-    for i in 0..m {
-        let row: Vec<(usize, f64)> = (0..n)
-            .filter_map(|j| {
-                let v = var_of[i * n + j];
-                (v != usize::MAX).then_some((v, inst.time(i, j)))
-            })
-            .collect();
-        if !row.is_empty() {
-            lp.add_constraint(&row, Relation::Le, inst.capacity(i));
+    // Capacity constraints: contiguous same-machine runs of the sorted
+    // pairs (machines ascending, jobs ascending within each run).
+    let mut pos = 0usize;
+    while pos < pairs.len() {
+        let i = pairs[pos].0;
+        let mut end = pos;
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        while end < pairs.len() && pairs[end].0 == i {
+            row.push((end, pairs[end].3));
+            end += 1;
         }
+        pos = end;
+        lp.add_constraint(&row, Relation::Le, inst.capacity(i));
     }
 
     let extract = |x: &[f64]| {
         let mut frac = FractionalSolution::zero(m, n);
-        for (v, &(i, j)) in pairs.iter().enumerate() {
+        for (v, &(i, j, _, _)) in pairs.iter().enumerate() {
             let val = x[v];
             if val > 1e-12 {
                 frac.set(i, j, val.min(1.0));

@@ -9,7 +9,7 @@
 //! 1. every machine capacity (a packing constraint) carries a weight
 //!    `λ_i`;
 //! 2. each round, an *oracle* assigns every job to the machine
-//!    minimizing the penalized cost `c_{i,j} + λ_i · p_{i,j} / T_i`
+//!    minimizing the penalized cost `c_{i,j} + (λ_i / T_i) · p_{i,j}`
 //!    (a trivially separable subproblem — the whole point of PST);
 //! 3. weights are updated multiplicatively in the direction of the
 //!    observed overload, `λ_i ← λ_i · exp(η · (load_i/T_i − 1))`;
@@ -23,6 +23,26 @@
 //! feasible; small residual overload is tolerated by the rounding step,
 //! whose load guarantee is additive anyway (≤ T_i + max_j p_{i,j}).
 //!
+//! # The candidate arena
+//!
+//! The oracle never touches the instance's own storage on the hot
+//! path. At entry it compacts every *allowed* pair into a flat CSR
+//! arena — contiguous `(machine, cost, time)` triples per candidate
+//! row — so each round streams cache-line-dense slices instead of
+//! striding a machine-major matrix. Sparse instances contribute one
+//! row per job *group* (the ξ copies of an event share identical
+//! columns, so one argmin serves them all); dense instances one row
+//! per job. Rounds then cost O(candidates), not O(machines × jobs),
+//! and λ updates and width scans touch only machines that appear in
+//! some candidate row.
+//!
+//! The parallel oracle chunks the arena on candidate mass with *fixed*
+//! boundaries (a pure function of the row offsets) and merges chunk
+//! results in index order, so every float and every argmin is
+//! bit-identical at any thread count. The inner argmin is a blocked,
+//! branchless 4-lane scan whose lanes merge by `(penalty, index)` —
+//! exactly the leftmost strict minimum a serial scan would pick.
+//!
 //! Unlike the textbook PST presentation we do not binary-search a cost
 //! budget: the cost term is kept in the oracle objective directly. This
 //! keeps the solver a *practical* (1+ε)-style heuristic rather than a
@@ -30,15 +50,15 @@
 //! small enough to verify (see `GapConfig::method`).
 
 use crate::{FractionalSolution, GapInstance};
-use epplan_solve::{BudgetGuard, SolveBudget, SolveError};
+use epplan_solve::{BudgetGuard, DeadlineExceeded, SolveBudget, SolveError};
 
-/// Jobs per parallel oracle chunk: small enough to balance across
-/// workers on mid-size instances, large enough to amortize spawn cost.
-const ORACLE_MIN_CHUNK: usize = 64;
+/// Candidate rows per parallel arena-build chunk.
+const ARENA_MIN_CHUNK: usize = 64;
 
-/// Machines per chunk in the convergence/width scans (each machine
-/// costs a full pass over the jobs, so chunks can be tiny).
-const WIDTH_MIN_CHUNK: usize = 2;
+/// Target candidate entries per parallel oracle chunk. Boundaries are
+/// derived from the arena offsets alone, so the chunking — and with it
+/// every merged result — is independent of the worker count.
+const CAND_CHUNK: usize = 4096;
 
 /// Tuning knobs for the multiplicative-weights solver.
 #[derive(Debug, Clone)]
@@ -70,6 +90,147 @@ impl Default for PackingConfig {
     }
 }
 
+/// The compacted allowed-pair arena the oracle iterates.
+struct OracleArena {
+    /// Row offsets into the candidate arrays (`n_rows + 1`).
+    offsets: Vec<usize>,
+    /// Candidate machines, ascending within each row.
+    machines: Vec<u32>,
+    /// Parallel to `machines`: assignment costs.
+    costs: Vec<f64>,
+    /// Parallel to `machines`: processing times.
+    times: Vec<f64>,
+    /// Job → row index (copies of one event share a row).
+    job_row: Vec<u32>,
+    /// Chunk boundaries in row space, balanced by candidate mass.
+    bounds: Vec<usize>,
+    /// Machines appearing in at least one row, ascending. λ updates and
+    /// width scans touch only these.
+    active: Vec<u32>,
+}
+
+impl OracleArena {
+    /// Compacts the allowed pairs of `inst` into contiguous rows. The
+    /// per-row content is a pure function of the instance, and rows are
+    /// stitched in index order, so the arena is identical at every
+    /// thread count.
+    fn build(inst: &GapInstance) -> OracleArena {
+        let n_rows = inst.n_candidate_rows();
+        let parts = epplan_par::par_range_map(n_rows, ARENA_MIN_CHUNK, |rows| {
+            let mut lens = Vec::with_capacity(rows.len());
+            let mut machines = Vec::new();
+            let mut costs = Vec::new();
+            let mut times = Vec::new();
+            for r in rows {
+                let before = machines.len();
+                for (i, c, t) in inst.row_allowed_triples(r) {
+                    machines.push(i as u32);
+                    costs.push(c);
+                    times.push(t);
+                }
+                lens.push(machines.len() - before);
+            }
+            (lens, machines, costs, times)
+        });
+        let mut offsets = Vec::with_capacity(n_rows + 1);
+        offsets.push(0usize);
+        let nnz: usize = parts.iter().map(|(_, m, _, _)| m.len()).sum();
+        let mut machines = Vec::with_capacity(nnz);
+        let mut costs = Vec::with_capacity(nnz);
+        let mut times = Vec::with_capacity(nnz);
+        for (lens, m, c, t) in parts {
+            for len in lens {
+                offsets.push(offsets[offsets.len() - 1] + len);
+            }
+            machines.extend_from_slice(&m);
+            costs.extend_from_slice(&c);
+            times.extend_from_slice(&t);
+        }
+        let job_row: Vec<u32> = (0..inst.n_jobs())
+            .map(|j| inst.candidate_row_of(j) as u32)
+            .collect();
+        let mut seen = vec![false; inst.n_machines()];
+        for &i in &machines {
+            seen[i as usize] = true;
+        }
+        let active: Vec<u32> = seen
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i as u32))
+            .collect();
+        let bounds = mass_bounds(&offsets, CAND_CHUNK);
+        OracleArena {
+            offsets,
+            machines,
+            costs,
+            times,
+            job_row,
+            bounds,
+            active,
+        }
+    }
+}
+
+/// Splits row space into chunks of roughly `target` candidates each.
+/// Depends only on `offsets`, never on the worker count.
+fn mass_bounds(offsets: &[usize], target: usize) -> Vec<usize> {
+    let n_rows = offsets.len() - 1;
+    let mut bounds = vec![0usize];
+    let mut start = 0;
+    while start < n_rows {
+        let goal = offsets[start] + target;
+        let mut end = start + 1;
+        while end < n_rows && offsets[end] < goal {
+            end += 1;
+        }
+        bounds.push(end);
+        start = end;
+    }
+    bounds
+}
+
+/// Leftmost strict-minimum candidate of one arena row under the
+/// penalties `cost + loc[machine] · time`, as a 4-lane blocked
+/// branchless scan. Lane minima merge lexicographically by
+/// `(penalty, index)`, which is exactly the index a serial leftmost
+/// strict `<` scan returns. `None` for an empty row.
+#[inline]
+fn row_argmin(machines: &[u32], costs: &[f64], times: &[f64], loc: &[f64]) -> Option<usize> {
+    let len = machines.len();
+    let mut best = [f64::INFINITY; 4];
+    let mut bidx = [usize::MAX; 4];
+    let mut k = 0;
+    while k + 4 <= len {
+        for l in 0..4 {
+            let kk = k + l;
+            let pen = costs[kk] + loc[machines[kk] as usize] * times[kk];
+            let take = pen < best[l];
+            best[l] = if take { pen } else { best[l] };
+            bidx[l] = if take { kk } else { bidx[l] };
+        }
+        k += 4;
+    }
+    // Tail folds into lane 0: its indices exceed every blocked index,
+    // and strict `<` keeps earlier winners on ties.
+    while k < len {
+        let pen = costs[k] + loc[machines[k] as usize] * times[k];
+        if pen < best[0] {
+            best[0] = pen;
+            bidx[0] = k;
+        }
+        k += 1;
+    }
+    let mut bp = f64::INFINITY;
+    let mut bi = usize::MAX;
+    for l in 0..4 {
+        if bidx[l] != usize::MAX && (best[l] < bp || (best[l] == bp && bidx[l] < bi)) {
+            bp = best[l];
+            bi = bidx[l];
+        }
+    }
+    (bi != usize::MAX).then_some(bi)
+}
+
 /// Runs the multiplicative-weights scheme and returns the averaged
 /// fractional solution. Jobs with no allowed machine are listed in
 /// [`FractionalSolution::unassigned`].
@@ -99,15 +260,22 @@ pub fn mw_fractional(
     }
     let assignable_jobs = (n - frac.unassigned.len()) as u64;
 
-    // Cache the allowed machines per job once: the oracle scans them
-    // every round.
-    let allowed: Vec<Vec<u32>> = (0..n)
-        .map(|j| inst.allowed_machines(j).map(|i| i as u32).collect())
-        .collect();
+    // Compact every allowed pair into the flat candidate arena the
+    // oracle scans each round.
+    let arena = OracleArena::build(inst);
+    let n_rows = arena.offsets.len() - 1;
+    let n_chunks = arena.bounds.len().saturating_sub(1);
 
+    let inv_cap: Vec<f64> = (0..m).map(|i| 1.0 / inst.capacity(i).max(1e-12)).collect();
     let mut lambda = vec![1.0f64; m];
+    // λ_i / T_i, refreshed per round for active machines only.
+    let mut loc = vec![0.0f64; m];
     let mut load = vec![0.0f64; m];
-    let mut choice = vec![usize::MAX; n];
+    // Sum of per-round loads past burn-in; `load_sum · scale` is the
+    // trailing average's load, accumulated serially per machine so the
+    // convergence check is thread-count independent (and O(active)
+    // instead of a fresh O(machines × jobs) scan).
+    let mut load_sum = vec![0.0f64; m];
     let mut averaged_rounds = 0usize;
     let burn_in = cfg.burn_in.min(cfg.iterations.saturating_sub(1));
     // The oracle fans out across workers; the deadline flag lets the
@@ -116,10 +284,8 @@ pub fn mw_fractional(
     let deadline = guard.deadline_flag();
     if epplan_obs::metrics_enabled() {
         epplan_obs::gauge_set("packing.par.threads", epplan_par::threads() as f64);
-        epplan_obs::gauge_set(
-            "packing.par.chunks",
-            epplan_par::chunk_count(n, ORACLE_MIN_CHUNK) as f64,
-        );
+        epplan_obs::gauge_set("packing.par.chunks", n_chunks as f64);
+        epplan_obs::gauge_set("packing.arena.candidates", arena.machines.len() as f64);
     }
 
     for round in 0..cfg.iterations {
@@ -136,40 +302,47 @@ pub fn mw_fractional(
                 ));
             }
         }
+        // The round's per-row choices (arena candidate index, or
+        // usize::MAX for an empty row).
+        let mut choice_row: Vec<usize> = Vec::with_capacity(n_rows);
         if trip.is_none() {
-            // Oracle step, parallel over jobs: each job's penalized
-            // argmin is independent and writes only its own `choice`
-            // slot, so chunk scheduling cannot affect the result.
-            let oracle: Result<(), epplan_solve::DeadlineExceeded> =
-                epplan_par::try_par_chunks_for_each_mut(
-                &mut choice,
-                ORACLE_MIN_CHUNK,
-                |start, chunk| {
-                    deadline.poll()?;
-                    for (k, slot) in chunk.iter_mut().enumerate() {
-                        let j = start + k;
-                        let machines = &allowed[j];
-                        if machines.is_empty() {
-                            continue;
+            for &i in &arena.active {
+                let i = i as usize;
+                loc[i] = lambda[i] * inv_cap[i];
+            }
+            // Oracle step, parallel over mass-balanced row chunks. The
+            // boundaries are fixed and chunk results merge in index
+            // order, so scheduling cannot affect the result.
+            let parts: Vec<Result<Vec<usize>, DeadlineExceeded>> =
+                epplan_par::par_range_map(n_chunks, 1, |chunk_range| {
+                    let mut out = Vec::new();
+                    for b in chunk_range {
+                        deadline.poll()?;
+                        for r in arena.bounds[b]..arena.bounds[b + 1] {
+                            let lo = arena.offsets[r];
+                            let hi = arena.offsets[r + 1];
+                            let k = row_argmin(
+                                &arena.machines[lo..hi],
+                                &arena.costs[lo..hi],
+                                &arena.times[lo..hi],
+                                &loc,
+                            );
+                            out.push(k.map_or(usize::MAX, |k| lo + k));
                         }
-                        let mut best = f64::INFINITY;
-                        let mut best_i = machines[0] as usize;
-                        for &iu in machines {
-                            let i = iu as usize;
-                            let cap = inst.capacity(i).max(1e-12);
-                            let pen =
-                                inst.cost(i, j) + lambda[i] * inst.time(i, j) / cap;
-                            if pen < best {
-                                best = pen;
-                                best_i = i;
-                            }
-                        }
-                        *slot = best_i;
                     }
-                    Ok(())
-                },
-            );
-            if oracle.is_err() {
+                    Ok(out)
+                });
+            let mut tripped = false;
+            for part in parts {
+                match part {
+                    Ok(mut v) => choice_row.append(&mut v),
+                    Err(_) => {
+                        tripped = true;
+                        break;
+                    }
+                }
+            }
+            if tripped {
                 // The flag saw the monotonic clock pass the deadline,
                 // so this point check errs; the interrupted round is
                 // discarded like a round the tick never admitted.
@@ -191,50 +364,45 @@ pub fn mw_fractional(
             return Err(out);
         }
         // Load accumulation stays serial in job order: it is O(n)
-        // against the oracle's O(n·m), and summing in a fixed order
-        // keeps every float bit-identical to the pre-parallel solver.
-        load.iter_mut().for_each(|l| *l = 0.0);
-        for (j, &i) in choice.iter().enumerate() {
-            if i != usize::MAX {
-                load[i] += inst.time(i, j);
+        // against the oracle's O(candidates), and summing in a fixed
+        // order keeps every float bit-identical at any thread count.
+        for &i in &arena.active {
+            load[i as usize] = 0.0;
+        }
+        for j in 0..n {
+            let k = choice_row[arena.job_row[j] as usize];
+            if k != usize::MAX {
+                load[arena.machines[k] as usize] += arena.times[k];
             }
         }
-        // Weight update toward observed overload.
-        for i in 0..m {
-            let cap = inst.capacity(i).max(1e-12);
-            let ratio = load[i] / cap;
+        // Weight update toward observed overload, active machines only
+        // (the λ of a machine in no candidate row is never read).
+        for &i in &arena.active {
+            let i = i as usize;
+            let ratio = load[i] * inv_cap[i];
             lambda[i] = (lambda[i] * (cfg.eta * (ratio - 1.0)).exp()).clamp(1e-6, 1e9);
         }
         if round >= burn_in {
-            for (j, &i) in choice.iter().enumerate() {
-                if i != usize::MAX {
-                    frac.add(i, j, 1.0);
+            for j in 0..n {
+                let k = choice_row[arena.job_row[j] as usize];
+                if k != usize::MAX {
+                    frac.add(arena.machines[k] as usize, j, 1.0);
                 }
             }
+            for &i in &arena.active {
+                let i = i as usize;
+                load_sum[i] += load[i];
+            }
             averaged_rounds += 1;
-            // Early exit on a converged trailing average. Parallel over
-            // machines; each machine's load sum runs serially over jobs
-            // and `f64::max` merges exactly, so the ratio is the same
-            // at every thread count.
+            // Early exit on a converged trailing average: worst
+            // load/capacity ratio of the averaged rounds.
             if averaged_rounds >= 10 && averaged_rounds.is_multiple_of(10) {
                 let scale = 1.0 / averaged_rounds as f64;
-                let worst = epplan_par::par_range_reduce(
-                    m,
-                    WIDTH_MIN_CHUNK,
-                    |machines| {
-                        machines
-                            .map(|i| {
-                                let cap = inst.capacity(i).max(1e-12);
-                                let l: f64 = (0..n)
-                                    .map(|j| frac.get(i, j) * inst.time(i, j))
-                                    .sum();
-                                l * scale / cap
-                            })
-                            .fold(0.0f64, f64::max)
-                    },
-                    f64::max,
-                )
-                .unwrap_or(0.0);
+                let worst = arena
+                    .active
+                    .iter()
+                    .map(|&i| load_sum[i as usize] * scale * inv_cap[i as usize])
+                    .fold(0.0f64, f64::max);
                 if worst <= 1.0 + cfg.slack {
                     break;
                 }
@@ -248,24 +416,14 @@ pub fn mw_fractional(
     sp.add_iters(epochs);
     epplan_obs::counter_add("packing.epochs", epochs);
     epplan_obs::counter_add("packing.oracle_calls", epochs * assignable_jobs);
-    if epplan_obs::metrics_enabled() {
+    if epplan_obs::metrics_enabled() && averaged_rounds > 0 {
         // Width of the fractional solution: worst load/capacity ratio.
-        let worst = epplan_par::par_range_reduce(
-            m,
-            WIDTH_MIN_CHUNK,
-            |machines| {
-                machines
-                    .map(|i| {
-                        let cap = inst.capacity(i).max(1e-12);
-                        let l: f64 =
-                            (0..n).map(|j| frac.get(i, j) * inst.time(i, j)).sum();
-                        l / cap
-                    })
-                    .fold(0.0f64, f64::max)
-            },
-            f64::max,
-        )
-        .unwrap_or(0.0);
+        let scale = 1.0 / averaged_rounds as f64;
+        let worst = arena
+            .active
+            .iter()
+            .map(|&i| load_sum[i as usize] * scale * inv_cap[i as usize])
+            .fold(0.0f64, f64::max);
         epplan_obs::gauge_set("packing.width", worst);
     }
     Ok(frac)
@@ -364,6 +522,76 @@ mod tests {
         for j in 0..3 {
             assert!((x.job_mass(j) - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_layouts_agree_bitwise() {
+        // Two copies of one event (identical columns) plus one other
+        // job, built dense and as a shared-row sparse instance: the MW
+        // scheme must produce the exact same fractional solution.
+        let dense = GapInstance::from_matrices(
+            vec![vec![0.2, 0.2, 0.7], vec![0.5, 0.5, 0.1]],
+            vec![vec![1.0, 1.0, 2.0], vec![1.5, 1.5, 1.0]],
+            vec![2.0, 3.0],
+        );
+        let sparse = GapInstance::from_group_candidates(
+            2,
+            vec![2.0, 3.0],
+            vec![0, 0, 1],
+            &[
+                vec![(0, 0.2, 1.0), (1, 0.5, 1.5)],
+                vec![(0, 0.7, 2.0), (1, 0.1, 1.0)],
+            ],
+        );
+        let cfg = PackingConfig {
+            iterations: 60,
+            ..Default::default()
+        };
+        let xd = mw_fractional(&dense, &cfg).unwrap();
+        let xs = mw_fractional(&sparse, &cfg).unwrap();
+        for j in 0..3 {
+            assert_eq!(xd.support(j), xs.support(j), "job {j}");
+        }
+    }
+
+    #[test]
+    fn mass_bounds_cover_rows_exactly() {
+        let offsets = vec![0usize, 10, 10, 4000, 4001, 9000, 9001];
+        let bounds = mass_bounds(&offsets, 4096);
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), 6);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        // Empty arena: no chunks.
+        assert_eq!(mass_bounds(&[0], 4096), vec![0]);
+    }
+
+    #[test]
+    fn row_argmin_is_leftmost_strict_min() {
+        let loc = vec![0.0; 8];
+        // Tie on the minimum: the earlier index wins, regardless of
+        // where the lanes land.
+        let costs = vec![5.0, 1.0, 3.0, 1.0, 2.0, 1.0, 9.0];
+        let machines: Vec<u32> = (0..7).collect();
+        let times = vec![0.0; 7];
+        assert_eq!(row_argmin(&machines, &costs, &times, &loc), Some(1));
+        assert_eq!(row_argmin(&[], &[], &[], &loc), None);
+        // Serial reference on a longer pseudo-random row.
+        let costs: Vec<f64> = (0..29).map(|k| ((k * 7919) % 97) as f64).collect();
+        let machines: Vec<u32> = (0..29).map(|k| k % 8).collect();
+        let times: Vec<f64> = (0..29).map(|k| (k % 5) as f64).collect();
+        let loc: Vec<f64> = (0..8).map(|i| 0.25 * i as f64).collect();
+        let serial = (0..29)
+            .map(|k| costs[k] + loc[machines[k] as usize] * times[k])
+            .enumerate()
+            .fold((usize::MAX, f64::INFINITY), |acc, (k, pen)| {
+                if pen < acc.1 {
+                    (k, pen)
+                } else {
+                    acc
+                }
+            })
+            .0;
+        assert_eq!(row_argmin(&machines, &costs, &times, &loc), Some(serial));
     }
 
     #[test]

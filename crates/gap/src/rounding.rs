@@ -82,19 +82,35 @@ pub fn round_shmoys_tardos_with_budget(
         job_slot_index[j] = k;
     }
 
-    // Build slots machine by machine.
+    // Gather every (machine, job, fraction) contact job-major (support
+    // lists are machine-ascending), then stable-sort by machine: each
+    // machine's run keeps ascending job order — the same scan order the
+    // dense layout produced — in O(nnz log nnz) instead of O(m·n).
+    let mut triples: Vec<(usize, usize, f64)> = Vec::new();
+    for &j in &active {
+        for &(i, v) in frac.support(j) {
+            if v > EPS {
+                triples.push((i as usize, j, v));
+            }
+        }
+    }
+    triples.sort_by_key(|&(i, _, _)| i);
+
+    // Build slots machine by machine (runs of equal machine in the
+    // sorted triples, ascending — the dense `0..m` order minus the
+    // machines with no mass).
     let mut slot_machine: Vec<usize> = Vec::new(); // slot id → machine
     let mut edges: Vec<(usize, usize, f64)> = Vec::new(); // (job idx, slot id, cost)
-    for i in 0..m {
-        let mut jobs: Vec<(usize, f64)> = (0..n)
-            .filter_map(|j| {
-                let v = frac.get(i, j);
-                (v > EPS && job_slot_index[j] != usize::MAX).then_some((j, v))
-            })
-            .collect();
-        if jobs.is_empty() {
-            continue;
+    let mut pos = 0usize;
+    while pos < triples.len() {
+        let i = triples[pos].0;
+        let mut end = pos;
+        while end < triples.len() && triples[end].0 == i {
+            end += 1;
         }
+        let mut jobs: Vec<(usize, f64)> =
+            triples[pos..end].iter().map(|&(_, j, v)| (j, v)).collect();
+        pos = end;
         // Non-increasing processing time (ties by job id for determinism).
         jobs.sort_by(|a, b| {
             inst.time(i, b.0)
@@ -151,9 +167,11 @@ pub fn round_shmoys_tardos_with_budget(
     // matching cannot place it. `None` only for a job with no mass
     // anywhere — which `active` excludes, but stay defensive.
     let fallback_machine = |j: usize| -> Option<usize> {
-        (0..m)
-            .filter(|&i| frac.get(i, j) > EPS)
-            .max_by(|&a, &b| frac.get(a, j).total_cmp(&frac.get(b, j)))
+        frac.support(j)
+            .iter()
+            .filter(|&&(_, v)| v > EPS)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(i, _)| i as usize)
     };
 
     let place = |left_to_right: &[usize]| -> Vec<Option<usize>> {

@@ -99,9 +99,7 @@ impl GapSolver {
         }
         let _sp = epplan_obs::span("gap.pipeline");
         let guard = BudgetGuard::new(self.config.budget);
-        let n_pairs = (0..inst.n_jobs())
-            .map(|j| inst.allowed_machines(j).count())
-            .sum::<usize>();
+        let n_pairs = inst.allowed_pairs_count();
         let use_simplex = match self.config.method {
             FractionalMethod::Auto => n_pairs <= self.config.auto_simplex_limit,
             FractionalMethod::Simplex => true,
@@ -176,18 +174,17 @@ fn complete_solution(inst: &GapInstance, sol: &mut GapSolution) {
     // slack (capacity + the job's own time), preferring cheap pairs.
     let leftovers = sol.unassigned_jobs();
     for j in leftovers {
-        let mut best: Option<(usize, f64)> = None;
-        for i in inst.allowed_machines(j) {
-            let c = inst.cost(i, j);
-            if sol.loads[i] + inst.time(i, j) <= inst.capacity(i) + 1e-9
-                && best.is_none_or(|(_, bc)| c < bc)
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (i, c, t) in inst.allowed_triples(j) {
+            if sol.loads[i] + t <= inst.capacity(i) + 1e-9
+                && best.is_none_or(|(_, bc, _)| c < bc)
             {
-                best = Some((i, c));
+                best = Some((i, c, t));
             }
         }
-        if let Some((i, c)) = best {
+        if let Some((i, c, t)) = best {
             sol.assignment[j] = Some(i);
-            sol.loads[i] += inst.time(i, j);
+            sol.loads[i] += t;
             sol.cost += c;
         }
     }
@@ -203,15 +200,18 @@ fn complete_solution(inst: &GapInstance, sol: &mut GapSolution) {
 /// in the GEPC reduction) jobs until the bound holds, leaving them for
 /// the greedy completion pass (which respects strict capacity).
 fn enforce_st_load_bound(inst: &GapInstance, sol: &mut GapSolution) {
-    for i in 0..inst.n_machines() {
+    // One pass over the assignment builds every machine's job list
+    // (ascending job ids); the eviction loops then never rescan the
+    // full assignment, keeping this O(assigned + evictions·list).
+    let mut on_machine: Vec<Vec<usize>> = vec![Vec::new(); inst.n_machines()];
+    for (j, &mi) in sol.assignment.iter().enumerate() {
+        if let Some(i) = mi {
+            on_machine[i].push(j);
+        }
+    }
+    for (i, on_i) in on_machine.into_iter().enumerate() {
+        let mut on_i = on_i;
         loop {
-            let mut on_i: Vec<usize> = sol
-                .assignment
-                .iter()
-                .enumerate()
-                .filter(|&(_, &mi)| mi == Some(i))
-                .map(|(j, _)| j)
-                .collect();
             let max_p = on_i
                 .iter()
                 .map(|&j| inst.time(i, j))
@@ -219,11 +219,21 @@ fn enforce_st_load_bound(inst: &GapInstance, sol: &mut GapSolution) {
             if sol.loads[i] <= inst.capacity(i) + max_p + 1e-9 {
                 break;
             }
-            // Evict the most expensive job on this machine.
-            on_i.sort_by(|&a, &b| inst.cost(i, a).total_cmp(&inst.cost(i, b)));
-            let Some(&j) = on_i.last() else {
+            // Evict the most expensive job on this machine; `>=` over
+            // the ascending list keeps the largest job id among cost
+            // ties, matching the stable sort-and-take-last this
+            // replaced.
+            let mut victim: Option<(usize, f64)> = None;
+            for (k, &j) in on_i.iter().enumerate() {
+                let c = inst.cost(i, j);
+                if victim.is_none_or(|(_, bc)| c >= bc) {
+                    victim = Some((k, c));
+                }
+            }
+            let Some((k, _)) = victim else {
                 break;
             };
+            let j = on_i.remove(k);
             sol.assignment[j] = None;
             sol.loads[i] -= inst.time(i, j);
             sol.cost -= inst.cost(i, j);

@@ -63,6 +63,7 @@ pub const SPAN_NAMES: &[&str] = &[
     "solve.gap_based",
     "solve.greedy_fallback",
     "solve.certify",
+    "core.candidates.build",
     "iep.apply",
     "serve.op",
     "serve.resolve",
@@ -100,6 +101,8 @@ pub const GAUGE_NAMES: &[&str] = &[
     "budget.spent_ms",
     "packing.par.threads",
     "packing.par.chunks",
+    "packing.arena.candidates",
+    "gap.candidates.per_user",
     "lp.par.threads",
     "lp.par.chunks",
     "greedy.par.threads",

@@ -9,4 +9,7 @@ fn instrumented() {
     epplan_obs::gauge_set("nope.gauge", 1.0);
     epplan_obs::observe("rogue.histogram", 7);
     let _bw = epplan_obs::window("rogue.window", epplan_obs::WindowConfig::default());
+    let _sc = epplan_obs::span("core.candidates.build");
+    epplan_obs::gauge_set("gap.candidates.per_user", 12.5);
+    epplan_obs::gauge_set("packing.arena.candidates", 4096.0);
 }

@@ -187,6 +187,9 @@ impl Daemon {
             })?;
             daemon.write_snapshot()?; // also creates the fresh WAL
         }
+        // Warm the candidate-list cache so the first op's repair pays
+        // the O(candidates) build here, not inside its latency budget.
+        let _ = daemon.instance.candidates();
         daemon.publish_gauges();
         Ok(daemon)
     }
@@ -226,6 +229,9 @@ impl Daemon {
                 "restored snapshot failed certification: {cert}"
             )));
         }
+        // Warm the candidate-list cache before the WAL replay: replayed
+        // ops repair through the same sparse paths as live ones.
+        let _ = daemon.instance.candidates();
         let records = wal::read_wal(&state_dir.join(wal::WAL_FILE))?;
         let mut pending: Vec<(SequencedOp, Option<OutcomeMode>)> = Vec::new();
         for rec in records {

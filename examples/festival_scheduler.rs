@@ -50,7 +50,7 @@ fn build_festival() -> Instance {
         utilities.set(UserId(u), EventId(2), if u < 8 { 0.5 } else { 0.6 });
         utilities.set(UserId(u), EventId(3), 0.45);
     }
-    Instance::new(users, events, utilities)
+    Instance::new(users, events, utilities).unwrap()
 }
 
 /// Utility that actually materializes: assignments to events below

@@ -1,7 +1,8 @@
 //! `epplan` — command-line interface to the event-participant planner.
 //!
 //! ```text
-//! epplan generate --users 500 --events 50 [--seed 42] --out instance.json
+//! epplan generate --users 500 --events 50 [--seed 42] [--pruned]
+//!                 [--budget-frac 0.3,0.5] --out instance.json
 //! epplan generate --city vancouver --out instance.json
 //! epplan solve --instance instance.json [--solver greedy|gap|exact]
 //!              [--seed 7] [--time-limit-ms 500] [--max-iters 10000]
@@ -170,8 +171,8 @@ struct FlagSpec {
 fn flag_spec(cmd: &str) -> FlagSpec {
     match cmd {
         "generate" => FlagSpec {
-            value: &["users", "events", "seed", "out", "city", "threads"],
-            boolean: &[],
+            value: &["users", "events", "seed", "out", "city", "threads", "budget-frac"],
+            boolean: &["pruned"],
         },
         "solve" => FlagSpec {
             value: &[
@@ -359,10 +360,33 @@ fn cmd_generate(flags: HashMap<String, String>) {
                 })
                 .unwrap_or(d)
         };
+        // `--budget-frac lo,hi` narrows the travel-budget window (as
+        // fractions of the city extent); with `--pruned` the utility
+        // matrix is emitted in CSR candidate form — the only layout
+        // that fits the |U| ≥ 10⁵ scale instances in memory.
+        let budget_frac = match flags.get("budget-frac") {
+            Some(v) => {
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(FailClass::Usage, "bad --budget-frac"))
+                    })
+                    .collect();
+                match parts.as_slice() {
+                    [lo, hi] if 0.0 < *lo && lo <= hi => (*lo, *hi),
+                    _ => fail(FailClass::Usage, "--budget-frac wants LO,HI with 0 < LO <= HI"),
+                }
+            }
+            None => GeneratorConfig::default().budget_frac,
+        };
         let cfg = GeneratorConfig {
             n_users: get("users", 500),
             n_events: get("events", 50),
             seed: get("seed", 42) as u64,
+            candidate_pruned: flags.contains_key("pruned"),
+            budget_frac,
             ..Default::default()
         };
         generate(&cfg)

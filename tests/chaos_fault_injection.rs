@@ -55,8 +55,8 @@ fn instance() -> Instance {
         vec![0.9, 0.4],
         vec![0.7, 0.8],
         vec![0.5, 0.6],
-    ]);
-    Instance::new(users, events, utilities)
+    ]).unwrap();
+    Instance::new(users, events, utilities).unwrap()
 }
 
 /// An instance whose unrepaired GAP assignment is genuinely corrupt:
@@ -71,8 +71,8 @@ fn conflict_prone_instance() -> Instance {
         Event::new(Point::new(0.0, 1.0), 1, 2, TimeInterval::new(0, 59)),
         Event::new(Point::new(0.0, 2.0), 1, 2, TimeInterval::new(30, 119)),
     ];
-    let utilities = UtilityMatrix::from_rows(vec![vec![0.9, 0.9], vec![0.0, 0.0]]);
-    Instance::new(users, events, utilities)
+    let utilities = UtilityMatrix::from_rows(vec![vec![0.9, 0.9], vec![0.0, 0.0]]).unwrap();
+    Instance::new(users, events, utilities).unwrap()
 }
 
 /// Runs the certified gap_based chain under a `flow.mcmf.augment`

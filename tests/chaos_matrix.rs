@@ -78,8 +78,8 @@ fn instance() -> Instance {
         vec![0.7, 0.8, 0.2],
         vec![0.5, 0.6, 0.9],
         vec![0.3, 0.0, 0.8],
-    ]);
-    Instance::new(users, events, utilities)
+    ]).unwrap();
+    Instance::new(users, events, utilities).unwrap()
 }
 
 /// Asserts the universal outcome contract for a GEPC solve under an

@@ -34,8 +34,8 @@ fn instance() -> Instance {
         vec![0.9, 0.4, 0.3],
         vec![0.7, 0.8, 0.2],
         vec![0.5, 0.0, 0.9], // zero utility for (u2, e1)
-    ]);
-    Instance::new(users, events, utilities)
+    ]).unwrap();
+    Instance::new(users, events, utilities).unwrap()
 }
 
 /// Deserializes a handcrafted plan JSON — the only way to construct

@@ -137,6 +137,28 @@ proptest! {
     }
 
     #[test]
+    fn dense_and_sparse_instances_solve_identically(cfg in arb_config()) {
+        // The CSR instance layout contract: generating the same config
+        // with `candidate_pruned` on must yield bit-identical solver
+        // output — the pruned pairs (μ = 0, or unaffordable even
+        // alone) can never appear in any feasible plan. Checked at
+        // both thread counts so the sparse path also honours the
+        // determinism contract.
+        let dense_cfg = cfg.clone();
+        let sparse_cfg = GeneratorConfig { candidate_pruned: true, ..cfg };
+        let (serial, parallel) = at_both_thread_counts(|| {
+            let dense = GapBasedSolver::default().solve(&generate(&dense_cfg));
+            let sparse = GapBasedSolver::default().solve(&generate(&sparse_cfg));
+            (dense, sparse)
+        });
+        prop_assert_eq!(&serial.0.plan, &serial.1.plan);
+        prop_assert_eq!(serial.0.utility.to_bits(), serial.1.utility.to_bits());
+        prop_assert_eq!(&serial.1.plan, &parallel.1.plan);
+        prop_assert_eq!(parallel.0.utility.to_bits(), parallel.1.utility.to_bits());
+        prop_assert_eq!(serial.1.utility.to_bits(), parallel.1.utility.to_bits());
+    }
+
+    #[test]
     fn lns_is_thread_invariant(cfg in arb_config(), seed in 0u64..50) {
         let inst = generate(&cfg);
         let (serial, parallel) =

@@ -73,7 +73,7 @@ fn adversarial_instance(n_users: usize, n_events: usize, regime: usize, seed: u6
             }
         }
     }
-    Instance::new(users, events, matrix)
+    Instance::new(users, events, matrix).unwrap()
 }
 
 fn arb_adversarial() -> impl Strategy<Value = Instance> {
@@ -256,7 +256,7 @@ proptest! {
 
 #[test]
 fn empty_instance_is_survivable_by_every_solver() {
-    let inst = Instance::new(Vec::new(), Vec::new(), UtilityMatrix::zeros(0, 0));
+    let inst = Instance::new(Vec::new(), Vec::new(), UtilityMatrix::zeros(0, 0)).unwrap();
 
     let sol = GreedySolver::seeded(7).solve(&inst);
     assert!(sol.plan.validate(&inst).hard_ok());
