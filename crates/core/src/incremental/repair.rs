@@ -59,6 +59,7 @@ pub fn transfer_users_to(
     }
 
     let mut heap = std::collections::BinaryHeap::new();
+    // epplan-lint: allow(sparse/dense-scan) — donor search must consider every source event once per repair op (O(|E| + assignments)); there is no event→donor inverted index to iterate instead
     for source in instance.event_ids() {
         if source == event {
             continue;

@@ -283,44 +283,56 @@ impl Instance {
     // ---- mutation API for IEP atomic operations ----
     //
     // Every mutation that can change candidate membership (utility,
-    // budget, venue, fee, new event) drops the cached candidate lists;
-    // time windows and participation bounds do not enter the candidate
-    // predicate, so those setters leave the cache alone.
+    // budget, venue, fee, new event) routes through
+    // `invalidate_candidates`; time windows and participation bounds do
+    // not enter the candidate predicate, so those setters leave the
+    // cache alone (each carries the audited-allow explaining why —
+    // `sparse/cache-invalidate` proves the routing for everything else).
+
+    /// Drops the cached CSR candidate lists; the next `candidates()`
+    /// call rebuilds them against the current utilities/budgets/events.
+    /// Every state-writing mutator must reach this (enforced by the
+    /// `sparse/cache-invalidate` lint rule).
+    pub fn invalidate_candidates(&mut self) {
+        self.candidates.take();
+    }
 
     /// Sets `μ(u, e)`.
     pub fn set_utility(&mut self, u: UserId, e: EventId, value: f64) {
         self.utilities.set(u, e, value);
-        self.candidates.take();
+        self.invalidate_candidates();
     }
 
     /// Sets a user's travel budget.
     pub fn set_budget(&mut self, u: UserId, budget: f64) {
         assert!(budget >= 0.0, "negative travel budget");
         self.users[u.index()].budget = budget;
-        self.candidates.take();
+        self.invalidate_candidates();
     }
 
     /// Sets an event's time window.
     pub fn set_event_time(&mut self, e: EventId, time: TimeInterval) {
+        // epplan-lint: allow(sparse/cache-invalidate) — time windows are not in the candidate predicate (only μ > 0 and lone-event affordability); conflict checks read them live
         self.events[e.index()].time = time;
     }
 
     /// Sets an event's venue location.
     pub fn set_event_location(&mut self, e: EventId, location: Point) {
         self.events[e.index()].location = location;
-        self.candidates.take();
+        self.invalidate_candidates();
     }
 
     /// Sets an event's admission fee (the Section VII extension).
     pub fn set_event_fee(&mut self, e: EventId, fee: f64) {
         assert!(fee >= 0.0, "negative admission fee");
         self.events[e.index()].fee = fee;
-        self.candidates.take();
+        self.invalidate_candidates();
     }
 
     /// Sets an event's participation bounds; panics if inverted.
     pub fn set_event_bounds(&mut self, e: EventId, lower: u32, upper: u32) {
         assert!(lower <= upper, "lower bound {lower} exceeds upper {upper}");
+        // epplan-lint: allow(sparse/cache-invalidate) — participation bounds are plan-side constraints, not part of the per-user candidate predicate
         let ev = &mut self.events[e.index()];
         ev.lower = lower;
         ev.upper = upper;
@@ -336,7 +348,7 @@ impl Instance {
         for (u, &v) in utilities.iter().enumerate() {
             self.utilities.set(UserId(u as u32), id, v);
         }
-        self.candidates.take();
+        self.invalidate_candidates();
         id
     }
 }
@@ -433,6 +445,81 @@ mod tests {
         // Zeroing the utility evicts e0 as well.
         inst.set_utility(UserId(0), EventId(0), 0.0);
         assert!(inst.candidates().row(UserId(0)).0.is_empty());
+    }
+
+    // Runtime twin of the `sparse/cache-invalidate` lint rule: one
+    // test per mutator proving `candidates()` reflects the mutation
+    // (or, for the predicate-neutral setters, that the cache is
+    // deliberately retained).
+
+    #[test]
+    fn set_utility_rebuilds_candidates() {
+        let mut inst = two_by_two();
+        assert!(inst.candidates().contains(UserId(0), EventId(0)));
+        inst.set_utility(UserId(0), EventId(0), 0.0);
+        assert!(!inst.candidates().contains(UserId(0), EventId(0)));
+        inst.set_utility(UserId(0), EventId(0), 0.9);
+        assert!(inst.candidates().contains(UserId(0), EventId(0)));
+    }
+
+    #[test]
+    fn set_budget_rebuilds_candidates() {
+        let mut inst = two_by_two();
+        // u1 on budget 5 affords nothing; raising it to 30 covers e0's
+        // 2·√109 ≈ 20.9 round trip (μ = 0.2 > 0).
+        assert!(inst.candidates().row(UserId(1)).0.is_empty());
+        inst.set_budget(UserId(1), 30.0);
+        assert_eq!(inst.candidates().row(UserId(1)).0, &[0]);
+    }
+
+    #[test]
+    fn set_event_location_rebuilds_candidates() {
+        let mut inst = two_by_two();
+        assert!(inst.candidates().contains(UserId(0), EventId(1)));
+        // Moving e1 to (10, 0) makes u0's round trip 20 > budget 10.
+        inst.set_event_location(EventId(1), Point::new(10.0, 0.0));
+        assert!(!inst.candidates().contains(UserId(0), EventId(1)));
+    }
+
+    #[test]
+    fn set_event_fee_rebuilds_candidates() {
+        let mut inst = two_by_two();
+        assert!(inst.candidates().contains(UserId(0), EventId(1)));
+        // e1's round trip costs u0 8 of 10; a fee of 3 breaks it.
+        inst.set_event_fee(EventId(1), 3.0);
+        assert!(!inst.candidates().contains(UserId(0), EventId(1)));
+        inst.set_event_fee(EventId(1), 0.0);
+        assert!(inst.candidates().contains(UserId(0), EventId(1)));
+    }
+
+    #[test]
+    fn add_event_rebuilds_candidates() {
+        let mut inst = two_by_two();
+        let before = inst.candidates().row(UserId(0)).0.len();
+        let e = inst.add_event(
+            Event::new(Point::new(1.0, 1.0), 0, 3, TimeInterval::new(300, 360)),
+            &[0.4, 0.6],
+        );
+        let cs = inst.candidates();
+        assert!(cs.contains(UserId(0), e));
+        assert_eq!(cs.row(UserId(0)).0.len(), before + 1);
+        // u1's budget (5) cannot cover the ≈18.1 round trip.
+        assert!(!cs.contains(UserId(1), e));
+    }
+
+    #[test]
+    fn predicate_neutral_setters_keep_the_cache() {
+        let mut inst = two_by_two();
+        let before = inst.candidates() as *const CandidateSet;
+        // Time windows and participation bounds are outside the
+        // candidate predicate: the cached lists must survive untouched
+        // (the same audited exemption `sparse/cache-invalidate` grants
+        // these setters).
+        inst.set_event_time(EventId(0), TimeInterval::new(0, 30));
+        inst.set_event_bounds(EventId(0), 0, 1);
+        let after = inst.candidates() as *const CandidateSet;
+        assert!(std::ptr::eq(before, after), "cache was dropped needlessly");
+        assert!(inst.candidates().contains(UserId(0), EventId(0)));
     }
 
     #[test]

@@ -204,6 +204,7 @@ impl UtilityMatrix {
         match &self.storage {
             Storage::Dense(values) => {
                 let s = user.index() * self.n_events;
+                // epplan-lint: allow(sparse/dense-scan) — Dense-layout arm: one user's row scan is this storage's native access; large instances use the Sparse arm below
                 for (e, &v) in values[s..s + self.n_events].iter().enumerate() {
                     if v > 0.0 {
                         f(EventId(e as u32), v);

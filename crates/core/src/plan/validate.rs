@@ -125,6 +125,7 @@ pub(crate) fn validate(plan: &Plan, instance: &Instance) -> Validation {
     }
 
     // Constraints 3 and 4: participation bounds.
+    // epplan-lint: allow(sparse/dense-scan) — bounds are per-event by definition; validation is one O(|E|) pass, not a users × events product
     for e in instance.event_ids() {
         let n = plan.attendance(e);
         let ev = instance.event(e);

@@ -42,6 +42,7 @@ impl ExactSolver {
     fn feasible_subsets(&self, instance: &Instance, u: UserId) -> Vec<(u32, f64)> {
         let m = instance.n_events();
         let mut out = Vec::new();
+        // epplan-lint: allow(sparse/dense-scan) — exhaustive 2^|E| subset enumeration is the exact solver's contract; it only runs on deliberately tiny instances
         'mask: for mask in 0u32..(1 << m) {
             let events: Vec<EventId> = (0..m)
                 .filter(|&j| mask & (1 << j) != 0)
@@ -194,6 +195,7 @@ impl ExactSolver {
         let reconstruct = |chosen: &[u32]| {
             let mut plan = Plan::for_instance(instance);
             for (u, mask) in chosen.iter().enumerate() {
+                // epplan-lint: allow(sparse/dense-scan) — unpacking a per-user subset bitmask is O(|E|) by construction; exact instances are tiny
                 for j in 0..m {
                     if mask & (1 << j) != 0 {
                         plan.add(UserId(u as u32), EventId(j as u32));

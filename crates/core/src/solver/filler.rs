@@ -15,12 +15,18 @@
 
 use crate::model::{EventId, Instance, UserId};
 use crate::plan::Plan;
+use epplan_solve::{DeadlineExceeded, DeadlineFlag};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Users per parallel candidate-scan chunk (each user costs an `O(m)`
 /// pass over the events).
 const SCAN_MIN_CHUNK: usize = 16;
+
+/// Heap pops between deadline polls in the drain loop. Pops are cheap
+/// (a heap sift plus a few constraint checks), so a modest stride keeps
+/// the poll cost invisible while still bounding overshoot.
+const POLL_STRIDE: usize = 64;
 
 /// A max-heap key ordering candidate assignments by utility.
 #[derive(PartialEq)]
@@ -59,6 +65,37 @@ impl Ord for Candidate {
 /// budget, less capacity), so a candidate that fails once can be
 /// discarded permanently.
 pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserId]>) -> usize {
+    match fill_impl(instance, plan, users, None) {
+        Ok(added) => added,
+        // No deadline was supplied, so no poll can ever trip.
+        Err(DeadlineExceeded) => unreachable!("fill without a deadline cannot trip"),
+    }
+}
+
+/// [`fill_to_upper`] under a wall-clock deadline: the budget-governed
+/// entry point for anytime solvers and per-op serving budgets. The flag
+/// is polled between per-user candidate scans and every
+/// [`POLL_STRIDE`] heap pops.
+///
+/// On `Err` the plan holds a *valid partial fill* — a prefix of the
+/// same deterministic descending-utility pop order the unbudgeted fill
+/// follows — and every hard constraint still holds. Callers that need
+/// all-or-nothing semantics should clone the plan first.
+pub fn try_fill_to_upper(
+    instance: &Instance,
+    plan: &mut Plan,
+    users: Option<&[UserId]>,
+    deadline: &DeadlineFlag,
+) -> Result<usize, DeadlineExceeded> {
+    fill_impl(instance, plan, users, Some(deadline))
+}
+
+fn fill_impl(
+    instance: &Instance,
+    plan: &mut Plan,
+    users: Option<&[UserId]>,
+    deadline: Option<&DeadlineFlag>,
+) -> Result<usize, DeadlineExceeded> {
     let user_iter: Vec<UserId> = match users {
         Some(us) => us.to_vec(),
         None => instance.user_ids().collect(),
@@ -88,6 +125,9 @@ pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserI
     let mut heap: BinaryHeap<Candidate> = if users.is_some() {
         let mut out: Vec<Candidate> = Vec::new();
         for &u in &user_iter {
+            if let Some(d) = deadline {
+                d.poll()?;
+            }
             instance.utilities().for_each_positive_in_row(u, |e, mu| {
                 if !crate::model::candidates::is_candidate(instance, u, e, mu) {
                     return;
@@ -108,8 +148,13 @@ pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserI
         BinaryHeap::from(out)
     } else {
         let cands = instance.candidates();
-        BinaryHeap::from(
+        // One poll per chunk: the flag latches on first expiry, so the
+        // whole parallel scan drains promptly (see `gap.packing`).
+        let parts: Vec<Result<Vec<Candidate>, DeadlineExceeded>> =
             epplan_par::par_chunks_map(&user_iter, SCAN_MIN_CHUNK, |_, chunk| {
+                if let Some(d) = deadline {
+                    d.poll()?;
+                }
                 let mut out: Vec<Candidate> = Vec::new();
                 for &u in chunk {
                     let (events, utils) = cands.row(u);
@@ -128,16 +173,24 @@ pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserI
                         });
                     }
                 }
-                out
-            })
-            .into_iter()
-            .flatten()
-            .collect::<Vec<_>>(),
-        )
+                Ok(out)
+            });
+        let mut all: Vec<Candidate> = Vec::new();
+        for part in parts {
+            all.extend(part?);
+        }
+        BinaryHeap::from(all)
     };
 
     let mut added = 0;
+    let mut pops = 0usize;
     while let Some(c) = heap.pop() {
+        pops += 1;
+        if pops.is_multiple_of(POLL_STRIDE) {
+            if let Some(d) = deadline {
+                d.poll()?;
+            }
+        }
         if plan.attendance(c.event) >= instance.event(c.event).upper {
             continue;
         }
@@ -150,7 +203,7 @@ pub fn fill_to_upper(instance: &Instance, plan: &mut Plan, users: Option<&[UserI
         plan.add(c.user, c.event);
         added += 1;
     }
-    added
+    Ok(added)
 }
 
 #[cfg(test)]
@@ -255,6 +308,36 @@ mod tests {
         );
         // Higher-utility e0 wins.
         assert!(p.contains(&EventId(0)));
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbudgeted_fill() {
+        let inst = open_instance();
+        let mut p1 = Plan::for_instance(&inst);
+        let mut p2 = Plan::for_instance(&inst);
+        let n1 = fill_to_upper(&inst, &mut p1, None);
+        let flag = DeadlineFlag::unlimited();
+        let n2 = try_fill_to_upper(&inst, &mut p2, None, &flag).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn expired_deadline_trips_and_leaves_a_feasible_plan() {
+        use epplan_solve::{BudgetGuard, SolveBudget};
+        let inst = open_instance();
+        let mut plan = Plan::for_instance(&inst);
+        // A zero allowance is pre-expired: every poll trips.
+        let guard =
+            BudgetGuard::new(SolveBudget::from_time_limit(std::time::Duration::ZERO));
+        let flag = guard.deadline_flag();
+        let err = try_fill_to_upper(&inst, &mut plan, None, &flag);
+        assert_eq!(err, Err(DeadlineExceeded));
+        // Whatever prefix landed before the trip is still hard-feasible.
+        assert!(plan.validate(&inst).hard_ok());
+        // Restricted mode polls too.
+        let err = try_fill_to_upper(&inst, &mut plan, Some(&[UserId(0)]), &flag);
+        assert_eq!(err, Err(DeadlineExceeded));
     }
 
     #[test]

@@ -103,6 +103,7 @@ impl GapBasedSolver {
         // sparse GAP layout (identical Theorem-2 columns).
         let mut jobs: Vec<EventId> = Vec::new();
         let mut job_group: Vec<u32> = Vec::new();
+        // epplan-lint: allow(sparse/dense-scan) — Theorem-2 job emission is one O(|E| + Σξ) pass during reduction build, not a per-user sweep
         for e in instance.event_ids() {
             for _ in 0..instance.event(e).lower {
                 jobs.push(e);
@@ -369,6 +370,7 @@ impl GapBasedSolver {
                 FaultAction::PoisonValue => {
                     let mut plan = fallback.plan.clone();
                     for u in instance.user_ids() {
+                        // epplan-lint: allow(sparse/dense-scan) — deliberate poison: the PoisonValue fault action builds a maximally infeasible plan, dense by design
                         for e in instance.event_ids() {
                             plan.add(u, e);
                         }

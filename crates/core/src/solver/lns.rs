@@ -18,7 +18,13 @@ use crate::incremental::repair::transfer_users_to;
 use crate::model::{Instance, UserId};
 use crate::plan::Plan;
 use crate::solver::{filler, GepcSolver, GreedySolver, LocalSearch, Solution};
+use epplan_solve::{
+    BudgetGuard, DeadlineExceeded, DeadlineFlag, FailureKind, SolveBudget, SolveError,
+};
 use rand::prelude::*;
+
+/// Stage label on budget errors from the budgeted LNS entry point.
+const STAGE: &str = "core.lns";
 
 /// Users (or events) per chunk in the acceptance-test scans.
 const SCORE_MIN_CHUNK: usize = 256;
@@ -73,16 +79,19 @@ impl LnsSolver {
         }
     }
 
-    /// One destroy/repair round on `plan`.
+    /// One destroy/repair round on `plan`. A tripped `deadline` aborts
+    /// mid-repair with the plan in a valid (possibly under-filled)
+    /// state; callers discard it and keep the incumbent.
     fn destroy_and_repair(
         &self,
         instance: &Instance,
         plan: &mut Plan,
         rng: &mut StdRng,
-    ) {
+        deadline: Option<&DeadlineFlag>,
+    ) -> Result<(), DeadlineExceeded> {
         let n = instance.n_users();
         if n == 0 {
-            return;
+            return Ok(());
         }
         let k = ((n as f64 * self.destroy_fraction).ceil() as usize).clamp(1, n);
         let mut users: Vec<u32> = (0..n as u32).collect();
@@ -97,16 +106,101 @@ impl LnsSolver {
         }
         // Repair 1: re-secure lower bounds the destruction may have
         // broken, transferring spare users (Algorithm 4 machinery).
+        // epplan-lint: allow(sparse/dense-scan) — lower-bound triage is one O(|E|) attendance sweep per LNS iteration; the transfers it triggers dominate the cost
         for e in instance.event_ids() {
             let lower = instance.event(e).lower;
             if plan.attendance(e) < lower {
+                if let Some(d) = deadline {
+                    d.poll()?;
+                }
                 let _ = transfer_users_to(instance, plan, e, lower);
             }
         }
         // Repair 2: refill the victims (and any capacity the transfers
         // opened) with the utility-aware filler.
-        filler::fill_to_upper(instance, plan, Some(&victims));
-        filler::fill_to_upper(instance, plan, None);
+        match deadline {
+            Some(d) => {
+                filler::try_fill_to_upper(instance, plan, Some(&victims), d)?;
+                filler::try_fill_to_upper(instance, plan, None, d)?;
+            }
+            None => {
+                filler::fill_to_upper(instance, plan, Some(&victims));
+                filler::fill_to_upper(instance, plan, None);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`GepcSolver::solve`] under a per-call [`SolveBudget`]: the
+    /// anytime LNS. One guard tick per destroy/repair iteration
+    /// enforces the iteration cap; the wall-clock deadline is shared
+    /// into the repair machinery via a [`DeadlineFlag`], so a trip cuts
+    /// a fill mid-flight instead of waiting the iteration out. On
+    /// exhaustion the best plan seen so far travels as the error's
+    /// partial — always hard-feasible, never the half-repaired working
+    /// copy.
+    pub fn solve_budgeted(
+        &self,
+        instance: &Instance,
+        budget: SolveBudget,
+    ) -> Result<Solution, SolveError<Solution>> {
+        let mut guard = BudgetGuard::new(budget);
+        let deadline = guard.deadline_flag();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best = GreedySolver::seeded(self.seed).solve(instance).plan;
+        let mut best_utility = plan_utility(instance, &best);
+        let mut best_shortfall = count_shortfall(instance, &best);
+
+        let mut current = best.clone();
+        for _ in 0..self.iterations {
+            if let Err(e) = guard.tick(STAGE) {
+                return Err(e
+                    .discard_partial()
+                    .with_partial(Solution::from_plan(instance, best)));
+            }
+            if self
+                .destroy_and_repair(instance, &mut current, &mut rng, Some(&deadline))
+                .is_err()
+            {
+                // The flag only latches once the monotonic clock passed
+                // the deadline, so this point check errs; the
+                // interrupted iteration's working copy is discarded.
+                let e = match guard.check_deadline(STAGE) {
+                    Err(e) => e,
+                    Ok(()) => SolveError::new(
+                        FailureKind::BudgetExhausted,
+                        STAGE,
+                        "deadline flag tripped".to_string(),
+                    ),
+                };
+                return Err(e
+                    .discard_partial()
+                    .with_partial(Solution::from_plan(instance, best)));
+            }
+            let utility = plan_utility(instance, &current);
+            let shortfall = count_shortfall(instance, &current);
+            if shortfall < best_shortfall
+                || (shortfall == best_shortfall && utility > best_utility + 1e-12)
+            {
+                best = current.clone();
+                best_utility = utility;
+                best_shortfall = shortfall;
+            } else {
+                current = best.clone();
+            }
+        }
+        if let Err(e) = guard.check_deadline(STAGE) {
+            // All iterations ran but the deadline is already blown:
+            // skip the polish and surface the exhaustion with the
+            // unpolished best as the partial.
+            return Err(e
+                .discard_partial()
+                .with_partial(Solution::from_plan(instance, best)));
+        }
+        if self.polish {
+            LocalSearch::default().improve(instance, &mut best);
+        }
+        Ok(Solution::from_plan(instance, best))
     }
 }
 
@@ -120,7 +214,8 @@ impl GepcSolver for LnsSolver {
 
         let mut current = best.clone();
         for _ in 0..self.iterations {
-            self.destroy_and_repair(instance, &mut current, &mut rng);
+            // Infallible without a deadline.
+            let _ = self.destroy_and_repair(instance, &mut current, &mut rng, None);
             let utility = plan_utility(instance, &current);
             let shortfall = count_shortfall(instance, &current);
             // Accept lexicographically: fewer shortfalls first, then
@@ -252,6 +347,43 @@ mod tests {
         .solve(&inst);
         let greedy = GreedySolver::seeded(1).solve(&inst);
         assert_eq!(lns.plan, greedy.plan);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_solve() {
+        let inst = random_instance(11, 20, 6);
+        let plain = LnsSolver::seeded(2).solve(&inst);
+        let budgeted = LnsSolver::seeded(2)
+            .solve_budgeted(&inst, SolveBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(plain.plan, budgeted.plan);
+    }
+
+    #[test]
+    fn zero_deadline_returns_feasible_partial() {
+        let inst = random_instance(12, 25, 7);
+        let err = LnsSolver::seeded(4)
+            .solve_budgeted(
+                &inst,
+                SolveBudget::from_time_limit(std::time::Duration::ZERO),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+        let partial = err.partial.expect("best-so-far travels as the partial");
+        // The partial is the greedy seed (or better) and hard-feasible.
+        assert!(partial.plan.validate(&inst).hard_ok());
+        let greedy = GreedySolver::seeded(4).solve(&inst);
+        assert!(partial.utility >= greedy.utility - 1e-9);
+    }
+
+    #[test]
+    fn iteration_cap_trips_with_partial() {
+        let inst = random_instance(13, 20, 6);
+        let err = LnsSolver::seeded(5)
+            .solve_budgeted(&inst, SolveBudget::from_iteration_cap(3))
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::BudgetExhausted);
+        assert!(err.partial.unwrap().plan.validate(&inst).hard_ok());
     }
 
     #[test]

@@ -251,6 +251,7 @@ impl LocalSearch {
             }
         }
         let mut gain = 0.0;
+        // epplan-lint: allow(sparse/dense-scan) — per-event pass over the CSR transpose built above: O(|E| + candidates), not a users × events product
         for e in instance.event_ids() {
             // The current attendee valuing the event least…
             let attendees = plan.attendees(e);

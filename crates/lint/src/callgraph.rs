@@ -1,0 +1,195 @@
+//! A conservative call graph over the workspace symbol table.
+//!
+//! Resolution is name-based, not type-inferred: `self.foo(…)` binds to
+//! the enclosing impl type's `foo` when one exists, `Type::foo(…)`
+//! binds through the `(type, method)` index, and everything else —
+//! bare calls and method calls on arbitrary receivers — binds to
+//! *every* workspace function of that name. That over-approximation is
+//! the right bias for the rules built on top: reachability-style rules
+//! (dense scans on hot paths) prefer extra edges over missed ones, and
+//! obligation-style rules (must reach `invalidate_candidates`) anchor
+//! on names unique enough that spurious edges cannot satisfy them.
+
+use crate::symbols::Workspace;
+use crate::tokens::TokKind;
+use std::collections::BTreeSet;
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "as", "let", "else",
+];
+
+/// Forward and reverse adjacency over function gids.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[gid]` — functions `gid` may call.
+    pub callees: Vec<Vec<usize>>,
+    /// `callers[gid]` — functions that may call `gid`.
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph by scanning every function body for
+    /// `ident (…)` call sites and resolving them through the symbol
+    /// table.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let n = ws.fns.len();
+        let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (gid, callee_set) in callees.iter_mut().enumerate() {
+            let (file, item) = ws.fn_item(gid);
+            let Some((bs, be)) = item.body else { continue };
+            let toks = &file.ts.toks;
+            for k in bs..=be.min(toks.len().saturating_sub(1)) {
+                let t = &toks[k];
+                if t.kind != TokKind::Ident
+                    || toks.get(k + 1).is_none_or(|nx| nx.text != "(")
+                    || NON_CALLS.contains(&t.text.as_str())
+                {
+                    continue;
+                }
+                let name = t.text.as_str();
+                let mut resolved: Option<&Vec<usize>> = None;
+                if k >= 1 && toks[k - 1].text == "." {
+                    // Method call. `self.name(…)` resolves on the
+                    // enclosing impl type when that method exists.
+                    if k >= 2 && toks[k - 2].text == "self" {
+                        if let Some(ty) = &item.self_ty {
+                            resolved = ws.by_ty_method.get(&(ty.clone(), name.to_string()));
+                        }
+                    }
+                    if resolved.is_none() {
+                        resolved = ws.by_name.get(name);
+                    }
+                } else if k >= 2
+                    && toks[k - 1].text == "::"
+                    && toks[k - 2].kind == TokKind::Ident
+                {
+                    // `Qualifier::name(…)` — a type method when the
+                    // qualifier names a known impl type, otherwise a
+                    // module path resolved by bare name.
+                    let qual = toks[k - 2].text.clone();
+                    resolved = ws.by_ty_method.get(&(qual, name.to_string()));
+                    if resolved.is_none() {
+                        resolved = ws.by_name.get(name);
+                    }
+                } else {
+                    resolved = ws.by_name.get(name);
+                }
+                if let Some(targets) = resolved {
+                    for &tgt in targets {
+                        if tgt != gid {
+                            callee_set.insert(tgt);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (gid, cs) in callees.iter().enumerate() {
+            for &tgt in cs {
+                callers[tgt].push(gid);
+            }
+        }
+        CallGraph {
+            callees: callees.into_iter().map(|s| s.into_iter().collect()).collect(),
+            callers,
+        }
+    }
+
+    /// Functions reachable *from* any seed (seeds included), via
+    /// forward BFS.
+    pub fn reachable_from<I: IntoIterator<Item = usize>>(&self, seeds: I) -> Vec<bool> {
+        self.bfs(seeds, &self.callees)
+    }
+
+    /// Functions that can *reach* any target (targets included), via
+    /// reverse BFS.
+    pub fn reaches<I: IntoIterator<Item = usize>>(&self, targets: I) -> Vec<bool> {
+        self.bfs(targets, &self.callers)
+    }
+
+    fn bfs<I: IntoIterator<Item = usize>>(&self, seeds: I, adj: &[Vec<usize>]) -> Vec<bool> {
+        let mut seen = vec![false; adj.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for s in seeds {
+            if s < seen.len() && !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        while let Some(g) = queue.pop() {
+            for &nx in &adj[g] {
+                if !seen[nx] {
+                    seen[nx] = true;
+                    queue.push(nx);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> (Workspace, CallGraph) {
+        let ws = Workspace::build(&[("crates/core/src/x.rs".to_string(), src.to_string())]);
+        let cg = CallGraph::build(&ws);
+        (ws, cg)
+    }
+
+    fn gid(ws: &Workspace, name: &str) -> usize {
+        ws.by_name.get(name).map(|v| v[0]).unwrap_or(usize::MAX)
+    }
+
+    #[test]
+    fn transitive_reachability() {
+        let (ws, cg) = graph(
+            "fn a() { b(); }\n\
+             fn b() { c(3); }\n\
+             fn c(x: u32) {}\n\
+             fn island() {}\n",
+        );
+        let reach = cg.reachable_from([gid(&ws, "a")]);
+        assert!(reach[gid(&ws, "a")]);
+        assert!(reach[gid(&ws, "b")]);
+        assert!(reach[gid(&ws, "c")]);
+        assert!(!reach[gid(&ws, "island")]);
+
+        let back = cg.reaches([gid(&ws, "c")]);
+        assert!(back[gid(&ws, "a")]);
+        assert!(back[gid(&ws, "b")]);
+        assert!(!back[gid(&ws, "island")]);
+    }
+
+    #[test]
+    fn self_methods_resolve_on_the_impl_type() {
+        let (ws, cg) = graph(
+            "impl Instance {\n\
+               fn set_budget(&mut self) { self.invalidate_candidates(); }\n\
+               fn invalidate_candidates(&mut self) {}\n\
+             }\n",
+        );
+        let reach = cg.reaches([gid(&ws, "invalidate_candidates")]);
+        assert!(reach[gid(&ws, "set_budget")]);
+    }
+
+    #[test]
+    fn qualified_type_methods_resolve() {
+        let (ws, cg) = graph(
+            "impl Flag { fn poll(&self) {} }\n\
+             fn scan() { Flag::poll(&f); }\n",
+        );
+        let reach = cg.reaches([gid(&ws, "poll")]);
+        assert!(reach[gid(&ws, "scan")]);
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let (ws, cg) = graph("fn a() { if (x) { } while (y) { } }\nfn b() {}\n");
+        assert!(cg.callees[gid(&ws, "a")].is_empty());
+        let _ = gid(&ws, "b");
+    }
+}

@@ -15,9 +15,15 @@
 //! The pass is a lightweight tokenizer (see [`tokens`]) — enough to
 //! tell code from strings/comments and to skip `#[cfg(test)]` /
 //! `#[test]` regions where a rule's scope says so — plus a rule
-//! catalogue ([`rules`]) keyed off workspace-relative paths. No `syn`,
-//! no rustc internals: the linter builds and runs in the same fully
-//! offline environment as the rest of the workspace.
+//! catalogue ([`rules`]) keyed off workspace-relative paths. On top of
+//! the token layer sits a semantic layer: an item parser ([`parse`]),
+//! a workspace symbol table ([`symbols`]) and a call graph
+//! ([`callgraph`]) powering the dataflow-lite rules in [`semantic`] —
+//! candidate-cache invalidation, dense-scan and deadline-poll
+//! coverage, unordered parallel reductions, and symbol-resolved
+//! observability/fault name checks. No `syn`, no rustc internals: the
+//! linter builds and runs in the same fully offline environment as the
+//! rest of the workspace.
 //!
 //! **Suppressions are explicit and auditable.** A violation is
 //! silenced only by a same-line or preceding-line comment
@@ -36,14 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod parse;
 pub mod rules;
+pub mod semantic;
+pub mod symbols;
 pub mod tokens;
 
-use rules::FileContext;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// One finding: `path:line:col rule message`.
+/// One finding: `path:line:col rule message`, with the end of the
+/// offending token's span for editor integrations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Workspace-relative path with `/` separators.
@@ -52,10 +62,44 @@ pub struct Diagnostic {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// 1-based line the span ends on (inclusive of the last char's line).
+    pub end_line: u32,
+    /// 1-based column one past the span's last character.
+    pub end_col: u32,
     /// Rule machine name, e.g. `determinism/hash-iter`.
     pub rule: String,
     /// Human explanation.
     pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic anchored on one token, spanning exactly it.
+    pub fn at_tok(path: &str, t: &tokens::Tok, rule: &str, message: String) -> Diagnostic {
+        let (end_line, end_col) = t.span_end();
+        Diagnostic {
+            path: path.to_string(),
+            line: t.line,
+            col: t.col,
+            end_line,
+            end_col,
+            rule: rule.to_string(),
+            message,
+        }
+    }
+
+    /// A zero-width diagnostic at a point (used by the suppression
+    /// meta-rules, which anchor on comments rather than tokens).
+    pub fn at_point(path: &str, line: u32, col: u32, rule: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            col,
+            end_line: line,
+            end_col: col,
+            rule: rule.to_string(),
+            message,
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -114,10 +158,12 @@ impl LintReport {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
                 json_escape(&d.path),
                 d.line,
                 d.col,
+                d.end_line,
+                d.end_col,
                 json_escape(&d.rule),
                 json_escape(&d.message)
             ));
@@ -158,26 +204,53 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Lints a set of in-memory sources as one workspace: per-file token
+/// rules, then the symbol-table / call-graph rules in [`semantic`]
+/// (which see every file at once), then suppression filtering. This is
+/// the core entry point everything else funnels into — keeping the
+/// whole set together is what lets `sparse/cache-invalidate` follow a
+/// call chain across files.
+pub fn lint_sources(sources: &[(String, String)]) -> LintReport {
+    let ws = symbols::Workspace::build(sources);
+    let cg = callgraph::CallGraph::build(&ws);
+    let mut per_file: Vec<Vec<Diagnostic>> = ws
+        .files
+        .iter()
+        .map(|f| rules::run_rules(&f.ctx, &f.ts))
+        .collect();
+    semantic::run(&ws, &cg, &mut per_file);
+
+    let mut report = LintReport {
+        files_scanned: ws.files.len(),
+        ..LintReport::default()
+    };
+    for (fi, file) in ws.files.iter().enumerate() {
+        let (allows, mut meta) = parse_allows(&file.ctx.path, &file.ts);
+        let mut diags = std::mem::take(&mut per_file[fi]);
+        // A diagnostic is suppressed by a matching-rule allow
+        // targeting its line.
+        diags.retain(|d| {
+            !allows
+                .iter()
+                .any(|a| a.rule == d.rule && a.target_line == d.line)
+        });
+        diags.append(&mut meta);
+        diags.sort_by(|a, b| {
+            (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str()))
+        });
+        report.diagnostics.extend(diags);
+        report.allows.extend(allows);
+    }
+    report
+}
+
 /// Lints one file's source text under the rule scopes derived from
 /// `rel_path` (workspace-relative, `/`-separated). Returns surviving
-/// diagnostics and the parsed suppressions.
+/// diagnostics and the parsed suppressions. A one-file workspace: the
+/// semantic rules run too, over just this file's symbols.
 pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Diagnostic>, Vec<Allow>) {
-    let ctx = FileContext::from_path(rel_path);
-    let ts = tokens::tokenize(src);
-    let mut diags = rules::run_rules(&ctx, &ts);
-    let (allows, mut meta) = parse_allows(rel_path, &ts);
-    // A diagnostic is suppressed by a matching-rule allow targeting
-    // its line.
-    diags.retain(|d| {
-        !allows
-            .iter()
-            .any(|a| a.rule == d.rule && a.target_line == d.line)
-    });
-    diags.append(&mut meta);
-    diags.sort_by(|a, b| {
-        (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str()))
-    });
-    (diags, allows)
+    let report = lint_sources(&[(rel_path.to_string(), src.to_string())]);
+    (report.diagnostics, report.allows)
 }
 
 /// Parses every `epplan-lint:` marker in the comment stream. Returns
@@ -198,34 +271,34 @@ fn parse_allows(rel_path: &str, ts: &tokens::TokenStream) -> (Vec<Allow>, Vec<Di
         };
         let rest = rest.trim_start();
         let Some(rest) = rest.strip_prefix("allow(") else {
-            meta.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: c.line,
-                col: 1,
-                rule: "lint/unknown-rule".to_string(),
-                message: "malformed epplan-lint marker: expected `allow(<rule>)`".to_string(),
-            });
+            meta.push(Diagnostic::at_point(
+                rel_path,
+                c.line,
+                1,
+                "lint/unknown-rule",
+                "malformed epplan-lint marker: expected `allow(<rule>)`".to_string(),
+            ));
             continue;
         };
         let Some(close) = rest.find(')') else {
-            meta.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: c.line,
-                col: 1,
-                rule: "lint/unknown-rule".to_string(),
-                message: "malformed epplan-lint marker: unclosed `allow(`".to_string(),
-            });
+            meta.push(Diagnostic::at_point(
+                rel_path,
+                c.line,
+                1,
+                "lint/unknown-rule",
+                "malformed epplan-lint marker: unclosed `allow(`".to_string(),
+            ));
             continue;
         };
         let rule = rest[..close].trim().to_string();
         if !rules::RULES.contains(&rule.as_str()) {
-            meta.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: c.line,
-                col: 1,
-                rule: "lint/unknown-rule".to_string(),
-                message: format!("allow names unknown rule `{rule}`"),
-            });
+            meta.push(Diagnostic::at_point(
+                rel_path,
+                c.line,
+                1,
+                "lint/unknown-rule",
+                format!("allow names unknown rule `{rule}`"),
+            ));
             continue;
         }
         // Reason: everything after the closing paren, stripped of
@@ -237,16 +310,16 @@ fn parse_allows(rel_path: &str, ts: &tokens::TokenStream) -> (Vec<Allow>, Vec<Di
             .trim()
             .to_string();
         if reason.is_empty() {
-            meta.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: c.line,
-                col: 1,
-                rule: "lint/allow-needs-reason".to_string(),
-                message: format!(
+            meta.push(Diagnostic::at_point(
+                rel_path,
+                c.line,
+                1,
+                "lint/allow-needs-reason",
+                format!(
                     "allow({rule}) without a reason: write \
                      `// epplan-lint: allow({rule}) — <why this site is exempt>`"
                 ),
-            });
+            ));
             continue;
         }
         // A trailing comment suppresses its own line; a standalone
@@ -331,9 +404,10 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
     Ok(())
 }
 
-/// Lints a set of files, reporting paths relative to `root`.
+/// Lints a set of files as one workspace (cross-file call graph
+/// included), reporting paths relative to `root`.
 pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, LintError> {
-    let mut report = LintReport::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let src =
             std::fs::read_to_string(path).map_err(|e| LintError::Io(path.clone(), e))?;
@@ -342,12 +416,9 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, LintErro
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let (diags, allows) = lint_source(&rel, &src);
-        report.diagnostics.extend(diags);
-        report.allows.extend(allows);
-        report.files_scanned += 1;
+        sources.push((rel, src));
     }
-    Ok(report)
+    Ok(lint_sources(&sources))
 }
 
 /// Lints the whole workspace rooted at `root` (the `--workspace`
@@ -404,6 +475,8 @@ mod tests {
                 path: "a.rs".into(),
                 line: 1,
                 col: 2,
+                end_line: 1,
+                end_col: 4,
                 rule: "float/exact-eq".into(),
                 message: "a \"quoted\" msg".into(),
             }],

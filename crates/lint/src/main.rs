@@ -5,11 +5,14 @@
 //! cargo run -p epplan-lint -- crates/gap/src/x.rs    # lint specific files
 //! cargo run -p epplan-lint -- --workspace --json     # machine-readable output
 //! cargo run -p epplan-lint -- --workspace --list-allows
+//! cargo run -p epplan-lint -- --explain sparse/dense-scan
+//! cargo run -p epplan-lint -- --list-rules
 //! ```
 //!
 //! Exit codes follow the workspace CLI contract (see DESIGN.md):
 //! 0 clean · 2 usage error · 3 io error · 5 contract violations found.
 
+use epplan_lint::rules::{rule_doc, META_RULES, RULES};
 use epplan_lint::{lint_files, run_workspace, LintError, LintReport};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -29,6 +32,8 @@ OPTIONS:
     --root DIR      workspace root (default: current directory)
     --json          emit one machine-readable JSON object on stdout
     --list-allows   print every `epplan-lint: allow` suppression and exit
+    --list-rules    print every registered rule name and exit
+    --explain RULE  print a rule's documentation and exit
     --help          this text
 
 EXIT CODES:
@@ -58,6 +63,19 @@ fn main() -> ExitCode {
                     return usage_error("--root requires a directory argument");
                 };
                 root = PathBuf::from(dir);
+            }
+            "--list-rules" => {
+                for r in RULES.iter().chain(META_RULES) {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                i += 1;
+                let Some(rule) = args.get(i) else {
+                    return usage_error("--explain requires a rule name argument");
+                };
+                return explain(rule);
             }
             flag if flag.starts_with('-') => {
                 return usage_error(&format!("unknown flag {flag}"));
@@ -118,6 +136,21 @@ fn main() -> ExitCode {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("epplan-lint: {msg}\n\n{USAGE}");
     ExitCode::from(EXIT_USAGE)
+}
+
+fn explain(rule: &str) -> ExitCode {
+    let Some(doc) = rule_doc(rule) else {
+        eprintln!("epplan-lint: unknown rule `{rule}`; --list-rules prints the registry");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    println!("{} — {}\n", doc.name, doc.summary);
+    println!("{}", doc.details);
+    if !META_RULES.contains(&rule) {
+        println!(
+            "\nSuppress a vetted site with:\n    // epplan-lint: allow({rule}) — <reason>"
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn print_allows(report: &LintReport, root: &Path) {

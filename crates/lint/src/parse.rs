@@ -1,0 +1,588 @@
+//! A lightweight item parser layered on [`crate::tokens`] — just
+//! enough structure for the semantic rules: `fn` items with their
+//! receiver, enclosing `impl` type and body token range, plus
+//! `const`/`static`/`let` bindings whose initializer is a single
+//! string literal (the units the symbol-resolved name rules chase).
+//!
+//! Like the tokenizer, parsing is total: constructs the parser does
+//! not model (macros, trait objects, const generics in odd positions)
+//! are skipped, never an error. The trade is deliberate — a linter
+//! must keep working on any source rustc itself would accept, and the
+//! rules built on top are written to fail open (no symbol → no
+//! diagnostic) rather than fail noisy.
+
+use crate::tokens::{Tok, TokKind};
+
+/// How a function takes `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// Free function — no `self` parameter.
+    None,
+    /// `&self`.
+    Shared,
+    /// `&mut self`.
+    Mut,
+    /// `self` / `mut self` by value.
+    Owned,
+}
+
+/// One `fn` item: a free function, an inherent or trait-impl method,
+/// or a nested fn discovered inside another body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name (raw-identifier prefix stripped).
+    pub name: String,
+    /// Enclosing `impl` type — `impl Instance` and
+    /// `impl Trait for Instance` both yield `Instance`; `None` for
+    /// free functions.
+    pub self_ty: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// How the function takes `self`.
+    pub receiver: Receiver,
+    /// Non-`self` parameters, each rendered as flat token text
+    /// (`"plan : & mut Plan"`).
+    pub params: Vec<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Inclusive token range of the body braces; `None` for bodiless
+    /// declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the fn sits inside a `#[test]` / `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// Which binding form introduced a string constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindKind {
+    /// `const NAME: … = "…";`
+    Const,
+    /// `static NAME: … = "…";`
+    Static,
+    /// `let NAME = "…";` (function-local).
+    Let,
+}
+
+/// A binding whose initializer is exactly one string literal.
+#[derive(Debug, Clone)]
+pub struct StrBinding {
+    /// The bound name.
+    pub name: String,
+    /// The literal's content (without quotes).
+    pub value: String,
+    /// 1-based line of the binding keyword.
+    pub line: u32,
+    /// Binding form.
+    pub kind: BindKind,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// All string-literal bindings, in source order.
+    pub strs: Vec<StrBinding>,
+}
+
+/// Index of the token closing the delimiter opened at `open` (one of
+/// `(`, `[`, `{`). Unbalanced input answers with the last token —
+/// total, like everything else here.
+pub fn match_delim(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        if t.text == o {
+            depth += 1;
+        } else if t.text == c {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the token opening the delimiter closed at `close` (one of
+/// `)`, `]`, `}`), scanning backwards; `lo` bounds the search.
+pub fn match_delim_back(toks: &[Tok], close: usize, lo: usize) -> usize {
+    let (o, c) = match toks[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0usize;
+    let mut k = close;
+    loop {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            if t.text == c {
+                depth += 1;
+            } else if t.text == o {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+        if k == lo {
+            return lo;
+        }
+        k -= 1;
+    }
+}
+
+/// Skips a generic-argument list starting at `open` (a `<`), returning
+/// the index just past the matching `>`. Understands the merged `>>`
+/// closer; bails at `;`/`{` at depth ≥ 1 so a stray comparison cannot
+/// swallow the rest of the file.
+pub fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ";" | "{" => return k,
+                _ => {}
+            }
+        }
+        k += 1;
+        if depth <= 0 {
+            return k;
+        }
+    }
+    k
+}
+
+/// Parses the token stream of one file. `test_mask` is the
+/// [`crate::tokens::test_region_mask`] of the same tokens.
+pub fn parse(toks: &[Tok], test_mask: &[bool]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    // Innermost-last stack of enclosing impl blocks:
+    // (type, trait, closing-brace token index).
+    let mut scopes: Vec<(String, Option<String>, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while scopes.last().is_some_and(|s| s.2 < i) {
+            scopes.pop();
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" if item_position(toks, i) => {
+                if let Some((ty, tr, open)) = parse_impl_header(toks, i) {
+                    let close = match_delim(toks, open);
+                    scopes.push((ty, tr, close));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            "fn" => {
+                let scope = scopes.last();
+                if let Some((item, next)) = parse_fn(toks, i, scope, test_mask) {
+                    out.fns.push(item);
+                    i = next;
+                    continue;
+                }
+            }
+            "const" | "static" | "let" => {
+                if let Some(b) = parse_binding(toks, i) {
+                    out.strs.push(b);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the token at `at` can start an item — filters out `impl` in
+/// type position (`-> impl Iterator`, `x: impl Fn()`).
+fn item_position(toks: &[Tok], at: usize) -> bool {
+    match at.checked_sub(1) {
+        None => true,
+        Some(p) => {
+            let t = &toks[p];
+            matches!(t.text.as_str(), ";" | "}" | "{" | "]" | "unsafe" | "pub")
+        }
+    }
+}
+
+/// Parses `impl [<…>] [Trait for] Type [where …] {`, returning
+/// (type name, trait name, index of the opening brace).
+fn parse_impl_header(toks: &[Tok], at: usize) -> Option<(String, Option<String>, usize)> {
+    let mut j = at + 1;
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        j = skip_angles(toks, j);
+    }
+    let mut segs: Vec<String> = Vec::new();
+    let mut trait_name: Option<String> = None;
+    // The type as of the `where` keyword, if one appears.
+    let mut frozen: Option<String> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "{" if t.kind == TokKind::Punct => {
+                let ty = frozen.or_else(|| segs.last().cloned())?;
+                return Some((ty, trait_name, j));
+            }
+            ";" | ")" | "=" | "," | "|" => return None, // type position after all
+            "for" if t.kind == TokKind::Ident => {
+                trait_name = segs.last().cloned();
+                segs.clear();
+            }
+            "where" if t.kind == TokKind::Ident => {
+                frozen = segs.last().cloned();
+            }
+            "<" if t.kind == TokKind::Punct => {
+                j = skip_angles(toks, j);
+                continue;
+            }
+            _ => {
+                if t.kind == TokKind::Ident && frozen.is_none() && t.text != "dyn" && t.text != "mut"
+                {
+                    segs.push(t.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses a `fn` item starting at the `fn` keyword. Returns the item
+/// plus the index parsing should resume from (just inside the body, so
+/// nested items are discovered too).
+fn parse_fn(
+    toks: &[Tok],
+    at: usize,
+    scope: Option<&(String, Option<String>, usize)>,
+    test_mask: &[bool],
+) -> Option<(FnItem, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(…)` pointer type
+    }
+    let name = name_tok.text.trim_start_matches("r#").to_string();
+    let mut j = at + 2;
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        j = skip_angles(toks, j);
+    }
+    if toks.get(j).is_none_or(|t| t.text != "(") {
+        return None;
+    }
+    let close = match_delim(toks, j);
+    let (receiver, params) = parse_params(toks, j + 1, close);
+
+    // Body `{` (or `;` for a declaration), past return type and any
+    // `where` clause; `<` runs are skipped so const-generic braces in
+    // a return type cannot masquerade as the body.
+    let mut k = close + 1;
+    let mut body = None;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    body = Some((k, match_delim(toks, k)));
+                    break;
+                }
+                ";" => break,
+                "<" => {
+                    k = skip_angles(toks, k);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+
+    let next = match body {
+        Some((open, _)) => open + 1,
+        None => k + 1,
+    };
+    let item = FnItem {
+        name,
+        self_ty: scope.map(|s| s.0.clone()),
+        trait_name: scope.and_then(|s| s.1.clone()),
+        receiver,
+        params,
+        fn_tok: at,
+        body,
+        line: toks[at].line,
+        is_test: test_mask.get(at).copied().unwrap_or(false),
+    };
+    Some((item, next))
+}
+
+/// Splits a parameter list (token range between the signature parens)
+/// into the receiver and the rendered remaining parameters.
+fn parse_params(toks: &[Tok], start: usize, close: usize) -> (Receiver, Vec<String>) {
+    let mut chunks: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0i32;
+    let mut s = start;
+    let mut k = start;
+    while k < close {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" => {
+                    k = skip_angles(toks, k);
+                    continue;
+                }
+                "," if depth == 0 => {
+                    chunks.push((s, k));
+                    s = k + 1;
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    if s < close {
+        chunks.push((s, close));
+    }
+
+    let mut receiver = Receiver::None;
+    let mut params = Vec::new();
+    for (ci, &(a, b)) in chunks.iter().enumerate() {
+        let slice = &toks[a..b.min(toks.len())];
+        if ci == 0 {
+            if let Some(r) = receiver_of(slice) {
+                receiver = r;
+                continue;
+            }
+        }
+        params.push(
+            slice
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
+    (receiver, params)
+}
+
+/// Recognizes `[&] [lifetime] [mut] self [: Type]` as a receiver.
+fn receiver_of(slice: &[Tok]) -> Option<Receiver> {
+    let mut k = 0usize;
+    let mut by_ref = false;
+    let mut is_mut = false;
+    if slice.get(k).is_some_and(|t| t.text == "&") {
+        by_ref = true;
+        k += 1;
+    }
+    if slice.get(k).is_some_and(|t| t.kind == TokKind::Lifetime) {
+        k += 1;
+    }
+    if slice.get(k).is_some_and(|t| t.text == "mut") {
+        is_mut = true;
+        k += 1;
+    }
+    if slice.get(k).is_none_or(|t| t.text != "self") {
+        return None;
+    }
+    // `self::Foo` in a type is a path, not a receiver.
+    if slice.get(k + 1).is_some_and(|t| t.text == "::") {
+        return None;
+    }
+    Some(if by_ref {
+        if is_mut {
+            Receiver::Mut
+        } else {
+            Receiver::Shared
+        }
+    } else {
+        Receiver::Owned
+    })
+}
+
+/// Parses `const|static|let [mut] NAME [: Type] = "literal";`.
+fn parse_binding(toks: &[Tok], at: usize) -> Option<StrBinding> {
+    let kind = match toks[at].text.as_str() {
+        "const" => BindKind::Const,
+        "static" => BindKind::Static,
+        _ => BindKind::Let,
+    };
+    let mut j = at + 1;
+    if toks.get(j).is_some_and(|t| t.text == "mut") {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // destructuring pattern, `const fn`'s paren, …
+    }
+    let name = name_tok.text.clone();
+    j += 1;
+    if toks.get(j).is_some_and(|t| t.text == ":") {
+        // Skip the type annotation up to the `=`.
+        let mut depth = 0i32;
+        j += 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "<" => {
+                        j = skip_angles(toks, j);
+                        continue;
+                    }
+                    "=" if depth == 0 => break,
+                    ";" | "{" if depth == 0 => return None,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+    if toks.get(j).is_none_or(|t| t.text != "=") {
+        return None;
+    }
+    let val = toks.get(j + 1)?;
+    if val.kind != TokKind::Str {
+        return None;
+    }
+    if toks.get(j + 2).is_none_or(|t| t.text != ";") {
+        return None;
+    }
+    Some(StrBinding {
+        name,
+        value: val.text.clone(),
+        line: toks[at].line,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::{test_region_mask, tokenize};
+
+    fn parsed(src: &str) -> ParsedFile {
+        let ts = tokenize(src);
+        let mask = test_region_mask(&ts.toks);
+        parse(&ts.toks, &mask)
+    }
+
+    #[test]
+    fn free_fn_and_method_receivers() {
+        let p = parsed(
+            "fn free(x: u32) {}\n\
+             impl Instance {\n\
+               fn shared(&self) {}\n\
+               fn excl(&mut self, v: f64) {}\n\
+               fn owned(mut self) {}\n\
+             }\n\
+             fn after() {}\n",
+        );
+        let names: Vec<(&str, Option<&str>, Receiver)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_ty.as_deref(), f.receiver))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, Receiver::None),
+                ("shared", Some("Instance"), Receiver::Shared),
+                ("excl", Some("Instance"), Receiver::Mut),
+                ("owned", Some("Instance"), Receiver::Owned),
+                ("after", None, Receiver::None),
+            ]
+        );
+        assert_eq!(p.fns[3].params, Vec::<String>::new());
+        assert_eq!(p.fns[2].params, vec!["v : f64"]);
+    }
+
+    #[test]
+    fn trait_impls_and_generics() {
+        let p = parsed(
+            "impl<T: Clone> GepcSolver for GreedySolver<T> where T: Send {\n\
+               fn solve(&self, instance: &Instance) -> Solution { body() }\n\
+             }\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "solve");
+        assert_eq!(f.self_ty.as_deref(), Some("GreedySolver"));
+        assert_eq!(f.trait_name.as_deref(), Some("GepcSolver"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_a_scope() {
+        let p = parsed(
+            "fn make() -> impl Iterator<Item = u32> { (0..3).into_iter() }\n\
+             fn take(x: impl Fn() -> u32) {}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns.iter().all(|f| f.self_ty.is_none()));
+    }
+
+    #[test]
+    fn nested_fns_are_discovered() {
+        let p = parsed("fn outer() { fn inner() {} inner(); }\n");
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn string_bindings() {
+        let p = parsed(
+            "const SITE: &str = \"gap.packing.oracle\";\n\
+             static LABEL: &'static str = \"serve.op\";\n\
+             fn f() { let name = \"lp.simplex\"; let n = 3; }\n",
+        );
+        let got: Vec<(&str, &str, BindKind)> = p
+            .strs
+            .iter()
+            .map(|s| (s.name.as_str(), s.value.as_str(), s.kind))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("SITE", "gap.packing.oracle", BindKind::Const),
+                ("LABEL", "serve.op", BindKind::Static),
+                ("name", "lp.simplex", BindKind::Let),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_mask_propagates() {
+        let p = parsed("#[test]\nfn t() {}\nfn live() {}\n");
+        assert!(p.fns[0].is_test);
+        assert!(!p.fns[1].is_test);
+    }
+
+    #[test]
+    fn bodiless_declarations() {
+        let p = parsed("trait T { fn must(&self) -> u32; }\n");
+        assert_eq!(p.fns[0].name, "must");
+        assert!(p.fns[0].body.is_none());
+    }
+}

@@ -20,7 +20,146 @@ pub const RULES: &[&str] = &[
     "float/exact-eq",
     "obs/stable-names",
     "fault/unregistered-site",
+    "sparse/cache-invalidate",
+    "sparse/dense-scan",
+    "det/unordered-reduce",
+    "budget/poll-coverage",
 ];
+
+/// The meta-rules emitted by the suppression parser itself. They are
+/// deliberately not in [`RULES`]: an allow cannot silence them.
+pub const META_RULES: &[&str] = &["lint/allow-needs-reason", "lint/unknown-rule"];
+
+/// One rule's documentation, rendered by `--explain <rule>`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// Machine name (`sparse/dense-scan`).
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Longer prose: what fires, why it matters, how to fix or allow.
+    pub details: &'static str,
+}
+
+/// Documentation for every rule, the meta-rules included. A unit test
+/// keeps this table aligned with [`RULES`] + [`META_RULES`].
+pub const RULE_DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        name: "determinism/hash-iter",
+        summary: "no HashMap/HashSet in deterministic crates",
+        details: "HashMap/HashSet iteration order varies per process (SipHash keys are \
+                  randomized), so any output derived from it breaks the bit-identical \
+                  determinism contract. Use BTreeMap/BTreeSet or an index-keyed Vec. \
+                  Keyed lookup that is never iterated can be allowed with a reason.",
+    },
+    RuleDoc {
+        name: "determinism/wall-clock",
+        summary: "clock reads only in budget/bench/obs/daemon",
+        details: "Instant::now / SystemTime outside the approved owners lets wall-clock \
+                  values steer solver behaviour, which destroys replayability. Budget \
+                  enforcement, benchmarks, the obs layer and the serve daemon's latency \
+                  instrumentation are the only sanctioned readers.",
+    },
+    RuleDoc {
+        name: "par/raw-threads",
+        summary: "thread creation owned by epplan-par",
+        details: "thread::spawn/scope/Builder outside crates/par bypasses the deterministic \
+                  runtime (fixed worker count, index-ordered merges). Route parallel work \
+                  through par_range_map and friends so results are bit-identical for any \
+                  EPPLAN_THREADS.",
+    },
+    RuleDoc {
+        name: "robustness/unwrap",
+        summary: "no .unwrap()/.expect() in library code",
+        details: ".unwrap()/.expect() in non-test library code turns recoverable conditions \
+                  into panics. Return a typed error (SolveError / InstanceError) or use a \
+                  documented fallback; tests and examples are exempt.",
+    },
+    RuleDoc {
+        name: "float/exact-eq",
+        summary: "no == / != against float literals",
+        details: "Exact float comparison against a literal compares bit patterns and hides \
+                  tolerance bugs. Use a tolerance helper; when exactness is the point \
+                  (sentinel values, certified zero), allow with a reason saying so.",
+    },
+    RuleDoc {
+        name: "obs/stable-names",
+        summary: "span/metric names must be in the registry",
+        details: "Dashboards and the trace analyzer key on span/counter/gauge/histogram/\
+                  window names, so an unregistered name silently drops telemetry. The rule \
+                  checks string literals at obs call sites and, through the symbol table, \
+                  identifiers that resolve to const/static/let string bindings. Register \
+                  new names in DESIGN.md § Observability and crates/lint/src/rules.rs.",
+    },
+    RuleDoc {
+        name: "fault/unregistered-site",
+        summary: "fault site names must be in the registry",
+        details: "A fault::point / FaultPlan::single site name missing from \
+                  epplan_fault::SITES never fires, so the chaos coverage it was meant to \
+                  buy silently evaporates — in tests too, which is why test code is not \
+                  exempt. Literals and symbol-resolved const/static/let names are both \
+                  checked. Register new sites in epplan_fault::SITES, DESIGN.md § Fault \
+                  model and crates/lint/src/rules.rs.",
+    },
+    RuleDoc {
+        name: "sparse/cache-invalidate",
+        summary: "Instance mutators must invalidate the candidate cache",
+        details: "Instance caches CSR candidate lists keyed on utilities, budgets and \
+                  event state. Any &mut self method writing those fields must reach \
+                  invalidate_candidates() through the call graph, or solvers keep planning \
+                  against stale candidates. Mutations that provably cannot change candidate \
+                  membership (time windows, participation bounds) carry an audited allow \
+                  explaining why.",
+    },
+    RuleDoc {
+        name: "sparse/dense-scan",
+        summary: "no dense event loops on batch hot paths",
+        details: "The CSR refactor made solver hot paths O(candidates), not O(|U|x|E|). A \
+                  for-loop whose header mentions event_ids/n_events (or an alias bound from \
+                  them) inside a function reachable from the batch entry points reintroduces \
+                  the dense scan. Iterate CandidateSet rows instead; genuine O(|E|) passes \
+                  (arena builds, validation) carry an audited allow.",
+    },
+    RuleDoc {
+        name: "det/unordered-reduce",
+        summary: "par_* closures must not assign into captured state",
+        details: "Chunk completion order under the par_* runtime is nondeterministic; an \
+                  assignment (=, +=, ...) whose left-hand root is captured from outside the \
+                  closure makes float accumulation order-dependent, breaking bit-identical \
+                  results. Return per-chunk values and let the runtime merge them in index \
+                  order (par_range_map), or use the &mut-chunk APIs whose targets are \
+                  disjoint slices.",
+    },
+    RuleDoc {
+        name: "budget/poll-coverage",
+        summary: "budget-governed loops must poll the deadline",
+        details: "A function that takes a SolveBudget/BudgetGuard/DeadlineFlag is on a \
+                  budgeted path; a for-loop in it bounded by users/events/jobs that never \
+                  polls (DeadlineFlag::poll, guard.tick, check_deadline — directly or via a \
+                  callee) can overrun the deadline by a whole pass. Poll inside the loop; \
+                  provably tiny or cleanup-only loops carry an audited allow.",
+    },
+    RuleDoc {
+        name: "lint/allow-needs-reason",
+        summary: "every allow carries a justification",
+        details: "An epplan-lint: allow(rule) without a reason after the closing paren is \
+                  itself a violation — suppressions are part of the audit trail, and a \
+                  reasonless one is indistinguishable from a silenced bug. This meta-rule \
+                  cannot be allowed away.",
+    },
+    RuleDoc {
+        name: "lint/unknown-rule",
+        summary: "allows must name a real rule",
+        details: "An allow naming a rule that does not exist (typo, renamed rule) silences \
+                  nothing while looking like it does. This meta-rule cannot be allowed \
+                  away.",
+    },
+];
+
+/// Looks up the documentation for a rule by machine name.
+pub fn rule_doc(name: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.name == name)
+}
 
 /// Crates whose output must be bit-reproducible: the solver stack and
 /// the instance generator. `HashMap`/`HashSet` iteration order is
@@ -201,13 +340,7 @@ pub fn run_rules(ctx: &FileContext, ts: &TokenStream) -> Vec<Diagnostic> {
     let mut out = Vec::new();
 
     let diag = |out: &mut Vec<Diagnostic>, t: &Tok, rule: &str, message: String| {
-        out.push(Diagnostic {
-            path: ctx.path.clone(),
-            line: t.line,
-            col: t.col,
-            rule: rule.to_string(),
-            message,
-        });
+        out.push(Diagnostic::at_tok(&ctx.path, t, rule, message));
     };
 
     // determinism/hash-iter — applies to every region (tests
@@ -435,4 +568,25 @@ pub fn run_rules(ctx: &FileContext, ts: &TokenStream) -> Vec<Diagnostic> {
     }
 
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_is_documented_and_vice_versa() {
+        for r in RULES.iter().chain(META_RULES) {
+            assert!(rule_doc(r).is_some(), "rule `{r}` has no --explain doc");
+        }
+        for d in RULE_DOCS {
+            assert!(
+                RULES.contains(&d.name) || META_RULES.contains(&d.name),
+                "doc for unregistered rule `{}`",
+                d.name
+            );
+            assert!(!d.summary.is_empty() && !d.details.is_empty());
+        }
+        assert_eq!(RULE_DOCS.len(), RULES.len() + META_RULES.len());
+    }
 }

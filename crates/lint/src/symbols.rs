@@ -1,0 +1,162 @@
+//! The workspace symbol table: every file tokenized and parsed once,
+//! plus cross-file indices over functions and string constants. This
+//! is the substrate the semantic rules and the call graph share.
+
+use crate::parse::{self, BindKind, FnItem, ParsedFile};
+use crate::rules::FileContext;
+use crate::tokens::{self, TokenStream};
+use std::collections::BTreeMap;
+
+/// One file of the workspace, fully analyzed.
+#[derive(Debug)]
+pub struct WsFile {
+    /// Path-derived rule context.
+    pub ctx: FileContext,
+    /// The token stream.
+    pub ts: TokenStream,
+    /// Per-token test-region flags.
+    pub test_mask: Vec<bool>,
+    /// Parsed items.
+    pub parsed: ParsedFile,
+}
+
+/// The whole workspace: files plus symbol indices. All maps are
+/// `BTreeMap`s so iteration — and with it every diagnostic order — is
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Analyzed files, in input order.
+    pub files: Vec<WsFile>,
+    /// Global function ids: `fns[gid] = (file index, fn index)`.
+    pub fns: Vec<(usize, usize)>,
+    /// Function gids by bare name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Function gids by `(impl type, name)`.
+    pub by_ty_method: BTreeMap<(String, String), Vec<usize>>,
+    /// Workspace-global `const`/`static` string values by name. A name
+    /// can map to several values when files shadow each other — the
+    /// rules check every candidate.
+    pub consts: BTreeMap<String, Vec<String>>,
+}
+
+impl Workspace {
+    /// Tokenizes, parses and indexes `(workspace-relative path, source)`
+    /// pairs.
+    pub fn build(sources: &[(String, String)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (path, src) in sources {
+            let ts = tokens::tokenize(src);
+            let test_mask = tokens::test_region_mask(&ts.toks);
+            let parsed = parse::parse(&ts.toks, &test_mask);
+            ws.files.push(WsFile {
+                ctx: FileContext::from_path(path),
+                ts,
+                test_mask,
+                parsed,
+            });
+        }
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (ii, f) in file.parsed.fns.iter().enumerate() {
+                let gid = ws.fns.len();
+                ws.fns.push((fi, ii));
+                ws.by_name.entry(f.name.clone()).or_default().push(gid);
+                if let Some(ty) = &f.self_ty {
+                    ws.by_ty_method
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(gid);
+                }
+            }
+            for s in &file.parsed.strs {
+                if s.kind != BindKind::Let {
+                    let vals = ws.consts.entry(s.name.clone()).or_default();
+                    if !vals.contains(&s.value) {
+                        vals.push(s.value.clone());
+                    }
+                }
+            }
+        }
+        ws
+    }
+
+    /// The file and item behind a function gid.
+    pub fn fn_item(&self, gid: usize) -> (&WsFile, &FnItem) {
+        let (fi, ii) = self.fns[gid];
+        (&self.files[fi], &self.files[fi].parsed.fns[ii])
+    }
+
+    /// File index of a function gid.
+    pub fn fn_file(&self, gid: usize) -> usize {
+        self.fns[gid].0
+    }
+
+    /// Resolves a string-valued identifier as seen from `file_idx`:
+    /// bindings in the same file first (all kinds, `let` included),
+    /// then workspace-global consts/statics. Empty when nothing is
+    /// known — the caller treats that as "unresolvable, stay silent".
+    pub fn resolve_str(&self, file_idx: usize, name: &str) -> Vec<&str> {
+        let local: Vec<&str> = self.files[file_idx]
+            .parsed
+            .strs
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value.as_str())
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+        self.consts
+            .get(name)
+            .map(|vs| vs.iter().map(|v| v.as_str()).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Workspace::build(&sources)
+    }
+
+    #[test]
+    fn indices_cover_methods_and_free_fns() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "impl Instance { fn set_budget(&mut self) {} }\nfn helper() {}",
+            ),
+            ("crates/core/src/b.rs", "fn helper() {}"),
+        ]);
+        assert_eq!(w.fns.len(), 3);
+        assert_eq!(w.by_name.get("helper").map(Vec::len), Some(2));
+        assert_eq!(
+            w.by_ty_method
+                .get(&("Instance".into(), "set_budget".into()))
+                .map(Vec::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn str_resolution_prefers_local_bindings() {
+        let w = ws(&[
+            (
+                "crates/gap/src/a.rs",
+                "const NAME: &str = \"gap.packing\";\nfn f() { let NAME = \"local.shadow\"; }",
+            ),
+            ("crates/gap/src/b.rs", "fn g() {}"),
+        ]);
+        // File 0 sees both its bindings (const + let).
+        let vals = w.resolve_str(0, "NAME");
+        assert_eq!(vals, vec!["gap.packing", "local.shadow"]);
+        // File 1 falls back to the global const.
+        assert_eq!(w.resolve_str(1, "NAME"), vec!["gap.packing"]);
+        assert!(w.resolve_str(1, "MISSING").is_empty());
+    }
+}

@@ -40,6 +40,30 @@ pub struct Tok {
     pub col: u32,
 }
 
+impl Tok {
+    /// End of this token's source span, exclusive: `(line, col)` one
+    /// past the last character. String and char literals account for
+    /// their two delimiter quotes (raw-string guards are approximated
+    /// by the same two — close enough for editor ranges).
+    pub fn span_end(&self) -> (u32, u32) {
+        let extra = match self.kind {
+            TokKind::Str | TokKind::Char => 2,
+            _ => 0,
+        };
+        let mut line = self.line;
+        let mut col = self.col;
+        for ch in self.text.chars() {
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col + extra)
+    }
+}
+
 /// One `//` comment, verbatim (without the leading slashes), with the
 /// line it sits on and whether code precedes it on that line — the
 /// suppression parser uses that to decide which line an
@@ -244,11 +268,30 @@ pub fn tokenize(src: &str) -> TokenStream {
                 i = j;
                 continue;
             }
-            // Char literal: 'x' or '\…'.
+            // Char literal: 'x', '\n', '\x41', '\u{1F600}'. Multi-char
+            // escapes must be consumed fully — stopping after `\x`
+            // would leave `41'` behind and desync every token after
+            // it, silently blinding the rules downstream.
             let mut j = i + 1;
             if j < b.len() && b[j] == '\\' {
-                j += 2;
-            } else {
+                j += 1;
+                if j < b.len() {
+                    match b[j] {
+                        'x' => j += 3, // \xNN
+                        'u' => {
+                            // \u{…}
+                            j += 1;
+                            if j < b.len() && b[j] == '{' {
+                                while j < b.len() && b[j] != '}' {
+                                    j += 1;
+                                }
+                                j += 1; // past '}'
+                            }
+                        }
+                        _ => j += 1, // single-char escape: \n, \', \\, …
+                    }
+                }
+            } else if j < b.len() {
                 j += 1;
             }
             let j = if j < b.len() && b[j] == '\'' { j + 1 } else { j };
@@ -580,6 +623,62 @@ mod tests {
         let ts = tokenize("r#\"a \"quoted\" HashMap\"# x");
         assert_eq!(ts.toks[0].kind, TokKind::Str);
         assert_eq!(ts.toks[1].text, "x");
+    }
+
+    #[test]
+    fn char_escapes_do_not_desync_the_stream() {
+        // `'\x41'` and `'\u{1F600}'` must each be one Char token; the
+        // regression mode was `41'` surviving as code and the dangling
+        // quote swallowing the next real token.
+        let ts = tokenize("let a = '\\x41'; let b = '\\u{1F600}'; HashMap");
+        let chars = ts.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2, "{:?}", ts.toks);
+        assert!(ts.toks.iter().all(|t| t.kind != TokKind::Int), "{:?}", ts.toks);
+        assert_eq!(ts.toks.last().map(|t| t.text.as_str()), Some("HashMap"));
+        assert_eq!(ts.toks.last().map(|t| t.kind), Some(TokKind::Ident));
+    }
+
+    #[test]
+    fn raw_strings_multi_hash_and_multiline() {
+        // A `r##"…"##` literal containing a `"#` must not close early,
+        // and its newlines must advance the line counter.
+        let ts = tokenize("r##\"has \"# inside\nand newline\"## after");
+        assert_eq!(ts.toks[0].kind, TokKind::Str);
+        assert!(ts.toks[0].text.contains("\"#"));
+        assert_eq!(ts.toks[1].text, "after");
+        assert_eq!(ts.toks[1].line, 2);
+        // Byte-raw and empty raw strings.
+        let ts = tokenize("br#\"bytes\"# r#\"\"# x");
+        assert_eq!(ts.toks[0].kind, TokKind::Str);
+        assert_eq!(ts.toks[1].kind, TokKind::Str);
+        assert_eq!(ts.toks[1].text, "");
+        assert_eq!(ts.toks[2].text, "x");
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let ts = tokenize("a /* one /* two /* three */ */ still comment */ b");
+        let idents: Vec<&str> = ts.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        // Unterminated nesting swallows to EOF, like rustc would
+        // reject it — nothing after leaks back in as code.
+        let ts = tokenize("a /* open /* deeper */ never closed");
+        let idents: Vec<&str> = ts.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["a"]);
+    }
+
+    #[test]
+    fn labels_and_anonymous_lifetimes_are_not_chars() {
+        let ts = tokenize("'outer: loop { break 'outer; } &'_ str '_'");
+        let lifetimes: Vec<&str> = ts
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'outer", "'outer", "'_"]);
+        // The trailing `'_'` is a char literal, not a lifetime.
+        assert_eq!(ts.toks.last().map(|t| t.kind), Some(TokKind::Char));
     }
 
     #[test]

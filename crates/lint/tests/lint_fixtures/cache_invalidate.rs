@@ -1,0 +1,38 @@
+//! Fixture: sparse/cache-invalidate.
+pub struct Instance {
+    users: Vec<f64>,
+    events: Vec<f64>,
+    utilities: Vec<f64>,
+    candidates: Option<u32>,
+}
+
+impl Instance {
+    pub fn invalidate_candidates(&mut self) {
+        self.candidates = None;
+    }
+    pub fn set_bad(&mut self, i: usize, v: f64) {
+        self.utilities[i] = v;
+    }
+    pub fn set_direct(&mut self, i: usize, v: f64) {
+        self.events[i] = v;
+        self.invalidate_candidates();
+    }
+    pub fn set_transitive(&mut self, i: usize, v: f64) {
+        self.users[i] = v;
+        self.touch();
+    }
+    fn touch(&mut self) {
+        self.invalidate_candidates();
+    }
+    pub fn read_only(&mut self) -> usize {
+        self.users.len()
+    }
+    pub fn set_vetted(&mut self, i: usize, v: f64) {
+        // epplan-lint: allow(sparse/cache-invalidate) — fixture: vetted stale window
+        self.users[i] = v;
+    }
+    pub fn set_unvetted(&mut self, i: usize, v: f64) {
+        // epplan-lint: allow(sparse/cache-invalidate)
+        self.users[i] = v;
+    }
+}

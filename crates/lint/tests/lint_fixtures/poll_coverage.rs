@@ -1,0 +1,53 @@
+//! Fixture: budget/poll-coverage.
+pub struct DeadlineFlag;
+
+impl DeadlineFlag {
+    pub fn poll(&self) {}
+}
+
+fn bad(inst: &Instance, deadline: &DeadlineFlag) {
+    for u in inst.user_ids() {
+        drop(u);
+    }
+    drop(deadline);
+}
+
+fn good_direct(inst: &Instance, deadline: &DeadlineFlag) {
+    for u in inst.user_ids() {
+        deadline.poll();
+        drop(u);
+    }
+}
+
+fn good_via_helper(inst: &Instance, deadline: &DeadlineFlag) {
+    for u in inst.user_ids() {
+        reach(deadline);
+        drop(u);
+    }
+}
+
+fn reach(deadline: &DeadlineFlag) {
+    deadline.poll();
+}
+
+fn ungoverned(inst: &Instance) {
+    for u in inst.user_ids() {
+        drop(u);
+    }
+}
+
+fn vetted(inst: &Instance, budget: SolveBudget) {
+    // epplan-lint: allow(budget/poll-coverage) — fixture: loop bounded elsewhere
+    for u in inst.user_ids() {
+        drop(u);
+    }
+    drop(budget);
+}
+
+fn unvetted(inst: &Instance, budget: SolveBudget) {
+    // epplan-lint: allow(budget/poll-coverage)
+    for u in inst.user_ids() {
+        drop(u);
+    }
+    drop(budget);
+}

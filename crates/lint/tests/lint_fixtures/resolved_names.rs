@@ -1,0 +1,21 @@
+//! Fixture: symbol-resolved obs/stable-names + fault/unregistered-site.
+const GOOD_SPAN: &str = "gap.packing";
+const BAD_SPAN: &str = "gap.scratch.unregistered";
+static BAD_SITE: &str = "gap.scratch.site";
+
+fn obs_paths() {
+    epplan_obs::span(GOOD_SPAN);
+    epplan_obs::span(BAD_SPAN);
+    let local = "solve.simplex.unregistered";
+    epplan_obs::span(local);
+}
+
+fn fault_paths() {
+    epplan_fault::point("solve.budget.tick");
+    epplan_fault::point(BAD_SITE);
+}
+
+fn vetted_obs() {
+    // epplan-lint: allow(obs/stable-names) — fixture: scratch probe name
+    epplan_obs::span(BAD_SPAN);
+}

@@ -1,0 +1,44 @@
+//! Fixture: det/unordered-reduce.
+fn bad(data: &mut [f64]) {
+    let mut total = 0.0;
+    epplan_par::par_chunks_for_each_mut(data, 16, |_, chunk| {
+        for v in chunk.iter_mut() {
+            total += *v;
+            *v += 1.0;
+        }
+    });
+    drop(total);
+}
+
+fn good(data: &[f64]) -> f64 {
+    let parts = epplan_par::par_chunks_map(data, 16, |_, chunk| {
+        let mut sub = 0.0;
+        for v in chunk {
+            sub += *v;
+        }
+        sub
+    });
+    parts.into_iter().sum()
+}
+
+fn vetted(data: &mut [f64]) {
+    let mut total = 0.0;
+    epplan_par::par_chunks_for_each_mut(data, 16, |_, chunk| {
+        for v in chunk.iter_mut() {
+            // epplan-lint: allow(det/unordered-reduce) — fixture: vetted serial fallback
+            total += *v;
+        }
+    });
+    drop(total);
+}
+
+fn unvetted(data: &mut [f64]) {
+    let mut total = 0.0;
+    epplan_par::par_chunks_for_each_mut(data, 16, |_, chunk| {
+        for v in chunk.iter_mut() {
+            // epplan-lint: allow(det/unordered-reduce)
+            total += *v;
+        }
+    });
+    drop(total);
+}

@@ -119,6 +119,111 @@ fn fault_sites_must_match_registry() {
 }
 
 #[test]
+fn cache_invalidate_requires_reaching_the_invalidator() {
+    let src = fixture("cache_invalidate.rs");
+    let got = fire_lines("crates/core/src/fixture.rs", &src);
+    assert_eq!(
+        got,
+        vec![
+            // `set_bad` writes `self.utilities` and never invalidates.
+            (14, "sparse/cache-invalidate".to_string()),
+            // `set_vetted` (line 32) is suppressed with a reason;
+            // `set_unvetted`'s reason-less allow rejects AND fails to
+            // suppress.
+            (35, "lint/allow-needs-reason".to_string()),
+            (36, "sparse/cache-invalidate".to_string()),
+        ]
+    );
+    // Direct and transitive routes to `invalidate_candidates()` and
+    // read-only methods stay silent (lines 17, 21, 28 absent above).
+    // Examples are out of semantic scope entirely (only the scope-free
+    // meta rule still rejects the fixture's reason-less allow).
+    assert!(fire_lines("examples/fixture.rs", &src)
+        .iter()
+        .all(|(_, r)| r == "lint/allow-needs-reason"));
+}
+
+#[test]
+fn dense_scan_fires_only_on_batch_reachable_hot_code() {
+    let src = fixture("dense_scan.rs");
+    let got = fire_lines("crates/core/src/fixture.rs", &src);
+    assert_eq!(
+        got,
+        vec![
+            // Direct `event_ids()` loop in a helper `solve` calls.
+            (14, "sparse/dense-scan".to_string()),
+            // Aliased bound: `let m = inst.n_events()` then `0..m`.
+            (18, "sparse/dense-scan".to_string()),
+            // Reason-less allow rejects and fails to suppress; `cold`
+            // (line 38) is unreachable from the entry point → silent.
+            (31, "lint/allow-needs-reason".to_string()),
+            (32, "sparse/dense-scan".to_string()),
+        ]
+    );
+    // Outside the hot crates the same shapes are fine (only the
+    // scope-free meta rule still rejects the reason-less allow).
+    assert!(fire_lines("crates/obs/src/fixture.rs", &src)
+        .iter()
+        .all(|(_, r)| r == "lint/allow-needs-reason"));
+}
+
+#[test]
+fn unordered_reduce_flags_captured_writes_in_par_closures() {
+    let src = fixture("unordered_reduce.rs");
+    let got = fire_lines("crates/core/src/fixture.rs", &src);
+    assert_eq!(
+        got,
+        vec![
+            // `total += *v` writes captured state; `*v += 1.0` through
+            // the chunk-local loop binding is fine, as is the per-chunk
+            // `sub` accumulator in `good`.
+            (6, "det/unordered-reduce".to_string()),
+            (39, "lint/allow-needs-reason".to_string()),
+            (40, "det/unordered-reduce".to_string()),
+        ]
+    );
+    // The par runtime itself builds these primitives (only the
+    // scope-free meta rule still rejects the reason-less allow).
+    assert!(fire_lines("crates/par/src/fixture.rs", &src)
+        .iter()
+        .all(|(_, r)| r == "lint/allow-needs-reason"));
+}
+
+#[test]
+fn poll_coverage_demands_deadline_polls_in_governed_loops() {
+    let src = fixture("poll_coverage.rs");
+    let got = fire_lines("crates/core/src/fixture.rs", &src);
+    assert_eq!(
+        got,
+        vec![
+            // `bad` never polls; direct polls, polls through a helper
+            // reaching `poll`, and ungoverned functions are silent.
+            (9, "budget/poll-coverage".to_string()),
+            (48, "lint/allow-needs-reason".to_string()),
+            (49, "budget/poll-coverage".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn name_rules_resolve_consts_statics_and_lets() {
+    let src = fixture("resolved_names.rs");
+    let got = fire_lines("crates/gap/src/fixture.rs", &src);
+    assert_eq!(
+        got,
+        vec![
+            // A const and a `let` resolving to off-registry names fire;
+            // `GOOD_SPAN` and the registered literal stay silent, and
+            // the allow with a reason suppresses the last `BAD_SPAN`
+            // use (line 20).
+            (8, "obs/stable-names".to_string()),
+            (10, "obs/stable-names".to_string()),
+            (15, "fault/unregistered-site".to_string()),
+        ]
+    );
+}
+
+#[test]
 fn lint_fault_registry_mirrors_the_real_one() {
     // The linter is zero-dep, so its copy of the site registry must be
     // asserted against the authoritative one here.
@@ -173,6 +278,8 @@ struct JsonDiag {
     path: String,
     line: u32,
     col: u32,
+    end_line: u32,
+    end_col: u32,
     rule: String,
     message: String,
 }
@@ -204,6 +311,10 @@ fn json_output_round_trips() {
         assert_eq!(j.path, d.path);
         assert_eq!(j.line, d.line);
         assert_eq!(j.col, d.col);
+        assert_eq!(j.end_line, d.end_line);
+        assert_eq!(j.end_col, d.end_col);
+        // The span is non-degenerate and ordered.
+        assert!((j.end_line, j.end_col) >= (j.line, j.col));
         assert_eq!(j.rule, d.rule);
         assert_eq!(j.message, d.message);
     }
@@ -242,6 +353,42 @@ fn the_real_workspace_lints_clean() {
     // Every suppression in the tree carries a reason (the parser
     // rejects reason-less allows, so this documents the invariant).
     assert!(report.allows.iter().all(|a| !a.reason.trim().is_empty()));
+}
+
+#[test]
+fn cli_explains_every_listed_rule() {
+    let bin = env!("CARGO_BIN_EXE_epplan-lint");
+    let out = Command::new(bin)
+        .arg("--list-rules")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn: {e}"));
+    assert_eq!(out.status.code(), Some(0));
+    let listing = String::from_utf8_lossy(&out.stdout).to_string();
+    let rules: Vec<&str> = listing.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    assert!(rules.len() >= 13, "rule listing too short: {rules:?}");
+    for rule in &rules {
+        let out = Command::new(bin)
+            .args(["--explain", rule])
+            .output()
+            .unwrap_or_else(|e| panic!("spawn: {e}"));
+        assert_eq!(out.status.code(), Some(0), "--explain {rule} failed");
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(text.contains(rule), "--explain {rule} does not mention the rule");
+        // Suppressible rules print the allow hint; the meta rules
+        // (which cannot be suppressed) must not.
+        let suppressible = !rule.starts_with("lint/");
+        assert_eq!(
+            text.contains("Suppress a vetted site with"),
+            suppressible,
+            "--explain {rule} suppression hint mismatch"
+        );
+    }
+    // Unknown rules are a usage error.
+    let out = Command::new(bin)
+        .args(["--explain", "no/such-rule"])
+        .output()
+        .unwrap_or_else(|e| panic!("spawn: {e}"));
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -147,10 +147,17 @@ pub struct Daemon {
     snapshot_op: u64,
 }
 
+/// Stable name of the per-op latency histogram. Both constants are
+/// symbol-resolved against the `epplan-lint` stable-name registries
+/// (`obs/stable-names`), so a drifting rename fails the lint gate.
+const OP_LATENCY_HIST: &str = "serve.op_latency_us";
+/// Stable name of the sliding latency window over recent ops.
+const OP_LATENCY_WINDOW: &str = "serve.window.op_latency_us";
+
 /// The daemon's latency window, keyed by the registered stable name.
 fn latency_window(config: &ServeConfig) -> WindowedHistogram {
     epplan_obs::window(
-        "serve.window.op_latency_us",
+        OP_LATENCY_WINDOW,
         WindowConfig::covering(config.slo_window_ops.max(1)),
     )
 }
@@ -312,7 +319,7 @@ impl Daemon {
         }
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.stats.latencies_us.push(us);
-        epplan_obs::observe("serve.op_latency_us", us);
+        epplan_obs::observe(OP_LATENCY_HIST, us);
         self.window.observe(us);
         self.update_slo();
         resp.slo_burning = self.slo_burning;
