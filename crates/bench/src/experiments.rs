@@ -790,6 +790,8 @@ struct ServeCell {
     resolved: u64,
     rejected: u64,
     snapshots: u64,
+    shed: u64,
+    brownout_steps: u64,
     utility: f64,
     certified: bool,
     /// Mid-stream certification spot-checks that failed (must be 0:
@@ -811,6 +813,8 @@ impl ServeCell {
             resolved: 0,
             rejected: 0,
             snapshots: 0,
+            shed: 0,
+            brownout_steps: 0,
             utility: 0.0,
             certified: false,
             uncertified_intervals: 0,
@@ -824,15 +828,11 @@ fn serve_cell(
     ops: &[epplan_core::incremental::SequencedOp],
     threads: usize,
     tag: &str,
+    config: epplan_serve::ServeConfig,
 ) -> ServeCell {
     epplan_par::set_threads(threads);
     let state_dir = std::env::temp_dir().join(format!("epplan-bench-serve-{tag}-{threads}"));
     let _ = std::fs::remove_dir_all(&state_dir);
-    let config = epplan_serve::ServeConfig {
-        drift_threshold: Some(5000),
-        snapshot_every: Some(2500),
-        ..epplan_serve::ServeConfig::default()
-    };
     let mut daemon =
         match epplan_serve::Daemon::start(inst.clone(), config, Some(&state_dir)) {
             Ok(d) => d,
@@ -862,10 +862,41 @@ fn serve_cell(
         resolved: s.resolved,
         rejected: s.rejected,
         snapshots: s.snapshots,
+        shed: s.shed,
+        brownout_steps: s.brownout_steps,
         utility: s.utility,
         certified: s.certified,
         uncertified_intervals,
         error: None,
+    }
+}
+
+/// The baseline serving configuration shared by every throughput cell.
+fn serve_base_config() -> epplan_serve::ServeConfig {
+    epplan_serve::ServeConfig {
+        drift_threshold: Some(5000),
+        snapshot_every: Some(2500),
+        ..epplan_serve::ServeConfig::default()
+    }
+}
+
+/// The overload cell's configuration: admission shedding and the
+/// brownout ladder armed, with a drift threshold low enough that
+/// re-solve work charges push the work clock past the dense tail of
+/// each arrival burst. `slo_p99_us: 0` makes every op "burn", so the
+/// ladder deterministically walks to its floor — thread-invariant by
+/// construction (everything else is ops-denominated).
+fn serve_overload_config() -> epplan_serve::ServeConfig {
+    epplan_serve::ServeConfig {
+        drift_threshold: Some(100),
+        snapshot_every: Some(2500),
+        slo_p99_us: Some(0),
+        overload: epplan_serve::OverloadConfig {
+            op_deadline_ops: Some(2),
+            brownout: Some(epplan_serve::BrownoutKnobs { down_after: 8, up_after: 4 }),
+            quarantine_after: Some(3),
+        },
+        ..epplan_serve::ServeConfig::default()
     }
 }
 
@@ -892,29 +923,34 @@ pub fn bench_serve(opts: &HarnessOptions, threads: usize) -> String {
     };
     let mut rows = String::new();
     let mut summary = String::new();
-    for (i, &(users, events, n_ops)) in grid.iter().enumerate() {
-        let inst = generate(&GeneratorConfig::default().cutout(users, events));
-        // A deterministic greedy plan gives the op sampler its context;
-        // ids start at 1 (0 is reserved by the protocol).
-        let plan0 = GreedySolver::seeded(42).solve(&inst).plan;
-        let mut sampler = epplan_datagen::OpStreamSampler::new(42);
-        let ops = sampler.sequenced_stream(&inst, &plan0, n_ops, 1);
-        let tag = format!("u{users}");
-        let serial = serve_cell(&inst, &ops, 1, &tag);
+    let mut run_pair = |users: usize,
+                        events: usize,
+                        ops: &[epplan_core::incremental::SequencedOp],
+                        tag: &str,
+                        config: &epplan_serve::ServeConfig,
+                        inst: &Instance|
+     -> (ServeCell, ServeCell) {
+        let serial = serve_cell(inst, ops, 1, tag, config.clone());
         let parallel = if threads > 1 {
-            serve_cell(&inst, &ops, threads, &tag)
+            serve_cell(inst, ops, threads, tag, config.clone())
         } else {
-            serve_cell(&inst, &ops, 1, &tag)
+            serve_cell(inst, ops, 1, tag, config.clone())
         };
         for c in [&serial, &parallel] {
             if !rows.is_empty() {
                 rows.push_str(",\n");
             }
+            let shed_rate = if c.ops > 0 {
+                c.shed as f64 / c.ops as f64
+            } else {
+                0.0
+            };
             rows.push_str(&format!(
                 "    {{\"users\": {users}, \"events\": {events}, \"ops\": {}, \
                  \"threads\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \
                  \"p95_us\": {}, \"p99_us\": {}, \"applied\": {}, \"resolved\": {}, \
-                 \"rejected\": {}, \"snapshots\": {}, \"utility\": {:.6}, \
+                 \"rejected\": {}, \"snapshots\": {}, \"shed\": {}, \
+                 \"shed_rate\": {:.6}, \"brownout_steps\": {}, \"utility\": {:.6}, \
                  \"certified\": {}, \"uncertified_intervals\": {}{}}}",
                 c.ops,
                 c.threads,
@@ -926,6 +962,9 @@ pub fn bench_serve(opts: &HarnessOptions, threads: usize) -> String {
                 c.resolved,
                 c.rejected,
                 c.snapshots,
+                c.shed,
+                shed_rate,
+                c.brownout_steps,
                 c.utility,
                 c.certified,
                 c.uncertified_intervals,
@@ -935,6 +974,18 @@ pub fn bench_serve(opts: &HarnessOptions, threads: usize) -> String {
                 }
             ));
         }
+        (serial, parallel)
+    };
+    for (i, &(users, events, n_ops)) in grid.iter().enumerate() {
+        let inst = generate(&GeneratorConfig::default().cutout(users, events));
+        // A deterministic greedy plan gives the op sampler its context;
+        // ids start at 1 (0 is reserved by the protocol).
+        let plan0 = GreedySolver::seeded(42).solve(&inst).plan;
+        let mut sampler = epplan_datagen::OpStreamSampler::new(42);
+        let ops = sampler.sequenced_stream(&inst, &plan0, n_ops, 1);
+        let tag = format!("u{users}");
+        let (serial, parallel) =
+            run_pair(users, events, &ops, &tag, &serve_base_config(), &inst);
         if i > 0 {
             summary.push_str(",\n");
         }
@@ -942,6 +993,40 @@ pub fn bench_serve(opts: &HarnessOptions, threads: usize) -> String {
             "    {{\"users\": {users}, \"events\": {events}, \
              \"deterministic\": {}, \"always_certified\": {}}}",
             (serial.utility - parallel.utility).abs() < 1e-9,
+            serial.certified
+                && parallel.certified
+                && serial.uncertified_intervals == 0
+                && parallel.uncertified_intervals == 0
+        ));
+    }
+    // Overload cell (both quick and full grids): a bursty stream with
+    // admission shedding, the brownout ladder and quarantine armed.
+    // The op count (3000) is the cell's distinguishing key field — it
+    // never collides with a plain-throughput row.
+    {
+        let (users, events, n_ops) = (500usize, 50usize, 3_000usize);
+        let inst = generate(&GeneratorConfig::default().cutout(users, events));
+        let plan0 = GreedySolver::seeded(42).solve(&inst).plan;
+        let mut sampler = epplan_datagen::OpStreamSampler::new(42);
+        let ops = sampler.sequenced_burst_stream(
+            &inst,
+            &plan0,
+            n_ops,
+            1,
+            epplan_datagen::BurstSpec { len: 64, gap: 16 },
+        );
+        let (serial, parallel) = run_pair(
+            users,
+            events,
+            &ops,
+            "overload",
+            &serve_overload_config(),
+            &inst,
+        );
+        summary.push_str(&format!(
+            ",\n    {{\"users\": {users}, \"events\": {events}, \"overload\": true, \
+             \"sheds_deterministic\": {}, \"always_certified\": {}}}",
+            serial.shed > 0 && serial.shed == parallel.shed,
             serial.certified
                 && parallel.certified
                 && serial.uncertified_intervals == 0

@@ -44,5 +44,5 @@ pub use config::{GeneratorConfig, SpatialModel};
 pub use example::paper_example;
 pub use generator::{conflict_ratio, generate};
 pub use io::{load_instance, save_instance};
-pub use opstream::{OpStreamSampler, OpWeights};
+pub use opstream::{BurstSpec, OpStreamSampler, OpWeights};
 pub use tags::TagModel;

@@ -11,6 +11,7 @@
 use epplan_core::incremental::{AtomicOp, SequencedOp};
 use epplan_core::model::{Event, EventId, Instance, TimeInterval, UserId};
 use epplan_core::plan::Plan;
+use epplan_core::solver::SolveError;
 use epplan_geo::{BoundingBox, Point};
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -296,6 +297,82 @@ impl OpStreamSampler {
             .map(|(k, op)| SequencedOp::new(first_id + k as u64, op))
             .collect()
     }
+
+    /// [`OpStreamSampler::sequenced_stream`] with a bursty arrival
+    /// pattern: ids come in dense runs of `burst.len`, and after each
+    /// run the next id jumps ahead by `burst.gap`. The id gaps model
+    /// quiet periods between bursts — `epplan serve`'s ops-denominated
+    /// admission control drains accumulated staleness across them, so
+    /// this is the reproducible overload workload (deterministic from
+    /// the sampler seed, like every other stream).
+    ///
+    /// Panics if `first_id` is 0 or the ids would overflow `u64`.
+    pub fn sequenced_burst_stream(
+        &mut self,
+        instance: &Instance,
+        plan: &Plan,
+        n: usize,
+        first_id: u64,
+        burst: BurstSpec,
+    ) -> Vec<SequencedOp> {
+        assert!(first_id >= 1, "stream id 0 is reserved");
+        let n_gaps = (n as u64) / burst.len;
+        let span = match n_gaps
+            .checked_mul(burst.gap)
+            .and_then(|gaps| (n as u64).checked_add(gaps))
+        {
+            Some(span) => span,
+            None => panic!("burst ids overflow u64"),
+        };
+        assert!(u64::MAX - first_id >= span, "stream ids would overflow u64");
+        self.stream(instance, plan, n)
+            .into_iter()
+            .enumerate()
+            .map(|(k, op)| {
+                let k = k as u64;
+                SequencedOp::new(first_id + k + (k / burst.len) * burst.gap, op)
+            })
+            .collect()
+    }
+}
+
+/// A bursty arrival preset: `len` dense ids, then a gap of `gap` ids
+/// before the next burst. Parsed from the CLI `--burst LEN,GAP` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Ops per burst (≥ 1).
+    pub len: u64,
+    /// Id gap between consecutive bursts.
+    pub gap: u64,
+}
+
+impl BurstSpec {
+    /// Parses `"LEN,GAP"` (two base-10 integers, `LEN ≥ 1`). A
+    /// malformed spec is a typed `BadInput` failure, so the CLI maps
+    /// it onto the invalid-instance exit code instead of panicking.
+    pub fn parse(spec: &str) -> Result<BurstSpec, SolveError> {
+        let bad = |why: &str| {
+            SolveError::bad_input(
+                "datagen.opstream",
+                format!("malformed burst spec {spec:?} (want LEN,GAP): {why}"),
+            )
+        };
+        let (len_s, gap_s) = spec
+            .split_once(',')
+            .ok_or_else(|| bad("missing comma"))?;
+        let len: u64 = len_s
+            .trim()
+            .parse()
+            .map_err(|e| bad(&format!("bad LEN: {e}")))?;
+        let gap: u64 = gap_s
+            .trim()
+            .parse()
+            .map_err(|e| bad(&format!("bad GAP: {e}")))?;
+        if len == 0 {
+            return Err(bad("LEN must be at least 1"));
+        }
+        Ok(BurstSpec { len, gap })
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +400,53 @@ mod tests {
         let a = OpStreamSampler::new(5).stream(&inst, &plan, 10);
         let b = OpStreamSampler::new(5).stream(&inst, &plan, 10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_stream_ids_jump_by_gap_between_dense_runs() {
+        use epplan_core::incremental::validate_sequence;
+        let (inst, plan) = setup();
+        let burst = BurstSpec::parse("3,10").unwrap();
+        let seq = OpStreamSampler::new(5).sequenced_burst_stream(&inst, &plan, 8, 1, burst);
+        let ids: Vec<u64> = seq.iter().map(|s| s.id).collect();
+        // Bursts of 3 dense ids, then a jump of 10.
+        assert_eq!(ids, vec![1, 2, 3, 14, 15, 16, 27, 28]);
+        validate_sequence(&seq).unwrap();
+
+        // Deterministic from the seed, and the op payloads match the
+        // plain stream exactly (only the ids differ).
+        let again = OpStreamSampler::new(5).sequenced_burst_stream(&inst, &plan, 8, 1, burst);
+        assert_eq!(seq, again);
+        let plain = OpStreamSampler::new(5).sequenced_stream(&inst, &plan, 8, 1);
+        let ops: Vec<_> = seq.iter().map(|s| &s.op).collect();
+        let plain_ops: Vec<_> = plain.iter().map(|s| &s.op).collect();
+        assert_eq!(ops, plain_ops);
+
+        // A zero gap degenerates to the dense stream ids.
+        let dense = OpStreamSampler::new(5).sequenced_burst_stream(
+            &inst,
+            &plan,
+            8,
+            1,
+            BurstSpec::parse("3,0").unwrap(),
+        );
+        let dense_ids: Vec<u64> = dense.iter().map(|s| s.id).collect();
+        assert_eq!(dense_ids, (1..=8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn malformed_burst_specs_are_typed_bad_input() {
+        use epplan_core::solver::FailureKind;
+        for spec in ["", "5", "a,b", "3;4", "0,7", ",", "4,-1", "4,"] {
+            let err = BurstSpec::parse(spec)
+                .expect_err(&format!("spec {spec:?} should be rejected"));
+            assert_eq!(err.kind, FailureKind::BadInput, "spec {spec:?}");
+            assert!(err.to_string().contains("burst spec"), "spec {spec:?}");
+        }
+        assert_eq!(
+            BurstSpec::parse(" 64 , 16 ").unwrap(),
+            BurstSpec { len: 64, gap: 16 }
+        );
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub const SITES: &[&str] = &[
     "serve.snapshot.write",
     "serve.op.ingest",
     "serve.metrics.scrape",
+    "serve.admission.decide",
+    "serve.deadletter.append",
+    "serve.brownout.step",
 ];
 
 /// `true` when `site` names a registered injection site.

@@ -229,6 +229,9 @@ pub const COUNTER_NAMES: &[&str] = &[
     "serve.resolves",
     "serve.snapshots",
     "serve.slo.burning_ops",
+    "serve.ops_shed",
+    "serve.ops_quarantined",
+    "serve.brownout.steps",
     "obs.scrape.requests",
     "obs.scrape.errors",
 ];
@@ -259,6 +262,7 @@ pub const GAUGE_NAMES: &[&str] = &[
     "serve.window.p50_us",
     "serve.window.p95_us",
     "serve.window.p99_us",
+    "serve.brownout.level",
 ];
 
 /// Registered histogram names (`epplan_obs::observe`).
@@ -282,6 +286,9 @@ pub const FAULT_SITES: &[&str] = &[
     "gap.packing.oracle",
     "gap.rounding.match",
     "lp.simplex.pivot",
+    "serve.admission.decide",
+    "serve.brownout.step",
+    "serve.deadletter.append",
     "serve.metrics.scrape",
     "serve.op.ingest",
     "serve.snapshot.write",

@@ -5,4 +5,7 @@ fn arm_faults() {
     let _ = epplan_fault::single_at("flow.mcmf.augment", 2, FaultAction::DeadlineTrip);
     let _ = SolveReport::single("greedy", SolveStatus::Optimal); // not the fault layer: silent
     let _ = fault::single_at("gap.rounding.matched", 1, FaultAction::PoisonValue); // fires
+    let _ = epplan_fault::point("serve.admission.decide"); // registered: silent
+    let _ = FaultPlan::single("serve.deadletter.append", FaultAction::TypedError); // registered: silent
+    let _ = epplan_fault::single_at("serve.brownout.step", 1, FaultAction::TypedError); // registered: silent
 }

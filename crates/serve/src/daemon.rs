@@ -1,6 +1,8 @@
 //! The serving daemon: certified plan state + the per-op processing
 //! ladder (repair → retry with doubled budget → full re-solve →
-//! typed rejection), WAL/snapshot durability, and crash recovery.
+//! typed rejection), WAL/snapshot durability, crash recovery, and
+//! the overload-management layer (admission control, the brownout
+//! ladder, poison-op quarantine — see [`crate::overload`]).
 //!
 //! ## Invariant
 //!
@@ -28,12 +30,15 @@ use epplan_core::certify::{certify, certify_incremental};
 use epplan_core::incremental::{IncrementalOutcome, IncrementalPlanner, SequencedOp};
 use epplan_core::model::Instance;
 use epplan_core::plan::{dif, Plan};
-use epplan_core::solver::{GapBasedSolver, GepcSolver};
+use epplan_core::solver::{GapBasedSolver, GepcSolver, LnsSolver};
 use epplan_obs::{HistogramSnapshot, WindowConfig, WindowedHistogram};
 use epplan_solve::{Certificate, FailureKind, SolveBudget, SolveError};
 
+use crate::overload::{self, OverloadConfig, OverloadState};
 use crate::proto::{OpResponse, ServeSummary};
-use crate::wal::{self, OutcomeMode, Snapshot, WalRecord, WalWriter, FORMAT_VERSION};
+use crate::wal::{
+    self, OutcomeMeta, OutcomeMode, Snapshot, WalRecord, WalWriter, FORMAT_VERSION,
+};
 use crate::ServeError;
 
 const STAGE: &str = "serve.daemon";
@@ -68,6 +73,14 @@ pub struct ServeConfig {
     /// Approximate number of recent ops the latency window covers
     /// (ring of 8 count-rotated slots; see `epplan_obs::window`).
     pub slo_window_ops: u64,
+    /// Overload knobs: admission deadline, brownout ladder,
+    /// quarantine threshold. All-`None` (the default) disables the
+    /// overload layer entirely.
+    pub overload: OverloadConfig,
+    /// Test hook: `abort()` *inside* the processing of this op id —
+    /// after its op record is durable but before any outcome. Models
+    /// an op that reproducibly wedges the repair path.
+    pub crash_in_op: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +94,8 @@ impl Default for ServeConfig {
             crash_after_ops: None,
             slo_p99_us: None,
             slo_window_ops: 1024,
+            overload: OverloadConfig::default(),
+            crash_in_op: None,
         }
     }
 }
@@ -104,6 +119,12 @@ pub struct ServeStats {
     pub snapshots: u64,
     /// Ops processed while the windowed p99 exceeded the SLO target.
     pub slo_burning_ops: u64,
+    /// Ops shed by admission control (status `shed`).
+    pub shed: u64,
+    /// Poison ops quarantined to the dead-letter log.
+    pub quarantined: u64,
+    /// Brownout ladder transitions (up and down both count).
+    pub brownout_steps: u64,
     /// Per-op latencies in microseconds, insertion order.
     pub latencies_us: Vec<u64>,
 }
@@ -145,6 +166,9 @@ pub struct Daemon {
     slo_burning: bool,
     /// `last_op_id` at the most recent snapshot (0 before any).
     snapshot_op: u64,
+    /// Overload-controller state: a pure fold over the outcome
+    /// records absorbed so far (see `crate::overload`).
+    overload: OverloadState,
 }
 
 /// Stable name of the per-op latency histogram. Both constants are
@@ -170,7 +194,7 @@ impl Daemon {
         config: ServeConfig,
         state_dir: Option<&Path>,
     ) -> Result<Daemon, ServeError> {
-        let (plan, utility) = Self::full_solve(&instance, config.resolve_budget)?;
+        let (plan, utility) = Self::full_solve(&instance, config.resolve_budget, false)?;
         let window = latency_window(&config);
         let mut daemon = Daemon {
             instance,
@@ -187,6 +211,7 @@ impl Daemon {
             window,
             slo_burning: false,
             snapshot_op: 0,
+            overload: OverloadState::default(),
         };
         if let Some(dir) = daemon.state_dir.clone() {
             fs::create_dir_all(&dir).map_err(|e| {
@@ -203,8 +228,10 @@ impl Daemon {
 
     /// Recovers a session from `state_dir`: loads the snapshot,
     /// re-certifies it (disk is never trusted), replays the WAL
-    /// suffix honoring recorded [`OutcomeMode`]s, and finishes a
-    /// torn tail op (logged but never completed) live.
+    /// suffix honoring recorded [`OutcomeMeta`]s, and finishes a
+    /// torn tail op (logged but never completed) live — or, when the
+    /// tail op has already died `--quarantine-after` times,
+    /// quarantines it to the dead-letter log instead.
     pub fn restore(config: ServeConfig, state_dir: &Path) -> Result<Daemon, ServeError> {
         let mut sp = epplan_obs::span("serve.restore");
         sp.add_iters(1);
@@ -229,6 +256,7 @@ impl Daemon {
             window,
             slo_burning: false,
             snapshot_op,
+            overload: snap.overload,
         };
         let cert = certify(&daemon.instance, &daemon.plan);
         if !cert.hard_ok() {
@@ -240,34 +268,43 @@ impl Daemon {
         // ops repair through the same sparse paths as live ones.
         let _ = daemon.instance.candidates();
         let records = wal::read_wal(&state_dir.join(wal::WAL_FILE))?;
-        let mut pending: Vec<(SequencedOp, Option<OutcomeMode>)> = Vec::new();
+        // (op, outcome, attempts). Consecutive op records with the
+        // same id and no outcome in between are *attempt markers*:
+        // each one is a session that durably logged the op and then
+        // died executing it, so `attempts` counts how often this op
+        // has already killed the daemon.
+        let mut pending: Vec<(SequencedOp, Option<OutcomeMeta>, u32)> = Vec::new();
         for rec in records {
             match rec {
-                WalRecord::Op(sop) => pending.push((sop, None)),
-                WalRecord::Outcome { id, mode } => {
-                    match pending.last_mut() {
-                        Some(last) if last.0.id == id && last.1.is_none() => {
-                            last.1 = Some(mode);
-                        }
-                        _ => {
-                            return Err(ServeError::corrupt(format!(
-                                "WAL outcome for op {id} does not follow its op record"
-                            )));
-                        }
+                WalRecord::Op(sop) => match pending.last_mut() {
+                    Some(last) if last.1.is_none() && last.0.id == sop.id => {
+                        last.2 = last.2.saturating_add(1);
                     }
-                }
+                    _ => pending.push((sop, None, 1)),
+                },
+                WalRecord::Outcome(meta) => match pending.last_mut() {
+                    Some(last) if last.0.id == meta.id && last.1.is_none() => {
+                        last.1 = Some(meta);
+                    }
+                    _ => {
+                        return Err(ServeError::corrupt(format!(
+                            "WAL outcome for op {} does not follow its op record",
+                            meta.id
+                        )));
+                    }
+                },
             }
         }
         // Only the final record may lack an outcome (crash mid-op).
         let n_pending = pending.len();
-        let mut tail: Option<SequencedOp> = None;
-        for (i, (sop, mode)) in pending.into_iter().enumerate() {
+        let mut tail: Option<(SequencedOp, u32)> = None;
+        for (i, (sop, meta, attempts)) in pending.into_iter().enumerate() {
             if sop.id <= daemon.last_op_id {
                 continue; // already folded into the snapshot
             }
-            match mode {
-                Some(m) => daemon.replay(&sop, m)?,
-                None if i + 1 == n_pending => tail = Some(sop),
+            match meta {
+                Some(m) => daemon.replay(&sop, &m)?,
+                None if i + 1 == n_pending => tail = Some((sop, attempts)),
                 None => {
                     return Err(ServeError::corrupt(format!(
                         "WAL op {} has no outcome but is not the final record",
@@ -277,23 +314,37 @@ impl Daemon {
             }
         }
         daemon.wal = Some(WalWriter::open_append(&state_dir.join(wal::WAL_FILE))?);
-        if let Some(sop) = tail {
-            // Durably logged, never completed: finish it now. The op
-            // record is already on disk, only the outcome is appended.
-            let (mode, _resp) = daemon.execute(&sop);
-            if let Some(w) = daemon.wal.as_mut() {
-                w.append_outcome(sop.id, mode)?;
+        if let Some((sop, attempts)) = tail {
+            let poisoned = daemon
+                .config
+                .overload
+                .quarantine_after
+                .is_some_and(|q| attempts >= q);
+            if poisoned {
+                daemon.quarantine(&sop, attempts)?;
+            } else {
+                // Durably logged, never completed: try again live.
+                // A fresh op record goes in first, so if this attempt
+                // also dies the next restore sees one more marker.
+                if let Some(w) = daemon.wal.as_mut() {
+                    w.append_op(&sop)?;
+                }
+                if daemon.config.crash_in_op == Some(sop.id) {
+                    std::process::abort();
+                }
+                daemon.run_admitted(&sop, Instant::now())?;
             }
         }
         daemon.publish_gauges();
         Ok(daemon)
     }
 
-    /// Processes one op end to end: duplicate check, WAL append,
-    /// the repair/re-solve ladder, outcome marker, periodic snapshot.
-    /// Returns the response to acknowledge to the client; a returned
-    /// error (WAL/snapshot I/O) is fatal to the session — the plan
-    /// state is still certified, but durability is gone.
+    /// Processes one op end to end: duplicate check, admission
+    /// control, WAL append, the repair/re-solve ladder, outcome
+    /// record, periodic snapshot. Returns the response to acknowledge
+    /// to the client; a returned error (WAL/snapshot I/O) is fatal to
+    /// the session — the plan state is still certified, but
+    /// durability is gone.
     pub fn process(&mut self, sop: &SequencedOp) -> Result<OpResponse, ServeError> {
         let t0 = Instant::now();
         let mut sp = epplan_obs::span("serve.op");
@@ -304,24 +355,112 @@ impl Daemon {
             epplan_obs::counter_add("serve.ops_skipped", 1);
             return Ok(self.response(sop.id, "skipped", 0, 0, None));
         }
+        if self.admission_sheds(sop.id) {
+            return self.shed(sop);
+        }
         if let Some(w) = self.wal.as_mut() {
             w.append_op(sop)?;
         }
-        let (mode, mut resp) = self.execute(sop);
-        if let Some(w) = self.wal.as_mut() {
-            w.append_outcome(sop.id, mode)?;
+        if self.config.crash_in_op == Some(sop.id) {
+            // Deterministic poison op: dies after its op record is
+            // durable but before any outcome — exactly the shape the
+            // quarantine attempt counter is built to recognize.
+            std::process::abort();
         }
+        self.run_admitted(sop, t0)
+    }
+
+    /// Whether admission control sheds op `id`: its queueing delay
+    /// (work clock minus id, both ops-denominated — no wall clock)
+    /// exceeds the configured staleness bound. Fault site
+    /// `serve.admission.decide` models a failed decision; it fails
+    /// closed (shed), because shedding is always safe and executing a
+    /// stale op is not.
+    fn admission_sheds(&self, id: u64) -> bool {
+        let Some(deadline) = self.config.overload.op_deadline_ops else {
+            return false;
+        };
+        if epplan_fault::point("serve.admission.decide").is_some() {
+            return true;
+        }
+        self.overload.staleness(id) > deadline
+    }
+
+    /// Sheds one op: the `Shed` outcome is durable *before* the
+    /// decision is acted on, so `--restore` retraces it bit-
+    /// identically instead of re-deciding admission.
+    fn shed(&mut self, sop: &SequencedOp) -> Result<OpResponse, ServeError> {
+        let stale = self.overload.staleness(sop.id);
+        let meta = OutcomeMeta {
+            level: self.overload.level,
+            ..OutcomeMeta::plain(sop.id, OutcomeMode::Shed)
+        };
+        if let Some(w) = self.wal.as_mut() {
+            w.append_op(sop)?;
+            w.append_outcome(&meta)?;
+        }
+        self.overload.absorb(&meta);
+        self.last_op_id = sop.id;
+        self.stats.shed += 1;
+        epplan_obs::counter_add("serve.ops_shed", 1);
         self.processed += 1;
         if let Some(every) = self.config.snapshot_every {
             if every > 0 && self.processed.is_multiple_of(every) {
                 self.write_snapshot()?;
             }
         }
+        let resp = self.response(
+            sop.id,
+            "shed",
+            0,
+            0,
+            Some(format!(
+                "admission: stale by {stale} ops (deadline {} ops)",
+                self.config.overload.op_deadline_ops.unwrap_or(0)
+            )),
+        );
+        if let Some(n) = self.config.crash_after_ops {
+            if self.processed >= n {
+                std::process::abort();
+            }
+        }
+        Ok(resp)
+    }
+
+    /// Everything after an op is admitted and durably logged: the
+    /// execute ladder, latency/SLO accounting, the brownout decision,
+    /// the outcome record, the controller fold, and the periodic
+    /// snapshot. Shared verbatim by [`Daemon::process`] and the
+    /// torn-tail re-attempt in [`Daemon::restore`], so both paths
+    /// record (and therefore replay) identically.
+    fn run_admitted(&mut self, sop: &SequencedOp, t0: Instant) -> Result<OpResponse, ServeError> {
+        let (mode, rsfail, mut resp) = self.execute(sop);
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.stats.latencies_us.push(us);
         epplan_obs::observe(OP_LATENCY_HIST, us);
         self.window.observe(us);
         self.update_slo();
+        let burn = self.slo_burning;
+        let level = self.decide_brownout(burn);
+        let meta = OutcomeMeta {
+            id: sop.id,
+            mode,
+            retries: resp.retries,
+            burn,
+            level,
+            rsfail,
+        };
+        if let Some(w) = self.wal.as_mut() {
+            w.append_outcome(&meta)?;
+        }
+        self.overload.absorb(&meta);
+        self.publish_gauges();
+        self.processed += 1;
+        if let Some(every) = self.config.snapshot_every {
+            if every > 0 && self.processed.is_multiple_of(every) {
+                self.write_snapshot()?;
+            }
+        }
         resp.slo_burning = self.slo_burning;
         if let Some(n) = self.config.crash_after_ops {
             if self.processed >= n {
@@ -333,13 +472,74 @@ impl Daemon {
         Ok(resp)
     }
 
+    /// The brownout level to record for the op that just executed.
+    /// Streak accounting is prospective (see
+    /// [`OverloadState::decide_level`]); fault site
+    /// `serve.brownout.step` suppresses a pending transition — the
+    /// *recorded* level is what keeps live state and replay agreeing
+    /// even then.
+    fn decide_brownout(&mut self, burn: bool) -> u8 {
+        let Some(knobs) = self.config.overload.brownout else {
+            return self.overload.level;
+        };
+        let next = self.overload.decide_level(burn, &knobs);
+        if next == self.overload.level {
+            return next;
+        }
+        if epplan_fault::point("serve.brownout.step").is_some() {
+            return self.overload.level;
+        }
+        self.stats.brownout_steps += 1;
+        epplan_obs::counter_add("serve.brownout.steps", 1);
+        next
+    }
+
+    /// Quarantines the poison op `sop` during restore: the dead-
+    /// letter record goes to `dead_letter.log` first (never lose an
+    /// exported op), then the `Quarantine` outcome makes the skip
+    /// durable in the WAL. A crash between the two appends can
+    /// duplicate the dead-letter record — benign — but can never skip
+    /// an op without exporting it.
+    fn quarantine(&mut self, sop: &SequencedOp, attempts: u32) -> Result<(), ServeError> {
+        let Some(dir) = self.state_dir.clone() else {
+            return Err(ServeError::io(
+                "quarantine requires a state directory".to_string(),
+            ));
+        };
+        let rec = wal::DeadLetterRec {
+            id: sop.id,
+            attempts,
+            op: sop.clone(),
+        };
+        wal::append_dead_letter(&dir, &rec)?;
+        let meta = OutcomeMeta {
+            level: self.overload.level,
+            ..OutcomeMeta::plain(sop.id, OutcomeMode::Quarantine)
+        };
+        if let Some(w) = self.wal.as_mut() {
+            w.append_outcome(&meta)?;
+        }
+        self.overload.absorb(&meta);
+        self.last_op_id = sop.id;
+        self.stats.quarantined += 1;
+        epplan_obs::counter_add("serve.ops_quarantined", 1);
+        Ok(())
+    }
+
     /// The per-op ladder. Infallible by construction: every branch
     /// ends in a certified state or an explicit rejection that keeps
-    /// the previous certified plan.
-    fn execute(&mut self, sop: &SequencedOp) -> (OutcomeMode, OpResponse) {
+    /// the previous certified plan. The middle `bool` is the `rsfail`
+    /// flag: a drift-triggered re-solve was attempted and failed (the
+    /// outcome stays `Repair`, but backoff must advance).
+    fn execute(&mut self, sop: &SequencedOp) -> (OutcomeMode, bool, OpResponse) {
         let op = &sop.op;
         let mut retries = 0u32;
         let repair_failure: String;
+        // Brownout level ≥ 1: repair budgets are halved before
+        // escalation. The level is part of the controller state, so
+        // replay (which re-runs this ladder only via the recorded
+        // modes) never needs to re-derive the shrink.
+        let repair_budget = overload::shrink_budget(self.config.op_budget, self.overload.level);
         loop {
             let attempt: Result<IncrementalOutcome, SolveError> =
                 match epplan_fault::point("serve.op.ingest") {
@@ -351,7 +551,7 @@ impl Daemon {
                             &self.instance,
                             &self.plan,
                             op,
-                            escalated(self.config.op_budget, retries),
+                            escalated(repair_budget, retries),
                         )
                         .map_err(SolveError::discard_partial),
                 };
@@ -365,20 +565,31 @@ impl Daemon {
                         self.utility = out.utility;
                         self.drift += op_dif;
                         self.last_op_id = sop.id;
-                        if self.drift_exceeded() && self.resolve_in_place().is_ok() {
-                            self.stats.resolved += 1;
-                            epplan_obs::counter_add("serve.ops_resolved", 1);
-                            self.publish_gauges();
-                            return (
-                                OutcomeMode::RepairResolve,
-                                self.response(sop.id, "resolved", op_dif, retries, None),
-                            );
+                        // Drift-triggered background re-solve, gated
+                        // by the ops-denominated backoff from earlier
+                        // failures (exponential in op ids, no clock).
+                        let mut rsfail = false;
+                        if self.drift_exceeded() && self.overload.backoff_clear(sop.id) {
+                            match self.resolve_in_place() {
+                                Ok(()) => {
+                                    self.stats.resolved += 1;
+                                    epplan_obs::counter_add("serve.ops_resolved", 1);
+                                    self.publish_gauges();
+                                    return (
+                                        OutcomeMode::RepairResolve,
+                                        false,
+                                        self.response(sop.id, "resolved", op_dif, retries, None),
+                                    );
+                                }
+                                Err(_) => rsfail = true,
+                            }
                         }
                         self.stats.applied += 1;
                         epplan_obs::counter_add("serve.ops_applied", 1);
                         self.publish_gauges();
                         return (
                             OutcomeMode::Repair,
+                            rsfail,
                             self.response(sop.id, "applied", op_dif, retries, None),
                         );
                     }
@@ -395,6 +606,7 @@ impl Daemon {
                         epplan_obs::counter_add("serve.ops_rejected", 1);
                         return (
                             OutcomeMode::Reject,
+                            false,
                             self.response(sop.id, "rejected", 0, retries, Some(e.to_string())),
                         );
                     }
@@ -412,7 +624,8 @@ impl Daemon {
         // Graceful degradation: rebuild the plan from scratch on the
         // post-op instance; swap in only if it certifies.
         let next = IncrementalPlanner::apply_to_instance(&self.instance, op);
-        match Self::full_solve(&next, self.config.resolve_budget) {
+        let degraded = self.overload.level >= 2;
+        match Self::full_solve(&next, self.config.resolve_budget, degraded) {
             Ok((new_plan, utility)) => {
                 let op_dif = dif(&self.plan, &new_plan) as u64;
                 self.instance = next;
@@ -427,6 +640,7 @@ impl Daemon {
                 self.publish_gauges();
                 (
                     OutcomeMode::Resolve,
+                    false,
                     self.response(sop.id, "resolved", op_dif, retries, Some(repair_failure)),
                 )
             }
@@ -436,6 +650,7 @@ impl Daemon {
                 epplan_obs::counter_add("serve.ops_rejected", 1);
                 (
                     OutcomeMode::Reject,
+                    false,
                     self.response(
                         sop.id,
                         "rejected",
@@ -453,23 +668,28 @@ impl Daemon {
     /// Re-applies one WAL record during recovery, following the
     /// recorded decision instead of re-deciding (budget escalation
     /// and drift triggers are not re-derivable after a crash).
-    fn replay(&mut self, sop: &SequencedOp, mode: OutcomeMode) -> Result<(), ServeError> {
-        match mode {
-            OutcomeMode::Repair => self.replay_repair(sop),
+    fn replay(&mut self, sop: &SequencedOp, meta: &OutcomeMeta) -> Result<(), ServeError> {
+        match meta.mode {
+            OutcomeMode::Repair => self.replay_repair(sop)?,
             OutcomeMode::RepairResolve => {
                 self.replay_repair(sop)?;
-                self.resolve_in_place()
+                // Uses the pre-op brownout level for solver choice,
+                // exactly like the live run did (absorb comes after).
+                self.resolve_in_place()?;
             }
             OutcomeMode::Resolve => {
                 self.instance = IncrementalPlanner::apply_to_instance(&self.instance, &sop.op);
                 self.last_op_id = sop.id;
-                self.resolve_in_place()
+                self.resolve_in_place()?;
             }
-            OutcomeMode::Reject => {
+            OutcomeMode::Reject | OutcomeMode::Shed | OutcomeMode::Quarantine => {
                 self.last_op_id = sop.id;
-                Ok(())
             }
         }
+        // The controller fold is driven by the recorded fields — the
+        // same absorb the live run applied after writing the record.
+        self.overload.absorb(meta);
+        Ok(())
     }
 
     fn replay_repair(&mut self, sop: &SequencedOp) -> Result<(), ServeError> {
@@ -493,7 +713,9 @@ impl Daemon {
     /// the plan only on success (and it is certified by
     /// [`Daemon::full_solve`]). Resets drift.
     fn resolve_in_place(&mut self) -> Result<(), ServeError> {
-        let (plan, utility) = Self::full_solve(&self.instance, self.config.resolve_budget)?;
+        let degraded = self.overload.level >= 2;
+        let (plan, utility) =
+            Self::full_solve(&self.instance, self.config.resolve_budget, degraded)?;
         self.plan = plan;
         self.utility = utility;
         self.drift = 0;
@@ -504,15 +726,29 @@ impl Daemon {
 
     /// Solves `instance` from scratch and certifies the result.
     /// Degrades to the solver's partial (fallback) plan when one
-    /// exists, but *never* returns an uncertified plan.
+    /// exists, but *never* returns an uncertified plan. At brownout
+    /// level ≥ 2 (`degraded`), the gap-based pipeline is swapped for
+    /// budgeted LNS with the final `LocalSearch` polish skipped —
+    /// cheaper, still certified.
     fn full_solve(
         instance: &Instance,
         budget: SolveBudget,
+        degraded: bool,
     ) -> Result<(Plan, f64), ServeError> {
         let mut sp = epplan_obs::span("serve.resolve");
         sp.add_iters(1);
-        let solver = GapBasedSolver::default().with_certify(false);
-        let solution = match solver.try_solve(instance, budget) {
+        let attempt = if degraded {
+            let solver = LnsSolver {
+                polish: false,
+                ..LnsSolver::seeded(0)
+            };
+            solver.solve_budgeted(instance, budget)
+        } else {
+            GapBasedSolver::default()
+                .with_certify(false)
+                .try_solve(instance, budget)
+        };
+        let solution = match attempt {
             Ok(s) => s,
             Err(e) => match e.partial {
                 Some(best_effort) => best_effort,
@@ -535,8 +771,7 @@ impl Daemon {
     }
 
     fn drift_exceeded(&self) -> bool {
-        self.config
-            .drift_threshold
+        overload::effective_drift_threshold(self.config.drift_threshold, self.overload.level)
             .is_some_and(|t| self.drift >= t)
     }
 
@@ -556,6 +791,7 @@ impl Daemon {
             version: FORMAT_VERSION,
             last_op_id: self.last_op_id,
             drift: self.drift,
+            overload: self.overload.clone(),
             instance: self.instance.clone(),
             plan: self.plan.clone(),
         };
@@ -572,6 +808,7 @@ impl Daemon {
     fn publish_gauges(&self) {
         epplan_obs::gauge_set("serve.drift", self.drift as f64);
         epplan_obs::gauge_set("serve.utility", self.utility);
+        epplan_obs::gauge_set("serve.brownout.level", f64::from(self.overload.level));
     }
 
     /// Recomputes windowed quantiles after each op, publishes them as
@@ -631,7 +868,7 @@ impl Daemon {
     pub fn summary(&self) -> ServeSummary {
         let exact = HistogramSnapshot::from_values(&self.stats.latencies_us);
         let ops = self.stats.applied + self.stats.resolved + self.stats.rejected
-            + self.stats.skipped;
+            + self.stats.skipped + self.stats.shed + self.stats.quarantined;
         let wall_s = self.started.elapsed().as_secs_f64();
         ServeSummary {
             ops,
@@ -654,6 +891,9 @@ impl Daemon {
             window_p95_us: self.window.quantile(0.95),
             window_p99_us: self.window.quantile(0.99),
             slo_burning_ops: self.stats.slo_burning_ops,
+            shed: self.stats.shed,
+            quarantined: self.stats.quarantined,
+            brownout_steps: self.stats.brownout_steps,
         }
     }
 
@@ -717,6 +957,13 @@ impl Daemon {
     /// `last_op_id` as of the most recent snapshot (0 before any).
     pub fn snapshot_op(&self) -> u64 {
         self.snapshot_op
+    }
+
+    /// The overload-controller state (work clock, brownout level,
+    /// streaks, re-solve backoff) — a pure fold over recorded op
+    /// outcomes, compared bit-for-bit in recovery tests.
+    pub fn overload_state(&self) -> &OverloadState {
+        &self.overload
     }
 
     /// Ops applied since the last snapshot — the WAL replay distance
@@ -877,6 +1124,175 @@ mod tests {
         assert_eq!(plan_bytes(&restored), plan_bytes(&reference));
         assert_eq!(restored.drift(), reference.drift());
         assert_eq!(restored.utility(), reference.utility());
+        assert!(restored.certificate().hard_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn admission_sheds_stale_ops_and_restore_retraces_them() {
+        let instance = small_instance();
+        let dir = tmp_dir("shed");
+        let config = ServeConfig {
+            // Every repair exhausts instantly, forcing the expensive
+            // full re-solve path — each executed op charges the work
+            // clock several op-widths, so staleness builds fast.
+            op_budget: SolveBudget::from_iteration_cap(0),
+            max_retries: 1,
+            snapshot_every: Some(4),
+            overload: OverloadConfig {
+                op_deadline_ops: Some(0),
+                ..OverloadConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+
+        let mut reference = Daemon::start(instance.clone(), config.clone(), None).unwrap();
+        let ops = ops_for(reference.instance(), reference.plan(), 12);
+        let mut statuses = Vec::new();
+        for sop in &ops {
+            statuses.push(reference.process(sop).unwrap().status);
+        }
+        assert!(reference.stats().shed > 0, "overload must shed: {statuses:?}");
+        assert!(reference.stats().resolved > 0);
+        let s = reference.summary();
+        assert_eq!(s.ops, 12);
+        assert_eq!(s.shed, reference.stats().shed);
+        assert!(s.certified);
+
+        // Crash mid-stream, restore, re-feed: the shed pattern is
+        // retraced from the WAL, not re-decided, so everything —
+        // plan bytes and controller state — converges bit-for-bit.
+        {
+            let mut d = Daemon::start(instance, config.clone(), Some(&dir)).unwrap();
+            for sop in &ops[..7] {
+                d.process(sop).unwrap();
+            }
+        }
+        let mut restored = Daemon::restore(config, &dir).unwrap();
+        let mut replayed = Vec::new();
+        for sop in &ops {
+            replayed.push(restored.process(sop).unwrap().status);
+        }
+        assert!(replayed[..7].iter().all(|st| st == "skipped"));
+        assert_eq!(replayed[7..], statuses[7..], "post-crash decisions diverged");
+        assert_eq!(plan_bytes(&restored), plan_bytes(&reference));
+        assert_eq!(restored.overload_state(), reference.overload_state());
+        assert_eq!(restored.drift(), reference.drift());
+        assert!(restored.certificate().hard_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn brownout_descends_under_burn_and_replay_converges() {
+        let instance = small_instance();
+        let dir = tmp_dir("brownout");
+        let config = ServeConfig {
+            // Target 0µs: every op burns, deterministically, so the
+            // ladder walks straight down to the deepest level.
+            slo_p99_us: Some(0),
+            overload: OverloadConfig {
+                brownout: Some(crate::overload::BrownoutKnobs {
+                    down_after: 2,
+                    up_after: 100,
+                }),
+                ..OverloadConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let live_state;
+        {
+            let mut d = Daemon::start(instance, config.clone(), Some(&dir)).unwrap();
+            let ops = ops_for(d.instance(), d.plan(), 8);
+            for sop in &ops {
+                d.process(sop).unwrap();
+            }
+            assert_eq!(d.overload_state().level, crate::overload::MAX_BROWNOUT_LEVEL);
+            assert_eq!(d.stats().brownout_steps, 3);
+            assert!(d.certificate().hard_ok());
+            live_state = d.overload_state().clone();
+        }
+        // Replay folds the recorded burn flags and levels — no clock,
+        // no window, yet the controller state matches exactly.
+        let restored = Daemon::restore(config, &dir).unwrap();
+        assert_eq!(restored.overload_state(), &live_state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poison_op_is_quarantined_after_repeated_mid_op_deaths() {
+        let instance = small_instance();
+        let dir = tmp_dir("quarantine");
+        let config = ServeConfig {
+            overload: OverloadConfig {
+                quarantine_after: Some(2),
+                ..OverloadConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let ops;
+        {
+            let mut d = Daemon::start(instance, config.clone(), Some(&dir)).unwrap();
+            ops = ops_for(d.instance(), d.plan(), 4);
+            d.process(&ops[0]).unwrap();
+            d.process(&ops[1]).unwrap();
+        }
+        // Simulate two sessions that each durably logged op 3 and then
+        // died executing it: two op records, no outcome in between.
+        {
+            let mut w = WalWriter::open_append(&dir.join(wal::WAL_FILE)).unwrap();
+            w.append_op(&ops[2]).unwrap();
+            w.append_op(&ops[2]).unwrap();
+            w.sync().unwrap();
+        }
+        let mut restored = Daemon::restore(config.clone(), &dir).unwrap();
+        assert_eq!(restored.stats().quarantined, 1);
+        assert_eq!(restored.last_op_id(), 3, "cursor advanced past the poison op");
+        let dead = wal::read_dead_letters(&dir).unwrap();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, 3);
+        assert_eq!(dead[0].attempts, 2);
+        assert_eq!(dead[0].op, ops[2]);
+        // The stream continues; a re-fed poison op is a duplicate.
+        assert_eq!(restored.process(&ops[3]).unwrap().status, "applied");
+        assert_eq!(restored.process(&ops[2]).unwrap().status, "skipped");
+        assert!(restored.certificate().hard_ok());
+        // A second restore retraces the recorded quarantine instead of
+        // appending another dead-letter record.
+        drop(restored);
+        let again = Daemon::restore(config, &dir).unwrap();
+        assert_eq!(again.stats().quarantined, 0, "quarantine replayed, not redone");
+        assert_eq!(again.last_op_id(), 4);
+        assert_eq!(wal::read_dead_letters(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_attempts_below_the_threshold_retry_live() {
+        let instance = small_instance();
+        let dir = tmp_dir("tail-retry");
+        let config = ServeConfig {
+            overload: OverloadConfig {
+                quarantine_after: Some(5),
+                ..OverloadConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let ops;
+        {
+            let mut d = Daemon::start(instance, config.clone(), Some(&dir)).unwrap();
+            ops = ops_for(d.instance(), d.plan(), 2);
+            d.process(&ops[0]).unwrap();
+        }
+        {
+            let mut w = WalWriter::open_append(&dir.join(wal::WAL_FILE)).unwrap();
+            w.append_op(&ops[1]).unwrap();
+            w.sync().unwrap();
+        }
+        // One attempt < 5: the tail op is finished live on restore.
+        let restored = Daemon::restore(config, &dir).unwrap();
+        assert_eq!(restored.last_op_id(), 2);
+        assert_eq!(restored.stats().quarantined, 0);
+        assert!(wal::read_dead_letters(&dir).unwrap().is_empty());
         assert!(restored.certificate().hard_ok());
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -17,7 +17,14 @@
 //!   previous good one;
 //! * accumulated plan drift (`dif` since the last full solve) triggers
 //!   a background re-solve whose result is swapped in only after
-//!   certification.
+//!   certification, with ops-denominated exponential backoff after
+//!   failed attempts;
+//! * an overload layer ([`overload`]) keeps the daemon live under
+//!   bursts: deterministic admission control sheds stale ops (the
+//!   `Shed` outcome is in the WAL before it is acted on), a brownout
+//!   ladder degrades solve effort when the windowed p99 burns its
+//!   SLO, and poison ops that repeatedly kill the process are
+//!   quarantined to a dead-letter log instead of wedging the stream.
 //!
 //! [`SequencedOp`]: epplan_core::incremental::SequencedOp
 //! [`SolveBudget`]: epplan_solve::SolveBudget
@@ -30,16 +37,18 @@ use std::fmt;
 use epplan_solve::FailureKind;
 
 pub mod daemon;
+pub mod overload;
 pub mod proto;
 pub mod scrape;
 pub mod wal;
 
 pub use daemon::{Daemon, ServeConfig, ServeStats};
+pub use overload::{BrownoutKnobs, OverloadConfig, OverloadState};
 pub use proto::{parse_op_line, OpResponse, ServeSummary};
 pub use scrape::{render_scrape, MetricsEndpoint};
 pub use wal::{
-    read_snapshot, read_wal, write_snapshot, OutcomeMode, Snapshot, WalRecord,
-    WalWriter, FORMAT_VERSION,
+    read_dead_letters, read_snapshot, read_wal, write_snapshot, DeadLetterRec,
+    OutcomeMeta, OutcomeMode, Snapshot, WalRecord, WalWriter, FORMAT_VERSION,
 };
 
 /// Classified serving failure. The kind maps onto the CLI's exit-code

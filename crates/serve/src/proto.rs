@@ -31,8 +31,10 @@ pub struct OpResponse {
     /// Id of the op this responds to.
     pub id: u64,
     /// `"applied"` (IEP repair), `"resolved"` (full re-solve swapped
-    /// in), `"rejected"` (previous plan retained), or `"skipped"`
-    /// (duplicate id at or below the cursor).
+    /// in), `"rejected"` (previous plan retained), `"skipped"`
+    /// (duplicate id at or below the cursor), or `"shed"` (admission
+    /// control dropped the op unexecuted — it exceeded its
+    /// ops-denominated staleness deadline).
     pub status: String,
     /// `dif` between the pre-op and post-op plan (0 when rejected or
     /// skipped).
@@ -96,4 +98,11 @@ pub struct ServeSummary {
     /// Ops processed while the windowed p99 exceeded the SLO target
     /// (0 when no `--slo-p99-us` is set).
     pub slo_burning_ops: u64,
+    /// Ops shed by admission control (`--op-deadline-ops`).
+    pub shed: u64,
+    /// Poison ops quarantined to the dead-letter log
+    /// (`--quarantine-after`).
+    pub quarantined: u64,
+    /// Brownout ladder transitions this session (both directions).
+    pub brownout_steps: u64,
 }

@@ -43,13 +43,19 @@ pub fn render_scrape(daemon: &Daemon) -> String {
     let certified = daemon.certificate().hard_ok();
     out.push_str("# TYPE epplan_health gauge\n");
     out.push_str(&format!(
-        "epplan_health{{certified=\"{}\",drift=\"{}\",last_op_id=\"{}\",snapshot_op=\"{}\",wal_pending=\"{}\",slo_burning=\"{}\"}} 1\n",
+        "epplan_health{{certified=\"{}\",drift=\"{}\",last_op_id=\"{}\",snapshot_op=\"{}\",wal_pending=\"{}\",slo_burning=\"{}\",brownout_level=\"{}\",shed=\"{}\"}} 1\n",
         certified,
         daemon.drift(),
         daemon.last_op_id(),
         daemon.snapshot_op(),
         daemon.wal_pending_ops(),
         daemon.slo_burning(),
+        daemon.overload_state().level,
+        daemon.stats().shed,
+    ));
+    out.push_str(&format!(
+        "# TYPE epplan_serve_brownout_level gauge\nepplan_serve_brownout_level {}\n",
+        daemon.overload_state().level
     ));
     out.push_str(&format!(
         "# TYPE epplan_serve_last_op_id gauge\nepplan_serve_last_op_id {}\n",
@@ -180,6 +186,8 @@ mod tests {
         assert!(body.contains("# TYPE epplan_serve_window_op_latency_us summary"));
         assert!(body.contains("epplan_serve_window_op_latency_us{quantile=\"0.99\"}"));
         assert!(body.contains("epplan_serve_wal_pending_ops 0"));
+        assert!(body.contains("brownout_level=\"0\""));
+        assert!(body.contains("epplan_serve_brownout_level 0"));
     }
 
     #[test]

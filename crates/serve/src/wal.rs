@@ -2,19 +2,22 @@
 //!
 //! ## On-disk format
 //!
-//! Both the WAL (`wal.log`) and the snapshot (`snapshot.bin`) are
-//! sequences of self-delimiting *frames*:
+//! The WAL (`wal.log`), the snapshot (`snapshot.bin`), and the
+//! dead-letter log (`dead_letter.log`) are sequences of
+//! self-delimiting *frames*:
 //!
 //! ```text
 //! [ tag: u8 ][ len: u32 LE ][ checksum: u32 LE ][ payload: len bytes ]
 //! ```
 //!
 //! The payload is the JSON encoding of the record; the checksum is
-//! FNV-1a over the payload bytes. Three tags exist: `1` = op record
+//! FNV-1a over the payload bytes. Four tags exist: `1` = op record
 //! (a [`SequencedOp`], appended *before* the op is applied), `2` =
-//! outcome record (op id + [`OutcomeMode`], appended *after* the op
-//! is fully processed), `3` = snapshot (the whole daemon state, sole
-//! frame of `snapshot.bin`).
+//! outcome record (op id + [`OutcomeMeta`], appended *after* the op
+//! is decided — including `shed` and `quarantine` decisions, which
+//! are durable before they are acted on), `3` = snapshot (the whole
+//! daemon state, sole frame of `snapshot.bin`), `4` = dead-letter
+//! record (a quarantined op, appended to `dead_letter.log`).
 //!
 //! ## Crash semantics
 //!
@@ -22,7 +25,8 @@
 //!   during an append — is tolerated: the reader stops at the last
 //!   complete frame. This is the expected shape after a `SIGKILL`.
 //! * A *checksum mismatch* or *unknown tag* before the tail is
-//!   corruption and is reported as a typed error (CLI exit code 4);
+//!   corruption and is reported as a typed error (CLI exit code 4)
+//!   naming the byte offset and frame tag of the damaged frame;
 //!   recovery never silently skips a damaged record.
 //! * Snapshots are written to `snapshot.bin.tmp`, synced, then
 //!   atomically renamed over `snapshot.bin` — a crash mid-write
@@ -30,6 +34,9 @@
 //!   snapshot the WAL is truncated; a crash *between* rename and
 //!   truncate is safe because replay skips ops at or below the
 //!   snapshot's `last_op_id`.
+//! * The dead-letter log is append-only and never truncated — a
+//!   quarantined op must survive every later snapshot so
+//!   `--dump-dead-letter` can export it.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -40,6 +47,7 @@ use epplan_core::model::Instance;
 use epplan_core::plan::Plan;
 use serde::{Deserialize, Serialize};
 
+use crate::overload::OverloadState;
 use crate::ServeError;
 
 /// WAL file name inside the state directory.
@@ -49,12 +57,16 @@ pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// Temporary snapshot name; only ever observed after a crash between
 /// write and rename, and ignored by recovery.
 pub const SNAPSHOT_TMP_FILE: &str = "snapshot.bin.tmp";
+/// Dead-letter log file name inside the state directory.
+pub const DEAD_LETTER_FILE: &str = "dead_letter.log";
 /// Version stamp embedded in every snapshot; bumped on layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2 added the overload-controller state ([`OverloadState`]).
+pub const FORMAT_VERSION: u32 = 2;
 
 const TAG_OP: u8 = 1;
 const TAG_OUTCOME: u8 = 2;
 const TAG_SNAPSHOT: u8 = 3;
+const TAG_DEADLETTER: u8 = 4;
 const FRAME_HEADER_LEN: usize = 9;
 
 /// 32-bit FNV-1a over `bytes` — the frame checksum. Deliberately a
@@ -86,6 +98,12 @@ pub enum OutcomeMode {
     /// The op was rejected; the previous certified plan is retained
     /// and only the op cursor advanced.
     Reject,
+    /// Admission control shed the op unexecuted — it exceeded its
+    /// ops-denominated staleness bound. Only the op cursor advanced.
+    Shed,
+    /// The op was quarantined to the dead-letter log after repeatedly
+    /// dying mid-execution. Only the op cursor advanced.
+    Quarantine,
 }
 
 impl OutcomeMode {
@@ -96,6 +114,8 @@ impl OutcomeMode {
             OutcomeMode::RepairResolve => "repair_resolve",
             OutcomeMode::Resolve => "resolve",
             OutcomeMode::Reject => "reject",
+            OutcomeMode::Shed => "shed",
+            OutcomeMode::Quarantine => "quarantine",
         }
     }
 
@@ -106,17 +126,80 @@ impl OutcomeMode {
             "repair_resolve" => Some(OutcomeMode::RepairResolve),
             "resolve" => Some(OutcomeMode::Resolve),
             "reject" => Some(OutcomeMode::Reject),
+            "shed" => Some(OutcomeMode::Shed),
+            "quarantine" => Some(OutcomeMode::Quarantine),
             _ => None,
         }
     }
 }
 
+/// Everything the daemon decided about one op, recorded durably so
+/// recovery replays the decisions instead of re-making them. The
+/// overload controller ([`OverloadState::absorb`]) folds exactly
+/// these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutcomeMeta {
+    /// Id of the op this outcome belongs to.
+    pub id: u64,
+    /// How the op was processed.
+    pub mode: OutcomeMode,
+    /// Budget-escalation retries this op consumed.
+    pub retries: u32,
+    /// Whether the windowed p99 was burning the SLO when the op
+    /// completed — the only wall-clock input to the brownout
+    /// controller, recorded so replay never re-derives it.
+    pub burn: bool,
+    /// Brownout level *after* this op (the level the controller
+    /// decided to record, even if a fault suppressed a live step).
+    pub level: u8,
+    /// A drift-triggered re-solve was attempted for this op and
+    /// failed; the outcome stayed `Repair` but backoff must advance.
+    pub rsfail: bool,
+}
+
+impl OutcomeMeta {
+    /// A metadata record with no overload activity — what the daemon
+    /// writes when every overload knob is off.
+    pub fn plain(id: u64, mode: OutcomeMode) -> Self {
+        OutcomeMeta {
+            id,
+            mode,
+            retries: 0,
+            burn: false,
+            level: 0,
+            rsfail: false,
+        }
+    }
+
+    /// Whether processing this op involved a full re-solve attempt,
+    /// successful or not — the expensive path the work clock charges
+    /// [`crate::overload::RESOLVE_WORK_OPS`] extra for. A `Reject`
+    /// implies the fallback re-solve ran and failed.
+    pub fn resolve_attempted(&self) -> bool {
+        self.rsfail
+            || matches!(
+                self.mode,
+                OutcomeMode::Resolve | OutcomeMode::RepairResolve | OutcomeMode::Reject
+            )
+    }
+}
+
 /// JSON payload of an outcome frame. A named struct rather than a
-/// tagged enum: the op id plus the mode keyword.
+/// tagged enum: the op id plus the mode keyword. The overload fields
+/// default to their inert values so v1 logs (which never wrote them)
+/// decode unchanged.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct OutcomeRec {
     id: u64,
     mode: String,
+    #[serde(default)]
+    retries: u32,
+    #[serde(default)]
+    burn: bool,
+    #[serde(default)]
+    level: u8,
+    #[serde(default)]
+    rsfail: bool,
 }
 
 /// One decoded WAL record.
@@ -124,13 +207,19 @@ struct OutcomeRec {
 pub enum WalRecord {
     /// An op was durably logged before being applied.
     Op(SequencedOp),
-    /// The op with this id finished processing with the given mode.
-    Outcome {
-        /// Id of the op this outcome belongs to.
-        id: u64,
-        /// How the op was processed.
-        mode: OutcomeMode,
-    },
+    /// The op finished processing with the recorded decisions.
+    Outcome(OutcomeMeta),
+}
+
+/// One quarantined op, exported by `epplan serve --dump-dead-letter`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadLetterRec {
+    /// Id of the poisoned op.
+    pub id: u64,
+    /// How many attempts died mid-execution before quarantine.
+    pub attempts: u32,
+    /// The op itself, for offline diagnosis or manual replay.
+    pub op: SequencedOp,
 }
 
 /// The full daemon state persisted at a snapshot point. Restoring a
@@ -144,6 +233,9 @@ pub struct Snapshot {
     pub last_op_id: u64,
     /// Accumulated `dif` since the last full solve.
     pub drift: u64,
+    /// Overload-controller state as of `last_op_id`.
+    #[serde(default)]
+    pub overload: OverloadState,
     /// The instance as of `last_op_id`.
     pub instance: Instance,
     /// The certified plan as of `last_op_id`.
@@ -218,11 +310,18 @@ impl WalWriter {
         self.append(TAG_OP, &payload)
     }
 
-    /// Logs the outcome marker for op `id` *after* processing.
-    pub fn append_outcome(&mut self, id: u64, mode: OutcomeMode) -> Result<(), ServeError> {
+    /// Logs the outcome record for one op *after* the decision is
+    /// made but *before* it is acted on externally — shed and
+    /// quarantine decisions are durable first, so `--restore`
+    /// retraces them instead of re-deciding.
+    pub fn append_outcome(&mut self, meta: &OutcomeMeta) -> Result<(), ServeError> {
         let rec = OutcomeRec {
-            id,
-            mode: mode.keyword().to_string(),
+            id: meta.id,
+            mode: meta.mode.keyword().to_string(),
+            retries: meta.retries,
+            burn: meta.burn,
+            level: meta.level,
+            rsfail: meta.rsfail,
         };
         let payload = to_json("outcome record", &rec)?;
         self.append(TAG_OUTCOME, &payload)
@@ -245,10 +344,69 @@ impl WalWriter {
     }
 }
 
+/// Appends one quarantined op to the dead-letter log in `dir`, fully
+/// synced — a quarantine decision must never be lost to a crash.
+/// Fault site `serve.deadletter.append` fires before any write.
+pub fn append_dead_letter(dir: &Path, rec: &DeadLetterRec) -> Result<(), ServeError> {
+    if let Some(action) = epplan_fault::point("serve.deadletter.append") {
+        return Err(ServeError::io(format!(
+            "injected fault at serve.deadletter.append ({action})"
+        )));
+    }
+    let path = dir.join(DEAD_LETTER_FILE);
+    let payload = to_json("dead-letter record", rec)?;
+    let frame = encode_frame(TAG_DEADLETTER, &payload);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| io_err(&format!("opening dead-letter log {}", path.display()), e))?;
+    file.write_all(&frame)
+        .and_then(|()| file.sync_data())
+        .map_err(|e| io_err(&format!("appending to dead-letter log {}", path.display()), e))
+}
+
+/// Reads every record of the dead-letter log in `dir`. A missing file
+/// is an empty log; a torn tail is tolerated (the crash model allows
+/// dying mid-append); corruption before the tail is an error.
+pub fn read_dead_letters(dir: &Path) -> Result<Vec<DeadLetterRec>, ServeError> {
+    let path = dir.join(DEAD_LETTER_FILE);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)
+                .map_err(|e| io_err(&format!("reading dead-letter log {}", path.display()), e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(io_err(
+                &format!("opening dead-letter log {}", path.display()),
+                e,
+            ))
+        }
+    }
+    let source = format!("dead-letter log {}", path.display());
+    let mut records = Vec::new();
+    for (tag, off, payload) in decode_frames(&bytes, &source)? {
+        if tag != TAG_DEADLETTER {
+            return Err(ServeError::corrupt(format!(
+                "{source}: unknown frame tag {tag} at byte {off}"
+            )));
+        }
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| ServeError::corrupt(format!("{source}: non-UTF-8 payload: {e}")))?;
+        let rec: DeadLetterRec = serde_json::from_str(text).map_err(|e| {
+            ServeError::corrupt(format!("{source}: undecodable dead-letter record: {e}"))
+        })?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
 /// Decodes every frame of the byte buffer `bytes` (from `source`, for
-/// error context). A torn tail is tolerated; everything before it
-/// must checksum.
-fn decode_frames(bytes: &[u8], source: &str) -> Result<Vec<(u8, Vec<u8>)>, ServeError> {
+/// error context) into `(tag, byte offset, payload)` triples. A torn
+/// tail is tolerated; everything before it must checksum.
+fn decode_frames(bytes: &[u8], source: &str) -> Result<Vec<(u8, usize, Vec<u8>)>, ServeError> {
     let mut frames = Vec::new();
     let mut off = 0usize;
     while off < bytes.len() {
@@ -269,12 +427,12 @@ fn decode_frames(bytes: &[u8], source: &str) -> Result<Vec<(u8, Vec<u8>)>, Serve
         let payload = &bytes[start..start + len];
         if fnv1a(payload) != crc {
             return Err(ServeError::corrupt(format!(
-                "{source}: checksum mismatch in frame at byte {off} \
+                "{source}: checksum mismatch in frame tag {tag} at byte {off} \
                  (stored {crc:#010x}, computed {:#010x})",
                 fnv1a(payload)
             )));
         }
-        frames.push((tag, payload.to_vec()));
+        frames.push((tag, off, payload.to_vec()));
         off = start + len;
     }
     Ok(frames)
@@ -294,7 +452,7 @@ pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>, ServeError> {
     }
     let source = format!("WAL {}", path.display());
     let mut records = Vec::new();
-    for (tag, payload) in decode_frames(&bytes, &source)? {
+    for (tag, off, payload) in decode_frames(&bytes, &source)? {
         let text = std::str::from_utf8(&payload)
             .map_err(|e| ServeError::corrupt(format!("{source}: non-UTF-8 payload: {e}")))?;
         match tag {
@@ -314,11 +472,18 @@ pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>, ServeError> {
                         rec.mode
                     ))
                 })?;
-                records.push(WalRecord::Outcome { id: rec.id, mode });
+                records.push(WalRecord::Outcome(OutcomeMeta {
+                    id: rec.id,
+                    mode,
+                    retries: rec.retries,
+                    burn: rec.burn,
+                    level: rec.level,
+                    rsfail: rec.rsfail,
+                }));
             }
             other => {
                 return Err(ServeError::corrupt(format!(
-                    "{source}: unknown frame tag {other}"
+                    "{source}: unknown frame tag {other} at byte {off}"
                 )));
             }
         }
@@ -371,7 +536,7 @@ pub fn read_snapshot(dir: &Path) -> Result<Option<Snapshot>, ServeError> {
     let source = format!("snapshot {}", path.display());
     let frames = decode_frames(&bytes, &source)?;
     let (tag, payload) = match frames.as_slice() {
-        [single] => (single.0, &single.1),
+        [single] => (single.0, &single.2),
         _ => {
             return Err(ServeError::corrupt(format!(
                 "{source}: expected exactly one complete frame, found {}",
@@ -439,12 +604,21 @@ mod tests {
         let dir = tmp_dir("roundtrip");
         let path = dir.join(WAL_FILE);
         let ops = sample_ops();
+        let rich = OutcomeMeta {
+            id: 2,
+            mode: OutcomeMode::Resolve,
+            retries: 3,
+            burn: true,
+            level: 2,
+            rsfail: true,
+        };
         {
             let mut w = WalWriter::create(&path).unwrap();
             w.append_op(&ops[0]).unwrap();
-            w.append_outcome(1, OutcomeMode::Repair).unwrap();
+            w.append_outcome(&OutcomeMeta::plain(1, OutcomeMode::Repair))
+                .unwrap();
             w.append_op(&ops[1]).unwrap();
-            w.append_outcome(2, OutcomeMode::Resolve).unwrap();
+            w.append_outcome(&rich).unwrap();
             w.sync().unwrap();
         }
         let records = read_wal(&path).unwrap();
@@ -452,20 +626,25 @@ mod tests {
         assert_eq!(records[0], WalRecord::Op(ops[0].clone()));
         assert_eq!(
             records[1],
-            WalRecord::Outcome {
-                id: 1,
-                mode: OutcomeMode::Repair
-            }
+            WalRecord::Outcome(OutcomeMeta::plain(1, OutcomeMode::Repair))
         );
         assert_eq!(records[2], WalRecord::Op(ops[1].clone()));
-        assert_eq!(
-            records[3],
-            WalRecord::Outcome {
-                id: 2,
-                mode: OutcomeMode::Resolve
-            }
-        );
+        // Every overload field round-trips bit-for-bit.
+        assert_eq!(records[3], WalRecord::Outcome(rich));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shed_and_quarantine_keywords_round_trip() {
+        for mode in [OutcomeMode::Shed, OutcomeMode::Quarantine] {
+            assert_eq!(OutcomeMode::from_keyword(mode.keyword()), Some(mode));
+        }
+        // v1 outcome records (no overload fields) decode with inert
+        // defaults via serde.
+        let rec: OutcomeRec = serde_json::from_str(r#"{"id":7,"mode":"repair"}"#).unwrap();
+        assert_eq!(rec.retries, 0);
+        assert!(!rec.burn && !rec.rsfail);
+        assert_eq!(rec.level, 0);
     }
 
     #[test]
@@ -476,7 +655,8 @@ mod tests {
         {
             let mut w = WalWriter::create(&path).unwrap();
             w.append_op(&ops[0]).unwrap();
-            w.append_outcome(1, OutcomeMode::Repair).unwrap();
+            w.append_outcome(&OutcomeMeta::plain(1, OutcomeMode::Repair))
+                .unwrap();
         }
         // Simulate a crash mid-append: chop bytes off the end.
         let full = fs::read(&path).unwrap();
@@ -486,19 +666,26 @@ mod tests {
             assert!(records.len() < 2, "cut {cut} should drop the tail record");
         }
         // Flip a payload byte in the middle: corruption, not a tear.
+        // The error must name the frame's byte offset and tag.
         let mut evil = full.clone();
         evil[FRAME_HEADER_LEN + 2] ^= 0xff;
         fs::write(&path, &evil).unwrap();
         let err = read_wal(&path).unwrap_err();
         assert_eq!(err.kind, ServeErrorKind::Corrupt);
         assert_eq!(err.exit_code(), 4);
-        // Unknown tag: also corruption.
+        let msg = err.to_string();
+        assert!(msg.contains("at byte 0"), "no offset in: {msg}");
+        assert!(msg.contains("frame tag 1"), "no tag in: {msg}");
+        // Unknown tag: also corruption, also located by offset.
         let mut unk = full;
         unk[0] = 9;
         fs::write(&path, &unk).unwrap();
         // checksum still matches payload, so the tag check fires
         let err = read_wal(&path).unwrap_err();
         assert_eq!(err.kind, ServeErrorKind::Corrupt);
+        let msg = err.to_string();
+        assert!(msg.contains("unknown frame tag 9"), "no tag in: {msg}");
+        assert!(msg.contains("at byte 0"), "no offset in: {msg}");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -507,6 +694,7 @@ mod tests {
         let dir = tmp_dir("missing");
         assert!(read_wal(&dir.join(WAL_FILE)).unwrap().is_empty());
         assert!(read_snapshot(&dir).unwrap().is_none());
+        assert!(read_dead_letters(&dir).unwrap().is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -515,10 +703,13 @@ mod tests {
         let dir = tmp_dir("snap");
         let instance = epplan_datagen::paper_example();
         let plan = Plan::for_instance(&instance);
+        let mut overload = OverloadState::default();
+        overload.absorb(&OutcomeMeta::plain(42, OutcomeMode::Resolve));
         let snap = Snapshot {
             version: FORMAT_VERSION,
             last_op_id: 42,
             drift: 7,
+            overload: overload.clone(),
             instance,
             plan,
         };
@@ -526,6 +717,7 @@ mod tests {
         let back = read_snapshot(&dir).unwrap().unwrap();
         assert_eq!(back.last_op_id, 42);
         assert_eq!(back.drift, 7);
+        assert_eq!(back.overload, overload);
         // Temp file must not linger after the rename.
         assert!(!dir.join(SNAPSHOT_TMP_FILE).exists());
 
@@ -536,6 +728,27 @@ mod tests {
         write_snapshot(&dir, &wrong).unwrap();
         let err = read_snapshot(&dir).unwrap_err();
         assert_eq!(err.kind, ServeErrorKind::Corrupt);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dead_letter_log_round_trips_and_survives_appends() {
+        let dir = tmp_dir("deadletter");
+        let ops = sample_ops();
+        let first = DeadLetterRec {
+            id: 1,
+            attempts: 3,
+            op: ops[0].clone(),
+        };
+        let second = DeadLetterRec {
+            id: 2,
+            attempts: 5,
+            op: ops[1].clone(),
+        };
+        append_dead_letter(&dir, &first).unwrap();
+        append_dead_letter(&dir, &second).unwrap();
+        let back = read_dead_letters(&dir).unwrap();
+        assert_eq!(back, vec![first, second]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -562,6 +775,7 @@ mod tests {
             version: FORMAT_VERSION,
             last_op_id: 0,
             drift: 0,
+            overload: OverloadState::default(),
             instance,
             plan,
         };
@@ -578,6 +792,25 @@ mod tests {
         // The failed attempt must not have disturbed the directory.
         assert!(!dir.join(SNAPSHOT_FILE).exists());
         assert!(!dir.join(SNAPSHOT_TMP_FILE).exists());
+
+        // The dead-letter fault site blocks the append before any
+        // write, so the log file is never even created.
+        epplan_fault::install(
+            epplan_fault::FaultPlan::single(
+                "serve.deadletter.append",
+                epplan_fault::FaultAction::TypedError,
+            )
+            .unwrap(),
+        );
+        let rec = DeadLetterRec {
+            id: 9,
+            attempts: 2,
+            op: sample_ops()[0].clone(),
+        };
+        let err = append_dead_letter(&dir, &rec).unwrap_err();
+        epplan_fault::clear();
+        assert_eq!(err.kind, ServeErrorKind::Io);
+        assert!(!dir.join(DEAD_LETTER_FILE).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,14 +13,16 @@
 //!              [--out-instance i2.json] [--out-plan p2.json]
 //! epplan example [--out instance.json]
 //! epplan opstream --instance instance.json [--count 1000] [--seed 42]
-//!                 [--start-id 1] [--out ops.jsonl]
+//!                 [--start-id 1] [--burst LEN,GAP] [--out ops.jsonl]
 //! epplan serve --instance instance.json [--ops ops.jsonl | --socket s.sock]
 //!              [--state-dir dir] [--restore] [--snapshot-every 1000]
 //!              [--op-time-limit-ms 50] [--op-max-iters 100000]
 //!              [--max-retries 3] [--drift-threshold 500]
 //!              [--resolve-time-limit-ms 5000] [--resolve-max-iters N]
 //!              [--metrics-socket m.sock] [--slo-p99-us N] [--slo-window-ops 1024]
+//!              [--op-deadline-ops N] [--brownout DOWN,UP] [--quarantine-after N]
 //!              [--out plan.json] [--quiet] [--metrics] [--json-metrics]
+//! epplan serve --state-dir dir --dump-dead-letter
 //! epplan report --trace trace.jsonl [--perfetto out.json] [--top 20]
 //! ```
 //!
@@ -38,6 +40,16 @@
 //! stream ends with a JSON summary line. With `--state-dir` the daemon
 //! write-ahead-logs every op and snapshots periodically; `--restore`
 //! recovers the pre-crash certified plan from that directory.
+//!
+//! Overload resilience: `--op-deadline-ops N` sheds ops that arrive
+//! more than `N` ops behind the work clock (status `"shed"`);
+//! `--brownout DOWN,UP` (requires `--slo-p99-us`) arms the brownout
+//! ladder — after `DOWN` consecutive burning ops the daemon steps one
+//! degradation level down, after `UP` healthy ops one level back up;
+//! `--quarantine-after N` dead-letters an op whose replay attempts hit
+//! `N` and skips it; `--dump-dead-letter` prints every quarantined op
+//! as one JSON line and exits. All decisions are recorded in the WAL
+//! before being acted on, so `--restore` retraces them bit-identically.
 //!
 //! `--metrics-socket` additionally binds a Unix socket that answers
 //! every connection with one point-in-time Prometheus text scrape
@@ -194,7 +206,7 @@ fn flag_spec(cmd: &str) -> FlagSpec {
             boolean: &[],
         },
         "opstream" => FlagSpec {
-            value: &["instance", "count", "seed", "start-id", "out", "threads"],
+            value: &["instance", "count", "seed", "start-id", "burst", "out", "threads"],
             boolean: &[],
         },
         "serve" => FlagSpec {
@@ -211,6 +223,10 @@ fn flag_spec(cmd: &str) -> FlagSpec {
                 "resolve-time-limit-ms",
                 "resolve-max-iters",
                 "crash-after-ops",
+                "crash-in-op",
+                "op-deadline-ops",
+                "brownout",
+                "quarantine-after",
                 "metrics-socket",
                 "slo-p99-us",
                 "slo-window-ops",
@@ -218,7 +234,7 @@ fn flag_spec(cmd: &str) -> FlagSpec {
                 "threads",
                 "trace",
             ],
-            boolean: &["restore", "quiet", "metrics", "json-metrics"],
+            boolean: &["restore", "quiet", "metrics", "json-metrics", "dump-dead-letter"],
         },
         "report" => FlagSpec {
             value: &["trace", "perfetto", "top", "threads"],
@@ -640,7 +656,14 @@ fn cmd_opstream(flags: HashMap<String, String>) {
     // a deterministic greedy plan supplies that context.
     let plan = GreedySolver::seeded(seed).solve(&instance).plan;
     let mut sampler = epplan::datagen::OpStreamSampler::new(seed);
-    let ops = sampler.sequenced_stream(&instance, &plan, count, start_id);
+    let ops = match flags.get("burst") {
+        Some(spec) => {
+            let burst = epplan::datagen::BurstSpec::parse(spec)
+                .unwrap_or_else(|e| fail(FailClass::for_failure_kind(e.kind), &e.to_string()));
+            sampler.sequenced_burst_stream(&instance, &plan, count, start_id, burst)
+        }
+        None => sampler.sequenced_stream(&instance, &plan, count, start_id),
+    };
     let mut lines = String::new();
     for sop in &ops {
         lines.push_str(&to_json(sop, false));
@@ -708,7 +731,25 @@ fn run_op_stream<R: std::io::BufRead, W: std::io::Write>(
 }
 
 fn cmd_serve(flags: HashMap<String, String>) {
-    use epplan::serve::{Daemon, ServeConfig};
+    use epplan::serve::{BrownoutKnobs, Daemon, OverloadConfig, ServeConfig};
+    // Dead-letter export is a pure read of the state directory: no
+    // instance, no daemon, no WAL replay.
+    if flags.contains_key("dump-dead-letter") {
+        let Some(dir) = flags.get("state-dir") else {
+            fail(FailClass::Usage, "--dump-dead-letter requires --state-dir");
+        };
+        let recs = epplan::serve::read_dead_letters(Path::new(dir)).unwrap_or_else(|e| {
+            let class = match e.kind {
+                epplan::serve::ServeErrorKind::Corrupt => FailClass::Parse,
+                _ => FailClass::Io,
+            };
+            fail(class, &e.to_string())
+        });
+        for rec in &recs {
+            println!("{}", to_json(rec, false));
+        }
+        return;
+    }
     let obs = setup_obs(&flags);
     let parse_u64 = |k: &str| -> Option<u64> {
         flags.get(k).map(|v| {
@@ -716,6 +757,27 @@ fn cmd_serve(flags: HashMap<String, String>) {
                 .unwrap_or_else(|_| fail(FailClass::Usage, &format!("bad --{k}")))
         })
     };
+    let brownout = flags.get("brownout").map(|spec| {
+        let parts: Vec<u64> = spec
+            .split(',')
+            .map(|p| {
+                p.trim().parse().unwrap_or_else(|_| {
+                    fail(FailClass::Usage, "bad --brownout (want DOWN,UP, both >= 1)")
+                })
+            })
+            .collect();
+        match parts.as_slice() {
+            [down, up] if *down >= 1 && *up >= 1 => {
+                BrownoutKnobs { down_after: *down, up_after: *up }
+            }
+            _ => fail(FailClass::Usage, "bad --brownout (want DOWN,UP, both >= 1)"),
+        }
+    });
+    if brownout.is_some() && !flags.contains_key("slo-p99-us") {
+        // Without an SLO nothing ever burns, so the ladder would be a
+        // silent no-op — reject the combination instead.
+        fail(FailClass::Usage, "--brownout requires --slo-p99-us");
+    }
     let mut op_budget = SolveBudget::UNLIMITED;
     if let Some(ms) = parse_u64("op-time-limit-ms") {
         op_budget = op_budget.with_time_limit(Duration::from_millis(ms));
@@ -737,8 +799,14 @@ fn cmd_serve(flags: HashMap<String, String>) {
         drift_threshold: parse_u64("drift-threshold"),
         snapshot_every: Some(parse_u64("snapshot-every").unwrap_or(1000)),
         crash_after_ops: parse_u64("crash-after-ops"),
+        crash_in_op: parse_u64("crash-in-op"),
         slo_p99_us: parse_u64("slo-p99-us"),
         slo_window_ops: parse_u64("slo-window-ops").unwrap_or(1024).max(1),
+        overload: OverloadConfig {
+            op_deadline_ops: parse_u64("op-deadline-ops"),
+            brownout,
+            quarantine_after: parse_u64("quarantine-after").map(|v| v as u32),
+        },
     };
     // A metrics socket implies the metrics registry: scrapes would
     // otherwise be empty.
